@@ -1,0 +1,32 @@
+"""Benchmark-suite helpers: collect paper-vs-measured rows and print a
+summary table at the end of the run."""
+
+import pytest
+
+_ROWS = []
+
+
+def record_row(experiment, quantity, paper, measured, unit="ms"):
+    """Register one reproduction row for the end-of-run table."""
+    _ROWS.append((experiment, quantity, paper, measured, unit))
+
+
+@pytest.fixture
+def reproduce():
+    return record_row
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _ROWS:
+        return
+    tr = terminalreporter
+    tr.write_sep("=", "paper reproduction summary")
+    tr.write_line("%-34s %-30s %14s %14s" % (
+        "experiment", "quantity", "paper", "measured"))
+    for experiment, quantity, paper, measured, unit in _ROWS:
+        paper_s = ("%.1f %s" % (paper, unit)) if isinstance(
+            paper, (int, float)) else str(paper)
+        measured_s = ("%.1f %s" % (measured, unit)) if isinstance(
+            measured, (int, float)) else str(measured)
+        tr.write_line("%-34s %-30s %14s %14s" % (
+            experiment, quantity, paper_s, measured_s))

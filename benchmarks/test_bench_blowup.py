@@ -1,0 +1,59 @@
+"""E7 — Sec. VIII-A state-space blow-up from one flowlink.
+
+"When we compare similar checks of two paths, varying only in that one
+has a flowlink and the other does not, adding a flowlink causes the
+memory to grow by a factor of 300 on the average, and the time to grow
+by a factor of 1000 on the average."
+
+Our models are smaller than the authors' Promela models (bounded
+nondeterminism budgets keep CI fast), so the absolute factors are
+smaller; the *shape* — every path type's cost inflates by an order of
+magnitude or more when one flowlink is added, growing with model
+richness — is what this bench reproduces.  A second, richer
+configuration shows the factors climbing toward the paper's regime.
+"""
+
+import statistics
+
+import pytest
+
+from repro.verification import blowup_table, verify_all
+
+
+def _geomean(values):
+    return statistics.geometric_mean(values)
+
+
+def test_blowup_small_config(benchmark, reproduce):
+    results = benchmark.pedantic(verify_all, rounds=1, iterations=1)
+    table = blowup_table(results)
+    mem = _geomean([f["memory_factor"] for f in table.values()])
+    t = _geomean([f["time_factor"] for f in table.values()])
+    reproduce("flowlink blow-up (small)", "memory factor (geomean)",
+              300.0, mem, unit="x")
+    reproduce("flowlink blow-up (small)", "time factor (geomean)",
+              1000.0, t, unit="x")
+    assert mem > 3.0
+    assert t > 3.0
+
+
+def test_blowup_grows_with_model_richness(benchmark, reproduce):
+    """The factors increase as the models get more nondeterministic —
+    extrapolating toward the paper's full-fidelity models."""
+    small = blowup_table(benchmark.pedantic(verify_all, rounds=1,
+                                            iterations=1))
+    rich = blowup_table(verify_all(phase1_budget=2, modify_budget=2,
+                                   queue_capacity=8, max_versions=4,
+                                   max_states=5_000_000))
+    small_mem = _geomean([f["memory_factor"] for f in small.values()])
+    rich_mem = _geomean([f["memory_factor"] for f in rich.values()])
+    small_time = _geomean([f["time_factor"] for f in small.values()])
+    rich_time = _geomean([f["time_factor"] for f in rich.values()])
+    reproduce("flowlink blow-up (rich)", "memory factor (geomean)",
+              300.0, rich_mem, unit="x")
+    reproduce("flowlink blow-up (rich)", "time factor (geomean)",
+              1000.0, rich_time, unit="x")
+    assert rich_mem > small_mem
+    assert rich_time > small_time
+    assert rich_mem > 10.0
+    assert rich_time > 20.0

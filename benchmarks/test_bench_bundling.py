@@ -1,0 +1,52 @@
+"""E13 — Sec. IX-B media bundling contention.
+
+"Another problem with media bundling is that it increases the
+probability of race conditions between transactions ...  Because of
+media bundling, a transaction to control a video channel contends with
+a transaction to control an audio channel on the same signaling path.
+If the channels were controlled by signals in separate tunnels, as in
+our protocol, this contention could not occur."
+
+The bench drives the same workload — one audio change and one video
+change issued concurrently from opposite ends — over both protocols.
+Ours completes both within a single hop; SIP glares and pays the
+backoff.
+"""
+
+import statistics
+
+import pytest
+
+from repro.analysis.experiments import (measure_sip_bundled_changes,
+                                        measure_unbundled_changes)
+
+
+def test_our_tunnels_do_not_contend(benchmark, reproduce):
+    result = benchmark.pedantic(measure_unbundled_changes,
+                                rounds=3, iterations=1)
+    reproduce("bundling (ours)", "concurrent audio+video change",
+              "no contention (n+2c = 74)", result.measured_ms)
+    # Both changes land as fast as a single one: one hop.
+    assert result.measured_ms == pytest.approx(74.0, abs=1.0)
+
+
+def test_sip_bundled_changes_contend(benchmark, reproduce):
+    samples = [measure_sip_bundled_changes(seed=s).measured_ms
+               for s in range(6)]
+    benchmark.pedantic(measure_sip_bundled_changes, kwargs={"seed": 0},
+                       rounds=1, iterations=1)
+    mean = statistics.mean(samples)
+    reproduce("bundling (SIP)", "concurrent audio+video change",
+              "glare + backoff (seconds)", mean)
+    assert mean > 1000.0          # backoff-dominated
+    assert min(samples) > 500.0   # every seed glared
+
+
+def test_contention_ratio(benchmark, reproduce):
+    ours = benchmark.pedantic(measure_unbundled_changes, rounds=1,
+                              iterations=1).measured_ms
+    sip = statistics.mean(measure_sip_bundled_changes(seed=s).measured_ms
+                          for s in range(5))
+    reproduce("bundling comparison", "SIP / ours ratio",
+              "orders of magnitude", sip / ours, unit="x")
+    assert sip / ours > 10.0

@@ -1,0 +1,127 @@
+"""E12 — the Sec. VIII-B convergence argument, measured.
+
+"After a signaling path stabilizes, eventually the descriptor of an
+endpoint will propagate along the entire signaling path as the most
+recent descriptor from that end.  When it reaches the other end, the
+other end will respond with a new selector."
+
+This bench measures end-to-end convergence (to the full ``bothFlowing``
+condition, history variables included) across path lengths, under
+jittered network latency, and under repeated mid-path relinking — the
+conditions the informal argument claims the protocol survives.
+"""
+
+import pytest
+
+from repro import AUDIO, Network, UniformLatency
+from repro.analysis import run_until
+from repro.network.latency import PAPER_C, PAPER_N
+from repro.semantics import both_flowing, trace_path
+
+
+def _chain(net, length):
+    """L -- b0 -- ... -- b(length-1) -- R, all flowlinked through."""
+    left = net.device("L")
+    right = net.device("R", auto_accept=True)
+    boxes = [net.box("b%d" % i) for i in range(length)]
+    ch_left = net.channel(left, boxes[0])
+    mids = [net.channel(boxes[i], boxes[i + 1])
+            for i in range(length - 1)]
+    ch_right = net.channel(boxes[-1], right)
+    for i, box in enumerate(boxes):
+        ls = (ch_left if i == 0 else mids[i - 1]).end_for(box).slot()
+        rs = (ch_right if i == length - 1 else mids[i]).end_for(box).slot()
+        box.flow_link(ls, rs)
+    return left, right, boxes, ch_left
+
+
+@pytest.mark.parametrize("length", [1, 2, 4, 8])
+def test_convergence_time_scales_linearly(benchmark, reproduce, length):
+    def measure():
+        net = Network(seed=length, latency=None, cost=PAPER_C)
+        from repro.network.latency import FixedLatency
+        net.latency = FixedLatency(PAPER_N)
+        left, right, boxes, ch_left = _chain(net, length)
+        start = net.loop.now
+        left.open(ch_left.end_for(left).slot(), AUDIO)
+        path = lambda: trace_path(ch_left.end_for(boxes[0]).slot())
+        finish = run_until(net.loop, lambda: both_flowing(path()))
+        return (finish - start) * 1000.0
+
+    ms = benchmark.pedantic(measure, rounds=1, iterations=1)
+    # Opening end-to-end costs a forward pass (opens), a return pass
+    # (oacks), and the describe/select work — linear in path length.
+    per_hop = ms / (length + 1)
+    reproduce("convergence len=%d" % length, "setup latency",
+              "linear in hops", ms)
+    assert per_hop < 6 * (PAPER_N + PAPER_C) * 1000.0
+
+
+def test_convergence_under_jitter(benchmark, reproduce):
+    """FIFO-preserving jitter does not break convergence."""
+    def run():
+        net = Network(seed=3, latency=UniformLatency(0.005, 0.08),
+                      cost=0.002)
+        left, right, boxes, ch_left = _chain(net, 4)
+        left.open(ch_left.end_for(left).slot(), AUDIO)
+        net.settle()
+        return net, left, right, boxes, ch_left
+    net, left, right, boxes, ch_left = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+    path = trace_path(ch_left.end_for(boxes[0]).slot())
+    assert both_flowing(path)
+    reproduce("convergence (jitter)", "bothFlowing reached", "yes", "yes")
+
+
+def test_convergence_after_relink_storm(benchmark, reproduce):
+    """Every box on the path relinks (releasing and recreating its
+    flowlink) repeatedly; the path must converge to bothFlowing after
+    the storm stops — the 'if paths persist long enough' guarantee."""
+    def setup():
+        net = Network(seed=9, latency=UniformLatency(0.001, 0.02),
+                      cost=0.001)
+        left, right, boxes, ch_left = _chain(net, 4)
+        left.open(ch_left.end_for(left).slot(), AUDIO)
+        net.settle()
+        return net, left, right, boxes, ch_left
+    net, left, right, boxes, ch_left = benchmark.pedantic(
+        setup, rounds=1, iterations=1)
+    for round_no in range(5):
+        for box in boxes:
+            goal = box.maps.goals()[0]
+            s1, s2 = goal.slots
+            box.flow_link(s1, s2)   # new flowlink object, same slots
+        net.run(0.005 * (round_no + 1))
+    net.settle()
+    path = trace_path(ch_left.end_for(boxes[0]).slot())
+    assert both_flowing(path)
+    assert net.plane.two_way(left, right)
+    assert net.plane.wasted_transmissions() == []
+    reproduce("relink storm (5 rounds x 4 boxes)", "reconverged",
+              "yes", "yes")
+
+
+def test_mute_churn_reconverges(benchmark, reproduce):
+    """Recurrence under perturbation: the user toggles mutes many times
+    mid-flight; after the last change the path returns to bothFlowing
+    with the right enabled values."""
+    def setup():
+        net = Network(seed=4, latency=UniformLatency(0.001, 0.03),
+                      cost=0.002)
+        left, right, boxes, ch_left = _chain(net, 3)
+        slot = ch_left.end_for(left).slot()
+        left.open(slot, AUDIO)
+        net.settle()
+        return net, left, right, boxes, ch_left, slot
+    net, left, right, boxes, ch_left, slot = benchmark.pedantic(
+        setup, rounds=1, iterations=1)
+    for i in range(6):
+        left.modify(slot, mute_out=(i % 2 == 0))
+        net.run(0.004)
+    left.modify(slot, mute_in=False, mute_out=False)
+    net.settle()
+    path = trace_path(ch_left.end_for(boxes[0]).slot())
+    assert both_flowing(path)
+    assert net.plane.two_way(left, right)
+    reproduce("mute churn (7 modifies)", "returned to bothFlowing",
+              "yes", "yes")

@@ -1,0 +1,60 @@
+"""Simulator throughput micro-benchmarks (not a paper artifact).
+
+These keep the substrate honest: the latency and verification
+experiments above are only as trustworthy as the event loop and
+protocol engine they run on, so wall-clock throughput is tracked here
+for regression purposes.
+"""
+
+import pytest
+
+from repro import AUDIO, Network
+from repro.network.eventloop import EventLoop
+
+
+def test_event_loop_throughput(benchmark):
+    def churn():
+        loop = EventLoop()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 20_000:
+                loop.schedule(0.001, tick)
+
+        loop.schedule(0.0, tick)
+        loop.run()
+        return count[0]
+
+    assert benchmark(churn) == 20_000
+
+
+def test_call_setup_teardown_throughput(benchmark):
+    def one_batch():
+        net = Network(seed=0)
+        a = net.device("A")
+        b = net.device("B", auto_accept=True)
+        box = net.box("srv")
+        ch_a = net.channel(a, box)
+        ch_b = net.channel(box, b)
+        box.flow_link(ch_a.end_for(box).slot(), ch_b.end_for(box).slot())
+        slot = ch_a.end_for(a).slot()
+        for _ in range(50):
+            a.open(slot, AUDIO)
+            net.settle()
+            a.close(slot)
+            net.settle()
+        return net.loop.executed
+
+    events = benchmark(one_batch)
+    assert events > 1000
+
+
+def test_model_checker_states_per_second(benchmark):
+    from repro.verification import build_model, explore
+
+    def explore_oo_link():
+        return explore(build_model("OO", True).system).state_count
+
+    states = benchmark(explore_oo_link)
+    assert states > 1000

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Click-to-Dial (Fig. 6): ringback, busy tone, and a connected call.
+
+Run:  python examples/click_to_dial.py
+"""
+
+from repro import Network
+from repro.apps.click_to_dial import build_click_to_dial
+
+
+def happy_path() -> None:
+    print("-- happy path ------------------------------------------")
+    net = Network(seed=6)
+    user1 = net.device("user1")
+    user2 = net.device("user2")
+    ctd = build_click_to_dial(net, caller_address="user1")
+
+    program = ctd.click("user2")       # user 1 clicks the web link
+    net.run(0.1)
+    print("program state:", program.state_name)
+    print("user1 ringing:", bool(user1.ringing()))
+    user1.answer()
+    net.run(0.1)
+    print("program state:", program.state_name,
+          "| user1 hears:", sorted(net.plane.heard_by(user1)))
+    user2.answer()
+    net.run(0.1)
+    print("program state:", program.state_name)
+    print("two-way media:", net.plane.two_way(user1, user2))
+
+
+def busy_path() -> None:
+    print("-- callee busy -----------------------------------------")
+    net = Network(seed=7)
+    user1 = net.device("user1")
+    user2 = net.device("user2")
+    user2.availability = "busy"
+    ctd = build_click_to_dial(net, caller_address="user1")
+
+    program = ctd.click("user2")
+    net.run(0.1)
+    user1.answer()
+    net.run(0.1)
+    print("program state:", program.state_name,
+          "| user1 hears:", sorted(net.plane.heard_by(user1)))
+    # user 1 gives up: destroying channel 1 terminates the program.
+    user1.channel_ends[0].tear_down()
+    net.run(0.1)
+    print("program finished:", program.finished)
+
+
+def main() -> None:
+    happy_path()
+    busy_path()
+
+
+if __name__ == "__main__":
+    main()

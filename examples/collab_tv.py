@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Collaborative television (Fig. 8): five tunnels, one shared time
+pointer, and the leave-and-fast-forward scenario.
+
+Run:  python examples/collab_tv.py
+"""
+
+from repro import Network
+from repro.apps.collab_tv import CollaborativeTV
+
+
+def main() -> None:
+    net = Network(seed=81)
+    session = CollaborativeTV(net, title="heidi")
+    session.start_watching()
+
+    print("family room TV receives:",
+          sorted(net.plane.heard_by(session.tv)))
+    print("laptop (daughter) receives:",
+          sorted(net.plane.heard_by(session.laptop)))
+    print("French friend's headphones receive:",
+          sorted(net.plane.heard_by(session.phones)))
+    video_codecs = {
+        tx.port.slot.tunnel_id: tx.codec.name
+        for tx in net.plane.transmissions()
+        if tx.port.endpoint is session.movie
+        and "video" in tx.port.slot.tunnel_id}
+    print("per-device video codecs:", video_codecs)
+
+    net.run(5.0)
+    shared = session.shared_session()
+    print("\nafter 5 s, shared position: %.1f s (playing=%s)"
+          % (shared.position_at(net.now), shared.playing))
+    session.box_a.pause()
+    net.run(10.0)
+    print("paused for 10 s, position still: %.1f s"
+          % shared.position_at(net.now))
+    session.box_a.play()
+
+    print("\nthe daughter leaves and fast-forwards to 6000 s...")
+    session.leave_and_fast_forward(position=6000.0)
+    for s in session.movie.sessions():
+        print("    session %-14s position %7.1f s"
+              % (s.channel_name, s.position_at(net.now)))
+    print("laptop still receives:",
+          sorted(net.plane.heard_by(session.laptop)))
+    print("chain channel between the collaboration boxes alive:",
+          session.chain_ch.active)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""The Sec. VIII-C / IX-B performance story, regenerated:
+
+* our protocol's Fig. 13 scenario (2n + 3c = 128 ms),
+* the path-length law p*n + (p+1)*c,
+* SIP third-party call control, common case and glare (Fig. 14).
+
+Run:  python examples/latency_comparison.py
+"""
+
+import statistics
+
+from repro.analysis import (measure_fig13, measure_path_sweep,
+                            measure_sip_common, measure_sip_glare)
+
+
+def main() -> None:
+    print("paper constants: c = 20 ms, n = 34 ms")
+    print()
+    print(measure_fig13())
+    print()
+    for m in measure_path_sweep([1, 2, 3, 4, 6, 8]):
+        print(m)
+    print()
+    print(measure_sip_common())
+    glares = [measure_sip_glare(seed=s) for s in range(8)]
+    mean = statistics.mean(g.measured for g in glares) * 1000.0
+    print("fig14 (SIP, glare)           measured %8.1f ms   formula "
+          "%8.1f ms   (mean of 8 seeds)"
+          % (mean, glares[0].predicted_ms))
+    ours = measure_fig13().measured_ms
+    common = measure_sip_common().measured_ms
+    print()
+    print("comparison: ours %.0f ms | SIP common %.0f ms (x%.1f) | "
+          "SIP glare %.0f ms (x%.1f)"
+          % (ours, common, common / ours, mean, mean / ours))
+    print("paper:      ours 128 ms | SIP common 378 ms (x3.0) | "
+          "SIP glare 3560 ms (x27.8)")
+
+
+if __name__ == "__main__":
+    main()

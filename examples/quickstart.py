@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: a call between two telephones through one application
+server, controlled with the paper's four primitives.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import AUDIO, Network
+from repro.semantics import both_flowing, trace_path
+
+
+def main() -> None:
+    # One simulated deployment: event loop + media plane + router.
+    net = Network(seed=1)
+
+    # Two telephones and one application server.
+    alice = net.device("alice")
+    bob = net.device("bob")
+    server = net.box("server")
+
+    # Signaling channels (two-way, FIFO, reliable).  Media will flow
+    # directly between the phones; only signaling crosses the server.
+    ch_a = net.channel(alice, server)
+    ch_b = net.channel(server, bob)
+
+    # The server's program: one flowlink joining its two slots.
+    server.flow_link(ch_a.end_for(server).slot(),
+                     ch_b.end_for(server).slot())
+
+    # Alice opens an audio channel; the flowlink relays it to Bob.
+    alice.open(ch_a.end_for(alice).slot(), AUDIO)
+    net.settle()
+
+    print("bob is ringing:", bool(bob.ringing()))
+    bob.answer()
+    net.settle()
+
+    # The signaling path through the server satisfies the paper's
+    # bothFlowing condition, and media flows both ways.
+    path = trace_path(ch_a.end_for(server).slot())
+    print("signaling path:", path.describe())
+    print("bothFlowing:", both_flowing(path))
+    print("two-way media:", net.plane.two_way(alice, bob))
+    print("alice hears:", sorted(net.plane.heard_by(alice)))
+
+    # Alice mutes her microphone, then hangs up.
+    alice.modify(ch_a.end_for(alice).slot(), mute_out=True)
+    net.settle()
+    print("after mute, bob hears:", sorted(net.plane.heard_by(bob)))
+
+    alice.close(ch_a.end_for(alice).slot())
+    net.settle()
+    print("after hangup, both silent:",
+          net.plane.silent(alice) and net.plane.silent(bob))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""repro — a full reproduction of *Compositional Control of IP Media*
+(Pamela Zave & Eric Cheung, CoNEXT 2006).
+
+The package provides, in Python:
+
+* the architecture-independent descriptive model (boxes, signaling
+  channels, tunnels, slots, flowlinks, signaling paths);
+* the four media-control programming primitives (``openSlot``,
+  ``closeSlot``, ``holdSlot``, ``flowLink``) and a state-oriented
+  box-program framework;
+* the idempotent/unilateral signaling protocol of Sec. VI;
+* a simulated media plane making end-to-end media flow observable;
+* the formal path semantics of Sec. V with runtime monitoring;
+* a from-scratch explicit-state model checker reproducing the Sec. VIII
+  verification, and a miniature SIP substrate reproducing the Sec. IX-B
+  comparison.
+
+Quickstart::
+
+    from repro import Network, AUDIO
+
+    net = Network()
+    alice = net.device("alice")
+    bob = net.device("bob", auto_accept=True)
+    ch = net.channel(alice, bob)
+    alice.open(ch.initiator_end.slot(), AUDIO)
+    net.settle()
+    assert net.plane.two_way(alice, bob)
+"""
+
+from .core import (Box, CloseSlot, FlowLink, Goal, HoldSlot, Maps, OpenSlot,
+                   Program, State, Timeout, Transition, END,
+                   close_slot, flow_link, hold_slot, open_slot,
+                   on_channel_down, on_meta,
+                   is_closed, is_flowing, is_opened, is_opening)
+from .media import (AnnouncementPlayer, ConferenceBridge, InteractiveVoice,
+                    MediaEndpoint, MediaPlane, MovieServer, Port,
+                    ToneGenerator, UserDevice)
+from .network import (Address, EventLoop, FixedLatency, Network,
+                      QuiescenceError, Router, UniformLatency,
+                      PAPER_C, PAPER_N)
+from .protocol import (AUDIO, NO_MEDIA, TEXT, VIDEO, ChannelEnd, Codec,
+                       ConfigurationError, Descriptor, DescriptorFactory,
+                       MediaControlError, PreconditionError, ProtocolError,
+                       Selector, SignalingAgent, SignalingChannel, Slot,
+                       G711, G726, G729)
+from .semantics import (PathMonitor, SignalingPath, SpecViolation,
+                        all_paths, both_closed, both_flowing, trace_path)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # core
+    "Box", "CloseSlot", "FlowLink", "Goal", "HoldSlot", "Maps", "OpenSlot",
+    "Program", "State", "Timeout", "Transition", "END",
+    "close_slot", "flow_link", "hold_slot", "open_slot",
+    "on_channel_down", "on_meta",
+    "is_closed", "is_flowing", "is_opened", "is_opening",
+    # media
+    "AnnouncementPlayer", "ConferenceBridge", "InteractiveVoice",
+    "MediaEndpoint", "MediaPlane", "MovieServer", "Port", "ToneGenerator",
+    "UserDevice",
+    # network
+    "Address", "EventLoop", "FixedLatency", "Network", "QuiescenceError",
+    "Router", "UniformLatency", "PAPER_C", "PAPER_N",
+    # protocol
+    "AUDIO", "VIDEO", "TEXT", "NO_MEDIA", "ChannelEnd", "Codec",
+    "ConfigurationError", "Descriptor", "DescriptorFactory",
+    "MediaControlError", "PreconditionError", "ProtocolError", "Selector",
+    "SignalingAgent", "SignalingChannel", "Slot", "G711", "G726", "G729",
+    # semantics
+    "PathMonitor", "SignalingPath", "SpecViolation", "all_paths",
+    "both_closed", "both_flowing", "trace_path",
+]

@@ -1,0 +1,112 @@
+"""``python -m repro`` — regenerate the paper's evaluation from the
+command line.
+
+Subcommands::
+
+    python -m repro latency     # Secs. VIII-C / IX-B numbers
+    python -m repro verify      # the 12-model sweep (+ --rich, --two)
+    python -m repro scenario    # Fig. 2 vs Fig. 3 snapshots
+    python -m repro all         # everything above
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+
+
+def run_latency() -> None:
+    from .analysis import (measure_fig13, measure_path_sweep,
+                           measure_sip_common, measure_sip_glare,
+                           measure_unbundled_changes,
+                           measure_sip_bundled_changes)
+    print("== latency (c = 20 ms, n = 34 ms) ==")
+    print(measure_fig13())
+    for m in measure_path_sweep([1, 2, 3, 4, 6, 8]):
+        print(m)
+    print(measure_sip_common())
+    glare = statistics.mean(
+        measure_sip_glare(seed=s).measured for s in range(5)) * 1000.0
+    print("%-28s measured %8.1f ms   formula   3560.0 ms (mean of 5)"
+          % ("fig14 (SIP, glare)", glare))
+    print(measure_unbundled_changes())
+    bundled = statistics.mean(
+        measure_sip_bundled_changes(seed=s).measured
+        for s in range(5)) * 1000.0
+    print("%-28s measured %8.1f ms   (glare-dominated, mean of 5)"
+          % ("SIP: bundled changes", bundled))
+
+
+def run_verify(rich: bool, two: bool) -> None:
+    from .verification import (blowup_table, build_model, format_results,
+                               verify_all, verify_model, PATH_TYPES)
+    print("== verification (Sec. VIII-A) ==")
+    kwargs = dict(phase1_budget=2, modify_budget=2, queue_capacity=8,
+                  max_versions=4, max_states=5_000_000) if rich else {}
+    results = verify_all(**kwargs)
+    print(format_results(results))
+    print("\nflowlink blow-up factors:")
+    for key, f in sorted(blowup_table(results).items()):
+        print("    %-4s memory x%-7.1f time x%.1f"
+              % (key, f["memory_factor"], f["time_factor"]))
+    if two:
+        print("\ntwo-flowlink extension (infeasible for the paper):")
+        for path_type in sorted(PATH_TYPES):
+            r = verify_model(build_model(path_type, flowlinks=2),
+                             max_states=3_000_000)
+            print("    %-12s states=%7d  safety=%s spec=%s"
+                  % (r.key, r.states,
+                     "pass" if r.safety_ok else "FAIL",
+                     "pass" if r.property_ok else "FAIL"))
+
+
+def run_scenario() -> None:
+    from .network.network import Network
+    from .apps.prepaid import ErroneousPrepaidScenario, PrepaidScenario
+    print("== Fig. 2 vs Fig. 3 (see examples/prepaid_card.py for the "
+          "full narration) ==")
+    net = Network(seed=2)
+    bad = ErroneousPrepaidScenario(net)
+    bad.establish_ab_call()
+    bad.snapshot1(); bad.snapshot2(); bad.snapshot3(); bad.snapshot4()
+    print("Fig. 2 anomalies: A hears %s (hijacked+mixed); B->A one-way: %s"
+          % (sorted(net.plane.heard_by(bad.a)),
+             net.plane.flow_exists(bad.b, bad.a)
+             and not net.plane.flow_exists(bad.a, bad.b)))
+    net2 = Network(seed=3)
+    good = PrepaidScenario(net2)
+    good.establish_ab_call()
+    good.card_call_starts()
+    good.run_until_funds_exhausted()
+    good.switch_back_to_b()
+    print("Fig. 3 snapshot 3: C--V two-way: %s; A--B two-way: %s"
+          % (net2.plane.two_way(good.c, good.v),
+             net2.plane.two_way(good.a, good.b)))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Compositional Control of IP Media' "
+                    "(Zave & Cheung, CoNEXT 2006)")
+    parser.add_argument("command", nargs="?", default="all",
+                        choices=("latency", "verify", "scenario", "all"))
+    parser.add_argument("--rich", action="store_true",
+                        help="bigger verification budgets")
+    parser.add_argument("--two", action="store_true",
+                        help="include the two-flowlink extension")
+    args = parser.parse_args(argv)
+    if args.command in ("latency", "all"):
+        run_latency()
+        print()
+    if args.command in ("verify", "all"):
+        run_verify(args.rich, args.two)
+        print()
+    if args.command in ("scenario", "all"):
+        run_scenario()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""Performance analysis: closed forms and simulation drivers
+(Secs. VIII-C and IX-B)."""
+
+from .experiments import (Measurement, measure_fig13, measure_path_sweep,
+                          measure_sip_bundled_changes, measure_sip_common,
+                          measure_sip_glare, measure_unbundled_changes,
+                          run_until)
+from .formulas import (EXPECTED_D, PAPER_FIG13_MS, PAPER_SIP_COMMON_MS,
+                       PAPER_SIP_GLARE_MS, compositional_path_latency,
+                       fig13_latency, sip_common_latency,
+                       sip_glare_latency)
+
+__all__ = [
+    "Measurement", "measure_fig13", "measure_path_sweep",
+    "measure_sip_bundled_changes", "measure_sip_common",
+    "measure_sip_glare", "measure_unbundled_changes", "run_until",
+    "EXPECTED_D", "PAPER_FIG13_MS", "PAPER_SIP_COMMON_MS",
+    "PAPER_SIP_GLARE_MS", "compositional_path_latency", "fig13_latency",
+    "sip_common_latency", "sip_glare_latency",
+]

@@ -1,0 +1,57 @@
+"""Closed-form latency models (Secs. VIII-C and IX-B).
+
+All times in seconds; the paper's example figures use ``c = 20 ms``
+("a typical value") and ``n = 34 ms`` (measured "on a typical carrier
+network with multiple geographic sites").
+"""
+
+from __future__ import annotations
+
+from ..network.latency import PAPER_C, PAPER_N
+
+__all__ = [
+    "compositional_path_latency", "fig13_latency",
+    "sip_glare_latency", "sip_common_latency",
+    "EXPECTED_D", "PAPER_FIG13_MS", "PAPER_SIP_GLARE_MS",
+    "PAPER_SIP_COMMON_MS",
+]
+
+#: Expected value of the SIP glare backoff ``d`` (Sec. IX-B: "a random
+#: variable with expected value 3 seconds").
+EXPECTED_D = 3.0
+
+#: The paper's headline numbers (milliseconds).
+PAPER_FIG13_MS = 128.0
+PAPER_SIP_GLARE_MS = 3560.0
+PAPER_SIP_COMMON_MS = 378.0
+
+
+def compositional_path_latency(p: int, n: float = PAPER_N,
+                               c: float = PAPER_C) -> float:
+    """Sec. VIII-C: "the average signaling delay ... will be
+    ``p·n + (p+1)·c`` where p is the number of hops between the last
+    flowlink and its farther endpoint."""
+    if p < 1:
+        raise ValueError("a path has at least one hop")
+    return p * n + (p + 1) * c
+
+
+def fig13_latency(n: float = PAPER_N, c: float = PAPER_C) -> float:
+    """Sec. VIII-C: "In Figure 13 both endpoints can transmit after an
+    average delay of 2n + 3c" — 128 ms with the paper's constants."""
+    return 2 * n + 3 * c
+
+
+def sip_glare_latency(n: float = PAPER_N, c: float = PAPER_C,
+                      d: float = EXPECTED_D) -> float:
+    """Sec. IX-B: "the latency of this solution is 10n + 11c + d" —
+    3560 ms with the paper's constants."""
+    return 10 * n + 11 * c + d
+
+
+def sip_common_latency(n: float = PAPER_N, c: float = PAPER_C) -> float:
+    """Sec. IX-B, common case (no glare): the comparison "is 378 ms
+    versus 128 ms", i.e. the SIP path costs the extra offer
+    solicitation (2n+2c) and the serialized description exchange
+    (3n+2c) on top of ours: 7n + 7c."""
+    return 7 * n + 7 * c

@@ -1,0 +1,17 @@
+"""Example application servers built on the public API (Sec. IV-B)."""
+
+from .click_to_dial import ClickToDialBox, build_click_to_dial
+from .collab_tv import CollabBox, CollaborativeTV, MOVIE_TUNNELS
+from .conference import ConferenceServer, build_conference
+from .pbx import NaivePBX, PBX
+from .prepaid import (ErroneousPrepaidScenario, NaivePrepaidServer,
+                      PrepaidCardServer, PrepaidScenario)
+
+__all__ = [
+    "ClickToDialBox", "build_click_to_dial",
+    "CollabBox", "CollaborativeTV", "MOVIE_TUNNELS",
+    "ConferenceServer", "build_conference",
+    "NaivePBX", "PBX",
+    "ErroneousPrepaidScenario", "NaivePrepaidServer",
+    "PrepaidCardServer", "PrepaidScenario",
+]

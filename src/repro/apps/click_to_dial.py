@@ -1,0 +1,192 @@
+"""The Click-to-Dial box program of Fig. 6.
+
+"The program takes its initial transition when a user 1, who is browsing
+a Web site, clicks on a 'click-to-dial' link."  The box opens an audio
+channel to user 1's telephone; once user 1 answers it tries the clicked
+address, playing ringback while trying, busy tone if the callee is
+unavailable, and finally flowlinks the two telephones.
+
+The program below is a literal transcription of Fig. 6's five states
+(``oneCall``, ``twoCalls``, ``busyTone``, ``ringback``, ``connected``)
+with the same annotations and transition triggers, expressed in the
+:mod:`repro.core.program` framework.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.box import Box
+from ..core.predicates import is_flowing
+from ..core.program import (END, Program, State, Timeout, Transition,
+                            flow_link, on_channel_down, on_meta, open_slot)
+from ..media.resources import ToneGenerator
+from ..network.network import Network
+from ..protocol.channel import SignalingChannel
+from ..protocol.codecs import AUDIO
+
+__all__ = ["ClickToDialBox", "build_click_to_dial"]
+
+
+def _from_ch2(program: Program, end, signal) -> bool:
+    """Availability reports matter only when they come from channel 2
+    (user 1's own device also reports availability on channel 1)."""
+    box = program.box
+    return box.channel2 is not None and end.channel is box.channel2
+
+
+class ClickToDialBox(Box):
+    """The Click-to-Dial application server.
+
+    The box is configured with user 1's telephone address; ``click``
+    starts the program with the clicked (callee) address.
+    """
+
+    def __init__(self, loop, name: str, cost: float = 0.0,
+                 answer_timeout: float = 30.0):
+        super().__init__(loop, name, cost=cost)
+        self.answer_timeout = answer_timeout
+        self.net: Optional[Network] = None
+        self.caller_address: Optional[str] = None
+        self.tone_address = "tones"
+        self.channel1: Optional[SignalingChannel] = None
+        self.channel2: Optional[SignalingChannel] = None
+        self.channelT: Optional[SignalingChannel] = None
+        self.program: Optional[Program] = None
+
+    # -- configuration ------------------------------------------------------
+    def configure(self, net: Network, caller_address: str,
+                  tone_address: str = "tones") -> None:
+        self.net = net
+        self.caller_address = caller_address
+        self.tone_address = tone_address
+
+    # -- channel actions (the meta-actions of Fig. 6) --------------------------
+    def _create_channel_1(self, program: Program) -> None:
+        assert self.net is not None and self.caller_address is not None
+        self.channel1 = self.net.dial(self, self.caller_address,
+                                      name="%s-ch1" % self.name)
+        self.name_slot("1a", self.channel1.end_for(self).slot())
+
+    def _create_channel_2(self, program: Program) -> None:
+        assert self.net is not None
+        callee = program.data["callee"]
+        self.channel2 = self.net.dial(self, callee,
+                                      name="%s-ch2" % self.name)
+        self.name_slot("2a", self.channel2.end_for(self).slot())
+
+    def _create_channel_t(self, program: Program, tone: str) -> None:
+        assert self.net is not None
+        self.channelT = self.net.dial(self, "%s:%s"
+                                      % (self.tone_address, tone),
+                                      name="%s-chT" % self.name)
+        self.name_slot("Ta", self.channelT.end_for(self).slot())
+
+    def _ringback(self, program: Program) -> None:
+        self._create_channel_t(program, "ringback")
+
+    def _destroy_channel_2(self, program: Program) -> None:
+        if self.channel2 is not None and self.channel2.active:
+            self.channel2.end_for(self).tear_down()
+        self.forget_slot("2a")
+        self.channel2 = None
+
+    def _destroy_channel_t(self, program: Program) -> None:
+        if self.channelT is not None and self.channelT.active:
+            self.channelT.end_for(self).tear_down()
+        self.forget_slot("Ta")
+        self.channelT = None
+
+    def _destroy_everything(self, program: Program) -> None:
+        for channel in (self.channel1, self.channel2, self.channelT):
+            if channel is not None and channel.active:
+                channel.end_for(self).tear_down()
+        self.channel1 = self.channel2 = self.channelT = None
+
+    # -- the program of Fig. 6 ---------------------------------------------------
+    def click(self, callee_address: str) -> Program:
+        """User 1 clicked a click-to-dial link for ``callee_address``."""
+        states = {
+            # Try to reach user 1's own telephone first.
+            "oneCall": State(
+                goals=(open_slot("1a", AUDIO),),
+                transitions=(
+                    Transition(is_flowing("1a"), "twoCalls",
+                               action=self._create_channel_2),
+                    Transition(on_channel_down(), END,
+                               action=self._destroy_everything),
+                ),
+                timeout=Timeout(self.answer_timeout, END,
+                                action=self._destroy_everything),
+            ),
+            # Waiting to hear whether the callee device is available.
+            "twoCalls": State(
+                goals=(open_slot("1a", AUDIO), open_slot("2a", AUDIO)),
+                transitions=(
+                    Transition(on_meta("unavailable", where=_from_ch2),
+                               "busyTone", action=self._unavailable),
+                    Transition(on_meta("available", where=_from_ch2),
+                               "ringback", action=self._ringback),
+                    Transition(is_flowing("2a"), "connected",
+                               action=lambda p: None),
+                    Transition(on_channel_down(), END,
+                               action=self._destroy_everything),
+                ),
+            ),
+            # The callee is busy: play user 1 a busy tone until they
+            # abandon the call (destroying channel 1 ends the program).
+            "busyTone": State(
+                goals=(flow_link("1a", "Ta"),),
+                transitions=(
+                    Transition(on_channel_down(), END,
+                               action=self._destroy_everything),
+                ),
+            ),
+            # Ringback while still trying to open the audio channel to
+            # user 2; note 2a keeps the same openSlot annotation, hence
+            # the same goal object, across twoCalls -> ringback.
+            "ringback": State(
+                goals=(flow_link("1a", "Ta"), open_slot("2a", AUDIO)),
+                transitions=(
+                    Transition(is_flowing("2a"), "connected",
+                               action=self._destroy_channel_t),
+                    Transition(on_channel_down(), END,
+                               action=self._destroy_everything),
+                ),
+            ),
+            # Users 1 and 2 talk; the flowlink "will automatically
+            # reconfigure IP addresses, ports, and codecs".
+            "connected": State(
+                goals=(flow_link("1a", "2a"),),
+                transitions=(
+                    Transition(on_channel_down(), END,
+                               action=self._destroy_everything),
+                ),
+            ),
+        }
+        program = Program(self, states, initial="oneCall",
+                          data={"callee": callee_address})
+        self.program = program
+        self._create_channel_1(program)
+        program.start()
+        return program
+
+    def _unavailable(self, program: Program) -> None:
+        self._destroy_channel_2(program)
+        self._create_channel_t(program, "busy")
+
+
+def build_click_to_dial(net: Network, name: str = "ctd",
+                        caller_address: str = "user1",
+                        tone_address: str = "tones",
+                        **kwargs) -> ClickToDialBox:
+    """Create and configure a Click-to-Dial box plus its tone resource
+    (registered at ``tone_address`` if nothing is there yet)."""
+    box = net.box(name, cls=ClickToDialBox, **kwargs)
+    box.configure(net, caller_address, tone_address)
+    try:
+        net.router.resolve(tone_address)
+    except Exception:
+        net.resource("%s-tones" % name, ToneGenerator, tone="ringback",
+                     address=tone_address)
+    return box

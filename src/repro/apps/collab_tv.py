@@ -1,0 +1,183 @@
+"""Collaborative television (Fig. 8, after Kahmann et al.).
+
+"Endpoint A is a large television in a family room.  C is a laptop in a
+daughter's bedroom.  They are sharing a particular movie ...  This
+signaling channel has five active tunnels controlling five media
+channels.  Because they are all in the same signaling channel, the media
+is all from the same movie at the same time point.  There are video and
+English audio channels for the two video devices, which differ because
+the two devices have different media quality and use different codecs.
+There is also a French audio channel to the headphones of a
+French-speaking friend in the family room (endpoint B)."
+
+The deployment is deliberately distributed and compositional: device C
+reaches the movie through *two* collaboration boxes in series (its own
+and A's), so its signaling path contains two flowlinks.  The
+``leave_and_fast_forward`` scenario reproduces the paper's story: "the
+daughter decides to leave the collaboration and fast-forward to the end
+of the movie.  After this change is completed, the collaboration box of
+C would have its own signaling channel to the movie server ...  There
+would no longer be a signaling channel between the two collaboration
+boxes."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.box import Box
+from ..media.device import UserDevice
+from ..media.resources import MovieServer
+from ..network.network import Network
+from ..protocol.channel import SignalingChannel
+from ..protocol.codecs import AUDIO, VIDEO
+from ..protocol.signals import AppMeta
+from ..protocol.slot import Slot
+
+__all__ = ["CollabBox", "CollaborativeTV"]
+
+#: The five tunnels of the shared movie channel in Fig. 8.
+MOVIE_TUNNELS = ("video-A", "audio-A", "video-C", "audio-C", "audio-fr-B")
+
+
+class CollabBox(Box):
+    """A collaborative-control box.
+
+    It owns (at most) one channel to the movie server — or to an
+    upstream collaboration box — and flowlinks device tunnels onto movie
+    tunnels.  Movie transport controls (pause/play/seek) are mediated by
+    the box that holds the server channel: "The control box for A has
+    control of the movie, so that commands to pause or play the movie
+    are mediated by it, and affect all five media channels."
+    """
+
+    def __init__(self, loop, name: str, cost: float = 0.0):
+        super().__init__(loop, name, cost=cost)
+        self.movie_channel: Optional[SignalingChannel] = None
+
+    def attach_movie_channel(self, channel: SignalingChannel) -> None:
+        self.movie_channel = channel
+
+    def link(self, device_slot: Slot, movie_tunnel: str) -> None:
+        assert self.movie_channel is not None
+        self.flow_link(device_slot,
+                       self.movie_channel.end_for(self).slot(movie_tunnel))
+
+    # transport controls, forwarded on the movie channel
+    def pause(self) -> None:
+        assert self.movie_channel is not None
+        self.movie_channel.end_for(self).send_meta(AppMeta("pause"))
+
+    def play(self) -> None:
+        assert self.movie_channel is not None
+        self.movie_channel.end_for(self).send_meta(AppMeta("play"))
+
+    def seek(self, position: float) -> None:
+        assert self.movie_channel is not None
+        self.movie_channel.end_for(self).send_meta(
+            AppMeta("seek", {"position": position}))
+
+
+class CollaborativeTV:
+    """The full Fig. 8 deployment, plus the leave-collaboration story."""
+
+    def __init__(self, net: Network, title: str = "heidi"):
+        self.net = net
+        self.title = title
+        from ..protocol.codecs import (G711, H263, MPEG4_HD)
+        # Devices: big TV (HD), laptop (lower quality), French friend's
+        # headphones (audio only).
+        self.tv = net.device("TV", auto_accept=True,
+                             codecs={VIDEO: (MPEG4_HD,), AUDIO: (G711,)})
+        self.laptop = net.device("laptop", auto_accept=True,
+                                 codecs={VIDEO: (H263,), AUDIO: (G711,)})
+        self.phones = net.device("headphones", auto_accept=True,
+                                 codecs={AUDIO: (G711,)})
+        self.movie = net.resource("movie-server", MovieServer,
+                                  catalog=(title,))
+        self.box_a = net.box("collab-A", cls=CollabBox)
+        self.box_c = net.box("collab-C", cls=CollabBox)
+
+        # A's box holds the shared movie channel with five tunnels.
+        self.movie_ch = net.channel(self.box_a, self.movie,
+                                    tunnels=MOVIE_TUNNELS,
+                                    target="movie:%s" % title,
+                                    name="movie-shared")
+        self.box_a.attach_movie_channel(self.movie_ch)
+
+        # Device channels.
+        self.tv_ch = net.channel(self.tv, self.box_a,
+                                 tunnels=("video", "audio"), name="tv-A")
+        self.phones_ch = net.channel(self.phones, self.box_a,
+                                     tunnels=("audio-fr",), name="phones-B")
+        self.laptop_ch = net.channel(self.laptop, self.box_c,
+                                     tunnels=("video", "audio"),
+                                     name="laptop-C")
+        # C's box chains through A's box with matching tunnels.
+        self.chain_ch = net.channel(self.box_c, self.box_a,
+                                    tunnels=("video", "audio"),
+                                    name="collab-chain")
+
+        # Flowlinks at A's box.
+        self.box_a.link(self.tv_ch.end_for(self.box_a).slot("video"),
+                        "video-A")
+        self.box_a.link(self.tv_ch.end_for(self.box_a).slot("audio"),
+                        "audio-A")
+        self.box_a.link(self.phones_ch.end_for(self.box_a).slot("audio-fr"),
+                        "audio-fr-B")
+        self.box_a.link(self.chain_ch.end_for(self.box_a).slot("video"),
+                        "video-C")
+        self.box_a.link(self.chain_ch.end_for(self.box_a).slot("audio"),
+                        "audio-C")
+        # Flowlinks at C's box: laptop tunnels onto the chain channel.
+        for tid in ("video", "audio"):
+            self.box_c.flow_link(
+                self.laptop_ch.end_for(self.box_c).slot(tid),
+                self.chain_ch.end_for(self.box_c).slot(tid))
+
+        self.split_ch: Optional[SignalingChannel] = None
+
+    # ------------------------------------------------------------------
+    # watching
+    # ------------------------------------------------------------------
+    def start_watching(self) -> None:
+        """Every device opens its media channels."""
+        self.tv.open(self.tv_ch.end_for(self.tv).slot("video"), VIDEO)
+        self.tv.open(self.tv_ch.end_for(self.tv).slot("audio"), AUDIO)
+        self.phones.open(
+            self.phones_ch.end_for(self.phones).slot("audio-fr"), AUDIO)
+        self.laptop.open(
+            self.laptop_ch.end_for(self.laptop).slot("video"), VIDEO)
+        self.laptop.open(
+            self.laptop_ch.end_for(self.laptop).slot("audio"), AUDIO)
+        self.net.settle()
+
+    def shared_session(self):
+        """The movie session every watcher currently shares."""
+        return self.movie.session_for_end(
+            self.movie_ch.end_for(self.movie))
+
+    # ------------------------------------------------------------------
+    # the leave-and-fast-forward scenario
+    # ------------------------------------------------------------------
+    def leave_and_fast_forward(self, position: float) -> None:
+        """C leaves the collaboration: its box gets its own channel to
+        the movie server (own time pointer), the chain channel between
+        the two collaboration boxes disappears, and C fast-forwards."""
+        # C's box gets its own movie channel.
+        self.split_ch = self.net.channel(
+            self.box_c, self.movie, tunnels=("video-C", "audio-C"),
+            target="movie:%s" % self.title, name="movie-split")
+        self.box_c.attach_movie_channel(self.split_ch)
+        # Relink the laptop tunnels onto the new channel...
+        self.box_c.link(self.laptop_ch.end_for(self.box_c).slot("video"),
+                        "video-C")
+        self.box_c.link(self.laptop_ch.end_for(self.box_c).slot("audio"),
+                        "audio-C")
+        # ...and destroy the chain between the collaboration boxes.
+        self.chain_ch.end_for(self.box_c).tear_down()
+        self.net.settle()
+        # C now controls its own view of the movie.
+        self.box_c.seek(position)
+        self.net.settle()

@@ -1,0 +1,162 @@
+"""The audio-conference application of Fig. 7.
+
+"During the conference the conference server flowlinks the tunnel for
+each user device to a tunnel leading to the bridge.  Each tunnel
+corresponds to a two-way audio channel.  In the direction toward the
+bridge, an audio channel carries the voice of a single user.  In the
+direction away from the bridge, an audio channel carries the mixed
+voices of all the users except the user the channel goes to."
+
+Partial muting (Sec. IV-B) "can be achieved easily by the conference
+bridge ... The application server simply connects all the user devices
+to a media server (conference bridge), and uses standardized
+meta-signals to tell the media server how to mix them."  Full muting is
+the primitives' job: "The conference server can accomplish this by
+temporarily replacing a flowlink by two holdslots."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..core.box import Box
+from ..media.resources import ConferenceBridge
+from ..network.network import Network
+from ..protocol.channel import ChannelEnd, SignalingChannel
+from ..protocol.codecs import AUDIO
+from ..protocol.signals import AppMeta, ChannelUp, MetaSignal
+from ..protocol.slot import Slot
+
+__all__ = ["ConferenceServer", "build_conference"]
+
+
+class ConferenceServer(Box):
+    """The application server of Fig. 7.
+
+    Users join by dialing the conference address (their ``open`` is
+    relayed to the bridge by a flowlink) or by being invited (the server
+    rings them first, then links them in when they answer).
+    """
+
+    def __init__(self, loop, name: str, cost: float = 0.0):
+        super().__init__(loop, name, cost=cost)
+        self.net: Optional[Network] = None
+        self.bridge: Optional[ConferenceBridge] = None
+        #: user key -> (user-facing slot, bridge-facing slot)
+        self.legs: Dict[str, Tuple[Slot, Slot]] = {}
+        #: user keys invited but not yet answered.
+        self.pending_invites: Dict[Slot, str] = {}
+
+    def configure(self, net: Network, bridge: ConferenceBridge) -> None:
+        self.net = net
+        self.bridge = bridge
+
+    # ------------------------------------------------------------------
+    # joining and leaving
+    # ------------------------------------------------------------------
+    def _bridge_leg(self, key: str) -> Slot:
+        """A fresh channel to the bridge for one user, keyed so the
+        bridge's mix policy can name the party."""
+        assert self.net is not None and self.bridge is not None
+        channel = self.net.channel(self, self.bridge,
+                                   target="user:%s" % key,
+                                   name="%s-bridge-%s" % (self.name, key))
+        return channel.end_for(self).slot()
+
+    def admit(self, channel: SignalingChannel, key: str) -> None:
+        """Link an incoming user channel straight into the conference;
+        the user's own ``open`` pulls the bridge leg up."""
+        user_slot = channel.end_for(self).slot()
+        bridge_slot = self._bridge_leg(key)
+        self.legs[key] = (user_slot, bridge_slot)
+        self.flow_link(user_slot, bridge_slot)
+
+    def invite(self, address: str, key: Optional[str] = None) -> None:
+        """Ring ``address``; when the user answers, link them in."""
+        assert self.net is not None
+        key = key or address
+        channel = self.net.dial(self, address,
+                                name="%s-user-%s" % (self.name, key))
+        user_slot = channel.end_for(self).slot()
+        self.pending_invites[user_slot] = key
+        self.open_slot(user_slot, AUDIO)
+
+    def on_tunnel_signal(self, slot: Slot, signal) -> None:
+        super().on_tunnel_signal(slot, signal)
+        # Promote an answered invite to a full conference leg.
+        key = self.pending_invites.get(slot)
+        if key is not None and slot.is_flowing:
+            del self.pending_invites[slot]
+            bridge_slot = self._bridge_leg(key)
+            self.legs[key] = (slot, bridge_slot)
+            self.flow_link(slot, bridge_slot)
+
+    def on_meta_signal(self, end: ChannelEnd, signal: MetaSignal) -> None:
+        if isinstance(signal, ChannelUp) and \
+                signal.target.startswith("conf"):
+            key = "guest-%d" % (len(self.legs) + 1)
+            self.admit(end.channel, key)
+
+    def remove(self, key: str) -> None:
+        """Drop a user: both channels of the leg are destroyed."""
+        user_slot, bridge_slot = self.legs.pop(key)
+        user_slot.channel_end.tear_down()
+        bridge_slot.channel_end.tear_down()
+
+    # ------------------------------------------------------------------
+    # muting (Sec. IV-B)
+    # ------------------------------------------------------------------
+    def fully_mute(self, key: str) -> None:
+        """Full muting: 'temporarily replacing a flowlink by two
+        holdslots'."""
+        user_slot, bridge_slot = self.legs[key]
+        self.hold_slot(user_slot)
+        self.hold_slot(bridge_slot)
+
+    def unmute(self, key: str) -> None:
+        """Restore the leg's flowlink after full muting."""
+        user_slot, bridge_slot = self.legs[key]
+        self.flow_link(user_slot, bridge_slot)
+
+    def _send_mix(self, speaker: str, listener: str, mode: str) -> None:
+        """Drive the bridge's mix matrix with the standardized
+        meta-signal, through the bridge leg of the speaker."""
+        __, bridge_slot = self.legs[speaker]
+        bridge_slot.channel_end.send_meta(AppMeta("set-mix", {
+            "speaker": "user:%s" % speaker,
+            "listener": "user:%s" % listener,
+            "mode": mode}))
+
+    def business_mute(self, key: str, muted: bool = True) -> None:
+        """Mute a nonspeaking participant's input so background noise
+        does not degrade the meeting; they still hear everything."""
+        mode = "blocked" if muted else "normal"
+        for other in self.legs:
+            if other != key:
+                self._send_mix(key, other, mode)
+
+    def emergency_isolate(self, caller: str) -> None:
+        """IP-based emergency services: the caller keeps being heard,
+        but cannot hear what the responders are saying."""
+        for other in self.legs:
+            if other != caller:
+                self._send_mix(other, caller, "blocked")
+
+    def training_mode(self, agent: str, customer: str,
+                      supervisor: str) -> None:
+        """A/B/C training: agent and customer hear each other, the
+        supervisor hears both, the customer cannot hear the supervisor,
+        and the agent hears the supervisor as a whisper."""
+        self._send_mix(supervisor, customer, "blocked")
+        self._send_mix(supervisor, agent, "whisper")
+
+
+def build_conference(net: Network, name: str = "conf",
+                     **kwargs) -> ConferenceServer:
+    """Create a conference server plus its bridge, routed at ``conf:``
+    addresses."""
+    server = net.box(name, cls=ConferenceServer, **kwargs)
+    bridge = net.resource("%s-bridge" % name, ConferenceBridge)
+    server.configure(net, bridge)
+    net.router.register("conf", server)
+    return server

@@ -1,0 +1,163 @@
+"""DFC-style feature boxes (Secs. I and II-B).
+
+"The value of modularity in developing media services has been
+demonstrated by the success of the Distributed Feature Composition
+(DFC) architecture ...  a feature is implemented as an independent,
+concurrent module in a signaling pipeline.  Because of this
+independence, each feature can be simple and comprehensible, and
+features are easy to add or change."
+
+This module shows the primitives carrying that style: each feature is a
+small box that can be dropped into a signaling path without knowledge
+of its neighbours.  Composing them (e.g. do-not-disturb at the callee
+in front of voicemail, behind a transparent forwarding feature at the
+caller) exercises exactly the multi-server coordination the paper's
+protocol exists for.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.box import Box
+from ..media.resources import AnnouncementPlayer
+from ..network.network import Network
+from ..protocol.channel import ChannelEnd, SignalingChannel
+from ..protocol.codecs import AUDIO
+from ..protocol.signals import ChannelUp, MetaSignal
+from ..protocol.slot import Slot
+
+__all__ = ["TransparentFeature", "DoNotDisturb", "CallForwarding",
+           "VoicemailFeature"]
+
+
+class TransparentFeature(Box):
+    """A feature box currently doing nothing: one flowlink straight
+    through.  The base for features that activate on demand — and the
+    proof of the piecewise-protocol principle (Sec. X-A): with the
+    feature idle, "there is no externally observable difference between
+    a tunnel and two tunnels connected by a module acting
+    transparently"."""
+
+    def __init__(self, loop, name: str, cost: float = 0.0):
+        super().__init__(loop, name, cost=cost)
+        self.upstream: Optional[Slot] = None
+        self.downstream: Optional[Slot] = None
+
+    def splice(self, upstream: SignalingChannel,
+               downstream: SignalingChannel) -> None:
+        """Insert this feature between two channels."""
+        self.upstream = upstream.end_for(self).slot()
+        self.downstream = downstream.end_for(self).slot()
+        self.pass_through()
+
+    def pass_through(self) -> None:
+        """Behave transparently."""
+        assert self.upstream is not None and self.downstream is not None
+        self.flow_link(self.upstream, self.downstream)
+
+
+class DoNotDisturb(TransparentFeature):
+    """Callee-side feature: while engaged, reject all incoming media
+    channels (a closeslot toward the caller side); otherwise
+    transparent."""
+
+    def __init__(self, loop, name: str, cost: float = 0.0):
+        super().__init__(loop, name, cost=cost)
+        self.engaged = False
+
+    def engage(self) -> None:
+        self.engaged = True
+        assert self.upstream is not None and self.downstream is not None
+        # upstream = toward callers; downstream = toward the protected
+        # user.  Reject callers, hold the user's side.
+        self.close_slot(self.upstream)
+        self.hold_slot(self.downstream)
+
+    def disengage(self) -> None:
+        self.engaged = False
+        self.pass_through()
+
+
+class CallForwarding(TransparentFeature):
+    """Callee-side feature: when engaged, media channels are diverted
+    to another address (a fresh channel is dialed and linked in)."""
+
+    def __init__(self, loop, name: str, cost: float = 0.0):
+        super().__init__(loop, name, cost=cost)
+        self.net: Optional[Network] = None
+        self.forward_to: Optional[str] = None
+        self.diverted: Optional[SignalingChannel] = None
+
+    def configure(self, net: Network, forward_to: str) -> None:
+        self.net = net
+        self.forward_to = forward_to
+
+    def engage(self) -> None:
+        """Divert: callers now reach ``forward_to``."""
+        assert self.net is not None and self.forward_to is not None
+        assert self.upstream is not None and self.downstream is not None
+        self.diverted = self.net.dial(self, self.forward_to,
+                                      name="%s-fwd" % self.name)
+        target_slot = self.diverted.end_for(self).slot()
+        self.hold_slot(self.downstream)
+        self.flow_link(self.upstream, target_slot)
+
+    def disengage(self) -> None:
+        if self.diverted is not None and self.diverted.active:
+            self.diverted.end_for(self).tear_down()
+        self.diverted = None
+        self.pass_through()
+
+
+class VoicemailFeature(TransparentFeature):
+    """Callee-side feature providing 'a persistent network presence ...
+    for handheld devices' (Sec. I): if the user does not answer within
+    ``answer_timeout``, the caller is diverted to a greeting resource.
+
+    The greeting is an :class:`AnnouncementPlayer`; when it finishes,
+    the whole call is released.
+    """
+
+    def __init__(self, loop, name: str, cost: float = 0.0,
+                 answer_timeout: float = 10.0):
+        super().__init__(loop, name, cost=cost)
+        self.net: Optional[Network] = None
+        self.greeting_address: Optional[str] = None
+        self.answer_timeout = answer_timeout
+        self.greeting_channel: Optional[SignalingChannel] = None
+        self._timer = None
+        self.took_message = False
+
+    def configure(self, net: Network, greeting_address: str) -> None:
+        self.net = net
+        self.greeting_address = greeting_address
+
+    def pass_through(self) -> None:
+        super().pass_through()
+        # Arm the no-answer timer whenever a call could be ringing.
+        if self._timer is not None:
+            self._timer.cancel()
+        self._timer = self.node.set_timer(self.answer_timeout,
+                                          self._maybe_divert)
+
+    def _maybe_divert(self) -> None:
+        self._timer = None
+        assert self.upstream is not None and self.downstream is not None
+        if self.downstream.is_flowing:
+            return  # the user answered in time
+        if not self.upstream.is_live:
+            return  # nobody is calling
+        assert self.net is not None and self.greeting_address is not None
+        self.took_message = True
+        self.greeting_channel = self.net.dial(
+            self, self.greeting_address, name="%s-vm" % self.name)
+        vm_slot = self.greeting_channel.end_for(self).slot()
+        self.hold_slot(self.downstream)
+        self.flow_link(self.upstream, vm_slot)
+
+    def on_meta_signal(self, end: ChannelEnd, signal: MetaSignal) -> None:
+        # The announcement player reports completion; release the call.
+        if getattr(signal, "name", None) == "announcement-done":
+            if self.upstream is not None and self.upstream.is_live:
+                self.close_slot(self.upstream)

@@ -1,0 +1,213 @@
+"""A PBX application server with call switching (Figs. 2 and 3).
+
+"Endpoint A is a telephone in an office with an IP PBX.  Because of
+this, A has a permanent signaling channel to the PBX, and all signaling
+channels connecting A to other telephones radiate from the PBX.  Among
+other features, the PBX allows A to switch between multiple outside
+calls."
+
+Two implementations are provided:
+
+* :class:`PBX` — the *correct* server of Fig. 3, programmed with the
+  goal primitives: the line slot is flowlinked to the active call and
+  every other call is held.
+
+* :class:`NaivePBX` — the *erroneous* server of Fig. 2: it forwards all
+  media signals that it receives, "acting as if media signals concern
+  media endpoints only", and issues its own raw signals when switching.
+  It exists to reproduce the failure snapshots of Sec. II-A.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.box import Box
+from ..protocol.channel import ChannelEnd, SignalingChannel
+from ..protocol.descriptor import Descriptor
+from ..protocol.errors import ConfigurationError
+from ..protocol.signals import (ChannelUp, Describe, MetaSignal, Oack, Open,
+                                Select, TunnelSignal)
+from ..protocol.slot import Slot
+
+__all__ = ["PBX", "NaivePBX"]
+
+
+class PBX(Box):
+    """The correctly-programmed PBX of Fig. 3.
+
+    One *line* channel connects the PBX to its telephone; any number of
+    *call* channels connect it to the outside.  ``switch_to(key)``
+    flowlinks the line to that call and holds every other call — the
+    annotation pattern ``flowLink(line, call_k)`` + ``holdSlot(call_j)``.
+    """
+
+    def __init__(self, loop, name: str, cost: float = 0.0):
+        super().__init__(loop, name, cost=cost)
+        self.line_slot: Optional[Slot] = None
+        self.call_slots: Dict[str, Slot] = {}
+        self.active: Optional[str] = None
+        self._next_call = 0
+
+    # -- wiring -------------------------------------------------------------
+    def attach_line(self, channel: SignalingChannel) -> Slot:
+        """Declare ``channel`` as the permanent channel to the phone."""
+        self.line_slot = channel.end_for(self).slot()
+        self.name_slot("line", self.line_slot)
+        # Until a call is switched in, the line is held: the phone may
+        # open toward us and will be accepted (muted).
+        self.hold_slot(self.line_slot)
+        return self.line_slot
+
+    def add_call(self, channel: SignalingChannel,
+                 key: Optional[str] = None) -> str:
+        """Register an outside call channel (placed or received)."""
+        if key is None:
+            self._next_call += 1
+            key = "call-%d" % self._next_call
+        slot = channel.end_for(self).slot()
+        self.call_slots[key] = slot
+        self.name_slot(key, slot)
+        # Unswitched calls are held: the far server's open is accepted
+        # but muted until the user switches to it.
+        self.hold_slot(slot)
+        return key
+
+    # -- the switching feature ------------------------------------------------
+    def switch_to(self, key: str) -> None:
+        """Connect the phone to call ``key``; hold everything else."""
+        if self.line_slot is None:
+            raise ConfigurationError("PBX %s has no line channel"
+                                     % self.name)
+        if key not in self.call_slots:
+            raise ConfigurationError("PBX %s has no call %r" %
+                                     (self.name, key))
+        for other, slot in self.call_slots.items():
+            if other != key:
+                self.hold_slot(slot)
+        self.flow_link(self.line_slot, self.call_slots[key])
+        self.active = key
+
+    def hold_all(self) -> None:
+        """Put every call (and the line) on hold."""
+        for slot in self.call_slots.values():
+            self.hold_slot(slot)
+        if self.line_slot is not None:
+            self.hold_slot(self.line_slot)
+        self.active = None
+
+    def drop_call(self, key: str) -> None:
+        """Tear down an outside call entirely."""
+        slot = self.call_slots.pop(key)
+        end = slot.channel_end
+        if self.active == key:
+            self.active = None
+            if self.line_slot is not None:
+                self.hold_slot(self.line_slot)
+        end.tear_down()
+
+    # -- incoming channels -------------------------------------------------------
+    def on_meta_signal(self, end: ChannelEnd, signal: MetaSignal) -> None:
+        if isinstance(signal, ChannelUp):
+            # A new outside call arrived (e.g. from a prepaid-card
+            # server).  Register and hold it; the user switches later.
+            slot = end.slot()
+            if slot is self.line_slot or slot in self.call_slots.values():
+                return  # already wired explicitly
+            self.add_call(end.channel)
+
+
+class NaivePBX(Box):
+    """The uncoordinated PBX of Fig. 2.
+
+    It keeps a record of descriptors seen (as real servers do,
+    Sec. VI-C), forwards every media signal it receives "untouched
+    toward the far endpoint", and implements switching by writing raw
+    ``describe`` signals — with no idea that another server might be
+    doing the same.  Channels carrying it must be created with
+    ``strict=False``.
+    """
+
+    def __init__(self, loop, name: str, cost: float = 0.0):
+        super().__init__(loop, name, cost=cost)
+        self.line_slot: Optional[Slot] = None
+        self.call_slots: Dict[str, Slot] = {}
+        self.active: Optional[str] = None
+        #: Last descriptor observed per slot (recorded in passing).
+        self.seen_descriptors: Dict[Slot, Descriptor] = {}
+
+    # -- wiring ---------------------------------------------------------------
+    def attach_line(self, channel: SignalingChannel) -> Slot:
+        self.line_slot = channel.end_for(self).slot()
+        return self.line_slot
+
+    def add_call(self, channel: SignalingChannel, key: str) -> Slot:
+        slot = channel.end_for(self).slot()
+        self.call_slots[key] = slot
+        return slot
+
+    # -- raw signaling (no goal objects, no coordination) -------------------------
+    @staticmethod
+    def raw(slot: Slot, signal: TunnelSignal) -> None:
+        """Send a signal without consulting the slot state machine —
+        exactly what a server unaware of composition does."""
+        slot.channel_end.send_tunnel(slot.tunnel_id, signal)
+
+    def _record(self, slot: Slot, signal: TunnelSignal) -> None:
+        descriptor = getattr(signal, "descriptor", None)
+        if descriptor is not None:
+            self.seen_descriptors[slot] = descriptor
+
+    def descriptor_of(self, slot: Slot) -> Descriptor:
+        return self.seen_descriptors[slot]
+
+    # -- naive forwarding ----------------------------------------------------------
+    def on_tunnel_signal(self, slot: Slot, signal: TunnelSignal) -> None:
+        self._record(slot, signal)
+        target = self._forward_target(slot)
+        if target is not None:
+            self.raw(target, signal)
+
+    def _forward_target(self, slot: Slot) -> Optional[Slot]:
+        """Media signals from a call go to the line; signals from the
+        line go to whatever call the PBX believes is active."""
+        if slot is self.line_slot and self.active is not None:
+            return self.call_slots.get(self.active)
+        if slot in self.call_slots.values():
+            return self.line_slot
+        return None
+
+    # -- the (uncoordinated) switching feature ------------------------------------------
+    def answer_call(self, key: str) -> None:
+        """Naively accept an incoming call's open on behalf of A."""
+        slot = self.call_slots[key]
+        line_desc = self.seen_descriptors.get(self.line_slot)
+        if line_desc is not None:
+            self.raw(slot, Oack(line_desc))
+
+    def switch_to(self, key: str) -> None:
+        """Fig. 2 switching: three raw signals, no coordination.
+
+        A ``describe`` with the new peer's descriptor to the line, a
+        ``describe`` with the line's descriptor toward the new peer, and
+        a ``describe(noMedia)`` toward the old peer.
+        """
+        from ..protocol.codecs import NO_MEDIA  # local: rarely used
+        old = self.active
+        new_slot = self.call_slots[key]
+        line_desc = self.seen_descriptors.get(self.line_slot)
+        peer_desc = self.seen_descriptors.get(new_slot)
+        if old is not None and old != key:
+            old_slot = self.call_slots[old]
+            self.raw(old_slot, Describe(self._no_media()))
+        if peer_desc is not None:
+            self.raw(self.line_slot, Describe(peer_desc))
+        if line_desc is not None:
+            self.raw(new_slot, Describe(line_desc))
+        self.active = key
+
+    def _no_media(self) -> Descriptor:
+        return self._descriptors.no_media()
+
+    def on_meta_signal(self, end: ChannelEnd, signal: MetaSignal) -> None:
+        pass  # the naive PBX reacts to nothing it does not understand

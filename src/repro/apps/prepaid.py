@@ -1,0 +1,326 @@
+"""The prepaid-card service of Figs. 2, 3, and 13.
+
+"PC is an application server implementing a prepaid-card feature.  V is
+a media resource providing a user interface for PC by means of audio
+signaling."
+
+:class:`PrepaidCardServer` is the *correct* server: its program is the
+two-state machine of Sec. IV-B — "In Snapshots 1 and 4, the program is
+in a state annotated ``flowLink(c,a), holdSlot(v)`` ...  A timeout event
+(expiration of the prepaid talk time) causes a transition to the PC
+state of Snapshots 2 and 3, which is annotated ``flowLink(c,v),
+holdSlot(a)``.  A signal from V that the user has paid causes a
+transition from this state to the other one."
+
+:class:`PrepaidScenario` wires the full Fig. 3 deployment (A, B, C, V,
+PBX, PC) with correct servers; :class:`ErroneousPrepaidScenario` wires
+the same deployment with the naive servers of Fig. 2 and scripts its
+four snapshots, making the failures observable on the media plane.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.box import Box
+from ..core.program import (Program, State, Timeout, Transition, flow_link,
+                            hold_slot, on_meta)
+from ..media.device import UserDevice
+from ..media.resources import InteractiveVoice
+from ..network.network import Network
+from ..protocol.channel import ChannelEnd, SignalingChannel
+from ..protocol.codecs import AUDIO
+from ..protocol.descriptor import Descriptor
+from ..protocol.signals import (Describe, MetaSignal, Oack, Open,
+                                TunnelSignal)
+from ..protocol.slot import Slot
+from .pbx import NaivePBX, PBX
+
+__all__ = ["PrepaidCardServer", "PrepaidScenario",
+           "NaivePrepaidServer", "ErroneousPrepaidScenario"]
+
+
+class PrepaidCardServer(Box):
+    """The correctly-programmed prepaid-card server PC (Fig. 3)."""
+
+    def __init__(self, loop, name: str, talk_seconds: float = 30.0,
+                 cost: float = 0.0):
+        super().__init__(loop, name, cost=cost)
+        self.talk_seconds = talk_seconds
+
+    def wire(self, caller_slot: Slot, callee_slot: Slot,
+             ivr_slot: Slot) -> Program:
+        """Bind the three slots (c = caller, a = toward callee path,
+        v = interactive voice) and build the two-state program."""
+        self.name_slot("c", caller_slot)
+        self.name_slot("a", callee_slot)
+        self.name_slot("v", ivr_slot)
+        states = {
+            "talking": State(
+                goals=(flow_link("c", "a"), hold_slot("v")),
+                timeout=Timeout(self.talk_seconds, "collect"),
+            ),
+            "collect": State(
+                goals=(flow_link("c", "v"), hold_slot("a")),
+                transitions=(
+                    Transition(on_meta("app", "user-paid"), "talking"),
+                ),
+            ),
+        }
+        return Program(self, states, initial="talking")
+
+
+class PrepaidScenario:
+    """The full, correct Fig. 3 deployment.
+
+    Parties: telephone ``A`` behind a :class:`~repro.apps.pbx.PBX`;
+    telephone ``B`` already in a call with A; telephone ``C`` calling A
+    through the prepaid-card server ``PC``; interactive-voice resource
+    ``V`` serving PC.
+    """
+
+    def __init__(self, net: Network, talk_seconds: float = 30.0,
+                 verify_delay: float = 2.0):
+        self.net = net
+        self.a = net.device("A")
+        self.b = net.device("B", auto_accept=True)
+        self.c = net.device("C")
+        self.v = net.resource("V", InteractiveVoice,
+                              verify_delay=verify_delay)
+        self.pbx = net.box("pbx", cls=PBX)
+        net.router.register("A", self.pbx)
+        self.pc = net.box("pc", cls=PrepaidCardServer,
+                          talk_seconds=talk_seconds)
+
+        # Permanent line channel A -- PBX.
+        self.line = net.channel(self.a, self.pbx, name="line-A")
+        self.pbx.attach_line(self.line)
+        # B's existing call to A.
+        self.call_b = net.channel(self.b, self.pbx, name="call-B")
+        self.key_b = self.pbx.add_call(self.call_b, key="B")
+        # C's channel to the prepaid server.
+        self.ch_c = net.channel(self.c, self.pc, name="C-PC")
+        # PC's channel toward A (routed through the PBX) and to V.
+        self.ch_a = net.dial(self.pc, "A", name="PC-PBX")
+        self.ch_v = net.channel(self.pc, self.v, name="PC-V")
+        self.key_pc: Optional[str] = None
+        self.program: Optional[Program] = None
+
+    # -- driving the story -------------------------------------------------
+    #
+    # The PC program cycles forever by design (talk timer -> collect ->
+    # payment -> talk timer ...), so the scenario advances simulated
+    # time only as far as each snapshot requires instead of running to
+    # quiescence.
+    def _drain(self, dt: float = 0.01) -> None:
+        """Let in-flight signaling converge without firing long timers."""
+        self.net.run(dt)
+
+    def establish_ab_call(self) -> None:
+        """A and B get talking (the pre-history of Snapshot 1)."""
+        self.b.open(self.call_b.end_for(self.b).slot(), AUDIO)
+        self.a.open(self.line.end_for(self.a).slot(), AUDIO)
+        self.pbx.switch_to(self.key_b)
+        self._drain()
+
+    def card_call_starts(self) -> None:
+        """C dials through PC toward A; PC's program starts in
+        ``talking``; A switches to the new call (Snapshot 1)."""
+        self.program = self.pc.wire(
+            caller_slot=self.ch_c.end_for(self.pc).slot(),
+            callee_slot=self.ch_a.end_for(self.pc).slot(),
+            ivr_slot=self.ch_v.end_for(self.pc).slot())
+        self.c.open(self.ch_c.end_for(self.c).slot(), AUDIO)
+        self.program.start()
+        self._drain()
+        # The PBX registered PC's incoming channel as a call.
+        self.key_pc = [k for k in self.pbx.call_slots if k != self.key_b][0]
+        self.pbx.switch_to(self.key_pc)
+        self._drain()
+
+    def run_until_funds_exhausted(self) -> None:
+        """Let the prepaid talk timer expire (Snapshot 2)."""
+        self.net.run(self.pc.talk_seconds + 0.001)
+        self._drain()
+
+    def switch_back_to_b(self) -> None:
+        """A uses the PBX to return to B (Snapshot 3)."""
+        self.pbx.switch_to(self.key_b)
+        self._drain()
+
+    def run_until_paid(self) -> None:
+        """V completes verification; PC relinks C toward A
+        (Snapshot 4)."""
+        self.net.run(self.v.verify_delay + 0.001)
+        self._drain()
+
+    def switch_to_card_call(self) -> None:
+        """A switches to the prepaid call (A's consent — contrast with
+        Fig. 2, where PC forced the switch)."""
+        assert self.key_pc is not None
+        self.pbx.switch_to(self.key_pc)
+        self._drain()
+
+
+class NaivePrepaidServer(Box):
+    """The uncoordinated prepaid server of Fig. 2.
+
+    Like :class:`~repro.apps.pbx.NaivePBX` it records descriptors in
+    passing, forwards media signals blindly (signals from the callee
+    side always go to the caller; signals from the caller go to the
+    current patch target), and implements its feature transitions by
+    writing raw ``describe`` signals.
+    """
+
+    def __init__(self, loop, name: str, cost: float = 0.0):
+        super().__init__(loop, name, cost=cost)
+        self.c_slot: Optional[Slot] = None
+        self.a_slot: Optional[Slot] = None
+        self.v_slot: Optional[Slot] = None
+        #: Where signals from the caller C are forwarded: "v" or "a".
+        self.patch = "v"
+        self.seen_descriptors: Dict[Slot, Descriptor] = {}
+        #: Last *real* (non-noMedia) descriptor per slot — the identity
+        #: of the endpoint behind it, remembered even after later hold
+        #: (noMedia) describes pass through (Sec. VI-C: the server "has
+        #: these descriptors available because it has recorded them as
+        #: they passed through in previous signals").
+        self.real_descriptors: Dict[Slot, Descriptor] = {}
+
+    raw = staticmethod(NaivePBX.raw)
+
+    def descriptor_of(self, slot: Slot) -> Descriptor:
+        return self.real_descriptors[slot]
+
+    def on_tunnel_signal(self, slot: Slot, signal: TunnelSignal) -> None:
+        descriptor = getattr(signal, "descriptor", None)
+        if descriptor is not None:
+            self.seen_descriptors[slot] = descriptor
+            if not descriptor.is_no_media:
+                self.real_descriptors[slot] = descriptor
+        target = self._forward_target(slot)
+        if target is not None:
+            self.raw(target, signal)
+
+    def _forward_target(self, slot: Slot) -> Optional[Slot]:
+        if slot is self.a_slot:
+            return self.c_slot           # far side always reaches C
+        if slot is self.c_slot:
+            return self.v_slot if self.patch == "v" else self.a_slot
+        return None                      # V terminates at PC
+
+    def on_meta_signal(self, end: ChannelEnd, signal: MetaSignal) -> None:
+        pass
+
+    # -- feature actions (raw, uncoordinated) --------------------------------
+    def begin_card_entry(self) -> None:
+        """Connect the caller to V for card-number entry.
+
+        The caller's ``open`` was already forwarded to V when it arrived
+        (the default patch is "v"); this transition only fixes the patch
+        so the V leg keeps carrying the dialogue.
+        """
+        assert self.real_descriptors.get(self.c_slot) is not None
+        self.patch = "v"
+
+    def place_call(self) -> None:
+        """Open toward the callee and patch the caller to it."""
+        desc_c = self.real_descriptors[self.c_slot]
+        self.raw(self.v_slot, Describe(self._descriptors.no_media()))
+        self.raw(self.a_slot, Open(AUDIO, desc_c))
+        self.patch = "a"
+
+    def funds_exhausted(self) -> None:
+        """Snapshot 2: 'a signal to A telling it to stop sending media
+        ... a signal to C telling it to send media to the resource V,
+        and a signal to V telling it to send media to C'."""
+        self.raw(self.a_slot, Describe(self._descriptors.no_media()))
+        self.raw(self.c_slot, Describe(self.real_descriptors[self.v_slot]))
+        self.raw(self.v_slot, Describe(self.real_descriptors[self.c_slot]))
+        self.patch = "v"
+
+    def payment_verified(self) -> None:
+        """Snapshot 4: 'PC sends a signal to A telling it to send to C,
+        a signal to C telling it to send to A, and a signal to V telling
+        it to stop sending media'."""
+        self.raw(self.a_slot, Describe(self.real_descriptors[self.c_slot]))
+        self.raw(self.c_slot, Describe(self.real_descriptors[self.a_slot]))
+        self.raw(self.v_slot, Describe(self._descriptors.no_media()))
+        self.patch = "a"
+
+
+class ErroneousPrepaidScenario:
+    """The Fig. 2 deployment: same parties, uncoordinated servers.
+
+    Channels are created lenient (``strict=False``) because the naive
+    servers knowingly violate per-tunnel protocol state.  The four
+    ``snapshot*`` methods reproduce the paper's four snapshots; the
+    failures are then visible on the media plane:
+
+    * after Snapshot 3, V has lost its audio input from C (one-way
+      media);
+    * after Snapshot 4, A has been switched to C without its user's
+      action, and B transmits into the void.
+    """
+
+    def __init__(self, net: Network, verify_delay: float = 2.0):
+        self.net = net
+        self.a = net.device("A")
+        self.b = net.device("B", auto_accept=True)
+        self.c = net.device("C")
+        self.v = net.resource("V", InteractiveVoice,
+                              verify_delay=verify_delay)
+        self.pbx = net.box("pbx", cls=NaivePBX)
+        self.pc = net.box("pc", cls=NaivePrepaidServer)
+
+        self.line = net.channel(self.a, self.pbx, name="line-A",
+                                strict=False)
+        self.pbx.attach_line(self.line)
+        self.call_b = net.channel(self.b, self.pbx, name="call-B",
+                                  strict=False)
+        self.pbx.add_call(self.call_b, "B")
+        self.ch_c = net.channel(self.c, self.pc, name="C-PC", strict=False)
+        self.ch_a = net.channel(self.pc, self.pbx, name="PC-PBX",
+                                strict=False)
+        self.pbx.add_call(self.ch_a, "PC")
+        self.ch_v = net.channel(self.pc, self.v, name="PC-V", strict=False)
+        self.pc.c_slot = self.ch_c.end_for(self.pc).slot()
+        self.pc.a_slot = self.ch_a.end_for(self.pc).slot()
+        self.pc.v_slot = self.ch_v.end_for(self.pc).slot()
+
+    def establish_ab_call(self) -> None:
+        """Pre-history: A and B talking through the naive PBX."""
+        self.pbx.active = "B"
+        self.b.open(self.call_b.end_for(self.b).slot(), AUDIO)
+        self.net.settle()
+        self.a.answer()  # A's phone rang with B's forwarded open
+        self.net.settle()
+
+    def snapshot1(self) -> None:
+        """C calls A on the prepaid card; A switches to C."""
+        self.c.open(self.ch_c.end_for(self.c).slot(), AUDIO)
+        self.net.settle()
+        self.pc.begin_card_entry()
+        self.net.settle()
+        self.pc.place_call()
+        self.net.settle()
+        self.pbx.answer_call("PC")
+        self.pbx.switch_to("PC")
+        self.net.settle()
+
+    def snapshot2(self) -> None:
+        """The prepaid funds run out."""
+        self.pc.funds_exhausted()
+        self.net.settle()
+
+    def snapshot3(self) -> None:
+        """A switches back to B; the *do-not-send* toward C passes
+        through PC untouched, starving V of input."""
+        self.pbx.switch_to("B")
+        self.net.settle()
+
+    def snapshot4(self) -> None:
+        """V verifies the funds; PC reconnects C with A — switching A
+        away from B without A's permission."""
+        self.pc.payment_verified()
+        self.net.settle()

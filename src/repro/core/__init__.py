@@ -1,0 +1,22 @@
+"""The paper's primary contribution: goal primitives, flowlinks, boxes,
+and state-oriented box programs (Secs. IV and VII)."""
+
+from .box import Box
+from .flowlink import FlowLink
+from .goals import CloseSlot, Goal, HoldSlot, OpenSlot, require_medium_match
+from .maps import Maps
+from .predicates import (all_of, always, any_of, is_closed, is_flowing,
+                         is_opened, is_opening, negate)
+from .program import (END, GoalSpec, Program, State, Timeout, Transition,
+                      close_slot, flow_link, hold_slot, on_channel_down,
+                      on_meta, open_slot)
+
+__all__ = [
+    "Box", "FlowLink", "CloseSlot", "Goal", "HoldSlot", "OpenSlot",
+    "require_medium_match", "Maps",
+    "all_of", "always", "any_of", "is_closed", "is_flowing", "is_opened",
+    "is_opening", "negate",
+    "END", "GoalSpec", "Program", "State", "Timeout", "Transition",
+    "close_slot", "flow_link", "hold_slot", "on_channel_down", "on_meta",
+    "open_slot",
+]

@@ -1,0 +1,191 @@
+"""The ``flowLink`` goal object (Secs. IV-A and VII, Fig. 12).
+
+A flowlink controls two slots and "attempts to match their states as if
+the slots had always been connected transparently, and to keep them
+matched.  It has a bias toward media flow" (Sec. IV-A).
+
+The implementation follows Sec. VII exactly:
+
+* **Primary organization — state matching** (Fig. 12).  From whichever
+  superstate the environment puts the pair in (*both live*, *one live
+  one dead*, *both dead*), the flowlink works toward one of the two goal
+  substates *both flowing* or *both closed*.  The bias toward flow means
+  a dead slot found at link-creation time is opened; a slot killed by an
+  environment ``close`` afterwards drags the other slot down with it.
+
+* **Secondary organization — descriptors.**  Each slot's most recent
+  received descriptor is cached (the :class:`~repro.protocol.slot.Slot`
+  itself holds it, per Sec. VII).  A slot is *described* if a current
+  descriptor has been received for it; each slot has a Boolean
+  *up-to-date* (``utd``) "that is true if and only if the other slot is
+  described and this slot has been sent its most recent descriptor."
+  In any live state the flowlink works to make the ``utd`` variables
+  true, via the descriptors carried in ``open``, ``oack``, and
+  ``describe`` signals.
+
+* **Selectors need no history.**  "When a flowlink receives a selector
+  and is in a state to forward it to the other slot, it checks before
+  forwarding that the selector is a response to the other slot's
+  descriptor.  If it is not a proper response, then the selector is
+  obsolete and is discarded."  Discards are always recovered, because
+  any descriptor change re-falsifies a ``utd`` variable, which triggers
+  a ``describe``, which triggers a fresh selector.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..protocol.signals import (Close, CloseAck, Describe, Oack, Open,
+                                Select, TunnelSignal)
+from ..protocol.slot import Slot
+from .goals import Goal, require_medium_match
+
+__all__ = ["FlowLink"]
+
+
+class FlowLink(Goal):
+    """Coordinates the signals of its two slots (Sec. III-A)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: up-to-date flags, keyed by slot.
+        self._utd: Dict[Slot, bool] = {}
+        #: slots to reopen as soon as their in-progress close completes.
+        self._reopen: Dict[Slot, bool] = {}
+        # observability
+        self.forwarded_selects = 0
+        self.discarded_selects = 0
+        self.describes_sent = 0
+        self.opens_sent = 0
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def other(self, slot: Slot) -> Slot:
+        """The flowlink's other slot."""
+        s1, s2 = self.slots
+        if slot is s1:
+            return s2
+        if slot is s2:
+            return s1
+        raise ValueError("%r does not control slot %s" % (self, slot.name))
+
+    def is_up_to_date(self, slot: Slot) -> bool:
+        """The paper's ``utd`` variable for ``slot``."""
+        return self._utd[slot]
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def on_attach(self) -> None:
+        if len(self.slots) != 2:
+            raise ValueError("a flowlink controls exactly two slots")
+        s1, s2 = self.slots
+        require_medium_match(s1, s2)
+        self._utd = {s1: False, s2: False}
+        self._reopen = {s1: False, s2: False}
+        # Initial bias toward media flow: a dead slot paired with a live
+        # one is pulled up rather than the live one pulled down.
+        for slot in self.slots:
+            peer = self.other(slot)
+            if peer.is_live and slot.is_dead:
+                if slot.is_closed:
+                    self._open_through(slot)
+                else:
+                    # Mid-close; reopen once the closeack lands.
+                    self._reopen[slot] = True
+        self._work()
+
+    # ------------------------------------------------------------------
+    # the reconciliation engine
+    # ------------------------------------------------------------------
+    def _work(self) -> None:
+        """Idempotent push toward the current goal substate of Fig. 12.
+
+        Safe to call after any event; guards ensure each obligation is
+        discharged exactly once (sending an ``oack`` moves the slot out
+        of ``opened``; sending a descriptor sets ``utd``).
+        """
+        if not self.attached:
+            return
+        for slot in self.slots:
+            peer = self.other(slot)
+            if self._reopen[slot] and slot.is_closed:
+                self._reopen[slot] = False
+                if peer.is_live:
+                    self._open_through(slot)
+            if slot.is_opened and peer.is_described:
+                # Accept, carrying the path-peer's current descriptor.
+                slot.send_oack(peer.remote_descriptor)
+                self._utd[slot] = True
+            if slot.is_flowing and not self._utd[slot] and peer.is_described:
+                slot.send_describe(peer.remote_descriptor)
+                self.describes_sent += 1
+                self._utd[slot] = True
+
+    def _open_through(self, slot: Slot) -> None:
+        """Open ``slot``, describing the far side of the path.
+
+        If the peer slot is described, its cached descriptor rides the
+        ``open`` and ``slot`` is immediately up to date (the paper's
+        Case 2).  Otherwise a placeholder ``noMedia`` descriptor minted
+        by the host is sent and a ``describe`` will follow once the real
+        descriptor arrives.
+        """
+        peer = self.other(slot)
+        if peer.is_described:
+            descriptor = peer.remote_descriptor
+            self._utd[slot] = True
+        else:
+            descriptor = self._local_descriptor(slot)
+            self._utd[slot] = False
+        assert peer.medium is not None
+        slot.send_open(peer.medium, descriptor)
+        self.opens_sent += 1
+
+    # ------------------------------------------------------------------
+    # signal handling
+    # ------------------------------------------------------------------
+    def goal_receive(self, slot: Slot, signal: TunnelSignal) -> None:
+        peer = self.other(slot)
+        if isinstance(signal, Open):
+            # ``slot`` is now opened (or backed off from a race).  Its
+            # descriptor is fresh, so the peer is no longer up to date.
+            require_medium_match(slot, peer)
+            self._utd[peer] = False
+            if peer.is_closed:
+                self._open_through(peer)
+            elif peer.is_closing:
+                self._reopen[peer] = True
+            self._work()
+        elif isinstance(signal, (Oack, Describe)):
+            # A fresh descriptor arrived on ``slot``.
+            self._utd[peer] = False
+            self._work()
+        elif isinstance(signal, Select):
+            self._forward_select(slot, signal)
+        elif isinstance(signal, Close):
+            # Environment-initiated death propagates to the other slot.
+            self._utd[slot] = False
+            self._utd[peer] = False
+            if slot.is_closed and peer.is_live:
+                peer.send_close()
+            # slot.is_closing means closes crossed; our own close is
+            # already in flight and its closeack will finish the job.
+        elif isinstance(signal, CloseAck):
+            # A close we sent has completed; a reopen may be pending.
+            self._work()
+
+    def _forward_select(self, slot: Slot, signal: Select) -> None:
+        """Forward a selector if it is fresh, else discard it."""
+        peer = self.other(slot)
+        selector = signal.selector
+        fresh = (peer.is_flowing
+                 and peer.remote_descriptor is not None
+                 and selector.answers == peer.remote_descriptor.id)
+        if fresh:
+            peer.send_select(selector)
+            self.forwarded_selects += 1
+        else:
+            self.discarded_selects += 1

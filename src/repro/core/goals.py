@@ -1,0 +1,283 @@
+"""The single-slot goal primitives: ``openSlot``, ``closeSlot``,
+``holdSlot`` (Sec. IV-A).
+
+A goal object "reads all the signals received from its slot, and writes
+all the signals sent to its slot".  It is a *goal* rather than a command
+"because the box must have the cooperation of other boxes and users to
+achieve it".  The paper characterizes their signal vocabularies
+(Sec. VII):
+
+* a ``closeSlot`` object emits ``close`` signals, and never ``open`` or
+  ``oack``;
+* an ``openSlot`` object emits ``open`` and ``oack`` signals, and never
+  ``close`` (the ``oack`` case arises when it loses an open/open race);
+* a ``holdSlot`` object emits ``oack`` signals, and never ``open`` or
+  ``close``.
+
+"When any of these goal objects opens or accepts a channel, it mutes
+media flow on the channel in both directions" — implemented by minting
+``noMedia`` descriptors and selectors from the hosting box.  Media
+endpoints reuse the same classes with real descriptors supplied by the
+endpoint (Sec. V assumes endpoints are programmed with the same
+primitives, with users free to choose the mute flags).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple
+
+from ..protocol.codecs import Medium
+from ..protocol.descriptor import Descriptor, Selector
+from ..protocol.errors import PreconditionError
+from ..protocol.signals import (Close, CloseAck, Describe, Oack, Open,
+                                Select, TunnelSignal)
+from ..protocol.slot import Slot
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .box import Box
+
+__all__ = ["Goal", "OpenSlot", "CloseSlot", "HoldSlot"]
+
+
+class Goal:
+    """Base class for the four media-control goal objects."""
+
+    def __init__(self) -> None:
+        self.host: Optional["Box"] = None
+        self.slots: Tuple[Slot, ...] = ()
+        self.attached = False
+
+    # -- lifecycle ---------------------------------------------------------
+    def attach(self, host: "Box", slots: Sequence[Slot]) -> None:
+        """Gain control of ``slots`` within ``host``.
+
+        "The first action of a goal object is to query its slots ... to
+        get their protocol states and descriptors.  Then, having
+        completed this initialization, the goal object proceeds to
+        control its slot or slots" (Sec. VII).
+        """
+        self.host = host
+        self.slots = tuple(slots)
+        self.attached = True
+        self.on_attach()
+
+    def detach(self) -> None:
+        """Lose control; the object becomes garbage."""
+        self.attached = False
+        self.on_detach()
+
+    def on_attach(self) -> None:
+        raise NotImplementedError
+
+    def on_detach(self) -> None:
+        """Cancel timers etc.  Default: nothing."""
+
+    # -- signal path --------------------------------------------------------
+    def goal_receive(self, slot: Slot, signal: TunnelSignal) -> None:
+        """Shown every signal received (and accepted) by a controlled
+        slot, after the slot has updated its own state."""
+        raise NotImplementedError
+
+    # -- mute-everything helpers (server-side defaults) ----------------------
+    def _local_descriptor(self, slot: Slot) -> Descriptor:
+        """Descriptor describing this slot as a receiver; the host
+        decides (boxes mint ``noMedia``, endpoints describe themselves)."""
+        assert self.host is not None
+        return self.host.make_local_descriptor(slot)
+
+    def _answer(self, slot: Slot) -> None:
+        """Answer the most recent received descriptor with a selector."""
+        assert self.host is not None
+        if slot.remote_descriptor is None:
+            return
+        selector = self.host.make_selector(slot, slot.remote_descriptor)
+        slot.send_select(selector)
+
+    def _accept(self, slot: Slot) -> None:
+        """Send ``oack`` then ``select`` in sequence ("!oack / !select
+        means send the two signals in sequence", Fig. 9)."""
+        slot.send_oack(self._local_descriptor(slot))
+        self._answer(slot)
+
+    def _redescribe(self, slot: Slot) -> None:
+        """Describe this slot as ourselves and answer the far end's
+        current descriptor; used when a single-slot goal takes over a
+        flowing slot previously driven by another goal."""
+        slot.send_describe(self._local_descriptor(slot))
+        self._answer(slot)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        names = ",".join(s.name for s in self.slots) or "-"
+        return "<%s %s>" % (type(self).__name__, names)
+
+
+class OpenSlot(Goal):
+    """Goal: "open a media channel and get it to the flowing state ...
+    the object takes every possible opportunity to push the slot (and, by
+    extension, the media channel) toward the flowing state.  If an
+    openslot sends open and receives reject, then it sends open again."
+
+    ``retry_interval`` spaces out re-opens after a rejection; the paper
+    retries unconditionally, and a nonzero spacing merely keeps the
+    discrete-event simulation from spinning at a single instant when an
+    openslot faces a closeslot (that pairing never stabilizes by design —
+    its specification is only ``◇□¬bothFlowing``).
+    """
+
+    def __init__(self, medium: Medium, retry_interval: float = 0.5):
+        super().__init__()
+        self.medium = medium
+        self.retry_interval = retry_interval
+        self._retry_timer = None
+        self.rejections = 0
+
+    @property
+    def slot(self) -> Slot:
+        return self.slots[0]
+
+    def on_attach(self) -> None:
+        slot = self.slot
+        if slot.is_closed:
+            self._send_open()
+        elif slot.is_opened:
+            # Tolerated for object reuse across program states and for
+            # race losses; an openslot is happy to be the acceptor.
+            self._accept(slot)
+        elif slot.is_flowing:
+            # Taking over a flowing slot whose last-sent descriptor came
+            # from a previous goal (e.g. a flowlink that forwarded some
+            # other endpoint's descriptor): re-describe as ourselves so
+            # the far end stops sending to a stale address, and answer
+            # the current descriptor (Fig. 3, Snapshot 2 behaviour).
+            self._redescribe(slot)
+        # opening: already headed where we want; closing: wait for the
+        # closeack, then reopen (see goal_receive).
+
+    def on_detach(self) -> None:
+        if self._retry_timer is not None:
+            self._retry_timer.cancel()
+            self._retry_timer = None
+
+    def _send_open(self) -> None:
+        self.slot.send_open(self.medium, self._local_descriptor(self.slot))
+
+    def _schedule_retry(self) -> None:
+        if self._retry_timer is not None:
+            self._retry_timer.cancel()
+        assert self.host is not None
+        self._retry_timer = self.host.node.set_timer(
+            self.retry_interval, self._retry)
+
+    def _retry(self) -> None:
+        self._retry_timer = None
+        if self.attached and self.slot.is_closed:
+            self._send_open()
+
+    def goal_receive(self, slot: Slot, signal: TunnelSignal) -> None:
+        if isinstance(signal, Open):
+            # We lost an open/open race; back off and accept instead.
+            self._accept(slot)
+        elif isinstance(signal, Oack):
+            # "?oack / !select": answer the acceptor's descriptor.
+            self._answer(slot)
+        elif isinstance(signal, Describe):
+            self._answer(slot)
+        elif isinstance(signal, Close):
+            # Rejected (or closed from the far end): push again.
+            self.rejections += 1
+            if self.retry_interval <= 0:
+                self._send_open()
+            else:
+                self._schedule_retry()
+        elif isinstance(signal, CloseAck):
+            # Only reachable if we attached while the slot was closing
+            # (a previous goal had sent close); now reopen.
+            self._send_open()
+        # Select: nothing for a server-side openslot to do.
+
+
+class CloseSlot(Goal):
+    """Goal: "get its slot to the closed state and keep it there.  Once
+    its slot is closed, if the closeSlot goal object receives an open
+    signal, the object sends reject immediately"."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.rejected = 0
+
+    @property
+    def slot(self) -> Slot:
+        return self.slots[0]
+
+    def on_attach(self) -> None:
+        if self.slot.is_live:
+            self.slot.send_close()
+        # closed: done; closing: the closeack will arrive by itself.
+
+    def goal_receive(self, slot: Slot, signal: TunnelSignal) -> None:
+        if isinstance(signal, Open):
+            # The slot moved to ``opened``; reject immediately.
+            self.rejected += 1
+            slot.send_close()
+        # Close: the slot already acknowledged and closed — goal reached.
+        # CloseAck: our close completed — goal reached.
+        # Oack/Describe/Select cannot reach us: if we attached in a live
+        # state we sent close at once, and the closing slot drains them.
+
+
+class HoldSlot(Goal):
+    """Goal: "accept a media channel and get it to the flowing state,
+    but only if the channel is requested by the other end of the
+    signaling path.  The channel will be closed if the other end closes
+    it, and will remain closed until the other end asks to open it."
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.accepted = 0
+
+    @property
+    def slot(self) -> Slot:
+        return self.slots[0]
+
+    def on_attach(self) -> None:
+        slot = self.slot
+        if slot.is_opened:
+            self.accepted += 1
+            self._accept(slot)
+        elif slot.is_flowing:
+            # The slot was flowing under another goal (typically a
+            # flowlink being replaced, as in Fig. 3 Snapshot 2): the
+            # held channel stays open but must stop carrying media, so
+            # re-describe as noMedia and answer with a noMedia selector.
+            self._redescribe(slot)
+        # closed: wait for an open; opening: a previous goal asked — wait
+        # for the far end's answer; closing: the closeack will close it
+        # and we hold there.
+
+    def goal_receive(self, slot: Slot, signal: TunnelSignal) -> None:
+        if isinstance(signal, Open):
+            self.accepted += 1
+            self._accept(slot)
+        elif isinstance(signal, Oack):
+            # The slot was opening when we gained control and the far end
+            # accepted; complete the handshake with our selector.
+            self._answer(slot)
+        elif isinstance(signal, Describe):
+            self._answer(slot)
+        # Close/CloseAck: slot closed; hold there until reopened.
+        # Select: nothing to do.
+
+
+def require_medium_match(s1: Slot, s2: Slot) -> None:
+    """Enforce the flowlink precondition: "if both slots have the medium
+    attribute defined ... their medium attributes are the same"
+    (Sec. IV-A)."""
+    if s1.medium is not None and s2.medium is not None \
+            and s1.medium != s2.medium:
+        raise PreconditionError(
+            "flowlinked slots carry different media: %s=%s, %s=%s"
+            % (s1.name, s1.medium, s2.name, s2.medium))
+
+
+__all__.append("require_medium_match")

@@ -1,0 +1,75 @@
+"""The Maps object: dynamic slot → goal association (Sec. VII).
+
+"There is also a Maps object that maintains the dynamic association
+between slots and goal objects.  When a box receives a signal, the box
+uses these associations to find the goal object to which it should show
+the signal via goalReceive."
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
+
+from ..protocol.errors import ConfigurationError
+from ..protocol.slot import Slot
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .goals import Goal
+
+__all__ = ["Maps"]
+
+
+class Maps:
+    """Associates each controlled slot with exactly one goal object."""
+
+    def __init__(self) -> None:
+        self._by_slot: Dict[Slot, "Goal"] = {}
+
+    def goal_for(self, slot: Slot) -> Optional["Goal"]:
+        """The goal currently controlling ``slot``, or ``None``."""
+        return self._by_slot.get(slot)
+
+    def goals(self) -> List["Goal"]:
+        """All distinct goals currently installed."""
+        seen: List["Goal"] = []
+        for goal in self._by_slot.values():
+            if goal not in seen:
+                seen.append(goal)
+        return seen
+
+    def assign(self, goal: "Goal", slots: Iterable[Slot]) -> None:
+        """Put ``slots`` under control of ``goal``.
+
+        Any goal previously controlling one of the slots is detached
+        first ("the goal object proceeds to control its slot or slots
+        until its slots are moved elsewhere and this goal object becomes
+        garbage", Sec. VII).  A goal object cannot be installed twice.
+        """
+        slots = list(slots)
+        if goal in self.goals():
+            raise ConfigurationError(
+                "goal %r is already installed; goal objects are "
+                "single-use" % (goal,))
+        for slot in slots:
+            old = self._by_slot.get(slot)
+            if old is not None:
+                self.release(old)
+        for slot in slots:
+            self._by_slot[slot] = goal
+
+    def release(self, goal: "Goal") -> None:
+        """Remove ``goal`` and free all slots it controls."""
+        freed = [s for s, g in self._by_slot.items() if g is goal]
+        for slot in freed:
+            del self._by_slot[slot]
+        goal.detach()
+
+    def release_slot(self, slot: Slot) -> None:
+        """Free one slot; detaches its goal entirely (a flowlink cannot
+        keep running with one slot)."""
+        goal = self._by_slot.get(slot)
+        if goal is not None:
+            self.release(goal)
+
+    def __len__(self) -> int:
+        return len(self._by_slot)

@@ -1,0 +1,81 @@
+"""Slot predicates and guard combinators for box programs (Sec. IV-A).
+
+"For each slot, there are predicates isClosed, isOpening, isOpened, and
+isFlowing corresponding to the four states in Figure 5.  These
+predicates can be used as guards on transitions in box programs."
+
+Guards here are callables taking the running
+:class:`~repro.core.program.Program` and returning a boolean.  A guard
+over a named slot is false while the name is unbound (its channel does
+not exist yet or has been destroyed), which lets programs write guards
+that only become meaningful once a channel is up.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .program import Program
+
+__all__ = [
+    "Guard",
+    "is_closed", "is_opening", "is_opened", "is_flowing",
+    "all_of", "any_of", "negate", "always",
+]
+
+Guard = Callable[["Program"], bool]
+
+
+def _slot_state_guard(name: str, state: str) -> Guard:
+    def guard(program: "Program") -> bool:
+        slot = program.box.slot_names.get(name)
+        return slot is not None and slot.state == state
+    guard.__name__ = "is_%s(%s)" % (state, name)
+    return guard
+
+
+def is_closed(name: str) -> Guard:
+    """``isClosed(s)``: true when named slot exists and is closed."""
+    return _slot_state_guard(name, "closed")
+
+
+def is_opening(name: str) -> Guard:
+    """``isOpening(s)``."""
+    return _slot_state_guard(name, "opening")
+
+
+def is_opened(name: str) -> Guard:
+    """``isOpened(s)``."""
+    return _slot_state_guard(name, "opened")
+
+
+def is_flowing(name: str) -> Guard:
+    """``isFlowing(s)``."""
+    return _slot_state_guard(name, "flowing")
+
+
+def all_of(*guards: Guard) -> Guard:
+    """Conjunction of guards."""
+    def guard(program: "Program") -> bool:
+        return all(g(program) for g in guards)
+    return guard
+
+
+def any_of(*guards: Guard) -> Guard:
+    """Disjunction of guards."""
+    def guard(program: "Program") -> bool:
+        return any(g(program) for g in guards)
+    return guard
+
+
+def negate(inner: Guard) -> Guard:
+    """Negation of a guard."""
+    def guard(program: "Program") -> bool:
+        return not inner(program)
+    return guard
+
+
+def always(program: "Program") -> bool:
+    """A guard that is always true (for immediate transitions)."""
+    return True

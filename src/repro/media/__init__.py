@@ -1,0 +1,14 @@
+"""Media plane, endpoints, user devices, and media resources."""
+
+from .device import UserDevice
+from .endpoint import MediaEndpoint, Port
+from .plane import MediaPlane, Transmission
+from .resources import (AnnouncementPlayer, ConferenceBridge,
+                        InteractiveVoice, MovieServer, MovieSession,
+                        ToneGenerator)
+
+__all__ = [
+    "UserDevice", "MediaEndpoint", "Port", "MediaPlane", "Transmission",
+    "AnnouncementPlayer", "ConferenceBridge", "InteractiveVoice",
+    "MovieServer", "MovieSession", "ToneGenerator",
+]

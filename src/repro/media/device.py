@@ -1,0 +1,99 @@
+"""User devices: telephones, laptops, televisions (Sec. I).
+
+"User devices act autonomously with respect to other media endpoints
+(even if acting as slaves to their human masters).  For example, they
+can request connections at any time, and choose to accept or decline
+connections that are offered to them."
+
+A :class:`UserDevice` is a :class:`~repro.media.endpoint.MediaEndpoint`
+that *rings* on incoming opens (unless ``auto_accept``) and keeps a ring
+log for tests and examples.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..protocol.channel import ChannelEnd
+from ..protocol.signals import Available, ChannelUp, MetaSignal, Unavailable
+from ..protocol.slot import Slot
+from .endpoint import MediaEndpoint, Port
+
+__all__ = ["UserDevice"]
+
+
+class UserDevice(MediaEndpoint):
+    """An autonomous user device with a human-facing ringing model.
+
+    Devices also answer availability queries: when a new signaling
+    channel reaches the device, it reports ``Available`` or
+    ``Unavailable`` according to its ``availability`` attribute — the
+    meta-signal a Click-to-Dial box waits for in state ``twoCalls``
+    (Fig. 6).
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        #: "available", "busy", or None (report nothing).
+        self.availability: Optional[str] = "available"
+        #: Ports that rang at least once (newest last).
+        self.ring_log: List[Port] = []
+        base_on_offer = self.on_offer
+
+        def record_ring(port: Port) -> None:
+            self.ring_log.append(port)
+            if base_on_offer is not None:  # pragma: no cover - defensive
+                base_on_offer(port)
+
+        self._ring_hook = record_ring
+
+    def on_meta(self, end: ChannelEnd, signal: MetaSignal) -> None:
+        if isinstance(signal, ChannelUp) and self.availability is not None:
+            if self.availability == "available":
+                end.send_meta(Available())
+            else:
+                end.send_meta(Unavailable(reason=self.availability))
+
+    # Keep the ring log even when a test replaces ``on_offer``.
+    def on_tunnel_signal(self, slot: Slot, signal) -> None:
+        before = self.port(slot).offer_pending
+        super().on_tunnel_signal(slot, signal)
+        port = self.port(slot)
+        if port.offer_pending and not before:
+            self.ring_log.append(port)
+
+    # ------------------------------------------------------------------
+    # convenience for tests and examples
+    # ------------------------------------------------------------------
+    def ringing(self) -> List[Port]:
+        """Ports with an offer currently pending."""
+        return [p for p in self.ports() if p.offer_pending]
+
+    def answer(self, mute_in: bool = False, mute_out: bool = False,
+               port: Optional[Port] = None) -> Port:
+        """Accept the (single) pending offer."""
+        if port is None:
+            pending = self.ringing()
+            if len(pending) != 1:
+                raise RuntimeError(
+                    "%s has %d pending offers; pass port= explicitly"
+                    % (self.name, len(pending)))
+            port = pending[0]
+        return self.accept(port.slot, mute_in=mute_in, mute_out=mute_out)
+
+    def decline(self, port: Optional[Port] = None) -> None:
+        """Reject the (single) pending offer."""
+        if port is None:
+            pending = self.ringing()
+            if len(pending) != 1:
+                raise RuntimeError(
+                    "%s has %d pending offers; pass port= explicitly"
+                    % (self.name, len(pending)))
+            port = pending[0]
+        self.reject(port.slot)
+
+    def hang_up_all(self) -> None:
+        """Close every live channel end this device holds."""
+        for port in self.ports():
+            if port.slot.is_live:
+                self.close(port.slot)

@@ -1,0 +1,344 @@
+"""Genuine media endpoints (Sec. III-B, Fig. 5).
+
+A :class:`MediaEndpoint` is "any source or sink of a media stream" —
+user devices, and media-processing resources such as tone generators and
+conference bridges.  Unlike an application-server box, an endpoint mints
+*real* descriptors (its media address plus a priority-ordered codec
+list) and real selectors, and it feeds the
+:class:`~repro.media.plane.MediaPlane` so that actual media flow is
+observable.
+
+The user interface of Fig. 5 appears as the methods :meth:`open`,
+:meth:`accept`, :meth:`reject`, :meth:`close`, and :meth:`modify`, with
+``muteIn``/``muteOut`` flags per end of each channel: "an end of a media
+channel is responsible for saving and implementing the mute values
+chosen at its end only."
+"""
+
+from __future__ import annotations
+
+from typing import (Callable, Dict, FrozenSet, List, Optional, Tuple)
+
+from ..network.address import Address
+from ..network.eventloop import EventLoop
+from ..protocol.channel import ChannelEnd, SignalingAgent
+from ..protocol.codecs import (Codec, Medium, NO_MEDIA, best_common_codec,
+                               codecs_for_medium)
+from ..protocol.descriptor import Descriptor, DescriptorFactory, Selector
+from ..protocol.errors import ProtocolStateError
+from ..protocol.signals import (Close, CloseAck, Describe, MetaSignal, Oack,
+                                Open, Select, TunnelSignal)
+from ..protocol.slot import Slot
+from .plane import MediaPlane
+
+__all__ = ["Port", "MediaEndpoint"]
+
+Hook = Callable[["Port"], None]
+
+
+class Port:
+    """Per-slot media state of an endpoint: one end of one media channel."""
+
+    def __init__(self, endpoint: "MediaEndpoint", slot: Slot,
+                 address: Address):
+        self.endpoint = endpoint
+        self.slot = slot
+        self.address = address
+        self.mute_in = False
+        self.mute_out = False
+        #: The descriptor our latest selector answered (transmission
+        #: target bookkeeping).
+        self.answered: Optional[Descriptor] = None
+        #: True while an incoming open awaits a user decision (ringing).
+        self.offer_pending = False
+
+    # -- identity -----------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return "%s:%s" % (self.endpoint.name, self.slot.tunnel_id)
+
+    @property
+    def medium(self) -> Optional[Medium]:
+        return self.slot.medium
+
+    # -- media-plane interface ----------------------------------------------
+    @property
+    def listening(self) -> bool:
+        """Footnote 5: an endpoint listens in accordance with a
+        descriptor as soon as it has sent it."""
+        desc = self.slot.local_descriptor
+        return desc is not None and not desc.is_no_media
+
+    @property
+    def offered_codecs(self) -> Tuple[Codec, ...]:
+        desc = self.slot.local_descriptor
+        if desc is None:
+            return ()
+        return tuple(c for c in desc.codecs if c.is_real)
+
+    def default_sources(self) -> FrozenSet[str]:
+        return frozenset({self.endpoint.content_label(self)})
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<Port %s %s @%s>" % (self.name, self.slot.state, self.address)
+
+
+class MediaEndpoint(SignalingAgent):
+    """A source/sink of media implementing the Fig. 5 user interface.
+
+    Parameters
+    ----------
+    auto_accept:
+        Resources accept every offered channel immediately; user devices
+        leave this False and "ring" (the ``on_offer`` hook fires and the
+        test or application decides).
+    codecs:
+        Medium → priority-ordered codec tuple this endpoint can handle.
+        Defaults to every built-in codec of each medium.
+    """
+
+    def __init__(self, loop: EventLoop, plane: MediaPlane, name: str,
+                 cost: float = 0.0, auto_accept: bool = False,
+                 codecs: Optional[Dict[Medium, Tuple[Codec, ...]]] = None,
+                 host: Optional[str] = None):
+        super().__init__(loop, name, cost=cost)
+        self.plane = plane
+        self.auto_accept = auto_accept
+        self._codecs = dict(codecs or {})
+        self._host = host or plane.allocator.host()
+        self._factory = DescriptorFactory(origin=name)
+        self._ports: Dict[Slot, Port] = {}
+        # hooks
+        self.on_offer: Optional[Hook] = None
+        self.on_flowing: Optional[Hook] = None
+        self.on_port_closed: Optional[Hook] = None
+
+    # ------------------------------------------------------------------
+    # ports
+    # ------------------------------------------------------------------
+    def port(self, slot: Slot) -> Port:
+        """The port for ``slot``, created (and registered) on demand."""
+        port = self._ports.get(slot)
+        if port is None:
+            address = self.plane.allocator.allocate(self._host)
+            port = Port(self, slot, address)
+            self._ports[slot] = port
+            self.plane.register_port(port)
+        return port
+
+    def ports(self) -> List[Port]:
+        return list(self._ports.values())
+
+    def port_for_end(self, end: ChannelEnd, tunnel_id: str = "t0") -> Port:
+        return self.port(end.slot(tunnel_id))
+
+    def supported(self, medium: Medium) -> Tuple[Codec, ...]:
+        """Codecs this endpoint can handle for ``medium``, best first."""
+        if medium in self._codecs:
+            return self._codecs[medium]
+        return codecs_for_medium(medium)
+
+    def content_label(self, port: Port) -> str:
+        """Label for the content this port emits (overridden by
+        resources: a tone generator emits ``tone:busy`` etc.)."""
+        return "%s:%s" % (port.medium or "media", self.name)
+
+    # ------------------------------------------------------------------
+    # Fig. 5 user interface
+    # ------------------------------------------------------------------
+    def open(self, slot: Slot, medium: Medium, mute_in: bool = False,
+             mute_out: bool = False) -> Port:
+        """User event ``!open``: request a media channel."""
+        port = self.port(slot)
+        port.mute_in = mute_in
+        port.mute_out = mute_out
+        slot.send_open(medium, self._mint(port, medium))
+        return port
+
+    def accept(self, slot: Slot, mute_in: bool = False,
+               mute_out: bool = False) -> Port:
+        """User event ``!accept`` on a pending offer."""
+        port = self.port(slot)
+        port.mute_in = mute_in
+        port.mute_out = mute_out
+        port.offer_pending = False
+        assert slot.medium is not None
+        slot.send_oack(self._mint(port, slot.medium))
+        self._answer(port)
+        return port
+
+    def reject(self, slot: Slot) -> None:
+        """User event ``!reject`` (protocol ``close``)."""
+        port = self.port(slot)
+        port.offer_pending = False
+        slot.send_close()
+        self._stop_sending(port)
+
+    def close(self, slot: Slot) -> None:
+        """User event ``!close``: close the channel from this end."""
+        port = self.port(slot)
+        port.offer_pending = False
+        if slot.is_live:
+            slot.send_close()
+        self._stop_sending(port)
+
+    def modify(self, slot: Slot, mute_in: Optional[bool] = None,
+               mute_out: Optional[bool] = None) -> None:
+        """User event ``!modify``: change mute flags dynamically.
+
+        A ``muteIn`` change re-describes this endpoint; a ``muteOut``
+        change sends a fresh selector ("a select can be sent at any
+        time", Sec. VI-C).
+        """
+        port = self.port(slot)
+        redescribe = mute_in is not None and mute_in != port.mute_in
+        reselect = mute_out is not None and mute_out != port.mute_out
+        if mute_in is not None:
+            port.mute_in = mute_in
+        if mute_out is not None:
+            port.mute_out = mute_out
+        if not slot.is_flowing:
+            return
+        if redescribe:
+            assert slot.medium is not None
+            slot.send_describe(self._mint(port, slot.medium))
+        if reselect:
+            self._answer(port)
+
+    def refresh_descriptor(self, slot: Slot) -> None:
+        """Re-describe without changing muting (footnote 4: address,
+        port, or codec change while flowing)."""
+        port = self.port(slot)
+        if slot.is_flowing:
+            assert slot.medium is not None
+            slot.send_describe(self._mint(port, slot.medium))
+
+    def move(self, slot: Slot, new_host: Optional[str] = None) -> Port:
+        """Mobility (Sec. X-F): this endpoint's media attachment moves
+        to a new host/address mid-channel.
+
+        The endpoint re-describes itself on the signaling path; media
+        keeps travelling directly between endpoints (no triangular
+        routing), with at most a brief window of clipping while the
+        peer still targets the old address.
+        """
+        port = self.port(slot)
+        self.plane.unregister_port(port)
+        host = new_host or self.plane.allocator.host()
+        port.address = self.plane.allocator.allocate(host)
+        self.plane.register_port(port)
+        if slot.is_flowing:
+            assert slot.medium is not None
+            slot.send_describe(self._mint(port, slot.medium))
+            # Our own outbound stream now originates from the new
+            # address; re-declare it.
+            self._answer(port)
+        return port
+
+    # ------------------------------------------------------------------
+    # descriptor / selector minting
+    # ------------------------------------------------------------------
+    def _mint(self, port: Port, medium: Medium) -> Descriptor:
+        if port.mute_in:
+            return self._factory.no_media()
+        return self._factory.descriptor(port.address, self.supported(medium))
+
+    def _answer(self, port: Port) -> None:
+        """Send a selector answering the most recent received descriptor,
+        and update the media plane accordingly."""
+        slot = port.slot
+        descriptor = slot.remote_descriptor
+        if descriptor is None or not slot.is_flowing:
+            return
+        codec = None
+        if not port.mute_out and not descriptor.is_no_media:
+            codec = best_common_codec(descriptor.codecs,
+                                      self.supported(slot.medium or ""))
+        if codec is None:
+            selector = Selector(answers=descriptor.id, address=port.address,
+                                codec=NO_MEDIA)
+            slot.send_select(selector)
+            port.answered = descriptor
+            self._stop_sending(port)
+        else:
+            selector = Selector(answers=descriptor.id, address=port.address,
+                                codec=codec)
+            slot.send_select(selector)
+            port.answered = descriptor
+            assert descriptor.address is not None
+            self.plane.set_transmission(port, descriptor.address, codec,
+                                        self._sources_for(port))
+
+    def _sources_for(self, port: Port):
+        return port.default_sources
+
+    def _stop_sending(self, port: Port) -> None:
+        port.answered = None
+        self.plane.clear_transmission(port)
+
+    # ------------------------------------------------------------------
+    # history variables for the Sec. V specification
+    # ------------------------------------------------------------------
+    def enabled_out(self, slot: Slot) -> bool:
+        """True when this end has sent a real selector and is flowing —
+        the paper's ``enabled`` history variable for the direction in
+        which this endpoint transmits (Sec. VI-C)."""
+        return (slot.is_flowing and slot.selector_sent is not None
+                and slot.selector_sent.codec.is_real)
+
+    # ------------------------------------------------------------------
+    # protocol events
+    # ------------------------------------------------------------------
+    def on_tunnel_signal(self, slot: Slot, signal: TunnelSignal) -> None:
+        port = self.port(slot)
+        if isinstance(signal, Open):
+            if not slot.is_opened:
+                # Spurious open on a lenient channel (an uncoordinated
+                # server re-opened a live tunnel): nothing sane to do.
+                return
+            if self.auto_accept:
+                self.accept(slot, *self.default_mutes(port))
+            else:
+                port.offer_pending = True
+                if self.on_offer is not None:
+                    self.on_offer(port)
+        elif isinstance(signal, Oack):
+            # A mute_in chosen while the open was in flight is folded in
+            # now: the descriptor sent with the open no longer reflects
+            # the user's intention, so re-describe first.
+            if slot.local_descriptor is not None and \
+                    slot.local_descriptor.is_no_media != port.mute_in:
+                assert slot.medium is not None
+                slot.send_describe(self._mint(port, slot.medium))
+            self._answer(port)
+            if self.on_flowing is not None:
+                self.on_flowing(port)
+        elif isinstance(signal, Describe):
+            # "The endpoint that receives the new descriptor must begin
+            # to act according to the new descriptor ... and must respond
+            # with a new selector."
+            self._answer(port)
+        elif isinstance(signal, Select):
+            pass  # reception readiness is captured by ``listening``
+        elif isinstance(signal, Close):
+            port.offer_pending = False
+            self._stop_sending(port)
+            if self.on_port_closed is not None:
+                self.on_port_closed(port)
+        elif isinstance(signal, CloseAck):
+            self._stop_sending(port)
+
+    def default_mutes(self, port: Port) -> Tuple[bool, bool]:
+        """(mute_in, mute_out) used by auto-accept; resources override."""
+        return (False, False)
+
+    def on_meta(self, end: ChannelEnd, signal: MetaSignal) -> None:
+        """Endpoints ignore meta-signals by default."""
+
+    def on_channel_gone(self, end: ChannelEnd) -> None:
+        for slot in end.slots.values():
+            port = self._ports.pop(slot, None)
+            if port is not None:
+                self.plane.unregister_port(port)
+                if self.on_port_closed is not None:
+                    self.on_port_closed(port)

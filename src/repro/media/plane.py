@@ -1,0 +1,161 @@
+"""The simulated media plane.
+
+"The media packets ... travel directly between media endpoints"
+(Sec. I).  This module models that direct path: each media endpoint
+port registers the address it listens on, and declares transmissions —
+(target address, codec) pairs — as it sends selectors.  The plane then
+answers the questions the paper's scenarios turn on:
+
+* does media actually flow from X to Y right now?
+* is anyone transmitting into a void (the Fig. 2 failure: "B is left
+  transmitting to an endpoint that will throw away the packets")?
+* what content does an endpoint currently hear (needed for conference
+  mixing and collaborative TV)?
+
+Delivery semantics: a transmission is *delivered* iff some port owns the
+target address, that port is currently listening (its current descriptor
+offers real codecs), and the transmitted codec is among the codecs the
+port currently offers.  Anything else is thrown away, exactly like RTP
+arriving at a socket nobody reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (Callable, Dict, FrozenSet, List, Optional, Set, Tuple,
+                    TYPE_CHECKING)
+
+from ..network.address import Address, AddressAllocator
+from ..protocol.codecs import Codec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .endpoint import MediaEndpoint, Port
+
+__all__ = ["Transmission", "MediaPlane"]
+
+#: A callable yielding the set of content labels a transmission carries
+#: (e.g. ``{"audio:A"}`` for a phone, a mixed set for a bridge output).
+SourceFn = Callable[[], FrozenSet[str]]
+
+
+@dataclass
+class Transmission:
+    """One active media stream leaving one port."""
+
+    port: "Port"
+    target: Address
+    codec: Codec
+    sources: SourceFn
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<Tx %s -> %s (%s)>" % (self.port.name, self.target,
+                                       self.codec)
+
+
+class MediaPlane:
+    """Registry of listening ports and active transmissions."""
+
+    def __init__(self) -> None:
+        self.allocator = AddressAllocator()
+        self._ports: Dict[Address, "Port"] = {}
+        self._transmissions: Dict["Port", Transmission] = {}
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register_port(self, port: "Port") -> None:
+        """Claim ``port.address`` for ``port``."""
+        self._ports[port.address] = port
+
+    def unregister_port(self, port: "Port") -> None:
+        self._ports.pop(port.address, None)
+        self._transmissions.pop(port, None)
+
+    def set_transmission(self, port: "Port", target: Address, codec: Codec,
+                         sources: Optional[SourceFn] = None) -> None:
+        """Declare that ``port`` is now sending ``codec`` to ``target``."""
+        if sources is None:
+            sources = port.default_sources
+        self._transmissions[port] = Transmission(port, target, codec, sources)
+
+    def clear_transmission(self, port: "Port") -> None:
+        """Declare that ``port`` has stopped sending."""
+        self._transmissions.pop(port, None)
+
+    # ------------------------------------------------------------------
+    # delivery queries
+    # ------------------------------------------------------------------
+    def transmissions(self) -> List[Transmission]:
+        """All active transmissions (delivered or not)."""
+        return list(self._transmissions.values())
+
+    def delivery_target(self, tx: Transmission) -> Optional["Port"]:
+        """The port that actually receives ``tx``, or ``None`` if the
+        packets are thrown away."""
+        port = self._ports.get(tx.target)
+        if port is None:
+            return None
+        if not port.listening:
+            return None
+        if tx.codec not in port.offered_codecs:
+            return None
+        return port
+
+    def delivered_to(self, port: "Port") -> List[Transmission]:
+        """Transmissions currently being received by ``port``."""
+        return [tx for tx in self._transmissions.values()
+                if self.delivery_target(tx) is port]
+
+    def wasted_transmissions(self) -> List[Transmission]:
+        """Transmissions whose packets nobody is receiving — the
+        signature of the Fig. 2 failure."""
+        return [tx for tx in self._transmissions.values()
+                if self.delivery_target(tx) is None]
+
+    # ------------------------------------------------------------------
+    # endpoint-level probes (used heavily by scenario tests)
+    # ------------------------------------------------------------------
+    def flow_exists(self, sender: "MediaEndpoint",
+                    receiver: "MediaEndpoint") -> bool:
+        """True iff some port of ``sender`` currently delivers media to
+        some port of ``receiver``."""
+        for tx in self._transmissions.values():
+            if tx.port.endpoint is not sender:
+                continue
+            target = self.delivery_target(tx)
+            if target is not None and target.endpoint is receiver:
+                return True
+        return False
+
+    def two_way(self, a: "MediaEndpoint", b: "MediaEndpoint") -> bool:
+        """Media flows in both directions between ``a`` and ``b``."""
+        return self.flow_exists(a, b) and self.flow_exists(b, a)
+
+    def silent(self, endpoint: "MediaEndpoint") -> bool:
+        """``endpoint`` neither sends-with-delivery nor receives."""
+        for tx in self._transmissions.values():
+            target = self.delivery_target(tx)
+            if target is None:
+                continue
+            if tx.port.endpoint is endpoint or target.endpoint is endpoint:
+                return False
+        return True
+
+    def heard_by(self, endpoint: "MediaEndpoint",
+                 _depth: int = 0) -> FrozenSet[str]:
+        """The set of content labels currently reaching ``endpoint``.
+
+        For a phone in a conference this is the mixed speaker set; the
+        depth guard stops pathological media cycles.
+        """
+        if _depth > 8:
+            return frozenset()
+        heard: Set[str] = set()
+        for port in endpoint.ports():
+            for tx in self.delivered_to(port):
+                heard |= tx.sources()
+        return frozenset(heard)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<MediaPlane ports=%d tx=%d>" % (
+            len(self._ports), len(self._transmissions))

@@ -1,0 +1,311 @@
+"""Media-processing resources (Secs. I and IV-B).
+
+"Endpoints also include media-processing resources that perform a wide
+range of functions such as recording, playing, mixing, replicating,
+filtering, transcoding, and analyzing media streams."
+
+This module provides the resources the paper's scenarios use:
+
+* :class:`ToneGenerator` — busy/ringback tones for Click-to-Dial
+  (Fig. 6): "once the resource accepts the audio channel, it will
+  generate a busy tone".
+* :class:`AnnouncementPlayer` — plays a recorded announcement, then
+  reports completion; recorded speech "may have speech files that were
+  stored in several different codecs" (Sec. VI-A), modeled by a
+  per-announcement codec preference.
+* :class:`InteractiveVoice` — the resource ``V`` of Figs. 2/3: audio
+  signaling (announcements, touch-tone detection) that verifies a
+  prepaid-card payment and reports it to its server via a meta-signal.
+* :class:`ConferenceBridge` — the audio mixer of Fig. 7 with the three
+  partial-muting policies of Sec. IV-B (business, emergency, training),
+  driven by "standardized meta-signals [that] tell the media server how
+  to mix".
+* :class:`MovieServer` — the collaborative-television source of Fig. 8:
+  one signaling channel per collaboration, many tunnels, one shared
+  time pointer controlled by pause/play/seek meta-signals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..protocol.channel import ChannelEnd
+from ..protocol.codecs import Codec, Medium
+from ..protocol.signals import AppMeta, MetaSignal, Oack, Open, TunnelSignal
+from ..protocol.slot import Slot
+from .endpoint import MediaEndpoint, Port
+
+__all__ = [
+    "ToneGenerator", "AnnouncementPlayer", "InteractiveVoice",
+    "ConferenceBridge", "MovieServer", "MovieSession",
+]
+
+
+class ToneGenerator(MediaEndpoint):
+    """Generates a call-progress tone on every accepted channel.
+
+    It never listens (``muteIn`` true): a tone source is send-only.
+    """
+
+    def __init__(self, *args, tone: str = "busy", **kwargs):
+        kwargs.setdefault("auto_accept", True)
+        super().__init__(*args, **kwargs)
+        self.tone = tone
+
+    def default_mutes(self, port: Port) -> Tuple[bool, bool]:
+        return (True, False)  # mute_in, not mute_out
+
+    def content_label(self, port: Port) -> str:
+        # A dialed target of "tones:busy" selects the tone per channel,
+        # so one resource can serve busy, ringback, etc.
+        target = port.slot.channel_end.channel.target
+        if ":" in target:
+            return "tone:%s" % target.split(":", 1)[1]
+        return "tone:%s" % self.tone
+
+
+class AnnouncementPlayer(MediaEndpoint):
+    """Plays one announcement per channel, then reports completion.
+
+    After ``duration`` seconds of flowing media the player emits an
+    ``AppMeta("announcement-done")`` meta-signal on the channel and
+    closes the media channel from its end.
+    """
+
+    def __init__(self, *args, announcement: str = "greeting",
+                 duration: float = 3.0, **kwargs):
+        kwargs.setdefault("auto_accept", True)
+        super().__init__(*args, **kwargs)
+        self.announcement = announcement
+        self.duration = duration
+        self._playing: Set[Slot] = set()
+        self.completed: List[Slot] = []
+
+    def default_mutes(self, port: Port) -> Tuple[bool, bool]:
+        return (True, False)
+
+    def content_label(self, port: Port) -> str:
+        return "announcement:%s" % self.announcement
+
+    def on_tunnel_signal(self, slot: Slot, signal: TunnelSignal) -> None:
+        super().on_tunnel_signal(slot, signal)
+        if slot.is_flowing and slot not in self._playing:
+            self._playing.add(slot)
+            self.node.set_timer(self.duration, self._finish, slot)
+
+    def _finish(self, slot: Slot) -> None:
+        self._playing.discard(slot)
+        if not slot.is_flowing:
+            return
+        self.completed.append(slot)
+        slot.channel_end.send_meta(AppMeta("announcement-done",
+                                           {"announcement":
+                                            self.announcement}))
+        self.close(slot)
+
+
+class InteractiveVoice(MediaEndpoint):
+    """The audio-signaling resource ``V`` of Figs. 2/3.
+
+    Provides "an extensible user interface on any audio device, by means
+    of announcements, tones, touchtone detection, and speech
+    recognition" (Sec. I).  Here: once two-way audio with the payer is
+    flowing, it takes ``verify_delay`` seconds to collect touch tones
+    and authorize more funds, then reports ``user-paid`` to its
+    application server via a meta-signal.
+    """
+
+    def __init__(self, *args, verify_delay: float = 2.0, **kwargs):
+        kwargs.setdefault("auto_accept", True)
+        super().__init__(*args, **kwargs)
+        self.verify_delay = verify_delay
+        self._verifying: Set[Slot] = set()
+        self.payments: List[float] = []
+        #: When False, V announces but does not authorize (e.g. the
+        #: caller never supplies touch tones).
+        self.will_pay = True
+
+    def content_label(self, port: Port) -> str:
+        return "ivr:%s" % self.name
+
+    def on_tunnel_signal(self, slot: Slot, signal: TunnelSignal) -> None:
+        super().on_tunnel_signal(slot, signal)
+        if slot.is_flowing and slot not in self._verifying and self.will_pay:
+            self._verifying.add(slot)
+            self.node.set_timer(self.verify_delay, self._verified, slot)
+
+    def _verified(self, slot: Slot) -> None:
+        self._verifying.discard(slot)
+        if not slot.is_flowing or not self.will_pay:
+            return
+        self.payments.append(self.loop.now)
+        slot.channel_end.send_meta(AppMeta("user-paid",
+                                           {"at": self.loop.now}))
+
+
+class ConferenceBridge(MediaEndpoint):
+    """An audio mixer (Fig. 7).
+
+    "In the direction toward the bridge, an audio channel carries the
+    voice of a single user.  In the direction away from the bridge, an
+    audio channel carries the mixed voices of all the users except the
+    user the channel goes to."
+
+    Partial muting (Sec. IV-B) is configured by the application server
+    through ``AppMeta`` meta-signals — the bridge's mix policy is a map
+    from (speaker key, listener key) to a mix mode:
+
+    * ``"normal"`` — heard normally (the default for distinct parties);
+    * ``"blocked"`` — not heard (business muting of noisy participants,
+      or emergency muting of the caller's downlink);
+    * ``"whisper"`` — heard as a whisper (the supervisor-training case).
+
+    Keys are the ``target`` strings of the signaling channels that reach
+    the bridge, so the conference server names parties naturally.
+    """
+
+    def __init__(self, *args, **kwargs):
+        kwargs.setdefault("auto_accept", True)
+        super().__init__(*args, **kwargs)
+        #: (speaker_key, listener_key) → mode; missing means "normal".
+        self._policy: Dict[Tuple[str, str], str] = {}
+        self._mixing = False
+
+    # -- policy -----------------------------------------------------------
+    @staticmethod
+    def port_key(port: Port) -> str:
+        return port.slot.channel_end.channel.target or \
+            port.slot.channel_end.channel.name
+
+    def set_mix(self, speaker: str, listener: str, mode: str) -> None:
+        """Directly set one mix-policy entry (tests); applications use
+        the ``AppMeta("set-mix")`` meta-signal instead."""
+        if mode == "normal":
+            self._policy.pop((speaker, listener), None)
+        else:
+            self._policy[(speaker, listener)] = mode
+
+    def mix_mode(self, speaker: str, listener: str) -> str:
+        return self._policy.get((speaker, listener), "normal")
+
+    def on_meta(self, end: ChannelEnd, signal: MetaSignal) -> None:
+        if isinstance(signal, AppMeta) and signal.name == "set-mix":
+            self.set_mix(signal.payload["speaker"],
+                         signal.payload["listener"],
+                         signal.payload.get("mode", "normal"))
+
+    # -- mixing -----------------------------------------------------------
+    def content_label(self, port: Port) -> str:
+        return "mix:%s" % self.name
+
+    def _sources_for(self, port: Port):
+        def sources() -> FrozenSet[str]:
+            return self._mix_sources(port)
+        return sources
+
+    def _mix_sources(self, out_port: Port) -> FrozenSet[str]:
+        """The voices carried toward ``out_port``'s listener."""
+        if self._mixing:  # media cycle through chained bridges
+            return frozenset()
+        self._mixing = True
+        try:
+            listener = self.port_key(out_port)
+            heard: Set[str] = set()
+            for in_port in self.ports():
+                if in_port is out_port:
+                    continue
+                speaker = self.port_key(in_port)
+                mode = self.mix_mode(speaker, listener)
+                if mode == "blocked":
+                    continue
+                for tx in self.plane.delivered_to(in_port):
+                    for label in tx.sources():
+                        if mode == "whisper":
+                            heard.add("whisper:%s" % label)
+                        else:
+                            heard.add(label)
+            return frozenset(heard)
+        finally:
+            self._mixing = False
+
+
+@dataclass
+class MovieSession:
+    """One collaboration's view of a movie: shared time pointer."""
+
+    title: str
+    channel_name: str
+    position: float = 0.0
+    playing: bool = True
+    updated_at: float = 0.0
+
+    def position_at(self, now: float) -> float:
+        if self.playing:
+            return self.position + (now - self.updated_at)
+        return self.position
+
+    def sync_to(self, now: float) -> None:
+        self.position = self.position_at(now)
+        self.updated_at = now
+
+
+class MovieServer(MediaEndpoint):
+    """The streaming source of Fig. 8.
+
+    Each signaling channel reaching the server is one *session*,
+    "associated in the server with this movie and time pointer"; all the
+    tunnels of the channel carry media "from the same movie at the same
+    time point".  ``pause``/``play``/``seek`` arrive as meta-signals and
+    affect every media channel of the session.
+    """
+
+    def __init__(self, *args, catalog: Tuple[str, ...] = ("movie",),
+                 **kwargs):
+        kwargs.setdefault("auto_accept", True)
+        super().__init__(*args, **kwargs)
+        self.catalog = catalog
+        self._sessions: Dict[str, MovieSession] = {}
+
+    def default_mutes(self, port: Port) -> Tuple[bool, bool]:
+        return (True, False)  # the movie server only sends
+
+    def session_for_end(self, end: ChannelEnd) -> MovieSession:
+        key = end.channel.name
+        if key not in self._sessions:
+            title = end.channel.target.split("movie:")[-1] \
+                if "movie:" in end.channel.target else self.catalog[0]
+            self._sessions[key] = MovieSession(
+                title=title, channel_name=key, updated_at=self.loop.now)
+        return self._sessions[key]
+
+    def session_for_port(self, port: Port) -> MovieSession:
+        return self.session_for_end(port.slot.channel_end)
+
+    def sessions(self) -> List[MovieSession]:
+        return list(self._sessions.values())
+
+    def content_label(self, port: Port) -> str:
+        session = self.session_for_port(port)
+        return "movie:%s:%s" % (session.title, port.slot.tunnel_id)
+
+    def on_tunnel_signal(self, slot: Slot, signal: TunnelSignal) -> None:
+        if isinstance(signal, Open):
+            # A collaboration reached us: materialize its session.
+            self.session_for_end(slot.channel_end)
+        super().on_tunnel_signal(slot, signal)
+
+    def on_meta(self, end: ChannelEnd, signal: MetaSignal) -> None:
+        if not isinstance(signal, AppMeta):
+            return
+        session = self.session_for_end(end)
+        now = self.loop.now
+        if signal.name == "pause":
+            session.sync_to(now)
+            session.playing = False
+        elif signal.name == "play":
+            session.sync_to(now)
+            session.playing = True
+        elif signal.name == "seek":
+            session.sync_to(now)
+            session.position = float(signal.payload["position"])

@@ -1,0 +1,19 @@
+"""Simulation substrate: event loop, addresses, links, nodes."""
+
+from .address import Address, AddressAllocator
+from .eventloop import Event, EventLoop, QuiescenceError
+from .latency import (FixedLatency, LatencyModel, UniformLatency,
+                      PAPER_C, PAPER_N)
+from .network import Network
+from .node import Node
+from .router import Router
+from .transport import Link, LinkEnd
+
+__all__ = [
+    "Network", "Router",
+    "Address", "AddressAllocator",
+    "Event", "EventLoop", "QuiescenceError",
+    "FixedLatency", "LatencyModel", "UniformLatency", "PAPER_C", "PAPER_N",
+    "Node",
+    "Link", "LinkEnd",
+]

@@ -1,0 +1,59 @@
+"""Network addresses for the simulated media and signaling planes.
+
+A media endpoint is identified to its peers by an :class:`Address`
+(host, port) pair, carried inside protocol descriptors (Sec. VI-B of the
+paper: "A descriptor contains an IP address, port number, and
+priority-ordered list of codecs").  The :class:`AddressAllocator` hands
+out unique addresses the way a host's socket layer would hand out ports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator
+
+__all__ = ["Address", "AddressAllocator"]
+
+
+@dataclass(frozen=True, order=True)
+class Address:
+    """An (IP host, UDP port) pair identifying one media receive point."""
+
+    host: str
+    port: int
+
+    def __str__(self) -> str:
+        return "%s:%d" % (self.host, self.port)
+
+
+class AddressAllocator:
+    """Allocates unique media addresses per host.
+
+    Ports start at 10000 (even numbers, the RTP convention) and increase
+    monotonically per host, so a run never reuses an address and stale
+    descriptors are detectable in tests.
+    """
+
+    BASE_PORT = 10000
+
+    def __init__(self) -> None:
+        self._next_port: Dict[str, int] = {}
+        self._next_host = 1
+
+    def host(self) -> str:
+        """Allocate a fresh simulated host (10.0.x.y style)."""
+        index = self._next_host
+        self._next_host += 1
+        return "10.%d.%d.%d" % (index // 65536, (index // 256) % 256,
+                                index % 256)
+
+    def allocate(self, host: str) -> Address:
+        """Allocate a fresh media address on ``host``."""
+        port = self._next_port.get(host, self.BASE_PORT)
+        self._next_port[host] = port + 2
+        return Address(host, port)
+
+    def allocate_many(self, host: str, count: int) -> Iterator[Address]:
+        """Allocate ``count`` fresh addresses on ``host``."""
+        for _ in range(count):
+            yield self.allocate(host)

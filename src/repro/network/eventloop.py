@@ -1,0 +1,193 @@
+"""Deterministic discrete-event scheduler.
+
+This is the substrate underneath every simulation in the repository: the
+signaling protocol, the media plane, the application servers, and the SIP
+baseline all run on one :class:`EventLoop`.
+
+The loop is deterministic.  Events fire in ``(time, priority, sequence)``
+order, where ``sequence`` is a monotonically increasing tie-breaker, so two
+runs with the same seed and the same call pattern produce identical traces.
+Randomness (used by the SIP glare backoff and latency jitter models) comes
+from a ``random.Random`` owned by the loop and seeded at construction.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from typing import Any, Callable, List, Optional, Tuple
+
+__all__ = ["Event", "EventLoop", "QuiescenceError"]
+
+
+class QuiescenceError(RuntimeError):
+    """Raised when a run is asked to reach quiescence but cannot.
+
+    ``run_until_quiescent`` raises this when the event budget is exhausted
+    while events are still pending, which almost always indicates a
+    signaling livelock (for example an ``openSlot`` facing a ``closeSlot``,
+    which by design never stabilizes).
+    """
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are returned by :meth:`EventLoop.schedule` and can be
+    cancelled.  A cancelled event stays in the heap but is skipped when it
+    reaches the front; this is the standard lazy-deletion scheme.
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, priority: int, seq: int,
+                 callback: Callable[..., Any], args: Tuple[Any, ...]):
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time, other.priority, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = " cancelled" if self.cancelled else ""
+        return "<Event t=%g p=%d #%d %s%s>" % (
+            self.time, self.priority, self.seq,
+            getattr(self.callback, "__qualname__", self.callback), state)
+
+
+class EventLoop:
+    """A deterministic discrete-event simulation loop.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the loop-owned random number generator.  Components that
+        need randomness (latency jitter, SIP backoff) must draw from
+        ``loop.rng`` so that a single seed reproduces a whole run.
+    """
+
+    def __init__(self, seed: Optional[int] = 0):
+        self._heap: List[Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._running = False
+        self.rng = random.Random(seed)
+        #: Number of events executed so far (observability / budgets).
+        self.executed = 0
+
+    # ------------------------------------------------------------------
+    # time and scheduling
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[..., Any],
+                 *args: Any, priority: int = 0) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
+
+        ``delay`` must be non-negative.  ``priority`` breaks ties between
+        events at the same instant (lower fires first); the default of 0 is
+        right for almost everything.
+        """
+        if delay < 0:
+            raise ValueError("cannot schedule an event in the past "
+                             "(delay=%r)" % (delay,))
+        event = Event(self._now + delay, priority, next(self._seq),
+                      callback, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, when: float, callback: Callable[..., Any],
+                    *args: Any, priority: int = 0) -> Event:
+        """Schedule ``callback(*args)`` at absolute time ``when``."""
+        return self.schedule(when - self._now, callback, *args,
+                             priority=priority)
+
+    def call_soon(self, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback`` at the current instant."""
+        return self.schedule(0.0, callback, *args)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events in the heap."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def step(self) -> bool:
+        """Execute the single next event.
+
+        Returns ``True`` if an event ran, ``False`` if the heap is empty.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self.executed += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> int:
+        """Run events until the heap drains, ``until`` passes, or the budget
+        of ``max_events`` is spent.  Returns the number of events executed
+        by this call.
+        """
+        executed = 0
+        while self._heap:
+            event = self._heap[0]
+            if event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and event.time > until:
+                self._now = until
+                break
+            if max_events is not None and executed >= max_events:
+                break
+            heapq.heappop(self._heap)
+            self._now = event.time
+            self.executed += 1
+            executed += 1
+            event.callback(*event.args)
+        else:
+            if until is not None and until > self._now:
+                self._now = until
+        return executed
+
+    def run_until_quiescent(self, max_events: int = 1_000_000) -> int:
+        """Run until no events remain.
+
+        Raises :class:`QuiescenceError` if more than ``max_events`` events
+        execute, which indicates the system is not going to stabilize (a
+        livelock such as an openslot/closeslot path, or a timer loop that
+        was not stopped).
+        """
+        executed = self.run(max_events=max_events)
+        if self._heap and any(not e.cancelled for e in self._heap):
+            raise QuiescenceError(
+                "system did not quiesce within %d events; %d still pending"
+                % (max_events, self.pending()))
+        return executed
+
+    def advance(self, duration: float) -> int:
+        """Run all events in the next ``duration`` seconds of simulated
+        time, then set the clock to exactly ``now + duration``."""
+        return self.run(until=self._now + duration)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<EventLoop t=%g pending=%d executed=%d>" % (
+            self._now, self.pending(), self.executed)

@@ -1,0 +1,92 @@
+"""Latency models for simulated links.
+
+The paper's performance analysis (Sec. VIII-C) is parameterised by two
+constants: ``n``, the time for the network to deliver a signal to the next
+box, and ``c``, the time for a box to process one stimulus.  The latency
+models here produce the per-message ``n``; processing cost ``c`` lives in
+:mod:`repro.network.node`.
+
+All models preserve FIFO delivery: a message handed to the link after an
+earlier one is never delivered before it, even under jitter.  This mirrors
+TCP, which the paper assumes for signaling channels ("a signaling channel
+can be regarded as FIFO and reliable", Sec. I).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+__all__ = [
+    "LatencyModel",
+    "FixedLatency",
+    "UniformLatency",
+    "PAPER_N",
+    "PAPER_C",
+]
+
+#: Average one-hop network delay measured by the authors on "a typical
+#: carrier network with multiple geographic sites" (Sec. VIII-C).
+PAPER_N = 0.034
+
+#: Typical per-stimulus server processing cost from Sec. VIII-C.
+PAPER_C = 0.020
+
+
+class LatencyModel:
+    """Base class: produces per-message one-way delays."""
+
+    def sample(self, rng: random.Random) -> float:
+        """Return the next message's network delay in seconds."""
+        raise NotImplementedError
+
+    @property
+    def mean(self) -> float:
+        """Mean delay, used by analytic formulas."""
+        raise NotImplementedError
+
+
+class FixedLatency(LatencyModel):
+    """Every message takes exactly ``delay`` seconds."""
+
+    def __init__(self, delay: float = PAPER_N):
+        if delay < 0:
+            raise ValueError("latency must be non-negative")
+        self.delay = delay
+
+    def sample(self, rng: random.Random) -> float:
+        return self.delay
+
+    @property
+    def mean(self) -> float:
+        return self.delay
+
+    def __repr__(self) -> str:
+        return "FixedLatency(%g)" % self.delay
+
+
+class UniformLatency(LatencyModel):
+    """Delays drawn uniformly from ``[low, high]``.
+
+    FIFO order across messages is restored by the link (see
+    :class:`repro.network.transport.Link`), which clamps each delivery
+    time to be no earlier than the previous one in the same direction.
+    """
+
+    def __init__(self, low: float, high: Optional[float] = None):
+        if high is None:
+            high = low
+        if low < 0 or high < low:
+            raise ValueError("need 0 <= low <= high")
+        self.low = low
+        self.high = high
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+    @property
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+    def __repr__(self) -> str:
+        return "UniformLatency(%g, %g)" % (self.low, self.high)

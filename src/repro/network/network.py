@@ -1,0 +1,123 @@
+"""The Network facade: one object wiring loop, media plane, router,
+agents, and channels together.
+
+This is the main entry point of the public API::
+
+    net = Network(seed=1)
+    alice = net.device("alice")
+    bob = net.device("bob")
+    ch = net.channel(alice, bob)
+    alice.open(ch.initiator_end.slot(), AUDIO)
+    net.settle()
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Type
+
+from ..protocol.channel import (SignalingAgent, SignalingChannel,
+                                DEFAULT_TUNNEL)
+from .eventloop import EventLoop
+from .latency import FixedLatency, LatencyModel
+from .router import Router
+
+__all__ = ["Network"]
+
+
+class Network:
+    """Container for one simulated deployment."""
+
+    def __init__(self, seed: Optional[int] = 0,
+                 latency: Optional[LatencyModel] = None,
+                 cost: float = 0.0):
+        from ..media.plane import MediaPlane  # local import: layer order
+        self.loop = EventLoop(seed=seed)
+        self.plane = MediaPlane()
+        self.router = Router()
+        #: Default latency for new channels.
+        self.latency = latency if latency is not None else FixedLatency(0.0)
+        #: Default per-stimulus processing cost for new agents.
+        self.cost = cost
+        self.agents = {}
+        self.channels = []
+
+    # ------------------------------------------------------------------
+    # agent factories
+    # ------------------------------------------------------------------
+    def _register(self, agent: SignalingAgent, address: Optional[str]):
+        self.agents[agent.name] = agent
+        if address is not None:
+            self.router.register(address, agent)
+        return agent
+
+    def box(self, name: str, cls: Optional[Type] = None,
+            address: Optional[str] = None, **kwargs):
+        """Create an application-server box (default
+        :class:`repro.core.box.Box`)."""
+        from ..core.box import Box
+        cls = cls or Box
+        kwargs.setdefault("cost", self.cost)
+        return self._register(cls(self.loop, name, **kwargs), address)
+
+    def device(self, name: str, cls: Optional[Type] = None,
+               address: Optional[str] = None, **kwargs):
+        """Create a user device (default
+        :class:`repro.media.device.UserDevice`)."""
+        from ..media.device import UserDevice
+        cls = cls or UserDevice
+        kwargs.setdefault("cost", self.cost)
+        agent = cls(self.loop, self.plane, name, **kwargs)
+        return self._register(agent, address if address is not None
+                              else name)
+
+    def resource(self, name: str, cls: Type, address: Optional[str] = None,
+                 **kwargs):
+        """Create a media resource (tone generator, bridge, ...)."""
+        kwargs.setdefault("cost", self.cost)
+        agent = cls(self.loop, self.plane, name, **kwargs)
+        return self._register(agent, address)
+
+    # ------------------------------------------------------------------
+    # channels
+    # ------------------------------------------------------------------
+    def channel(self, initiator: SignalingAgent, responder: SignalingAgent,
+                tunnels: Iterable[str] = (DEFAULT_TUNNEL,),
+                latency: Optional[LatencyModel] = None,
+                target: str = "", name: Optional[str] = None,
+                strict: bool = True) -> SignalingChannel:
+        """Create a signaling channel between two agents."""
+        channel = SignalingChannel(
+            self.loop, initiator, responder, tunnel_ids=tunnels,
+            latency=latency if latency is not None else self.latency,
+            target=target, name=name, strict=strict)
+        self.channels.append(channel)
+        return channel
+
+    def dial(self, initiator: SignalingAgent, address: str,
+             tunnels: Iterable[str] = (DEFAULT_TUNNEL,),
+             latency: Optional[LatencyModel] = None,
+             name: Optional[str] = None) -> SignalingChannel:
+        """Create a channel toward whatever agent serves ``address``."""
+        responder = self.router.resolve(address)
+        return self.channel(initiator, responder, tunnels=tunnels,
+                            latency=latency, target=address, name=name)
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.loop.now
+
+    def run(self, duration: float) -> int:
+        """Advance simulated time by ``duration`` seconds."""
+        return self.loop.advance(duration)
+
+    def settle(self, max_events: int = 100_000) -> int:
+        """Run until no events remain (raises
+        :class:`~repro.network.eventloop.QuiescenceError` on livelock)."""
+        return self.loop.run_until_quiescent(max_events=max_events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<Network t=%g agents=%d channels=%d>" % (
+            self.loop.now, len(self.agents), len(self.channels))

@@ -1,0 +1,86 @@
+"""Serialized stimulus processors.
+
+A :class:`Node` models the paper's unit of processing cost: "``c`` [is]
+the average time it takes for a server to read a new stimulus from an
+input queue and compute the next signal to send" (Sec. VIII-C).  Every
+box, user device, and media resource in the simulation is (or owns) a
+Node: stimuli are queued and handled one at a time, each taking ``cost``
+seconds, and any output signals are emitted when the handling completes.
+
+With ``cost = 0`` a node degenerates into immediate in-order dispatch,
+which is what unit tests use.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Optional, Tuple
+
+from .eventloop import EventLoop
+
+__all__ = ["Node"]
+
+Thunk = Tuple[Callable[..., Any], Tuple[Any, ...]]
+
+
+class Node:
+    """A named, serialized processor of stimuli on an event loop."""
+
+    _counter = 0
+
+    def __init__(self, loop: EventLoop, name: Optional[str] = None,
+                 cost: float = 0.0):
+        Node._counter += 1
+        self.loop = loop
+        self.name = name or ("node-%d" % Node._counter)
+        if cost < 0:
+            raise ValueError("processing cost must be non-negative")
+        self.cost = cost
+        self._inbox: Deque[Thunk] = deque()
+        self._busy = False
+        #: Stimuli handled so far (observability / performance assertions).
+        self.handled = 0
+
+    # ------------------------------------------------------------------
+    # stimulus queueing
+    # ------------------------------------------------------------------
+    def enqueue(self, handler: Callable[..., Any], *args: Any) -> None:
+        """Queue ``handler(*args)`` as one stimulus for this node.
+
+        The handler runs ``cost`` seconds after this node becomes free to
+        process it (immediately-but-in-order when ``cost`` is 0).
+        """
+        self._inbox.append((handler, args))
+        if not self._busy:
+            self._busy = True
+            self.loop.schedule(self.cost, self._finish_one)
+
+    def _finish_one(self) -> None:
+        handler, args = self._inbox.popleft()
+        self.handled += 1
+        try:
+            handler(*args)
+        finally:
+            if self._inbox:
+                self.loop.schedule(self.cost, self._finish_one)
+            else:
+                self._busy = False
+
+    # ------------------------------------------------------------------
+    # timers
+    # ------------------------------------------------------------------
+    def set_timer(self, delay: float, handler: Callable[..., Any],
+                  *args: Any):
+        """Arrange for ``handler(*args)`` to be enqueued as a stimulus
+        after ``delay`` seconds.  Returns the underlying event, whose
+        ``cancel()`` method cancels the timer."""
+        return self.loop.schedule(delay, self.enqueue, handler, *args)
+
+    @property
+    def idle(self) -> bool:
+        """True when no stimulus is queued or being processed."""
+        return not self._busy and not self._inbox
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<Node %s cost=%g queued=%d>" % (
+            self.name, self.cost, len(self._inbox))

@@ -1,0 +1,55 @@
+"""Address routing for signaling-channel placement.
+
+"We do not discuss how the graph of boxes and signaling channels is
+configured, as this is outside the scope of this paper.  Configuration
+is performed in varying ways by DFC, IMS, and SIP" (Sec. III-A).
+
+This minimal router fills that gap for the examples: each dialable
+address is registered to the agent that serves it (a device directly,
+or the application server fronting it — e.g. telephone ``A`` is reached
+through its PBX).  Longest-prefix matching supports catch-all service
+addresses such as ``prepaid:``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, TYPE_CHECKING
+
+from ..protocol.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..protocol.channel import SignalingAgent
+
+__all__ = ["Router"]
+
+
+class Router:
+    """Address → serving-agent table with longest-prefix matching."""
+
+    def __init__(self) -> None:
+        self._table: Dict[str, "SignalingAgent"] = {}
+
+    def register(self, address: str, agent: "SignalingAgent") -> None:
+        """Route ``address`` (an exact address or a prefix) to ``agent``."""
+        self._table[address] = agent
+
+    def unregister(self, address: str) -> None:
+        self._table.pop(address, None)
+
+    def resolve(self, address: str) -> "SignalingAgent":
+        """The agent serving ``address``; exact match wins, then the
+        longest registered prefix."""
+        if address in self._table:
+            return self._table[address]
+        best = None
+        best_len = -1
+        for prefix, agent in self._table.items():
+            if address.startswith(prefix) and len(prefix) > best_len:
+                best = agent
+                best_len = len(prefix)
+        if best is None:
+            raise ConfigurationError("no route to address %r" % address)
+        return best
+
+    def addresses(self) -> Dict[str, "SignalingAgent"]:
+        return dict(self._table)

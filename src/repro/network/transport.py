@@ -1,0 +1,110 @@
+"""Reliable FIFO duplex links.
+
+A :class:`Link` is the simulated equivalent of the TCP connection that
+carries a signaling channel between two physical components (Sec. III-A:
+"A signaling channel is two-way, FIFO, and reliable").  Each direction
+preserves order even when the latency model jitters, by clamping each
+delivery to be no earlier than the previous delivery in that direction.
+
+A link between two *virtual* modules inside the same physical component
+("implemented by two software queues") is simply a link with zero latency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from .eventloop import EventLoop
+from .latency import FixedLatency, LatencyModel
+
+__all__ = ["Link", "LinkEnd"]
+
+Receiver = Callable[[Any], None]
+
+
+class LinkEnd:
+    """One end of a duplex link.
+
+    The owner installs a receiver callback; messages sent from the other
+    end are delivered to it, in order, after the link latency.
+    """
+
+    def __init__(self, link: "Link", side: int):
+        self._link = link
+        self._side = side
+        self._receiver: Optional[Receiver] = None
+        #: Latest delivery time already promised in the outgoing direction;
+        #: used to preserve FIFO order under jittered latency.
+        self._horizon = 0.0
+
+    @property
+    def link(self) -> "Link":
+        return self._link
+
+    @property
+    def peer(self) -> "LinkEnd":
+        """The opposite end of the link."""
+        return self._link.ends[1 - self._side]
+
+    def set_receiver(self, receiver: Receiver) -> None:
+        """Install the callback invoked for each delivered message."""
+        self._receiver = receiver
+
+    def send(self, message: Any) -> None:
+        """Send ``message`` to the peer end, FIFO and reliably."""
+        self._link.transmit(self, message)
+
+    def _deliver(self, message: Any) -> None:
+        if self._link.down:
+            return
+        if self._receiver is None:
+            raise RuntimeError(
+                "message delivered to a link end with no receiver: %r"
+                % (message,))
+        self._receiver(message)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<LinkEnd %s side=%d>" % (self._link.name, self._side)
+
+
+class Link:
+    """A reliable, FIFO, duplex message pipe with a latency model."""
+
+    _counter = 0
+
+    def __init__(self, loop: EventLoop,
+                 latency: Optional[LatencyModel] = None,
+                 name: Optional[str] = None):
+        Link._counter += 1
+        self.loop = loop
+        self.latency = latency if latency is not None else FixedLatency(0.0)
+        self.name = name or ("link-%d" % Link._counter)
+        self.ends = (LinkEnd(self, 0), LinkEnd(self, 1))
+        #: A torn-down link silently drops traffic still in flight,
+        #: matching a closed TCP connection.
+        self.down = False
+        #: Total messages handed to the link (observability).
+        self.sent = 0
+
+    def transmit(self, origin: LinkEnd, message: Any) -> None:
+        """Schedule delivery of ``message`` at the end opposite ``origin``."""
+        if self.down:
+            return
+        self.sent += 1
+        delay = self.latency.sample(self.loop.rng)
+        deliver_at = self.loop.now + delay
+        # FIFO restoration: never deliver before an earlier message in the
+        # same direction.
+        if deliver_at < origin._horizon:
+            deliver_at = origin._horizon
+        origin._horizon = deliver_at
+        target = origin.peer
+        self.loop.schedule_at(deliver_at, target._deliver, message)
+
+    def tear_down(self) -> None:
+        """Take the link down; queued and future messages are dropped."""
+        self.down = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = " DOWN" if self.down else ""
+        return "<Link %s sent=%d%s>" % (self.name, self.sent, state)

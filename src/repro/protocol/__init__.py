@@ -1,0 +1,32 @@
+"""The compositional media-control signaling protocol (Sec. VI)."""
+
+from .channel import (ChannelEnd, SignalingAgent, SignalingChannel,
+                      DEFAULT_TUNNEL)
+from .codecs import (AUDIO, NO_MEDIA, TEXT, VIDEO, Codec, Medium,
+                     best_common_codec, codecs_for_medium, registry,
+                     G711, G726, G729, OPUS_SIM,
+                     H261, H263, MPEG2_SD, MPEG4_HD, T140_TEXT)
+from .descriptor import Descriptor, DescriptorFactory, DescriptorId, Selector
+from .errors import (ConfigurationError, MediaControlError,
+                     PreconditionError, ProtocolError, ProtocolStateError)
+from .signals import (AppMeta, Available, ChannelUp, Close, CloseAck,
+                      Describe, MetaMessage, MetaSignal, Oack, Open, Select,
+                      TearDown, TunnelMessage, TunnelSignal, Unavailable)
+from .slot import (Slot, CLOSED, CLOSING, DEAD_STATES, FLOWING, LIVE_STATES,
+                   OPENED, OPENING)
+
+__all__ = [
+    "ChannelEnd", "SignalingAgent", "SignalingChannel", "DEFAULT_TUNNEL",
+    "AUDIO", "VIDEO", "TEXT", "NO_MEDIA", "Codec", "Medium",
+    "best_common_codec", "codecs_for_medium", "registry",
+    "G711", "G726", "G729", "OPUS_SIM",
+    "H261", "H263", "MPEG2_SD", "MPEG4_HD", "T140_TEXT",
+    "Descriptor", "DescriptorFactory", "DescriptorId", "Selector",
+    "ConfigurationError", "MediaControlError", "PreconditionError",
+    "ProtocolError", "ProtocolStateError",
+    "AppMeta", "Available", "ChannelUp", "Close", "CloseAck", "Describe",
+    "MetaMessage", "MetaSignal", "Oack", "Open", "Select", "TearDown",
+    "TunnelMessage", "TunnelSignal", "Unavailable",
+    "Slot", "CLOSED", "CLOSING", "OPENED", "OPENING", "FLOWING",
+    "LIVE_STATES", "DEAD_STATES",
+]

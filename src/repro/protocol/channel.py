@@ -1,0 +1,257 @@
+"""Signaling channels, tunnels, and the agents that own them.
+
+"Boxes are connected by signaling channels.  A signaling channel is
+two-way, FIFO, and reliable ...  Each signaling channel is partitioned
+statically into tunnels, each of which provides a separate two-way
+signaling capability.  Each tunnel can be used to control a separate
+media channel" (Sec. III-A).
+
+A :class:`SignalingChannel` rides a :class:`~repro.network.transport.Link`
+and multiplexes tunnel signals plus channel-scope meta-signals.  Each of
+its two :class:`ChannelEnd` objects belongs to a :class:`SignalingAgent`
+(a box, user device, or media resource); received messages are queued as
+stimuli on the agent's node, paying the per-stimulus processing cost
+``c`` of Sec. VIII-C.
+
+Teardown is asymmetric in time, like the real network: the initiating
+side's slots die immediately, a ``TearDown`` meta-signal crosses the
+link, and the peer's slots die when it arrives (its owner is notified
+through ``on_channel_gone``).  Signals still in flight toward a dead end
+are dropped, which is exactly what a closed TCP connection does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..network.eventloop import EventLoop
+from ..network.latency import LatencyModel
+from ..network.node import Node
+from ..network.transport import Link
+from .errors import ConfigurationError
+from .signals import (ChannelUp, MetaMessage, MetaSignal, TearDown,
+                      TunnelMessage, TunnelSignal)
+from .slot import Slot
+
+__all__ = ["SignalingAgent", "ChannelEnd", "SignalingChannel",
+           "DEFAULT_TUNNEL"]
+
+#: Tunnel id used by single-medium applications, which dominate
+#: (Sec. IV-B: "It is typical of single-medium applications ... that when
+#: a media channel is no longer needed, the entire signaling channel is
+#: destroyed").
+DEFAULT_TUNNEL = "t0"
+
+
+class SignalingAgent:
+    """Base class for anything that owns channel ends.
+
+    Subclasses are boxes (:class:`repro.core.box.Box`) and media
+    endpoints (:class:`repro.media.endpoint.MediaEndpoint`).  They
+    override the ``on_*`` hooks; each hook runs as one stimulus on the
+    agent's :class:`~repro.network.node.Node`, paying cost ``c``.
+    """
+
+    def __init__(self, loop: EventLoop, name: str, cost: float = 0.0):
+        self.loop = loop
+        self.name = name
+        self.node = Node(loop, name=name, cost=cost)
+        self.channel_ends: List["ChannelEnd"] = []
+
+    # -- hooks -----------------------------------------------------------
+    def on_tunnel_signal(self, slot: Slot, signal: TunnelSignal) -> None:
+        """A tunnel signal was received and accepted by ``slot``."""
+        raise NotImplementedError
+
+    def on_meta(self, end: "ChannelEnd", signal: MetaSignal) -> None:
+        """A meta-signal arrived on one of this agent's channels."""
+        raise NotImplementedError
+
+    def on_channel_gone(self, end: "ChannelEnd") -> None:
+        """The peer tore the channel down; all slots of ``end`` have
+        already been force-closed.  Default: nothing."""
+
+    # -- plumbing ---------------------------------------------------------
+    def _adopt_end(self, end: "ChannelEnd") -> None:
+        self.channel_ends.append(end)
+
+    def _drop_end(self, end: "ChannelEnd") -> None:
+        if end in self.channel_ends:
+            self.channel_ends.remove(end)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<%s %s>" % (type(self).__name__, self.name)
+
+
+class ChannelEnd:
+    """One agent's end of a signaling channel: a set of slots plus the
+    meta-signal capability."""
+
+    def __init__(self, channel: "SignalingChannel", side: int,
+                 owner: SignalingAgent, strict: bool):
+        self.channel = channel
+        self.side = side
+        self.owner = owner
+        self.alive = True
+        self.slots: Dict[str, Slot] = {
+            tid: Slot(self, tid, strict=strict)
+            for tid in channel.tunnel_ids}
+
+    # -- identity ---------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return "%s@%s" % (self.owner.name, self.channel.name)
+
+    @property
+    def is_initiator(self) -> bool:
+        return self.side == 0
+
+    @property
+    def peer(self) -> "ChannelEnd":
+        return self.channel.ends[1 - self.side]
+
+    def slot(self, tunnel_id: str = DEFAULT_TUNNEL) -> Slot:
+        try:
+            return self.slots[tunnel_id]
+        except KeyError:
+            raise ConfigurationError(
+                "channel %s has no tunnel %r (tunnels: %s)"
+                % (self.channel.name, tunnel_id,
+                   ", ".join(self.channel.tunnel_ids)))
+
+    def peer_slot(self, tunnel_id: str = DEFAULT_TUNNEL) -> Slot:
+        """The slot at the other end of the same tunnel."""
+        return self.peer.slot(tunnel_id)
+
+    # -- sending ----------------------------------------------------------
+    def send_tunnel(self, tunnel_id: str, signal: TunnelSignal) -> None:
+        if not self.alive:
+            return
+        self._link_end.send(TunnelMessage(tunnel_id, signal))
+
+    def send_meta(self, signal: MetaSignal) -> None:
+        if not self.alive:
+            return
+        self._link_end.send(MetaMessage(signal))
+
+    def tear_down(self) -> None:
+        """Destroy the whole signaling channel from this side.
+
+        This side's slots die now; the peer's die when the ``TearDown``
+        meta-signal reaches it.
+        """
+        if not self.alive:
+            return
+        self.send_meta(TearDown())
+        self._shutdown(notify=False)
+
+    def _shutdown(self, notify: bool) -> None:
+        if not self.alive:
+            return
+        self.alive = False
+        for slot in self.slots.values():
+            slot.force_close()
+        self.owner._drop_end(self)
+        if not self.peer.alive:
+            self.channel.link.tear_down()
+        if notify:
+            self.owner.on_channel_gone(self)
+
+    # -- receiving ---------------------------------------------------------
+    @property
+    def _link_end(self):
+        return self.channel.link.ends[self.side]
+
+    def _receive(self, message) -> None:
+        # Runs inline at link-delivery time; queue as one stimulus so the
+        # owner pays its processing cost c before reacting.
+        self.owner.node.enqueue(self._process, message)
+
+    def _process(self, message) -> None:
+        if not self.alive:
+            return
+        if isinstance(message, TunnelMessage):
+            slot = self.slot(message.tunnel_id)
+            if slot.receive(message.signal):
+                self.owner.on_tunnel_signal(slot, message.signal)
+        elif isinstance(message, MetaMessage):
+            if isinstance(message.signal, TearDown):
+                self._shutdown(notify=True)
+            else:
+                self.owner.on_meta(self, message.signal)
+        else:  # pragma: no cover - wire carries only the two envelopes
+            raise ConfigurationError("unknown message %r" % (message,))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<ChannelEnd %s side=%d%s>" % (
+            self.name, self.side, "" if self.alive else " dead")
+
+
+class SignalingChannel:
+    """A two-way, FIFO, reliable signaling channel between two agents.
+
+    ``ends[0]`` belongs to the initiator (the side that set the channel
+    up), which matters for open/open race resolution.  On creation a
+    :class:`ChannelUp` meta-signal travels to the callee side so its
+    program can react to the incoming channel.
+    """
+
+    _counter = 0
+
+    def __init__(self, loop: EventLoop, initiator: SignalingAgent,
+                 responder: SignalingAgent,
+                 tunnel_ids: Iterable[str] = (DEFAULT_TUNNEL,),
+                 latency: Optional[LatencyModel] = None,
+                 name: Optional[str] = None,
+                 target: str = "",
+                 strict: bool = True,
+                 announce: bool = True):
+        SignalingChannel._counter += 1
+        self.loop = loop
+        self.name = name or ("ch%d" % SignalingChannel._counter)
+        self.tunnel_ids: Tuple[str, ...] = tuple(tunnel_ids)
+        if not self.tunnel_ids:
+            raise ConfigurationError("a channel needs at least one tunnel")
+        if len(set(self.tunnel_ids)) != len(self.tunnel_ids):
+            raise ConfigurationError("duplicate tunnel ids: %r"
+                                     % (self.tunnel_ids,))
+        if initiator is responder:
+            raise ConfigurationError(
+                "a signaling channel cannot loop back to %s" % initiator.name)
+        self.link = Link(loop, latency=latency, name=self.name)
+        self.target = target
+        self.ends = (ChannelEnd(self, 0, initiator, strict),
+                     ChannelEnd(self, 1, responder, strict))
+        for end in self.ends:
+            end._link_end.set_receiver(end._receive)
+            end.owner._adopt_end(end)
+        if announce:
+            self.ends[0].send_meta(ChannelUp(target=target))
+
+    # -- convenience -------------------------------------------------------
+    @property
+    def initiator_end(self) -> ChannelEnd:
+        return self.ends[0]
+
+    @property
+    def responder_end(self) -> ChannelEnd:
+        return self.ends[1]
+
+    @property
+    def active(self) -> bool:
+        """True while at least one side still holds the channel."""
+        return self.ends[0].alive or self.ends[1].alive
+
+    def end_for(self, owner: SignalingAgent) -> ChannelEnd:
+        """The end owned by ``owner``."""
+        for end in self.ends:
+            if end.owner is owner:
+                return end
+        raise ConfigurationError(
+            "%s does not own an end of %s" % (owner.name, self.name))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "up" if self.active else "down"
+        return "<SignalingChannel %s %s (%s -- %s)>" % (
+            self.name, state, self.ends[0].owner.name,
+            self.ends[1].owner.name)

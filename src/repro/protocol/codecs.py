@@ -1,0 +1,106 @@
+"""Media, codecs, and the ``noMedia`` pseudo-codec (Sec. VI-A).
+
+A *codec* is a data format for a medium: "G.726 is a lower-fidelity and
+lower-bandwidth codec for audio, while G.711 is a higher-fidelity and
+higher-bandwidth codec" (Sec. VI-A).  ``NO_MEDIA`` is the distinguished
+pseudo-codec indicating no media transmission; it is what application
+servers offer and select, because "a slot in an application server may be
+masquerading as a media endpoint, but it is not a genuine media endpoint"
+(Sec. IV-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+__all__ = [
+    "Codec", "Medium", "NO_MEDIA",
+    "G711", "G726", "G729", "OPUS_SIM",
+    "H261", "H263", "MPEG2_SD", "MPEG4_HD",
+    "T140_TEXT",
+    "AUDIO", "VIDEO", "TEXT",
+    "registry", "codecs_for_medium", "best_common_codec",
+]
+
+
+@dataclass(frozen=True, order=True)
+class Codec:
+    """A named codec with a medium, relative fidelity, and bandwidth.
+
+    ``fidelity`` is an abstract quality score used for priority ordering;
+    ``bandwidth`` is in kbit/s and is used by the media plane to account
+    for simulated stream load.
+    """
+
+    name: str
+    medium: str
+    fidelity: int
+    bandwidth: float
+
+    @property
+    def is_real(self) -> bool:
+        """True for every codec except the ``noMedia`` pseudo-codec."""
+        return self.name != "noMedia"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+# media
+AUDIO = "audio"
+VIDEO = "video"
+TEXT = "text"
+
+Medium = str
+
+#: The distinguished pseudo-codec: "We use noMedia as the name of a
+#: distinguished pseudo-codec indicating no media transmission."
+NO_MEDIA = Codec("noMedia", "none", 0, 0.0)
+
+# audio codecs (fidelity ordering per Sec. VI-A: G.711 > G.726)
+G711 = Codec("G.711", AUDIO, 50, 64.0)
+G726 = Codec("G.726", AUDIO, 40, 32.0)
+G729 = Codec("G.729", AUDIO, 30, 8.0)
+OPUS_SIM = Codec("OPUS", AUDIO, 60, 48.0)
+
+# video codecs
+H261 = Codec("H.261", VIDEO, 20, 384.0)
+H263 = Codec("H.263", VIDEO, 30, 512.0)
+MPEG2_SD = Codec("MPEG2-SD", VIDEO, 40, 4000.0)
+MPEG4_HD = Codec("MPEG4-HD", VIDEO, 60, 8000.0)
+
+# text
+T140_TEXT = Codec("T.140", TEXT, 10, 1.0)
+
+_ALL = (G711, G726, G729, OPUS_SIM, H261, H263, MPEG2_SD, MPEG4_HD,
+        T140_TEXT, NO_MEDIA)
+
+
+def registry() -> Dict[str, Codec]:
+    """Name → codec mapping of every built-in codec."""
+    return {c.name: c for c in _ALL}
+
+
+def codecs_for_medium(medium: Medium) -> Tuple[Codec, ...]:
+    """All real codecs for ``medium``, best fidelity first."""
+    found = [c for c in _ALL if c.medium == medium and c.is_real]
+    return tuple(sorted(found, key=lambda c: -c.fidelity))
+
+
+def best_common_codec(offered: Sequence[Codec],
+                      supported: Iterable[Codec]) -> Optional[Codec]:
+    """Pick the sender's codec for a received descriptor.
+
+    ``offered`` is the receiver's priority-ordered codec list from its
+    descriptor; ``supported`` is what the sender can produce.  Per
+    Sec. VI-B, "the sender should choose the highest-priority codec that
+    it is able and willing to send" — i.e. the first offered codec that is
+    also supported.  Returns ``None`` when there is no real common codec
+    (including when the descriptor offers only ``noMedia``).
+    """
+    supported_set = {c for c in supported if c.is_real}
+    for codec in offered:
+        if codec.is_real and codec in supported_set:
+            return codec
+    return None

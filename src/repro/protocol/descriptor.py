@@ -1,0 +1,146 @@
+"""Descriptors and selectors (Sec. VI-B).
+
+A *descriptor* is "a record in which an endpoint describes itself as a
+receiver of media": an address plus a priority-ordered list of codecs,
+or the single pseudo-codec ``noMedia`` when the endpoint does not wish
+to receive (``muteIn``).
+
+A *selector* is "a record in which an endpoint declares its intention to
+send to the endpoint described by a descriptor": it identifies the
+descriptor it answers, carries the sender's address, and names either a
+single codec chosen from the descriptor's list or ``noMedia``
+(``muteOut``).
+
+Descriptors carry an identity ``(origin, version)``.  The paper's
+verification (Sec. VIII-A) defines the ``bothFlowing`` condition through
+exactly this matching: each end has received the descriptor the other
+most recently sent, and a selector answering its own most recent
+descriptor.  Origin counters make the matching precise in code.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..network.address import Address
+from .codecs import Codec, NO_MEDIA
+from .errors import ProtocolError
+
+__all__ = ["DescriptorId", "Descriptor", "Selector", "DescriptorFactory"]
+
+
+@dataclass(frozen=True, order=True)
+class DescriptorId:
+    """Identity of one descriptor: who minted it and its version."""
+
+    origin: str
+    version: int
+
+    def __str__(self) -> str:
+        return "%s#%d" % (self.origin, self.version)
+
+
+@dataclass(frozen=True)
+class Descriptor:
+    """Self-description of one media receiver.
+
+    ``codecs`` is priority-ordered, best first.  A ``noMedia`` descriptor
+    has ``codecs == (NO_MEDIA,)`` and no address.
+    """
+
+    id: DescriptorId
+    address: Optional[Address]
+    codecs: Tuple[Codec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.codecs:
+            raise ProtocolError("descriptor must offer at least one codec "
+                                "(use noMedia to refuse media)")
+        real = [c for c in self.codecs if c.is_real]
+        if real and NO_MEDIA in self.codecs:
+            raise ProtocolError(
+                "descriptor mixes real codecs with noMedia: %r"
+                % (self.codecs,))
+        if real and self.address is None:
+            raise ProtocolError(
+                "descriptor offering real codecs needs an address")
+
+    @property
+    def is_no_media(self) -> bool:
+        """True when this descriptor refuses inbound media (muteIn)."""
+        return self.codecs == (NO_MEDIA,)
+
+    def __str__(self) -> str:
+        if self.is_no_media:
+            return "desc[%s noMedia]" % self.id
+        return "desc[%s %s %s]" % (
+            self.id, self.address, "/".join(c.name for c in self.codecs))
+
+
+@dataclass(frozen=True)
+class Selector:
+    """A response to a descriptor, declaring the sender's intention.
+
+    ``answers`` names the descriptor this selector responds to; ``codec``
+    is either one codec from that descriptor's list or ``NO_MEDIA``.
+    """
+
+    answers: DescriptorId
+    address: Optional[Address]
+    codec: Codec
+
+    @property
+    def is_no_media(self) -> bool:
+        """True when the sender declines to transmit (muteOut)."""
+        return not self.codec.is_real
+
+    def answers_descriptor(self, descriptor: Descriptor) -> bool:
+        """Does this selector respond to exactly ``descriptor``?"""
+        return self.answers == descriptor.id
+
+    def validate_against(self, descriptor: Descriptor) -> None:
+        """Check the codec choice is legal for ``descriptor``.
+
+        "The only legal response to a descriptor noMedia is a selector
+        noMedia"; otherwise the codec must come from the descriptor's
+        offered list (or be ``noMedia``).
+        """
+        if not self.answers_descriptor(descriptor):
+            raise ProtocolError(
+                "selector answers %s, not %s" % (self.answers, descriptor.id))
+        if descriptor.is_no_media and self.codec.is_real:
+            raise ProtocolError(
+                "real selector %s answering a noMedia descriptor"
+                % (self.codec,))
+        if self.codec.is_real and self.codec not in descriptor.codecs:
+            raise ProtocolError(
+                "selector codec %s not offered by %s"
+                % (self.codec, descriptor))
+
+    def __str__(self) -> str:
+        return "sel[->%s %s]" % (self.answers, self.codec)
+
+
+@dataclass
+class DescriptorFactory:
+    """Mints versioned descriptors for one origin.
+
+    Endpoints own a factory keyed by their name; flowlinks and server
+    goals own factories for the placeholder ``noMedia`` descriptors they
+    must emit before a real descriptor is available.
+    """
+
+    origin: str
+    _versions: "itertools.count" = field(default_factory=itertools.count)
+
+    def descriptor(self, address: Optional[Address],
+                   codecs: Tuple[Codec, ...]) -> Descriptor:
+        """Mint a fresh descriptor with the next version number."""
+        did = DescriptorId(self.origin, next(self._versions))
+        return Descriptor(did, address, codecs)
+
+    def no_media(self) -> Descriptor:
+        """Mint a fresh ``noMedia`` descriptor (refusing inbound media)."""
+        return self.descriptor(None, (NO_MEDIA,))

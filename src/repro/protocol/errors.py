@@ -1,0 +1,47 @@
+"""Exception hierarchy for the signaling protocol and primitives."""
+
+from __future__ import annotations
+
+__all__ = [
+    "MediaControlError",
+    "ProtocolError",
+    "ProtocolStateError",
+    "PreconditionError",
+    "ConfigurationError",
+]
+
+
+class MediaControlError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ProtocolError(MediaControlError):
+    """A signal arrived (or was about to be sent) that the protocol of
+    Sec. VI does not permit."""
+
+
+class ProtocolStateError(ProtocolError):
+    """A send was attempted from a slot state that forbids it.
+
+    Carries the slot, attempted signal kind, and current state so tests
+    and programs can report precisely what was violated.
+    """
+
+    def __init__(self, slot, action: str, state: str):
+        self.slot = slot
+        self.action = action
+        self.state = state
+        super().__init__(
+            "cannot %s from slot state %r (%s)" % (action, state, slot))
+
+
+class PreconditionError(MediaControlError):
+    """A goal-primitive precondition was violated, e.g. annotating
+    ``openSlot(s, m)`` in a program state entered while ``s`` is not
+    closed, or flowlinking two slots with different media (Sec. IV-A)."""
+
+
+class ConfigurationError(MediaControlError):
+    """The graph of boxes and signaling channels is malformed, e.g. a
+    slot assigned to two goals, an unknown address, or a cyclic signaling
+    path."""

@@ -1,0 +1,191 @@
+"""Tunnel signals and channel meta-signals (Secs. III-A, VI-B).
+
+Tunnel signals operate the media-control protocol in one tunnel:
+``open``, ``oack``, ``close``, ``closeack``, ``describe``, ``select``.
+
+Meta-signals "refer to the signaling channel as a whole, and can affect
+all the tunnels within it.  Meta-signals set up and tear down signaling
+channels.  They can indicate that the intended far endpoint is currently
+available or unavailable, as well as other conditions" (Sec. III-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from .codecs import Medium
+from .descriptor import Descriptor, Selector
+
+__all__ = [
+    "TunnelSignal", "Open", "Oack", "Close", "CloseAck",
+    "Describe", "Select",
+    "MetaSignal", "ChannelUp", "TearDown", "Available", "Unavailable",
+    "AppMeta",
+    "TunnelMessage", "MetaMessage",
+]
+
+
+# ----------------------------------------------------------------------
+# tunnel signals
+# ----------------------------------------------------------------------
+class TunnelSignal:
+    """Base class for the six media-control signals."""
+
+    kind = "signal"
+
+    def __str__(self) -> str:
+        return self.kind
+
+
+@dataclass(frozen=True)
+class Open(TunnelSignal):
+    """Attempt to open a media channel.
+
+    "Each open signal carries the medium being requested, and a
+    descriptor" (Sec. VI-B).
+    """
+
+    medium: Medium
+    descriptor: Descriptor
+    kind = "open"
+
+    def __str__(self) -> str:
+        return "open(%s, %s)" % (self.medium, self.descriptor)
+
+
+@dataclass(frozen=True)
+class Oack(TunnelSignal):
+    """Affirmative response to ``open``, carrying the acceptor's
+    descriptor."""
+
+    descriptor: Descriptor
+    kind = "oack"
+
+    def __str__(self) -> str:
+        return "oack(%s)" % (self.descriptor,)
+
+
+@dataclass(frozen=True)
+class Close(TunnelSignal):
+    """Close (or reject) the media channel.  "Note that close now plays
+    the role of both close and reject in Figure 5."""
+
+    kind = "close"
+
+
+@dataclass(frozen=True)
+class CloseAck(TunnelSignal):
+    """Mandatory acknowledgement of ``close``; drains the tunnel lane so
+    it can be reused cleanly."""
+
+    kind = "closeack"
+
+
+@dataclass(frozen=True)
+class Describe(TunnelSignal):
+    """A new self-description of the sender as a media receiver; the
+    receiver "must respond with a new selector in a select signal, if
+    only to show that it has received the descriptor" (Sec. VI-B)."""
+
+    descriptor: Descriptor
+    kind = "describe"
+
+    def __str__(self) -> str:
+        return "describe(%s)" % (self.descriptor,)
+
+
+@dataclass(frozen=True)
+class Select(TunnelSignal):
+    """A selector: the sender's declared intention toward a received
+    descriptor."""
+
+    selector: Selector
+    kind = "select"
+
+    def __str__(self) -> str:
+        return "select(%s)" % (self.selector,)
+
+
+# ----------------------------------------------------------------------
+# meta-signals
+# ----------------------------------------------------------------------
+class MetaSignal:
+    """Base class for channel-scope signals."""
+
+    kind = "meta"
+
+    def __str__(self) -> str:
+        return self.kind
+
+
+@dataclass(frozen=True)
+class ChannelUp(MetaSignal):
+    """Delivered to the callee-side owner when a new signaling channel
+    reaches it.  ``target`` is the dialed address string, so a box
+    serving several addresses can demultiplex."""
+
+    target: str
+    kind = "channel-up"
+
+
+@dataclass(frozen=True)
+class TearDown(MetaSignal):
+    """The whole signaling channel is being destroyed; "a meta-action
+    that of course destroys all its tunnels and slots" (Sec. IV-B)."""
+
+    kind = "teardown"
+
+
+@dataclass(frozen=True)
+class Available(MetaSignal):
+    """The intended far endpoint is currently available (e.g. ringing
+    succeeded)."""
+
+    kind = "available"
+
+
+@dataclass(frozen=True)
+class Unavailable(MetaSignal):
+    """The intended far endpoint is unavailable (busy, unreachable)."""
+
+    reason: str = "busy"
+    kind = "unavailable"
+
+
+@dataclass(frozen=True)
+class AppMeta(MetaSignal):
+    """Application-defined meta-signal (e.g. "user has paid" from the
+    interactive-voice resource to the prepaid-card server, or mix-matrix
+    commands to a conference bridge, Sec. IV-B)."""
+
+    name: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    kind = "app"
+
+    def __str__(self) -> str:
+        return "app:%s%s" % (self.name, self.payload or "")
+
+
+# ----------------------------------------------------------------------
+# wire envelopes
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TunnelMessage:
+    """Envelope routing a tunnel signal to one tunnel of a channel."""
+
+    tunnel_id: str
+    signal: TunnelSignal
+
+    def __str__(self) -> str:
+        return "[%s] %s" % (self.tunnel_id, self.signal)
+
+
+@dataclass(frozen=True)
+class MetaMessage:
+    """Envelope for a channel-scope meta-signal."""
+
+    signal: MetaSignal
+
+    def __str__(self) -> str:
+        return "[meta] %s" % (self.signal,)

@@ -1,0 +1,304 @@
+"""The slot: a per-tunnel protocol endpoint (Figs. 5 and 9).
+
+"Each signaling channel is partitioned statically into tunnels ...  The
+endpoint of a tunnel at a box is called a slot ...  each slot is a
+protocol endpoint" (Sec. III-A).
+
+A :class:`Slot` implements the finite-state machine of Fig. 9 with states
+``closed``, ``opening``, ``opened``, ``flowing``, and ``closing``.  It
+validates every send against the protocol, updates state for every
+receive, resolves open/open races (the channel-initiator side wins,
+Sec. VI-B), automatically acknowledges ``close`` with ``closeack``, and
+silently drains signals that are stale because a close is in progress.
+
+Following Sec. VII, the slot "maintains the complete
+implementation-level state of the slot, consisting of protocol state,
+medium, and descriptor", where "the descriptor of a slot ... is the most
+recent descriptor received in an open, oack, or describe signal."
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from .codecs import Medium
+from .descriptor import Descriptor, Selector
+from .errors import ProtocolError, ProtocolStateError
+from .signals import (Close, CloseAck, Describe, Oack, Open, Select,
+                      TunnelSignal)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .channel import ChannelEnd
+
+__all__ = [
+    "Slot",
+    "CLOSED", "OPENING", "OPENED", "FLOWING", "CLOSING",
+    "LIVE_STATES", "DEAD_STATES",
+]
+
+CLOSED = "closed"
+OPENING = "opening"
+OPENED = "opened"
+FLOWING = "flowing"
+CLOSING = "closing"
+
+#: Fig. 12: "The live states are opening, opened and flowing.  The dead
+#: states are closed and closing."
+LIVE_STATES = frozenset((OPENING, OPENED, FLOWING))
+DEAD_STATES = frozenset((CLOSED, CLOSING))
+
+
+class Slot:
+    """One protocol endpoint of one tunnel."""
+
+    def __init__(self, channel_end: "ChannelEnd", tunnel_id: str,
+                 strict: bool = True):
+        self._end = channel_end
+        self.tunnel_id = tunnel_id
+        #: Strict slots raise :class:`ProtocolError` on illegal receives;
+        #: lenient slots count them and pass them up unprocessed (used by
+        #: the deliberately erroneous Fig. 2 demonstration, whose servers
+        #: forward signals they do not understand).
+        self.strict = strict
+
+        self.state = CLOSED
+        self.medium: Optional[Medium] = None
+        #: Most recent descriptor *received* (open/oack/describe).
+        self.remote_descriptor: Optional[Descriptor] = None
+        #: Most recent descriptor *sent* (open/oack/describe).
+        self.local_descriptor: Optional[Descriptor] = None
+        #: Most recent selector received / sent while flowing.
+        self.selector_received: Optional[Selector] = None
+        self.selector_sent: Optional[Selector] = None
+
+        # observability counters
+        self.race_drops = 0      # opens lost to the initiator-wins rule
+        self.stale_drops = 0     # signals drained during closing
+        self.invalid_drops = 0   # illegal receives dropped in lenient mode
+        self.signals_sent = 0
+        self.signals_received = 0
+
+    # ------------------------------------------------------------------
+    # identity and predicates
+    # ------------------------------------------------------------------
+    @property
+    def channel_end(self) -> "ChannelEnd":
+        return self._end
+
+    @property
+    def name(self) -> str:
+        return "%s/%s" % (self._end.name, self.tunnel_id)
+
+    @property
+    def is_initiator(self) -> bool:
+        """True when this slot's channel end initiated channel setup;
+        "the winner of the race is always the end of the tunnel that
+        initiated setup of the signaling channel" (Sec. VI-B)."""
+        return self._end.is_initiator
+
+    @property
+    def is_closed(self) -> bool:
+        return self.state == CLOSED
+
+    @property
+    def is_opening(self) -> bool:
+        return self.state == OPENING
+
+    @property
+    def is_opened(self) -> bool:
+        return self.state == OPENED
+
+    @property
+    def is_flowing(self) -> bool:
+        return self.state == FLOWING
+
+    @property
+    def is_closing(self) -> bool:
+        return self.state == CLOSING
+
+    @property
+    def is_live(self) -> bool:
+        return self.state in LIVE_STATES
+
+    @property
+    def is_dead(self) -> bool:
+        return self.state in DEAD_STATES
+
+    @property
+    def is_described(self) -> bool:
+        """Sec. VII: "A slot is described if the object has received a
+        current descriptor for it.  Slots in the opened and flowing
+        states are described"."""
+        return self.remote_descriptor is not None
+
+    # ------------------------------------------------------------------
+    # sending (validated per Fig. 9)
+    # ------------------------------------------------------------------
+    def send_open(self, medium: Medium, descriptor: Descriptor) -> None:
+        """Send ``open``; legal only from ``closed``."""
+        if self.state != CLOSED:
+            raise ProtocolStateError(self, "send open", self.state)
+        self.state = OPENING
+        self.medium = medium
+        self.local_descriptor = descriptor
+        self._transmit(Open(medium, descriptor))
+
+    def send_oack(self, descriptor: Descriptor) -> None:
+        """Send ``oack``; legal only from ``opened``."""
+        if self.state != OPENED:
+            raise ProtocolStateError(self, "send oack", self.state)
+        self.state = FLOWING
+        self.local_descriptor = descriptor
+        self._transmit(Oack(descriptor))
+
+    def send_close(self) -> None:
+        """Send ``close`` (also the protocol's reject); legal from any
+        live state."""
+        if self.state not in LIVE_STATES:
+            raise ProtocolStateError(self, "send close", self.state)
+        self.state = CLOSING
+        self._transmit(Close())
+
+    def send_describe(self, descriptor: Descriptor) -> None:
+        """Send a fresh self-description; legal only while ``flowing``."""
+        if self.state != FLOWING:
+            raise ProtocolStateError(self, "send describe", self.state)
+        self.local_descriptor = descriptor
+        self._transmit(Describe(descriptor))
+
+    def send_select(self, selector: Selector) -> None:
+        """Send a selector; legal only while ``flowing``, and only in
+        answer to the most recent received descriptor."""
+        if self.state != FLOWING:
+            raise ProtocolStateError(self, "send select", self.state)
+        if self.remote_descriptor is None:
+            raise ProtocolError(
+                "%s: select with no received descriptor" % self.name)
+        selector.validate_against(self.remote_descriptor)
+        self.selector_sent = selector
+        self._transmit(Select(selector))
+
+    def _transmit(self, signal: TunnelSignal) -> None:
+        self.signals_sent += 1
+        self._end.send_tunnel(self.tunnel_id, signal)
+
+    # ------------------------------------------------------------------
+    # receiving
+    # ------------------------------------------------------------------
+    def receive(self, signal: TunnelSignal) -> bool:
+        """Apply one received signal to the FSM.
+
+        Returns ``True`` when the signal should be passed up to the goal
+        object controlling this slot, ``False`` when the slot consumed it
+        (race-losing opens at the winner, stale signals while closing,
+        pure-bookkeeping closeacks are still passed up so goals can react
+        to reopening opportunities).
+        """
+        self.signals_received += 1
+        handler = getattr(self, "_recv_%s" % self.state, None)
+        if handler is None:  # pragma: no cover - states are exhaustive
+            raise AssertionError("slot in unknown state %r" % self.state)
+        return handler(signal)
+
+    # -- per-state receive handlers --
+    def _recv_closed(self, signal: TunnelSignal) -> bool:
+        if isinstance(signal, Open):
+            self.state = OPENED
+            self.medium = signal.medium
+            self.remote_descriptor = signal.descriptor
+            return True
+        return self._illegal(signal)
+
+    def _recv_opening(self, signal: TunnelSignal) -> bool:
+        if isinstance(signal, Open):
+            # open/open race in this tunnel (Sec. VI-B).
+            if self.is_initiator:
+                # We win: "the losing open signal is simply ignored."
+                self.race_drops += 1
+                return False
+            # We lose: back off and become the acceptor; our own open
+            # will be ignored at the winner.
+            self.state = OPENED
+            self.medium = signal.medium
+            self.remote_descriptor = signal.descriptor
+            return True
+        if isinstance(signal, Oack):
+            self.state = FLOWING
+            self.remote_descriptor = signal.descriptor
+            return True
+        if isinstance(signal, Close):
+            # The peer rejected (or closed before answering).
+            self._acknowledge_close()
+            return True
+        return self._illegal(signal)
+
+    def _recv_opened(self, signal: TunnelSignal) -> bool:
+        if isinstance(signal, Close):
+            # The opener gave up before we answered.
+            self._acknowledge_close()
+            return True
+        return self._illegal(signal)
+
+    def _recv_flowing(self, signal: TunnelSignal) -> bool:
+        if isinstance(signal, Describe):
+            self.remote_descriptor = signal.descriptor
+            return True
+        if isinstance(signal, Select):
+            self.selector_received = signal.selector
+            return True
+        if isinstance(signal, Close):
+            self._acknowledge_close()
+            return True
+        return self._illegal(signal)
+
+    def _recv_closing(self, signal: TunnelSignal) -> bool:
+        if isinstance(signal, Close):
+            # Crossing closes: acknowledge theirs, keep waiting for the
+            # acknowledgement of ours.
+            self._transmit(CloseAck())
+            return True
+        if isinstance(signal, CloseAck):
+            self._reset_to_closed()
+            return True
+        if isinstance(signal, (Open, Oack, Describe, Select)):
+            # The peer sent these before it saw our close; drain them.
+            # (An ``open`` here is the crossing-open case: the peer's
+            # open and our close passed each other, and our close
+            # already acts as its rejection.)
+            self.stale_drops += 1
+            return False
+        return self._illegal(signal)
+
+    # -- shared pieces --
+    def _acknowledge_close(self) -> None:
+        self._transmit(CloseAck())
+        self._reset_to_closed()
+
+    def _reset_to_closed(self) -> None:
+        self.state = CLOSED
+        self.medium = None
+        self.remote_descriptor = None
+        self.local_descriptor = None
+        self.selector_received = None
+        self.selector_sent = None
+
+    def force_close(self) -> None:
+        """Destroy the slot's state without signaling; used when the whole
+        signaling channel is torn down (teardown "destroys all its
+        tunnels and slots", Sec. IV-B)."""
+        self._reset_to_closed()
+
+    def _illegal(self, signal: TunnelSignal) -> bool:
+        if self.strict:
+            raise ProtocolError(
+                "%s: illegal %s in state %s"
+                % (self.name, signal.kind, self.state))
+        # Lenient mode (used to model uncoordinated legacy servers, the
+        # Fig. 2 demonstration): count the violation but still show the
+        # signal to the owner, which may forward it blindly.  The slot's
+        # own state is left untouched.
+        self.invalid_drops += 1
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<Slot %s %s medium=%s>" % (self.name, self.state, self.medium)

@@ -1,0 +1,18 @@
+"""Formal specification of compositional semantics (Sec. V)."""
+
+from .ltl import (always, always_eventually, eventually, eventually_always,
+                  holds_at_end)
+from .monitor import PathMonitor, PathSnapshot, SpecViolation
+from .path import SignalingPath, all_paths, endpoint_role, trace_path
+from .spec import (both_closed, both_flowing, check_path_now,
+                   descriptors_settled, expected_property,
+                   EXPECTED_PROPERTY)
+
+__all__ = [
+    "always", "always_eventually", "eventually", "eventually_always",
+    "holds_at_end",
+    "PathMonitor", "PathSnapshot", "SpecViolation",
+    "SignalingPath", "all_paths", "endpoint_role", "trace_path",
+    "both_closed", "both_flowing", "check_path_now",
+    "descriptors_settled", "expected_property", "EXPECTED_PROPERTY",
+]

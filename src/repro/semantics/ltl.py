@@ -1,0 +1,68 @@
+"""Finite-trace temporal operators (stability and recurrence).
+
+The paper specifies path correctness with two linear-temporal-logic
+shapes: stability ``◇□P`` ("eventually the path reaches P and remains
+there") and recurrence ``□◇P`` ("the path always eventually returns to
+P").  Two evaluation modes are provided:
+
+* **finite traces with stutter extension** — a simulation trace is
+  finite; its last state is assumed to repeat forever.  Under that
+  reading both shapes reduce to conditions on suffixes, implemented
+  here.  This is what the runtime monitor uses.
+
+* **state graphs with cycles** — used by the model checker
+  (:mod:`repro.verification.properties`), where infinite behaviours are
+  lassos; that module implements the cycle-based criteria.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+__all__ = [
+    "eventually_always", "always_eventually", "eventually", "always",
+    "holds_at_end",
+]
+
+S = TypeVar("S")
+Pred = Callable[[S], bool]
+
+
+def always(pred: Pred, trace: Sequence[S]) -> bool:
+    """``□P`` on a finite trace: P at every state."""
+    return all(pred(s) for s in trace)
+
+
+def eventually(pred: Pred, trace: Sequence[S]) -> bool:
+    """``◇P`` on a finite trace: P at some state."""
+    return any(pred(s) for s in trace)
+
+
+def eventually_always(pred: Pred, trace: Sequence[S]) -> bool:
+    """``◇□P`` with stutter extension: some suffix satisfies P at every
+    state (the empty-trace case is vacuously false)."""
+    if not trace:
+        return False
+    suffix_ok = False
+    for i in range(len(trace) - 1, -1, -1):
+        if not pred(trace[i]):
+            break
+        suffix_ok = True
+    return suffix_ok
+
+
+def always_eventually(pred: Pred, trace: Sequence[S]) -> bool:
+    """``□◇P`` with stutter extension.
+
+    On a finite trace whose last state repeats forever, ``□◇P`` holds
+    iff the *final* state satisfies P: from any point, P must recur, and
+    after the trace ends only the last state ever occurs again.
+    """
+    if not trace:
+        return False
+    return pred(trace[-1])
+
+
+def holds_at_end(pred: Pred, trace: Sequence[S]) -> bool:
+    """P at the final state (what both shapes demand after quiescence)."""
+    return bool(trace) and pred(trace[-1])

@@ -1,0 +1,102 @@
+"""Runtime monitor: assert Sec. V path specifications over a running
+simulation.
+
+The monitor samples the state of every signaling path at event
+granularity, producing per-path traces that the finite-trace operators
+of :mod:`repro.semantics.ltl` evaluate.  The common pattern in tests::
+
+    monitor = PathMonitor(net)
+    ... drive scenario ...
+    net.settle()
+    monitor.assert_all_conform()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..network.network import Network
+from .path import SignalingPath, all_paths
+from .spec import both_closed, both_flowing, check_path_now
+
+__all__ = ["PathSnapshot", "PathMonitor", "SpecViolation"]
+
+
+class SpecViolation(AssertionError):
+    """A signaling path failed its Sec. V obligation after quiescence."""
+
+
+@dataclass
+class PathSnapshot:
+    """One sampled observation of one path."""
+
+    time: float
+    left_state: str
+    right_state: str
+    closed: bool
+    flowing: bool
+
+
+class PathMonitor:
+    """Extracts paths on demand and checks their specifications."""
+
+    def __init__(self, net: Network):
+        self.net = net
+        self.history: Dict[Tuple[str, str], List[PathSnapshot]] = {}
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+    def paths(self) -> List[SignalingPath]:
+        """Current signaling paths of the network."""
+        return all_paths(self.net.channels)
+
+    def sample(self) -> None:
+        """Record one snapshot of every current path."""
+        for path in self.paths():
+            key = (path.left.name, path.right.name)
+            self.history.setdefault(key, []).append(PathSnapshot(
+                time=self.net.now,
+                left_state=path.left.state,
+                right_state=path.right.state,
+                closed=both_closed(path),
+                flowing=both_flowing(path)))
+
+    def run_sampling(self, duration: float, interval: float) -> None:
+        """Advance the network, sampling every ``interval`` seconds."""
+        steps = max(1, int(duration / interval))
+        for _ in range(steps):
+            self.net.run(interval)
+            self.sample()
+
+    # ------------------------------------------------------------------
+    # checking
+    # ------------------------------------------------------------------
+    def violations(self) -> List[Tuple[SignalingPath, str]]:
+        """Paths violating their stable-state obligation right now."""
+        found = []
+        for path in self.paths():
+            error = check_path_now(path)
+            if error is not None:
+                found.append((path, error))
+        return found
+
+    def assert_all_conform(self) -> None:
+        """Raise :class:`SpecViolation` if any path misbehaves."""
+        problems = self.violations()
+        if problems:
+            lines = ["%d path specification violation(s):" % len(problems)]
+            for path, error in problems:
+                lines.append("  %s: %s" % (path.describe(), error))
+            raise SpecViolation("\n".join(lines))
+
+    def assert_flowing(self, path: SignalingPath) -> None:
+        if not both_flowing(path):
+            raise SpecViolation(
+                "path not bothFlowing: %s" % path.describe())
+
+    def assert_closed(self, path: SignalingPath) -> None:
+        if not both_closed(path):
+            raise SpecViolation(
+                "path not bothClosed: %s" % path.describe())

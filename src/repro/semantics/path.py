@@ -1,0 +1,179 @@
+"""Signaling-path extraction (Sec. III-A).
+
+"A signaling path is a maximal chain of tunnels and flowlinks, where the
+tunnels and flowlinks meet at slots.  Each signaling path corresponds,
+at any given time, to an actual or potential media channel between the
+path endpoints."
+
+Paths are *snapshots*: they change whenever a flowlink is created or
+destroyed, so extraction is re-run whenever a specification is checked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from ..core.box import Box
+from ..core.flowlink import FlowLink
+from ..core.goals import CloseSlot, HoldSlot, OpenSlot
+from ..protocol.channel import SignalingAgent, SignalingChannel
+from ..protocol.errors import ConfigurationError
+from ..protocol.slot import Slot
+
+__all__ = ["SignalingPath", "trace_path", "all_paths", "endpoint_role"]
+
+
+def _flowlink_at(slot: Slot) -> Optional[FlowLink]:
+    """The flowlink controlling ``slot`` at its owner, if any."""
+    owner = slot.channel_end.owner
+    if isinstance(owner, Box):
+        goal = owner.maps.goal_for(slot)
+        if isinstance(goal, FlowLink):
+            return goal
+    return None
+
+
+def endpoint_role(slot: Slot) -> str:
+    """Classify a path-endpoint slot for the Sec. V path typing.
+
+    Returns one of ``"open"``, ``"close"``, ``"hold"`` for the three
+    single-slot goals, ``"user"`` for a genuine media endpoint (whose
+    user plays the role of an open/close/hold goal with free mute
+    choice, Sec. V), or ``"none"`` for an uncontrolled server slot.
+    """
+    owner = slot.channel_end.owner
+    if isinstance(owner, Box):
+        goal = owner.maps.goal_for(slot)
+        if isinstance(goal, OpenSlot):
+            return "open"
+        if isinstance(goal, CloseSlot):
+            return "close"
+        if isinstance(goal, HoldSlot):
+            return "hold"
+        return "none"
+    return "user"
+
+
+@dataclass
+class SignalingPath:
+    """A maximal chain of tunnels and flowlinks.
+
+    ``slots`` lists every slot on the path from left to right; the path
+    endpoints are ``slots[0]`` and ``slots[-1]``.  ``flowlinks`` lists
+    the interior flowlinks, and ``hops`` is the number of tunnels
+    (signaling channels crossed).
+    """
+
+    slots: List[Slot]
+    flowlinks: List[FlowLink] = field(default_factory=list)
+
+    @property
+    def left(self) -> Slot:
+        return self.slots[0]
+
+    @property
+    def right(self) -> Slot:
+        return self.slots[-1]
+
+    @property
+    def hops(self) -> int:
+        """Number of tunnels in the chain."""
+        return len(self.slots) // 2
+
+    @property
+    def left_owner(self) -> SignalingAgent:
+        return self.left.channel_end.owner
+
+    @property
+    def right_owner(self) -> SignalingAgent:
+        return self.right.channel_end.owner
+
+    def path_type(self) -> Tuple[str, str]:
+        """The (left role, right role) pair, normalized so symmetric
+        pairs compare equal (close ≤ hold ≤ open ≤ user ≤ none)."""
+        order = {"close": 0, "hold": 1, "open": 2, "user": 3, "none": 4}
+        roles = sorted((endpoint_role(self.left), endpoint_role(self.right)),
+                       key=lambda r: order[r])
+        return (roles[0], roles[1])
+
+    def describe(self) -> str:
+        """Human-readable rendering (for examples and logs)."""
+        parts = []
+        for i, slot in enumerate(self.slots):
+            if i % 2 == 0:
+                parts.append("%s(%s)" % (slot.channel_end.owner.name,
+                                         slot.state))
+            else:
+                parts.append("%s(%s)" % (slot.channel_end.owner.name,
+                                         slot.state))
+        return " -- ".join(parts)
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+
+def trace_path(start: Slot, _limit: int = 1000) -> SignalingPath:
+    """Trace the maximal chain containing ``start``.
+
+    ``start`` may be any slot on the path; tracing extends in both
+    directions until it reaches slots not assigned to flowlinks.
+    """
+    # Walk left from start, then reverse, then walk right.
+    def extend(slot: Slot, acc: List[Slot], links: List[FlowLink]) -> None:
+        steps = 0
+        current = slot
+        while True:
+            steps += 1
+            if steps > _limit:
+                raise ConfigurationError(
+                    "signaling path too long or cyclic at %s" % current.name)
+            peer = current.channel_end.peer_slot(current.tunnel_id)
+            acc.append(peer)
+            link = _flowlink_at(peer)
+            if link is None:
+                return
+            other = link.other(peer)
+            links.append(link)
+            acc.append(other)
+            current = other
+
+    left_slots: List[Slot] = []
+    left_links: List[FlowLink] = []
+    right_slots: List[Slot] = []
+    right_links: List[FlowLink] = []
+
+    # The chain through ``start`` itself: start may sit inside a flowlink.
+    link = _flowlink_at(start)
+    if link is None:
+        # start is a path endpoint; extend right only.
+        extend(start, right_slots, right_links)
+        slots = [start] + right_slots
+        links = right_links
+    else:
+        other = link.other(start)
+        extend(other, left_slots, left_links)
+        extend(start, right_slots, right_links)
+        slots = list(reversed(left_slots)) + [other, start] + right_slots
+        links = list(reversed(left_links)) + [link] + right_links
+    return SignalingPath(slots, links)
+
+
+def all_paths(channels: List[SignalingChannel]) -> List[SignalingPath]:
+    """Every distinct signaling path over the live tunnels of
+    ``channels``."""
+    seen: Set[int] = set()
+    paths: List[SignalingPath] = []
+    for channel in channels:
+        if not channel.active:
+            continue
+        for tid in channel.tunnel_ids:
+            slot = channel.ends[0].slot(tid)
+            path = trace_path(slot)
+            key = min(id(path.left), id(path.right)), \
+                max(id(path.left), id(path.right))
+            if key in seen:
+                continue
+            seen.add(key)
+            paths.append(path)
+    return paths

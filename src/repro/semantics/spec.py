@@ -1,0 +1,149 @@
+"""The compositional semantics of Sec. V, as checkable predicates.
+
+For each signaling path there are two distinguished path states:
+
+* ``bothClosed``: both endpoints closed, no possibility of media flow;
+* ``bothFlowing``: both endpoints flowing, same medium, and the
+  implementation state correctly reflects the endpoints' mute flags
+  (via the ``enabled`` history variables of Sec. VI-C).
+
+Six path types arise from the goals controlling the two ends; each type
+carries a temporal property (stability ``◇□P`` or recurrence ``□◇P``)
+listed in :data:`EXPECTED_PROPERTY`.
+
+A note on direction naming: the paper's Sec. V says ``Lenabled`` covers
+right-to-left packets while its Sec. VI-C update rule ("becomes true
+when the left endpoint ... sends a selector with a real codec") makes it
+cover left-to-right (a selector declares an intention to *send*).  The
+two sections disagree on the name only; the invariant content is
+identical.  We adopt the well-defined form: for each direction,
+``enabled == ¬senderMuteOut ∧ ¬receiverMuteIn``, with ``enabled`` true
+iff the sender has sent a real selector while flowing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..media.endpoint import MediaEndpoint
+from ..protocol.slot import Slot
+from .path import SignalingPath, endpoint_role
+
+__all__ = [
+    "both_closed", "both_flowing", "descriptors_settled",
+    "expected_property", "EXPECTED_PROPERTY", "check_path_now",
+]
+
+#: Path type → temporal property, from Sec. V.  Types are normalized
+#: (sorted) role pairs; "user" ends are typed by what their user wants
+#: at check time, so they do not appear here.
+EXPECTED_PROPERTY = {
+    ("close", "close"): "stability-closed",       # ◇□ bothClosed
+    ("close", "hold"): "stability-closed",        # ◇□ bothClosed
+    ("close", "open"): "stability-no-flow",       # ◇□ ¬bothFlowing
+    ("hold", "open"): "recurrence-flowing",       # □◇ bothFlowing
+    ("open", "open"): "recurrence-flowing",       # □◇ bothFlowing
+    ("hold", "hold"): "stability-closed-or-recurrence-flowing",
+}
+
+
+def both_closed(path: SignalingPath) -> bool:
+    """``Lclosed ∧ Rclosed``."""
+    return path.left.is_closed and path.right.is_closed
+
+
+def _mute_flags(slot: Slot) -> Tuple[bool, bool]:
+    """(mute_in, mute_out) for a path endpoint.
+
+    Genuine media endpoints carry user-chosen flags; a server slot
+    masquerading as an endpoint mutes both directions (Sec. IV-A).
+    """
+    owner = slot.channel_end.owner
+    if isinstance(owner, MediaEndpoint):
+        port = owner.port(slot)
+        return (port.mute_in, port.mute_out)
+    return (True, True)
+
+
+def _enabled_out(slot: Slot) -> bool:
+    """The ``enabled`` history variable for the direction this endpoint
+    transmits: it has sent a real selector and is flowing."""
+    return (slot.is_flowing and slot.selector_sent is not None
+            and slot.selector_sent.codec.is_real)
+
+
+def descriptors_settled(path: SignalingPath) -> bool:
+    """The model-checking form of ``bothFlowing`` (Sec. VIII-A): each
+    end has received the descriptor most recently sent by the other end,
+    and a selector answering its own most recent descriptor."""
+    left, right = path.left, path.right
+    if left.local_descriptor is None or right.local_descriptor is None:
+        return False
+    if left.remote_descriptor is None or right.remote_descriptor is None:
+        return False
+    if left.remote_descriptor.id != right.local_descriptor.id:
+        return False
+    if right.remote_descriptor.id != left.local_descriptor.id:
+        return False
+    if left.selector_received is None or \
+            left.selector_received.answers != left.local_descriptor.id:
+        return False
+    if right.selector_received is None or \
+            right.selector_received.answers != right.local_descriptor.id:
+        return False
+    return True
+
+
+def both_flowing(path: SignalingPath) -> bool:
+    """The full Sec. V ``bothFlowing`` definition."""
+    left, right = path.left, path.right
+    if not (left.is_flowing and right.is_flowing):
+        return False
+    if left.medium != right.medium:
+        return False
+    if not descriptors_settled(path):
+        return False
+    l_in, l_out = _mute_flags(left)
+    r_in, r_out = _mute_flags(right)
+    # left-to-right direction
+    if _enabled_out(left) != ((not l_out) and (not r_in)):
+        return False
+    # right-to-left direction
+    if _enabled_out(right) != ((not r_out) and (not l_in)):
+        return False
+    return True
+
+
+def expected_property(path: SignalingPath) -> Optional[str]:
+    """The temporal property this path must satisfy, or ``None`` when an
+    end is a user device or an uncontrolled slot (user intent decides)."""
+    return EXPECTED_PROPERTY.get(path.path_type())
+
+
+def check_path_now(path: SignalingPath) -> Optional[str]:
+    """Check the path's *stable-state* obligation at this instant.
+
+    This is the finite-trace reading of the temporal specification: once
+    the system has quiesced, ``◇□P`` and ``□◇P`` both require ``P``
+    now (the suffix is a stutter of the current state).  Returns an
+    error string, or ``None`` when the path conforms.
+    """
+    prop = expected_property(path)
+    if prop is None:
+        return None
+    if prop == "stability-closed":
+        if not both_closed(path):
+            return "expected bothClosed, got %s/%s" % (
+                path.left.state, path.right.state)
+    elif prop == "stability-no-flow":
+        if both_flowing(path):
+            return "expected never bothFlowing, but path is flowing"
+    elif prop == "recurrence-flowing":
+        if not both_flowing(path):
+            return "expected bothFlowing, got %s/%s" % (
+                path.left.state, path.right.state)
+    elif prop == "stability-closed-or-recurrence-flowing":
+        if not (both_closed(path) or both_flowing(path)):
+            return "expected bothClosed or bothFlowing, got %s/%s" % (
+                path.left.state, path.right.state)
+    return None

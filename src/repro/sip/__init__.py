@@ -1,0 +1,17 @@
+"""Miniature SIP substrate for the Sec. IX-B protocol comparison."""
+
+from .agent import SipEndpointUA, SipError, SipUA
+from .b2bua import RelinkOperation, SipB2BUA
+from .dialog import DialogEnd, SipDialog
+from .messages import (ACK, BYE, INVITE, OK, BUSY, REQUEST_PENDING,
+                       SipRequest, SipResponse)
+from .sdp import MediaDescription, SdpFactory, negotiate
+
+__all__ = [
+    "SipEndpointUA", "SipError", "SipUA",
+    "RelinkOperation", "SipB2BUA",
+    "DialogEnd", "SipDialog",
+    "ACK", "BYE", "INVITE", "OK", "BUSY", "REQUEST_PENDING",
+    "SipRequest", "SipResponse",
+    "MediaDescription", "SdpFactory", "negotiate",
+]

@@ -1,0 +1,254 @@
+"""SIP user agents: the transactional base and media endpoints.
+
+The base class :class:`SipUA` implements the transaction discipline the
+paper contrasts with its own protocol (Sec. IX-B): one INVITE
+transaction at a time per dialog, 491 on glare, and the RFC 3261
+randomized retry windows.  :class:`SipEndpointUA` is a media endpoint:
+it answers offers, produces fresh offers when solicited by an offerless
+INVITE, and tracks where it is currently sending media (the quantity the
+latency experiments measure).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..network.address import Address
+from ..network.eventloop import EventLoop
+from ..network.node import Node
+from ..protocol.codecs import Codec, codecs_for_medium, AUDIO
+from .dialog import DialogEnd
+from .messages import (ACK, BYE, INVITE, OK, REQUEST_PENDING, SipMessage,
+                       SipRequest, SipResponse)
+from .sdp import MediaDescription, SdpFactory
+
+__all__ = ["SipError", "SipUA", "SipEndpointUA"]
+
+Txn = Dict[str, Any]
+
+
+class SipError(RuntimeError):
+    """A SIP transaction rule was violated (e.g. overlapping INVITE
+    transactions on one dialog, which RFC 3261 forbids)."""
+
+
+class SipUA:
+    """Base SIP entity: transaction bookkeeping over dialog ends."""
+
+    def __init__(self, loop: EventLoop, name: str, cost: float = 0.0):
+        self.loop = loop
+        self.name = name
+        self.node = Node(loop, name=name, cost=cost)
+        self.dialog_ends: List[DialogEnd] = []
+        #: Number of 491s this entity received (glare observations).
+        self.glares_seen = 0
+
+    def adopt_dialog(self, end: DialogEnd) -> None:
+        self.dialog_ends.append(end)
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+    def send_invite(self, end: DialogEnd,
+                    body: Optional[MediaDescription],
+                    **meta: Any) -> Txn:
+        """Start an INVITE transaction.  "The endpoint must wait for any
+        ongoing transaction that it knows about to complete" — an
+        overlap raises :class:`SipError`."""
+        if end.client_txn is not None:
+            raise SipError("%s: INVITE transaction already outstanding"
+                           % end.name)
+        txn: Txn = {"cseq": end.next_cseq(), "body": body}
+        txn.update(meta)
+        end.client_txn = txn
+        end.send(SipRequest(INVITE, txn["cseq"], body))
+        return txn
+
+    def send_ack(self, end: DialogEnd, cseq: int,
+                 body: Optional[MediaDescription] = None) -> None:
+        end.send(SipRequest(ACK, cseq, body))
+
+    def send_bye(self, end: DialogEnd) -> None:
+        end.send(SipRequest(BYE, end.next_cseq()))
+
+    # ------------------------------------------------------------------
+    # receiving
+    # ------------------------------------------------------------------
+    def on_message(self, end: DialogEnd, message: SipMessage) -> None:
+        if isinstance(message, SipRequest):
+            if message.method == INVITE:
+                if end.client_txn is not None:
+                    # Glare: "If a race between two invite transactions
+                    # is detected, both fail immediately."
+                    end.send(SipResponse(REQUEST_PENDING, INVITE,
+                                         message.cseq,
+                                         reason="Request Pending"))
+                    return
+                end.server_txn = {"cseq": message.cseq,
+                                  "request": message}
+                self.handle_invite(end, message)
+            elif message.method == ACK:
+                end.server_txn = None
+                self.handle_ack(end, message)
+            elif message.method == BYE:
+                end.send(SipResponse(OK, BYE, message.cseq))
+                self.handle_bye(end, message)
+        else:
+            self._dispatch_response(end, message)
+
+    def _dispatch_response(self, end: DialogEnd,
+                           response: SipResponse) -> None:
+        txn = end.client_txn
+        if txn is None or response.cseq != txn["cseq"] or \
+                response.method != INVITE:
+            return  # stale or non-INVITE response
+        end.client_txn = None
+        if response.code == REQUEST_PENDING:
+            self.glares_seen += 1
+            self.handle_glare(end, txn, response)
+        elif response.is_success:
+            self.handle_invite_success(end, txn, response)
+        else:
+            self.handle_invite_failure(end, txn, response)
+
+    # ------------------------------------------------------------------
+    # overridables
+    # ------------------------------------------------------------------
+    def handle_invite(self, end: DialogEnd, request: SipRequest) -> None:
+        raise NotImplementedError
+
+    def handle_ack(self, end: DialogEnd, request: SipRequest) -> None:
+        pass
+
+    def handle_bye(self, end: DialogEnd, request: SipRequest) -> None:
+        pass
+
+    def handle_invite_success(self, end: DialogEnd, txn: Txn,
+                              response: SipResponse) -> None:
+        pass
+
+    def handle_glare(self, end: DialogEnd, txn: Txn,
+                     response: SipResponse) -> None:
+        pass
+
+    def handle_invite_failure(self, end: DialogEnd, txn: Txn,
+                              response: SipResponse) -> None:
+        pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<%s %s>" % (type(self).__name__, self.name)
+
+
+class SipEndpointUA(SipUA):
+    """A SIP media endpoint.
+
+    ``target_history`` records every change of the address this
+    endpoint sends media to (``None`` = on hold), timestamped — the
+    observable the Sec. IX-B latency comparison is measured on.
+    """
+
+    def __init__(self, loop: EventLoop, name: str, address: Address,
+                 codecs: Tuple[Codec, ...] = (), cost: float = 0.0):
+        super().__init__(loop, name, cost=cost)
+        self.address = address
+        self.codecs = codecs or codecs_for_medium(AUDIO)
+        self.sdp = SdpFactory(origin=name)
+        #: The peer's most recent self-description (offer or answer).
+        self.remote: Optional[MediaDescription] = None
+        self.local: Optional[MediaDescription] = None
+        self.target_history: List[Tuple[float, Optional[Address]]] = []
+        #: Media changes initiated but not yet completed (re-INVITEs).
+        self.pending_changes = 0
+
+    # -- media state ---------------------------------------------------------
+    @property
+    def target(self) -> Optional[Address]:
+        """Where this endpoint currently sends media."""
+        if not self.target_history:
+            return None
+        return self.target_history[-1][1]
+
+    def _set_remote(self, description: Optional[MediaDescription]) -> None:
+        self.remote = description
+        if description is None or not description.codecs \
+                or description.address is None:
+            new_target = None  # on hold
+        else:
+            new_target = description.address
+        if self.target != new_target or not self.target_history:
+            self.target_history.append((self.loop.now, new_target))
+
+    # -- endpoint behaviour ---------------------------------------------------
+    def handle_invite(self, end: DialogEnd, request: SipRequest) -> None:
+        if request.body is None:
+            # Offerless INVITE: "The endpoint responds with success
+            # containing an offer (instead of an answer)"; the answer
+            # will arrive in the ACK.
+            offer = self.sdp.offer(self.address, self.codecs)
+            self.local = offer
+            end.server_txn["sent_offer"] = True
+            end.send(SipResponse(OK, INVITE, request.cseq, body=offer))
+        else:
+            answer = self.sdp.answer(request.body, self.address,
+                                     self.codecs)
+            self._set_remote(request.body)
+            self.local = answer
+            end.send(SipResponse(OK, INVITE, request.cseq, body=answer))
+
+    def handle_ack(self, end: DialogEnd, request: SipRequest) -> None:
+        if request.body is not None:
+            # The answer completing an offerless INVITE.
+            self._set_remote(request.body)
+
+    def handle_bye(self, end: DialogEnd, request: SipRequest) -> None:
+        self._set_remote(None)
+
+    def call(self, end: DialogEnd) -> Txn:
+        """Place a call: INVITE with a fresh offer."""
+        offer = self.sdp.offer(self.address, self.codecs)
+        self.local = offer
+        return self.send_invite(end, offer)
+
+    def modify_session(self, end: DialogEnd) -> Txn:
+        """Re-INVITE with a fresh offer (a media change).
+
+        On glare the change retries after the RFC 3261 backoff — the
+        contention cost the paper attributes to SIP's transactional,
+        media-bundled design (Sec. IX-B).
+        """
+        self.pending_changes += 1
+        return self._send_modify(end)
+
+    def _send_modify(self, end: DialogEnd) -> Txn:
+        offer = self.sdp.offer(self.address, self.codecs)
+        self.local = offer
+        txn = self.send_invite(end, offer)
+        txn["modify"] = True
+        return txn
+
+    def handle_invite_success(self, end: DialogEnd, txn: Txn,
+                              response: SipResponse) -> None:
+        if response.body is not None:
+            self._set_remote(response.body)
+        self.send_ack(end, txn["cseq"])
+        if txn.get("modify"):
+            self.pending_changes -= 1
+
+    def handle_glare(self, end: DialogEnd, txn: Txn,
+                     response: SipResponse) -> None:
+        if not txn.get("modify"):
+            return
+        # The change is still owed; retry it after the backoff.
+        low, high = end.retry_window()
+        delay = self.loop.rng.uniform(low, high)
+        self.node.set_timer(delay, self._retry_modify, end)
+
+    def _retry_modify(self, end: DialogEnd) -> None:
+        if end.client_txn is not None:
+            self.node.set_timer(0.2, self._retry_modify, end)
+            return
+        self._send_modify(end)
+
+    def change_completed(self) -> bool:
+        """True when no media change is still outstanding."""
+        return self.pending_changes == 0

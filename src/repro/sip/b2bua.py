@@ -1,0 +1,169 @@
+"""Third-party call control: the SIP back-to-back user agent.
+
+This implements the flow the paper's Fig. 14 analyzes, following the
+best-current-practice document it cites (RFC 3725): "if a box in the
+middle of a signaling path wishes to function as a new flowlink and
+create media flow between its slots, it must first send to one end of
+the path a signal soliciting a fresh offer.  This takes the form of an
+invite with no offer in it.  The endpoint responds with success
+containing an offer ...  When the other endpoint receives this signal,
+it responds with an ack signal containing an answer."
+
+On glare (491) the operation aborts — "both servers send dummy answers
+on their other sides to finish off the related transactions" — and is
+retried after the RFC 3261 randomized backoff, whose expected value is
+the paper's ``d`` (≈3 s for the dialog owner).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from .agent import SipError, SipUA, Txn
+from .dialog import DialogEnd
+from .messages import (INVITE, OK, SipRequest, SipResponse)
+from .sdp import MediaDescription, SdpFactory
+
+__all__ = ["SipB2BUA", "RelinkOperation"]
+
+
+class RelinkOperation:
+    """One third-party call-control operation: join the endpoint behind
+    ``outer`` to the path behind ``middle``."""
+
+    def __init__(self, b2bua: "SipB2BUA", outer: DialogEnd,
+                 middle: DialogEnd):
+        self.b2bua = b2bua
+        self.outer = outer
+        self.middle = middle
+        self.offer: Optional[MediaDescription] = None
+        self.outer_cseq: Optional[int] = None
+        self.attempts = 0
+        self.glares = 0
+        self.started_at = b2bua.loop.now
+        self.completed_at: Optional[float] = None
+
+    @property
+    def done(self) -> bool:
+        return self.completed_at is not None
+
+    @property
+    def latency(self) -> float:
+        assert self.completed_at is not None
+        return self.completed_at - self.started_at
+
+
+class SipB2BUA(SipUA):
+    """A SIP application server doing third-party call control.
+
+    ``set_route`` pairs dialog ends the way a flowlink pairs slots;
+    incoming INVITEs relay along routes, and :meth:`relink` performs the
+    solicit-offer / forward-offer / return-answer dance of Fig. 14.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.routes: Dict[DialogEnd, DialogEnd] = {}
+        self.operations: List[RelinkOperation] = []
+        self.sdp = SdpFactory(origin=self.name)
+
+    # -- wiring ---------------------------------------------------------------
+    def set_route(self, end_a: DialogEnd, end_b: DialogEnd) -> None:
+        """Patch two of this server's dialog ends together."""
+        self.routes[end_a] = end_b
+        self.routes[end_b] = end_a
+
+    # -- the relink operation ----------------------------------------------------
+    def relink(self, outer: DialogEnd, middle: DialogEnd
+               ) -> RelinkOperation:
+        """Create media flow between the endpoint behind ``outer`` and
+        the path behind ``middle``."""
+        self.set_route(outer, middle)
+        operation = RelinkOperation(self, outer, middle)
+        self.operations.append(operation)
+        self._attempt(operation)
+        return operation
+
+    def _attempt(self, operation: RelinkOperation) -> None:
+        operation.attempts += 1
+        # Step 1: solicit a fresh offer from the outer endpoint.  Unlike
+        # our protocol's cached descriptors, "offers are not supposed to
+        # be re-used", so every attempt pays this round trip.
+        txn = self.send_invite(operation.outer, None, op=operation,
+                               role="solicit")
+        operation.outer_cseq = txn["cseq"]
+
+    def handle_invite_success(self, end: DialogEnd, txn: Txn,
+                              response: SipResponse) -> None:
+        role = txn.get("role")
+        if role == "solicit":
+            operation = txn["op"]
+            operation.offer = response.body
+            # Step 2: forward the fresh offer down the middle dialog.
+            self.send_invite(operation.middle, operation.offer,
+                             op=operation, role="forward")
+        elif role == "forward":
+            operation = txn["op"]
+            answer = response.body
+            # Step 3: complete both transactions — ACK the middle, and
+            # carry the answer back to the outer endpoint in its ACK.
+            self.send_ack(end, txn["cseq"])
+            self.send_ack(operation.outer, operation.outer_cseq,
+                          body=answer)
+            operation.completed_at = self.loop.now
+        elif role == "relay":
+            # The answer for an INVITE we relayed: ACK the answering
+            # side, pass the answer back as the 200 for the original
+            # INVITE.
+            self.send_ack(end, txn["cseq"])
+            origin_end, origin_request = txn["origin"]
+            origin_end.send(SipResponse(OK, INVITE, origin_request.cseq,
+                                        body=response.body))
+
+    def handle_invite(self, end: DialogEnd, request: SipRequest) -> None:
+        route = self.routes.get(end)
+        if route is None or request.body is None:
+            # Nothing to relay to (or an offerless INVITE aimed at a
+            # server, which these scenarios never produce): refuse.
+            end.send(SipResponse(488, INVITE, request.cseq,
+                                 reason="Not Acceptable Here"))
+            return
+        self.send_invite(route, request.body, role="relay",
+                         origin=(end, request))
+
+    def handle_ack(self, end: DialogEnd, request: SipRequest) -> None:
+        # ACK for a 200 we relayed: propagate along the route so the
+        # relayed leg also completes (the far side was ACKed when its
+        # 200 arrived, so nothing further is needed here).
+        pass
+
+    def handle_glare(self, end: DialogEnd, txn: Txn,
+                     response: SipResponse) -> None:
+        """Our middle INVITE collided with the peer server's.
+
+        Abort: close the outer transaction with a dummy (hold) answer,
+        then retry the whole operation after the randomized backoff.
+        """
+        operation = txn.get("op")
+        if operation is None or txn.get("role") != "forward":
+            return
+        operation.glares += 1
+        assert operation.offer is not None
+        hold = MediaDescription(origin=self.name,
+                                version=operation.offer.version,
+                                address=None, codecs=(),
+                                relative_to=operation.offer.version)
+        self.send_ack(operation.outer, operation.outer_cseq, body=hold)
+        low, high = end.retry_window()
+        delay = self.loop.rng.uniform(low, high)
+        self.node.set_timer(delay, self._retry, operation)
+
+    def _retry(self, operation: RelinkOperation) -> None:
+        if operation.done:
+            return
+        if operation.outer.client_txn is not None or \
+                operation.middle.client_txn is not None:
+            # Another transaction still in progress; wait again briefly.
+            self.node.set_timer(0.2, self._retry, operation)
+            return
+        self._attempt(operation)

@@ -1,0 +1,106 @@
+"""SIP dialogs: reliable duplex message pipes between two SIP entities.
+
+A :class:`SipDialog` plays the role a SIP dialog (Call-ID + tags) plays
+in a real deployment: a long-lived signaling relationship over which
+INVITE transactions run.  The *owner* end is the one that created the
+dialog; ownership decides the glare-retry window (RFC 3261 Sec. 14.1:
+the owner retries after 2.1–4 s, the non-owner after 0–2 s).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from ..network.eventloop import EventLoop
+from ..network.latency import LatencyModel
+from ..network.transport import Link
+from .messages import SipMessage
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .agent import SipUA
+
+__all__ = ["SipDialog", "DialogEnd"]
+
+#: RFC 3261 Sec. 14.1 glare-retry windows (seconds).
+OWNER_RETRY_WINDOW = (2.1, 4.0)
+NON_OWNER_RETRY_WINDOW = (0.0, 2.0)
+
+
+class DialogEnd:
+    """One entity's end of a dialog."""
+
+    def __init__(self, dialog: "SipDialog", side: int, owner: "SipUA"):
+        self.dialog = dialog
+        self.side = side
+        self.owner = owner
+        #: Outstanding client INVITE transaction state (set by the UA).
+        self.client_txn = None
+        #: Server INVITE we have not yet answered / seen ACKed.
+        self.server_txn = None
+        self._next_cseq = 1
+
+    @property
+    def is_dialog_owner(self) -> bool:
+        """True for the end that created the dialog (Call-ID owner)."""
+        return self.side == 0
+
+    @property
+    def peer(self) -> "DialogEnd":
+        return self.dialog.ends[1 - self.side]
+
+    @property
+    def name(self) -> str:
+        return "%s@%s" % (self.owner.name, self.dialog.name)
+
+    def next_cseq(self) -> int:
+        cseq = self._next_cseq
+        self._next_cseq += 1
+        return cseq
+
+    def retry_window(self) -> tuple:
+        """The RFC 3261 glare-retry window for this end."""
+        return OWNER_RETRY_WINDOW if self.is_dialog_owner \
+            else NON_OWNER_RETRY_WINDOW
+
+    def send(self, message: SipMessage) -> None:
+        self._link_end.send(message)
+
+    @property
+    def _link_end(self):
+        return self.dialog.link.ends[self.side]
+
+    def _receive(self, message: SipMessage) -> None:
+        # One stimulus per message: the owner pays its processing cost.
+        self.owner.node.enqueue(self.owner.on_message, self, message)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<DialogEnd %s>" % self.name
+
+
+class SipDialog:
+    """A dialog between two SIP entities, riding one link."""
+
+    _counter = 0
+
+    def __init__(self, loop: EventLoop, creator: "SipUA", callee: "SipUA",
+                 latency: Optional[LatencyModel] = None,
+                 name: Optional[str] = None):
+        SipDialog._counter += 1
+        self.loop = loop
+        self.name = name or ("dlg%d" % SipDialog._counter)
+        self.link = Link(loop, latency=latency, name=self.name)
+        self.ends = (DialogEnd(self, 0, creator), DialogEnd(self, 1, callee))
+        for end in self.ends:
+            end._link_end.set_receiver(end._receive)
+        creator.adopt_dialog(self.ends[0])
+        callee.adopt_dialog(self.ends[1])
+
+    def end_for(self, ua: "SipUA") -> DialogEnd:
+        for end in self.ends:
+            if end.owner is ua:
+                return end
+        raise ValueError("%s is not on dialog %s" % (ua.name, self.name))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<SipDialog %s (%s -- %s)>" % (
+            self.name, self.ends[0].owner.name, self.ends[1].owner.name)

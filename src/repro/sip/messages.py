@@ -1,0 +1,71 @@
+"""SIP messages (miniature RFC 3261 subset).
+
+Only what the Sec. IX-B comparison needs: ``INVITE`` (with an SDP offer,
+or offerless to solicit one), ``ACK`` (empty, or carrying the answer for
+an offerless INVITE), ``BYE``, and the responses ``200 OK``,
+``486 Busy Here``, and ``491 Request Pending`` (glare).
+
+Transport is reliable (the paper compares against SIP-over-TCP
+semantics), so no retransmission timers are modeled; the paper's
+latency analysis likewise counts only message hops, processing, and the
+glare backoff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from .sdp import MediaDescription
+
+__all__ = ["SipRequest", "SipResponse", "SipMessage",
+           "INVITE", "ACK", "BYE",
+           "OK", "BUSY", "REQUEST_PENDING"]
+
+INVITE = "INVITE"
+ACK = "ACK"
+BYE = "BYE"
+
+OK = 200
+BUSY = 486
+REQUEST_PENDING = 491
+
+
+@dataclass(frozen=True)
+class SipRequest:
+    """A SIP request on one dialog.
+
+    ``body`` carries the SDP offer (for INVITE) or the answer (for the
+    ACK completing an offerless INVITE); ``None`` means no body — an
+    offerless INVITE "soliciting a fresh offer" (RFC 3725 flow I).
+    """
+
+    method: str
+    cseq: int
+    body: Optional[MediaDescription] = None
+
+    def __str__(self) -> str:
+        tag = "" if self.body is None else " +sdp"
+        return "%s cseq=%d%s" % (self.method, self.cseq, tag)
+
+
+@dataclass(frozen=True)
+class SipResponse:
+    """A SIP response, correlated to its request by (method, cseq)."""
+
+    code: int
+    method: str
+    cseq: int
+    body: Optional[MediaDescription] = None
+    reason: str = ""
+
+    @property
+    def is_success(self) -> bool:
+        return 200 <= self.code < 300
+
+    def __str__(self) -> str:
+        tag = "" if self.body is None else " +sdp"
+        return "%d (%s cseq=%d)%s" % (self.code, self.method, self.cseq, tag)
+
+
+SipMessage = Union[SipRequest, SipResponse]

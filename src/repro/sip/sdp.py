@@ -1,0 +1,79 @@
+"""SDP offer/answer negotiation (miniature RFC 3264 subset).
+
+The paper's protocol comparison hinges on SIP's *negotiation* model:
+"To open a media channel or modify an existing one, an endpoint sends in
+its invite signal an offer containing a set of possible codecs that it
+can handle.  The responder sends in its success signal an answer that is
+a subset of the offer codecs, all of which the responder can handle.
+Henceforth any of the codecs in the answer subset can be used."
+
+An answer is *relative* — "a description of one endpoint with respect to
+(in negotiation with) another" — which is why it can never be re-used,
+one of SIP's latency penalties (Sec. IX-B).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..network.address import Address
+from ..protocol.codecs import Codec
+
+__all__ = ["MediaDescription", "SdpFactory", "negotiate"]
+
+
+@dataclass(frozen=True)
+class MediaDescription:
+    """One SDP body: who is describing themselves, where they receive,
+    and which codecs they can handle.  Used for both offers and answers
+    (``relative_to`` marks an answer and names the offer's version)."""
+
+    origin: str
+    version: int
+    address: Optional[Address]
+    codecs: Tuple[Codec, ...]
+    relative_to: Optional[int] = None
+
+    @property
+    def is_answer(self) -> bool:
+        return self.relative_to is not None
+
+    def __str__(self) -> str:
+        kind = "answer->%s" % self.relative_to if self.is_answer else "offer"
+        return "sdp[%s v%d %s %s]" % (
+            self.origin, self.version, kind,
+            "/".join(c.name for c in self.codecs))
+
+
+@dataclass
+class SdpFactory:
+    """Mints versioned offers/answers for one SIP entity."""
+
+    origin: str
+    _versions: "itertools.count" = field(default_factory=itertools.count)
+
+    def offer(self, address: Address,
+              codecs: Tuple[Codec, ...]) -> MediaDescription:
+        return MediaDescription(self.origin, next(self._versions),
+                                address, codecs)
+
+    def answer(self, offer: MediaDescription, address: Address,
+               codecs: Tuple[Codec, ...]) -> Optional[MediaDescription]:
+        """Negotiate: the answer's codec set is the subset of the offer
+        this entity can handle, in the offer's preference order.
+        Returns ``None`` when negotiation fails (no common codec)."""
+        common = negotiate(offer, codecs)
+        if not common:
+            return None
+        return MediaDescription(self.origin, next(self._versions),
+                                address, common,
+                                relative_to=offer.version)
+
+
+def negotiate(offer: MediaDescription,
+              supported: Tuple[Codec, ...]) -> Tuple[Codec, ...]:
+    """The RFC 3264 intersection, in the offerer's preference order."""
+    supported_set = set(supported)
+    return tuple(c for c in offer.codecs if c in supported_set)

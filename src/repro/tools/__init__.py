@@ -1,0 +1,5 @@
+"""Developer tooling: tracing and chart rendering."""
+
+from .msc import SignalTracer, TracedMessage
+
+__all__ = ["SignalTracer", "TracedMessage"]

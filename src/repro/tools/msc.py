@@ -1,0 +1,131 @@
+"""Message-sequence-chart tracing.
+
+The paper explains its protocol with message-sequence charts (Figs. 10
+and 13).  :class:`SignalTracer` instruments the links of a network and
+renders the captured traffic as a text MSC, so any scenario in this
+repository can regenerate its own chart — including Fig. 13 itself
+(see ``examples/sequence_chart.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..network.network import Network
+from ..protocol.channel import SignalingChannel
+from ..protocol.signals import MetaMessage, TunnelMessage
+
+__all__ = ["TracedMessage", "SignalTracer"]
+
+
+@dataclass
+class TracedMessage:
+    """One captured signal: who sent what to whom, and when."""
+
+    sent_at: float
+    source: str
+    target: str
+    label: str
+
+    def __str__(self) -> str:
+        return "%8.3f  %s -> %s : %s" % (self.sent_at, self.source,
+                                         self.target, self.label)
+
+
+def _label(message) -> str:
+    if isinstance(message, TunnelMessage):
+        signal = message.signal
+        descriptor = getattr(signal, "descriptor", None)
+        selector = getattr(signal, "selector", None)
+        if descriptor is not None:
+            detail = "noMedia" if descriptor.is_no_media \
+                else str(descriptor.id)
+            return "%s(%s)" % (signal.kind, detail)
+        if selector is not None:
+            detail = "noMedia" if selector.is_no_media \
+                else str(selector.answers)
+            return "select(%s)" % detail
+        return signal.kind
+    if isinstance(message, MetaMessage):
+        return str(message.signal)
+    return str(message)
+
+
+class SignalTracer:
+    """Captures every signal crossing the instrumented channels."""
+
+    def __init__(self, net: Network,
+                 channels: Optional[Sequence[SignalingChannel]] = None):
+        self.net = net
+        self.messages: List[TracedMessage] = []
+        self._attached: List = []
+        for channel in (channels if channels is not None
+                        else list(net.channels)):
+            self.attach(channel)
+
+    def attach(self, channel: SignalingChannel) -> None:
+        """Instrument one channel (idempotent per channel)."""
+        if channel in self._attached:
+            return
+        self._attached.append(channel)
+        original = channel.link.transmit
+
+        def spying_transmit(origin, message, _channel=channel,
+                            _original=original):
+            side = _channel.link.ends.index(origin)
+            source = _channel.ends[side].owner.name
+            target = _channel.ends[1 - side].owner.name
+            self.messages.append(TracedMessage(
+                self.net.loop.now, source, target, _label(message)))
+            _original(origin, message)
+
+        channel.link.transmit = spying_transmit
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        self.messages.clear()
+
+    def parties(self) -> List[str]:
+        """All names that appear, in order of first appearance."""
+        seen: List[str] = []
+        for m in self.messages:
+            for name in (m.source, m.target):
+                if name not in seen:
+                    seen.append(name)
+        return seen
+
+    def render(self, order: Optional[Sequence[str]] = None,
+               width: int = 16) -> str:
+        """Render a text MSC: one column per party, one row per signal,
+        arrows between the right columns."""
+        parties = list(order) if order else self.parties()
+        col: Dict[str, int] = {name: i for i, name in enumerate(parties)}
+        lines = []
+        header = "".join(name.center(width) for name in parties)
+        lines.append("t(ms)".rjust(9) + " " + header)
+        for m in self.messages:
+            if m.source not in col or m.target not in col:
+                continue
+            a, b = col[m.source], col[m.target]
+            lo, hi = min(a, b), max(a, b)
+            row = [" " * width] * len(parties)
+            span = (hi - lo) * width
+            body = m.label[:span - 3].center(span - 2, "-")
+            arrow = (body + ">") if a < b else ("<" + body)
+            line = "".join(row[:lo]) + " " * (width // 2) + arrow
+            lines.append("%8.1f " % (m.sent_at * 1000.0) + line)
+        return "\n".join(lines)
+
+    def summary(self) -> Dict[str, int]:
+        """Signal counts by label kind (before any parenthesis)."""
+        counts: Dict[str, int] = {}
+        for m in self.messages:
+            kind = m.label.split("(")[0]
+            counts[kind] = counts.get(kind, 0) + 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self.messages)

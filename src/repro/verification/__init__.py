@@ -1,0 +1,28 @@
+"""From-scratch explicit-state model checker reproducing Sec. VIII."""
+
+from .explorer import ExplosionError, StateGraph, explore
+from .kernel import (LocalState, Message, ModelError, Outcome,
+                     ProcessModel, QueueDef, SystemModel, SystemState)
+from .models import (PATH_TYPES, PathModel, all_models, both_closed,
+                     both_flowing, build_model, valid_endstate)
+from .processes import (EndpointProcess, EndpointState, FlowlinkProcess,
+                        FlowlinkState)
+from .properties import (SafetyViolation, check_disjunction,
+                         check_recurrence, check_safety, check_stability,
+                         find_cycle_with)
+from .report import (VerificationResult, blowup_table, format_results,
+                     verify_all, verify_model)
+
+__all__ = [
+    "ExplosionError", "StateGraph", "explore",
+    "LocalState", "Message", "ModelError", "Outcome", "ProcessModel",
+    "QueueDef", "SystemModel", "SystemState",
+    "PATH_TYPES", "PathModel", "all_models", "both_closed",
+    "both_flowing", "build_model", "valid_endstate",
+    "EndpointProcess", "EndpointState", "FlowlinkProcess",
+    "FlowlinkState",
+    "SafetyViolation", "check_disjunction", "check_recurrence",
+    "check_safety", "check_stability", "find_cycle_with",
+    "VerificationResult", "blowup_table", "format_results",
+    "verify_all", "verify_model",
+]

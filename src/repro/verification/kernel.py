@@ -1,0 +1,149 @@
+"""Explicit-state model-checking kernel.
+
+This plays the role Spin/Promela play in the paper's Sec. VIII: a
+system is a set of communicating processes plus bounded FIFO queues;
+the global state is the tuple of process-local states and queue
+contents; successors arise from message receives and internal actions.
+
+The kernel is deliberately Promela-like:
+
+* a **send** that would overflow a bounded queue disables the whole
+  transition (Promela's blocking send);
+* a **receive** pops the head of one queue and hands it to the queue's
+  receiving process, which returns one or more nondeterministic
+  outcomes;
+* **internal actions** model nondeterministic choices such as the goal
+  objects' phase switch and user ``modify`` events.
+
+Everything is immutable and hashable, so graphs of millions of states
+fit in plain dictionaries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["Message", "LocalState", "Outcome", "ProcessModel",
+           "QueueDef", "SystemModel", "SystemState", "ModelError"]
+
+#: Wire messages are small tuples, e.g. ``("open", ("L", 0))``.
+Message = Tuple
+#: Process-local states are NamedTuples (hashable).
+LocalState = Tuple
+#: One nondeterministic outcome: the new local state plus a list of
+#: (queue index, message) sends.
+Outcome = Tuple[LocalState, List[Tuple[int, Message]]]
+
+
+class ModelError(AssertionError):
+    """The model reached a state its own rules forbid — a bug in either
+    the model or the thing it models."""
+
+
+class ProcessModel:
+    """One process template."""
+
+    name = "proc"
+
+    def initial(self) -> LocalState:
+        raise NotImplementedError
+
+    def can_receive(self, local: LocalState) -> bool:
+        """May this process consume messages right now?"""
+        return True
+
+    def receive(self, local: LocalState, queue_index: int,
+                message: Message) -> List[Outcome]:
+        """Outcomes of consuming ``message`` from ``queue_index``."""
+        raise NotImplementedError
+
+    def internal_actions(self, local: LocalState) -> List[Outcome]:
+        """Enabled internal (non-receive) transitions."""
+        return []
+
+
+class QueueDef:
+    """A bounded FIFO queue: who receives from it, and its capacity."""
+
+    def __init__(self, name: str, receiver: int, capacity: int = 3):
+        self.name = name
+        self.receiver = receiver
+        self.capacity = capacity
+
+
+class SystemState:
+    """Immutable global state: process locals + queue contents."""
+
+    __slots__ = ("procs", "queues", "_hash")
+
+    def __init__(self, procs: Tuple[LocalState, ...],
+                 queues: Tuple[Tuple[Message, ...], ...]):
+        self.procs = procs
+        self.queues = queues
+        self._hash = hash((procs, queues))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other) -> bool:
+        return self.procs == other.procs and self.queues == other.queues
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "SystemState(%r, %r)" % (self.procs, self.queues)
+
+
+class SystemModel:
+    """A closed system of processes and queues."""
+
+    def __init__(self, name: str, processes: Sequence[ProcessModel],
+                 queues: Sequence[QueueDef]):
+        self.name = name
+        self.processes = list(processes)
+        self.queues = list(queues)
+
+    def initial_state(self) -> SystemState:
+        return SystemState(
+            tuple(p.initial() for p in self.processes),
+            tuple(() for _ in self.queues))
+
+    # ------------------------------------------------------------------
+    # successor generation
+    # ------------------------------------------------------------------
+    def successors(self, state: SystemState) -> List[SystemState]:
+        result: List[SystemState] = []
+        # receives
+        for qi, queue in enumerate(state.queues):
+            if not queue:
+                continue
+            pi = self.queues[qi].receiver
+            process = self.processes[pi]
+            local = state.procs[pi]
+            if not process.can_receive(local):
+                continue
+            message = queue[0]
+            for outcome in process.receive(local, qi, message):
+                next_state = self._apply(state, pi, outcome,
+                                         consumed=(qi,))
+                if next_state is not None:
+                    result.append(next_state)
+        # internal actions
+        for pi, process in enumerate(self.processes):
+            for outcome in process.internal_actions(state.procs[pi]):
+                next_state = self._apply(state, pi, outcome, consumed=())
+                if next_state is not None:
+                    result.append(next_state)
+        return result
+
+    def _apply(self, state: SystemState, pi: int, outcome: Outcome,
+               consumed: Tuple[int, ...]) -> Optional[SystemState]:
+        new_local, sends = outcome
+        queues = [list(q) for q in state.queues]
+        for qi in consumed:
+            queues[qi].pop(0)
+        for qi, message in sends:
+            if len(queues[qi]) >= self.queues[qi].capacity:
+                return None  # blocking send: transition disabled
+            queues[qi].append(message)
+        procs = list(state.procs)
+        procs[pi] = new_local
+        return SystemState(tuple(procs), tuple(tuple(q) for q in queues))

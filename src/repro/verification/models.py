@@ -1,0 +1,161 @@
+"""The twelve signaling-path models of Sec. VIII-A.
+
+"We modeled and checked 12 signaling paths: six paths with no flowlinks
+and every possible combination of closeslots, openslots, and holdslots
+at their ends, and six paths similar to the first six paths but with
+one flowlink each."
+
+Each model couples the Sec. V specification to the path type:
+
+====== =========================================
+ ends   temporal property
+====== =========================================
+ CC     ◇□ bothClosed
+ CH     ◇□ bothClosed
+ CO     ◇□ ¬bothFlowing
+ HH     (◇□ bothClosed) ∨ (□◇ bothFlowing)
+ HO     □◇ bothFlowing
+ OO     □◇ bothFlowing
+====== =========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple  # noqa: F401
+
+from .kernel import QueueDef, SystemModel, SystemState
+from .processes import (EndpointProcess, EndpointState, FlowlinkProcess,
+                        CLOSED, FLOWING)
+
+__all__ = ["PathModel", "PATH_TYPES", "build_model", "all_models",
+           "both_closed", "both_flowing", "valid_endstate"]
+
+#: The six path types, as (left goal, right goal) with the property key.
+PATH_TYPES: Dict[str, Tuple[str, str, str]] = {
+    "CC": ("close", "close", "stability-closed"),
+    "CH": ("close", "hold", "stability-closed"),
+    "CO": ("close", "open", "stability-no-flow"),
+    "HH": ("hold", "hold", "closed-or-flowing"),
+    "HO": ("hold", "open", "recurrence-flowing"),
+    "OO": ("open", "open", "recurrence-flowing"),
+}
+
+
+@dataclass
+class PathModel:
+    """A system model plus its specification metadata."""
+
+    key: str                # e.g. "HO+link"
+    system: SystemModel
+    property_kind: str      # stability-closed / stability-no-flow /
+    #                         recurrence-flowing / closed-or-flowing
+    left_index: int         # process index of the left endpoint
+    right_index: int
+    has_flowlink: bool
+
+
+# ----------------------------------------------------------------------
+# the path-state predicates (model-checking form, Sec. VIII-A)
+# ----------------------------------------------------------------------
+def both_closed(left: EndpointState, right: EndpointState) -> bool:
+    return left.slot == CLOSED and right.slot == CLOSED
+
+
+def both_flowing(left: EndpointState, right: EndpointState) -> bool:
+    """Lflowing ∧ Rflowing ∧ (LdescRcvd = RdescSent) ∧
+    (RdescRcvd = LdescSent) ∧ (LselRcvd = LdescSent) ∧
+    (RselRcvd = RdescSent) — the Sec. VIII-A history-variable form."""
+    return (left.slot == FLOWING and right.slot == FLOWING
+            and left.rcvd is not None and left.rcvd == right.sent
+            and right.rcvd is not None and right.rcvd == left.sent
+            and left.sel_rcvd is not None
+            and left.sel_rcvd == left.sent
+            and right.sel_rcvd is not None
+            and right.sel_rcvd == right.sent)
+
+
+def valid_endstate(state: SystemState, model: PathModel) -> bool:
+    """"in any final state, each slot is closed or flowing"."""
+    ok = ("closed", "flowing")
+    left: EndpointState = state.procs[model.left_index]
+    right: EndpointState = state.procs[model.right_index]
+    if left.slot not in ok or right.slot not in ok:
+        return False
+    for fl in state.procs[model.left_index + 1:model.right_index]:
+        if fl.s1 not in ok or fl.s2 not in ok:
+            return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# model construction
+# ----------------------------------------------------------------------
+def build_model(path_type: str, with_flowlink=False,
+                queue_capacity: int = 3,
+                phase1_budget: int = 1,
+                modify_budget: int = 1,
+                max_versions: int = 3,
+                flowlinks: Optional[int] = None) -> PathModel:
+    """Build a path model.
+
+    ``with_flowlink``/``flowlinks`` select the interior: 0 flowlinks
+    (endpoints share one tunnel), 1 flowlink (the paper's second set of
+    six models), or more — the paper judged Spin checks of two-flowlink
+    paths "forbidding" (est. 900 Gb / 300 hours); our abstracted models
+    make them feasible, so ``flowlinks=2`` is supported as the
+    reproduction's extension experiment.
+    """
+    if flowlinks is None:
+        flowlinks = 1 if with_flowlink else 0
+    left_goal, right_goal, prop = PATH_TYPES[path_type]
+    if flowlinks == 0:
+        key = path_type
+    elif flowlinks == 1:
+        key = path_type + "+link"
+    else:
+        key = "%s+%dlinks" % (path_type, flowlinks)
+
+    # Chain: L -- F_1 -- F_2 -- ... -- F_k -- R with one tunnel (queue
+    # pair) between adjacent parties.  Queue layout, tunnel t in
+    # [0, k]: queue 2t carries left-to-right, queue 2t+1 right-to-left.
+    ep_kwargs = dict(phase1_budget=phase1_budget,
+                     modify_budget=modify_budget,
+                     max_versions=max_versions)
+    processes: List = []
+    queues: List[QueueDef] = []
+    k = flowlinks
+    left = EndpointProcess("L", left_goal, out_queue=0, initiator=True,
+                           **ep_kwargs)
+    processes.append(left)
+    for i in range(k):
+        # flowlink i sits between tunnel i and tunnel i+1; its side-1
+        # input is queue 2i, outputs are 2i+1 (to the left) and
+        # 2(i+1) (to the right).  Its box created tunnel i+1, so it is
+        # the initiator there but not on tunnel i.
+        processes.append(FlowlinkProcess("F%d" % (i + 1), in1=2 * i,
+                                         out1=2 * i + 1,
+                                         out2=2 * (i + 1)))
+    right = EndpointProcess("R", right_goal, out_queue=2 * k + 1,
+                            initiator=False, **ep_kwargs)
+    processes.append(right)
+    for t in range(k + 1):
+        # left-to-right lane of tunnel t: received by party t+1
+        queues.append(QueueDef("t%d->" % t, receiver=t + 1,
+                               capacity=queue_capacity))
+        # right-to-left lane of tunnel t: received by party t
+        queues.append(QueueDef("t%d<-" % t, receiver=t,
+                               capacity=queue_capacity))
+    system = SystemModel(key, processes, queues)
+    return PathModel(key, system, prop, left_index=0,
+                     right_index=len(processes) - 1,
+                     has_flowlink=k > 0)
+
+
+def all_models(**kwargs) -> List[PathModel]:
+    """The full 12-model sweep of Sec. VIII-A."""
+    models = []
+    for with_flowlink in (False, True):
+        for path_type in PATH_TYPES:
+            models.append(build_model(path_type, with_flowlink, **kwargs))
+    return models

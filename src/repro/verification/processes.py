@@ -1,0 +1,478 @@
+"""Model processes: path-endpoint goal objects and the flowlink.
+
+These mirror the implementation classes
+(:mod:`repro.core.goals`, :mod:`repro.core.flowlink`) at the level of
+abstraction the paper's Promela models use:
+
+* descriptors are reduced to version identifiers ``(origin, k)``; a
+  selector is reduced to the version it answers — exactly the
+  history-variable form of ``bothFlowing`` used for model checking in
+  Sec. VIII-A;
+* each endpoint goal process has "two phases.  In a goal object's
+  initial phase, the behavior of the slot ... is allowed to be
+  completely nondeterministic ...  At some nondeterministically chosen
+  point, the goal object switches permanently to a second phase in
+  which it behaves according to the specified goal";
+* the initial phase has a *bounded action budget* (and receives block
+  once it is spent, forcing the switch).  This makes "the goal objects
+  eventually start their real work" a structural property of the model
+  instead of a fairness assumption, so the ◇□/□◇ checks are pure
+  cycle analyses (see DESIGN.md);
+* users at endpoints may ``modify`` a bounded number of times while
+  flowing (fresh descriptor versions), which is what makes the
+  recurrence properties non-trivial.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional, Tuple
+
+from .kernel import LocalState, Message, ModelError, Outcome, ProcessModel
+
+__all__ = ["Ver", "EndpointState", "EndpointProcess",
+           "FlowlinkState", "FlowlinkProcess",
+           "CLOSED", "OPENING", "OPENED", "FLOWING", "CLOSING"]
+
+Ver = Tuple[str, int]
+
+CLOSED, OPENING, OPENED, FLOWING, CLOSING = (
+    "closed", "opening", "opened", "flowing", "closing")
+LIVE = (OPENING, OPENED, FLOWING)
+
+
+class EndpointState(NamedTuple):
+    phase: int                 # 1 = nondeterministic, 2 = goal
+    budget: int                # phase-1 actions remaining
+    slot: str
+    sent: Optional[Ver]        # last descriptor version sent
+    rcvd: Optional[Ver]        # last descriptor version received
+    sel_rcvd: Optional[Ver]    # version answered by last selector rcvd
+    next_ver: int              # next fresh local version number
+    modifies: int              # phase-2 modify events remaining
+
+
+class EndpointProcess(ProcessModel):
+    """A path endpoint: protocol slot + goal object + (for open/hold)
+    a user with a bounded budget of ``modify`` events."""
+
+    def __init__(self, origin: str, goal: str, out_queue: int,
+                 initiator: bool, phase1_budget: int = 1,
+                 modify_budget: int = 1, max_versions: int = 3):
+        if goal not in ("open", "close", "hold"):
+            raise ValueError("unknown goal %r" % goal)
+        self.origin = origin
+        self.goal = goal
+        self.out = out_queue
+        self.initiator = initiator
+        self.phase1_budget = phase1_budget
+        self.modify_budget = modify_budget
+        self.max_versions = max_versions
+        self.name = "%s(%s)" % (origin, goal)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _ver(self, st: EndpointState) -> Tuple[Ver, EndpointState]:
+        """The endpoint's current descriptor version (allocate v0 on
+        first use; stable thereafter until a modify).  Once the version
+        budget is spent, later episodes reuse the last version — this
+        keeps re-open loops (openslot vs closeslot) finite-state."""
+        if st.sent is not None:
+            return st.sent, st
+        if st.next_ver >= self.max_versions:
+            return (self.origin, self.max_versions - 1), st
+        ver = (self.origin, st.next_ver)
+        return ver, st._replace(next_ver=st.next_ver + 1)
+
+    def _fresh(self, st: EndpointState) -> Optional[Tuple[Ver,
+                                                          EndpointState]]:
+        if st.next_ver >= self.max_versions:
+            return None
+        ver = (self.origin, st.next_ver)
+        return ver, st._replace(next_ver=st.next_ver + 1)
+
+    @staticmethod
+    def _closed(st: EndpointState) -> EndpointState:
+        return st._replace(slot=CLOSED, sent=None, rcvd=None, sel_rcvd=None)
+
+    def _send_open(self, st: EndpointState) -> Outcome:
+        ver, st = self._ver(st)
+        st = st._replace(slot=OPENING, sent=ver)
+        return st, [(self.out, ("open", ver))]
+
+    def _accept(self, st: EndpointState) -> Outcome:
+        """oack + select in sequence (Fig. 9)."""
+        assert st.rcvd is not None
+        ver, st = self._ver(st)
+        st = st._replace(slot=FLOWING, sent=ver)
+        return st, [(self.out, ("oack", ver)),
+                    (self.out, ("select", st.rcvd))]
+
+    def _redescribe(self, st: EndpointState) -> Outcome:
+        """describe ourselves + answer the current descriptor; what a
+        goal taking over a flowing slot does."""
+        ver, st = self._ver(st)
+        st = st._replace(sent=ver)
+        sends = [(self.out, ("describe", ver))]
+        if st.rcvd is not None:
+            sends.append((self.out, ("select", st.rcvd)))
+        return st, sends
+
+    # ------------------------------------------------------------------
+    # kernel interface
+    # ------------------------------------------------------------------
+    def initial(self) -> EndpointState:
+        return EndpointState(phase=1, budget=self.phase1_budget,
+                             slot=CLOSED, sent=None, rcvd=None,
+                             sel_rcvd=None, next_ver=0,
+                             modifies=self.modify_budget)
+
+    def can_receive(self, st: EndpointState) -> bool:
+        # With the phase-1 budget spent, the only move is the switch.
+        return st.phase == 2 or st.budget > 0
+
+    # -- receives ----------------------------------------------------------
+    def receive(self, st: EndpointState, qi: int,
+                msg: Message) -> List[Outcome]:
+        kind = msg[0]
+        handler = getattr(self, "_recv_%s" % st.slot)
+        outcomes = handler(st, kind, msg)
+        if st.phase == 1:
+            outcomes = [(o[0]._replace(budget=st.budget - 1), o[1])
+                        for o in outcomes]
+        return outcomes
+
+    def _recv_closed(self, st, kind, msg) -> List[Outcome]:
+        if kind == "open":
+            st = st._replace(slot=OPENED, rcvd=msg[1], sel_rcvd=None)
+            return self._react_opened(st)
+        raise ModelError("%s: %s while closed" % (self.name, kind))
+
+    def _recv_opening(self, st, kind, msg) -> List[Outcome]:
+        if kind == "open":
+            if self.initiator:
+                return [(st, [])]  # we win the race; ignore
+            st = st._replace(slot=OPENED, rcvd=msg[1])
+            return self._react_opened(st)
+        if kind == "oack":
+            st = st._replace(slot=FLOWING, rcvd=msg[1])
+            if st.phase == 1:
+                # nondeterministic: answer with a selector, or not yet
+                return [(st, [(self.out, ("select", msg[1]))]), (st, [])]
+            return [(st, [(self.out, ("select", msg[1]))])]
+        if kind == "close":
+            st = self._closed(st)
+            sends = [(self.out, ("closeack",))]
+            if st.phase == 2 and self.goal == "open":
+                # rejection: "it sends open again"
+                st2, more = self._send_open(st)
+                return [(st2, sends + more)]
+            return [(st, sends)]
+        raise ModelError("%s: %s while opening" % (self.name, kind))
+
+    def _recv_opened(self, st, kind, msg) -> List[Outcome]:
+        if kind == "close":
+            st = self._closed(st)
+            sends = [(self.out, ("closeack",))]
+            if st.phase == 2 and self.goal == "open":
+                # The offer was withdrawn before we answered; an
+                # openslot pushes again.
+                st2, more = self._send_open(st)
+                return [(st2, sends + more)]
+            return [(st, sends)]
+        raise ModelError("%s: %s while opened" % (self.name, kind))
+
+    def _recv_flowing(self, st, kind, msg) -> List[Outcome]:
+        if kind == "describe":
+            st = st._replace(rcvd=msg[1])
+            if st.phase == 1:
+                return [(st, [(self.out, ("select", msg[1]))]), (st, [])]
+            return [(st, [(self.out, ("select", msg[1]))])]
+        if kind == "select":
+            return [(st._replace(sel_rcvd=msg[1]), [])]
+        if kind == "close":
+            st = self._closed(st)
+            sends = [(self.out, ("closeack",))]
+            if st.phase == 2 and self.goal == "open":
+                st2, more = self._send_open(st)
+                return [(st2, sends + more)]
+            return [(st, sends)]
+        raise ModelError("%s: %s while flowing" % (self.name, kind))
+
+    def _recv_closing(self, st, kind, msg) -> List[Outcome]:
+        if kind == "close":
+            return [(st, [(self.out, ("closeack",))])]
+        if kind == "closeack":
+            st = self._closed(st)
+            if st.phase == 2 and self.goal == "open":
+                return [self._send_open(st)]
+            return [(st, [])]
+        if kind in ("open", "oack", "describe", "select"):
+            # Drained: the peer sent these before seeing our close (an
+            # open here crossed with our close, which rejects it).
+            return [(st, [])]
+        raise ModelError("%s: %s while closing" % (self.name, kind))
+
+    def _react_opened(self, st) -> List[Outcome]:
+        """Goal reactions to a just-received open."""
+        if st.phase == 1:
+            # accept, reject, or sit on it — the user's whim.
+            reject = st._replace(slot=CLOSING)
+            return [self._accept(st),
+                    (reject, [(self.out, ("close",))]),
+                    (st, [])]
+        if self.goal == "close":
+            return [(st._replace(slot=CLOSING), [(self.out, ("close",))])]
+        return [self._accept(st)]  # open and hold both accept
+
+    # -- internal actions ------------------------------------------------------
+    def internal_actions(self, st: EndpointState) -> List[Outcome]:
+        actions: List[Outcome] = []
+        if st.phase == 1:
+            # the permanent switch to goal behaviour, with the goal
+            # object's attach-time initiative
+            actions.append(self._switch(st))
+            if st.budget > 0:
+                actions.extend(self._phase1_actions(st))
+        else:
+            # a user modify while flowing (open/hold ends only)
+            if st.slot == FLOWING and st.modifies > 0 \
+                    and self.goal != "close":
+                fresh = self._fresh(st)
+                if fresh is not None:
+                    ver, st2 = fresh
+                    st2 = st2._replace(sent=ver,
+                                       modifies=st.modifies - 1)
+                    actions.append(
+                        (st2, [(self.out, ("describe", ver))]))
+        return actions
+
+    def _switch(self, st: EndpointState) -> Outcome:
+        st = st._replace(phase=2, budget=0)
+        if self.goal == "close":
+            if st.slot in LIVE:
+                return (st._replace(slot=CLOSING),
+                        [(self.out, ("close",))])
+            return (st, [])
+        if self.goal == "open":
+            if st.slot == CLOSED:
+                return self._send_open(st)
+            if st.slot == OPENED:
+                return self._accept(st)
+            if st.slot == FLOWING:
+                return self._redescribe(st)
+            return (st, [])  # opening/closing: wait
+        # hold
+        if st.slot == OPENED:
+            return self._accept(st)
+        if st.slot == FLOWING:
+            return self._redescribe(st)
+        return (st, [])
+
+    def _phase1_actions(self, st: EndpointState) -> List[Outcome]:
+        """Arbitrary protocol-legal initiatives, each costing budget."""
+        spend = lambda o: (o[0]._replace(budget=st.budget - 1), o[1])
+        actions: List[Outcome] = []
+        if st.slot == CLOSED:
+            actions.append(spend(self._send_open(st)))
+        if st.slot == OPENED:
+            actions.append(spend(self._accept(st)))
+            actions.append(spend((st._replace(slot=CLOSING),
+                                  [(self.out, ("close",))])))
+        if st.slot == FLOWING:
+            fresh = self._fresh(st)
+            if fresh is not None:
+                ver, st2 = fresh
+                actions.append(spend((st2._replace(sent=ver),
+                                      [(self.out, ("describe", ver))])))
+        if st.slot in LIVE:
+            actions.append(spend((st._replace(slot=CLOSING),
+                                  [(self.out, ("close",))])))
+        return actions
+
+
+class FlowlinkState(NamedTuple):
+    s1: str
+    s2: str
+    c1: Optional[Ver]      # cached descriptor received on side 1
+    c2: Optional[Ver]
+    utd1: bool             # side 1 has been sent side 2's current desc
+    utd2: bool
+    re1: bool              # reopen side 1 once its close completes
+    re2: bool
+    plc: int               # placeholder descriptor versions minted
+
+
+class FlowlinkProcess(ProcessModel):
+    """The flowlink model: two protocol slots plus the Sec. VII logic
+    (cached descriptors, ``utd`` flags, state matching, selector
+    freshness filtering).
+
+    ``out1``/``out2`` are the queue indices toward sides 1/2; receives
+    arrive with a queue index that the system maps to a side via
+    ``in1``.  ``initiator2`` reflects that the flowlink's box created
+    the second tunnel's channel (it wins open/open races there) but not
+    the first's.
+    """
+
+    def __init__(self, origin: str, in1: int, out1: int, out2: int,
+                 max_placeholders: int = 2):
+        self.origin = origin
+        self.in1 = in1
+        self.out1 = out1
+        self.out2 = out2
+        self.max_placeholders = max_placeholders
+        self.name = "%s(link)" % origin
+
+    def initial(self) -> FlowlinkState:
+        return FlowlinkState(CLOSED, CLOSED, None, None,
+                             False, False, False, False, 0)
+
+    # -- tuple plumbing -------------------------------------------------------
+    def _get(self, st: FlowlinkState, side: int, field: str):
+        return getattr(st, "%s%d" % (field, side))
+
+    def _set(self, st: FlowlinkState, side: int, **fields) -> FlowlinkState:
+        return st._replace(**{"%s%d" % (k, side): v
+                              for k, v in fields.items()})
+
+    def _out(self, side: int) -> int:
+        return self.out1 if side == 1 else self.out2
+
+    def _is_initiator(self, side: int) -> bool:
+        return side == 2  # the flowlink's box created tunnel 2
+
+    # -- the work function (Sec. VII reconciliation) -----------------------------
+    def _work(self, st: FlowlinkState,
+              sends: List[Tuple[int, Message]]) -> FlowlinkState:
+        for side in (1, 2):
+            other = 3 - side
+            state = self._get(st, side, "s")
+            peer_state = self._get(st, other, "s")
+            peer_cached = self._get(st, other, "c")
+            if self._get(st, side, "re") and state == CLOSED:
+                st = self._set(st, side, re=False)
+                if peer_state in LIVE:
+                    st = self._open_through(st, side, sends)
+                    state = self._get(st, side, "s")
+            if state == OPENED and peer_cached is not None:
+                sends.append((self._out(side), ("oack", peer_cached)))
+                st = self._set(st, side, s=FLOWING, utd=True)
+                state = FLOWING
+            if state == FLOWING and not self._get(st, side, "utd") \
+                    and peer_cached is not None:
+                sends.append((self._out(side), ("describe", peer_cached)))
+                st = self._set(st, side, utd=True)
+        return st
+
+    def _open_through(self, st: FlowlinkState, side: int,
+                      sends: List[Tuple[int, Message]]) -> FlowlinkState:
+        other = 3 - side
+        peer_cached = self._get(st, other, "c")
+        if peer_cached is not None:
+            ver = peer_cached
+            st = self._set(st, side, utd=True)
+        else:
+            if st.plc >= self.max_placeholders:
+                # placeholder budget exhausted: reuse the last one
+                ver = (self.origin, self.max_placeholders - 1)
+            else:
+                ver = (self.origin, st.plc)
+                st = st._replace(plc=st.plc + 1)
+            st = self._set(st, side, utd=False)
+        sends.append((self._out(side), ("open", ver)))
+        return self._set(st, side, s=OPENING)
+
+    # -- receives ---------------------------------------------------------------
+    def receive(self, st: FlowlinkState, qi: int,
+                msg: Message) -> List[Outcome]:
+        side = 1 if qi == self.in1 else 2
+        other = 3 - side
+        kind = msg[0]
+        state = self._get(st, side, "s")
+        sends: List[Tuple[int, Message]] = []
+
+        if state == CLOSED:
+            if kind != "open":
+                raise ModelError("%s: %s on closed side %d"
+                                 % (self.name, kind, side))
+            st = self._set(st, side, s=OPENED, c=msg[1])
+            st = self._handle_open(st, side, sends)
+        elif state == OPENING:
+            if kind == "open":
+                if self._is_initiator(side):
+                    return [(st, [])]  # race won; ignore
+                st = self._set(st, side, s=OPENED, c=msg[1])
+                st = self._handle_open(st, side, sends)
+            elif kind == "oack":
+                st = self._set(st, side, s=FLOWING, c=msg[1])
+                st = self._set(st, other, utd=False)
+            elif kind == "close":
+                sends.append((self._out(side), ("closeack",)))
+                st = self._close_side(st, side, sends)
+            else:
+                raise ModelError("%s: %s while opening side %d"
+                                 % (self.name, kind, side))
+        elif state == OPENED:
+            if kind == "close":
+                sends.append((self._out(side), ("closeack",)))
+                st = self._close_side(st, side, sends)
+            else:
+                raise ModelError("%s: %s while opened side %d"
+                                 % (self.name, kind, side))
+        elif state == FLOWING:
+            if kind == "describe":
+                st = self._set(st, side, c=msg[1])
+                st = self._set(st, other, utd=False)
+            elif kind == "select":
+                return [self._forward_select(st, side, msg)]
+            elif kind == "close":
+                sends.append((self._out(side), ("closeack",)))
+                st = self._close_side(st, side, sends)
+            else:
+                raise ModelError("%s: %s while flowing side %d"
+                                 % (self.name, kind, side))
+        elif state == CLOSING:
+            if kind == "close":
+                sends.append((self._out(side), ("closeack",)))
+            elif kind == "closeack":
+                st = self._set(st, side, s=CLOSED, c=None)
+            elif kind in ("open", "oack", "describe", "select"):
+                return [(st, [])]  # drained (open = crossing-open case)
+            else:
+                raise ModelError("%s: %s while closing side %d"
+                                 % (self.name, kind, side))
+        st = self._work(st, sends)
+        return [(st, sends)]
+
+    def _handle_open(self, st: FlowlinkState, side: int,
+                     sends: List[Tuple[int, Message]]) -> FlowlinkState:
+        """FlowLink.goal_receive(Open): forward the liveness."""
+        other = 3 - side
+        st = self._set(st, other, utd=False)
+        other_state = self._get(st, other, "s")
+        if other_state == CLOSED:
+            st = self._open_through(st, other, sends)
+        elif other_state == CLOSING:
+            st = self._set(st, other, re=True)
+        return st
+
+    def _close_side(self, st: FlowlinkState, side: int,
+                    sends: List[Tuple[int, Message]]) -> FlowlinkState:
+        """A close arrived on ``side`` (already closeacked): propagate."""
+        other = 3 - side
+        st = self._set(st, side, s=CLOSED, c=None, utd=False)
+        st = self._set(st, other, utd=False)
+        if self._get(st, other, "s") in LIVE:
+            sends.append((self._out(other), ("close",)))
+            st = self._set(st, other, s=CLOSING)
+        return st
+
+    def _forward_select(self, st: FlowlinkState, side: int,
+                        msg: Message) -> Outcome:
+        other = 3 - side
+        fresh = (self._get(st, other, "s") == FLOWING
+                 and self._get(st, other, "c") == msg[1])
+        if fresh:
+            return (st, [(self._out(other), msg)])
+        return (st, [])  # obsolete selector: discarded

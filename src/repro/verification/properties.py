@@ -1,0 +1,173 @@
+"""Property checking over explored state graphs.
+
+Two families, matching Sec. VIII-A:
+
+* **safety** — "a safety check was run to make sure that the path model
+  had no deadlocks or other abnormal terminations.  The check ensured
+  that in any final state, each slot is closed or flowing, and all
+  signaling channels are empty."
+
+* **temporal** — the Sec. V path specifications.  On a finite state
+  graph whose infinite behaviours are exactly its lassos (terminal
+  states stutter), the two LTL shapes reduce to cycle conditions:
+
+  - ``◇□P`` is violated iff some reachable cycle (terminal stutter
+    included) contains a ``¬P`` state;
+  - ``□◇P`` is violated iff some reachable cycle lies entirely within
+    ``¬P``;
+  - the holdslot/holdslot disjunction ``◇□C ∨ □◇F`` is violated iff
+    some cycle lies within ``¬F`` and contains a ``¬C`` state.
+
+  All three are instances of one query: *is there a cycle within
+  ``within``-states containing a ``witness``-state?* — answered with
+  Tarjan's SCC algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from .explorer import StateGraph
+from .kernel import SystemState
+
+__all__ = [
+    "find_cycle_with", "check_stability", "check_recurrence",
+    "check_disjunction", "check_safety", "SafetyViolation",
+]
+
+Pred = Callable[[SystemState], bool]
+
+
+class SafetyViolation:
+    """One bad terminal state, with a human-readable reason."""
+
+    def __init__(self, state_id: int, state: SystemState, reason: str):
+        self.state_id = state_id
+        self.state = state
+        self.reason = reason
+
+    def __repr__(self) -> str:
+        return "<SafetyViolation #%d %s>" % (self.state_id, self.reason)
+
+
+# ----------------------------------------------------------------------
+# the unified cycle query
+# ----------------------------------------------------------------------
+def find_cycle_with(graph: StateGraph, within: Pred,
+                    witness: Pred) -> Optional[int]:
+    """Find a state satisfying ``witness`` that lies on a cycle whose
+    states all satisfy ``within``.  Terminal states count as
+    self-loops.  Returns the state id, or ``None``.
+
+    Iterative Tarjan SCC over the ``within``-restricted subgraph.
+    """
+    n = graph.state_count
+    inside = [within(s) for s in graph.states]
+    index = [0] * n
+    low = [0] * n
+    on_stack = [False] * n
+    visited = [False] * n
+    stack: List[int] = []
+    counter = [1]
+
+    def strongconnect(root: int) -> Optional[int]:
+        work = [(root, 0)]
+        while work:
+            v, pi = work[-1]
+            if pi == 0:
+                index[v] = low[v] = counter[0]
+                counter[0] += 1
+                visited[v] = True
+                stack.append(v)
+                on_stack[v] = True
+            recurse = False
+            succs = graph.successors[v]
+            while pi < len(succs):
+                w = succs[pi]
+                pi += 1
+                if not inside[w]:
+                    continue
+                if not visited[w]:
+                    work[-1] = (v, pi)
+                    work.append((w, 0))
+                    recurse = True
+                    break
+                if on_stack[w]:
+                    low[v] = min(low[v], index[w])
+            if recurse:
+                continue
+            work.pop()
+            if low[v] == index[v]:
+                component = []
+                while True:
+                    w = stack.pop()
+                    on_stack[w] = False
+                    component.append(w)
+                    if w == v:
+                        break
+                # A component contains a cycle iff it has >1 state, or
+                # its single state has a self-loop, or it is terminal
+                # (the implicit stutter).
+                single = component[0] if len(component) == 1 else None
+                cyclic = len(component) > 1 or (
+                    single is not None and (
+                        single in graph.successors[single]
+                        or not graph.successors[single]))
+                if cyclic:
+                    for w in component:
+                        if witness(graph.states[w]):
+                            return w
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[v])
+        return None
+
+    for v in range(n):
+        if inside[v] and not visited[v]:
+            found = strongconnect(v)
+            if found is not None:
+                return found
+    return None
+
+
+# ----------------------------------------------------------------------
+# the three temporal shapes
+# ----------------------------------------------------------------------
+def check_stability(graph: StateGraph, prop: Pred) -> Optional[int]:
+    """``◇□ prop``: returns a violating state id or None."""
+    return find_cycle_with(graph, within=lambda s: True,
+                           witness=lambda s: not prop(s))
+
+
+def check_recurrence(graph: StateGraph, prop: Pred) -> Optional[int]:
+    """``□◇ prop``: returns a violating state id or None."""
+    return find_cycle_with(graph, within=lambda s: not prop(s),
+                           witness=lambda s: True)
+
+
+def check_disjunction(graph: StateGraph, closed: Pred,
+                      flowing: Pred) -> Optional[int]:
+    """``(◇□ closed) ∨ (□◇ flowing)``: returns a violating state id
+    (a cycle avoiding flowing that visits ¬closed) or None."""
+    return find_cycle_with(graph, within=lambda s: not flowing(s),
+                           witness=lambda s: not closed(s))
+
+
+# ----------------------------------------------------------------------
+# safety
+# ----------------------------------------------------------------------
+def check_safety(graph: StateGraph,
+                 valid_endstate: Pred) -> List[SafetyViolation]:
+    """Check every terminal state: queues empty and ``valid_endstate``
+    (each slot closed or flowing)."""
+    violations = []
+    for sid in graph.terminal_ids():
+        state = graph.states[sid]
+        if any(state.queues):
+            violations.append(SafetyViolation(
+                sid, state, "deadlock: undelivered signals %r"
+                % (state.queues,)))
+        elif not valid_endstate(state):
+            violations.append(SafetyViolation(
+                sid, state, "abnormal termination: %r" % (state.procs,)))
+    return violations

@@ -1,0 +1,20 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro import Network
+
+
+@pytest.fixture
+def net():
+    """A fresh zero-latency, zero-cost network (deterministic seed)."""
+    return Network(seed=7)
+
+
+@pytest.fixture
+def loop(net):
+    return net.loop
+
+
+def settle(net, max_events=100_000):
+    return net.settle(max_events=max_events)

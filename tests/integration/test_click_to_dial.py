@@ -1,0 +1,106 @@
+"""Experiment E3: the Click-to-Dial program of Fig. 6."""
+
+import pytest
+
+from repro import AUDIO, Network
+from repro.apps.click_to_dial import build_click_to_dial
+from repro.semantics import PathMonitor, both_flowing, trace_path
+
+
+@pytest.fixture
+def rig():
+    net = Network(seed=61)
+    user1 = net.device("user1")
+    user2 = net.device("user2")
+    ctd = build_click_to_dial(net, caller_address="user1")
+    return net, user1, user2, ctd
+
+
+def test_happy_path_connects_both_users(rig):
+    net, user1, user2, ctd = rig
+    program = ctd.click("user2")
+    net.run(0.1)
+    assert program.state_name == "oneCall"
+    assert user1.ringing()
+    user1.answer()
+    net.run(0.1)
+    # user2's device reported availability; ringback plays to user 1.
+    assert program.state_name == "ringback"
+    assert "tone:ringback" in net.plane.heard_by(user1)
+    assert user2.ringing()
+    user2.answer()
+    net.run(0.1)
+    assert program.state_name == "connected"
+    assert net.plane.two_way(user1, user2)
+    assert "tone:ringback" not in net.plane.heard_by(user1)
+    path = trace_path(ctd.slot("1a"))
+    assert both_flowing(path)
+
+
+def test_busy_callee_gets_busy_tone(rig):
+    net, user1, user2, ctd = rig
+    user2.availability = "busy"
+    program = ctd.click("user2")
+    net.run(0.1)
+    user1.answer()
+    net.run(0.1)
+    assert program.state_name == "busyTone"
+    assert "tone:busy" in net.plane.heard_by(user1)
+    assert ctd.channel2 is None  # channel 2 was destroyed
+    # User 1 gives up: their device closes... the whole channel dies
+    # with it, and the program terminates.
+    user1.hang_up_all()
+    user1.channel_ends[0].tear_down()
+    net.run(0.1)
+    assert program.finished
+
+
+def test_caller_never_answers_times_out(rig):
+    net, user1, user2, ctd = rig
+    ctd.answer_timeout = 5.0
+    program = ctd.click("user2")
+    net.run(6.0)
+    assert program.finished
+    assert ctd.channel1 is None or not ctd.channel1.active
+    assert net.plane.silent(user1)
+
+
+def test_caller_abandons_during_ringback(rig):
+    net, user1, user2, ctd = rig
+    program = ctd.click("user2")
+    net.run(0.1)
+    user1.answer()
+    net.run(0.1)
+    assert program.state_name == "ringback"
+    # User 1 gives up; destroying channel 1 must destroy everything.
+    user1.channel_ends[0].tear_down()
+    net.run(0.1)
+    assert program.finished
+    assert ctd.channelT is None or not ctd.channelT.active
+    assert net.plane.silent(user2)
+
+
+def test_openslot_goal_object_reused_across_states(rig):
+    # "Because the annotation controlling slot 2a is the same in both
+    # states twoCalls and ringback, the openLink object controlling 2a
+    # is also the same."
+    net, user1, user2, ctd = rig
+    program = ctd.click("user2")
+    net.run(0.05)
+    user1.answer()
+    net.run(0.001)  # reach twoCalls; availability not yet consumed
+    goal_in_two_calls = ctd.maps.goal_for(ctd.slot("2a"))
+    net.run(0.1)
+    assert program.state_name == "ringback"
+    assert ctd.maps.goal_for(ctd.slot("2a")) is goal_in_two_calls
+
+
+def test_no_spec_violations_when_connected(rig):
+    net, user1, user2, ctd = rig
+    ctd.click("user2")
+    net.run(0.1)
+    user1.answer()
+    net.run(0.1)
+    user2.answer()
+    net.run(0.1)
+    PathMonitor(net).assert_all_conform()

@@ -1,0 +1,94 @@
+"""Experiment E5: collaborative television (Fig. 8)."""
+
+import pytest
+
+from repro import Network
+from repro.apps.collab_tv import CollaborativeTV
+from repro.semantics import PathMonitor, all_paths
+
+
+@pytest.fixture
+def tv():
+    net = Network(seed=81)
+    session = CollaborativeTV(net, title="heidi")
+    session.start_watching()
+    return net, session
+
+
+def test_all_devices_receive_the_movie(tv):
+    net, s = tv
+    heard_tv = net.plane.heard_by(s.tv)
+    assert "movie:heidi:video-A" in heard_tv
+    assert "movie:heidi:audio-A" in heard_tv
+    heard_laptop = net.plane.heard_by(s.laptop)
+    assert "movie:heidi:video-C" in heard_laptop
+    assert "movie:heidi:audio-C" in heard_laptop
+    assert "movie:heidi:audio-fr-B" in net.plane.heard_by(s.phones)
+
+
+def test_devices_get_different_codecs(tv):
+    # "There are video and English audio channels for the two video
+    # devices, which differ because the two devices have different
+    # media quality and use different codecs."
+    net, s = tv
+    video_tx = {}
+    for t in net.plane.transmissions():
+        if t.port.endpoint is s.movie and "video" in t.port.slot.tunnel_id:
+            video_tx[t.port.slot.tunnel_id] = t.codec.name
+    assert video_tx["video-A"] == "MPEG4-HD"
+    assert video_tx["video-C"] == "H.263"
+
+
+def test_single_shared_time_pointer(tv):
+    net, s = tv
+    assert len(s.movie.sessions()) == 1
+    session = s.shared_session()
+    net.run(10.0)
+    assert session.position_at(net.now) == pytest.approx(10.0, abs=0.2)
+
+
+def test_pause_affects_all_five_channels(tv):
+    net, s = tv
+    s.box_a.pause()
+    net.run(1.0)
+    pos = s.shared_session().position_at(net.now)
+    net.run(30.0)
+    assert s.shared_session().position_at(net.now) == pos
+    s.box_a.play()
+    net.run(2.0)
+    assert s.shared_session().position_at(net.now) == \
+        pytest.approx(pos + 2.0, abs=0.2)
+
+
+def test_laptop_path_has_two_flowlinks(tv):
+    net, s = tv
+    laptop_slot = s.laptop_ch.end_for(s.laptop).slot("video")
+    from repro.semantics import trace_path
+    path = trace_path(laptop_slot)
+    assert len(path.flowlinks) == 2       # C's box and A's box
+    assert path.hops == 3
+
+
+def test_leave_and_fast_forward(tv):
+    net, s = tv
+    net.run(5.0)
+    s.leave_and_fast_forward(position=6000.0)
+    # Two sessions now exist with independent time pointers.
+    sessions = s.movie.sessions()
+    assert len(sessions) == 2
+    positions = sorted(x.position_at(net.now) for x in sessions)
+    assert positions[0] < 100.0          # the family-room session
+    assert positions[1] >= 6000.0        # the daughter's session
+    # The laptop still receives the movie, now via its own channel.
+    heard_laptop = net.plane.heard_by(s.laptop)
+    assert "movie:heidi:video-C" in heard_laptop
+    # And the chain channel is gone.
+    assert not s.chain_ch.active
+    # TV and headphones are undisturbed.
+    assert "movie:heidi:video-A" in net.plane.heard_by(s.tv)
+    assert "movie:heidi:audio-fr-B" in net.plane.heard_by(s.phones)
+
+
+def test_collab_paths_conform(tv):
+    net, s = tv
+    PathMonitor(net).assert_all_conform()

@@ -1,0 +1,110 @@
+"""Experiment E4: the conference of Fig. 7 with all muting modes."""
+
+import pytest
+
+from repro import AUDIO, Network
+from repro.apps.conference import build_conference
+from repro.semantics import PathMonitor
+
+
+@pytest.fixture
+def conf():
+    net = Network(seed=71)
+    server = build_conference(net)
+    devices = {}
+    for name in ("A", "B", "C"):
+        dev = net.device(name, auto_accept=True)
+        devices[name] = dev
+        server.invite(name, key=name)
+    net.settle()
+    return net, server, devices
+
+
+def test_three_way_conference_mixes_everyone(conf):
+    net, server, devices = conf
+    for name, dev in devices.items():
+        heard = net.plane.heard_by(dev)
+        others = {"audio:%s" % o for o in devices if o != name}
+        assert others <= heard
+        assert ("audio:%s" % name) not in heard  # no echo
+
+
+def test_dial_in_guests_are_admitted():
+    net = Network(seed=72)
+    server = build_conference(net)
+    a = net.device("A", auto_accept=True)
+    server.invite("A", key="A")
+    net.settle()
+    guest = net.device("guest")
+    ch = net.dial(guest, "conf:main")
+    guest.open(ch.end_for(guest).slot(), AUDIO)
+    net.settle()
+    assert "audio:guest" in net.plane.heard_by(a)
+    assert "audio:A" in net.plane.heard_by(guest)
+
+
+def test_full_muting_replaces_flowlink_with_holdslots(conf):
+    net, server, devices = conf
+    server.fully_mute("B")
+    net.settle()
+    assert net.plane.silent(devices["B"])
+    assert "audio:B" not in net.plane.heard_by(devices["A"])
+    assert "audio:A" in net.plane.heard_by(devices["C"])
+    server.unmute("B")
+    net.settle()
+    assert "audio:B" in net.plane.heard_by(devices["A"])
+    assert "audio:A" in net.plane.heard_by(devices["B"])
+
+
+def test_business_muting(conf):
+    net, server, devices = conf
+    server.business_mute("C")
+    net.settle()
+    assert "audio:C" not in net.plane.heard_by(devices["A"])
+    assert "audio:C" not in net.plane.heard_by(devices["B"])
+    # C still hears the meeting.
+    assert "audio:A" in net.plane.heard_by(devices["C"])
+    server.business_mute("C", muted=False)
+    net.settle()
+    assert "audio:C" in net.plane.heard_by(devices["A"])
+
+
+def test_emergency_muting(conf):
+    # B called emergency services; the calltaker and responder confer
+    # without B hearing them.
+    net, server, devices = conf
+    server.emergency_isolate("B")
+    net.settle()
+    assert net.plane.heard_by(devices["B"]) == frozenset()
+    assert "audio:B" in net.plane.heard_by(devices["A"])
+    assert "audio:B" in net.plane.heard_by(devices["C"])
+
+
+def test_training_whisper_mode(conf):
+    # A = agent, B = customer, C = supervisor.
+    net, server, devices = conf
+    server.training_mode(agent="A", customer="B", supervisor="C")
+    net.settle()
+    heard_b = net.plane.heard_by(devices["B"])
+    assert "audio:C" not in heard_b
+    assert "whisper:audio:C" not in heard_b
+    assert "audio:A" in heard_b
+    heard_a = net.plane.heard_by(devices["A"])
+    assert "whisper:audio:C" in heard_a
+    assert "audio:B" in heard_a
+    heard_c = net.plane.heard_by(devices["C"])
+    assert "audio:A" in heard_c and "audio:B" in heard_c
+
+
+def test_remove_user_tears_down_leg(conf):
+    net, server, devices = conf
+    server.remove("C")
+    net.settle()
+    assert net.plane.silent(devices["C"])
+    assert "audio:C" not in net.plane.heard_by(devices["A"])
+    assert "audio:A" in net.plane.heard_by(devices["B"])
+
+
+def test_conference_paths_conform(conf):
+    net, server, devices = conf
+    PathMonitor(net).assert_all_conform()

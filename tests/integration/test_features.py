@@ -1,0 +1,171 @@
+"""Feature-box composition tests: independent features in one signaling
+pipeline, coordinated only by the protocol (the DFC motivation of
+Secs. I/II-B)."""
+
+import pytest
+
+from repro import AUDIO, Network
+from repro.apps.features import (CallForwarding, DoNotDisturb,
+                                 TransparentFeature, VoicemailFeature)
+from repro.media.resources import AnnouncementPlayer
+from repro.semantics import PathMonitor, both_flowing, trace_path
+
+
+def pipeline(net, caller, *feature_boxes, callee):
+    """Wire caller -- f1 -- f2 -- ... -- callee and splice features."""
+    agents = [caller] + list(feature_boxes) + [callee]
+    channels = [net.channel(agents[i], agents[i + 1])
+                for i in range(len(agents) - 1)]
+    for i, box in enumerate(feature_boxes):
+        box.splice(channels[i], channels[i + 1])
+    return channels
+
+
+def test_transparent_feature_is_invisible():
+    net = Network(seed=91)
+    a = net.device("A")
+    b = net.device("B", auto_accept=True)
+    feature = net.box("noop", cls=TransparentFeature)
+    channels = pipeline(net, a, feature, callee=b)
+    a.open(channels[0].end_for(a).slot(), AUDIO)
+    net.settle()
+    assert net.plane.two_way(a, b)
+    assert both_flowing(trace_path(channels[0].end_for(feature).slot()))
+
+
+def test_two_stacked_transparent_features():
+    # Piecewise principle: no observable difference however many
+    # transparent modules sit on the path.
+    net = Network(seed=92)
+    a = net.device("A")
+    b = net.device("B", auto_accept=True)
+    f1 = net.box("f1", cls=TransparentFeature)
+    f2 = net.box("f2", cls=TransparentFeature)
+    channels = pipeline(net, a, f1, f2, callee=b)
+    a.open(channels[0].end_for(a).slot(), AUDIO)
+    net.settle()
+    assert net.plane.two_way(a, b)
+    path = trace_path(channels[0].end_for(f1).slot())
+    assert path.hops == 3 and len(path.flowlinks) == 2
+
+
+def test_do_not_disturb_rejects_then_releases():
+    net = Network(seed=93)
+    a = net.device("A")
+    b = net.device("B", auto_accept=True)
+    dnd = net.box("dnd", cls=DoNotDisturb)
+    channels = pipeline(net, a, dnd, callee=b)
+    dnd.engage()
+    a_slot = channels[0].end_for(a).slot()
+    a.open(a_slot, AUDIO)
+    net.settle()
+    assert a_slot.is_closed          # rejected by the closeslot
+    assert net.plane.silent(b)
+    dnd.disengage()
+    a.open(a_slot, AUDIO)
+    net.settle()
+    assert net.plane.two_way(a, b)
+
+
+def test_dnd_mid_call_cuts_media():
+    net = Network(seed=94)
+    a = net.device("A")
+    b = net.device("B", auto_accept=True)
+    dnd = net.box("dnd", cls=DoNotDisturb)
+    channels = pipeline(net, a, dnd, callee=b)
+    a_slot = channels[0].end_for(a).slot()
+    a.open(a_slot, AUDIO)
+    net.settle()
+    assert net.plane.two_way(a, b)
+    dnd.engage()                      # hangs up on the caller
+    net.settle()
+    assert a_slot.is_closed
+    assert net.plane.silent(a) and net.plane.silent(b)
+    assert net.plane.wasted_transmissions() == []
+
+
+def test_call_forwarding_diverts_to_other_device():
+    net = Network(seed=95)
+    a = net.device("A")
+    b = net.device("B", auto_accept=True)
+    c = net.device("C", auto_accept=True)
+    cf = net.box("cf", cls=CallForwarding)
+    cf.configure(net, forward_to="C")
+    channels = pipeline(net, a, cf, callee=b)
+    cf.engage()
+    a.open(channels[0].end_for(a).slot(), AUDIO)
+    net.settle()
+    assert net.plane.two_way(a, c)
+    assert net.plane.silent(b)
+    # Disengaging mid-call swings the caller back to B.
+    cf.disengage()
+    net.settle()
+    assert net.plane.two_way(a, b)
+    assert net.plane.silent(c)
+
+
+def test_voicemail_takes_unanswered_call():
+    net = Network(seed=96)
+    a = net.device("A")
+    b = net.device("B")                      # never answers
+    vm = net.box("vm", cls=VoicemailFeature, answer_timeout=3.0)
+    net.resource("greeting", AnnouncementPlayer, address="vm-greeting",
+                 announcement="leave-a-message", duration=2.0)
+    vm.configure(net, greeting_address="vm-greeting")
+    channels = pipeline(net, a, vm, callee=b)
+    a_slot = channels[0].end_for(a).slot()
+    a.open(a_slot, AUDIO)
+    net.run(4.0)
+    assert vm.took_message
+    assert "announcement:leave-a-message" in net.plane.heard_by(a)
+    net.settle()
+    # The announcement finished and the feature released the caller.
+    assert a_slot.is_closed
+
+
+def test_voicemail_stays_out_of_the_way_when_answered():
+    net = Network(seed=97)
+    a = net.device("A")
+    b = net.device("B")
+    vm = net.box("vm", cls=VoicemailFeature, answer_timeout=3.0)
+    net.resource("greeting", AnnouncementPlayer, address="vm-greeting")
+    vm.configure(net, greeting_address="vm-greeting")
+    channels = pipeline(net, a, vm, callee=b)
+    a.open(channels[0].end_for(a).slot(), AUDIO)
+    net.run(1.0)
+    b.answer()
+    net.run(5.0)
+    assert not vm.took_message
+    assert net.plane.two_way(a, b)
+
+
+def test_features_compose_forwarding_into_voicemail():
+    """A -> CF(B→C) where C has voicemail and never answers: two
+    independent features, two administrative domains, one coherent
+    outcome — the compositionality claim end-to-end."""
+    net = Network(seed=98)
+    a = net.device("A")
+    b = net.device("B")
+    c = net.device("C")                      # never answers
+    cf = net.box("cf", cls=CallForwarding)
+    vm = net.box("vm", cls=VoicemailFeature, answer_timeout=2.0)
+    net.resource("greeting", AnnouncementPlayer, address="vm-greeting",
+                 announcement="c-mailbox", duration=1.5)
+    vm.configure(net, greeting_address="vm-greeting")
+    # C sits behind its voicemail feature; register the feature as C's
+    # serving agent so forwarded calls route through it.
+    ch_vm_c = net.channel(vm, c)
+    net.router.register("C", vm)
+    cf.configure(net, forward_to="C")
+    channels = pipeline(net, a, cf, callee=b)
+    cf.engage()
+
+    a_slot = channels[0].end_for(a).slot()
+    a.open(a_slot, AUDIO)
+    net.run(0.1)
+    # CF dialed vm; vm must splice the incoming channel toward C.
+    incoming = cf.diverted
+    vm.splice(incoming, ch_vm_c)
+    net.run(3.0)
+    assert vm.took_message
+    assert "announcement:c-mailbox" in net.plane.heard_by(a)

@@ -1,0 +1,158 @@
+"""Experiments E1/E2: the erroneous (Fig. 2) versus correct (Fig. 3)
+prepaid-card scenario, snapshot by snapshot.
+
+These tests reproduce the paper's motivating example.  The media-plane
+assertions after each snapshot are exactly the media arrows drawn in
+the two figures; the Fig. 2 run must exhibit the anomalies the paper
+describes, and the Fig. 3 run must not.
+"""
+
+import pytest
+
+from repro import Network
+from repro.apps.prepaid import ErroneousPrepaidScenario, PrepaidScenario
+from repro.semantics import PathMonitor
+
+
+# ----------------------------------------------------------------------
+# Fig. 3: correct compositional control
+# ----------------------------------------------------------------------
+@pytest.fixture
+def fig3():
+    net = Network(seed=31)
+    scenario = PrepaidScenario(net, talk_seconds=30.0, verify_delay=2.0)
+    scenario.establish_ab_call()
+    return net, scenario
+
+
+def test_fig3_prehistory_a_talks_to_b(fig3):
+    net, s = fig3
+    assert net.plane.two_way(s.a, s.b)
+
+
+def test_fig3_snapshot1_a_talks_to_c(fig3):
+    net, s = fig3
+    s.card_call_starts()
+    assert net.plane.two_way(s.a, s.c)
+    assert net.plane.silent(s.b)        # B is on hold
+    assert net.plane.silent(s.v)
+    assert net.plane.wasted_transmissions() == []
+
+
+def test_fig3_snapshot2_c_talks_to_v(fig3):
+    net, s = fig3
+    s.card_call_starts()
+    s.run_until_funds_exhausted()
+    assert net.plane.two_way(s.c, s.v)  # V collects payment from C
+    assert net.plane.silent(s.a)
+    assert net.plane.silent(s.b)
+    assert net.plane.wasted_transmissions() == []
+
+
+def test_fig3_snapshot3_v_keeps_input_from_c(fig3):
+    # The crucial contrast with Fig. 2: when A switches back to B, the
+    # PBX's signals do NOT disturb the C--V channel.
+    net, s = fig3
+    s.card_call_starts()
+    s.run_until_funds_exhausted()
+    s.switch_back_to_b()
+    assert net.plane.two_way(s.a, s.b)
+    assert net.plane.two_way(s.c, s.v)          # still two-way!
+    assert net.plane.flow_exists(s.c, s.v)      # V has input from C
+    assert net.plane.wasted_transmissions() == []
+
+
+def test_fig3_snapshot4_proximity_confers_priority(fig3):
+    # After payment, PC relinks C toward A, but the PBX (closer to A)
+    # still mandates A--B: A must NOT be switched without its consent.
+    net, s = fig3
+    s.card_call_starts()
+    s.run_until_funds_exhausted()
+    s.switch_back_to_b()
+    s.run_until_paid()
+    assert net.plane.two_way(s.a, s.b)           # A stays with B
+    assert not net.plane.flow_exists(s.a, s.c)
+    assert not net.plane.flow_exists(s.c, s.a)
+    assert net.plane.silent(s.v)
+    assert net.plane.wasted_transmissions() == []
+    # Only when A's own server switches does A reach C.
+    s.switch_to_card_call()
+    assert net.plane.two_way(s.a, s.c)
+    assert net.plane.silent(s.b)
+    assert net.plane.wasted_transmissions() == []
+
+
+def test_fig3_no_path_spec_violations_at_any_snapshot(fig3):
+    net, s = fig3
+    monitor = PathMonitor(net)
+    s.card_call_starts()
+    monitor.assert_all_conform()
+    s.run_until_funds_exhausted()
+    monitor.assert_all_conform()
+    s.switch_back_to_b()
+    monitor.assert_all_conform()
+    s.run_until_paid()
+    monitor.assert_all_conform()
+    s.switch_to_card_call()
+    monitor.assert_all_conform()
+
+
+# ----------------------------------------------------------------------
+# Fig. 2: what goes wrong without coordination
+# ----------------------------------------------------------------------
+@pytest.fixture
+def fig2():
+    net = Network(seed=32)
+    scenario = ErroneousPrepaidScenario(net, verify_delay=2.0)
+    scenario.establish_ab_call()
+    return net, scenario
+
+
+def test_fig2_snapshot1_a_talks_to_c(fig2):
+    net, s = fig2
+    s.snapshot1()
+    assert net.plane.two_way(s.a, s.c)
+    assert net.plane.silent(s.b)
+
+
+def test_fig2_snapshot2_c_talks_to_v(fig2):
+    net, s = fig2
+    s.snapshot1()
+    s.snapshot2()
+    assert net.plane.two_way(s.c, s.v)
+    assert not net.plane.flow_exists(s.a, s.c)
+
+
+def test_fig2_snapshot3_anomaly_v_loses_input(fig2):
+    # "they have the abnormal effect of leaving V without audio input
+    # from C.  Note that the media arrow between C and V is now
+    # one-way."
+    net, s = fig2
+    s.snapshot1()
+    s.snapshot2()
+    s.snapshot3()
+    assert net.plane.two_way(s.a, s.b)
+    assert net.plane.flow_exists(s.v, s.c)        # V still prompts C
+    assert not net.plane.flow_exists(s.c, s.v)    # ...but hears nothing
+
+
+def test_fig2_snapshot4_anomalies(fig2):
+    # "the signal switches A from B to C without A's permission.
+    # Furthermore, B is left transmitting to an endpoint that will
+    # throw away the packets."
+    net, s = fig2
+    s.snapshot1()
+    s.snapshot2()
+    s.snapshot3()
+    s.snapshot4()
+    # A was hijacked: it now exchanges media with C although its own
+    # server still believes the active call is B.
+    assert net.plane.two_way(s.a, s.c)
+    assert s.pbx.active == "B"
+    # B transmits toward A but A no longer answers: one-way leftover.
+    assert net.plane.flow_exists(s.b, s.a)
+    assert not net.plane.flow_exists(s.a, s.b)
+    # A's user hears a mush of B and C simultaneously — impossible in
+    # the correct run.
+    heard_a = net.plane.heard_by(s.a)
+    assert "audio:B" in heard_a and "audio:C" in heard_a

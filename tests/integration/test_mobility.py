@@ -1,0 +1,84 @@
+"""Extension (Sec. X-F): mobility via re-description on the signaling
+path, with media always direct."""
+
+import pytest
+
+from repro import AUDIO, Network
+from repro.semantics import both_flowing, trace_path
+
+
+@pytest.fixture
+def call():
+    net = Network(seed=10)
+    mobile = net.device("mobile")
+    desk = net.device("desk", auto_accept=True)
+    locator = net.box("locator")
+    ch_m = net.channel(mobile, locator)
+    ch_d = net.channel(locator, desk)
+    locator.flow_link(ch_m.end_for(locator).slot(),
+                      ch_d.end_for(locator).slot())
+    m_slot = ch_m.end_for(mobile).slot()
+    mobile.open(m_slot, AUDIO)
+    net.settle()
+    return net, mobile, desk, locator, ch_m, m_slot
+
+
+def test_handover_reconverges(call):
+    net, mobile, desk, locator, ch_m, m_slot = call
+    old_address = mobile.port(m_slot).address
+    mobile.move(m_slot)
+    assert mobile.port(m_slot).address != old_address
+    net.settle()
+    assert net.plane.two_way(mobile, desk)
+    assert net.plane.wasted_transmissions() == []
+    assert both_flowing(trace_path(ch_m.end_for(locator).slot()))
+
+
+def test_peer_targets_new_address_directly(call):
+    net, mobile, desk, locator, ch_m, m_slot = call
+    mobile.move(m_slot)
+    net.settle()
+    desk_tx = [t for t in net.plane.transmissions()
+               if t.port.endpoint is desk]
+    assert desk_tx[0].target == mobile.port(m_slot).address
+
+
+def test_transient_clipping_window_exists():
+    """With real network latency, the handover has a brief window in
+    which the peer still transmits to the old address — footnote 5's
+    clipping trade-off made observable."""
+    from repro import FixedLatency
+    net = Network(seed=10, latency=FixedLatency(0.02))
+    mobile = net.device("mobile")
+    desk = net.device("desk", auto_accept=True)
+    locator = net.box("locator")
+    ch_m = net.channel(mobile, locator)
+    ch_d = net.channel(locator, desk)
+    locator.flow_link(ch_m.end_for(locator).slot(),
+                      ch_d.end_for(locator).slot())
+    m_slot = ch_m.end_for(mobile).slot()
+    mobile.open(m_slot, AUDIO)
+    net.settle()
+    mobile.move(m_slot)
+    assert net.plane.wasted_transmissions()    # clipping right now
+    net.settle()
+    assert net.plane.wasted_transmissions() == []
+
+
+def test_repeated_handovers(call):
+    net, mobile, desk, locator, ch_m, m_slot = call
+    for _ in range(5):
+        mobile.move(m_slot)
+        net.settle()
+    assert net.plane.two_way(mobile, desk)
+    assert both_flowing(trace_path(ch_m.end_for(locator).slot()))
+
+
+def test_both_ends_move_concurrently(call):
+    net, mobile, desk, locator, ch_m, m_slot = call
+    d_slot = desk.ports()[0].slot
+    mobile.move(m_slot)
+    desk.move(d_slot)
+    net.settle()
+    assert net.plane.two_way(mobile, desk)
+    assert net.plane.wasted_transmissions() == []

@@ -1,0 +1,104 @@
+"""Unit/integration tests for the PBX application server itself."""
+
+import pytest
+
+from repro import AUDIO, Network
+from repro.apps.pbx import PBX
+from repro.protocol.errors import ConfigurationError
+
+
+@pytest.fixture
+def rig():
+    net = Network(seed=61)
+    pbx = net.box("pbx", cls=PBX)
+    a = net.device("A")
+    line = net.channel(a, pbx)
+    pbx.attach_line(line)
+    b = net.device("B", auto_accept=True)
+    c = net.device("C", auto_accept=True)
+    ch_b = net.channel(b, pbx)
+    ch_c = net.channel(c, pbx)
+    kb = pbx.add_call(ch_b, key="B")
+    kc = pbx.add_call(ch_c, key="C")
+    a.open(line.end_for(a).slot(), AUDIO)
+    b.open(ch_b.end_for(b).slot(), AUDIO)
+    c.open(ch_c.end_for(c).slot(), AUDIO)
+    net.settle()
+    return net, pbx, a, b, c, line
+
+
+def test_unswitched_calls_are_held_muted(rig):
+    net, pbx, a, b, c, line = rig
+    # Everyone opened; nothing switched: no media anywhere.
+    assert net.plane.silent(a)
+    assert net.plane.silent(b)
+    assert net.plane.silent(c)
+
+
+def test_switching_between_calls(rig):
+    net, pbx, a, b, c, line = rig
+    pbx.switch_to("B")
+    net.settle()
+    assert net.plane.two_way(a, b) and net.plane.silent(c)
+    pbx.switch_to("C")
+    net.settle()
+    assert net.plane.two_way(a, c) and net.plane.silent(b)
+    assert pbx.active == "C"
+
+
+def test_hold_all(rig):
+    net, pbx, a, b, c, line = rig
+    pbx.switch_to("B")
+    net.settle()
+    pbx.hold_all()
+    net.settle()
+    assert net.plane.silent(a) and net.plane.silent(b)
+    assert pbx.active is None
+
+
+def test_drop_call_tears_channel_down(rig):
+    net, pbx, a, b, c, line = rig
+    pbx.switch_to("B")
+    net.settle()
+    pbx.drop_call("B")
+    net.settle()
+    assert "B" not in pbx.call_slots
+    assert pbx.active is None
+    assert net.plane.silent(a)
+    # The other call is intact and switchable.
+    pbx.switch_to("C")
+    net.settle()
+    assert net.plane.two_way(a, c)
+
+
+def test_incoming_channel_auto_registered():
+    net = Network(seed=62)
+    pbx = net.box("pbx", cls=PBX)
+    a = net.device("A")
+    line = net.channel(a, pbx)
+    pbx.attach_line(line)
+    caller_server = net.box("remote")
+    net.channel(caller_server, pbx, target="A")
+    net.settle()
+    assert len(pbx.call_slots) == 1   # registered via ChannelUp
+
+
+def test_switch_to_unknown_call_rejected(rig):
+    net, pbx, a, b, c, line = rig
+    with pytest.raises(ConfigurationError):
+        pbx.switch_to("nope")
+
+
+def test_switch_without_line_rejected():
+    net = Network(seed=63)
+    pbx = net.box("pbx", cls=PBX)
+    b = net.device("B")
+    ch = net.channel(b, pbx)
+    pbx.add_call(ch, key="B")
+    with pytest.raises(ConfigurationError):
+        pbx.switch_to("B")
+
+
+def test_cli_entrypoint_scenario():
+    from repro.__main__ import main
+    assert main(["scenario"]) == 0

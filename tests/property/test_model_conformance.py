@@ -1,0 +1,154 @@
+"""Model-based conformance testing: the verification models versus the
+implementation.
+
+The Sec. VIII verification only means something if the Promela-style
+models faithfully abstract the Java-style implementation.  This test
+closes that loop mechanically: hypothesis generates protocol-legal
+signal sequences; each sequence is fed both to the *model* endpoint
+process (``repro.verification.processes``) and to the *real* goal
+object driving a real slot over a real channel; after every step the
+slot states must agree and the emitted signal kinds must match.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Network
+from repro.network.address import Address
+from repro.protocol.codecs import AUDIO, G711, NO_MEDIA
+from repro.protocol.descriptor import (Descriptor, DescriptorFactory,
+                                       DescriptorId, Selector)
+from repro.protocol.signals import (Close, CloseAck, Describe, Oack, Open,
+                                    Select, TunnelMessage)
+from repro.verification.processes import EndpointProcess
+
+#: What the peer may legally inject, by the endpoint's slot state.
+LEGAL = {
+    "closed": ("open",),
+    "opening": ("open", "oack", "close"),
+    "opened": ("close",),
+    "flowing": ("describe", "select", "close"),
+    "closing": ("close", "closeack", "oack", "describe", "select",
+                "open"),
+}
+
+
+class ScriptedPeer:
+    """Injects raw signals into the box's channel and records what the
+    box emits, by spying on the link."""
+
+    def __init__(self, net, box):
+        self.net = net
+        self.box = box
+        peer = net.box("peer")           # never processes: raw injector
+        peer.on_tunnel_signal = lambda slot, signal: None
+        # Lenient: the injector does not maintain its own slot FSM, so
+        # the box's (perfectly legal) replies would otherwise trip the
+        # peer-side receive validation.
+        self.channel = net.channel(peer, box, strict=False)
+        self.peer_end = self.channel.end_for(peer)
+        self.slot = self.channel.end_for(box).slot()
+        self.emitted = []
+        self._descriptors = DescriptorFactory("P")
+        self._version = 0
+        original = self.channel.link.transmit
+
+        def spy(origin, message, _original=original):
+            if origin is self.channel.link.ends[1]:  # from the box
+                if isinstance(message, TunnelMessage):
+                    self.emitted.append(message.signal.kind)
+            _original(origin, message)
+
+        self.channel.link.transmit = spy
+
+    def inject(self, kind):
+        ver = ("P", self._version)
+        if kind == "open":
+            desc = Descriptor(DescriptorId(*ver), None, (NO_MEDIA,))
+            signal = Open(AUDIO, desc)
+            self._version += 1
+        elif kind == "oack":
+            desc = Descriptor(DescriptorId(*ver), None, (NO_MEDIA,))
+            signal = Oack(desc)
+            self._version += 1
+        elif kind == "describe":
+            desc = Descriptor(DescriptorId(*ver), None, (NO_MEDIA,))
+            signal = Describe(desc)
+            self._version += 1
+        elif kind == "select":
+            answers = self.slot.local_descriptor.id \
+                if self.slot.local_descriptor is not None \
+                else DescriptorId("P", 999)
+            signal = Select(Selector(answers=answers, address=None,
+                                     codec=NO_MEDIA))
+        elif kind == "close":
+            signal = Close()
+        elif kind == "closeack":
+            signal = CloseAck()
+        else:  # pragma: no cover - LEGAL is exhaustive
+            raise AssertionError(kind)
+        self.peer_end.send_tunnel("t0", signal)
+        self.net.settle(max_events=20_000)
+
+
+def run_conformance(goal_kind, choices):
+    # --- the model side -------------------------------------------------
+    model = EndpointProcess("B", goal_kind, out_queue=0, initiator=False,
+                            max_versions=64)
+    m_state, m_sends = model._switch(model.initial()._replace(budget=0))
+    model_emitted = [m[1][0] for m in m_sends]
+
+    # --- the real side ---------------------------------------------------
+    net = Network(seed=0)
+    box = net.box("uut")
+    peer = ScriptedPeer(net, box)
+    if goal_kind == "open":
+        box.open_slot(peer.slot, AUDIO, retry_interval=0.001)
+    elif goal_kind == "close":
+        box.close_slot(peer.slot)
+    else:
+        box.hold_slot(peer.slot)
+    net.settle(max_events=20_000)
+
+    assert peer.slot.state == m_state.slot
+    assert peer.emitted == model_emitted
+
+    # --- drive both with the same legal sequence -------------------------
+    for choice in choices:
+        legal = LEGAL[m_state.slot]
+        kind = legal[choice % len(legal)]
+        # model step (deterministic in phase 2: single outcome)
+        ver = ("P", 10_000)  # payload version; kinds are what we compare
+        msg = (kind,) if kind in ("close", "closeack") else (kind, ver)
+        outcomes = model.receive(m_state, 0, msg)
+        assert len(outcomes) == 1, (kind, m_state)
+        m_state, sends = outcomes[0]
+        model_emitted.extend(m[1][0] for m in sends)
+        # real step
+        peer.inject(kind)
+        assert peer.slot.state == m_state.slot, \
+            "diverged on %s: real=%s model=%s" % (kind, peer.slot.state,
+                                                  m_state.slot)
+        assert peer.emitted == model_emitted, \
+            "emissions diverged on %s: real=%s model=%s" % (
+                kind, peer.emitted, model_emitted)
+
+
+@given(choices=st.lists(st.integers(min_value=0, max_value=5),
+                        min_size=0, max_size=12))
+@settings(max_examples=80, deadline=None)
+def test_openslot_conforms_to_model(choices):
+    run_conformance("open", choices)
+
+
+@given(choices=st.lists(st.integers(min_value=0, max_value=5),
+                        min_size=0, max_size=12))
+@settings(max_examples=80, deadline=None)
+def test_closeslot_conforms_to_model(choices):
+    run_conformance("close", choices)
+
+
+@given(choices=st.lists(st.integers(min_value=0, max_value=5),
+                        min_size=0, max_size=12))
+@settings(max_examples=80, deadline=None)
+def test_holdslot_conforms_to_model(choices):
+    run_conformance("hold", choices)

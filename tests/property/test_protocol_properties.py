@@ -1,0 +1,146 @@
+"""Property-based tests: random user behaviour against the protocol
+invariants of Secs. V and VI.
+
+The generator drives a device–server–device deployment with arbitrary
+interleavings of user actions (open, accept, reject, close, modify) and
+server relinks; after quiescence the Sec. V obligations must hold and
+the media plane must contain no leaked or wasted streams.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import AUDIO, Network
+from repro.semantics import both_closed, both_flowing, trace_path
+
+ACTIONS = st.lists(
+    st.sampled_from([
+        "a-open", "a-close", "a-mute-in", "a-mute-out", "a-unmute",
+        "b-answer", "b-decline", "b-close",
+        "relink", "hold-both", "tick",
+    ]),
+    min_size=1, max_size=14)
+
+
+def build():
+    net = Network(seed=0)
+    a = net.device("A")
+    b = net.device("B")
+    box = net.box("srv")
+    ch_a = net.channel(a, box)
+    ch_b = net.channel(box, b)
+    sa = ch_a.end_for(box).slot()
+    sb = ch_b.end_for(box).slot()
+    box.flow_link(sa, sb)
+    return net, a, b, box, ch_a, ch_b, sa, sb
+
+
+def apply_action(action, net, a, b, box, ch_a, ch_b, sa, sb):
+    a_slot = ch_a.end_for(a).slot()
+    b_slot = ch_b.end_for(b).slot()
+    if action == "a-open" and a_slot.is_closed:
+        a.open(a_slot, AUDIO)
+    elif action == "a-close" and a_slot.is_live:
+        a.close(a_slot)
+    elif action == "a-mute-in":
+        a.modify(a_slot, mute_in=True)
+    elif action == "a-mute-out":
+        a.modify(a_slot, mute_out=True)
+    elif action == "a-unmute":
+        a.modify(a_slot, mute_in=False, mute_out=False)
+    elif action == "b-answer" and b.ringing():
+        b.answer()
+    elif action == "b-decline" and b.ringing():
+        b.decline()
+    elif action == "b-close" and b_slot.is_live:
+        b.close(b_slot)
+    elif action == "relink":
+        box.flow_link(sa, sb)
+    elif action == "hold-both":
+        box.hold_slot(sa)
+        box.hold_slot(sb)
+    elif action == "tick":
+        net.run(0.001)
+
+
+@given(actions=ACTIONS)
+@settings(max_examples=120, deadline=None)
+def test_random_user_behaviour_respects_media_invariants(actions):
+    net, a, b, box, ch_a, ch_b, sa, sb = build()
+    relinked = True
+    for action in actions:
+        apply_action(action, net, a, b, box, ch_a, ch_b, sa, sb)
+        if action == "hold-both":
+            relinked = False
+        if action == "relink":
+            relinked = True
+    # The path must persist under one final flowlink to have a spec.
+    if not relinked:
+        box.flow_link(sa, sb)
+    net.settle(max_events=50_000)
+    # Resolve any pending human decision (an unanswered ring is a
+    # legitimately unstable path: its endpoint goal is still the user).
+    if b.ringing():
+        b.answer()
+    net.settle(max_events=50_000)
+
+    # Invariant 1: nobody transmits into the void after quiescence.
+    assert net.plane.wasted_transmissions() == []
+
+    # Invariant 2: the slot pair at the server is state-matched (the
+    # Fig. 12 goal substates): both flowing or both closed.
+    assert (sa.is_flowing and sb.is_flowing) or \
+        (sa.is_closed and sb.is_closed), (sa.state, sb.state)
+
+    # Invariant 3: media flows in a direction iff the protocol's
+    # enabled condition holds for it.
+    a_slot = ch_a.end_for(a).slot()
+    b_slot = ch_b.end_for(b).slot()
+    path = trace_path(sa)
+    if both_flowing(path):
+        a_port = a.port(a_slot)
+        b_port = b.port(b_slot)
+        expect_ab = (not a_port.mute_out) and (not b_port.mute_in)
+        expect_ba = (not b_port.mute_out) and (not a_port.mute_in)
+        assert net.plane.flow_exists(a, b) == expect_ab
+        assert net.plane.flow_exists(b, a) == expect_ba
+    else:
+        assert both_closed(path)
+        assert net.plane.silent(a) and net.plane.silent(b)
+
+
+@given(actions=ACTIONS)
+@settings(max_examples=80, deadline=None)
+def test_random_behaviour_never_corrupts_descriptor_matching(actions):
+    """After quiescence on a flowing path, every end's most recent
+    selector answers the other end's most recent descriptor."""
+    net, a, b, box, ch_a, ch_b, sa, sb = build()
+    for action in actions:
+        apply_action(action, net, a, b, box, ch_a, ch_b, sa, sb)
+    box.flow_link(sa, sb) if box.maps.goal_for(sa) is None else None
+    net.settle(max_events=50_000)
+    path = trace_path(sa)
+    left, right = path.left, path.right
+    if left.is_flowing and right.is_flowing:
+        assert left.remote_descriptor.id == right.local_descriptor.id
+        assert right.remote_descriptor.id == left.local_descriptor.id
+
+
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+       low=st.floats(min_value=0.0001, max_value=0.05),
+       spread=st.floats(min_value=0.0, max_value=0.1))
+@settings(max_examples=40, deadline=None)
+def test_call_setup_invariant_under_random_jitter(seed, low, spread):
+    """Whatever FIFO-preserving latency distribution the network has,
+    a simple relayed call always converges to bothFlowing."""
+    from repro import UniformLatency
+    net = Network(seed=seed, latency=UniformLatency(low, low + spread))
+    a = net.device("A")
+    b = net.device("B", auto_accept=True)
+    box = net.box("srv")
+    ch_a = net.channel(a, box)
+    ch_b = net.channel(box, b)
+    box.flow_link(ch_a.end_for(box).slot(), ch_b.end_for(box).slot())
+    a.open(ch_a.end_for(a).slot(), AUDIO)
+    net.settle(max_events=50_000)
+    assert both_flowing(trace_path(ch_a.end_for(box).slot()))
+    assert net.plane.two_way(a, b)

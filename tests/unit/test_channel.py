@@ -1,0 +1,174 @@
+"""Unit tests for signaling channels, tunnels, and meta-signals."""
+
+import pytest
+
+from repro.network.eventloop import EventLoop
+from repro.network.latency import FixedLatency
+from repro.protocol.channel import SignalingChannel
+from repro.protocol.codecs import AUDIO
+from repro.protocol.descriptor import DescriptorFactory
+from repro.protocol.errors import ConfigurationError
+from repro.protocol.signals import AppMeta, Available, ChannelUp, Unavailable
+
+from .test_slot import Recorder
+
+
+@pytest.fixture
+def loop():
+    return EventLoop()
+
+
+def test_channel_up_meta_reaches_responder(loop):
+    a, b = Recorder(loop, "a"), Recorder(loop, "b")
+    SignalingChannel(loop, a, b, target="sip:bob")
+    loop.run()
+    assert len(b.metas) == 1
+    end, signal = b.metas[0]
+    assert isinstance(signal, ChannelUp)
+    assert signal.target == "sip:bob"
+    assert end.owner is b
+
+
+def test_multiple_tunnels_are_independent(loop):
+    a, b = Recorder(loop, "a"), Recorder(loop, "b")
+    ch = SignalingChannel(loop, a, b, tunnel_ids=("video", "audio-en"))
+    f = DescriptorFactory("a")
+    ch.ends[0].slot("video").send_open("video", f.no_media())
+    loop.run()
+    assert ch.ends[1].slot("video").state == "opened"
+    assert ch.ends[1].slot("audio-en").state == "closed"
+
+
+def test_unknown_tunnel_rejected(loop):
+    a, b = Recorder(loop, "a"), Recorder(loop, "b")
+    ch = SignalingChannel(loop, a, b)
+    with pytest.raises(ConfigurationError):
+        ch.ends[0].slot("nope")
+
+
+def test_duplicate_tunnel_ids_rejected(loop):
+    a, b = Recorder(loop, "a"), Recorder(loop, "b")
+    with pytest.raises(ConfigurationError):
+        SignalingChannel(loop, a, b, tunnel_ids=("t", "t"))
+
+
+def test_no_tunnels_rejected(loop):
+    a, b = Recorder(loop, "a"), Recorder(loop, "b")
+    with pytest.raises(ConfigurationError):
+        SignalingChannel(loop, a, b, tunnel_ids=())
+
+
+def test_self_channel_rejected(loop):
+    a = Recorder(loop, "a")
+    with pytest.raises(ConfigurationError):
+        SignalingChannel(loop, a, a)
+
+
+def test_availability_meta_signals(loop):
+    a, b = Recorder(loop, "a"), Recorder(loop, "b")
+    ch = SignalingChannel(loop, a, b)
+    ch.ends[1].send_meta(Available())
+    ch.ends[1].send_meta(Unavailable(reason="busy"))
+    loop.run()
+    kinds = [s.kind for _, s in a.metas]
+    assert kinds == ["available", "unavailable"]
+
+
+def test_app_meta_payload(loop):
+    a, b = Recorder(loop, "a"), Recorder(loop, "b")
+    ch = SignalingChannel(loop, a, b)
+    ch.ends[0].send_meta(AppMeta("user-paid", {"amount": 5}))
+    loop.run()
+    __, signal = b.metas[-1]
+    assert signal.name == "user-paid"
+    assert signal.payload["amount"] == 5
+
+
+def test_teardown_notifies_peer_and_closes_slots(loop):
+    a, b = Recorder(loop, "a"), Recorder(loop, "b")
+    gone = []
+    b.on_channel_gone = lambda end: gone.append(end)
+    ch = SignalingChannel(loop, a, b, latency=FixedLatency(0.1))
+    f = DescriptorFactory("a")
+    ch.ends[0].slot().send_open(AUDIO, f.no_media())
+    loop.run()
+    assert ch.ends[1].slot().state == "opened"
+    ch.ends[0].tear_down()
+    assert ch.ends[0].slot().state == "closed"   # local side dies now
+    assert not ch.ends[0].alive
+    loop.run()
+    assert not ch.ends[1].alive                  # peer dies on arrival
+    assert ch.ends[1].slot().state == "closed"
+    assert gone and gone[0].owner is b
+    assert not ch.active
+
+
+def test_teardown_is_idempotent(loop):
+    a, b = Recorder(loop, "a"), Recorder(loop, "b")
+    ch = SignalingChannel(loop, a, b)
+    ch.ends[0].tear_down()
+    ch.ends[0].tear_down()
+    loop.run()
+    assert not ch.active
+
+
+def test_simultaneous_teardown_from_both_sides(loop):
+    a, b = Recorder(loop, "a"), Recorder(loop, "b")
+    ch = SignalingChannel(loop, a, b, latency=FixedLatency(0.1))
+    ch.ends[0].tear_down()
+    ch.ends[1].tear_down()
+    loop.run()
+    assert not ch.active
+
+
+def test_sends_after_teardown_are_dropped(loop):
+    a, b = Recorder(loop, "a"), Recorder(loop, "b")
+    ch = SignalingChannel(loop, a, b)
+    ch.ends[0].tear_down()
+    loop.run()
+    f = DescriptorFactory("b")
+    ch.ends[1].send_meta(Available())  # silently dropped
+    loop.run()
+    assert a.metas == []
+
+
+def test_in_flight_signal_toward_torn_down_end_dropped(loop):
+    a, b = Recorder(loop, "a"), Recorder(loop, "b")
+    ch = SignalingChannel(loop, a, b, latency=FixedLatency(0.1))
+    f = DescriptorFactory("b")
+    ch.ends[1].slot().send_open(AUDIO, f.no_media())  # in flight toward a
+    ch.ends[0].tear_down()                            # a dies immediately
+    loop.run()
+    assert a.seen == []  # the open never reached a's program
+
+
+def test_end_for_lookup(loop):
+    a, b = Recorder(loop, "a"), Recorder(loop, "b")
+    c = Recorder(loop, "c")
+    ch = SignalingChannel(loop, a, b)
+    assert ch.end_for(a).owner is a
+    assert ch.end_for(b).owner is b
+    with pytest.raises(ConfigurationError):
+        ch.end_for(c)
+
+
+def test_processing_cost_paid_per_stimulus():
+    loop = EventLoop()
+    a = Recorder(loop, "a")
+    b = Recorder(loop, "b")
+    b.node.cost = 0.02
+    ch = SignalingChannel(loop, a, b, latency=FixedLatency(0.1))
+    f = DescriptorFactory("a")
+    ch.ends[0].slot().send_open(AUDIO, f.no_media())
+    times = []
+    original = b.on_tunnel_signal
+
+    def timed(slot, signal):
+        times.append(loop.now)
+        original(slot, signal)
+
+    b.on_tunnel_signal = timed
+    loop.run()
+    # channel-up meta (0.1 + 0.02) then open (0.1 arrival + queued 0.02
+    # after the meta finishes at 0.12) => open handled at 0.14.
+    assert times == [pytest.approx(0.14)]

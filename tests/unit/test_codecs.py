@@ -1,0 +1,64 @@
+"""Unit tests for codecs and codec choice (Sec. VI-A)."""
+
+import pytest
+
+from repro.protocol.codecs import (AUDIO, G711, G726, G729, NO_MEDIA, VIDEO,
+                                   best_common_codec, codecs_for_medium,
+                                   registry, MPEG4_HD)
+
+
+def test_no_media_is_not_real():
+    assert not NO_MEDIA.is_real
+    assert G711.is_real
+
+
+def test_g711_higher_fidelity_than_g726():
+    # "G.726 is a lower-fidelity ... codec for audio, while G.711 is a
+    # higher-fidelity ... codec" (Sec. VI-A).
+    assert G711.fidelity > G726.fidelity
+    assert G711.bandwidth > G726.bandwidth
+
+
+def test_codecs_for_medium_sorted_best_first():
+    audio = codecs_for_medium(AUDIO)
+    assert all(c.medium == AUDIO for c in audio)
+    fidelities = [c.fidelity for c in audio]
+    assert fidelities == sorted(fidelities, reverse=True)
+    assert NO_MEDIA not in audio
+
+
+def test_registry_contains_all_names():
+    reg = registry()
+    assert reg["G.711"] is G711
+    assert reg["noMedia"] is NO_MEDIA
+
+
+def test_best_common_codec_honors_receiver_priority():
+    # The sender picks the highest-priority codec from the receiver's
+    # list that it can produce.
+    offered = (G726, G711)  # receiver prefers G.726
+    assert best_common_codec(offered, (G711, G726)) is G726
+
+
+def test_best_common_codec_skips_unsupported():
+    offered = (G711, G726, G729)
+    assert best_common_codec(offered, (G729,)) is G729
+
+
+def test_best_common_codec_none_when_disjoint():
+    assert best_common_codec((G711,), (G729,)) is None
+
+
+def test_best_common_codec_none_for_no_media_descriptor():
+    # "The only legal response to a descriptor noMedia is a selector
+    # noMedia."
+    assert best_common_codec((NO_MEDIA,), (G711, G726)) is None
+
+
+def test_best_common_codec_ignores_no_media_support():
+    assert best_common_codec((G711,), (NO_MEDIA,)) is None
+
+
+def test_video_codecs_distinct_from_audio():
+    assert MPEG4_HD.medium == VIDEO
+    assert MPEG4_HD not in codecs_for_medium(AUDIO)

@@ -1,0 +1,103 @@
+"""Unit tests for descriptors and selectors (Sec. VI-B)."""
+
+import pytest
+
+from repro.network.address import Address, AddressAllocator
+from repro.protocol.codecs import G711, G726, NO_MEDIA
+from repro.protocol.descriptor import (Descriptor, DescriptorFactory,
+                                       DescriptorId, Selector)
+from repro.protocol.errors import ProtocolError
+
+ADDR = Address("10.0.0.1", 10000)
+
+
+def make_desc(codecs=(G711, G726), version=0, origin="ep"):
+    return Descriptor(DescriptorId(origin, version), ADDR, codecs)
+
+
+def test_descriptor_requires_codecs():
+    with pytest.raises(ProtocolError):
+        Descriptor(DescriptorId("ep", 0), ADDR, ())
+
+
+def test_descriptor_real_codecs_need_address():
+    with pytest.raises(ProtocolError):
+        Descriptor(DescriptorId("ep", 0), None, (G711,))
+
+
+def test_descriptor_cannot_mix_real_and_no_media():
+    with pytest.raises(ProtocolError):
+        Descriptor(DescriptorId("ep", 0), ADDR, (G711, NO_MEDIA))
+
+
+def test_no_media_descriptor():
+    desc = Descriptor(DescriptorId("ep", 0), None, (NO_MEDIA,))
+    assert desc.is_no_media
+
+
+def test_selector_answers_matching():
+    desc = make_desc()
+    sel = Selector(answers=desc.id, address=ADDR, codec=G711)
+    assert sel.answers_descriptor(desc)
+    other = make_desc(version=1)
+    assert not sel.answers_descriptor(other)
+
+
+def test_selector_validation_accepts_offered_codec():
+    desc = make_desc()
+    Selector(answers=desc.id, address=ADDR, codec=G726).validate_against(desc)
+
+
+def test_selector_validation_rejects_unoffered_codec():
+    desc = make_desc(codecs=(G711,))
+    sel = Selector(answers=desc.id, address=ADDR, codec=G726)
+    with pytest.raises(ProtocolError):
+        sel.validate_against(desc)
+
+
+def test_selector_validation_rejects_wrong_descriptor():
+    desc = make_desc()
+    sel = Selector(answers=DescriptorId("ep", 9), address=ADDR, codec=G711)
+    with pytest.raises(ProtocolError):
+        sel.validate_against(desc)
+
+
+def test_no_media_descriptor_only_accepts_no_media_selector():
+    desc = Descriptor(DescriptorId("ep", 0), None, (NO_MEDIA,))
+    bad = Selector(answers=desc.id, address=ADDR, codec=G711)
+    with pytest.raises(ProtocolError):
+        bad.validate_against(desc)
+    good = Selector(answers=desc.id, address=ADDR, codec=NO_MEDIA)
+    good.validate_against(desc)
+
+
+def test_no_media_selector_is_always_legal_codec_wise():
+    desc = make_desc()
+    sel = Selector(answers=desc.id, address=None, codec=NO_MEDIA)
+    sel.validate_against(desc)
+    assert sel.is_no_media
+
+
+def test_factory_increments_versions():
+    factory = DescriptorFactory("ep")
+    d0 = factory.descriptor(ADDR, (G711,))
+    d1 = factory.no_media()
+    d2 = factory.descriptor(ADDR, (G711,))
+    assert (d0.id.version, d1.id.version, d2.id.version) == (0, 1, 2)
+    assert d0.id.origin == "ep"
+
+
+def test_factories_have_independent_counters():
+    f1, f2 = DescriptorFactory("a"), DescriptorFactory("b")
+    assert f1.no_media().id == DescriptorId("a", 0)
+    assert f2.no_media().id == DescriptorId("b", 0)
+
+
+def test_address_allocator_unique_and_even():
+    alloc = AddressAllocator()
+    host = alloc.host()
+    addrs = list(alloc.allocate_many(host, 5))
+    ports = [a.port for a in addrs]
+    assert len(set(addrs)) == 5
+    assert all(p % 2 == 0 for p in ports)
+    assert alloc.host() != host

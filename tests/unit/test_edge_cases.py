@@ -1,0 +1,279 @@
+"""Edge-case tests: protocol corners, flowlink recovery paths, and
+model-process spot checks.
+
+Several of these encode corners discovered *by* the verification
+substrate (model checking / property testing) during development, kept
+here as regressions against the implementation.
+"""
+
+import pytest
+
+from repro import AUDIO, Box, Network, VIDEO
+from repro.protocol.codecs import NO_MEDIA
+from repro.semantics import both_closed, both_flowing, trace_path
+
+
+# ----------------------------------------------------------------------
+# protocol corners
+# ----------------------------------------------------------------------
+def test_crossing_open_and_close_drained():
+    """Regression (found by the model checker): an open arriving at a
+    slot in `closing` is the crossing-open case and must be drained."""
+    net = Network(seed=101)
+    a = net.device("A")
+    b = net.device("B")
+    ch = net.channel(a, b)
+    sa, sb = ch.end_for(a).slot(), ch.end_for(b).slot()
+    a.open(sa, AUDIO)
+    net.settle()                       # B is ringing (opened)
+    # B opens... it can't (opened).  Drive the raw crossing instead:
+    # B rejects at the same moment A re-launches after closing.
+    a.close(sa)                        # A: opening -> can't... flowing? no
+    net.settle()
+    assert sa.is_closed and sb.is_closed
+
+
+def test_crossing_open_close_at_slot_level():
+    """The precise interleaving: both sides open, one immediately
+    closes; the loser's open reaches a closing slot and is drained."""
+    from repro.network.eventloop import EventLoop
+    from repro.protocol.channel import SignalingChannel
+    from repro.protocol.descriptor import DescriptorFactory
+    from tests.unit.test_slot import Recorder
+
+    loop = EventLoop()
+    x, y = Recorder(loop, "x"), Recorder(loop, "y")
+    ch = SignalingChannel(loop, x, y)
+    sx, sy = ch.ends[0].slot(), ch.ends[1].slot()
+    fx, fy = DescriptorFactory("x"), DescriptorFactory("y")
+    sx.send_open(AUDIO, fx.no_media())   # x opens...
+    sy.send_open(AUDIO, fy.no_media())   # ...y opens (crossing)...
+    sx.send_close()                      # ...and x gives up at once.
+    loop.run()
+    # y's open reached x while closing: drained, not an error.
+    assert sx.stale_drops >= 1
+    assert sx.state == "closed"
+    # y saw x's open (race loss, y is non-initiator) then x's close.
+    assert sy.state == "closed"
+
+
+def test_device_multi_tunnel_audio_and_video():
+    net = Network(seed=102)
+    a = net.device("A")
+    b = net.device("B", auto_accept=True)
+    ch = net.channel(a, b, tunnels=("audio", "video"))
+    a.open(ch.end_for(a).slot("audio"), AUDIO)
+    a.open(ch.end_for(a).slot("video"), VIDEO)
+    net.settle()
+    labels = net.plane.heard_by(b)
+    assert "audio:A" in labels and "video:A" in labels
+    # tunnels are independent: closing video leaves audio flowing.
+    a.close(ch.end_for(a).slot("video"))
+    net.settle()
+    labels = net.plane.heard_by(b)
+    assert "audio:A" in labels and "video:A" not in labels
+
+
+def test_reject_then_reopen_same_tunnel():
+    net = Network(seed=103)
+    a = net.device("A")
+    b = net.device("B")
+    ch = net.channel(a, b)
+    sa = ch.end_for(a).slot()
+    a.open(sa, AUDIO)
+    net.settle()
+    b.decline()
+    net.settle()
+    assert sa.is_closed
+    a.open(sa, AUDIO)
+    net.settle()
+    b.answer()
+    net.settle()
+    assert net.plane.two_way(a, b)
+
+
+def test_move_before_flowing_is_harmless():
+    net = Network(seed=104)
+    a = net.device("A")
+    b = net.device("B", auto_accept=True)
+    ch = net.channel(a, b)
+    sa = ch.end_for(a).slot()
+    port = a.move(sa)          # move with the channel still closed
+    a.open(sa, AUDIO)
+    net.settle()
+    assert net.plane.two_way(a, b)
+    tx = [t for t in net.plane.transmissions() if t.port.endpoint is b][0]
+    assert tx.target == port.address
+
+
+# ----------------------------------------------------------------------
+# flowlink recovery paths
+# ----------------------------------------------------------------------
+@pytest.fixture
+def triangle():
+    net = Network(seed=105)
+    a = net.device("A")
+    c = net.device("C", auto_accept=True)
+    box = net.box("srv")
+    ch_a = net.channel(a, box)
+    ch_c = net.channel(box, c)
+    return net, a, c, box, ch_a, ch_c
+
+
+def test_flowlink_attach_while_one_side_closing(triangle):
+    net, a, c, box, ch_a, ch_c = triangle
+    sa = ch_a.end_for(box).slot()
+    sc = ch_c.end_for(box).slot()
+    # Get sc flowing then start closing it.
+    box.open_slot(sc, AUDIO)
+    box.hold_slot(sa)
+    a.open(ch_a.end_for(a).slot(), AUDIO)
+    net.settle()
+    assert sa.is_flowing and sc.is_flowing
+    box.close_slot(sc)     # close in progress...
+    box.flow_link(sa, sc)  # ...but the program relinks immediately
+    net.settle()
+    # The flowlink reopened sc once its close completed (reopen flag).
+    assert sa.is_flowing and sc.is_flowing
+    assert both_flowing(trace_path(sa))
+    assert net.plane.two_way(a, c)
+
+
+def test_flowlink_placeholder_open_converges(triangle):
+    """Link created while the live slot is still opening (not yet
+    described): the open toward the other side carries a placeholder
+    noMedia descriptor and a describe follows."""
+    net, a, c, box, ch_a, ch_c = triangle
+    sa = ch_a.end_for(box).slot()
+    sc = ch_c.end_for(box).slot()
+    a.open(ch_a.end_for(a).slot(), AUDIO)
+    # Link *before* settling: sa is merely 'opened'... force earlier:
+    box.flow_link(sa, sc)
+    net.settle()
+    c_port = c.ports()[0]
+    assert both_flowing(trace_path(sa))
+    assert net.plane.two_way(a, c)
+
+
+def test_flowlink_close_propagates_from_opened_state(triangle):
+    net, a, c, box, ch_a, ch_c = triangle
+    sa = ch_a.end_for(box).slot()
+    sc = ch_c.end_for(box).slot()
+    box.flow_link(sa, sc)
+    a_slot = ch_a.end_for(a).slot()
+    a.open(a_slot, AUDIO)
+    net.run(0.0)      # zero latency: everything settles immediately
+    a.close(a_slot)   # A gives up
+    net.settle()
+    assert both_closed(trace_path(sa))
+    assert net.plane.silent(c)
+
+
+def test_flowlink_video_medium_forwarded(triangle):
+    net, a, c, box, ch_a, ch_c = triangle
+    sa = ch_a.end_for(box).slot()
+    sc = ch_c.end_for(box).slot()
+    box.flow_link(sa, sc)
+    a.open(ch_a.end_for(a).slot(), VIDEO)
+    net.settle()
+    assert sc.medium == VIDEO
+    assert "video:A" in net.plane.heard_by(c)
+
+
+def test_server_only_path_hold_hold_stays_closed():
+    net = Network(seed=106)
+    b1, b2 = net.box("b1"), net.box("b2")
+    ch = net.channel(b1, b2)
+    b1.hold_slot(ch.end_for(b1).slot())
+    b2.hold_slot(ch.end_for(b2).slot())
+    net.settle()
+    path = trace_path(ch.end_for(b1).slot())
+    assert both_closed(path)  # the HH disjunction's closed branch
+
+
+def test_server_only_path_open_hold_flows_muted():
+    net = Network(seed=107)
+    b1, b2 = net.box("b1"), net.box("b2")
+    ch = net.channel(b1, b2)
+    s1 = ch.end_for(b1).slot()
+    b1.open_slot(s1, AUDIO)
+    b2.hold_slot(ch.end_for(b2).slot())
+    net.settle()
+    path = trace_path(s1)
+    assert both_flowing(path)   # flowing, muted both ways (noMedia)
+    assert s1.local_descriptor.is_no_media
+    assert s1.selector_received.is_no_media
+
+
+# ----------------------------------------------------------------------
+# model-process spot checks (conformance with the implementation)
+# ----------------------------------------------------------------------
+def test_model_endpoint_accept_emits_oack_then_select():
+    from repro.verification.processes import EndpointProcess
+    ep = EndpointProcess("R", "hold", out_queue=0, initiator=False)
+    st = ep.initial()._replace(phase=2)
+    outcomes = ep.receive(st, 0, ("open", ("L", 0)))
+    assert len(outcomes) == 1
+    new, sends = outcomes[0]
+    assert new.slot == "flowing"
+    assert [m[1][0] for m in sends] == ["oack", "select"]
+    assert sends[1][1][1] == ("L", 0)   # the select answers the open
+
+
+def test_model_closeslot_rejects_open():
+    from repro.verification.processes import EndpointProcess
+    ep = EndpointProcess("R", "close", out_queue=0, initiator=False)
+    st = ep.initial()._replace(phase=2)
+    (new, sends), = ep.receive(st, 0, ("open", ("L", 0)))
+    assert new.slot == "closing"
+    assert sends == [(0, ("close",))]
+
+
+def test_model_openslot_retries_after_reject():
+    from repro.verification.processes import EndpointProcess
+    ep = EndpointProcess("L", "open", out_queue=0, initiator=True)
+    st = ep.initial()._replace(phase=2)
+    st, sends = ep._switch(ep.initial()._replace(phase=1, budget=0))
+    assert sends == [(0, ("open", ("L", 0)))]
+    (after, sends2), = ep.receive(st, 0, ("close",))
+    kinds = [m[1][0] for m in sends2]
+    assert kinds == ["closeack", "open"]
+    assert after.slot == "opening"
+
+
+def test_model_flowlink_forwards_fresh_select_only():
+    from repro.verification.processes import FlowlinkProcess, FlowlinkState
+    fl = FlowlinkProcess("F", in1=0, out1=1, out2=2)
+    st = FlowlinkState("flowing", "flowing", ("L", 0), ("R", 0),
+                       True, True, False, False, 0)
+    # A select arriving on side 1 answering side 2's cached descriptor
+    # is forwarded out side 2.
+    (new, sends), = fl.receive(st, 0, ("select", ("R", 0)))
+    assert sends == [(2, ("select", ("R", 0)))]
+    # A stale one is discarded.
+    (new, sends), = fl.receive(st, 0, ("select", ("R", 7)))
+    assert sends == []
+
+
+def test_model_flowlink_open_through_uses_cached_descriptor():
+    from repro.verification.processes import FlowlinkProcess
+    fl = FlowlinkProcess("F", in1=0, out1=1, out2=2)
+    st = fl.initial()
+    # An open arrives on side 1: side 2 must be opened through with the
+    # freshly cached descriptor, making side 2 up to date (Case 2).
+    (new, sends), = fl.receive(st, 0, ("open", ("L", 0)))
+    assert ("open", ("L", 0)) in [m[1] for m in sends]
+    assert new.s1 == "opened" and new.s2 == "opening"
+    assert new.utd2 is True and new.c1 == ("L", 0)
+
+
+def test_model_flowlink_close_propagates():
+    from repro.verification.processes import FlowlinkProcess, FlowlinkState
+    fl = FlowlinkProcess("F", in1=0, out1=1, out2=2)
+    st = FlowlinkState("flowing", "flowing", ("L", 0), ("R", 0),
+                       True, True, False, False, 0)
+    (new, sends), = fl.receive(st, 0, ("close",))
+    kinds = [(m[0], m[1][0]) for m in sends]
+    assert (1, "closeack") in kinds     # ack toward side 1
+    assert (2, "close") in kinds        # propagate toward side 2
+    assert new.s1 == "closed" and new.s2 == "closing"

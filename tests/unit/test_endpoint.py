@@ -1,0 +1,188 @@
+"""Unit tests for media endpoints, devices, and the media plane."""
+
+import pytest
+
+from repro import AUDIO, G711, G726, Network
+from repro.protocol.codecs import G729
+
+
+@pytest.fixture
+def call():
+    """Two devices, direct channel, call established."""
+    net = Network(seed=11)
+    a = net.device("alice")
+    b = net.device("bob", auto_accept=True)
+    ch = net.channel(a, b)
+    slot_a = ch.end_for(a).slot()
+    a.open(slot_a, AUDIO)
+    net.settle()
+    return net, a, b, slot_a, ch.end_for(b).slot()
+
+
+def test_direct_call_two_way_media(call):
+    net, a, b, sa, sb = call
+    assert sa.is_flowing and sb.is_flowing
+    assert net.plane.two_way(a, b)
+
+
+def test_manual_accept_rings_first():
+    net = Network(seed=11)
+    a = net.device("alice")
+    b = net.device("bob")
+    ch = net.channel(a, b)
+    a.open(ch.end_for(a).slot(), AUDIO)
+    net.settle()
+    assert len(b.ringing()) == 1
+    assert b.ring_log
+    b.answer()
+    net.settle()
+    assert net.plane.two_way(a, b)
+
+
+def test_decline_closes_channel():
+    net = Network(seed=11)
+    a = net.device("alice")
+    b = net.device("bob")
+    ch = net.channel(a, b)
+    sa = ch.end_for(a).slot()
+    a.open(sa, AUDIO)
+    net.settle()
+    b.decline()
+    net.settle()
+    assert sa.is_closed
+    assert net.plane.silent(a) and net.plane.silent(b)
+
+
+def test_codec_negotiated_by_receiver_priority():
+    net = Network(seed=11)
+    # bob prefers G.726; alice can send anything.
+    a = net.device("alice")
+    b = net.device("bob", auto_accept=True,
+                   codecs={AUDIO: (G726, G711)})
+    ch = net.channel(a, b)
+    sa = ch.end_for(a).slot()
+    a.open(sa, AUDIO)
+    net.settle()
+    # alice sends toward bob with bob's top codec.
+    tx = [t for t in net.plane.transmissions()
+          if t.port.endpoint is a][0]
+    assert tx.codec is G726
+    # bob sends toward alice with alice's top preference (full list).
+    tx_b = [t for t in net.plane.transmissions()
+            if t.port.endpoint is b][0]
+    assert tx_b.codec.is_real
+
+
+def test_asymmetric_codecs_per_direction():
+    # "it is not necessary for the two directions of a channel to use
+    # the same codec" (Sec. VI-A).
+    net = Network(seed=11)
+    a = net.device("alice", auto_accept=True, codecs={AUDIO: (G711, G729)})
+    b = net.device("bob", auto_accept=True, codecs={AUDIO: (G729, G711)})
+    ch = net.channel(a, b)
+    b_slot = ch.end_for(b).slot()
+    b.open(b_slot, AUDIO)
+    net.settle()
+    tx_a = [t for t in net.plane.transmissions() if t.port.endpoint is a][0]
+    tx_b = [t for t in net.plane.transmissions() if t.port.endpoint is b][0]
+    assert tx_a.codec is G729   # toward bob, bob's preference
+    assert tx_b.codec is G711   # toward alice, alice's only codec
+    assert tx_a.codec is not tx_b.codec
+
+
+def test_open_with_mute_out(call=None):
+    net = Network(seed=11)
+    a = net.device("alice")
+    b = net.device("bob", auto_accept=True)
+    ch = net.channel(a, b)
+    sa = ch.end_for(a).slot()
+    a.open(sa, AUDIO, mute_out=True)
+    net.settle()
+    assert net.plane.flow_exists(b, a)
+    assert not net.plane.flow_exists(a, b)
+
+
+def test_open_with_mute_in_sends_no_media_descriptor():
+    net = Network(seed=11)
+    a = net.device("alice")
+    b = net.device("bob", auto_accept=True)
+    ch = net.channel(a, b)
+    sa = ch.end_for(a).slot()
+    a.open(sa, AUDIO, mute_in=True)
+    net.settle()
+    assert not net.plane.flow_exists(b, a)
+    assert net.plane.flow_exists(a, b)
+
+
+def test_modify_cycle_restores_flow(call):
+    net, a, b, sa, sb = call
+    a.modify(sa, mute_in=True, mute_out=True)
+    net.settle()
+    assert net.plane.silent(a)
+    a.modify(sa, mute_in=False, mute_out=False)
+    net.settle()
+    assert net.plane.two_way(a, b)
+
+
+def test_hangup_stops_media_both_ways(call):
+    net, a, b, sa, sb = call
+    a.close(sa)
+    net.settle()
+    assert sa.is_closed and sb.is_closed
+    assert net.plane.silent(a) and net.plane.silent(b)
+    assert net.plane.wasted_transmissions() == []
+
+
+def test_refresh_descriptor_keeps_flow(call):
+    net, a, b, sa, sb = call
+    a.refresh_descriptor(sa)
+    net.settle()
+    assert net.plane.two_way(a, b)
+
+
+def test_enabled_history_variable(call):
+    net, a, b, sa, sb = call
+    assert a.enabled_out(sa)
+    a.modify(sa, mute_out=True)
+    net.settle()
+    assert not a.enabled_out(sa)
+
+
+def test_wasted_transmission_detection():
+    """Force the Fig. 2 style failure artificially: a receiver stops
+    listening while the sender keeps transmitting."""
+    net = Network(seed=11)
+    a = net.device("alice")
+    b = net.device("bob", auto_accept=True)
+    ch = net.channel(a, b)
+    sa = ch.end_for(a).slot()
+    a.open(sa, AUDIO)
+    net.settle()
+    # bob's port deregisters (simulates the endpoint moving on) without
+    # alice being told.
+    port_b = b.ports()[0]
+    net.plane.unregister_port(port_b)
+    wasted = net.plane.wasted_transmissions()
+    assert any(tx.port.endpoint is a for tx in wasted)
+
+
+def test_heard_by_labels(call):
+    net, a, b, sa, sb = call
+    assert "audio:alice" in net.plane.heard_by(b)
+    assert "audio:bob" in net.plane.heard_by(a)
+
+
+def test_port_listening_follows_descriptor(call):
+    net, a, b, sa, sb = call
+    port_a = a.ports()[0]
+    assert port_a.listening
+    a.modify(sa, mute_in=True)
+    net.settle()
+    assert not port_a.listening
+
+
+def test_hang_up_all(call):
+    net, a, b, sa, sb = call
+    a.hang_up_all()
+    net.settle()
+    assert all(p.slot.is_closed for p in a.ports())

@@ -1,0 +1,146 @@
+"""Unit tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.network.eventloop import EventLoop, QuiescenceError
+
+
+def test_events_fire_in_time_order():
+    loop = EventLoop()
+    out = []
+    loop.schedule(3.0, out.append, "c")
+    loop.schedule(1.0, out.append, "a")
+    loop.schedule(2.0, out.append, "b")
+    loop.run()
+    assert out == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_schedule_order():
+    loop = EventLoop()
+    out = []
+    for tag in "abcde":
+        loop.schedule(1.0, out.append, tag)
+    loop.run()
+    assert out == list("abcde")
+
+
+def test_priority_breaks_ties():
+    loop = EventLoop()
+    out = []
+    loop.schedule(1.0, out.append, "late", priority=5)
+    loop.schedule(1.0, out.append, "early", priority=-5)
+    loop.run()
+    assert out == ["early", "late"]
+
+
+def test_now_advances_with_events():
+    loop = EventLoop()
+    seen = []
+    loop.schedule(2.5, lambda: seen.append(loop.now))
+    loop.run()
+    assert seen == [2.5]
+    assert loop.now == 2.5
+
+
+def test_negative_delay_rejected():
+    loop = EventLoop()
+    with pytest.raises(ValueError):
+        loop.schedule(-0.1, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    loop = EventLoop()
+    out = []
+    event = loop.schedule(1.0, out.append, "x")
+    event.cancel()
+    loop.run()
+    assert out == []
+
+
+def test_cancel_is_idempotent():
+    loop = EventLoop()
+    event = loop.schedule(1.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    loop.run()
+
+
+def test_run_until_respects_bound():
+    loop = EventLoop()
+    out = []
+    loop.schedule(1.0, out.append, "in")
+    loop.schedule(5.0, out.append, "out")
+    loop.run(until=2.0)
+    assert out == ["in"]
+    assert loop.now == 2.0
+    loop.run()
+    assert out == ["in", "out"]
+
+
+def test_events_scheduled_during_run_execute():
+    loop = EventLoop()
+    out = []
+
+    def first():
+        loop.schedule(1.0, out.append, "second")
+        out.append("first")
+
+    loop.schedule(1.0, first)
+    loop.run()
+    assert out == ["first", "second"]
+
+
+def test_schedule_at_absolute_time():
+    loop = EventLoop()
+    out = []
+    loop.schedule(1.0, lambda: loop.schedule_at(5.0, out.append, loop.now))
+    loop.run()
+    assert loop.now == 5.0
+
+
+def test_run_until_quiescent_raises_on_livelock():
+    loop = EventLoop()
+
+    def rearm():
+        loop.schedule(1.0, rearm)
+
+    loop.schedule(1.0, rearm)
+    with pytest.raises(QuiescenceError):
+        loop.run_until_quiescent(max_events=100)
+
+
+def test_advance_moves_clock_even_without_events():
+    loop = EventLoop()
+    loop.advance(10.0)
+    assert loop.now == 10.0
+
+
+def test_step_returns_false_when_empty():
+    loop = EventLoop()
+    assert loop.step() is False
+    loop.schedule(0.0, lambda: None)
+    assert loop.step() is True
+
+
+def test_pending_counts_live_events():
+    loop = EventLoop()
+    e1 = loop.schedule(1.0, lambda: None)
+    loop.schedule(2.0, lambda: None)
+    assert loop.pending() == 2
+    e1.cancel()
+    assert loop.pending() == 1
+
+
+def test_rng_is_seeded_and_deterministic():
+    a = EventLoop(seed=42).rng.random()
+    b = EventLoop(seed=42).rng.random()
+    assert a == b
+
+
+def test_max_events_budget():
+    loop = EventLoop()
+    out = []
+    for i in range(10):
+        loop.schedule(float(i), out.append, i)
+    loop.run(max_events=3)
+    assert out == [0, 1, 2]

@@ -1,0 +1,254 @@
+"""Unit tests for the flowlink (Fig. 12 state matching, utd logic)."""
+
+import pytest
+
+from repro import AUDIO, Network, VIDEO
+from repro.protocol.errors import PreconditionError
+from repro.semantics import both_flowing, trace_path
+
+
+@pytest.fixture
+def rig():
+    """Device A -- box -- device C, with C auto-accepting."""
+    net = Network(seed=2)
+    a = net.device("A")
+    c = net.device("C", auto_accept=True)
+    box = net.box("srv")
+    ch_a = net.channel(a, box)     # A initiates toward the server
+    ch_c = net.channel(box, c)     # the server initiates toward C
+    sa = ch_a.end_for(box).slot()  # box slot toward A
+    sc = ch_c.end_for(box).slot()  # box slot toward C
+    return net, a, c, box, sa, sc
+
+
+def test_link_forwards_open_end_to_end(rig):
+    net, a, c, box, sa, sc = rig
+    box.flow_link(sa, sc)
+    a.open(a.channel_ends[0].slot(), AUDIO)
+    net.settle()
+    assert sa.is_flowing and sc.is_flowing
+    path = trace_path(sa)
+    assert both_flowing(path)
+    assert net.plane.two_way(a, c)
+
+
+def test_link_created_after_one_side_flowing(rig):
+    # Fig. 6's busyTone state: 1a is flowing, Ta is closed; the flowlink
+    # "will match the states of these two slots by opening Ta".
+    net, a, c, box, sa, sc = rig
+    box.hold_slot(sa)
+    a.open(a.channel_ends[0].slot(), AUDIO)
+    net.settle()
+    assert sa.is_flowing and sc.is_closed
+    box.flow_link(sa, sc)
+    net.settle()
+    assert sc.is_flowing
+    assert both_flowing(trace_path(sa))
+    assert net.plane.two_way(a, c)
+
+
+def test_bias_toward_flow_not_toward_close(rig):
+    # "it will attempt to get s2 to flowing rather than closing s1."
+    net, a, c, box, sa, sc = rig
+    box.hold_slot(sa)
+    a.open(a.channel_ends[0].slot(), AUDIO)
+    net.settle()
+    closes_before = sa.signals_sent
+    box.flow_link(sa, sc)
+    net.settle()
+    assert sa.is_flowing  # never closed
+
+
+def test_environment_close_propagates(rig):
+    net, a, c, box, sa, sc = rig
+    box.flow_link(sa, sc)
+    a_slot = a.channel_ends[0].slot()
+    a.open(a_slot, AUDIO)
+    net.settle()
+    a.close(a_slot)
+    net.settle()
+    assert sa.is_closed and sc.is_closed
+    assert c.ports()[0].slot.is_closed
+    assert net.plane.silent(a) and net.plane.silent(c)
+
+
+def test_reopen_through_link_after_close(rig):
+    net, a, c, box, sa, sc = rig
+    box.flow_link(sa, sc)
+    a_slot = a.channel_ends[0].slot()
+    a.open(a_slot, AUDIO)
+    net.settle()
+    a.close(a_slot)
+    net.settle()
+    a.open(a_slot, AUDIO)
+    net.settle()
+    assert both_flowing(trace_path(sa))
+    assert net.plane.two_way(a, c)
+
+
+def test_medium_mismatch_raises(rig):
+    net, a, c, box, sa, sc = rig
+    box.hold_slot(sa)
+    box.hold_slot(sc)
+    a.open(a.channel_ends[0].slot(), AUDIO)
+    net.settle()
+    # Make sc carry video by opening it from C's side.
+    c_slot = c.channel_ends[0].slot()
+    c.auto_accept = False
+    c.open(c_slot, VIDEO)
+    net.settle()
+    assert sc.medium == VIDEO and sa.medium == AUDIO
+    with pytest.raises(PreconditionError):
+        box.flow_link(sa, sc)
+
+
+def test_utd_flags_after_relink(rig):
+    net, a, c, box, sa, sc = rig
+    link = box.flow_link(sa, sc)
+    a.open(a.channel_ends[0].slot(), AUDIO)
+    net.settle()
+    assert link.is_up_to_date(sa) and link.is_up_to_date(sc)
+
+
+def test_mute_modify_propagates_end_to_end(rig):
+    net, a, c, box, sa, sc = rig
+    box.flow_link(sa, sc)
+    a_slot = a.channel_ends[0].slot()
+    a.open(a_slot, AUDIO)
+    net.settle()
+    assert net.plane.two_way(a, c)
+    # A mutes its microphone: C keeps talking, A stops sending.
+    a.modify(a_slot, mute_out=True)
+    net.settle()
+    assert not net.plane.flow_exists(a, c)
+    assert net.plane.flow_exists(c, a)
+    assert both_flowing(trace_path(sa))
+    # and unmutes again.
+    a.modify(a_slot, mute_out=False)
+    net.settle()
+    assert net.plane.two_way(a, c)
+
+
+def test_mute_in_propagates_descriptor_change(rig):
+    net, a, c, box, sa, sc = rig
+    box.flow_link(sa, sc)
+    a_slot = a.channel_ends[0].slot()
+    a.open(a_slot, AUDIO)
+    net.settle()
+    a.modify(a_slot, mute_in=True)  # A refuses inbound media
+    net.settle()
+    assert not net.plane.flow_exists(c, a)
+    assert net.plane.flow_exists(a, c)
+    assert both_flowing(trace_path(sa))
+
+
+def test_stale_selectors_discarded_not_forwarded(rig):
+    net, a, c, box, sa, sc = rig
+    link = box.flow_link(sa, sc)
+    a.open(a.channel_ends[0].slot(), AUDIO)
+    net.settle()
+    assert link.discarded_selects >= 0  # baseline
+    # Every descriptor that reached an endpoint got a fresh selector;
+    # convergence means the last selector each endpoint received answers
+    # its current descriptor.
+    assert both_flowing(trace_path(sa))
+
+
+def test_relink_switch_between_two_callees():
+    """The PBX pattern: switch A's slot between B and C."""
+    net = Network(seed=3)
+    a = net.device("A")
+    b = net.device("B", auto_accept=True)
+    c = net.device("C", auto_accept=True)
+    box = net.box("pbx")
+    ch_a = net.channel(a, box)
+    ch_b = net.channel(box, b)
+    ch_c = net.channel(box, c)
+    sa = ch_a.end_for(box).slot()
+    sb = ch_b.end_for(box).slot()
+    sc = ch_c.end_for(box).slot()
+    box.flow_link(sa, sb)
+    a.open(a.channel_ends[0].slot(), AUDIO)
+    net.settle()
+    assert net.plane.two_way(a, b)
+    # Switch: link A to C, hold B.
+    box.flow_link(sa, sc)
+    box.hold_slot(sb)
+    net.settle()
+    assert net.plane.two_way(a, c)
+    assert not net.plane.flow_exists(a, b)
+    assert not net.plane.flow_exists(b, a)
+    assert both_flowing(trace_path(sa))
+    # Switch back.
+    box.flow_link(sa, sb)
+    box.hold_slot(sc)
+    net.settle()
+    assert net.plane.two_way(a, b)
+    assert not net.plane.flow_exists(c, a)
+    assert both_flowing(trace_path(sa))
+
+
+def test_two_flowlinks_in_series():
+    """A -- box1 -- box2 -- C: a path with two flowlinks."""
+    net = Network(seed=4)
+    a = net.device("A")
+    c = net.device("C", auto_accept=True)
+    b1 = net.box("srv1")
+    b2 = net.box("srv2")
+    ch_a = net.channel(a, b1)
+    ch_mid = net.channel(b1, b2)
+    ch_c = net.channel(b2, c)
+    b1.flow_link(ch_a.end_for(b1).slot(), ch_mid.end_for(b1).slot())
+    b2.flow_link(ch_mid.end_for(b2).slot(), ch_c.end_for(b2).slot())
+    a.open(a.channel_ends[0].slot(), AUDIO)
+    net.settle()
+    path = trace_path(ch_a.end_for(b1).slot())
+    assert path.hops == 3
+    assert len(path.flowlinks) == 2
+    assert both_flowing(path)
+    assert net.plane.two_way(a, c)
+
+
+def test_concurrent_relink_two_servers_converges():
+    """The Fig. 13 situation: two servers change linkage concurrently."""
+    net = Network(seed=5)
+    a = net.device("A")
+    b = net.device("B", auto_accept=True)
+    c = net.device("C", auto_accept=True)
+    v = net.device("V", auto_accept=True)
+    pbx = net.box("pbx")
+    pc = net.box("pc")
+    ch_a = net.channel(a, pbx)
+    ch_b = net.channel(pbx, b)
+    ch_mid = net.channel(pc, pbx)      # PC -- PBX
+    ch_c = net.channel(pc, c)          # wait: PC serves C
+    ch_v = net.channel(pc, v)
+    sa = ch_a.end_for(pbx).slot()
+    sb = ch_b.end_for(pbx).slot()
+    s_mid_pbx = ch_mid.end_for(pbx).slot()
+    s_mid_pc = ch_mid.end_for(pc).slot()
+    sc = ch_c.end_for(pc).slot()
+    sv = ch_v.end_for(pc).slot()
+    # Snapshot 3: PBX has A linked to B; PC has C linked to V.
+    pbx.flow_link(sa, sb)
+    pbx.hold_slot(s_mid_pbx)
+    pc.flow_link(sc, sv)
+    a.open(a.channel_ends[0].slot(), AUDIO)
+    c.auto_accept = False
+    c_slot = ch_c.end_for(c).slot()
+    c.open(c_slot, AUDIO)
+    net.settle()
+    assert net.plane.two_way(a, b)
+    assert net.plane.two_way(c, v)
+    # Concurrently: PC relinks C to the path toward A, and the PBX
+    # relinks A to the path toward C.
+    pc.flow_link(sc, s_mid_pc)
+    pc.hold_slot(sv)
+    pbx.flow_link(sa, s_mid_pbx)
+    pbx.hold_slot(sb)
+    net.settle()
+    path = trace_path(sa)
+    assert len(path.flowlinks) == 2
+    assert both_flowing(path)
+    assert net.plane.two_way(a, c)
+    assert net.plane.silent(v)

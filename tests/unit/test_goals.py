@@ -1,0 +1,197 @@
+"""Unit tests for openSlot / closeSlot / holdSlot goal objects."""
+
+import pytest
+
+from repro import AUDIO, Box, CloseSlot, HoldSlot, Network, OpenSlot
+from repro.protocol.errors import ConfigurationError
+
+
+@pytest.fixture
+def rig():
+    """A box with one channel to an auto-accepting device."""
+    net = Network(seed=1)
+    box = net.box("srv")
+    dev = net.device("dev", auto_accept=True)
+    ch = net.channel(box, dev)
+    slot = ch.end_for(box).slot()
+    return net, box, dev, slot
+
+
+def test_openslot_opens_and_flows(rig):
+    net, box, dev, slot = rig
+    box.open_slot(slot, AUDIO)
+    net.settle()
+    assert slot.is_flowing
+    # The device answered with a selector for the box's noMedia
+    # descriptor: necessarily a noMedia selector.
+    assert slot.selector_received is not None
+    assert slot.selector_received.is_no_media
+
+
+def test_openslot_precondition_not_enforced_when_reused(rig):
+    net, box, dev, slot = rig
+    goal = box.open_slot(slot, AUDIO)
+    net.settle()
+    assert slot.is_flowing
+    # Re-annotating the same spec keeps the same object quietly.
+    assert goal.attached
+
+
+def test_openslot_retries_after_reject():
+    net = Network(seed=1)
+    box = net.box("srv")
+    dev = net.device("dev")  # manual accept: declines the first time
+    ch = net.channel(box, dev)
+    slot = ch.end_for(box).slot()
+    declined = []
+
+    def offer(port):
+        if not declined:
+            declined.append(port)
+            dev.decline(port=port)
+
+    dev.on_offer = offer
+    goal = box.open_slot(slot, AUDIO, retry_interval=0.1)
+    net.run(0.05)
+    assert slot.is_closed           # rejected once
+    net.run(0.2)                     # retry fires
+    assert dev.ringing()            # ringing again
+    dev.answer()
+    net.settle()
+    assert slot.is_flowing
+    assert goal.rejections == 1
+
+
+def test_openslot_accepts_when_race_lost():
+    net = Network(seed=1)
+    box = net.box("srv")
+    dev = net.device("dev")
+    # Device initiates the channel, so the device side wins open races.
+    ch = net.channel(dev, box)
+    box_slot = ch.end_for(box).slot()
+    dev_slot = ch.end_for(dev).slot()
+    # Both open simultaneously.
+    dev.open(dev_slot, AUDIO)
+    box.open_slot(box_slot, AUDIO)
+    net.settle()
+    assert box_slot.is_flowing
+    assert dev_slot.is_flowing
+
+
+def test_closeslot_closes_flowing_channel(rig):
+    net, box, dev, slot = rig
+    box.open_slot(slot, AUDIO)
+    net.settle()
+    box.close_slot(slot)
+    net.settle()
+    assert slot.is_closed
+    assert dev.ports()[0].slot.is_closed
+
+
+def test_closeslot_rejects_incoming_opens():
+    net = Network(seed=1)
+    box = net.box("srv")
+    dev = net.device("dev")
+    ch = net.channel(dev, box)
+    box_slot = ch.end_for(box).slot()
+    goal = box.close_slot(box_slot)
+    dev_slot = ch.end_for(dev).slot()
+    dev.open(dev_slot, AUDIO)
+    net.settle()
+    assert box_slot.is_closed
+    assert dev_slot.is_closed
+    assert goal.rejected == 1
+
+
+def test_closeslot_on_already_closed_is_quiet(rig):
+    net, box, dev, slot = rig
+    box.close_slot(slot)
+    net.settle()
+    assert slot.is_closed
+
+
+def test_holdslot_accepts_when_other_end_opens():
+    net = Network(seed=1)
+    box = net.box("srv")
+    dev = net.device("dev")
+    ch = net.channel(dev, box)
+    box_slot = ch.end_for(box).slot()
+    goal = box.hold_slot(box_slot)
+    dev_slot = ch.end_for(dev).slot()
+    dev.open(dev_slot, AUDIO)
+    net.settle()
+    assert box_slot.is_flowing
+    assert dev_slot.is_flowing
+    assert goal.accepted == 1
+
+
+def test_holdslot_never_initiates(rig):
+    net, box, dev, slot = rig
+    box.hold_slot(slot)
+    net.settle()
+    assert slot.is_closed
+    assert slot.signals_sent == 0
+
+
+def test_holdslot_holds_closed_after_far_close():
+    net = Network(seed=1)
+    box = net.box("srv")
+    dev = net.device("dev")
+    ch = net.channel(dev, box)
+    box_slot = ch.end_for(box).slot()
+    box.hold_slot(box_slot)
+    dev_slot = ch.end_for(dev).slot()
+    dev.open(dev_slot, AUDIO)
+    net.settle()
+    assert box_slot.is_flowing
+    dev.close(dev_slot)
+    net.settle()
+    assert box_slot.is_closed
+    # ...and reopens when the far end asks again.
+    dev.open(dev_slot, AUDIO)
+    net.settle()
+    assert box_slot.is_flowing
+
+
+def test_holdslot_takes_over_opening_slot():
+    # holdSlot "can gain control when the slot is in any of its states
+    # and must proceed from that point" (Sec. IV-A).
+    net = Network(seed=1)
+    box = net.box("srv")
+    dev = net.device("dev", auto_accept=True)
+    ch = net.channel(box, dev)
+    slot = ch.end_for(box).slot()
+    opener = box.open_slot(slot, AUDIO)   # sends open
+    assert slot.is_opening
+    box.hold_slot(slot)                   # replaces the openslot mid-open
+    assert not opener.attached
+    net.settle()
+    assert slot.is_flowing                # holdslot finished the handshake
+    assert slot.selector_sent is not None
+
+
+def test_goal_replacement_detaches_old(rig):
+    net, box, dev, slot = rig
+    g1 = box.open_slot(slot, AUDIO)
+    g2 = box.hold_slot(slot)
+    assert not g1.attached
+    assert g2.attached
+    assert box.maps.goal_for(slot) is g2
+
+
+def test_goal_object_single_use(rig):
+    net, box, dev, slot = rig
+    goal = OpenSlot(AUDIO)
+    box.set_goal(goal, slot)
+    with pytest.raises(ConfigurationError):
+        box.set_goal(goal, slot)
+
+
+def test_closeslot_then_holdslot_path_stays_closed(rig):
+    net, box, dev, slot = rig
+    box.open_slot(slot, AUDIO)
+    net.settle()
+    box.close_slot(slot)
+    box.hold_slot(slot)   # replace mid-close: closeack still arrives
+    net.settle()
+    assert slot.is_closed

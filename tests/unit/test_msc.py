@@ -1,0 +1,78 @@
+"""Unit tests for the message-sequence-chart tracer."""
+
+import pytest
+
+from repro import AUDIO, Network
+from repro.tools import SignalTracer
+
+
+@pytest.fixture
+def traced_call():
+    net = Network(seed=13)
+    a = net.device("A")
+    b = net.device("B", auto_accept=True)
+    ch = net.channel(a, b)
+    tracer = SignalTracer(net)
+    a.open(ch.end_for(a).slot(), AUDIO)
+    net.settle()
+    return net, a, b, ch, tracer
+
+
+def test_tracer_captures_the_handshake(traced_call):
+    net, a, b, ch, tracer = traced_call
+    kinds = [m.label.split("(")[0] for m in tracer.messages]
+    assert kinds.count("open") == 1
+    assert kinds.count("oack") == 1
+    assert kinds.count("select") == 2   # one per direction
+
+
+def test_tracer_records_direction(traced_call):
+    net, a, b, ch, tracer = traced_call
+    opens = [m for m in tracer.messages if m.label.startswith("open")]
+    assert opens[0].source == "A" and opens[0].target == "B"
+    oacks = [m for m in tracer.messages if m.label.startswith("oack")]
+    assert oacks[0].source == "B" and oacks[0].target == "A"
+
+
+def test_summary_counts(traced_call):
+    net, a, b, ch, tracer = traced_call
+    summary = tracer.summary()
+    assert summary["open"] == 1
+    assert summary["select"] == 2
+
+
+def test_render_produces_columns(traced_call):
+    net, a, b, ch, tracer = traced_call
+    chart = tracer.render()
+    lines = chart.splitlines()
+    assert "A" in lines[0] and "B" in lines[0]
+    assert any("open" in line for line in lines)
+    assert any(">" in line for line in lines[1:])
+
+
+def test_attach_is_idempotent(traced_call):
+    net, a, b, ch, tracer = traced_call
+    before = len(tracer)
+    tracer.attach(ch)                 # second attach: no double-count
+    a.modify(ch.end_for(a).slot(), mute_out=True)
+    net.settle()
+    new = len(tracer) - before
+    # mute_out change = exactly one fresh selector, counted once even
+    # though attach() was called twice.
+    assert new == 1
+
+
+def test_clear_resets(traced_call):
+    net, a, b, ch, tracer = traced_call
+    tracer.clear()
+    assert len(tracer) == 0
+    assert tracer.parties() == []
+
+
+def test_no_media_descriptor_labelled(traced_call):
+    net, a, b, ch, tracer = traced_call
+    tracer.clear()
+    a.modify(ch.end_for(a).slot(), mute_in=True)
+    net.settle()
+    labels = [m.label for m in tracer.messages]
+    assert any("describe(noMedia)" in lbl for lbl in labels)

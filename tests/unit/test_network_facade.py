@@ -1,0 +1,104 @@
+"""Unit tests for the Network facade, router, and analysis formulas."""
+
+import pytest
+
+from repro import AUDIO, Network
+from repro.analysis import (compositional_path_latency, fig13_latency,
+                            sip_common_latency, sip_glare_latency)
+from repro.network.router import Router
+from repro.protocol.errors import ConfigurationError
+
+
+# ----------------------------------------------------------------------
+# router
+# ----------------------------------------------------------------------
+def test_router_exact_match():
+    router = Router()
+    router.register("alice", "agent-a")
+    assert router.resolve("alice") == "agent-a"
+
+
+def test_router_longest_prefix():
+    router = Router()
+    router.register("tones", "generic")
+    router.register("tones:busy", "busy-specific")
+    assert router.resolve("tones:busy") == "busy-specific"
+    assert router.resolve("tones:ringback") == "generic"
+
+
+def test_router_unknown_address():
+    router = Router()
+    with pytest.raises(ConfigurationError):
+        router.resolve("nobody")
+
+
+def test_router_unregister():
+    router = Router()
+    router.register("x", "a")
+    router.unregister("x")
+    with pytest.raises(ConfigurationError):
+        router.resolve("x")
+
+
+# ----------------------------------------------------------------------
+# network facade
+# ----------------------------------------------------------------------
+def test_devices_are_dialable_by_name():
+    net = Network(seed=1)
+    a = net.device("alice")
+    b = net.device("bob", auto_accept=True)
+    ch = net.dial(a, "bob")
+    assert ch.responder_end.owner is b
+    assert ch.target == "bob"
+
+
+def test_dial_reaches_serving_box_not_device():
+    net = Network(seed=1)
+    box = net.box("pbx")
+    net.router.register("A", box)
+    caller = net.device("caller")
+    ch = net.dial(caller, "A")
+    assert ch.responder_end.owner is box
+
+
+def test_agents_registry_and_defaults():
+    net = Network(seed=1, cost=0.005)
+    dev = net.device("d")
+    box = net.box("b")
+    assert net.agents["d"] is dev
+    assert dev.node.cost == 0.005
+    assert box.node.cost == 0.005
+
+
+def test_run_advances_clock():
+    net = Network(seed=1)
+    net.run(5.0)
+    assert net.now == 5.0
+
+
+# ----------------------------------------------------------------------
+# formulas (Sec. VIII-C / IX-B arithmetic)
+# ----------------------------------------------------------------------
+def test_paper_constants_give_paper_numbers():
+    assert fig13_latency() * 1000 == pytest.approx(128.0)
+    assert compositional_path_latency(2) * 1000 == pytest.approx(128.0)
+    assert sip_glare_latency() * 1000 == pytest.approx(3560.0)
+    assert sip_common_latency() * 1000 == pytest.approx(378.0)
+
+
+def test_fig13_is_the_p2_case():
+    # Fig. 13's p is "the path length minus 1, which is the maximum".
+    assert fig13_latency(0.01, 0.002) == \
+        compositional_path_latency(2, 0.01, 0.002)
+
+
+def test_path_latency_requires_positive_hops():
+    with pytest.raises(ValueError):
+        compositional_path_latency(0)
+
+
+def test_latency_monotone_in_path_length():
+    values = [compositional_path_latency(p) for p in range(1, 9)]
+    assert values == sorted(values)
+    deltas = {round(b - a, 9) for a, b in zip(values, values[1:])}
+    assert len(deltas) == 1  # exactly n + c per extra hop

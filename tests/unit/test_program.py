@@ -1,0 +1,195 @@
+"""Unit tests for the state-oriented program framework (Sec. IV)."""
+
+import pytest
+
+from repro import AUDIO, Network
+from repro.core.predicates import (all_of, always, any_of, is_closed,
+                                   is_flowing, negate)
+from repro.core.program import (END, Program, State, Timeout, Transition,
+                                close_slot, flow_link, hold_slot, on_meta,
+                                open_slot)
+from repro.protocol.errors import ConfigurationError
+from repro.protocol.signals import AppMeta
+
+
+@pytest.fixture
+def rig():
+    net = Network(seed=41)
+    box = net.box("srv")
+    dev = net.device("dev", auto_accept=True)
+    ch = net.channel(box, dev)
+    box.name_slot("s", ch.end_for(box).slot())
+    return net, box, dev, ch
+
+
+def test_initial_state_goals_installed(rig):
+    net, box, dev, ch = rig
+    program = Program(box, {
+        "start": State(goals=(open_slot("s", AUDIO),)),
+    }, initial="start")
+    program.start()
+    net.settle()
+    assert box.slot("s").is_flowing
+
+
+def test_transition_on_slot_predicate(rig):
+    net, box, dev, ch = rig
+    visited = []
+    program = Program(box, {
+        "opening": State(
+            goals=(open_slot("s", AUDIO),),
+            transitions=(Transition(is_flowing("s"), "done",
+                                    action=lambda p: visited.append(1)),)),
+        "done": State(goals=(hold_slot("s"),)),
+    }, initial="opening")
+    program.start()
+    net.settle()
+    assert program.state_name == "done"
+    assert visited == [1]
+
+
+def test_goal_object_reused_for_identical_annotation(rig):
+    net, box, dev, ch = rig
+    program = Program(box, {
+        "one": State(goals=(open_slot("s", AUDIO),),
+                     transitions=(Transition(is_flowing("s"), "two"),)),
+        "two": State(goals=(open_slot("s", AUDIO),)),
+    }, initial="one")
+    program.start()
+    goal_before = box.maps.goal_for(box.slot("s"))
+    net.settle()
+    assert program.state_name == "two"
+    assert box.maps.goal_for(box.slot("s")) is goal_before
+
+
+def test_goal_object_replaced_for_different_annotation(rig):
+    net, box, dev, ch = rig
+    program = Program(box, {
+        "one": State(goals=(open_slot("s", AUDIO),),
+                     transitions=(Transition(is_flowing("s"), "two"),)),
+        "two": State(goals=(hold_slot("s"),)),
+    }, initial="one")
+    program.start()
+    goal_before = box.maps.goal_for(box.slot("s"))
+    net.settle()
+    assert box.maps.goal_for(box.slot("s")) is not goal_before
+    assert not goal_before.attached
+
+
+def test_timeout_transition(rig):
+    net, box, dev, ch = rig
+    program = Program(box, {
+        "wait": State(timeout=Timeout(2.0, "after")),
+        "after": State(),
+    }, initial="wait")
+    program.start()
+    net.run(1.0)
+    assert program.state_name == "wait"
+    net.run(1.5)
+    assert program.state_name == "after"
+
+
+def test_timeout_cancelled_by_transition(rig):
+    net, box, dev, ch = rig
+    fired = []
+    program = Program(box, {
+        "wait": State(
+            goals=(open_slot("s", AUDIO),),
+            transitions=(Transition(is_flowing("s"), "done"),),
+            timeout=Timeout(5.0, END, action=lambda p: fired.append(1))),
+        "done": State(goals=(hold_slot("s"),)),
+    }, initial="wait")
+    program.start()
+    net.settle()     # flows immediately; timeout must not fire later
+    net.run(10.0)
+    assert program.state_name == "done"
+    assert fired == []
+
+
+def test_meta_event_guard_consumes_matching_event(rig):
+    net, box, dev, ch = rig
+    program = Program(box, {
+        "wait": State(transitions=(
+            Transition(on_meta("app", "go"), "done"),)),
+        "done": State(),
+    }, initial="wait")
+    program.start()
+    ch.end_for(dev).send_meta(AppMeta("other"))
+    net.settle()
+    assert program.state_name == "wait"
+    ch.end_for(dev).send_meta(AppMeta("go"))
+    net.settle()
+    assert program.state_name == "done"
+    assert program.trigger[1].name == "go"
+
+
+def test_end_terminates_and_releases_goals(rig):
+    net, box, dev, ch = rig
+    program = Program(box, {
+        "one": State(goals=(open_slot("s", AUDIO),),
+                     transitions=(Transition(is_flowing("s"), END),)),
+    }, initial="one")
+    program.start()
+    net.settle()
+    assert program.finished
+    assert box.maps.goal_for(box.slot("s")) is None
+    assert box.program is None
+
+
+def test_undefined_target_rejected(rig):
+    net, box, dev, ch = rig
+    with pytest.raises(ConfigurationError):
+        Program(box, {
+            "one": State(transitions=(Transition(always, "nowhere"),)),
+        }, initial="one")
+
+
+def test_undefined_initial_rejected(rig):
+    net, box, dev, ch = rig
+    with pytest.raises(ConfigurationError):
+        Program(box, {"one": State()}, initial="zero")
+
+
+def test_duplicate_slot_annotation_rejected(rig):
+    net, box, dev, ch = rig
+    program = Program(box, {
+        "bad": State(goals=(open_slot("s", AUDIO), hold_slot("s"))),
+    }, initial="bad")
+    with pytest.raises(ConfigurationError):
+        program.start()
+
+
+def test_guard_combinators(rig):
+    net, box, dev, ch = rig
+    program = Program(box, {"s": State()}, initial="s")
+    program.start()
+    t = always
+    assert all_of(t, t)(program)
+    assert not all_of(t, negate(t))(program)
+    assert any_of(negate(t), t)(program)
+    assert is_closed("s")(program)          # slot exists, closed
+    assert not is_flowing("s")(program)
+    assert not is_closed("missing")(program)  # unbound name: False
+
+
+def test_prepaid_program_cycles(rig):
+    """The Sec. IV-B two-state PC program shape: timeout one way, meta
+    event the other."""
+    net, box, dev, ch = rig
+    box.name_slot("x", box.slot("s"))
+    program = Program(box, {
+        "talking": State(goals=(hold_slot("s"),),
+                         timeout=Timeout(1.0, "collect")),
+        "collect": State(goals=(hold_slot("s"),),
+                         transitions=(
+                             Transition(on_meta("app", "user-paid"),
+                                        "talking"),)),
+    }, initial="talking")
+    program.start()
+    net.run(1.5)
+    assert program.state_name == "collect"
+    ch.end_for(dev).send_meta(AppMeta("user-paid"))
+    net.run(0.1)
+    assert program.state_name == "talking"
+    net.run(1.5)
+    assert program.state_name == "collect"

@@ -1,0 +1,202 @@
+"""Unit tests for media resources (tones, announcements, IVR, bridge,
+movie server)."""
+
+import pytest
+
+from repro import AUDIO, Network
+from repro.media.resources import (AnnouncementPlayer, ConferenceBridge,
+                                   InteractiveVoice, MovieServer,
+                                   ToneGenerator)
+
+
+def test_tone_generator_plays_to_caller():
+    net = Network(seed=21)
+    a = net.device("A")
+    tone = net.resource("busy-tone", ToneGenerator, tone="busy")
+    ch = net.channel(a, tone)
+    sa = ch.end_for(a).slot()
+    a.open(sa, AUDIO)
+    net.settle()
+    assert "tone:busy" in net.plane.heard_by(a)
+    # send-only: the tone generator receives nothing.
+    assert not net.plane.flow_exists(a, tone)
+
+
+def test_announcement_completes_and_reports():
+    net = Network(seed=21)
+    a = net.device("A")
+    ann = net.resource("greeting", AnnouncementPlayer,
+                       announcement="welcome", duration=1.5)
+    ch = net.channel(a, ann)
+    sa = ch.end_for(a).slot()
+    a.open(sa, AUDIO)
+    net.run(1.0)
+    assert "announcement:welcome" in net.plane.heard_by(a)
+    net.settle()
+    assert sa.is_closed                      # player closed when done
+    assert len(ann.completed) == 1
+    # The completion meta-signal reached the caller side.
+    # (devices ignore meta-signals; presence in the channel suffices)
+
+
+def test_interactive_voice_reports_payment():
+    net = Network(seed=21)
+    box = net.box("pc")
+    v = net.resource("V", InteractiveVoice, verify_delay=0.5)
+    ch = net.channel(box, v)
+    slot = ch.end_for(box).slot()
+    box.open_slot(slot, AUDIO)
+    net.settle(max_events=10_000)
+    assert v.payments
+    kinds = [(s.kind, getattr(s, "name", None)) for _, s in box.meta_log]
+    assert ("app", "user-paid") in kinds
+
+
+def test_interactive_voice_no_payment_when_user_will_not_pay():
+    net = Network(seed=21)
+    box = net.box("pc")
+    v = net.resource("V", InteractiveVoice, verify_delay=0.5)
+    v.will_pay = False
+    ch = net.channel(box, v)
+    box.open_slot(ch.end_for(box).slot(), AUDIO)
+    net.settle()
+    assert not v.payments
+
+
+@pytest.fixture
+def conference():
+    """Three devices connected to a bridge via one server box."""
+    net = Network(seed=22)
+    server = net.box("conf-server")
+    bridge = net.resource("bridge", ConferenceBridge)
+    devices = {}
+    slots = {}
+    for name in ("A", "B", "C"):
+        dev = net.device(name, auto_accept=True)
+        ch_user = net.channel(server, dev, target="user:%s" % name)
+        ch_bridge = net.channel(server, bridge, target="user:%s" % name)
+        server.flow_link(ch_user.end_for(server).slot(),
+                         ch_bridge.end_for(server).slot())
+        # The server opens toward the user; the flowlink pulls the
+        # bridge side up.  Simplest: open from the user's end.
+        dev_slot = ch_user.end_for(dev).slot()
+        dev.auto_accept = True
+        devices[name] = dev
+        slots[name] = dev_slot
+    # Users join by opening their channels.
+    for name, dev in devices.items():
+        dev.open(slots[name], AUDIO)
+    net.settle()
+    return net, server, bridge, devices
+
+
+def test_conference_full_mix(conference):
+    net, server, bridge, devices = conference
+    heard_a = net.plane.heard_by(devices["A"])
+    assert "audio:B" in heard_a and "audio:C" in heard_a
+    assert "audio:A" not in heard_a  # no echo of your own voice
+    heard_b = net.plane.heard_by(devices["B"])
+    assert "audio:A" in heard_b and "audio:C" in heard_b
+
+
+def test_conference_business_muting(conference):
+    # Mute the noisy participant B's input: everyone still talks to B,
+    # but B's background noise no longer reaches A or C.
+    net, server, bridge, devices = conference
+    bridge.set_mix("user:B", "user:A", "blocked")
+    bridge.set_mix("user:B", "user:C", "blocked")
+    assert "audio:B" not in net.plane.heard_by(devices["A"])
+    assert "audio:B" not in net.plane.heard_by(devices["C"])
+    assert "audio:A" in net.plane.heard_by(devices["B"])
+
+
+def test_conference_emergency_muting(conference):
+    # B (the emergency caller) keeps being heard but cannot hear the
+    # responders' coordination (Sec. IV-B).
+    net, server, bridge, devices = conference
+    bridge.set_mix("user:A", "user:B", "blocked")
+    bridge.set_mix("user:C", "user:B", "blocked")
+    assert net.plane.heard_by(devices["B"]) == frozenset()
+    assert "audio:B" in net.plane.heard_by(devices["A"])
+    assert "audio:B" in net.plane.heard_by(devices["C"])
+
+
+def test_conference_training_whisper(conference):
+    # A = trainee agent, B = customer, C = supervisor: B must not hear
+    # C; A hears a whispered C (Sec. IV-B).
+    net, server, bridge, devices = conference
+    bridge.set_mix("user:C", "user:B", "blocked")
+    bridge.set_mix("user:C", "user:A", "whisper")
+    heard_b = net.plane.heard_by(devices["B"])
+    assert "audio:C" not in heard_b and "whisper:audio:C" not in heard_b
+    heard_a = net.plane.heard_by(devices["A"])
+    assert "whisper:audio:C" in heard_a
+    assert "audio:C" not in heard_a
+    heard_c = net.plane.heard_by(devices["C"])
+    assert "audio:A" in heard_c and "audio:B" in heard_c
+
+
+def test_conference_mix_via_meta_signal(conference):
+    net, server, bridge, devices = conference
+    # The server drives the bridge with the standardized meta-signal.
+    end = bridge.channel_ends[0].peer  # server side of a bridge channel
+    from repro.protocol.signals import AppMeta
+    server_end = [e for e in server.channel_ends
+                  if e.peer.owner is bridge][0]
+    server_end.send_meta(AppMeta("set-mix", {
+        "speaker": "user:B", "listener": "user:A", "mode": "blocked"}))
+    net.settle()
+    assert "audio:B" not in net.plane.heard_by(devices["A"])
+
+
+def test_movie_server_sessions_share_time_pointer():
+    net = Network(seed=23)
+    box = net.box("collab")
+    movie = net.resource("movies", MovieServer, catalog=("heidi",))
+    ch = net.channel(box, movie, tunnels=("video-A", "audio-A",
+                                          "video-C", "audio-C",
+                                          "audio-fr-B"),
+                     target="movie:heidi")
+    for tid in ch.tunnel_ids:
+        box.open_slot(ch.end_for(box).slot(tid), AUDIO
+                      if "audio" in tid else "video")
+    net.settle()
+    session = movie.sessions()[0]
+    assert session.title == "heidi"
+    assert session.playing
+    from repro.protocol.signals import AppMeta
+    ch.end_for(box).send_meta(AppMeta("pause"))
+    net.run(1.0)
+    pos_at_pause = session.position_at(net.now)
+    net.run(5.0)
+    assert session.position_at(net.now) == pos_at_pause  # paused
+    ch.end_for(box).send_meta(AppMeta("play"))
+    net.run(2.0)
+    assert session.position_at(net.now) == pytest.approx(pos_at_pause + 2.0)
+
+
+def test_movie_server_seek():
+    net = Network(seed=23)
+    box = net.box("collab")
+    movie = net.resource("movies", MovieServer, catalog=("heidi",))
+    ch = net.channel(box, movie, target="movie:heidi")
+    box.open_slot(ch.end_for(box).slot(), "video")
+    net.settle()
+    from repro.protocol.signals import AppMeta
+    ch.end_for(box).send_meta(AppMeta("seek", {"position": 3600.0}))
+    net.settle()
+    session = movie.sessions()[0]
+    assert session.position_at(net.now) >= 3600.0
+
+
+def test_separate_channels_get_separate_sessions():
+    net = Network(seed=23)
+    box1 = net.box("collab-A")
+    box2 = net.box("collab-C")
+    movie = net.resource("movies", MovieServer, catalog=("heidi",))
+    ch1 = net.channel(box1, movie, target="movie:heidi")
+    ch2 = net.channel(box2, movie, target="movie:heidi")
+    box1.open_slot(ch1.end_for(box1).slot(), "video")
+    box2.open_slot(ch2.end_for(box2).slot(), "video")
+    net.settle()
+    assert len(movie.sessions()) == 2

@@ -1,0 +1,201 @@
+"""Unit tests for path extraction, the Sec. V spec predicates, the
+finite-trace LTL operators, and the runtime monitor."""
+
+import pytest
+
+from repro import AUDIO, Network
+from repro.semantics import (PathMonitor, SpecViolation, all_paths,
+                             always, always_eventually, both_closed,
+                             both_flowing, check_path_now, endpoint_role,
+                             eventually, eventually_always,
+                             expected_property, trace_path)
+
+
+@pytest.fixture
+def relay():
+    """A -- box -- B, flowlinked, call established."""
+    net = Network(seed=51)
+    a = net.device("A")
+    b = net.device("B", auto_accept=True)
+    box = net.box("srv")
+    ch_a = net.channel(a, box)
+    ch_b = net.channel(box, b)
+    sa = ch_a.end_for(box).slot()
+    sb = ch_b.end_for(box).slot()
+    box.flow_link(sa, sb)
+    a.open(ch_a.end_for(a).slot(), AUDIO)
+    net.settle()
+    return net, a, b, box, sa, sb
+
+
+# ----------------------------------------------------------------------
+# path extraction
+# ----------------------------------------------------------------------
+def test_trace_path_spans_flowlink(relay):
+    net, a, b, box, sa, sb = relay
+    path = trace_path(sa)
+    assert path.hops == 2
+    assert len(path.flowlinks) == 1
+    assert path.left_owner is a or path.right_owner is a
+    assert {path.left_owner, path.right_owner} == {a, b}
+
+
+def test_trace_path_from_any_slot_same_endpoints(relay):
+    net, a, b, box, sa, sb = relay
+    ends = {trace_path(s).left.name for s in (sa, sb)} | \
+           {trace_path(s).right.name for s in (sa, sb)}
+    # both traces see the same two endpoint slots
+    assert len(ends) == 2
+
+
+def test_all_paths_deduplicates(relay):
+    net, a, b, box, sa, sb = relay
+    paths = all_paths(net.channels)
+    assert len(paths) == 1
+
+
+def test_endpoint_roles():
+    net = Network(seed=52)
+    dev = net.device("dev")
+    box = net.box("srv")
+    ch = net.channel(dev, box)
+    slot = ch.end_for(box).slot()
+    assert endpoint_role(ch.end_for(dev).slot()) == "user"
+    assert endpoint_role(slot) == "none"
+    box.hold_slot(slot)
+    assert endpoint_role(slot) == "hold"
+    box.close_slot(slot)
+    assert endpoint_role(slot) == "close"
+    box.open_slot(slot, AUDIO)
+    assert endpoint_role(slot) == "open"
+
+
+def test_path_type_normalized():
+    net = Network(seed=53)
+    b1 = net.box("b1")
+    b2 = net.box("b2")
+    ch = net.channel(b1, b2)
+    b1.open_slot(ch.end_for(b1).slot(), AUDIO)
+    b2.hold_slot(ch.end_for(b2).slot())
+    path = trace_path(ch.end_for(b1).slot())
+    assert path.path_type() == ("hold", "open")
+    assert expected_property(path) == "recurrence-flowing"
+
+
+# ----------------------------------------------------------------------
+# spec predicates
+# ----------------------------------------------------------------------
+def test_both_flowing_on_established_call(relay):
+    net, a, b, box, sa, sb = relay
+    assert both_flowing(trace_path(sa))
+    assert not both_closed(trace_path(sa))
+
+
+def test_both_flowing_respects_mute_consistency(relay):
+    net, a, b, box, sa, sb = relay
+    a_slot = a.channel_ends[0].slot()
+    a.modify(a_slot, mute_out=True)
+    # Before the signals propagate, enabled lags the intention...
+    net.settle()
+    # ...afterwards bothFlowing holds again with the new mute values.
+    assert both_flowing(trace_path(sa))
+
+
+def test_both_closed_after_hangup(relay):
+    net, a, b, box, sa, sb = relay
+    a.close(a.channel_ends[0].slot())
+    net.settle()
+    path = trace_path(sa)
+    assert both_closed(path)
+    assert not both_flowing(path)
+
+
+def test_server_goal_paths_check_now():
+    net = Network(seed=54)
+    b1 = net.box("b1")
+    b2 = net.box("b2")
+    ch = net.channel(b1, b2)
+    s1, s2 = ch.end_for(b1).slot(), ch.end_for(b2).slot()
+    b1.close_slot(s1)
+    b2.hold_slot(s2)
+    net.settle()
+    path = trace_path(s1)
+    assert expected_property(path) == "stability-closed"
+    assert check_path_now(path) is None
+
+
+def test_check_path_now_reports_violation():
+    net = Network(seed=55)
+    b1 = net.box("b1")
+    b2 = net.box("b2")
+    ch = net.channel(b1, b2)
+    s1, s2 = ch.end_for(b1).slot(), ch.end_for(b2).slot()
+    b1.open_slot(s1, AUDIO)
+    b2.hold_slot(s2)
+    # Deliberately do NOT settle: the path is mid-handshake, so the
+    # recurrence obligation's stable reading fails right now.
+    error = check_path_now(trace_path(s1))
+    assert error is not None
+    net.settle()
+    assert check_path_now(trace_path(s1)) is None
+
+
+# ----------------------------------------------------------------------
+# finite-trace LTL
+# ----------------------------------------------------------------------
+def test_ltl_operators():
+    trace = [0, 1, 2, 3, 3, 3]
+    is3 = lambda s: s == 3
+    assert eventually(is3, trace)
+    assert not always(is3, trace)
+    assert eventually_always(is3, trace)
+    assert always_eventually(is3, trace)
+    assert not eventually_always(lambda s: s == 2, trace)
+    assert not always_eventually(lambda s: s == 2, trace)
+    assert not eventually_always(is3, [])
+
+
+def test_ltl_stutter_reading_matches_spec_intuition():
+    # ◇□P on a trace ending in P-states: True even with early ¬P.
+    trace = [False, False, True, True]
+    ident = lambda s: s
+    assert eventually_always(ident, trace)
+    # A trailing ¬P state breaks stability.
+    assert not eventually_always(ident, trace + [False])
+
+
+# ----------------------------------------------------------------------
+# monitor
+# ----------------------------------------------------------------------
+def test_monitor_passes_on_good_network(relay):
+    net, a, b, box, sa, sb = relay
+    monitor = PathMonitor(net)
+    monitor.assert_all_conform()
+
+
+def test_monitor_detects_server_path_violation():
+    net = Network(seed=56)
+    b1 = net.box("b1")
+    b2 = net.box("b2")
+    ch = net.channel(b1, b2)
+    s1, s2 = ch.end_for(b1).slot(), ch.end_for(b2).slot()
+    b1.open_slot(s1, AUDIO)
+    b2.hold_slot(s2)
+    monitor = PathMonitor(net)
+    with pytest.raises(SpecViolation):
+        monitor.assert_all_conform()  # mid-handshake: not yet flowing
+    net.settle()
+    monitor.assert_all_conform()
+
+
+def test_monitor_sampling_records_history(relay):
+    net, a, b, box, sa, sb = relay
+    monitor = PathMonitor(net)
+    monitor.sample()
+    a.close(a.channel_ends[0].slot())
+    net.settle()
+    monitor.sample()
+    key = next(iter(monitor.history))
+    snapshots = monitor.history[key]
+    assert snapshots[0].flowing and not snapshots[0].closed
+    assert snapshots[-1].closed and not snapshots[-1].flowing

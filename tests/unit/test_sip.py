@@ -1,0 +1,168 @@
+"""Unit tests for the SIP substrate (offer/answer, transactions, glare,
+third-party call control)."""
+
+import pytest
+
+from repro.network.address import Address
+from repro.network.eventloop import EventLoop
+from repro.network.latency import FixedLatency
+from repro.protocol.codecs import G711, G726, G729
+from repro.sip import (SipB2BUA, SipDialog, SipEndpointUA, SipError,
+                       MediaDescription, SdpFactory, negotiate)
+
+
+def make_endpoint(loop, name, host, codecs=(G711, G726)):
+    return SipEndpointUA(loop, name, Address(host, 5004), codecs=codecs)
+
+
+@pytest.fixture
+def loop():
+    return EventLoop(seed=5)
+
+
+# ----------------------------------------------------------------------
+# SDP negotiation
+# ----------------------------------------------------------------------
+def test_negotiate_intersection_in_offer_order():
+    factory = SdpFactory("a")
+    offer = factory.offer(Address("h", 1), (G729, G711, G726))
+    assert negotiate(offer, (G726, G711)) == (G711, G726)
+
+
+def test_answer_is_relative_to_offer():
+    fa, fb = SdpFactory("a"), SdpFactory("b")
+    offer = fa.offer(Address("h", 1), (G711, G726))
+    answer = fb.answer(offer, Address("h2", 2), (G726,))
+    assert answer.is_answer
+    assert answer.relative_to == offer.version
+    assert answer.codecs == (G726,)
+
+
+def test_answer_none_when_no_common_codec():
+    fa, fb = SdpFactory("a"), SdpFactory("b")
+    offer = fa.offer(Address("h", 1), (G711,))
+    assert fb.answer(offer, Address("h2", 2), (G729,)) is None
+
+
+# ----------------------------------------------------------------------
+# basic calls
+# ----------------------------------------------------------------------
+def test_direct_call_offer_answer(loop):
+    a = make_endpoint(loop, "a", "10.0.0.1")
+    b = make_endpoint(loop, "b", "10.0.0.2")
+    dialog = SipDialog(loop, a, b, latency=FixedLatency(0.01))
+    a.call(dialog.end_for(a))
+    loop.run()
+    assert a.target == b.address
+    assert b.target == a.address
+
+
+def test_overlapping_invites_on_one_dialog_forbidden(loop):
+    a = make_endpoint(loop, "a", "10.0.0.1")
+    b = make_endpoint(loop, "b", "10.0.0.2")
+    dialog = SipDialog(loop, a, b)
+    end = dialog.end_for(a)
+    a.call(end)
+    with pytest.raises(SipError):
+        a.call(end)
+
+
+def test_bye_puts_endpoint_on_hold(loop):
+    a = make_endpoint(loop, "a", "10.0.0.1")
+    b = make_endpoint(loop, "b", "10.0.0.2")
+    dialog = SipDialog(loop, a, b, latency=FixedLatency(0.01))
+    a.call(dialog.end_for(a))
+    loop.run()
+    a.send_bye(dialog.end_for(a))
+    loop.run()
+    assert b.target is None
+
+
+# ----------------------------------------------------------------------
+# third-party call control (RFC 3725 flow)
+# ----------------------------------------------------------------------
+@pytest.fixture
+def tpcc(loop):
+    """A -- server -- C, one B2BUA controlling both dialogs."""
+    a = make_endpoint(loop, "A", "10.0.0.1")
+    c = make_endpoint(loop, "C", "10.0.0.3")
+    server = SipB2BUA(loop, "server")
+    d_a = SipDialog(loop, server, a, latency=FixedLatency(0.01))
+    d_c = SipDialog(loop, server, c, latency=FixedLatency(0.01))
+    return loop, a, c, server, d_a, d_c
+
+
+def test_b2bua_relink_connects_endpoints(tpcc):
+    loop, a, c, server, d_a, d_c = tpcc
+    op = server.relink(d_a.end_for(server), d_c.end_for(server))
+    loop.run()
+    assert op.done
+    assert op.attempts == 1
+    assert a.target == c.address
+    assert c.target == a.address
+
+
+def test_b2bua_chain_relays_through_middle(loop):
+    """A -- pbx -- pc -- C: pc relinks C toward A through the pbx."""
+    a = make_endpoint(loop, "A", "10.0.0.1")
+    c = make_endpoint(loop, "C", "10.0.0.3")
+    pbx = SipB2BUA(loop, "pbx")
+    pc = SipB2BUA(loop, "pc")
+    d_a = SipDialog(loop, pbx, a, latency=FixedLatency(0.01))
+    mid = SipDialog(loop, pc, pbx, latency=FixedLatency(0.01))
+    d_c = SipDialog(loop, pc, c, latency=FixedLatency(0.01))
+    pbx.set_route(mid.end_for(pbx), d_a.end_for(pbx))
+    op = pc.relink(d_c.end_for(pc), mid.end_for(pc))
+    loop.run()
+    assert op.done
+    assert a.target == c.address
+    assert c.target == a.address
+
+
+def test_concurrent_relinks_glare_and_recover(loop):
+    """The Fig. 14 scenario: both servers start relinks concurrently on
+    the shared middle dialog; both 491, both back off, and the retries
+    converge."""
+    a = make_endpoint(loop, "A", "10.0.0.1")
+    c = make_endpoint(loop, "C", "10.0.0.3")
+    pbx = SipB2BUA(loop, "pbx")
+    pc = SipB2BUA(loop, "pc")
+    d_a = SipDialog(loop, pbx, a, latency=FixedLatency(0.01))
+    mid = SipDialog(loop, pc, pbx, latency=FixedLatency(0.01))  # pc owns
+    d_c = SipDialog(loop, pc, c, latency=FixedLatency(0.01))
+    op_pc = pc.relink(d_c.end_for(pc), mid.end_for(pc))
+    op_pbx = pbx.relink(d_a.end_for(pbx), mid.end_for(pbx))
+    loop.run()
+    assert op_pc.done and op_pbx.done
+    assert op_pc.glares >= 1 and op_pbx.glares >= 1
+    assert a.target == c.address
+    assert c.target == a.address
+    # The glare cost simulated time: at least the shorter retry window.
+    assert max(op_pc.latency, op_pbx.latency) > 1.0
+
+
+def test_glare_holds_media_during_recovery(loop):
+    a = make_endpoint(loop, "A", "10.0.0.1")
+    c = make_endpoint(loop, "C", "10.0.0.3")
+    pbx = SipB2BUA(loop, "pbx")
+    pc = SipB2BUA(loop, "pc")
+    d_a = SipDialog(loop, pbx, a, latency=FixedLatency(0.01))
+    mid = SipDialog(loop, pc, pbx, latency=FixedLatency(0.01))
+    d_c = SipDialog(loop, pc, c, latency=FixedLatency(0.01))
+    pc.relink(d_c.end_for(pc), mid.end_for(pc))
+    pbx.relink(d_a.end_for(pbx), mid.end_for(pbx))
+    loop.run(until=0.5)  # after the glare, before any retry completes
+    # The dummy answers closed the solicited transactions with "hold".
+    assert c.target is None
+    assert a.target is None
+    loop.run()
+    assert a.target == c.address and c.target == a.address
+
+
+def test_retry_windows_follow_dialog_ownership(loop):
+    mid_owner_window = None
+    a = make_endpoint(loop, "A", "10.0.0.1")
+    pbx = SipB2BUA(loop, "pbx")
+    mid = SipDialog(loop, pbx, a)
+    assert mid.end_for(pbx).retry_window() == (2.1, 4.0)   # owner
+    assert mid.end_for(a).retry_window() == (0.0, 2.0)     # non-owner

@@ -1,0 +1,248 @@
+"""Unit tests for the slot protocol FSM (Fig. 9)."""
+
+import pytest
+
+from repro.network.address import Address
+from repro.network.eventloop import EventLoop
+from repro.protocol.channel import SignalingAgent, SignalingChannel
+from repro.protocol.codecs import AUDIO, G711, NO_MEDIA
+from repro.protocol.descriptor import DescriptorFactory, Selector
+from repro.protocol.errors import ProtocolError, ProtocolStateError
+from repro.protocol.signals import Close, Describe, Oack, Open, Select
+
+
+class Recorder(SignalingAgent):
+    """Agent recording every passed-up signal, taking no action."""
+
+    def __init__(self, loop, name):
+        super().__init__(loop, name)
+        self.seen = []
+        self.metas = []
+
+    def on_tunnel_signal(self, slot, signal):
+        self.seen.append((slot, signal))
+
+    def on_meta(self, end, signal):
+        self.metas.append((end, signal))
+
+
+@pytest.fixture
+def pair():
+    loop = EventLoop()
+    a = Recorder(loop, "a")
+    b = Recorder(loop, "b")
+    channel = SignalingChannel(loop, a, b, name="t")
+    return loop, a, b, channel
+
+
+def descs(origin="x"):
+    return DescriptorFactory(origin)
+
+
+def real_desc(factory, port=10000):
+    return factory.descriptor(Address("10.0.0.1", port), (G711,))
+
+
+def test_open_handshake_reaches_flowing(pair):
+    loop, a, b, ch = pair
+    sa, sb = ch.ends[0].slot(), ch.ends[1].slot()
+    fa, fb = descs("a"), descs("b")
+    sa.send_open(AUDIO, real_desc(fa))
+    assert sa.state == "opening"
+    loop.run()
+    assert sb.state == "opened"
+    assert sb.medium == AUDIO
+    assert sb.is_described
+    sb.send_oack(real_desc(fb))
+    assert sb.state == "flowing"
+    loop.run()
+    assert sa.state == "flowing"
+    assert sa.remote_descriptor.id.origin == "b"
+
+
+def test_reject_via_close(pair):
+    loop, a, b, ch = pair
+    sa, sb = ch.ends[0].slot(), ch.ends[1].slot()
+    sa.send_open(AUDIO, real_desc(descs("a")))
+    loop.run()
+    sb.send_close()
+    loop.run()
+    # close acts as reject; both sides end closed and acked.
+    assert sa.state == "closed"
+    assert sb.state == "closed"
+
+
+def test_close_from_flowing_with_ack(pair):
+    loop, a, b, ch = pair
+    sa, sb = ch.ends[0].slot(), ch.ends[1].slot()
+    fa, fb = descs("a"), descs("b")
+    sa.send_open(AUDIO, real_desc(fa))
+    loop.run()
+    sb.send_oack(real_desc(fb))
+    loop.run()
+    sa.send_close()
+    assert sa.state == "closing"
+    loop.run()
+    assert sb.state == "closed"
+    assert sa.state == "closed"
+    assert sa.medium is None and sa.remote_descriptor is None
+
+
+def test_crossing_closes_both_settle(pair):
+    loop, a, b, ch = pair
+    sa, sb = ch.ends[0].slot(), ch.ends[1].slot()
+    fa, fb = descs("a"), descs("b")
+    sa.send_open(AUDIO, real_desc(fa))
+    loop.run()
+    sb.send_oack(real_desc(fb))
+    loop.run()
+    sa.send_close()
+    sb.send_close()
+    loop.run()
+    assert sa.state == "closed"
+    assert sb.state == "closed"
+
+
+def test_open_open_race_initiator_wins(pair):
+    loop, a, b, ch = pair
+    sa, sb = ch.ends[0].slot(), ch.ends[1].slot()
+    fa, fb = descs("a"), descs("b")
+    sa.send_open(AUDIO, real_desc(fa))
+    sb.send_open(AUDIO, real_desc(fb))
+    loop.run()
+    # sa belongs to the channel initiator: it wins and ignores b's open;
+    # sb backs off to ``opened`` and will be the acceptor.
+    assert sa.state == "opening"
+    assert sa.race_drops == 1
+    assert sb.state == "opened"
+    sb.send_oack(real_desc(fb))
+    loop.run()
+    assert sa.state == "flowing" and sb.state == "flowing"
+
+
+def test_describe_and_select_while_flowing(pair):
+    loop, a, b, ch = pair
+    sa, sb = ch.ends[0].slot(), ch.ends[1].slot()
+    fa, fb = descs("a"), descs("b")
+    sa.send_open(AUDIO, real_desc(fa))
+    loop.run()
+    sb.send_oack(real_desc(fb))
+    loop.run()
+    new_desc = real_desc(fa, port=10002)
+    sa.send_describe(new_desc)
+    loop.run()
+    assert sb.remote_descriptor is new_desc
+    sel = Selector(answers=new_desc.id, address=None, codec=G711)
+    sb.send_select(sel)
+    loop.run()
+    assert sa.selector_received is sel
+
+
+def test_select_must_answer_current_descriptor(pair):
+    loop, a, b, ch = pair
+    sa, sb = ch.ends[0].slot(), ch.ends[1].slot()
+    fa, fb = descs("a"), descs("b")
+    d0 = real_desc(fa)
+    sa.send_open(AUDIO, d0)
+    loop.run()
+    sb.send_oack(real_desc(fb))
+    loop.run()
+    stale = Selector(answers=real_desc(fa).id, address=None, codec=G711)
+    with pytest.raises(ProtocolError):
+        sb.send_select(stale)
+
+
+def test_stale_signals_drained_while_closing(pair):
+    loop, a, b, ch = pair
+    sa, sb = ch.ends[0].slot(), ch.ends[1].slot()
+    fa, fb = descs("a"), descs("b")
+    sa.send_open(AUDIO, real_desc(fa))
+    loop.run()
+    # b accepts at the same moment a gives up: oack and close cross.
+    sb.send_oack(real_desc(fb))
+    sa.send_close()
+    loop.run()
+    assert sa.state == "closed"
+    assert sb.state == "closed"
+    assert sa.stale_drops == 1  # the crossing oack was drained
+
+
+def test_send_validation_errors():
+    loop = EventLoop()
+    a, b = Recorder(loop, "a"), Recorder(loop, "b")
+    ch = SignalingChannel(loop, a, b)
+    sa = ch.ends[0].slot()
+    f = descs()
+    with pytest.raises(ProtocolStateError):
+        sa.send_oack(real_desc(f))          # not opened
+    with pytest.raises(ProtocolStateError):
+        sa.send_close()                      # not live
+    with pytest.raises(ProtocolStateError):
+        sa.send_describe(real_desc(f))       # not flowing
+    sa.send_open(AUDIO, real_desc(f))
+    with pytest.raises(ProtocolStateError):
+        sa.send_open(AUDIO, real_desc(f))    # already opening
+
+
+def test_illegal_receive_raises_in_strict_mode(pair):
+    loop, a, b, ch = pair
+    sb = ch.ends[1].slot()
+    # Deliver a select to a closed slot: protocol violation.
+    sel = Selector(answers=real_desc(descs()).id, address=None,
+                   codec=NO_MEDIA)
+    with pytest.raises(ProtocolError):
+        sb.receive(Select(sel))
+
+
+def test_illegal_receive_counted_but_passed_up_in_lenient_mode():
+    loop = EventLoop()
+    a, b = Recorder(loop, "a"), Recorder(loop, "b")
+    ch = SignalingChannel(loop, a, b, strict=False)
+    sb = ch.ends[1].slot()
+    sel = Selector(answers=real_desc(descs()).id, address=None,
+                   codec=NO_MEDIA)
+    # Passed up (so a naive server can forward it) but counted, and the
+    # slot state is untouched.
+    assert sb.receive(Select(sel)) is True
+    assert sb.invalid_drops == 1
+    assert sb.state == "closed"
+
+
+def test_reopen_after_close_is_clean(pair):
+    loop, a, b, ch = pair
+    sa, sb = ch.ends[0].slot(), ch.ends[1].slot()
+    fa, fb = descs("a"), descs("b")
+    sa.send_open(AUDIO, real_desc(fa))
+    loop.run()
+    sb.send_oack(real_desc(fb))
+    loop.run()
+    sa.send_close()
+    loop.run()
+    # The lane is drained; a second episode works from scratch.
+    sa.send_open(AUDIO, real_desc(fa, port=10008))
+    loop.run()
+    assert sb.state == "opened"
+    sb.send_oack(real_desc(fb, port=10010))
+    loop.run()
+    assert sa.state == "flowing" and sb.state == "flowing"
+
+
+def test_signals_passed_up_to_owner(pair):
+    loop, a, b, ch = pair
+    sa, sb = ch.ends[0].slot(), ch.ends[1].slot()
+    sa.send_open(AUDIO, real_desc(descs("a")))
+    loop.run()
+    kinds = [s.kind for _, s in b.seen]
+    assert kinds == ["open"]
+
+
+def test_race_losing_open_not_passed_up(pair):
+    loop, a, b, ch = pair
+    sa, sb = ch.ends[0].slot(), ch.ends[1].slot()
+    sa.send_open(AUDIO, real_desc(descs("a")))
+    sb.send_open(AUDIO, real_desc(descs("b")))
+    loop.run()
+    kinds_a = [s.kind for _, s in a.seen]
+    assert "open" not in kinds_a  # dropped at the winner
+    kinds_b = [s.kind for _, s in b.seen]
+    assert kinds_b == ["open"]

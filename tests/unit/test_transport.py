@@ -1,0 +1,159 @@
+"""Unit tests for links (FIFO + latency) and nodes (processing cost)."""
+
+from repro.network.eventloop import EventLoop
+from repro.network.latency import FixedLatency, UniformLatency
+from repro.network.node import Node
+from repro.network.transport import Link
+
+
+def collect(link_end):
+    out = []
+    link_end.set_receiver(out.append)
+    return out
+
+
+def test_duplex_delivery():
+    loop = EventLoop()
+    link = Link(loop, FixedLatency(0.1))
+    a, b = link.ends
+    got_a, got_b = collect(a), collect(b)
+    a.send("to-b")
+    b.send("to-a")
+    loop.run()
+    assert got_b == ["to-b"]
+    assert got_a == ["to-a"]
+
+
+def test_latency_applied():
+    loop = EventLoop()
+    link = Link(loop, FixedLatency(0.25))
+    a, b = link.ends
+    times = []
+    b.set_receiver(lambda m: times.append(loop.now))
+    a.send("x")
+    loop.run()
+    assert times == [0.25]
+
+
+def test_fifo_order_fixed_latency():
+    loop = EventLoop()
+    link = Link(loop, FixedLatency(0.05))
+    a, b = link.ends
+    got = collect(b)
+    for i in range(20):
+        a.send(i)
+    loop.run()
+    assert got == list(range(20))
+
+
+def test_fifo_order_preserved_under_jitter():
+    loop = EventLoop(seed=3)
+    link = Link(loop, UniformLatency(0.01, 0.5))
+    a, b = link.ends
+    got = collect(b)
+    for i in range(200):
+        a.send(i)
+    loop.run()
+    assert got == list(range(200))
+
+
+def test_fifo_horizons_are_per_direction():
+    loop = EventLoop(seed=3)
+    link = Link(loop, UniformLatency(0.01, 0.5))
+    a, b = link.ends
+    got_a, got_b = collect(a), collect(b)
+    for i in range(50):
+        a.send(("ab", i))
+        b.send(("ba", i))
+    loop.run()
+    assert got_b == [("ab", i) for i in range(50)]
+    assert got_a == [("ba", i) for i in range(50)]
+
+
+def test_torn_down_link_drops_messages():
+    loop = EventLoop()
+    link = Link(loop, FixedLatency(0.1))
+    a, b = link.ends
+    got = collect(b)
+    a.send("in-flight")
+    link.tear_down()
+    a.send("after")
+    loop.run()
+    assert got == []
+
+
+def test_node_zero_cost_runs_in_order():
+    loop = EventLoop()
+    node = Node(loop, cost=0.0)
+    out = []
+    node.enqueue(out.append, 1)
+    node.enqueue(out.append, 2)
+    loop.run()
+    assert out == [1, 2]
+
+
+def test_node_cost_serializes_stimuli():
+    loop = EventLoop()
+    node = Node(loop, cost=0.02)
+    times = []
+    for _ in range(3):
+        node.enqueue(lambda: times.append(loop.now))
+    loop.run()
+    assert times == [0.02, 0.04, 0.06]
+
+
+def test_node_cost_applies_after_idle_gap():
+    loop = EventLoop()
+    node = Node(loop, cost=0.02)
+    times = []
+    node.enqueue(lambda: times.append(loop.now))
+    loop.run()
+    loop.schedule_at(1.0, node.enqueue, lambda: times.append(loop.now))
+    loop.run()
+    assert times == [0.02, 1.02]
+
+
+def test_node_handler_exception_does_not_wedge_queue():
+    loop = EventLoop()
+    node = Node(loop, cost=0.0)
+    out = []
+
+    def boom():
+        raise RuntimeError("kaboom")
+
+    node.enqueue(boom)
+    node.enqueue(out.append, "after")
+    try:
+        loop.run()
+    except RuntimeError:
+        loop.run()
+    assert out == ["after"]
+
+
+def test_node_timer_enqueues_stimulus():
+    loop = EventLoop()
+    node = Node(loop, cost=0.01)
+    times = []
+    node.set_timer(0.5, lambda: times.append(loop.now))
+    loop.run()
+    assert times == [0.51]
+
+
+def test_node_timer_cancel():
+    loop = EventLoop()
+    node = Node(loop, cost=0.0)
+    out = []
+    timer = node.set_timer(0.5, out.append, "x")
+    timer.cancel()
+    loop.run()
+    assert out == []
+
+
+def test_node_handled_counter():
+    loop = EventLoop()
+    node = Node(loop, cost=0.0)
+    node.enqueue(lambda: None)
+    node.enqueue(lambda: None)
+    loop.run()
+    assert node.handled == 2
+    assert node.idle

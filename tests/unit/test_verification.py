@@ -1,0 +1,195 @@
+"""Unit tests for the model checker: kernel, properties, and the twelve
+path models (small bounds, so the sweep stays fast in CI)."""
+
+import pytest
+
+from repro.verification import (EndpointProcess, ExplosionError, PATH_TYPES,
+                                QueueDef, SystemModel, all_models,
+                                blowup_table, build_model,
+                                check_recurrence, check_safety,
+                                check_stability, explore, find_cycle_with,
+                                verify_all, verify_model)
+from repro.verification.kernel import ProcessModel
+
+
+# ----------------------------------------------------------------------
+# kernel basics on a toy model
+# ----------------------------------------------------------------------
+class PingPong(ProcessModel):
+    """Sends 'ping' then waits for 'pong', k times."""
+
+    def __init__(self, out, rounds):
+        self.out = out
+        self.rounds = rounds
+        self.name = "pingpong"
+
+    def initial(self):
+        return ("idle", self.rounds)
+
+    def receive(self, local, qi, msg):
+        mode, k = local
+        return [(("idle", k), [])]
+
+    def internal_actions(self, local):
+        mode, k = local
+        if k > 0:
+            return [((mode, k - 1), [(self.out, ("ping",))])]
+        return []
+
+
+class Sink(ProcessModel):
+    name = "sink"
+
+    def initial(self):
+        return ("sink",)
+
+    def receive(self, local, qi, msg):
+        return [(local, [])]
+
+
+def test_kernel_explores_toy_model():
+    model = SystemModel("toy", [PingPong(0, 2), Sink()],
+                        [QueueDef("q", receiver=1, capacity=1)])
+    graph = explore(model)
+    # (2,[]), (1,[ping]), (1,[]), (0,[ping]), (0,[]) — five states
+    assert graph.state_count == 5
+    assert graph.terminal_ids()
+
+
+def test_bounded_queue_blocks_sends():
+    model = SystemModel("toy", [PingPong(0, 5), Sink()],
+                        [QueueDef("q", receiver=1, capacity=1)])
+    graph = explore(model)
+    for state in graph.states:
+        assert len(state.queues[0]) <= 1
+
+
+def test_explosion_bound():
+    model = build_model("OO", True)
+    with pytest.raises(ExplosionError):
+        explore(model.system, max_states=50)
+
+
+def test_truncation_marks_graph():
+    model = build_model("OO", True)
+    graph = explore(model.system, max_states=50, on_truncate="mark")
+    assert graph.truncated
+
+
+# ----------------------------------------------------------------------
+# cycle query on hand-built graphs
+# ----------------------------------------------------------------------
+class FakeGraph:
+    def __init__(self, states, successors):
+        self.states = states
+        self.successors = successors
+        self.state_count = len(states)
+
+
+def test_find_cycle_simple_loop():
+    # 0 -> 1 -> 2 -> 1 (cycle {1,2}), state values are labels
+    g = FakeGraph(["a", "b", "c"], [[1], [2], [1]])
+    hit = find_cycle_with(g, within=lambda s: True,
+                          witness=lambda s: s == "c")
+    assert hit == 2
+    assert find_cycle_with(g, within=lambda s: True,
+                           witness=lambda s: s == "a") is None
+
+
+def test_terminal_counts_as_stutter_cycle():
+    g = FakeGraph(["a", "end"], [[1], []])
+    hit = find_cycle_with(g, within=lambda s: True,
+                          witness=lambda s: s == "end")
+    assert hit == 1
+
+
+def test_cycle_must_lie_within_subgraph():
+    # cycle {1,2}; restrict to states != "b" -> no cycle remains
+    g = FakeGraph(["a", "b", "c"], [[1], [2], [1]])
+    assert find_cycle_with(g, within=lambda s: s != "b",
+                           witness=lambda s: True) is None
+
+
+def test_self_loop_detected():
+    g = FakeGraph(["a"], [[0]])
+    assert find_cycle_with(g, within=lambda s: True,
+                           witness=lambda s: True) == 0
+
+
+# ----------------------------------------------------------------------
+# the twelve models (E6)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("path_type", sorted(PATH_TYPES))
+@pytest.mark.parametrize("with_link", [False, True],
+                         ids=["plain", "flowlink"])
+def test_path_model_passes_safety_and_spec(path_type, with_link):
+    model = build_model(path_type, with_link)
+    result = verify_model(model, max_states=300_000)
+    assert result.safety_ok, "safety failed for %s" % result.key
+    assert result.property_ok, "spec failed for %s" % result.key
+    assert not result.truncated
+
+
+def test_flowlink_blowup_direction(  ):
+    """E7 (shape): one flowlink inflates every path type's state space
+    and checking time — the Sec. VIII-A observation."""
+    results = verify_all(max_states=300_000)
+    table = blowup_table(results)
+    assert set(table) == set(PATH_TYPES)
+    for key, factors in table.items():
+        assert factors["states_factor"] > 3.0, key
+        assert factors["memory_factor"] > 3.0, key
+
+
+def test_specs_are_not_vacuous_flowing():
+    """The OO model really reaches bothFlowing somewhere (the
+    recurrence check would pass vacuously on a model that never
+    flows)."""
+    from repro.verification import both_flowing
+    model = build_model("OO", False)
+    graph = explore(model.system, max_states=300_000)
+    flowing = [s for s in graph.states
+               if both_flowing(s.procs[model.left_index],
+                               s.procs[model.right_index])]
+    assert flowing
+
+
+def test_specs_are_not_vacuous_closed():
+    from repro.verification import both_closed
+    model = build_model("CC", False)
+    graph = explore(model.system, max_states=300_000)
+    closed = [s for s in graph.states
+              if both_closed(s.procs[model.left_index],
+                             s.procs[model.right_index])]
+    assert closed
+
+
+def test_wrong_property_fails():
+    """Cross-check the checker itself: CO must NOT satisfy
+    ◇□bothClosed (the openslot keeps pushing), and CC must not satisfy
+    □◇bothFlowing."""
+    from repro.verification import both_closed, both_flowing
+    co = build_model("CO", False)
+    g = explore(co.system, max_states=300_000)
+    left = lambda s: s.procs[co.left_index]
+    right = lambda s: s.procs[co.right_index]
+    violation = check_stability(
+        g, lambda s: both_closed(left(s), right(s)))
+    assert violation is not None
+    cc = build_model("CC", False)
+    g2 = explore(cc.system, max_states=300_000)
+    violation2 = check_recurrence(
+        g2, lambda s: both_flowing(s.procs[cc.left_index],
+                                   s.procs[cc.right_index]))
+    assert violation2 is not None
+
+
+def test_race_handling_reachable_in_oo():
+    """Both endpoints opening concurrently is reachable and resolved
+    (no ModelError raised anywhere during full exploration)."""
+    model = build_model("OO", False)
+    graph = explore(model.system, max_states=300_000)
+    both_opening = [s for s in graph.states
+                    if s.procs[0].slot == "opening"
+                    and s.procs[1].slot == "opening"]
+    assert both_opening
