@@ -18,7 +18,8 @@ from repro.verification import PATH_TYPES, build_model, verify_model
 
 
 @pytest.mark.parametrize("path_type", sorted(PATH_TYPES))
-def test_two_flowlink_path_verifies(benchmark, reproduce, path_type):
+def test_two_flowlink_path_verifies(benchmark, reproduce, perf_row,
+                                    path_type):
     model = build_model(path_type, flowlinks=2)
     result = benchmark.pedantic(verify_model, args=(model,),
                                 kwargs={"max_states": 3_000_000},
@@ -28,6 +29,8 @@ def test_two_flowlink_path_verifies(benchmark, reproduce, path_type):
     assert result.safety_ok
     assert result.property_ok
     assert not result.truncated
+    perf_row(result.key, result.states, result.transitions,
+             result.elapsed, config="twolink")
 
 
 def test_second_flowlink_growth_factor(benchmark, reproduce):

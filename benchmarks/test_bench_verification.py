@@ -14,7 +14,7 @@ from repro.verification import (PATH_TYPES, build_model, format_results,
 
 
 @pytest.mark.parametrize("path_type", sorted(PATH_TYPES))
-def test_verify_plain_path(benchmark, reproduce, path_type):
+def test_verify_plain_path(benchmark, reproduce, perf_row, path_type):
     model = build_model(path_type, with_flowlink=False)
     result = benchmark.pedantic(verify_model, args=(model,),
                                 rounds=1, iterations=1)
@@ -22,10 +22,12 @@ def test_verify_plain_path(benchmark, reproduce, path_type):
               "pass", "pass" if result.ok else "FAIL")
     assert result.ok
     benchmark.extra_info["states"] = result.states
+    perf_row(result.key, result.states, result.transitions,
+             result.elapsed, config="small")
 
 
 @pytest.mark.parametrize("path_type", sorted(PATH_TYPES))
-def test_verify_flowlink_path(benchmark, reproduce, path_type):
+def test_verify_flowlink_path(benchmark, reproduce, perf_row, path_type):
     model = build_model(path_type, with_flowlink=True)
     result = benchmark.pedantic(verify_model, args=(model,),
                                 rounds=1, iterations=1)
@@ -33,6 +35,8 @@ def test_verify_flowlink_path(benchmark, reproduce, path_type):
               "pass", "pass" if result.ok else "FAIL")
     assert result.ok
     benchmark.extra_info["states"] = result.states
+    perf_row(result.key, result.states, result.transitions,
+             result.elapsed, config="small")
 
 
 def test_full_sweep_table(benchmark, reproduce, capsys):
@@ -43,3 +47,14 @@ def test_full_sweep_table(benchmark, reproduce, capsys):
     assert all(r.ok for r in results)
     reproduce("Sec. VIII-A sweep", "12/12 models pass", "12/12",
               "%d/12" % sum(r.ok for r in results))
+
+
+def test_parallel_sweep_matches_serial(benchmark, reproduce):
+    """The multiprocessing sweep driver returns the same verdicts and
+    state counts as the serial sweep, in the same order."""
+    serial = verify_all()
+    results = benchmark.pedantic(verify_all, kwargs={"parallel": True},
+                                 rounds=1, iterations=1)
+    assert [(r.key, r.states, r.transitions, r.ok) for r in results] \
+        == [(r.key, r.states, r.transitions, r.ok) for r in serial]
+    reproduce("parallel sweep", "matches serial", "yes", "yes")

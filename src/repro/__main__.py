@@ -38,13 +38,23 @@ def run_latency() -> None:
           % ("SIP: bundled changes", bundled))
 
 
-def run_verify(rich: bool, two: bool) -> None:
-    from .verification import (blowup_table, build_model, format_results,
-                               verify_all, verify_model, PATH_TYPES)
-    print("== verification (Sec. VIII-A) ==")
+def run_verify(rich: bool, two: bool, parallel: bool = False,
+               jobs=None, max_states=None) -> None:
+    from .verification import (blowup_table, format_results, sweep,
+                               verify_all)
+    print("== verification (Sec. VIII-A%s) =="
+          % (", parallel sweep" if parallel else ""))
     kwargs = dict(phase1_budget=2, modify_budget=2, queue_capacity=8,
                   max_versions=4, max_states=5_000_000) if rich else {}
-    results = verify_all(**kwargs)
+    if max_states is not None:
+        kwargs["max_states"] = max_states
+    # An explicit --max-states is a smoke sweep: route it through the
+    # sweep driver so over-budget models come back truncated (marked in
+    # the table) instead of raising.
+    use_sweep = parallel or max_states is not None
+    processes = jobs if parallel else 1
+    results = verify_all(parallel=use_sweep, processes=processes,
+                         **kwargs)
     print(format_results(results))
     print("\nflowlink blow-up factors:")
     for key, f in sorted(blowup_table(results).items()):
@@ -52,13 +62,14 @@ def run_verify(rich: bool, two: bool) -> None:
               % (key, f["memory_factor"], f["time_factor"]))
     if two:
         print("\ntwo-flowlink extension (infeasible for the paper):")
-        for path_type in sorted(PATH_TYPES):
-            r = verify_model(build_model(path_type, flowlinks=2),
-                             max_states=3_000_000)
-            print("    %-12s states=%7d  safety=%s spec=%s"
+        for r in sweep(flowlink_counts=(2,),
+                       max_states=max_states or 3_000_000,
+                       processes=jobs if parallel else 1):
+            print("    %-12s states=%7d  safety=%s spec=%s%s"
                   % (r.key, r.states,
                      "pass" if r.safety_ok else "FAIL",
-                     "pass" if r.property_ok else "FAIL"))
+                     "pass" if r.property_ok else "FAIL",
+                     "  (truncated)" if r.truncated else ""))
 
 
 def run_scenario() -> None:
@@ -96,12 +107,21 @@ def main(argv=None) -> int:
                         help="bigger verification budgets")
     parser.add_argument("--two", action="store_true",
                         help="include the two-flowlink extension")
+    parser.add_argument("--parallel", action="store_true",
+                        help="fan the verification sweep across cores")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker count for --parallel "
+                             "(default: one per core)")
+    parser.add_argument("--max-states", type=int, default=None,
+                        metavar="N",
+                        help="per-model state bound (smoke sweeps)")
     args = parser.parse_args(argv)
     if args.command in ("latency", "all"):
         run_latency()
         print()
     if args.command in ("verify", "all"):
-        run_verify(args.rich, args.two)
+        run_verify(args.rich, args.two, parallel=args.parallel,
+                   jobs=args.jobs, max_states=args.max_states)
         print()
     if args.command in ("scenario", "all"):
         run_scenario()

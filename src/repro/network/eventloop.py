@@ -36,23 +36,33 @@ class Event:
 
     Instances are returned by :meth:`EventLoop.schedule` and can be
     cancelled.  A cancelled event stays in the heap but is skipped when it
-    reaches the front; this is the standard lazy-deletion scheme.
+    reaches the front; this is the standard lazy-deletion scheme.  The
+    owning loop keeps a live-event counter so that cancellation — and the
+    loop's quiescence checks — stay O(1) instead of rescanning the heap.
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled",
+                 "_loop")
 
     def __init__(self, time: float, priority: int, seq: int,
-                 callback: Callable[..., Any], args: Tuple[Any, ...]):
+                 callback: Callable[..., Any], args: Tuple[Any, ...],
+                 loop: Optional["EventLoop"] = None):
         self.time = time
         self.priority = priority
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._loop = loop
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            loop = self._loop
+            if loop is not None:
+                self._loop = None
+                loop._live -= 1
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.priority, self.seq) < (
@@ -81,6 +91,10 @@ class EventLoop:
         self._seq = itertools.count()
         self._now = 0.0
         self._running = False
+        #: Live (scheduled, not yet executed or cancelled) events.
+        #: Maintained by schedule/cancel/execute so quiescence checks
+        #: never rescan the heap.
+        self._live = 0
         self.rng = random.Random(seed)
         #: Number of events executed so far (observability / budgets).
         self.executed = 0
@@ -105,8 +119,9 @@ class EventLoop:
             raise ValueError("cannot schedule an event in the past "
                              "(delay=%r)" % (delay,))
         event = Event(self._now + delay, priority, next(self._seq),
-                      callback, args)
+                      callback, args, loop=self)
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def schedule_at(self, when: float, callback: Callable[..., Any],
@@ -123,8 +138,18 @@ class EventLoop:
     # execution
     # ------------------------------------------------------------------
     def pending(self) -> int:
-        """Number of live (non-cancelled) events in the heap."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of live (non-cancelled) events in the heap.  O(1):
+        reads the counter maintained by schedule/cancel/execute."""
+        return self._live
+
+    def _execute(self, event: Event) -> None:
+        """Run one popped, live event (detaching it from the counter
+        first, so a post-hoc ``cancel()`` cannot double-count)."""
+        event._loop = None
+        self._live -= 1
+        self._now = event.time
+        self.executed += 1
+        event.callback(*event.args)
 
     def step(self) -> bool:
         """Execute the single next event.
@@ -135,9 +160,7 @@ class EventLoop:
             event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
-            self._now = event.time
-            self.executed += 1
-            event.callback(*event.args)
+            self._execute(event)
             return True
         return False
 
@@ -159,10 +182,8 @@ class EventLoop:
             if max_events is not None and executed >= max_events:
                 break
             heapq.heappop(self._heap)
-            self._now = event.time
-            self.executed += 1
             executed += 1
-            event.callback(*event.args)
+            self._execute(event)
         else:
             if until is not None and until > self._now:
                 self._now = until
@@ -177,7 +198,7 @@ class EventLoop:
         was not stopped).
         """
         executed = self.run(max_events=max_events)
-        if self._heap and any(not e.cancelled for e in self._heap):
+        if self._live:
             raise QuiescenceError(
                 "system did not quiesce within %d events; %d still pending"
                 % (max_events, self.pending()))

@@ -1,10 +1,12 @@
 """From-scratch explicit-state model checker reproducing Sec. VIII."""
 
+from .engine import InternedEngine
 from .explorer import ExplosionError, StateGraph, explore
 from .kernel import (LocalState, Message, ModelError, Outcome,
                      ProcessModel, QueueDef, SystemModel, SystemState)
-from .models import (PATH_TYPES, PathModel, all_models, both_closed,
-                     both_flowing, build_model, valid_endstate)
+from .models import (PATH_TYPES, PathModel, all_model_specs, all_models,
+                     both_closed, both_flowing, build_model,
+                     valid_endstate)
 from .processes import (EndpointProcess, EndpointState, FlowlinkProcess,
                         FlowlinkState)
 from .properties import (SafetyViolation, check_disjunction,
@@ -12,13 +14,16 @@ from .properties import (SafetyViolation, check_disjunction,
                          find_cycle_with)
 from .report import (VerificationResult, blowup_table, format_results,
                      verify_all, verify_model)
+from .sweep import SweepJob, default_jobs, run_jobs, sweep
 
 __all__ = [
+    "InternedEngine",
     "ExplosionError", "StateGraph", "explore",
     "LocalState", "Message", "ModelError", "Outcome", "ProcessModel",
     "QueueDef", "SystemModel", "SystemState",
-    "PATH_TYPES", "PathModel", "all_models", "both_closed",
-    "both_flowing", "build_model", "valid_endstate",
+    "PATH_TYPES", "PathModel", "all_model_specs", "all_models",
+    "both_closed", "both_flowing", "build_model", "valid_endstate",
+    "SweepJob", "default_jobs", "run_jobs", "sweep",
     "EndpointProcess", "EndpointState", "FlowlinkProcess",
     "FlowlinkState",
     "SafetyViolation", "check_disjunction", "check_recurrence",

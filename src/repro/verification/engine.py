@@ -1,0 +1,272 @@
+"""High-throughput successor engine: interning + memoization.
+
+The naive kernel (:meth:`repro.verification.kernel.SystemModel.successors`)
+pays for every transition with nested-tuple hashing and a deep copy of
+every queue.  This module removes that overhead with three ideas, none
+of which change the semantics:
+
+* **State interning.**  Each process-local state is interned to a small
+  integer in a per-process-slot table, and each queue content (a tuple
+  of messages) to a small integer in a per-queue-slot table.  A global
+  state becomes a flat tuple of ints — ``(l_0 .. l_{np-1}, q_0 ..
+  q_{nq-1})`` — whose hash/eq cost is a handful of machine words
+  instead of a walk over nested tuples.  The visited set stores these
+  int tuples only.
+
+* **Transition memoization.**  ``receive(local, qi, msg)`` and
+  ``internal_actions(local)`` are *pure* functions of their arguments
+  (the :class:`~repro.verification.kernel.ProcessModel` contract), so
+  their outcomes are cached keyed on interned ids.  Local-state domains
+  are tiny while the global product is huge, so hit rates are
+  enormous: each distinct ``(local, queue, message)`` triple is
+  evaluated once per exploration no matter how many million global
+  states share it.
+
+* **Copy-light application.**  Applying an outcome copies the flat int
+  tuple once and rewrites only the slots that changed (the acting
+  process, the consumed queue, the sent-to queues).  Queue pops and
+  pushes are themselves memoized per queue slot (``pop: cid -> (msg,
+  cid')``; ``push: (cid, msg) -> cid' | blocked``), so steady-state
+  exploration does no tuple surgery at all.
+
+The engine produces exactly the successor order of the reference
+kernel (receives in queue-index order, then internal actions in
+process-index order, outcomes in the order the process returns them),
+so state ids, state counts, and transition counts are identical to the
+seed implementation's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .kernel import LocalState, Message, SystemModel, SystemState
+
+__all__ = ["InternedEngine"]
+
+#: ``push`` memo value meaning "send blocked: queue at capacity".
+_BLOCKED = -1
+
+
+class InternedEngine:
+    """Interned-state successor generator for one :class:`SystemModel`.
+
+    All intern tables and memo caches live on the instance, so one
+    engine per exploration keeps memory bounded by the model's local
+    state diversity (tiny) rather than its global product (huge).
+    """
+
+    def __init__(self, model: SystemModel):
+        self.model = model
+        processes = list(model.processes)
+        self._processes = processes
+        self._np = len(processes)
+        self._nq = len(model.queues)
+        self._prange = tuple(range(self._np))
+        self._qrange = tuple(range(self._nq))
+        self._receiver = [q.receiver for q in model.queues]
+        self._capacity = [q.capacity for q in model.queues]
+
+        # message interning (shared across all queues)
+        self._msg_ids: Dict[Message, int] = {}
+        self._msgs: List[Message] = []
+
+        # per-process-slot local-state tables and memo caches
+        self._loc_ids: List[Dict[LocalState, int]] = [
+            {} for _ in processes]
+        self._locs: List[List[LocalState]] = [[] for _ in processes]
+        self._can_recv: List[List[bool]] = [[] for _ in processes]
+        #: lid -> encoded internal outcomes (None = not yet computed)
+        self._imemo: List[List[Optional[tuple]]] = [[] for _ in processes]
+        #: (lid, qi, mid) -> encoded receive outcomes
+        self._rmemo: List[Dict[tuple, tuple]] = [{} for _ in processes]
+
+        # per-queue-slot content tables (id 0 is always the empty queue)
+        self._q_ids: List[Dict[tuple, int]] = [
+            {(): 0} for _ in model.queues]
+        self._q_contents: List[List[tuple]] = [[()] for _ in model.queues]
+        #: cid -> decoded tuple of raw messages (for SystemState views)
+        self._q_decoded: List[List[tuple]] = [[()] for _ in model.queues]
+        #: cid -> (head mid, tail cid)
+        self._pop_memo: List[Dict[int, Tuple[int, int]]] = [
+            {} for _ in model.queues]
+        #: (cid, mid) -> new cid, or _BLOCKED when the push overflows
+        self._push_memo: List[Dict[Tuple[int, int], int]] = [
+            {} for _ in model.queues]
+
+    # ------------------------------------------------------------------
+    # interning
+    # ------------------------------------------------------------------
+    def _intern_local(self, pi: int, local: LocalState) -> int:
+        ids = self._loc_ids[pi]
+        lid = ids.get(local)
+        if lid is None:
+            lid = len(ids)
+            ids[local] = lid
+            self._locs[pi].append(local)
+            self._can_recv[pi].append(
+                self._processes[pi].can_receive(local))
+            self._imemo[pi].append(None)
+        return lid
+
+    def _intern_msg(self, msg: Message) -> int:
+        ids = self._msg_ids
+        mid = ids.get(msg)
+        if mid is None:
+            mid = len(ids)
+            ids[msg] = mid
+            self._msgs.append(msg)
+        return mid
+
+    def _intern_qcontent(self, qi: int, content: tuple) -> int:
+        ids = self._q_ids[qi]
+        cid = ids.get(content)
+        if cid is None:
+            cid = len(ids)
+            ids[content] = cid
+            self._q_contents[qi].append(content)
+            msgs = self._msgs
+            self._q_decoded[qi].append(
+                tuple(msgs[mid] for mid in content))
+        return cid
+
+    def _encode_outcomes(self, pi: int, outcomes) -> tuple:
+        """Encode raw ``(new_local, [(qi, msg), ...])`` outcomes into
+        interned ``(new_lid, ((qi, mid), ...))`` form."""
+        intern_local = self._intern_local
+        intern_msg = self._intern_msg
+        return tuple(
+            (intern_local(pi, new_local),
+             tuple((qi, intern_msg(msg)) for qi, msg in sends))
+            for new_local, sends in outcomes)
+
+    # ------------------------------------------------------------------
+    # the packed-state interface
+    # ------------------------------------------------------------------
+    def initial_key(self) -> tuple:
+        """The interned initial global state."""
+        locals_part = tuple(
+            self._intern_local(pi, p.initial())
+            for pi, p in enumerate(self._processes))
+        return locals_part + (0,) * self._nq
+
+    def decode(self, key: tuple) -> SystemState:
+        """Materialize a packed key back into a :class:`SystemState`."""
+        np_ = self._np
+        locs = self._locs
+        q_decoded = self._q_decoded
+        return SystemState(
+            tuple(locs[i][key[i]] for i in self._prange),
+            tuple(q_decoded[i][key[np_ + i]] for i in self._qrange))
+
+    def decode_local(self, key: tuple, pi: int) -> LocalState:
+        """The raw local state of process ``pi`` in packed ``key``."""
+        return self._locs[pi][key[pi]]
+
+    def expand(self, key: tuple) -> List[tuple]:
+        """All successor keys of ``key``, in reference-kernel order
+        (may contain duplicates; callers dedup per source state)."""
+        np_ = self._np
+        out: List[tuple] = []
+        receiver = self._receiver
+        can_recv = self._can_recv
+        pop_memo = self._pop_memo
+        q_contents = self._q_contents
+        rmemo = self._rmemo
+        imemo = self._imemo
+        locs = self._locs
+        msgs = self._msgs
+        processes = self._processes
+        apply_ = self._apply
+
+        # receives, in queue-index order
+        for qi in self._qrange:
+            cid = key[np_ + qi]
+            if not cid:
+                continue
+            pi = receiver[qi]
+            lid = key[pi]
+            if not can_recv[pi][lid]:
+                continue
+            pm = pop_memo[qi]
+            popped = pm.get(cid)
+            if popped is None:
+                content = q_contents[qi][cid]
+                popped = (content[0],
+                          self._intern_qcontent(qi, content[1:]))
+                pm[cid] = popped
+            mid, tail_cid = popped
+            rm = rmemo[pi]
+            rkey = (lid, qi, mid)
+            outcomes = rm.get(rkey)
+            if outcomes is None:
+                outcomes = self._encode_outcomes(
+                    pi, processes[pi].receive(locs[pi][lid], qi,
+                                              msgs[mid]))
+                rm[rkey] = outcomes
+            for new_lid, sends in outcomes:
+                nkey = apply_(key, pi, new_lid, qi, tail_cid, sends)
+                if nkey is not None:
+                    out.append(nkey)
+
+        # internal actions, in process-index order
+        for pi in self._prange:
+            lid = key[pi]
+            acts = imemo[pi][lid]
+            if acts is None:
+                acts = self._encode_outcomes(
+                    pi, processes[pi].internal_actions(locs[pi][lid]))
+                imemo[pi][lid] = acts
+            for new_lid, sends in acts:
+                nkey = apply_(key, pi, new_lid, -1, 0, sends)
+                if nkey is not None:
+                    out.append(nkey)
+        return out
+
+    def _apply(self, key: tuple, pi: int, new_lid: int, cqi: int,
+               tail_cid: int, sends: tuple) -> Optional[tuple]:
+        """Copy-light outcome application: rewrite only the changed
+        slots of the flat key.  Returns ``None`` when a send blocks
+        (bounded queue at capacity — Promela semantics)."""
+        np_ = self._np
+        lst = list(key)
+        lst[pi] = new_lid
+        if cqi >= 0:
+            lst[np_ + cqi] = tail_cid
+        if sends:
+            push_memo = self._push_memo
+            q_contents = self._q_contents
+            capacity = self._capacity
+            for qi, mid in sends:
+                slot = np_ + qi
+                cid = lst[slot]
+                pm = push_memo[qi]
+                ncid = pm.get((cid, mid))
+                if ncid is None:
+                    content = q_contents[qi][cid]
+                    if len(content) >= capacity[qi]:
+                        ncid = _BLOCKED
+                    else:
+                        ncid = self._intern_qcontent(
+                            qi, content + (mid,))
+                    pm[(cid, mid)] = ncid
+                if ncid < 0:
+                    return None
+                lst[slot] = ncid
+        return tuple(lst)
+
+    # ------------------------------------------------------------------
+    # observability (used by tests and BENCH reporting)
+    # ------------------------------------------------------------------
+    def cache_stats(self) -> Dict[str, int]:
+        """Sizes of the intern tables and memo caches."""
+        return {
+            "messages": len(self._msgs),
+            "local_states": sum(len(t) for t in self._locs),
+            "queue_contents": sum(len(t) for t in self._q_contents),
+            "receive_entries": sum(len(m) for m in self._rmemo),
+            "internal_entries": sum(
+                1 for per in self._imemo for e in per if e is not None),
+            "pop_entries": sum(len(m) for m in self._pop_memo),
+            "push_entries": sum(len(m) for m in self._push_memo),
+        }

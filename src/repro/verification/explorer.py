@@ -4,15 +4,23 @@ Builds the full reachable graph of a :class:`SystemModel` (states,
 transitions, terminal states) up to a configurable bound, collecting the
 statistics the Sec. VIII-A experiments report (states, transitions,
 wall time, and a memory proxy).
+
+The exploration runs on the interned engine
+(:class:`repro.verification.engine.InternedEngine`): the visited set
+and the BFS frontier hold flat int tuples, adjacency is stored as one
+flat ``array('I')`` plus an offsets index, and full
+:class:`SystemState` objects are materialized lazily — only when a
+property check or a test actually looks at ``graph.states[i]``.
 """
 
 from __future__ import annotations
 
 import time
+from array import array
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence
 
+from .engine import InternedEngine
 from .kernel import SystemModel, SystemState
 
 __all__ = ["StateGraph", "explore", "ExplosionError"]
@@ -22,24 +30,117 @@ class ExplosionError(RuntimeError):
     """The state space exceeded the exploration bound."""
 
 
-@dataclass
-class StateGraph:
-    """The reachable state graph of one model."""
+class _StateSeq(Sequence):
+    """Lazy, read-only view of a graph's states: packed int tuples are
+    decoded into :class:`SystemState` objects on access."""
 
-    model: SystemModel
-    states: List[SystemState] = field(default_factory=list)
-    #: adjacency: successors[i] = ids of successor states of state i.
-    successors: List[List[int]] = field(default_factory=list)
-    elapsed: float = 0.0
-    truncated: bool = False
+    __slots__ = ("_packed", "_decode")
+
+    def __init__(self, packed: List[tuple], engine: InternedEngine):
+        self._packed = packed
+        self._decode = engine.decode
+
+    def __len__(self) -> int:
+        return len(self._packed)
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            decode = self._decode
+            return [decode(k) for k in self._packed[i]]
+        return self._decode(self._packed[i])
+
+    def __iter__(self) -> Iterator[SystemState]:
+        decode = self._decode
+        for key in self._packed:
+            yield decode(key)
+
+
+class _AdjacencySeq(Sequence):
+    """Ragged adjacency view over the flat edge array: ``seq[i]`` is
+    the (zero-copy) slice of successor ids of state ``i``."""
+
+    __slots__ = ("_offsets", "_mv")
+
+    def __init__(self, adjacency: array, offsets: array):
+        self._offsets = offsets
+        self._mv = memoryview(adjacency)
+
+    def __len__(self) -> int:
+        return len(self._offsets) - 1
+
+    def __getitem__(self, i):
+        offsets = self._offsets
+        n = len(offsets) - 1
+        if isinstance(i, slice):
+            return [self[j] for j in range(*i.indices(n))]
+        if i < 0:
+            i += n
+        if not 0 <= i < n:
+            raise IndexError(i)
+        return self._mv[offsets[i]:offsets[i + 1]]
+
+    def __iter__(self):
+        mv = self._mv
+        offsets = self._offsets
+        for i in range(len(offsets) - 1):
+            yield mv[offsets[i]:offsets[i + 1]]
+
+
+class StateGraph:
+    """The reachable state graph of one model, in interned storage.
+
+    ``states`` and ``successors`` present the same sequence interfaces
+    as the historical list-of-states / list-of-lists fields, but the
+    backing store is compact: packed int tuples for states and a flat
+    ``array('I')`` with an offsets index for adjacency.
+    """
+
+    __slots__ = ("model", "engine", "packed", "_adj", "_offsets",
+                 "elapsed", "truncated", "_state_seq", "_succ_seq")
+
+    def __init__(self, model: SystemModel,
+                 engine: Optional[InternedEngine] = None):
+        self.model = model
+        self.engine = engine if engine is not None \
+            else InternedEngine(model)
+        #: packed states, id order (the canonical state store)
+        self.packed: List[tuple] = []
+        #: flat adjacency + offsets: successors of state i are
+        #: ``_adj[_offsets[i]:_offsets[i+1]]``
+        self._adj = array("I")
+        self._offsets = array("I", [0])
+        self.elapsed = 0.0
+        self.truncated = False
+        self._state_seq: Optional[_StateSeq] = None
+        self._succ_seq: Optional[_AdjacencySeq] = None
+
+    # -- views -------------------------------------------------------------
+    @property
+    def states(self) -> _StateSeq:
+        seq = self._state_seq
+        if seq is None:
+            seq = self._state_seq = _StateSeq(self.packed, self.engine)
+        return seq
 
     @property
+    def successors(self) -> _AdjacencySeq:
+        # NOTE: materializing this view pins the adjacency array (a
+        # memoryview export), so it is only created after exploration
+        # has finished appending edges.
+        seq = self._succ_seq
+        if seq is None:
+            seq = self._succ_seq = _AdjacencySeq(self._adj,
+                                                 self._offsets)
+        return seq
+
+    # -- statistics --------------------------------------------------------
+    @property
     def state_count(self) -> int:
-        return len(self.states)
+        return len(self.packed)
 
     @property
     def transition_count(self) -> int:
-        return sum(len(s) for s in self.successors)
+        return len(self._adj)
 
     @property
     def memory_proxy(self) -> int:
@@ -49,7 +150,9 @@ class StateGraph:
 
     def terminal_ids(self) -> List[int]:
         """States with no successors (Promela's "final states")."""
-        return [i for i, succ in enumerate(self.successors) if not succ]
+        offsets = self._offsets
+        return [i for i in range(len(offsets) - 1)
+                if offsets[i] == offsets[i + 1]]
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return "<StateGraph %s states=%d transitions=%d%s>" % (
@@ -58,45 +161,78 @@ class StateGraph:
 
 
 def explore(model: SystemModel, max_states: int = 2_000_000,
-            on_truncate: str = "raise") -> StateGraph:
+            on_truncate: str = "raise",
+            max_seconds: Optional[float] = None) -> StateGraph:
     """BFS-reach the whole state space of ``model``.
 
     ``on_truncate`` is ``"raise"`` (default) or ``"mark"`` — marking
     yields a partial graph with ``truncated=True``, which property
     checks refuse to certify but benchmarks can still time.
+
+    The ``max_states`` bound is enforced at intern time: a graph
+    explored with ``on_truncate="mark"`` never stores more than
+    ``max_states`` states (the historical dequeue-time check could
+    overshoot by a whole BFS level).  ``max_seconds``, if given, is a
+    wall-clock budget checked periodically; exceeding it truncates the
+    same way — this is what gives the parallel sweep driver per-model
+    timeouts.
     """
     start = time.perf_counter()
-    graph = StateGraph(model)
-    index: Dict[SystemState, int] = {}
-
-    def intern(state: SystemState) -> int:
-        sid = index.get(state)
-        if sid is None:
-            sid = len(graph.states)
-            index[state] = sid
-            graph.states.append(state)
-            graph.successors.append([])
-            queue.append(sid)
-        return sid
-
+    engine = InternedEngine(model)
+    graph = StateGraph(model, engine)
+    packed = graph.packed
+    adjacency = graph._adj
+    offsets = graph._offsets
+    index: Dict[tuple, int] = {}
+    expand = engine.expand
+    add_edge = adjacency.append
     queue: deque = deque()
-    intern(model.initial_state())
-    explored = 0
+
+    key0 = engine.initial_key()
+    index[key0] = 0
+    packed.append(key0)
+    queue.append(0)
+
+    deadline = None if max_seconds is None else start + max_seconds
+    truncated = False
+    processed = 0
     while queue:
-        if len(graph.states) > max_states:
+        sid = queue.popleft()
+        seen_here = set()
+        overflow = False
+        for skey in expand(packed[sid]):
+            tid = index.get(skey)
+            if tid is None:
+                if len(packed) >= max_states:
+                    overflow = True
+                    continue  # bound reached: drop the new state
+                tid = len(packed)
+                index[skey] = tid
+                packed.append(skey)
+                queue.append(tid)
+            if tid not in seen_here:
+                seen_here.add(tid)
+                add_edge(tid)
+        offsets.append(len(adjacency))
+        if overflow:
             if on_truncate == "raise":
                 raise ExplosionError(
                     "%s exceeded %d states" % (model.name, max_states))
-            graph.truncated = True
+            truncated = True
             break
-        sid = queue.popleft()
-        explored += 1
-        state = graph.states[sid]
-        seen_here: Set[int] = set()
-        for successor in model.successors(state):
-            tid = intern(successor)
-            if tid not in seen_here:
-                seen_here.add(tid)
-                graph.successors[sid].append(tid)
+        processed += 1
+        if deadline is not None and not (processed & 1023) \
+                and time.perf_counter() > deadline:
+            if on_truncate == "raise":
+                raise ExplosionError(
+                    "%s exceeded %.3fs time budget"
+                    % (model.name, max_seconds))
+            truncated = True
+            break
+    # states discovered but never expanded (truncation) have no edges
+    edge_count = len(adjacency)
+    while len(offsets) <= len(packed):
+        offsets.append(edge_count)
+    graph.truncated = truncated
     graph.elapsed = time.perf_counter() - start
     return graph

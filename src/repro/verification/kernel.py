@@ -41,7 +41,19 @@ class ModelError(AssertionError):
 
 
 class ProcessModel:
-    """One process template."""
+    """One process template.
+
+    **Purity contract.**  ``can_receive``, ``receive`` and
+    ``internal_actions`` must be *pure*: their outcomes may depend only
+    on their arguments (the local state, the queue index, the message),
+    never on mutable process attributes or external state, and they
+    must not mutate their arguments.  The interned engine
+    (:mod:`repro.verification.engine`) relies on this to memoize
+    outcomes keyed on interned ids — each distinct argument combination
+    is evaluated exactly once per exploration.  Nondeterminism is
+    expressed by returning *multiple* outcomes, which memoizes fine;
+    drawing randomness inside these methods would not.
+    """
 
     name = "proc"
 
@@ -72,7 +84,13 @@ class QueueDef:
 
 
 class SystemState:
-    """Immutable global state: process locals + queue contents."""
+    """Immutable global state: process locals + queue contents.
+
+    The hash is computed lazily and cached: states materialized only to
+    evaluate a predicate (the interned engine decodes them on demand)
+    never pay for a nested-tuple hash, while states used as dict keys
+    pay exactly once.
+    """
 
     __slots__ = ("procs", "queues", "_hash")
 
@@ -80,12 +98,22 @@ class SystemState:
                  queues: Tuple[Tuple[Message, ...], ...]):
         self.procs = procs
         self.queues = queues
-        self._hash = hash((procs, queues))
+        self._hash: Optional[int] = None
 
     def __hash__(self) -> int:
-        return self._hash
+        h = self._hash
+        if h is None:
+            h = self._hash = hash((self.procs, self.queues))
+        return h
 
     def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        # Short-circuit on cached hashes before walking nested tuples.
+        h1 = self._hash
+        h2 = other._hash
+        if h1 is not None and h2 is not None and h1 != h2:
+            return False
         return self.procs == other.procs and self.queues == other.queues
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -107,7 +135,13 @@ class SystemModel:
             tuple(() for _ in self.queues))
 
     # ------------------------------------------------------------------
-    # successor generation
+    # successor generation (reference implementation)
+    #
+    # This is the semantics oracle: simple, obviously correct, and
+    # slow.  The exploration hot path lives in
+    # repro.verification.engine.InternedEngine, which must produce
+    # exactly these successors in exactly this order; the equivalence
+    # tests cross-check the two.
     # ------------------------------------------------------------------
     def successors(self, state: SystemState) -> List[SystemState]:
         result: List[SystemState] = []

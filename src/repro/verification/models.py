@@ -29,7 +29,8 @@ from .processes import (EndpointProcess, EndpointState, FlowlinkProcess,
                         CLOSED, FLOWING)
 
 __all__ = ["PathModel", "PATH_TYPES", "build_model", "all_models",
-           "both_closed", "both_flowing", "valid_endstate"]
+           "all_model_specs", "both_closed", "both_flowing",
+           "valid_endstate"]
 
 #: The six path types, as (left goal, right goal) with the property key.
 PATH_TYPES: Dict[str, Tuple[str, str, str]] = {
@@ -152,10 +153,15 @@ def build_model(path_type: str, with_flowlink=False,
                      has_flowlink=k > 0)
 
 
+def all_model_specs(flowlink_counts=(0, 1)) -> List[Tuple[str, int]]:
+    """The sweep grid as picklable ``(path_type, flowlinks)`` specs, in
+    report order: every path type at each flowlink count in turn.  The
+    parallel sweep driver ships these (not built models) to workers."""
+    return [(path_type, k)
+            for k in flowlink_counts for path_type in PATH_TYPES]
+
+
 def all_models(**kwargs) -> List[PathModel]:
     """The full 12-model sweep of Sec. VIII-A."""
-    models = []
-    for with_flowlink in (False, True):
-        for path_type in PATH_TYPES:
-            models.append(build_model(path_type, with_flowlink, **kwargs))
-    return models
+    return [build_model(path_type, flowlinks=k, **kwargs)
+            for path_type, k in all_model_specs()]

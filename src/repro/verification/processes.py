@@ -68,6 +68,11 @@ class EndpointProcess(ProcessModel):
         self.modify_budget = modify_budget
         self.max_versions = max_versions
         self.name = "%s(%s)" % (origin, goal)
+        self._recv_dispatch = {
+            CLOSED: self._recv_closed, OPENING: self._recv_opening,
+            OPENED: self._recv_opened, FLOWING: self._recv_flowing,
+            CLOSING: self._recv_closing,
+        }
 
     # ------------------------------------------------------------------
     # helpers
@@ -135,8 +140,7 @@ class EndpointProcess(ProcessModel):
     def receive(self, st: EndpointState, qi: int,
                 msg: Message) -> List[Outcome]:
         kind = msg[0]
-        handler = getattr(self, "_recv_%s" % st.slot)
-        outcomes = handler(st, kind, msg)
+        outcomes = self._recv_dispatch[st.slot](st, kind, msg)
         if st.phase == 1:
             outcomes = [(o[0]._replace(budget=st.budget - 1), o[1])
                         for o in outcomes]

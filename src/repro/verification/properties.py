@@ -62,7 +62,12 @@ def find_cycle_with(graph: StateGraph, within: Pred,
     Iterative Tarjan SCC over the ``within``-restricted subgraph.
     """
     n = graph.state_count
-    inside = [within(s) for s in graph.states]
+    # Hoist the sequence views: on interned graphs ``graph.states``
+    # decodes lazily and ``graph.successors`` slices a flat edge array,
+    # so grab each once instead of per access.
+    states = graph.states
+    successors = graph.successors
+    inside = [within(s) for s in states]
     index = [0] * n
     low = [0] * n
     on_stack = [False] * n
@@ -81,7 +86,7 @@ def find_cycle_with(graph: StateGraph, within: Pred,
                 stack.append(v)
                 on_stack[v] = True
             recurse = False
-            succs = graph.successors[v]
+            succs = successors[v]
             while pi < len(succs):
                 w = succs[pi]
                 pi += 1
@@ -111,11 +116,11 @@ def find_cycle_with(graph: StateGraph, within: Pred,
                 single = component[0] if len(component) == 1 else None
                 cyclic = len(component) > 1 or (
                     single is not None and (
-                        single in graph.successors[single]
-                        or not graph.successors[single]))
+                        single in successors[single]
+                        or not len(successors[single])))
                 if cyclic:
                     for w in component:
-                        if witness(graph.states[w]):
+                        if witness(states[w]):
                             return w
             if work:
                 parent = work[-1][0]
@@ -161,8 +166,9 @@ def check_safety(graph: StateGraph,
     """Check every terminal state: queues empty and ``valid_endstate``
     (each slot closed or flowing)."""
     violations = []
+    states = graph.states
     for sid in graph.terminal_ids():
-        state = graph.states[sid]
+        state = states[sid]
         if any(state.queues):
             violations.append(SafetyViolation(
                 sid, state, "deadlock: undelivered signals %r"

@@ -37,10 +37,18 @@ class VerificationResult:
 
 
 def verify_model(model: PathModel, max_states: int = 2_000_000,
-                 on_truncate: str = "raise") -> VerificationResult:
-    """Explore one model and run its safety + temporal checks."""
+                 on_truncate: str = "raise",
+                 max_seconds: Optional[float] = None
+                 ) -> VerificationResult:
+    """Explore one model and run its safety + temporal checks.
+
+    ``max_seconds`` bounds the exploration wall clock (see
+    :func:`~repro.verification.explorer.explore`); with
+    ``on_truncate="mark"`` a model that blows the budget reports
+    ``truncated=True`` instead of raising.
+    """
     graph = explore(model.system, max_states=max_states,
-                    on_truncate=on_truncate)
+                    on_truncate=on_truncate, max_seconds=max_seconds)
 
     def left(state: SystemState):
         return state.procs[model.left_index]
@@ -73,10 +81,24 @@ def verify_model(model: PathModel, max_states: int = 2_000_000,
         truncated=graph.truncated, violation_state=violation)
 
 
-def verify_all(max_states: int = 2_000_000,
+def verify_all(max_states: int = 2_000_000, parallel: bool = False,
+               processes: Optional[int] = None,
+               max_seconds: Optional[float] = None,
                **model_kwargs) -> List[VerificationResult]:
-    """The full 12-model sweep (Sec. VIII-A)."""
-    return [verify_model(m, max_states=max_states)
+    """The full 12-model sweep (Sec. VIII-A).
+
+    ``parallel=True`` fans the models across a worker pool (see
+    :mod:`repro.verification.sweep`); results keep the serial order.
+    Parallel runs use ``on_truncate="mark"``, so a model that blows
+    ``max_states``/``max_seconds`` comes back truncated instead of
+    raising.
+    """
+    if parallel:
+        from .sweep import sweep
+        return sweep(max_states=max_states, max_seconds=max_seconds,
+                     processes=processes, **model_kwargs)
+    return [verify_model(m, max_states=max_states,
+                         max_seconds=max_seconds)
             for m in all_models(**model_kwargs)]
 
 

@@ -131,6 +131,43 @@ def test_pending_counts_live_events():
     assert loop.pending() == 1
 
 
+def test_pending_is_exact_after_execution_and_cancel():
+    """The live-event counter (O(1) ``pending``) stays consistent
+    through every lifecycle: schedule, execute, cancel, re-cancel."""
+    loop = EventLoop()
+    events = [loop.schedule(float(i), lambda: None) for i in range(5)]
+    assert loop.pending() == 5
+    loop.step()
+    assert loop.pending() == 4
+    events[2].cancel()
+    events[3].cancel()
+    assert loop.pending() == 2
+    loop.run()
+    assert loop.pending() == 0
+
+
+def test_cancel_after_execution_does_not_corrupt_counter():
+    loop = EventLoop()
+    event = loop.schedule(1.0, lambda: None)
+    other = loop.schedule(2.0, lambda: None)
+    loop.step()           # executes `event`
+    assert loop.pending() == 1
+    event.cancel()        # late cancel of an already-run event: no-op
+    assert loop.pending() == 1
+    other.cancel()
+    assert loop.pending() == 0
+    loop.run_until_quiescent()  # counter at zero -> quiescent
+
+
+def test_quiescence_check_uses_counter():
+    loop = EventLoop()
+    event = loop.schedule(1.0, lambda: None)
+    event.cancel()
+    # a cancelled-but-still-heaped event must not block quiescence
+    assert loop.run_until_quiescent() == 0
+    assert loop.pending() == 0
+
+
 def test_rng_is_seeded_and_deterministic():
     a = EventLoop(seed=42).rng.random()
     b = EventLoop(seed=42).rng.random()
