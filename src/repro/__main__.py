@@ -6,7 +6,13 @@ Subcommands::
     python -m repro latency     # Secs. VIII-C / IX-B numbers
     python -m repro verify      # the 12-model sweep (+ --rich, --two)
     python -m repro scenario    # Fig. 2 vs Fig. 3 snapshots
-    python -m repro all         # everything above
+    python -m repro lint        # static analysis of the bundled
+                                # programs and models (see --help)
+    python -m repro all         # everything above except lint
+
+Exit status is normalized across subcommands: 0 on success (for
+``lint``: every target clean), 1 when findings were reported, 2 on
+usage errors.
 """
 
 from __future__ import annotations
@@ -97,6 +103,12 @@ def run_scenario() -> None:
 
 
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv[:1] == ["lint"]:
+        # The lint subcommand owns its flags (and its exit codes:
+        # 0 clean / 1 findings / 2 usage error).
+        from .staticcheck.cli import main as lint_main
+        return lint_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce 'Compositional Control of IP Media' "

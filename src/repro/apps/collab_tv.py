@@ -27,18 +27,78 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..core.box import Box
+from ..core.program import (END, State, Transition, flow_link,
+                            on_channel_down, on_meta)
 from ..media.device import UserDevice
 from ..media.resources import MovieServer
 from ..network.network import Network
 from ..protocol.channel import SignalingChannel
-from ..protocol.codecs import AUDIO, VIDEO
+from ..protocol.codecs import (AUDIO, G711, H263, MPEG4_HD, VIDEO, Codec)
 from ..protocol.signals import AppMeta
 from ..protocol.slot import Slot
 
-__all__ = ["CollabBox", "CollaborativeTV"]
+__all__ = ["CollabBox", "CollaborativeTV", "MOVIE_TUNNELS",
+           "DEVICE_CODECS", "sharing_profile", "PROFILE_SLOTS",
+           "PROFILE_MEDIA"]
 
 #: The five tunnels of the shared movie channel in Fig. 8.
 MOVIE_TUNNELS = ("video-A", "audio-A", "video-C", "audio-C", "audio-fr-B")
+
+#: Advertised codec preference lists per device (priority-ordered,
+#: best first — Sec. VI-B).  Used both to configure the deployment and
+#: as the lint catalog's protocol-hygiene input.
+DEVICE_CODECS: Dict[str, Dict[str, Tuple[Codec, ...]]] = {
+    "TV": {VIDEO: (MPEG4_HD,), AUDIO: (G711,)},
+    "laptop": {VIDEO: (H263,), AUDIO: (G711,)},
+    "headphones": {AUDIO: (G711,)},
+}
+
+#: Slot names of A's collaboration box in Fig. 8, with their media:
+#: device-facing slots on the left, movie-channel tunnels on the right.
+PROFILE_SLOTS = ("tv-video", "tv-audio", "phones-fr",
+                 "chain-video", "chain-audio",
+                 "movie-video-A", "movie-audio-A",
+                 "movie-video-C", "movie-audio-C", "movie-audio-fr")
+PROFILE_MEDIA = {
+    "tv-video": VIDEO, "tv-audio": AUDIO, "phones-fr": AUDIO,
+    "chain-video": VIDEO, "chain-audio": AUDIO,
+    "movie-video-A": VIDEO, "movie-audio-A": AUDIO,
+    "movie-video-C": VIDEO, "movie-audio-C": AUDIO,
+    "movie-audio-fr": AUDIO,
+}
+
+
+def sharing_profile() -> Dict[str, State]:
+    """The goal-annotation profile of A's collaboration box.
+
+    While the movie is shared, five flowlinks join device tunnels to
+    movie tunnels; when C leaves (the ``leave_and_fast_forward``
+    story), the two chain links disappear and the rest stay.  This is
+    the static-analysis view of :class:`CollaborativeTV`'s imperative
+    wiring for the lint catalog — and the medium map above lets the
+    linter check ``require_medium_match`` on every link statically.
+    """
+    family_links = (
+        flow_link("tv-video", "movie-video-A"),
+        flow_link("tv-audio", "movie-audio-A"),
+        flow_link("phones-fr", "movie-audio-fr"),
+    )
+    return {
+        "shared": State(
+            goals=family_links + (
+                flow_link("chain-video", "movie-video-C"),
+                flow_link("chain-audio", "movie-audio-C"),
+            ),
+            transitions=(
+                Transition(on_meta("app", "leave"), "split"),
+                Transition(on_channel_down(), END),
+            )),
+        "split": State(
+            goals=family_links,
+            transitions=(
+                Transition(on_channel_down(), END),
+            )),
+    }
 
 
 class CollabBox(Box):
@@ -85,15 +145,14 @@ class CollaborativeTV:
     def __init__(self, net: Network, title: str = "heidi"):
         self.net = net
         self.title = title
-        from ..protocol.codecs import (G711, H263, MPEG4_HD)
         # Devices: big TV (HD), laptop (lower quality), French friend's
         # headphones (audio only).
         self.tv = net.device("TV", auto_accept=True,
-                             codecs={VIDEO: (MPEG4_HD,), AUDIO: (G711,)})
+                             codecs=DEVICE_CODECS["TV"])
         self.laptop = net.device("laptop", auto_accept=True,
-                                 codecs={VIDEO: (H263,), AUDIO: (G711,)})
+                                 codecs=DEVICE_CODECS["laptop"])
         self.phones = net.device("headphones", auto_accept=True,
-                                 codecs={AUDIO: (G711,)})
+                                 codecs=DEVICE_CODECS["headphones"])
         self.movie = net.resource("movie-server", MovieServer,
                                   catalog=(title,))
         self.box_a = net.box("collab-A", cls=CollabBox)

@@ -20,6 +20,9 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 from ..core.box import Box
+from ..core.predicates import is_flowing
+from ..core.program import (END, State, Timeout, Transition, flow_link,
+                            hold_slot, on_channel_down, on_meta, open_slot)
 from ..media.resources import ConferenceBridge
 from ..network.network import Network
 from ..protocol.channel import ChannelEnd, SignalingChannel
@@ -27,7 +30,44 @@ from ..protocol.codecs import AUDIO
 from ..protocol.signals import AppMeta, ChannelUp, MetaSignal
 from ..protocol.slot import Slot
 
-__all__ = ["ConferenceServer", "build_conference"]
+__all__ = ["ConferenceServer", "build_conference", "leg_profile",
+           "PROFILE_SLOTS", "PROFILE_MEDIA"]
+
+#: Slot names of the per-leg profile below, and their media (the
+#: bridge leg's medium is fixed by deployment, not by an annotation).
+PROFILE_SLOTS = ("user", "bridge")
+PROFILE_MEDIA = {"bridge": AUDIO}
+
+
+def leg_profile(answer_timeout: float = 30.0) -> Dict[str, State]:
+    """The goal-annotation profile of one conference leg.
+
+    :class:`ConferenceServer` installs its goals imperatively (invite →
+    openSlot, admit → flowLink, ``fully_mute`` → "temporarily replacing
+    a flowlink by two holdslots"), so this profile is the
+    static-analysis view of a leg's lifecycle for the lint catalog.
+    """
+    return {
+        "inviting": State(
+            goals=(open_slot("user", AUDIO),),
+            transitions=(
+                Transition(is_flowing("user"), "linked"),
+                Transition(on_channel_down(), END),
+            ),
+            timeout=Timeout(answer_timeout, END)),
+        "linked": State(
+            goals=(flow_link("user", "bridge"),),
+            transitions=(
+                Transition(on_meta("app", "fully-mute"), "muted"),
+                Transition(on_channel_down(), END),
+            )),
+        "muted": State(
+            goals=(hold_slot("user"), hold_slot("bridge")),
+            transitions=(
+                Transition(on_meta("app", "unmute"), "linked"),
+                Transition(on_channel_down(), END),
+            )),
+    }
 
 
 class ConferenceServer(Box):

@@ -20,6 +20,9 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from ..core.box import Box
+from ..core.predicates import is_closed, is_flowing
+from ..core.program import (END, State, Timeout, Transition, close_slot,
+                            flow_link, hold_slot, on_channel_down, on_meta)
 from ..media.resources import AnnouncementPlayer
 from ..network.network import Network
 from ..protocol.channel import ChannelEnd, SignalingChannel
@@ -28,7 +31,67 @@ from ..protocol.signals import ChannelUp, MetaSignal
 from ..protocol.slot import Slot
 
 __all__ = ["TransparentFeature", "DoNotDisturb", "CallForwarding",
-           "VoicemailFeature"]
+           "VoicemailFeature", "dnd_profile", "voicemail_profile",
+           "DND_SLOTS", "VOICEMAIL_SLOTS"]
+
+#: Slot names of the feature profiles below.
+DND_SLOTS = ("upstream", "downstream")
+VOICEMAIL_SLOTS = ("upstream", "downstream", "vm")
+
+
+def dnd_profile() -> Dict[str, State]:
+    """The goal-annotation profile of :class:`DoNotDisturb`: transparent
+    flowlink while idle; while engaged, "reject all incoming media
+    channels (a closeslot toward the caller side)" and hold the
+    protected user.  Static-analysis view for the lint catalog."""
+    return {
+        "transparent": State(
+            goals=(flow_link("upstream", "downstream"),),
+            transitions=(
+                Transition(on_meta("app", "engage"), "engaged"),
+                Transition(on_channel_down(), END),
+            )),
+        "engaged": State(
+            goals=(close_slot("upstream"), hold_slot("downstream")),
+            transitions=(
+                Transition(on_meta("app", "disengage"), "transparent"),
+                Transition(on_channel_down(), END),
+            )),
+    }
+
+
+def voicemail_profile(answer_timeout: float = 10.0) -> Dict[str, State]:
+    """The goal-annotation profile of :class:`VoicemailFeature`:
+    transparent until the no-answer timer fires, then the caller is
+    diverted to the greeting resource; announcement completion releases
+    the call (closeslot toward the caller, END once it closes)."""
+    return {
+        "ringing": State(
+            goals=(flow_link("upstream", "downstream"),),
+            transitions=(
+                Transition(is_flowing("downstream"), "answered"),
+                Transition(on_channel_down(), END),
+            ),
+            timeout=Timeout(answer_timeout, "greeting")),
+        "answered": State(
+            goals=(flow_link("upstream", "downstream"),),
+            transitions=(
+                Transition(on_channel_down(), END),
+            )),
+        "greeting": State(
+            goals=(hold_slot("downstream"), flow_link("upstream", "vm")),
+            transitions=(
+                Transition(on_meta("app", "announcement-done"),
+                           "releasing"),
+                Transition(on_channel_down(), END),
+            )),
+        "releasing": State(
+            goals=(close_slot("upstream"),),
+            transitions=(
+                Transition(is_closed("upstream"), END),
+                Transition(on_channel_down(), END),
+            )),
+    }
 
 
 class TransparentFeature(Box):

@@ -23,6 +23,8 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from ..core.box import Box
+from ..core.program import (END, State, Transition, flow_link, hold_slot,
+                            on_channel_down, on_meta)
 from ..protocol.channel import ChannelEnd, SignalingChannel
 from ..protocol.descriptor import Descriptor
 from ..protocol.errors import ConfigurationError
@@ -30,7 +32,48 @@ from ..protocol.signals import (ChannelUp, Describe, MetaSignal, Oack, Open,
                                 Select, TunnelSignal)
 from ..protocol.slot import Slot
 
-__all__ = ["PBX", "NaivePBX"]
+__all__ = ["PBX", "NaivePBX", "switching_profile", "PROFILE_SLOTS"]
+
+#: Slot names of the two-call switching profile below.
+PROFILE_SLOTS = ("line", "call-1", "call-2")
+
+
+def switching_profile() -> Dict[str, State]:
+    """The goal-annotation profile of the switching feature, as a
+    state machine over a line and two outside calls.
+
+    :class:`PBX` drives its goals imperatively (``switch_to`` installs
+    ``flowLink(line, call_k)`` and holds the rest), so there is no
+    ``Program`` object to extract; this profile is the static-analysis
+    view of the same annotation pattern — "the annotation pattern
+    ``flowLink(line, call_k)`` + ``holdSlot(call_j)``" — and the lint
+    catalog (:mod:`repro.staticcheck.catalog`) checks it in place of
+    the imperative code.
+    """
+    return {
+        "allHeld": State(
+            goals=(hold_slot("line"), hold_slot("call-1"),
+                   hold_slot("call-2")),
+            transitions=(
+                Transition(on_meta("app", "switch-1"), "onCall1"),
+                Transition(on_meta("app", "switch-2"), "onCall2"),
+                Transition(on_channel_down(), END),
+            )),
+        "onCall1": State(
+            goals=(flow_link("line", "call-1"), hold_slot("call-2")),
+            transitions=(
+                Transition(on_meta("app", "switch-2"), "onCall2"),
+                Transition(on_meta("app", "hold-all"), "allHeld"),
+                Transition(on_channel_down(), END),
+            )),
+        "onCall2": State(
+            goals=(flow_link("line", "call-2"), hold_slot("call-1")),
+            transitions=(
+                Transition(on_meta("app", "switch-1"), "onCall1"),
+                Transition(on_meta("app", "hold-all"), "allHeld"),
+                Transition(on_channel_down(), END),
+            )),
+    }
 
 
 class PBX(Box):

@@ -13,7 +13,7 @@ sees the signal through ``goalReceive``.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..network.eventloop import EventLoop
 from ..protocol.channel import ChannelEnd, SignalingAgent
@@ -38,6 +38,13 @@ class Box(SignalingAgent):
         self._descriptors = DescriptorFactory(origin=name)
         #: Named slots, for programs and tests (``box.slot("1a")``).
         self.slot_names: Dict[str, Slot] = {}
+        #: Every slot name this box has declared, bound or not.  A name
+        #: enters this set when a slot is named (:meth:`name_slot`) or
+        #: declared ahead of binding (:meth:`declare_slot`); it survives
+        #: :meth:`forget_slot` because the box may re-create the slot
+        #: (click-to-dial tears down and redials channel 2).  Programs
+        #: validate their goal annotations against it at construction.
+        self.declared_slots: Set[str] = set()
         #: Signals that arrived for a slot with no controlling goal.
         self.unmanaged: List[Tuple[Slot, TunnelSignal]] = []
         #: Meta-signals seen (newest last), for programs polling them.
@@ -67,7 +74,13 @@ class Box(SignalingAgent):
     def name_slot(self, name: str, slot: Slot) -> Slot:
         """Register ``slot`` under a program-local name."""
         self.slot_names[name] = slot
+        self.declared_slots.add(name)
         return slot
+
+    def declare_slot(self, *names: str) -> None:
+        """Declare slot names before their channels exist, so programs
+        annotating them can be validated at construction time."""
+        self.declared_slots.update(names)
 
     def slot(self, name: str) -> Slot:
         """Look up a named slot."""

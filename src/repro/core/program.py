@@ -155,6 +155,12 @@ def on_meta(kind: str, name: Optional[str] = None,
             return True
         return False
     guard.__name__ = "on_meta(%s)" % kind
+    # Static description for the analyzer; a ``where`` restriction is
+    # recorded by qualname so two differently-restricted guards on the
+    # same event never compare equal (no false race diagnostics).
+    restriction = getattr(where, "__qualname__", repr(where)) \
+        if where is not None else None
+    setattr(guard, "static_atom", ("meta", kind, name, restriction))
     return guard
 
 
@@ -167,6 +173,8 @@ def on_channel_down(slot_prefix: Optional[str] = None) -> Guard:
             del program.downs[i]
             return True
         return False
+    guard.__name__ = "on_channel_down()"
+    setattr(guard, "static_atom", ("down", slot_prefix))
     return guard
 
 
@@ -182,7 +190,8 @@ class Program:
     """
 
     def __init__(self, box: Box, states: Dict[str, State], initial: str,
-                 data: Optional[Dict[str, Any]] = None):
+                 data: Optional[Dict[str, Any]] = None,
+                 slots: Optional[Sequence[str]] = None):
         if initial not in states:
             raise ConfigurationError("initial state %r undefined" % initial)
         for sname, state in states.items():
@@ -196,6 +205,26 @@ class Program:
                 raise ConfigurationError(
                     "state %r has timeout to undefined %r"
                     % (sname, state.timeout.target))
+        #: Slot names this program may annotate: the ``slots`` argument
+        #: (slots the program will create and name later) plus whatever
+        #: the box has already declared.  Empty means "unknown" — a
+        #: bare program on a bare box skips the check.
+        self.declared_slots = frozenset(slots or ()) \
+            | frozenset(box.declared_slots)
+        if self.declared_slots:
+            # Fail fast: a goal annotation naming a slot the box never
+            # declares would otherwise only blow up on state entry,
+            # possibly deep into a call (the runtime counterpart of the
+            # RC401 static diagnostic).
+            for sname, state in states.items():
+                for spec in state.goals:
+                    for n in spec.names:
+                        if n not in self.declared_slots:
+                            raise ConfigurationError(
+                                "state %r annotates undeclared slot %r "
+                                "(declared: %s)"
+                                % (sname, n,
+                                   ", ".join(sorted(self.declared_slots))))
         self.box = box
         self.states = states
         self.state_name: Optional[str] = None

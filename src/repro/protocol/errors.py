@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Any
+
 __all__ = [
     "MediaControlError",
     "ProtocolError",
@@ -27,7 +29,7 @@ class ProtocolStateError(ProtocolError):
     and programs can report precisely what was violated.
     """
 
-    def __init__(self, slot, action: str, state: str):
+    def __init__(self, slot: Any, action: str, state: str) -> None:
         self.slot = slot
         self.action = action
         self.state = state

@@ -1,0 +1,125 @@
+"""``python -m repro lint`` — run the static analyzer.
+
+Usage::
+
+    python -m repro lint                      # the whole catalog
+    python -m repro lint --list               # show target names
+    python -m repro lint --target apps/pbx    # a subset (repeatable)
+    python -m repro lint --format json        # machine-readable output
+    python -m repro lint --fixtures           # the broken fixtures
+                                              # (negative controls;
+                                              # exits 1 by design)
+
+Exit status: 0 when every selected target is clean, 1 when any
+unsuppressed diagnostic was found, 2 on usage errors (including an
+unknown ``--target`` name).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence, TextIO
+
+from .catalog import LintTarget, TargetReport, all_targets, select_targets
+from .fixtures import all_fixtures
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Statically check the bundled box programs, codec "
+                    "declarations, and verification models")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="output format")
+    parser.add_argument("--target", action="append", default=None,
+                        metavar="NAME",
+                        help="lint only this catalog target "
+                             "(repeatable; see --list)")
+    parser.add_argument("--list", action="store_true",
+                        help="list catalog target names and exit")
+    parser.add_argument("--fixtures", action="store_true",
+                        help="lint the deliberately-broken fixtures "
+                             "instead of the catalog (exits 1)")
+    return parser
+
+
+def _fixture_targets() -> List[LintTarget]:
+    return [LintTarget(f.name, f.run) for f in all_fixtures()]
+
+
+def _render_text(reports: Sequence[TargetReport],
+                 stream: TextIO) -> None:
+    for report in reports:
+        status = "ok" if report.clean else "FAIL"
+        waived = (" (%d suppressed)" % len(report.suppressed)
+                  if report.suppressed else "")
+        stream.write("%-28s %s%s\n" % (report.name, status, waived))
+        for diagnostic in report.active:
+            stream.write("    %s\n" % diagnostic.format())
+        for diagnostic in report.suppressed:
+            reason = next((s.reason for s in report.suppressions
+                           if s.code == diagnostic.code), "")
+            stream.write("    suppressed %s: %s\n"
+                         % (diagnostic.code, reason))
+    errors = sum(1 for r in reports for d in r.active
+                 if d.severity == "error")
+    warnings = sum(1 for r in reports for d in r.active
+                   if d.severity == "warning")
+    stream.write("%d target(s): %d error(s), %d warning(s)\n"
+                 % (len(reports), errors, warnings))
+
+
+def _render_json(reports: Sequence[TargetReport],
+                 stream: TextIO) -> None:
+    payload = {
+        "targets": [r.to_json() for r in reports],
+        "summary": {
+            "targets": len(reports),
+            "errors": sum(1 for r in reports for d in r.active
+                          if d.severity == "error"),
+            "warnings": sum(1 for r in reports for d in r.active
+                            if d.severity == "warning"),
+            "suppressed": sum(len(r.suppressed) for r in reports),
+        },
+    }
+    json.dump(payload, stream, indent=2, sort_keys=True)
+    stream.write("\n")
+
+
+def main(argv: Optional[Sequence[str]] = None,
+         stream: Optional[TextIO] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)  # exits 2 on usage errors
+    out = stream if stream is not None else sys.stdout
+
+    if args.list:
+        for target in all_targets():
+            out.write("%s\n" % target.name)
+        return 0
+
+    if args.fixtures:
+        targets = _fixture_targets()
+    elif args.target:
+        try:
+            targets = select_targets(args.target)
+        except KeyError as exc:
+            sys.stderr.write("repro lint: unknown target %s "
+                             "(see --list)\n" % exc)
+            return 2
+    else:
+        targets = all_targets()
+
+    reports = [t.report() for t in targets]
+    if args.format == "json":
+        _render_json(reports, out)
+    else:
+        _render_text(reports, out)
+    return 0 if all(r.clean for r in reports) else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - python -m entry
+    sys.exit(main())

@@ -1,0 +1,117 @@
+"""Diagnostics, codes, and suppressions for the box-program linter.
+
+Every rule in :mod:`repro.staticcheck.rules`,
+:mod:`repro.staticcheck.hygiene`, and :mod:`repro.staticcheck.pathlint`
+emits :class:`Diagnostic` records with a stable ``RCxxx`` code, so that
+tooling (CI, editors, the cross-validation tests) can match on codes
+rather than message text.
+
+Code families::
+
+    RC1xx  reachability      (unreachable state, no termination, trap)
+    RC2xx  goal conflicts    (slot claimed twice, link-over-close,
+                              medium mismatch)
+    RC3xx  guards            (dead guard, nondeterministic overlap)
+    RC4xx  declarations      (undeclared slot reference)
+    RC5xx  protocol hygiene  (codec priority, noMedia placement,
+                              selector freshness)
+    RC6xx  path models       (goal pair vs. temporal spec mismatch)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Diagnostic", "Suppression", "CODES", "severity_of"]
+
+#: Stable code → (title, severity).  Severity ``error`` marks a
+#: composition bug the paper's semantics rules out; ``warning`` marks a
+#: structural smell that can be deliberate (and suppressed).
+CODES: Dict[str, Tuple[str, str]] = {
+    "RC101": ("unreachable-state", "error"),
+    "RC102": ("no-termination", "warning"),
+    "RC103": ("trap-state", "warning"),
+    "RC201": ("slot-conflict", "error"),
+    "RC202": ("link-over-close", "error"),
+    "RC203": ("medium-mismatch", "error"),
+    "RC301": ("dead-guard", "error"),
+    "RC302": ("guard-overlap", "warning"),
+    "RC401": ("undeclared-slot", "error"),
+    "RC501": ("codec-priority", "warning"),
+    "RC502": ("nomedia-placement", "error"),
+    "RC503": ("stale-selector", "error"),
+    "RC601": ("spec-mismatch", "error"),
+}
+
+
+def severity_of(code: str) -> str:
+    """Severity for ``code`` (unknown codes count as errors)."""
+    return CODES.get(code, ("?", "error"))[1]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of the static analyzer."""
+
+    code: str                    # e.g. "RC201"
+    message: str                 # human-readable, self-contained
+    program: str                 # lint target (app, profile, model key)
+    state: Optional[str] = None  # program state, when applicable
+    slot: Optional[str] = None   # slot name, when applicable
+
+    @property
+    def title(self) -> str:
+        return CODES.get(self.code, ("unknown", "error"))[0]
+
+    @property
+    def severity(self) -> str:
+        return severity_of(self.code)
+
+    def format(self) -> str:
+        where = self.program
+        if self.state is not None:
+            where += ":%s" % self.state
+        tail = " [slot %s]" % self.slot if self.slot is not None else ""
+        return "%s %s (%s): %s%s" % (
+            self.code, where, self.title, self.message, tail)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "code": self.code,
+            "title": self.title,
+            "severity": self.severity,
+            "program": self.program,
+            "state": self.state,
+            "slot": self.slot,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """A deliberate waiver of one code for one lint target.
+
+    The ``reason`` is mandatory and surfaces in reports: the catalog
+    must say *why* a program is allowed to, e.g., never terminate
+    (the prepaid-card program cycles by design, Sec. IV-B).
+    """
+
+    code: str
+    reason: str
+
+    def to_json(self) -> Dict[str, object]:
+        return {"code": self.code, "reason": self.reason}
+
+
+def split_suppressed(diagnostics: List[Diagnostic],
+                     suppressions: Tuple[Suppression, ...]
+                     ) -> Tuple[List[Diagnostic], List[Diagnostic]]:
+    """Partition ``diagnostics`` into (active, suppressed)."""
+    waived = {s.code for s in suppressions}
+    active = [d for d in diagnostics if d.code not in waived]
+    suppressed = [d for d in diagnostics if d.code in waived]
+    return active, suppressed
+
+
+__all__.append("split_suppressed")

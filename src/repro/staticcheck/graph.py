@@ -1,0 +1,205 @@
+"""Extraction layer: box programs → analyzable graphs.
+
+Sec. IV makes box programs *declarative*: states carry static
+:class:`~repro.core.program.GoalSpec` annotations and transitions fire
+on slot predicates, meta-signal events, and timeouts.  The guards built
+by :mod:`repro.core.predicates` and :mod:`repro.core.program` describe
+themselves statically (see
+:func:`repro.core.predicates.describe_guard`), so a whole
+:class:`~repro.core.program.Program` — or a raw states dict that has
+not been bound to a box yet — can be walked into a
+:class:`ProgramGraph` without ever running it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (Any, Dict, FrozenSet, Iterable, List, Mapping,
+                    Optional, Sequence, Set, Tuple)
+
+from ..core.predicates import describe_guard
+from ..core.program import END, GoalSpec, Program, State
+from ..protocol.codecs import Medium
+
+__all__ = [
+    "GuardDesc", "TransitionInfo", "StateInfo", "ProgramGraph",
+    "extract_states", "extract_program",
+    "conjunctive_slot_atoms", "slot_names_in_guard",
+]
+
+#: The hashable static description of a guard (see ``describe_guard``).
+GuardDesc = Tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class TransitionInfo:
+    """One outgoing transition, statically described."""
+
+    guard: GuardDesc
+    target: str                      # state name or repro.core END
+    index: int                       # declaration order within the state
+
+    @property
+    def is_always(self) -> bool:
+        return self.guard == ("atom", ("always",))
+
+
+@dataclass(frozen=True)
+class StateInfo:
+    """One program state: annotations plus statically-read transitions."""
+
+    name: str
+    goals: Tuple[GoalSpec, ...]
+    transitions: Tuple[TransitionInfo, ...]
+    timeout_target: Optional[str] = None
+
+    def targets(self) -> List[str]:
+        """Every state (or END) this state can move to."""
+        out = [t.target for t in self.transitions]
+        if self.timeout_target is not None:
+            out.append(self.timeout_target)
+        return out
+
+    def annotation_for(self, slot: str) -> Optional[GoalSpec]:
+        """The goal annotation claiming ``slot`` in this state, if any
+        (the first one, when a conflict duplicates the claim)."""
+        for spec in self.goals:
+            if slot in spec.names:
+                return spec
+        return None
+
+
+@dataclass(frozen=True)
+class ProgramGraph:
+    """A statically-extracted box program, ready for the rule engine."""
+
+    name: str
+    states: Mapping[str, StateInfo]
+    initial: str
+    declared_slots: FrozenSet[str]
+    #: Externally-declared media per slot (e.g. a profile declaring
+    #: which tunnels carry video); merged with openSlot inference.
+    declared_media: Mapping[str, Medium] = field(default_factory=dict)
+
+    # -- reachability --------------------------------------------------
+    def reachable(self) -> Set[str]:
+        """States reachable from ``initial`` via transitions/timeouts."""
+        seen: Set[str] = set()
+        frontier = [self.initial]
+        while frontier:
+            name = frontier.pop()
+            if name in seen or name == END:
+                continue
+            seen.add(name)
+            info = self.states.get(name)
+            if info is not None:
+                frontier.extend(info.targets())
+        return seen
+
+    def can_terminate(self) -> bool:
+        """Is END reachable from the initial state?"""
+        return any(END in self.states[s].targets()
+                   for s in self.reachable() if s in self.states)
+
+    # -- media ---------------------------------------------------------
+    def media_evidence(self) -> Dict[str, Dict[Medium, List[str]]]:
+        """Everything known about each slot's medium: declared media
+        (attributed to pseudo-state ``"<declared>"``) plus every
+        ``openSlot(s, m)`` annotation, keyed slot → medium → states."""
+        evidence: Dict[str, Dict[Medium, List[str]]] = {}
+        for slot, medium in self.declared_media.items():
+            evidence.setdefault(slot, {}).setdefault(medium, []) \
+                .append("<declared>")
+        for info in self.states.values():
+            for spec in info.goals:
+                if spec.kind == "open" and spec.medium is not None:
+                    evidence.setdefault(spec.names[0], {}) \
+                        .setdefault(spec.medium, []).append(info.name)
+        return evidence
+
+    def medium_of(self, slot: str) -> Optional[Medium]:
+        """The slot's medium when the evidence is unanimous, else
+        ``None`` (conflicting evidence is RC203's job to report)."""
+        options = self.media_evidence().get(slot, {})
+        if len(options) == 1:
+            return next(iter(options))
+        return None
+
+
+# ----------------------------------------------------------------------
+# guard-description helpers
+# ----------------------------------------------------------------------
+def conjunctive_slot_atoms(desc: GuardDesc
+                           ) -> List[Tuple[str, str]]:
+    """Slot atoms that must hold for the guard to fire.
+
+    Returns ``(predicate, slot)`` pairs found at the top level of the
+    description or nested under ``all`` combinators — i.e. atoms whose
+    falsity alone keeps the transition disabled.  Atoms under ``any`` or
+    ``not`` are skipped (a dead disjunct does not kill the guard), and
+    opaque guards contribute nothing: the analysis stays sound.
+    """
+    if not desc:
+        return []
+    if desc[0] == "atom":
+        atom = desc[1]
+        if atom and atom[0] == "slot":
+            return [(atom[1], atom[2])]
+        return []
+    if desc[0] == "all":
+        found: List[Tuple[str, str]] = []
+        for inner in desc[1:]:
+            found.extend(conjunctive_slot_atoms(inner))
+        return found
+    return []
+
+
+def slot_names_in_guard(desc: GuardDesc) -> Set[str]:
+    """Every slot name mentioned anywhere in the description."""
+    if not desc:
+        return set()
+    if desc[0] == "atom":
+        atom = desc[1]
+        if atom and atom[0] == "slot":
+            return {atom[2]}
+        return set()
+    if desc[0] in ("all", "any", "not"):
+        names: Set[str] = set()
+        for inner in desc[1:]:
+            names |= slot_names_in_guard(inner)
+        return names
+    return set()
+
+
+# ----------------------------------------------------------------------
+# extraction
+# ----------------------------------------------------------------------
+def extract_states(name: str, states: Mapping[str, State], initial: str,
+                   slots: Sequence[str] = (),
+                   media: Optional[Mapping[str, Medium]] = None
+                   ) -> ProgramGraph:
+    """Extract a graph from a raw states dict (no box required)."""
+    infos: Dict[str, StateInfo] = {}
+    for sname, state in states.items():
+        transitions = tuple(
+            TransitionInfo(guard=describe_guard(t.guard),
+                           target=t.target, index=i)
+            for i, t in enumerate(state.transitions))
+        infos[sname] = StateInfo(
+            name=sname, goals=tuple(state.goals), transitions=transitions,
+            timeout_target=(state.timeout.target
+                            if state.timeout is not None else None))
+    return ProgramGraph(name=name, states=infos, initial=initial,
+                        declared_slots=frozenset(slots),
+                        declared_media=dict(media or {}))
+
+
+def extract_program(name: str, program: Program,
+                    media: Optional[Mapping[str, Medium]] = None
+                    ) -> ProgramGraph:
+    """Extract a graph from a constructed :class:`Program` (its declared
+    slot set comes from the program itself)."""
+    graph = extract_states(name, program.states, program._initial,
+                           slots=sorted(program.declared_slots),
+                           media=media)
+    return graph

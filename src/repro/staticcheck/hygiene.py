@@ -1,0 +1,132 @@
+"""Protocol hygiene: cached descriptors, codec lists, selectors.
+
+Sec. VI's descriptor/selector discipline has static consequences for
+the data applications *declare* and *cache*:
+
+* a descriptor's codec list is "priority-ordered, best first"
+  (Sec. VI-B) — so a declared preference list that is out of fidelity
+  order, duplicated, or mixes media silently negotiates the wrong
+  codec (RC501);
+* ``noMedia`` is "the name of a distinguished pseudo-codec indicating
+  no media transmission" — it stands alone, never alongside real
+  codecs, and an empty offer must use it rather than offer nothing
+  (RC502);
+* a selector "identifies the descriptor it answers"; servers that
+  cache descriptors as they pass by (Sec. VI-C) must answer the
+  *freshest* version from each origin, or they re-animate a stale
+  address, which is exactly the Fig. 2 hijack (RC503).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..protocol.codecs import Codec, NO_MEDIA
+from ..protocol.descriptor import Descriptor, DescriptorId, Selector
+from .diagnostics import Diagnostic
+
+__all__ = ["CodecListDecl", "SelectorCacheDecl", "check_codec_list",
+           "check_selector_cache", "check_hygiene"]
+
+
+@dataclass(frozen=True)
+class CodecListDecl:
+    """A declared codec preference list to lint (e.g. a device's
+    advertised codecs for one medium)."""
+
+    owner: str                  # e.g. "collab_tv.TV"
+    context: str                # e.g. "video preference"
+    codecs: Tuple[Codec, ...]
+
+    @property
+    def label(self) -> str:
+        return "%s %s" % (self.owner, self.context)
+
+
+@dataclass(frozen=True)
+class SelectorCacheDecl:
+    """A cached-descriptor store plus the selectors answering into it:
+    the shape of a server's ``seen_descriptors`` cache (Sec. VI-C)."""
+
+    owner: str
+    descriptors: Tuple[Descriptor, ...]   # every descriptor cached
+    selectors: Tuple[Selector, ...]       # selectors the owner holds
+
+
+def check_codec_list(program: str, decl: CodecListDecl
+                     ) -> List[Diagnostic]:
+    """RC501/RC502 over one declared codec list."""
+    found: List[Diagnostic] = []
+    codecs = decl.codecs
+    real = [c for c in codecs if c.is_real]
+    if not codecs:
+        found.append(Diagnostic(
+            "RC502", "%s declares an empty codec list; refuse media "
+            "with the noMedia pseudo-codec instead" % decl.label,
+            program=program))
+        return found
+    if real and NO_MEDIA in codecs:
+        found.append(Diagnostic(
+            "RC502", "%s mixes noMedia with real codecs %s; noMedia "
+            "stands alone" % (decl.label,
+                              "/".join(c.name for c in real)),
+            program=program))
+    if len(set(real)) != len(real):
+        dupes = sorted({c.name for c in real if real.count(c) > 1})
+        found.append(Diagnostic(
+            "RC501", "%s lists duplicate codecs: %s"
+            % (decl.label, ", ".join(dupes)),
+            program=program))
+    media = sorted({c.medium for c in real})
+    if len(media) > 1:
+        found.append(Diagnostic(
+            "RC501", "%s mixes media in one list: %s"
+            % (decl.label, ", ".join(media)),
+            program=program))
+    for earlier, later in zip(real, real[1:]):
+        if later.fidelity > earlier.fidelity:
+            found.append(Diagnostic(
+                "RC501", "%s is not priority-ordered: %s (fidelity %d) "
+                "listed after %s (fidelity %d)"
+                % (decl.label, later.name, later.fidelity,
+                   earlier.name, earlier.fidelity),
+                program=program))
+            break
+    return found
+
+
+def check_selector_cache(program: str, decl: SelectorCacheDecl
+                         ) -> List[Diagnostic]:
+    """RC503: a held selector answers a descriptor version that the
+    same cache has already superseded."""
+    found: List[Diagnostic] = []
+    latest: Dict[str, int] = {}
+    for descriptor in decl.descriptors:
+        origin = descriptor.id.origin
+        latest[origin] = max(latest.get(origin, -1),
+                             descriptor.id.version)
+    for selector in decl.selectors:
+        freshest = latest.get(selector.answers.origin)
+        if freshest is not None and selector.answers.version < freshest:
+            found.append(Diagnostic(
+                "RC503", "%s holds a selector answering %s, but has "
+                "already cached version %d from the same origin; the "
+                "selector is stale"
+                % (decl.owner, selector.answers, freshest),
+                program=program))
+    return found
+
+
+def check_hygiene(program: str,
+                  codec_lists: Sequence[CodecListDecl] = (),
+                  selector_caches: Sequence[SelectorCacheDecl] = ()
+                  ) -> List[Diagnostic]:
+    """Run every hygiene check; stable-sorted findings."""
+    found: List[Diagnostic] = []
+    for decl in codec_lists:
+        found.extend(check_codec_list(program, decl))
+    for cache in selector_caches:
+        found.extend(check_selector_cache(program, cache))
+    found.sort(key=lambda d: (d.code, d.message))
+    return found

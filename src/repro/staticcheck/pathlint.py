@@ -1,0 +1,67 @@
+"""Static checking of verification path models (Sec. VIII-A).
+
+The twelve path models pair a goal at each end of a signaling path with
+a temporal specification from Sec. V.  Which specification a goal pair
+can satisfy is *statically determined* by the goal semantics of
+Sec. IV-A:
+
+* a closeslot rejects every open, so a path with a close end can never
+  recur to ``bothFlowing``;
+* an openslot "takes every possible opportunity to push the slot toward
+  the flowing state" and retries after every rejection, so a path with
+  an open end can never stabilize in ``bothClosed``;
+* with no end taking initiative (hold/hold), the path either stays
+  closed or, once opened from outside, keeps flowing.
+
+:func:`expected_property` derives the property class from those three
+facts; :func:`check_model` reports RC601 when a model's assigned
+specification disagrees — the static twin of the sweep discovering a
+property violation at exploration time (see the cross-validation test).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..verification.models import PathModel
+from .diagnostics import Diagnostic
+
+__all__ = ["expected_property", "check_model"]
+
+
+def expected_property(left_goal: str, right_goal: str) -> str:
+    """The property class a (left, right) goal pairing can satisfy."""
+    goals = {left_goal, right_goal}
+    unknown = goals - {"close", "hold", "open"}
+    if unknown:
+        raise ValueError("unknown goal kind(s): %s" % sorted(unknown))
+    if "close" in goals:
+        if "open" in goals:
+            # The open end keeps re-opening against the rejecting close
+            # end: never both flowing, but never quiescent either.
+            return "stability-no-flow"
+        # Close vs. close/hold: the close end wins and both ends rest.
+        return "stability-closed"
+    if "open" in goals:
+        # Someone pushes to flowing and nothing ever closes.
+        return "recurrence-flowing"
+    # hold/hold: no initiative — closed forever, or flowing forever
+    # once a third party (the paper's environment) opens the path.
+    return "closed-or-flowing"
+
+
+def check_model(model: PathModel) -> List[Diagnostic]:
+    """RC601: the model's assigned temporal property does not match the
+    class its goal pairing can satisfy."""
+    left = model.system.processes[model.left_index]
+    right = model.system.processes[model.right_index]
+    expected = expected_property(left.goal, right.goal)
+    if expected == model.property_kind:
+        return []
+    return [Diagnostic(
+        "RC601", "model %s pairs goals (%s, %s), which can satisfy "
+        "only %r, but is checked against %r — the sweep will report a "
+        "property violation"
+        % (model.key, left.goal, right.goal, expected,
+           model.property_kind),
+        program=model.key)]

@@ -1,0 +1,244 @@
+"""The rule engine: diagnostics over extracted program graphs.
+
+Each rule is a function ``(ProgramGraph) -> Iterable[Diagnostic]``,
+registered in :data:`RULES`.  :func:`check_graph` runs them all and
+returns the findings sorted by code, state, and slot, so output is
+stable across runs.
+
+The rules enforce clauses of Sec. IV of the paper; the table in
+DESIGN.md §6 maps each code to its clause.  They are deliberately
+*sound but incomplete*: an opaque guard (a hand-written callable with
+no static description) disables the guard rules for that transition
+rather than producing guesses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from ..core.program import GoalSpec
+from .diagnostics import Diagnostic
+from .graph import (GuardDesc, ProgramGraph, TransitionInfo,
+                    conjunctive_slot_atoms, slot_names_in_guard)
+
+__all__ = ["RULES", "check_graph", "UNREACHABLE_UNDER"]
+
+
+# ----------------------------------------------------------------------
+# RC1xx — reachability
+# ----------------------------------------------------------------------
+def rule_unreachable_states(graph: ProgramGraph) -> Iterable[Diagnostic]:
+    """RC101: a state no chain of transitions/timeouts can enter."""
+    reachable = graph.reachable()
+    for name in graph.states:
+        if name not in reachable:
+            yield Diagnostic(
+                "RC101", "state %r is unreachable from initial state %r"
+                % (name, graph.initial),
+                program=graph.name, state=name)
+
+
+def rule_no_termination(graph: ProgramGraph) -> Iterable[Diagnostic]:
+    """RC102: no reachable state ever targets END — the program can
+    never terminate.  Deliberately-cyclic programs (the prepaid-card
+    machine of Sec. IV-B) suppress this with a reason."""
+    if not graph.can_terminate():
+        yield Diagnostic(
+            "RC102", "no reachable state has a transition or timeout "
+            "to END; the program cannot terminate",
+            program=graph.name, state=graph.initial)
+
+
+def rule_trap_states(graph: ProgramGraph) -> Iterable[Diagnostic]:
+    """RC103: a reachable state with no transitions and no timeout —
+    once entered, the program can neither advance nor end."""
+    for name in sorted(graph.reachable()):
+        info = graph.states.get(name)
+        if info is not None and not info.transitions \
+                and info.timeout_target is None:
+            yield Diagnostic(
+                "RC103", "state %r has no transitions and no timeout; "
+                "the program can never leave it" % name,
+                program=graph.name, state=name)
+
+
+# ----------------------------------------------------------------------
+# RC2xx — goal conflicts
+# ----------------------------------------------------------------------
+def rule_goal_conflicts(graph: ProgramGraph) -> Iterable[Diagnostic]:
+    """RC201/RC202: two annotations claiming one slot in one state.
+
+    "In each state ... annotations or defaults give a static description
+    of the programmer's goal for each slot" (Sec. IV-A) — *the* goal,
+    singular.  A flowLink claiming a slot another annotation closes is
+    reported as the sharper RC202 (the link waits forever for media the
+    closeslot is rejecting); every other pairing is RC201.
+    """
+    for info in graph.states.values():
+        claimed: Dict[str, GoalSpec] = {}
+        for spec in info.goals:
+            for slot in spec.names:
+                first = claimed.get(slot)
+                if first is None:
+                    claimed[slot] = spec
+                    continue
+                kinds = {first.kind, spec.kind}
+                code = "RC202" if kinds == {"link", "close"} else "RC201"
+                yield Diagnostic(
+                    code, "slot %r is claimed by both %s and %s"
+                    % (slot, first, spec),
+                    program=graph.name, state=info.name, slot=slot)
+
+
+def rule_medium_mismatch(graph: ProgramGraph) -> Iterable[Diagnostic]:
+    """RC203: ``require_medium_match``, statically.
+
+    "If both slots have the medium attribute defined ... their medium
+    attributes are the same" (Sec. IV-A).  A slot's medium is evidenced
+    by declaration or by ``openSlot(s, m)`` annotations; conflicting
+    evidence for one slot is reported once, and a flowLink over two
+    slots with distinct unanimous media is reported per state.
+    """
+    evidence = graph.media_evidence()
+    for slot in sorted(evidence):
+        options = evidence[slot]
+        if len(options) > 1:
+            detail = "; ".join(
+                "%s in %s" % (medium, ", ".join(sorted(set(states))))
+                for medium, states in sorted(options.items()))
+            yield Diagnostic(
+                "RC203", "slot %r is opened with conflicting media: %s"
+                % (slot, detail),
+                program=graph.name, slot=slot)
+    for info in graph.states.values():
+        for spec in info.goals:
+            if spec.kind != "link":
+                continue
+            m1 = graph.medium_of(spec.names[0])
+            m2 = graph.medium_of(spec.names[1])
+            if m1 is not None and m2 is not None and m1 != m2:
+                yield Diagnostic(
+                    "RC203", "flowLink(%s, %s) joins different media "
+                    "(%s vs %s)" % (spec.names[0], spec.names[1], m1, m2),
+                    program=graph.name, state=info.name,
+                    slot=spec.names[0])
+
+
+# ----------------------------------------------------------------------
+# RC3xx — guards
+# ----------------------------------------------------------------------
+#: Slot protocol states an annotation makes unreachable while it is in
+#: force (the Fig. 12 state-matching table, restricted to combinations
+#: the goal itself forbids): a closeslot never sends open, so its slot
+#: is never ``opening``, and it rejects every open it receives, so its
+#: slot never reaches ``flowing``.  Openslots, holdslots, and flowlinks
+#: can observe any slot state (via far-end action or inheritance from a
+#: predecessor goal), so they forbid nothing.
+UNREACHABLE_UNDER: Dict[str, Tuple[str, ...]] = {
+    "close": ("opening", "flowing"),
+    "open": (),
+    "hold": (),
+    "link": (),
+}
+
+
+def rule_dead_guards(graph: ProgramGraph) -> Iterable[Diagnostic]:
+    """RC301: a transition waiting on a slot predicate its own state's
+    annotation makes forever false — e.g. ``isFlowing(s)`` while the
+    state annotates ``closeSlot(s)``.  Only *conjunctive* atoms are
+    considered (a dead disjunct under ``any_of`` does not disable the
+    transition)."""
+    for info in graph.states.values():
+        for transition in info.transitions:
+            for predicate, slot in conjunctive_slot_atoms(transition.guard):
+                spec = info.annotation_for(slot)
+                if spec is None:
+                    continue
+                if predicate in UNREACHABLE_UNDER.get(spec.kind, ()):
+                    yield Diagnostic(
+                        "RC301", "transition to %r waits for "
+                        "is_%s(%s), but %s keeps the slot out of "
+                        "state %r — the guard can never fire"
+                        % (transition.target, predicate, slot, spec,
+                           predicate),
+                        program=graph.name, state=info.name, slot=slot)
+
+
+def rule_guard_overlap(graph: ProgramGraph) -> Iterable[Diagnostic]:
+    """RC302: two transitions of one state race on the same condition
+    (only the first declared ever fires), or an unconditional guard
+    shadows every transition declared after it."""
+    for info in graph.states.values():
+        seen: Dict[GuardDesc, TransitionInfo] = {}
+        for transition in info.transitions:
+            first = seen.get(transition.guard)
+            if first is not None:
+                yield Diagnostic(
+                    "RC302", "transitions #%d (to %r) and #%d (to %r) "
+                    "share the same guard; the later one can never fire"
+                    % (first.index, first.target, transition.index,
+                       transition.target),
+                    program=graph.name, state=info.name)
+            else:
+                seen[transition.guard] = transition
+        for transition in info.transitions[:-1]:
+            if transition.is_always:
+                yield Diagnostic(
+                    "RC302", "transition #%d (to %r) is unconditional "
+                    "and shadows every later transition"
+                    % (transition.index, transition.target),
+                    program=graph.name, state=info.name)
+                break
+
+
+# ----------------------------------------------------------------------
+# RC4xx — declarations
+# ----------------------------------------------------------------------
+def rule_undeclared_slots(graph: ProgramGraph) -> Iterable[Diagnostic]:
+    """RC401: an annotation or guard names a slot the box never
+    declares (the static twin of the ``Program`` constructor's
+    fail-fast check).  Skipped when the graph declares no slots at all
+    (nothing to validate against)."""
+    declared = graph.declared_slots
+    if not declared:
+        return
+    for info in graph.states.values():
+        for spec in info.goals:
+            for slot in spec.names:
+                if slot not in declared:
+                    yield Diagnostic(
+                        "RC401", "annotation %s names undeclared slot "
+                        "%r (declared: %s)"
+                        % (spec, slot, ", ".join(sorted(declared))),
+                        program=graph.name, state=info.name, slot=slot)
+        for transition in info.transitions:
+            for slot in sorted(slot_names_in_guard(transition.guard)):
+                if slot not in declared:
+                    yield Diagnostic(
+                        "RC401", "guard of transition #%d (to %r) tests "
+                        "undeclared slot %r (declared: %s)"
+                        % (transition.index, transition.target, slot,
+                           ", ".join(sorted(declared))),
+                        program=graph.name, state=info.name, slot=slot)
+
+
+RULES = (
+    rule_unreachable_states,
+    rule_no_termination,
+    rule_trap_states,
+    rule_goal_conflicts,
+    rule_medium_mismatch,
+    rule_dead_guards,
+    rule_guard_overlap,
+    rule_undeclared_slots,
+)
+
+
+def check_graph(graph: ProgramGraph) -> List[Diagnostic]:
+    """Run every rule over ``graph``; stable-sorted findings."""
+    found: List[Diagnostic] = []
+    for rule in RULES:
+        found.extend(rule(graph))
+    found.sort(key=lambda d: (d.code, d.state or "", d.slot or "",
+                              d.message))
+    return found

@@ -1,0 +1,55 @@
+"""The analyzer self-hosts: every bundled app, protocol declaration,
+and verification model lints clean."""
+
+import pytest
+
+from repro.staticcheck import all_targets, app_targets, model_targets
+
+TARGETS = all_targets()
+
+
+def test_catalog_names_are_unique():
+    names = [t.name for t in TARGETS]
+    assert len(names) == len(set(names))
+
+
+def test_catalog_covers_all_six_apps_and_twelve_models():
+    names = {t.name for t in TARGETS}
+    for app in ("click_to_dial", "prepaid", "pbx", "conference",
+                "collab_tv", "features-dnd", "features-voicemail"):
+        assert any(n == "apps/%s" % app for n in names), app
+    assert sum(1 for n in names if n.startswith("models/")) == 12
+
+
+@pytest.mark.parametrize("target", TARGETS,
+                         ids=[t.name for t in TARGETS])
+def test_target_is_clean(target):
+    report = target.report()
+    assert report.clean, "\n".join(d.format() for d in report.active)
+
+
+def test_prepaid_suppression_is_exercised():
+    """The prepaid waiver is not dead weight: RC102 really fires and is
+    really suppressed, with its reason on record."""
+    target = next(t for t in app_targets() if t.name == "apps/prepaid")
+    report = target.report()
+    assert [d.code for d in report.suppressed] == ["RC102"]
+    assert "design" in report.suppressions[0].reason
+
+
+def test_every_suppression_matches_a_finding():
+    """No stale waivers: each suppression in the catalog suppresses at
+    least one actual diagnostic."""
+    for target in TARGETS:
+        report = target.report()
+        for suppression in report.suppressions:
+            assert any(d.code == suppression.code
+                       for d in report.suppressed), (
+                "%s suppresses %s but nothing fires"
+                % (target.name, suppression.code))
+
+
+def test_model_targets_match_sweep_grid():
+    from repro.verification import all_models
+    expected = {"models/%s" % m.key for m in all_models()}
+    assert {t.name for t in model_targets()} == expected

@@ -1,0 +1,82 @@
+"""Cross-validation: the static analyzer against the model-checking
+engine (Sec. VIII-A).
+
+The RC601 rule claims to predict, from goal semantics alone, which
+temporal property a signaling path can satisfy.  The sweep engine
+actually explores the state space.  These tests pin the two together:
+
+* on every bundled model, both agree the spec is right (RC601 silent,
+  sweep passes — the sweep side is continuously re-established by
+  ``tests/unit/test_verification.py::test_path_model_passes_safety_and_
+  spec``);
+* on a deliberately mis-specified model, both flag it: the sweep finds
+  a property violation at exploration time AND the linter reports RC601
+  without exploring anything.
+
+Every sweep-flagged property violation therefore triggers a static
+diagnostic; the bundled catalog carries no suppression for RC601.
+"""
+
+import pytest
+
+from repro.staticcheck import all_targets, check_model, expected_property
+from repro.verification import (PATH_TYPES, all_models, build_model,
+                                verify_model)
+
+PROPERTY_KINDS = ("stability-closed", "stability-no-flow",
+                  "recurrence-flowing", "closed-or-flowing")
+
+
+def test_every_bundled_model_is_statically_clean():
+    for model in all_models():
+        assert check_model(model) == [], model.key
+
+
+def test_static_spec_table_matches_path_types():
+    """The derivation in ``expected_property`` reproduces the paper's
+    spec table (it is derived from goal semantics, not copied)."""
+    for left, right, prop in PATH_TYPES.values():
+        assert expected_property(left, right) == prop
+        assert expected_property(right, left) == prop  # symmetric
+
+
+def test_expected_property_rejects_unknown_goals():
+    with pytest.raises(ValueError):
+        expected_property("open", "frobnicate")
+
+
+@pytest.mark.parametrize("path_type", sorted(PATH_TYPES))
+def test_misassigned_spec_is_flagged_statically(path_type):
+    """Assigning any *other* property kind to a path type draws RC601."""
+    right_kind = PATH_TYPES[path_type][2]
+    for kind in PROPERTY_KINDS:
+        model = build_model(path_type)
+        model.property_kind = kind
+        found = check_model(model)
+        if kind == right_kind:
+            assert found == []
+        else:
+            assert [d.code for d in found] == ["RC601"]
+
+
+def test_sweep_and_linter_agree_on_a_broken_spec():
+    """The non-vacuous case: a close/open path checked for
+    recurrence-flowing.  The engine explores and finds the property
+    violated; the linter predicts exactly that without exploring."""
+    model = build_model("CO")
+    model.property_kind = "recurrence-flowing"
+
+    static = check_model(model)
+    assert [d.code for d in static] == ["RC601"]
+    assert "recurrence-flowing" in static[0].message
+
+    result = verify_model(model, max_states=300_000)
+    assert result.safety_ok          # the protocol itself is fine
+    assert not result.property_ok    # the mis-assigned spec fails
+
+
+def test_catalog_has_no_rc601_waiver():
+    """No bundled model is allowed to ship with a mismatched spec."""
+    for target in all_targets():
+        assert all(s.code != "RC601" for s in target.suppressions), \
+            target.name

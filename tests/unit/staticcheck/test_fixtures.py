@@ -1,0 +1,37 @@
+"""Every diagnostic code fires on its deliberately-broken fixture,
+at the expected state and slot."""
+
+import pytest
+
+from repro.staticcheck import CODES, all_fixtures
+
+FIXTURES = all_fixtures()
+
+
+def test_one_fixture_per_code():
+    assert sorted(f.code for f in FIXTURES) == sorted(CODES)
+
+
+@pytest.mark.parametrize("fixture", FIXTURES,
+                         ids=[f.name for f in FIXTURES])
+def test_fixture_triggers_its_code(fixture):
+    found = fixture.run()
+    assert any(fixture.matches(d) for d in found), (
+        "%s did not produce %s at state=%r slot=%r; got %s"
+        % (fixture.name, fixture.code, fixture.state, fixture.slot,
+           [d.format() for d in found]))
+
+
+@pytest.mark.parametrize("fixture", FIXTURES,
+                         ids=[f.name for f in FIXTURES])
+def test_fixture_locations_are_exact(fixture):
+    """The matching diagnostic carries the planted state/slot names."""
+    matching = [d for d in fixture.run() if fixture.matches(d)]
+    for diagnostic in matching:
+        if fixture.state is not None:
+            assert diagnostic.state == fixture.state
+        if fixture.slot is not None:
+            assert diagnostic.slot == fixture.slot
+        assert diagnostic.code in CODES
+        assert diagnostic.severity in ("error", "warning")
+        assert diagnostic.format()  # renders without crashing

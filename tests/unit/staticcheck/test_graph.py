@@ -1,0 +1,100 @@
+"""The extraction layer: guard descriptions, reachability, media
+evidence, and Program extraction."""
+
+from repro.core.predicates import (all_of, always, any_of, describe_guard,
+                                   is_flowing, is_opened, negate)
+from repro.core.program import (END, Program, State, Transition,
+                                hold_slot, on_channel_down, on_meta,
+                                open_slot)
+from repro.network.network import Network
+from repro.protocol.codecs import AUDIO, VIDEO
+from repro.staticcheck import (conjunctive_slot_atoms, extract_program,
+                               extract_states, slot_names_in_guard)
+
+
+def test_atoms_describe_themselves():
+    assert describe_guard(is_flowing("x")) == \
+        ("atom", ("slot", "flowing", "x"))
+    assert describe_guard(always) == ("atom", ("always",))
+
+
+def test_combinators_describe_operands():
+    guard = all_of(is_flowing("x"), any_of(is_opened("y"),
+                                           negate(is_flowing("z"))))
+    desc = describe_guard(guard)
+    assert desc[0] == "all"
+    assert desc[1] == ("atom", ("slot", "flowing", "x"))
+    assert desc[2][0] == "any"
+
+
+def test_opaque_guards_never_compare_equal():
+    guard_a = lambda p: True  # noqa: E731
+    guard_b = lambda p: True  # noqa: E731
+    desc_a = describe_guard(guard_a)
+    desc_b = describe_guard(guard_b)
+    assert desc_a[0] == "opaque" and desc_b[0] == "opaque"
+    assert desc_a != desc_b
+
+
+def test_same_opaque_guard_is_stable():
+    guard = lambda p: True  # noqa: E731
+    assert describe_guard(guard) == describe_guard(guard)
+
+
+def test_conjunctive_atoms_skip_disjuncts():
+    guard = all_of(is_flowing("x"),
+                   any_of(is_flowing("y"), is_opened("z")))
+    atoms = conjunctive_slot_atoms(describe_guard(guard))
+    assert atoms == [("flowing", "x")]
+
+
+def test_slot_names_cover_all_nesting():
+    guard = any_of(is_flowing("a"), negate(all_of(is_opened("b"),
+                                                  is_flowing("c"))))
+    assert slot_names_in_guard(describe_guard(guard)) == \
+        {"a", "b", "c"}
+
+
+def _tiny_graph():
+    states = {
+        "start": State(goals=(open_slot("x", AUDIO),),
+                       transitions=(
+                           Transition(is_flowing("x"), "up"),
+                           Transition(on_channel_down(), END),)),
+        "up": State(goals=(hold_slot("x"),),
+                    transitions=(
+                        Transition(on_meta("app", "bye"), END),)),
+    }
+    return extract_states("tiny", states, "start", slots=("x",),
+                          media={"y": VIDEO})
+
+
+def test_reachability_and_termination():
+    graph = _tiny_graph()
+    assert graph.reachable() == {"start", "up"}
+    assert graph.can_terminate()
+
+
+def test_media_evidence_merges_declared_and_open():
+    graph = _tiny_graph()
+    evidence = graph.media_evidence()
+    assert evidence["x"] == {AUDIO: ["start"]}
+    assert evidence["y"] == {VIDEO: ["<declared>"]}
+    assert graph.medium_of("x") == AUDIO
+    assert graph.medium_of("unknown") is None
+
+
+def test_extract_program_uses_declared_slots():
+    net = Network(seed=7)
+    box = net.box("srv")
+    dev = net.device("dev", auto_accept=True)
+    ch = net.channel(box, dev)
+    box.name_slot("s", ch.end_for(box).slot())
+    program = Program(box, {
+        "only": State(goals=(hold_slot("s"),),
+                      transitions=(Transition(on_channel_down(), END),)),
+    }, initial="only")
+    graph = extract_program("rigged", program)
+    assert graph.initial == "only"
+    assert "s" in graph.declared_slots
+    assert graph.states["only"].transitions[0].guard[1][0] == "down"

@@ -150,6 +150,26 @@ def test_undefined_initial_rejected(rig):
         Program(box, {"one": State()}, initial="zero")
 
 
+def test_undeclared_annotation_slot_rejected_at_construction(rig):
+    """Fail fast: a GoalSpec naming a slot the box never declared is a
+    ConfigurationError when the Program is built, not when it starts."""
+    net, box, dev, ch = rig   # rig declares slot "s" only
+    with pytest.raises(ConfigurationError) as err:
+        Program(box, {
+            "one": State(goals=(hold_slot("typo"),)),
+        }, initial="one")
+    assert "typo" in str(err.value)
+
+
+def test_slots_parameter_extends_declarations(rig):
+    """A Program may declare slots up front (channels bound lazily)."""
+    net, box, dev, ch = rig
+    program = Program(box, {
+        "one": State(goals=(hold_slot("later"),)),
+    }, initial="one", slots=("later",))
+    assert "later" in program.declared_slots
+
+
 def test_duplicate_slot_annotation_rejected(rig):
     net, box, dev, ch = rig
     program = Program(box, {
