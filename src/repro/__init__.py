@@ -32,18 +32,19 @@ from .core import (Box, CloseSlot, FlowLink, Goal, HoldSlot, Maps, OpenSlot,
                    Program, State, Timeout, Transition, END,
                    close_slot, flow_link, hold_slot, open_slot,
                    on_channel_down, on_meta,
-                   is_closed, is_flowing, is_opened, is_opening)
+                   is_closed, is_flowing, is_opened, is_opening,
+                   slot_failed)
 from .media import (AnnouncementPlayer, ConferenceBridge, InteractiveVoice,
                     MediaEndpoint, MediaPlane, MovieServer, Port,
                     ToneGenerator, UserDevice)
-from .network import (Address, EventLoop, FixedLatency, Network,
-                      QuiescenceError, Router, UniformLatency,
-                      PAPER_C, PAPER_N)
+from .network import (Address, EventLoop, FaultPlan, FaultyLink,
+                      FixedLatency, Network, QuiescenceError, Router,
+                      UniformLatency, PAPER_C, PAPER_N)
 from .protocol import (AUDIO, NO_MEDIA, TEXT, VIDEO, ChannelEnd, Codec,
                        ConfigurationError, Descriptor, DescriptorFactory,
                        MediaControlError, PreconditionError, ProtocolError,
-                       Selector, SignalingAgent, SignalingChannel, Slot,
-                       G711, G726, G729)
+                       RetransmitPolicy, Selector, SignalingAgent,
+                       SignalingChannel, Slot, G711, G726, G729)
 from .semantics import (PathMonitor, SignalingPath, SpecViolation,
                         all_paths, both_closed, both_flowing, trace_path)
 
@@ -55,18 +56,20 @@ __all__ = [
     "Program", "State", "Timeout", "Transition", "END",
     "close_slot", "flow_link", "hold_slot", "open_slot",
     "on_channel_down", "on_meta",
-    "is_closed", "is_flowing", "is_opened", "is_opening",
+    "is_closed", "is_flowing", "is_opened", "is_opening", "slot_failed",
     # media
     "AnnouncementPlayer", "ConferenceBridge", "InteractiveVoice",
     "MediaEndpoint", "MediaPlane", "MovieServer", "Port", "ToneGenerator",
     "UserDevice",
     # network
-    "Address", "EventLoop", "FixedLatency", "Network", "QuiescenceError",
-    "Router", "UniformLatency", "PAPER_C", "PAPER_N",
+    "Address", "EventLoop", "FaultPlan", "FaultyLink", "FixedLatency",
+    "Network", "QuiescenceError", "Router", "UniformLatency",
+    "PAPER_C", "PAPER_N",
     # protocol
     "AUDIO", "VIDEO", "TEXT", "NO_MEDIA", "ChannelEnd", "Codec",
     "ConfigurationError", "Descriptor", "DescriptorFactory",
-    "MediaControlError", "PreconditionError", "ProtocolError", "Selector",
+    "MediaControlError", "PreconditionError", "ProtocolError",
+    "RetransmitPolicy", "Selector",
     "SignalingAgent", "SignalingChannel", "Slot", "G711", "G726", "G729",
     # semantics
     "PathMonitor", "SignalingPath", "SpecViolation", "all_paths",

@@ -8,7 +8,9 @@ Subcommands::
     python -m repro scenario    # Fig. 2 vs Fig. 3 snapshots
     python -m repro lint        # static analysis of the bundled
                                 # programs and models (see --help)
-    python -m repro all         # everything above except lint
+    python -m repro chaos       # the bundled apps under fault
+                                # injection (see --help)
+    python -m repro all         # everything above except lint/chaos
 
 Exit status is normalized across subcommands: 0 on success (for
 ``lint``: every target clean), 1 when findings were reported, 2 on
@@ -109,6 +111,10 @@ def main(argv=None) -> int:
         # 0 clean / 1 findings / 2 usage error).
         from .staticcheck.cli import main as lint_main
         return lint_main(argv[1:])
+    if argv[:1] == ["chaos"]:
+        # Same shape: 0 converged / 1 divergence / 2 usage error.
+        from .chaos.cli import main as chaos_main
+        return chaos_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce 'Compositional Control of IP Media' "

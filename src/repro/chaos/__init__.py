@@ -1,0 +1,15 @@
+"""Chaos harness: the bundled applications under injected faults.
+
+The model checker proves the protocol converges under bounded loss
+(:mod:`repro.verification`, the ``~lossy`` models); this package
+demonstrates the same property for the *runtime* — each application is
+driven end-to-end twice with one seed, faithful and faulted, and the
+end-state media fingerprints must match.  ``python -m repro chaos``
+runs the suite from the command line.
+"""
+
+from .runner import ChaosResult, run_app, run_suite
+from .scenarios import SCENARIOS, ConvergenceTimeout, advance_until
+
+__all__ = ["ChaosResult", "run_app", "run_suite", "SCENARIOS",
+           "ConvergenceTimeout", "advance_until"]

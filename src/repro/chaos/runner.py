@@ -1,0 +1,103 @@
+"""The chaos runner: same seed, same script, faithful vs. faulty
+network — the fingerprints must match.
+
+This is the runtime half of the robustness story (the model checker's
+lossy-tunnel sweep is the exhaustive half): it demonstrates that the
+retransmission machinery of :mod:`repro.protocol.slot` really does hide
+a :class:`~repro.network.faults.FaultPlan` from the media plane for
+whole applications, not just one tunnel.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..network.eventloop import QuiescenceError
+from ..network.faults import FaultPlan
+from ..network.network import Network
+from ..protocol.errors import MediaControlError
+from ..protocol.slot import RetransmitPolicy
+from .scenarios import SCENARIOS, ConvergenceTimeout
+
+__all__ = ["ChaosResult", "run_app", "run_suite"]
+
+
+@dataclass
+class ChaosResult:
+    """Outcome of one app under one fault plan."""
+
+    app: str
+    plan: Dict[str, object]
+    seed: int
+    converged: bool
+    error: Optional[str] = None
+    mismatches: List[str] = field(default_factory=list)
+    baseline: Dict[str, object] = field(default_factory=dict)
+    outcome: Dict[str, object] = field(default_factory=dict)
+    fault_stats: Dict[str, int] = field(default_factory=dict)
+    sim_time: float = 0.0
+    elapsed: float = 0.0
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "app": self.app,
+            "plan": self.plan,
+            "seed": self.seed,
+            "converged": self.converged,
+            "error": self.error,
+            "mismatches": self.mismatches,
+            "baseline": self.baseline,
+            "outcome": self.outcome,
+            "fault_stats": self.fault_stats,
+            "sim_time": self.sim_time,
+            "elapsed": self.elapsed,
+        }
+
+
+def run_app(app: str, plan: FaultPlan, seed: int = 7,
+            retransmit: Optional[RetransmitPolicy] = None) -> ChaosResult:
+    """Run one application's scenario under ``plan`` and compare its
+    media fingerprint with a fault-free run of the same seed.
+
+    ``retransmit=None`` disables robust mode — the negative control:
+    under real loss the apps are then expected to diverge or hang.
+    """
+    scenario = SCENARIOS[app]
+    result = ChaosResult(app=app, plan=plan.describe(), seed=seed,
+                         converged=False)
+    baseline_net = Network(seed=seed, retransmit=retransmit)
+    result.baseline = scenario(baseline_net)
+
+    start = time.perf_counter()
+    net = Network(seed=seed, retransmit=retransmit, faults=plan)
+    try:
+        result.outcome = scenario(net)
+    except (ConvergenceTimeout, QuiescenceError, MediaControlError) as e:
+        result.error = "%s: %s" % (type(e).__name__, e)
+    result.elapsed = time.perf_counter() - start
+    result.sim_time = net.now
+    result.fault_stats = net.fault_stats.to_json()
+    if result.error is None:
+        keys = sorted(set(result.baseline) | set(result.outcome))
+        result.mismatches = [
+            "%s: baseline=%r faulted=%r"
+            % (k, result.baseline.get(k), result.outcome.get(k))
+            for k in keys
+            if result.baseline.get(k) != result.outcome.get(k)]
+        result.converged = not result.mismatches
+    return result
+
+
+def run_suite(apps: Optional[List[str]] = None,
+              plan: Optional[FaultPlan] = None, seed: int = 7,
+              retransmit: Optional[RetransmitPolicy] = None
+              ) -> List[ChaosResult]:
+    """Run a list of apps (default: all six) under one plan."""
+    from ..network.faults import PLANS
+    if plan is None:
+        plan = PLANS["drop10+dup10"]
+    names = list(SCENARIOS) if apps is None else apps
+    return [run_app(name, plan, seed=seed, retransmit=retransmit)
+            for name in names]

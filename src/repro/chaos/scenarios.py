@@ -1,0 +1,230 @@
+"""Chaos scenarios: each bundled application driven end-to-end on one
+:class:`~repro.network.network.Network` and summarized as a media
+*fingerprint* — a flat dict of end-state observations (who hears what,
+which pairs flow two-way, which program state was reached).
+
+The runner executes each scenario twice with the same seed — once on a
+faithful network, once under a :class:`~repro.network.faults.FaultPlan`
+— and the robustness claim is fingerprint equality: bounded loss,
+duplication, reordering, and jitter must not change where the media
+ends up, only how long convergence takes.
+
+Scenarios therefore avoid ``settle()``-style racing and instead combine
+predicate waits (:func:`advance_until`) with generous fixed drains, so
+the same script is meaningful at zero latency and under 20% loss with
+retransmission backoff.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..network.network import Network
+from ..protocol.codecs import AUDIO
+
+__all__ = ["SCENARIOS", "ConvergenceTimeout", "advance_until",
+           "fingerprint_of"]
+
+#: How long a predicate wait may advance simulated time before the run
+#: is declared non-convergent.  Generous: six retransmissions with the
+#: default policy span 0.25 * (2^6 - 1) ≈ 16 s.
+WAIT_TIMEOUT = 20.0
+
+#: Drain window after each driving action: long enough for the default
+#: retransmission policy to repair a handful of losses.
+DRAIN = 3.0
+
+
+class ConvergenceTimeout(Exception):
+    """A scenario predicate did not become true within the budget."""
+
+
+def advance_until(net: Network, pred: Callable[[], bool],
+                  timeout: float = WAIT_TIMEOUT,
+                  step: float = 0.25) -> None:
+    deadline = net.now + timeout
+    while not pred():
+        if net.now >= deadline:
+            raise ConvergenceTimeout(
+                "predicate still false after %.1fs of simulated time"
+                % timeout)
+        net.run(step)
+
+
+def heard(net: Network, endpoint) -> List[str]:
+    return sorted(net.plane.heard_by(endpoint))
+
+
+def fingerprint_of(net: Network, **observations) -> Dict[str, object]:
+    """Normalize observations into a JSON-friendly flat dict."""
+    out: Dict[str, object] = {}
+    for key, value in sorted(observations.items()):
+        out[key] = sorted(value) if isinstance(value, (set, frozenset)) \
+            else value
+    return out
+
+
+# ----------------------------------------------------------------------
+# the six applications
+# ----------------------------------------------------------------------
+def click_to_dial(net: Network) -> Dict[str, object]:
+    """Fig. 6: both users answer; the calls join two-way."""
+    from ..apps.click_to_dial import build_click_to_dial
+    user1 = net.device("user1")
+    user2 = net.device("user2")
+    ctd = build_click_to_dial(net, caller_address="user1")
+    program = ctd.click("user2")
+    advance_until(net, user1.ringing)
+    user1.answer()
+    advance_until(net, user2.ringing)
+    user2.answer()
+    advance_until(net, lambda: program.state_name == "connected")
+    net.run(DRAIN)
+    return fingerprint_of(
+        net,
+        state=program.state_name,
+        two_way=net.plane.two_way(user1, user2),
+        user1_hears=heard(net, user1),
+        user2_hears=heard(net, user2))
+
+
+def prepaid(net: Network) -> Dict[str, object]:
+    """Fig. 3 through Snapshot 3: funds run out mid-call, A returns to
+    B, and C is talking to the card server's voice interface."""
+    from ..apps.prepaid import PrepaidScenario
+    sc = PrepaidScenario(net, talk_seconds=30.0)
+    sc.v.will_pay = False  # freeze the story at the collect state
+    sc.establish_ab_call()
+    net.run(DRAIN)
+    sc.card_call_starts()
+    net.run(DRAIN)
+    sc.run_until_funds_exhausted()
+    net.run(DRAIN)
+    sc.switch_back_to_b()
+    advance_until(net, lambda: net.plane.two_way(sc.a, sc.b)
+                  and net.plane.two_way(sc.c, sc.v))
+    net.run(DRAIN)
+    return fingerprint_of(
+        net,
+        ab_two_way=net.plane.two_way(sc.a, sc.b),
+        cv_two_way=net.plane.two_way(sc.c, sc.v),
+        a_hears=heard(net, sc.a),
+        b_hears=heard(net, sc.b),
+        c_hears=heard(net, sc.c))
+
+
+def pbx(net: Network) -> Dict[str, object]:
+    """A PBX line switching between two held calls."""
+    from ..apps.pbx import PBX
+    box = net.box("pbx", cls=PBX)
+    a = net.device("A")
+    line = net.channel(a, box)
+    box.attach_line(line)
+    b = net.device("B", auto_accept=True)
+    c = net.device("C", auto_accept=True)
+    ch_b = net.channel(b, box)
+    ch_c = net.channel(c, box)
+    box.add_call(ch_b, key="B")
+    box.add_call(ch_c, key="C")
+    a.open(line.end_for(a).slot(), AUDIO)
+    b.open(ch_b.end_for(b).slot(), AUDIO)
+    c.open(ch_c.end_for(c).slot(), AUDIO)
+    net.run(DRAIN)
+    box.switch_to("B")
+    advance_until(net, lambda: net.plane.two_way(a, b)
+                  and net.plane.silent(c))
+    mid_ab = True
+    box.switch_to("C")
+    advance_until(net, lambda: net.plane.two_way(a, c)
+                  and net.plane.silent(b))
+    net.run(DRAIN)
+    return fingerprint_of(
+        net,
+        mid_ab_two_way=mid_ab,
+        ac_two_way=net.plane.two_way(a, c),
+        b_silent=net.plane.silent(b),
+        a_hears=heard(net, a),
+        c_hears=heard(net, c))
+
+
+def conference(net: Network) -> Dict[str, object]:
+    """Fig. 7: a three-way conference surviving a mute/unmute cycle."""
+    from ..apps.conference import build_conference
+    server = build_conference(net)
+    devices = {}
+    for name in ("A", "B", "C"):
+        dev = net.device(name, auto_accept=True)
+        devices[name] = dev
+        server.invite(name, key=name)
+
+    def all_mixed():
+        return all("audio:%s" % other in net.plane.heard_by(dev)
+                   for name, dev in devices.items()
+                   for other in devices if other != name)
+
+    advance_until(net, all_mixed)
+    server.fully_mute("B")
+    advance_until(net, lambda: net.plane.silent(devices["B"]))
+    mid_b_silent = True
+    server.unmute("B")
+    advance_until(net, all_mixed)
+    net.run(DRAIN)
+    fp = {"mid_b_silent": mid_b_silent}
+    for name, dev in devices.items():
+        fp["%s_hears" % name.lower()] = heard(net, dev)
+    return fingerprint_of(net, **fp)
+
+
+def collab_tv(net: Network) -> Dict[str, object]:
+    """Fig. 8: one movie on five tunnels across three devices."""
+    from ..apps.collab_tv import CollaborativeTV
+    session = CollaborativeTV(net, title="heidi")
+    session.start_watching()
+    advance_until(net, lambda: len(net.plane.heard_by(session.tv)) >= 2
+                  and len(net.plane.heard_by(session.laptop)) >= 2
+                  and len(net.plane.heard_by(session.phones)) >= 1)
+    net.run(DRAIN)
+    return fingerprint_of(
+        net,
+        tv_hears=heard(net, session.tv),
+        laptop_hears=heard(net, session.laptop),
+        phones_hears=heard(net, session.phones))
+
+
+def features(net: Network) -> Dict[str, object]:
+    """A Do-Not-Disturb feature box rejecting, then admitting, a call
+    through a transparent pipeline."""
+    from ..apps.features import DoNotDisturb
+    a = net.device("A")
+    b = net.device("B", auto_accept=True)
+    dnd = net.box("dnd", cls=DoNotDisturb)
+    upstream = net.channel(a, dnd)
+    downstream = net.channel(dnd, b)
+    dnd.splice(upstream, downstream)
+    dnd.engage()
+    a_slot = upstream.end_for(a).slot()
+    a.open(a_slot, AUDIO)
+    advance_until(net, lambda: a_slot.is_closed)
+    net.run(DRAIN)
+    rejected = a_slot.is_closed and net.plane.silent(b)
+    dnd.disengage()
+    a.open(a_slot, AUDIO)
+    advance_until(net, lambda: net.plane.two_way(a, b))
+    net.run(DRAIN)
+    return fingerprint_of(
+        net,
+        rejected_while_engaged=rejected,
+        two_way=net.plane.two_way(a, b),
+        a_hears=heard(net, a),
+        b_hears=heard(net, b))
+
+
+#: The chaos suite: every bundled application, by CLI name.
+SCENARIOS: Dict[str, Callable[[Network], Dict[str, object]]] = {
+    "click_to_dial": click_to_dial,
+    "prepaid": prepaid,
+    "pbx": pbx,
+    "conference": conference,
+    "collab_tv": collab_tv,
+    "features": features,
+}

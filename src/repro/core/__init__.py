@@ -6,7 +6,7 @@ from .flowlink import FlowLink
 from .goals import CloseSlot, Goal, HoldSlot, OpenSlot, require_medium_match
 from .maps import Maps
 from .predicates import (all_of, always, any_of, is_closed, is_flowing,
-                         is_opened, is_opening, negate)
+                         is_opened, is_opening, negate, slot_failed)
 from .program import (END, GoalSpec, Program, State, Timeout, Transition,
                       close_slot, flow_link, hold_slot, on_channel_down,
                       on_meta, open_slot)
@@ -15,7 +15,7 @@ __all__ = [
     "Box", "FlowLink", "CloseSlot", "Goal", "HoldSlot", "OpenSlot",
     "require_medium_match", "Maps",
     "all_of", "always", "any_of", "is_closed", "is_flowing", "is_opened",
-    "is_opening", "negate",
+    "is_opening", "negate", "slot_failed",
     "END", "GoalSpec", "Program", "State", "Timeout", "Transition",
     "close_slot", "flow_link", "hold_slot", "on_channel_down", "on_meta",
     "open_slot",

@@ -47,6 +47,9 @@ class Box(SignalingAgent):
         self.declared_slots: Set[str] = set()
         #: Signals that arrived for a slot with no controlling goal.
         self.unmanaged: List[Tuple[Slot, TunnelSignal]] = []
+        #: Robust mode: slots whose retransmission budget ran out,
+        #: newest last, as ``(slot, reason)``.
+        self.failed_log: List[Tuple[Slot, str]] = []
         #: Meta-signals seen (newest last), for programs polling them.
         self.meta_log: List[Tuple[ChannelEnd, MetaSignal]] = []
         #: Optional observer invoked after every stimulus (programs use
@@ -141,6 +144,16 @@ class Box(SignalingAgent):
         if self.program is not None:
             self.program.note_meta(end, signal)
         self.on_meta_signal(end, signal)
+        self._poll()
+
+    def on_slot_failed(self, slot: Slot, reason: str) -> None:
+        """Robust mode: route a retransmission-budget failure to the
+        goal controlling the slot, then re-poll the program — the
+        ``slot_failed`` guard predicate is now true for the slot."""
+        self.failed_log.append((slot, reason))
+        goal = self.maps.goal_for(slot)
+        if goal is not None:
+            goal.on_slot_failed(slot, reason)
         self._poll()
 
     def on_channel_gone(self, end: ChannelEnd) -> None:

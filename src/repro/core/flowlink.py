@@ -177,6 +177,19 @@ class FlowLink(Goal):
             # A close we sent has completed; a reopen may be pending.
             self._work()
 
+    def on_slot_failed(self, slot: Slot, reason: str) -> None:
+        """One side of the link is unreachable (its retransmission budget
+        ran out and the slot fell back to ``closed``).  Degrade like an
+        environment close (Fig. 12, both-dead goal substate): drag the
+        other slot down instead of linking media into a black hole."""
+        peer = self.other(slot)
+        self._utd[slot] = False
+        self._utd[peer] = False
+        self._reopen[slot] = False
+        self._reopen[peer] = False
+        if peer.is_live:
+            peer.send_close()
+
     def _forward_select(self, slot: Slot, signal: Select) -> None:
         """Forward a selector if it is fresh, else discard it."""
         peer = self.other(slot)

@@ -78,6 +78,12 @@ class Goal:
         slot, after the slot has updated its own state."""
         raise NotImplementedError
 
+    def on_slot_failed(self, slot: Slot, reason: str) -> None:
+        """Robust mode: ``slot`` exhausted its retransmission budget and
+        fell back to ``closed`` without media.  The goal must not keep
+        pushing (the peer is unreachable); default is to accept the
+        ``noMedia`` outcome and do nothing."""
+
     # -- mute-everything helpers (server-side defaults) ----------------------
     def _local_descriptor(self, slot: Slot) -> Descriptor:
         """Descriptor describing this slot as a receiver; the host
@@ -130,6 +136,9 @@ class OpenSlot(Goal):
         self.retry_interval = retry_interval
         self._retry_timer = None
         self.rejections = 0
+        #: Robust mode: the slot's retransmission budget ran out; the
+        #: goal stops pushing and the program can observe ``slot_failed``.
+        self.gave_up = False
 
     @property
     def slot(self) -> Slot:
@@ -170,8 +179,17 @@ class OpenSlot(Goal):
 
     def _retry(self) -> None:
         self._retry_timer = None
-        if self.attached and self.slot.is_closed:
+        if self.attached and not self.gave_up and self.slot.is_closed:
             self._send_open()
+
+    def on_slot_failed(self, slot: Slot, reason: str) -> None:
+        """The open (or close) went unanswered past the retry budget:
+        accept the ``noMedia`` fallback rather than re-opening into a
+        black hole.  ``slot.failed`` stays set for program guards."""
+        self.gave_up = True
+        if self._retry_timer is not None:
+            self._retry_timer.cancel()
+            self._retry_timer = None
 
     def goal_receive(self, slot: Slot, signal: TunnelSignal) -> None:
         if isinstance(signal, Open):

@@ -28,7 +28,7 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = [
     "Guard",
-    "is_closed", "is_opening", "is_opened", "is_flowing",
+    "is_closed", "is_opening", "is_opened", "is_flowing", "slot_failed",
     "all_of", "any_of", "negate", "always",
     "describe_guard", "guard_atom",
 ]
@@ -113,6 +113,19 @@ def is_opened(name: str) -> Guard:
 def is_flowing(name: str) -> Guard:
     """``isFlowing(s)``."""
     return _slot_state_guard(name, "flowing")
+
+
+def slot_failed(name: str) -> Guard:
+    """``slotFailed(s)``: the slot exhausted its retransmission budget
+    (robust mode) and fell back to ``closed`` without media.  False for
+    slots that closed normally, and while the name is unbound.  Programs
+    use it to branch to a degraded state instead of waiting forever on
+    media that will never flow."""
+    def guard(program: "Program") -> bool:
+        slot = program.box.slot_names.get(name)
+        return slot is not None and getattr(slot, "failed", False)
+    guard.__name__ = "slot_failed(%s)" % (name,)
+    return _tag_atom(guard, ("slot", "failed", name))
 
 
 def all_of(*guards: Guard) -> Guard:

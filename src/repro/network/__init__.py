@@ -2,6 +2,8 @@
 
 from .address import Address, AddressAllocator
 from .eventloop import Event, EventLoop, QuiescenceError
+from .faults import (CrashSchedule, FaultPlan, FaultStats, FaultyLink,
+                     PLANS, plan_by_name)
 from .latency import (FixedLatency, LatencyModel, UniformLatency,
                       PAPER_C, PAPER_N)
 from .network import Network
@@ -13,6 +15,8 @@ __all__ = [
     "Network", "Router",
     "Address", "AddressAllocator",
     "Event", "EventLoop", "QuiescenceError",
+    "CrashSchedule", "FaultPlan", "FaultStats", "FaultyLink",
+    "PLANS", "plan_by_name",
     "FixedLatency", "LatencyModel", "UniformLatency", "PAPER_C", "PAPER_N",
     "Node",
     "Link", "LinkEnd",

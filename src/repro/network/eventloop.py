@@ -28,7 +28,21 @@ class QuiescenceError(RuntimeError):
     while events are still pending, which almost always indicates a
     signaling livelock (for example an ``openSlot`` facing a ``closeSlot``,
     which by design never stabilizes).
+
+    The exception carries a structured payload so chaos-test failures can
+    be diagnosed without re-running: ``max_events`` (the spent budget),
+    ``pending`` (live events left in the heap), and ``next_event`` (repr
+    of the earliest live event — usually the retransmission timer or
+    stimulus that keeps the system awake).
     """
+
+    def __init__(self, message: str, max_events: Optional[int] = None,
+                 pending: Optional[int] = None,
+                 next_event: Optional[str] = None):
+        super().__init__(message)
+        self.max_events = max_events
+        self.pending = pending
+        self.next_event = next_event
 
 
 class Event:
@@ -199,9 +213,14 @@ class EventLoop:
         """
         executed = self.run(max_events=max_events)
         if self._live:
+            while self._heap and self._heap[0].cancelled:
+                heapq.heappop(self._heap)
+            nxt = repr(self._heap[0]) if self._heap else None
             raise QuiescenceError(
                 "system did not quiesce within %d events; %d still pending"
-                % (max_events, self.pending()))
+                "; next: %s" % (max_events, self.pending(), nxt),
+                max_events=max_events, pending=self.pending(),
+                next_event=nxt)
         return executed
 
     def advance(self, duration: float) -> int:

@@ -17,11 +17,23 @@ from typing import Iterable, Optional, Type
 
 from ..protocol.channel import (SignalingAgent, SignalingChannel,
                                 DEFAULT_TUNNEL)
+from ..protocol.slot import RetransmitPolicy
 from .eventloop import EventLoop
+from .faults import FaultPlan, FaultStats, FaultyLink
 from .latency import FixedLatency, LatencyModel
 from .router import Router
 
 __all__ = ["Network"]
+
+
+def _is_meta(message) -> bool:
+    """Fault-exemption predicate: meta-signal envelopes model the
+    out-of-band channel operations (setup/teardown/availability) the
+    paper keeps on reliable transport; fault plans target the tunnel
+    signal plane, whose idempotent retransmission is the claim under
+    test."""
+    from ..protocol.signals import MetaMessage
+    return isinstance(message, MetaMessage)
 
 
 class Network:
@@ -29,7 +41,9 @@ class Network:
 
     def __init__(self, seed: Optional[int] = 0,
                  latency: Optional[LatencyModel] = None,
-                 cost: float = 0.0):
+                 cost: float = 0.0,
+                 retransmit: Optional[RetransmitPolicy] = None,
+                 faults: Optional[FaultPlan] = None):
         from ..media.plane import MediaPlane  # local import: layer order
         self.loop = EventLoop(seed=seed)
         self.plane = MediaPlane()
@@ -38,6 +52,13 @@ class Network:
         self.latency = latency if latency is not None else FixedLatency(0.0)
         #: Default per-stimulus processing cost for new agents.
         self.cost = cost
+        #: Default retransmission policy for new channels (robust mode).
+        self.retransmit = retransmit
+        #: Fault plan installed on every new channel's link (chaos runs).
+        self.faults = faults
+        #: Aggregate adversary counters across all faulty links.
+        self.fault_stats = FaultStats()
+        self._faulty_links = []
         self.agents = {}
         self.channels = []
 
@@ -84,13 +105,21 @@ class Network:
                 tunnels: Iterable[str] = (DEFAULT_TUNNEL,),
                 latency: Optional[LatencyModel] = None,
                 target: str = "", name: Optional[str] = None,
-                strict: bool = True) -> SignalingChannel:
+                strict: bool = True,
+                retransmit: Optional[RetransmitPolicy] = None) \
+            -> SignalingChannel:
         """Create a signaling channel between two agents."""
         channel = SignalingChannel(
             self.loop, initiator, responder, tunnel_ids=tunnels,
             latency=latency if latency is not None else self.latency,
-            target=target, name=name, strict=strict)
+            target=target, name=name, strict=strict,
+            retransmit=retransmit if retransmit is not None
+            else self.retransmit)
         self.channels.append(channel)
+        if self.faults is not None:
+            self._faulty_links.append(FaultyLink(
+                channel.link, self.faults, exempt=_is_meta,
+                stats=self.fault_stats))
         return channel
 
     def dial(self, initiator: SignalingAgent, address: str,

@@ -40,6 +40,12 @@ class Node:
         self._busy = False
         #: Stimuli handled so far (observability / performance assertions).
         self.handled = 0
+        #: A crashed node (fault injection): stimuli arriving while
+        #: offline are dropped, as for a process that is down.  State held
+        #: in the owning agent survives, modeling a restart from stable
+        #: storage; recovery relies on peers retransmitting.
+        self.offline = False
+        self.dropped_while_offline = 0
 
     # ------------------------------------------------------------------
     # stimulus queueing
@@ -50,6 +56,9 @@ class Node:
         The handler runs ``cost`` seconds after this node becomes free to
         process it (immediately-but-in-order when ``cost`` is 0).
         """
+        if self.offline:
+            self.dropped_while_offline += 1
+            return
         self._inbox.append((handler, args))
         if not self._busy:
             self._busy = True

@@ -12,12 +12,16 @@ A link between two *virtual* modules inside the same physical component
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional
 
-from .eventloop import EventLoop
+from .eventloop import Event, EventLoop
 from .latency import FixedLatency, LatencyModel
 
 __all__ = ["Link", "LinkEnd"]
+
+#: Compact the in-flight event list once it reaches this length; entries
+#: whose events already fired are pruned, keeping memory O(in-flight).
+_PENDING_COMPACT = 16
 
 Receiver = Callable[[Any], None]
 
@@ -85,25 +89,64 @@ class Link:
         self.down = False
         #: Total messages handed to the link (observability).
         self.sent = 0
+        #: Delivery events still in flight; cancelled wholesale when the
+        #: link goes down so they never fire into a dead link.
+        self._pending: List[Event] = []
 
     def transmit(self, origin: LinkEnd, message: Any) -> None:
         """Schedule delivery of ``message`` at the end opposite ``origin``."""
         if self.down:
             return
         self.sent += 1
-        delay = self.latency.sample(self.loop.rng)
+        self._schedule(origin, message, self.latency.sample(self.loop.rng))
+
+    def _schedule(self, origin: LinkEnd, message: Any, delay: float,
+                  fifo: bool = True) -> Event:
+        """Schedule one delivery toward ``origin``'s peer.
+
+        ``fifo=False`` skips the horizon clamp, letting a message overtake
+        earlier traffic in the same direction — only the fault-injection
+        layer's reorder policy uses it.
+        """
         deliver_at = self.loop.now + delay
-        # FIFO restoration: never deliver before an earlier message in the
-        # same direction.
-        if deliver_at < origin._horizon:
-            deliver_at = origin._horizon
-        origin._horizon = deliver_at
+        if fifo:
+            # FIFO restoration: never deliver before an earlier message in
+            # the same direction.
+            if deliver_at < origin._horizon:
+                deliver_at = origin._horizon
+            origin._horizon = deliver_at
         target = origin.peer
-        self.loop.schedule_at(deliver_at, target._deliver, message)
+        if len(self._pending) >= _PENDING_COMPACT:
+            self._pending = [e for e in self._pending if e._loop is not None]
+        event = self.loop.schedule_at(deliver_at, target._deliver, message)
+        self._pending.append(event)
+        return event
+
+    def in_flight(self) -> int:
+        """Number of deliveries scheduled but not yet executed."""
+        return sum(1 for e in self._pending if e._loop is not None)
 
     def tear_down(self) -> None:
-        """Take the link down; queued and future messages are dropped."""
+        """Take the link down; queued and future messages are dropped.
+
+        In-flight delivery events are cancelled (not merely ignored at
+        delivery time), so they stop occupying the event loop and cannot
+        keep a simulation from quiescing.
+        """
         self.down = True
+        self._drop_in_flight()
+
+    def _drop_in_flight(self) -> int:
+        """Cancel every pending delivery; returns how many were live.
+        Also used by the fault layer's link flaps (an outage drops what
+        the wire was carrying)."""
+        dropped = 0
+        for event in self._pending:
+            if event._loop is not None:
+                event.cancel()
+                dropped += 1
+        self._pending.clear()
+        return dropped
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = " DOWN" if self.down else ""

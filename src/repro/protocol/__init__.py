@@ -8,12 +8,13 @@ from .codecs import (AUDIO, NO_MEDIA, TEXT, VIDEO, Codec, Medium,
                      H261, H263, MPEG2_SD, MPEG4_HD, T140_TEXT)
 from .descriptor import Descriptor, DescriptorFactory, DescriptorId, Selector
 from .errors import (ConfigurationError, MediaControlError,
-                     PreconditionError, ProtocolError, ProtocolStateError)
+                     PreconditionError, ProtocolError, ProtocolStateError,
+                     QuiescenceError)
 from .signals import (AppMeta, Available, ChannelUp, Close, CloseAck,
                       Describe, MetaMessage, MetaSignal, Oack, Open, Select,
                       TearDown, TunnelMessage, TunnelSignal, Unavailable)
-from .slot import (Slot, CLOSED, CLOSING, DEAD_STATES, FLOWING, LIVE_STATES,
-                   OPENED, OPENING)
+from .slot import (RetransmitPolicy, Slot, CLOSED, CLOSING, DEAD_STATES,
+                   FLOWING, LIVE_STATES, OPENED, OPENING)
 
 __all__ = [
     "ChannelEnd", "SignalingAgent", "SignalingChannel", "DEFAULT_TUNNEL",
@@ -23,10 +24,10 @@ __all__ = [
     "H261", "H263", "MPEG2_SD", "MPEG4_HD", "T140_TEXT",
     "Descriptor", "DescriptorFactory", "DescriptorId", "Selector",
     "ConfigurationError", "MediaControlError", "PreconditionError",
-    "ProtocolError", "ProtocolStateError",
+    "ProtocolError", "ProtocolStateError", "QuiescenceError",
     "AppMeta", "Available", "ChannelUp", "Close", "CloseAck", "Describe",
     "MetaMessage", "MetaSignal", "Oack", "Open", "Select", "TearDown",
     "TunnelMessage", "TunnelSignal", "Unavailable",
-    "Slot", "CLOSED", "CLOSING", "OPENED", "OPENING", "FLOWING",
-    "LIVE_STATES", "DEAD_STATES",
+    "RetransmitPolicy", "Slot", "CLOSED", "CLOSING", "OPENED", "OPENING",
+    "FLOWING", "LIVE_STATES", "DEAD_STATES",
 ]

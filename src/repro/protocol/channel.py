@@ -31,7 +31,7 @@ from ..network.transport import Link
 from .errors import ConfigurationError
 from .signals import (ChannelUp, MetaMessage, MetaSignal, TearDown,
                       TunnelMessage, TunnelSignal)
-from .slot import Slot
+from .slot import RetransmitPolicy, Slot
 
 __all__ = ["SignalingAgent", "ChannelEnd", "SignalingChannel",
            "DEFAULT_TUNNEL"]
@@ -71,6 +71,12 @@ class SignalingAgent:
         """The peer tore the channel down; all slots of ``end`` have
         already been force-closed.  Default: nothing."""
 
+    def on_slot_failed(self, slot: Slot, reason: str) -> None:
+        """Robust mode: ``slot`` exhausted its retransmission budget and
+        fell back to ``closed`` without media (``reason`` is the signal
+        kind that went unanswered, ``"open"`` or ``"close"``).  Default:
+        nothing — boxes route this to the goal controlling the slot."""
+
     # -- plumbing ---------------------------------------------------------
     def _adopt_end(self, end: "ChannelEnd") -> None:
         self.channel_ends.append(end)
@@ -88,13 +94,14 @@ class ChannelEnd:
     meta-signal capability."""
 
     def __init__(self, channel: "SignalingChannel", side: int,
-                 owner: SignalingAgent, strict: bool):
+                 owner: SignalingAgent, strict: bool,
+                 retransmit: Optional[RetransmitPolicy] = None):
         self.channel = channel
         self.side = side
         self.owner = owner
         self.alive = True
         self.slots: Dict[str, Slot] = {
-            tid: Slot(self, tid, strict=strict)
+            tid: Slot(self, tid, strict=strict, retransmit=retransmit)
             for tid in channel.tunnel_ids}
 
     # -- identity ---------------------------------------------------------
@@ -205,10 +212,13 @@ class SignalingChannel:
                  name: Optional[str] = None,
                  target: str = "",
                  strict: bool = True,
-                 announce: bool = True):
+                 announce: bool = True,
+                 retransmit: Optional[RetransmitPolicy] = None):
         SignalingChannel._counter += 1
         self.loop = loop
         self.name = name or ("ch%d" % SignalingChannel._counter)
+        #: Robust-mode policy handed to every slot (None = reliable mode).
+        self.retransmit = retransmit
         self.tunnel_ids: Tuple[str, ...] = tuple(tunnel_ids)
         if not self.tunnel_ids:
             raise ConfigurationError("a channel needs at least one tunnel")
@@ -220,8 +230,8 @@ class SignalingChannel:
                 "a signaling channel cannot loop back to %s" % initiator.name)
         self.link = Link(loop, latency=latency, name=self.name)
         self.target = target
-        self.ends = (ChannelEnd(self, 0, initiator, strict),
-                     ChannelEnd(self, 1, responder, strict))
+        self.ends = (ChannelEnd(self, 0, initiator, strict, retransmit),
+                     ChannelEnd(self, 1, responder, strict, retransmit))
         for end in self.ends:
             end._link_end.set_receiver(end._receive)
             end.owner._adopt_end(end)

@@ -1,8 +1,17 @@
-"""Exception hierarchy for the signaling protocol and primitives."""
+"""Exception hierarchy for the signaling protocol and primitives.
+
+:class:`QuiescenceError` is defined by the event loop (the substrate
+below this layer) but re-exported here because it is what protocol-level
+callers actually catch: a run that will not settle almost always means a
+signaling livelock, and its structured payload (pending event count plus
+the next live event) names the timer or stimulus keeping it awake.
+"""
 
 from __future__ import annotations
 
 from typing import Any
+
+from ..network.eventloop import QuiescenceError
 
 __all__ = [
     "MediaControlError",
@@ -10,6 +19,7 @@ __all__ = [
     "ProtocolStateError",
     "PreconditionError",
     "ConfigurationError",
+    "QuiescenceError",
 ]
 
 

@@ -15,10 +15,28 @@ Following Sec. VII, the slot "maintains the complete
 implementation-level state of the slot, consisting of protocol state,
 medium, and descriptor", where "the descriptor of a slot ... is the most
 recent descriptor received in an open, oack, or describe signal."
+
+Robust mode (lossy networks)
+----------------------------
+When constructed with a :class:`RetransmitPolicy`, the slot also
+survives signal loss and duplication.  Unacknowledged ``open`` and
+``close`` are retransmitted on a timer with exponential backoff and a
+retry budget; a ``describe`` whose answering ``select`` never arrives is
+re-sent on a staleness timer (which transitively recovers lost selects,
+because the peer re-answers the duplicate describe).  Duplicates are
+absorbed exactly as the paper's idempotence argument predicts: a
+re-received ``open`` while flowing re-elicits the ``oack`` (recovering a
+lost one), a ``close`` at a closed slot re-elicits the ``closeack``, and
+everything else that is a pure repeat is counted and dropped.  When the
+retry budget is exhausted the slot degrades instead of hanging: it
+resets to ``closed`` (the paper's ``noMedia`` fallback), marks itself
+``failed``, and reports the failure to the owning agent via
+``on_slot_failed``.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 from .codecs import Medium
@@ -31,7 +49,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from .channel import ChannelEnd
 
 __all__ = [
-    "Slot",
+    "Slot", "RetransmitPolicy",
     "CLOSED", "OPENING", "OPENED", "FLOWING", "CLOSING",
     "LIVE_STATES", "DEAD_STATES",
 ]
@@ -48,11 +66,30 @@ LIVE_STATES = frozenset((OPENING, OPENED, FLOWING))
 DEAD_STATES = frozenset((CLOSED, CLOSING))
 
 
+@dataclass(frozen=True)
+class RetransmitPolicy:
+    """Timing and budget for robust-mode slots.
+
+    ``initial`` is the delay before the first retransmission of an
+    unacknowledged ``open``/``close``; each further retransmission waits
+    ``backoff`` times longer.  After ``max_retries`` retransmissions the
+    slot gives up and reports failure.  ``stale_after`` is the delay
+    before re-describing when a sent descriptor has no answering
+    selector (0 disables staleness recovery).
+    """
+
+    initial: float = 0.25
+    backoff: float = 2.0
+    max_retries: int = 6
+    stale_after: float = 0.5
+
+
 class Slot:
     """One protocol endpoint of one tunnel."""
 
     def __init__(self, channel_end: "ChannelEnd", tunnel_id: str,
-                 strict: bool = True):
+                 strict: bool = True,
+                 retransmit: Optional[RetransmitPolicy] = None):
         self._end = channel_end
         self.tunnel_id = tunnel_id
         #: Strict slots raise :class:`ProtocolError` on illegal receives;
@@ -60,6 +97,9 @@ class Slot:
         #: the deliberately erroneous Fig. 2 demonstration, whose servers
         #: forward signals they do not understand).
         self.strict = strict
+        #: Robust mode: retransmission timers plus duplicate absorption.
+        #: ``None`` (the default) keeps the exact reliable-link behavior.
+        self.retransmit = retransmit
 
         self.state = CLOSED
         self.medium: Optional[Medium] = None
@@ -71,12 +111,28 @@ class Slot:
         self.selector_received: Optional[Selector] = None
         self.selector_sent: Optional[Selector] = None
 
+        #: Robust mode only: the retry budget ran out and the slot fell
+        #: back to ``closed`` without media.  Cleared by the next open.
+        self.failed = False
+
         # observability counters
         self.race_drops = 0      # opens lost to the initiator-wins rule
         self.stale_drops = 0     # signals drained during closing
         self.invalid_drops = 0   # illegal receives dropped in lenient mode
+        self.duplicate_drops = 0  # repeats absorbed in robust mode
+        self.retransmits = 0     # signals re-sent by the timers
+        self.failures = 0        # retry budgets exhausted
         self.signals_sent = 0
         self.signals_received = 0
+
+        # retransmission machinery (robust mode)
+        self._retx_timer = None
+        self._retx_signal: Optional[TunnelSignal] = None
+        self._retx_kind: Optional[str] = None
+        self._retx_attempts = 0
+        self._retx_interval = 0.0
+        self._stale_timer = None
+        self._stale_attempts = 0
 
     # ------------------------------------------------------------------
     # identity and predicates
@@ -141,7 +197,10 @@ class Slot:
         self.state = OPENING
         self.medium = medium
         self.local_descriptor = descriptor
-        self._transmit(Open(medium, descriptor))
+        self.failed = False
+        signal = Open(medium, descriptor)
+        self._transmit(signal)
+        self._arm_retx("open", signal)
 
     def send_oack(self, descriptor: Descriptor) -> None:
         """Send ``oack``; legal only from ``opened``."""
@@ -150,6 +209,10 @@ class Slot:
         self.state = FLOWING
         self.local_descriptor = descriptor
         self._transmit(Oack(descriptor))
+        # A lost oack is recovered by the peer retransmitting its open
+        # (we re-oack the duplicate); the staleness timer covers the
+        # descriptor-answering select.
+        self._arm_stale()
 
     def send_close(self) -> None:
         """Send ``close`` (also the protocol's reject); legal from any
@@ -157,7 +220,10 @@ class Slot:
         if self.state not in LIVE_STATES:
             raise ProtocolStateError(self, "send close", self.state)
         self.state = CLOSING
-        self._transmit(Close())
+        self._cancel_stale()
+        signal = Close()
+        self._transmit(signal)
+        self._arm_retx("close", signal)
 
     def send_describe(self, descriptor: Descriptor) -> None:
         """Send a fresh self-description; legal only while ``flowing``."""
@@ -165,6 +231,7 @@ class Slot:
             raise ProtocolStateError(self, "send describe", self.state)
         self.local_descriptor = descriptor
         self._transmit(Describe(descriptor))
+        self._arm_stale()
 
     def send_select(self, selector: Selector) -> None:
         """Send a selector; legal only while ``flowing``, and only in
@@ -198,7 +265,15 @@ class Slot:
         handler = getattr(self, "_recv_%s" % self.state, None)
         if handler is None:  # pragma: no cover - states are exhaustive
             raise AssertionError("slot in unknown state %r" % self.state)
-        return handler(signal)
+        result = handler(signal)
+        # Robust mode: an unacknowledged open is acknowledged by whatever
+        # receive moved us out of ``opening`` (oack, rejection, race
+        # loss); a close is acknowledged only by reaching ``closed``.
+        if self._retx_kind == "open" and self.state != OPENING:
+            self._cancel_retx()
+        elif self._retx_kind == "close" and self.state == CLOSED:
+            self._cancel_retx()
+        return result
 
     # -- per-state receive handlers --
     def _recv_closed(self, signal: TunnelSignal) -> bool:
@@ -207,6 +282,17 @@ class Slot:
             self.medium = signal.medium
             self.remote_descriptor = signal.descriptor
             return True
+        if self.retransmit is not None:
+            if isinstance(signal, Close):
+                # A retransmitted close whose closeack was lost: our
+                # earlier closeack did not arrive, so answer again.
+                self.duplicate_drops += 1
+                self._transmit(CloseAck())
+                return False
+            if isinstance(signal, (CloseAck, Oack, Describe, Select)):
+                # Stale repeats from the episode just closed.
+                self.duplicate_drops += 1
+                return False
         return self._illegal(signal)
 
     def _recv_opening(self, signal: TunnelSignal) -> bool:
@@ -230,6 +316,10 @@ class Slot:
             # The peer rejected (or closed before answering).
             self._acknowledge_close()
             return True
+        if self.retransmit is not None and isinstance(signal, CloseAck):
+            # Stale acknowledgement of a close from a previous episode.
+            self.duplicate_drops += 1
+            return False
         return self._illegal(signal)
 
     def _recv_opened(self, signal: TunnelSignal) -> bool:
@@ -237,6 +327,13 @@ class Slot:
             # The opener gave up before we answered.
             self._acknowledge_close()
             return True
+        if self.retransmit is not None and isinstance(signal, Open) \
+                and self.remote_descriptor is not None \
+                and signal.descriptor.id == self.remote_descriptor.id:
+            # Retransmitted open; we have it and will answer in our own
+            # time.
+            self.duplicate_drops += 1
+            return False
         return self._illegal(signal)
 
     def _recv_flowing(self, signal: TunnelSignal) -> bool:
@@ -245,10 +342,35 @@ class Slot:
             return True
         if isinstance(signal, Select):
             self.selector_received = signal.selector
+            if self._stale_timer is not None \
+                    and self.local_descriptor is not None \
+                    and signal.selector.answers == self.local_descriptor.id:
+                # Our descriptor is answered; staleness recovery done.
+                self._cancel_stale()
             return True
         if isinstance(signal, Close):
             self._acknowledge_close()
             return True
+        if self.retransmit is not None:
+            if isinstance(signal, Open) \
+                    and self.remote_descriptor is not None \
+                    and signal.descriptor.id == self.remote_descriptor.id:
+                # The peer retransmitted its open: our oack was lost (or
+                # is still in flight).  Re-acknowledge; idempotence makes
+                # the repeat harmless at the peer.
+                self.duplicate_drops += 1
+                if self.local_descriptor is not None:
+                    self._transmit(Oack(self.local_descriptor))
+                return False
+            if isinstance(signal, Oack) \
+                    and self.remote_descriptor is not None \
+                    and signal.descriptor.id == self.remote_descriptor.id:
+                # Duplicate of the oack that made us flowing.
+                self.duplicate_drops += 1
+                return False
+            if isinstance(signal, CloseAck):
+                self.duplicate_drops += 1
+                return False
         return self._illegal(signal)
 
     def _recv_closing(self, signal: TunnelSignal) -> bool:
@@ -281,6 +403,8 @@ class Slot:
         self.local_descriptor = None
         self.selector_received = None
         self.selector_sent = None
+        self._cancel_retx()
+        self._cancel_stale()
 
     def force_close(self) -> None:
         """Destroy the slot's state without signaling; used when the whole
@@ -289,6 +413,13 @@ class Slot:
         self._reset_to_closed()
 
     def _illegal(self, signal: TunnelSignal) -> bool:
+        if self.retransmit is not None:
+            # Robust mode: under loss, duplication, and reordering a
+            # residual out-of-place signal is expected weather, not a
+            # protocol bug.  Count it and drop it without involving the
+            # owner (unlike lenient mode, which forwards blindly).
+            self.invalid_drops += 1
+            return False
         if self.strict:
             raise ProtocolError(
                 "%s: illegal %s in state %s"
@@ -299,6 +430,103 @@ class Slot:
         # own state is left untouched.
         self.invalid_drops += 1
         return True
+
+    # ------------------------------------------------------------------
+    # retransmission machinery (robust mode)
+    # ------------------------------------------------------------------
+    def _arm_retx(self, kind: str, signal: TunnelSignal) -> None:
+        policy = self.retransmit
+        if policy is None:
+            return
+        self._cancel_retx()
+        self._retx_kind = kind
+        self._retx_signal = signal
+        self._retx_attempts = 0
+        self._retx_interval = policy.initial
+        self._retx_timer = self._end.owner.node.set_timer(
+            self._retx_interval, self._retx_fire)
+
+    def _cancel_retx(self) -> None:
+        if self._retx_timer is not None:
+            self._retx_timer.cancel()
+            self._retx_timer = None
+        self._retx_signal = None
+        self._retx_kind = None
+
+    def _retx_fire(self) -> None:
+        self._retx_timer = None
+        policy = self.retransmit
+        if policy is None or self._retx_signal is None \
+                or not self._end.alive:
+            return
+        # Still unacknowledged?  (Defensive: the receive path cancels the
+        # timer on acknowledgement, but a stimulus already queued when
+        # the ack arrived may still fire.)
+        if self._retx_kind == "open" and self.state != OPENING:
+            self._cancel_retx()
+            return
+        if self._retx_kind == "close" and self.state != CLOSING:
+            self._cancel_retx()
+            return
+        if self._retx_attempts >= policy.max_retries:
+            self._give_up()
+            return
+        self._retx_attempts += 1
+        self.retransmits += 1
+        self._transmit(self._retx_signal)
+        self._retx_interval *= policy.backoff
+        self._retx_timer = self._end.owner.node.set_timer(
+            self._retx_interval, self._retx_fire)
+
+    def _give_up(self) -> None:
+        """Retry budget exhausted: degrade to ``closed`` without media
+        (the ``noMedia`` fallback) and report the failure upward."""
+        kind = self._retx_kind or "retry"
+        if kind == "open" and self.state == OPENING:
+            # Best-effort abort so a peer that did hear us stops waiting;
+            # we do not wait for the closeack.
+            self._transmit(Close())
+        self._reset_to_closed()
+        self.failed = True
+        self.failures += 1
+        self._end.owner.on_slot_failed(self, kind)
+
+    def _arm_stale(self) -> None:
+        policy = self.retransmit
+        if policy is None or policy.stale_after <= 0:
+            return
+        self._cancel_stale()
+        self._stale_attempts = 0
+        self._stale_timer = self._end.owner.node.set_timer(
+            policy.stale_after, self._stale_fire)
+
+    def _cancel_stale(self) -> None:
+        if self._stale_timer is not None:
+            self._stale_timer.cancel()
+            self._stale_timer = None
+
+    def _stale_fire(self) -> None:
+        self._stale_timer = None
+        policy = self.retransmit
+        if policy is None or not self._end.alive:
+            return
+        if self.state != FLOWING or self.local_descriptor is None:
+            return
+        answered = (self.selector_received is not None and
+                    self.selector_received.answers
+                    == self.local_descriptor.id)
+        if answered:
+            return
+        if self._stale_attempts >= policy.max_retries:
+            # Media may stay one-way mute; unlike a dead handshake this
+            # is observable by the application, so no forced failure.
+            return
+        self._stale_attempts += 1
+        self.retransmits += 1
+        self._transmit(Describe(self.local_descriptor))
+        self._stale_timer = self._end.owner.node.set_timer(
+            policy.stale_after * (policy.backoff ** self._stale_attempts),
+            self._stale_fire)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return "<Slot %s %s medium=%s>" % (self.name, self.state, self.medium)

@@ -167,7 +167,13 @@ def _lint_descriptor_discipline() -> List[Diagnostic]:
 def app_targets() -> List[LintTarget]:
     """The application and protocol targets of the catalog."""
     return [
-        LintTarget("apps/click_to_dial", _lint_click_to_dial),
+        LintTarget("apps/click_to_dial", _lint_click_to_dial,
+                   suppressions=(
+            Suppression("RC701", "the Fig. 6 program predates robust "
+                        "mode and runs on reliable links, where an "
+                        "open cannot exhaust a retry budget; revisit "
+                        "when click-to-dial is deployed under a fault "
+                        "plan"),)),
         LintTarget("apps/prepaid", _lint_prepaid, suppressions=(
             Suppression("RC102", "the prepaid-card program cycles "
                         "forever by design: talk -> collect -> payment "

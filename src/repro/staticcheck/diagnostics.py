@@ -16,6 +16,7 @@ Code families::
     RC5xx  protocol hygiene  (codec priority, noMedia placement,
                               selector freshness)
     RC6xx  path models       (goal pair vs. temporal spec mismatch)
+    RC7xx  robustness        (degradation paths under lossy networks)
 """
 
 from __future__ import annotations
@@ -42,6 +43,7 @@ CODES: Dict[str, Tuple[str, str]] = {
     "RC502": ("nomedia-placement", "error"),
     "RC503": ("stale-selector", "error"),
     "RC601": ("spec-mismatch", "error"),
+    "RC701": ("unhandled-slot-failure", "warning"),
 }
 
 

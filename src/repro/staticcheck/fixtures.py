@@ -232,8 +232,27 @@ def _rc601() -> Fixture:
     return Fixture("broken-RC601", "RC601", run)
 
 
+def _rc701() -> Fixture:
+    # "dialing" opens a slot and waits only for it to flow: if the
+    # open's retry budget runs out (robust mode), the slot falls back to
+    # closed and the program is stranded — no slotFailed/isClosed
+    # transition, no timeout.
+    states = {
+        "dialing": State(goals=(open_slot("s", AUDIO),),
+                         transitions=(
+                             Transition(is_flowing("s"), "talking"),)),
+        "talking": State(goals=(hold_slot("s"),),
+                         transitions=(
+                             Transition(on_channel_down(), END),)),
+    }
+    return Fixture("broken-RC701", "RC701",
+                   _graph_fixture("broken-RC701", states, "dialing",
+                                  slots=("s",)),
+                   state="dialing", slot="s")
+
+
 def all_fixtures() -> List[Fixture]:
     """Every broken fixture, one per diagnostic code, in code order."""
     return [_rc101(), _rc102(), _rc103(), _rc201(), _rc202(), _rc203(),
             _rc301(), _rc302(), _rc401(), _rc501(), _rc502(), _rc503(),
-            _rc601()]
+            _rc601(), _rc701()]

@@ -24,7 +24,8 @@ from ..protocol.codecs import Medium
 __all__ = [
     "GuardDesc", "TransitionInfo", "StateInfo", "ProgramGraph",
     "extract_states", "extract_program",
-    "conjunctive_slot_atoms", "slot_names_in_guard",
+    "conjunctive_slot_atoms", "slot_atoms_in_guard",
+    "slot_names_in_guard",
 ]
 
 #: The hashable static description of a guard (see ``describe_guard``).
@@ -152,6 +153,26 @@ def conjunctive_slot_atoms(desc: GuardDesc
             found.extend(conjunctive_slot_atoms(inner))
         return found
     return []
+
+
+def slot_atoms_in_guard(desc: GuardDesc) -> Set[Tuple[str, str]]:
+    """Every slot atom mentioned anywhere in the description, as
+    ``(predicate, slot)`` pairs — combinators included, unlike
+    :func:`conjunctive_slot_atoms`, which keeps only atoms that alone
+    disable the guard."""
+    if not desc:
+        return set()
+    if desc[0] == "atom":
+        atom = desc[1]
+        if atom and atom[0] == "slot":
+            return {(atom[1], atom[2])}
+        return set()
+    if desc[0] in ("all", "any", "not"):
+        atoms: Set[Tuple[str, str]] = set()
+        for inner in desc[1:]:
+            atoms |= slot_atoms_in_guard(inner)
+        return atoms
+    return set()
 
 
 def slot_names_in_guard(desc: GuardDesc) -> Set[str]:

@@ -19,7 +19,8 @@ from typing import Dict, Iterable, List, Tuple
 from ..core.program import GoalSpec
 from .diagnostics import Diagnostic
 from .graph import (GuardDesc, ProgramGraph, TransitionInfo,
-                    conjunctive_slot_atoms, slot_names_in_guard)
+                    conjunctive_slot_atoms, slot_atoms_in_guard,
+                    slot_names_in_guard)
 
 __all__ = ["RULES", "check_graph", "UNREACHABLE_UNDER"]
 
@@ -222,6 +223,59 @@ def rule_undeclared_slots(graph: ProgramGraph) -> Iterable[Diagnostic]:
                         program=graph.name, state=info.name, slot=slot)
 
 
+# ----------------------------------------------------------------------
+# RC7xx — robustness / degradation paths
+# ----------------------------------------------------------------------
+#: Slot predicates that wait for a handshake to make progress; exactly
+#: the waits a retry-budget failure strands, because the failed slot
+#: falls back to ``closed``.
+_LIVE_WAITS = ("opening", "opened", "flowing")
+#: Atoms that fire on the degraded outcome: ``slot_failed`` is the
+#: dedicated predicate, and ``is_closed`` also becomes true when the
+#: slot gives up and resets.
+_FAILURE_ESCAPES = ("failed", "closed")
+
+
+def rule_unhandled_slot_failure(graph: ProgramGraph
+                                ) -> Iterable[Diagnostic]:
+    """RC701: a state opens a slot and waits for it to come alive, with
+    no way out when the handshake fails.
+
+    In robust mode (lossy networks) an ``openSlot`` whose retry budget
+    is exhausted degrades to ``closed`` with the slot marked failed
+    instead of completing.  A state that conjunctively waits on
+    ``isOpening``/``isOpened``/``isFlowing`` for such a slot, and has
+    neither a ``slotFailed``/``isClosed`` transition nor a timeout,
+    strands the program in that state forever.  Forward-looking and
+    warning-level: on a reliable network the handshake cannot fail, so
+    programs written before robust mode existed may waive it.
+    """
+    for name in sorted(graph.reachable()):
+        info = graph.states.get(name)
+        if info is None or info.timeout_target is not None:
+            continue
+        for spec in info.goals:
+            if spec.kind != "open":
+                continue
+            slot = spec.names[0]
+            waits = any(
+                (pred, slot) in conjunctive_slot_atoms(t.guard)
+                for t in info.transitions for pred in _LIVE_WAITS)
+            if not waits:
+                continue
+            handled = any(
+                (esc, slot) in slot_atoms_in_guard(t.guard)
+                for t in info.transitions for esc in _FAILURE_ESCAPES)
+            if not handled:
+                yield Diagnostic(
+                    "RC701", "state %r waits for slot %r to come alive "
+                    "under %s, but no transition handles the failure "
+                    "outcome (slotFailed/isClosed) and there is no "
+                    "timeout; if the open's retry budget is exhausted "
+                    "the program is stranded here" % (name, slot, spec),
+                    program=graph.name, state=name, slot=slot)
+
+
 RULES = (
     rule_unreachable_states,
     rule_no_termination,
@@ -231,6 +285,7 @@ RULES = (
     rule_dead_guards,
     rule_guard_overlap,
     rule_undeclared_slots,
+    rule_unhandled_slot_failure,
 )
 
 

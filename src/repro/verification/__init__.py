@@ -4,11 +4,14 @@ from .engine import InternedEngine
 from .explorer import ExplosionError, StateGraph, explore
 from .kernel import (LocalState, Message, ModelError, Outcome,
                      ProcessModel, QueueDef, SystemModel, SystemState)
-from .models import (PATH_TYPES, PathModel, all_model_specs, all_models,
-                     both_closed, both_flowing, build_model,
-                     valid_endstate)
+from .models import (LOSSY_PROPERTIES, PATH_TYPES, PathModel,
+                     all_lossy_models, all_model_specs, all_models,
+                     both_closed, both_flowing, build_lossy_model,
+                     build_model, lossy_model_specs, valid_endstate)
 from .processes import (EndpointProcess, EndpointState, FlowlinkProcess,
-                        FlowlinkState)
+                        FlowlinkState, LossyTunnelProcess,
+                        LossyTunnelState, ResilientEndpointProcess,
+                        ResilientEndpointState)
 from .properties import (SafetyViolation, check_disjunction,
                          check_recurrence, check_safety, check_stability,
                          find_cycle_with)
@@ -21,11 +24,14 @@ __all__ = [
     "ExplosionError", "StateGraph", "explore",
     "LocalState", "Message", "ModelError", "Outcome", "ProcessModel",
     "QueueDef", "SystemModel", "SystemState",
-    "PATH_TYPES", "PathModel", "all_model_specs", "all_models",
-    "both_closed", "both_flowing", "build_model", "valid_endstate",
+    "LOSSY_PROPERTIES", "PATH_TYPES", "PathModel", "all_lossy_models",
+    "all_model_specs", "all_models", "both_closed", "both_flowing",
+    "build_lossy_model", "build_model", "lossy_model_specs",
+    "valid_endstate",
     "SweepJob", "default_jobs", "run_jobs", "sweep",
     "EndpointProcess", "EndpointState", "FlowlinkProcess",
-    "FlowlinkState",
+    "FlowlinkState", "LossyTunnelProcess", "LossyTunnelState",
+    "ResilientEndpointProcess", "ResilientEndpointState",
     "SafetyViolation", "check_disjunction", "check_recurrence",
     "check_safety", "check_stability", "find_cycle_with",
     "VerificationResult", "blowup_table", "format_results",

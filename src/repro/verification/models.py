@@ -26,11 +26,13 @@ from typing import Callable, Dict, List, Optional, Tuple  # noqa: F401
 
 from .kernel import QueueDef, SystemModel, SystemState
 from .processes import (EndpointProcess, EndpointState, FlowlinkProcess,
+                        LossyTunnelProcess, ResilientEndpointProcess,
                         CLOSED, FLOWING)
 
 __all__ = ["PathModel", "PATH_TYPES", "build_model", "all_models",
            "all_model_specs", "both_closed", "both_flowing",
-           "valid_endstate"]
+           "valid_endstate", "LOSSY_PROPERTIES", "build_lossy_model",
+           "lossy_model_specs", "all_lossy_models"]
 
 #: The six path types, as (left goal, right goal) with the property key.
 PATH_TYPES: Dict[str, Tuple[str, str, str]] = {
@@ -40,6 +42,21 @@ PATH_TYPES: Dict[str, Tuple[str, str, str]] = {
     "HH": ("hold", "hold", "closed-or-flowing"),
     "HO": ("hold", "open", "recurrence-flowing"),
     "OO": ("open", "open", "recurrence-flowing"),
+}
+
+#: Properties checked for the lossy-tunnel variants.  With fault and
+#: retransmission budgets both bounded (and retransmission exceeding
+#: faults), the flowing paths *stabilize* — ``◇□ bothFlowing`` — which
+#: is strictly stronger than the fault-free models' ``□◇``: after the
+#: last fault and the last user modify, the path converges and stays
+#: converged.
+LOSSY_PROPERTIES: Dict[str, str] = {
+    "CC": "stability-closed",
+    "CH": "stability-closed",
+    "CO": "stability-no-flow",
+    "HH": "closed-or-flowing",
+    "HO": "stability-flowing",
+    "OO": "stability-flowing",
 }
 
 
@@ -84,6 +101,8 @@ def valid_endstate(state: SystemState, model: PathModel) -> bool:
     if left.slot not in ok or right.slot not in ok:
         return False
     for fl in state.procs[model.left_index + 1:model.right_index]:
+        if not hasattr(fl, "s1"):
+            continue  # a lossy relay: no slots of its own
         if fl.s1 not in ok or fl.s2 not in ok:
             return False
     return True
@@ -151,6 +170,68 @@ def build_model(path_type: str, with_flowlink=False,
     return PathModel(key, system, prop, left_index=0,
                      right_index=len(processes) - 1,
                      has_flowlink=k > 0)
+
+
+def build_lossy_model(path_type: str, faults: int = 2,
+                      retx: Optional[int] = None,
+                      queue_capacity: int = 3,
+                      phase1_budget: int = 1,
+                      modify_budget: int = 1,
+                      max_versions: int = 3) -> PathModel:
+    """Build a lossy-tunnel variant of a no-flowlink path model.
+
+    The endpoints' single tunnel is replaced by a
+    :class:`~repro.verification.processes.LossyTunnelProcess` relay
+    with a budget of ``faults`` drop/duplicate events, and the
+    endpoints become
+    :class:`~repro.verification.processes.ResilientEndpointProcess`
+    with a budget of ``retx`` retransmissions each (default
+    ``faults``: every loss notification triggers at most one charged
+    re-send, and goal-level re-pushes of rejected opens are free, so a
+    budget matching the fault budget dominates the loss — while
+    ``retx=0`` provably breaks every path, see the degradation tests).
+
+    These models are a deliberate extension beyond the paper's twelve —
+    they carry ``~lossy`` keys and stay out of
+    :func:`all_model_specs`, which the Sec. VIII-A reproduction pins to
+    the original grid.
+    """
+    if retx is None:
+        retx = faults
+    left_goal, right_goal, _ = PATH_TYPES[path_type]
+    prop = LOSSY_PROPERTIES[path_type]
+    key = path_type + "~lossy"
+    ep_kwargs = dict(phase1_budget=phase1_budget,
+                     modify_budget=modify_budget,
+                     max_versions=max_versions,
+                     retx_budget=retx)
+    # Queue layout: 0 = L→relay, 1 = relay→L, 2 = relay→R, 3 = R→relay.
+    left = ResilientEndpointProcess("L", left_goal, out_queue=0,
+                                    initiator=True, **ep_kwargs)
+    relay = LossyTunnelProcess("T", in_left=0, in_right=3,
+                               out_left=1, out_right=2, faults=faults)
+    right = ResilientEndpointProcess("R", right_goal, out_queue=3,
+                                     initiator=False, **ep_kwargs)
+    queues = [
+        QueueDef("L->T", receiver=1, capacity=queue_capacity),
+        QueueDef("T->L", receiver=0, capacity=queue_capacity),
+        QueueDef("T->R", receiver=2, capacity=queue_capacity),
+        QueueDef("R->T", receiver=1, capacity=queue_capacity),
+    ]
+    system = SystemModel(key, [left, relay, right], queues)
+    return PathModel(key, system, prop, left_index=0, right_index=2,
+                     has_flowlink=False)
+
+
+def lossy_model_specs() -> List[str]:
+    """The lossy sweep grid: every path type, one lossy tunnel."""
+    return list(PATH_TYPES)
+
+
+def all_lossy_models(**kwargs) -> List[PathModel]:
+    """The six lossy-tunnel models (robustness extension)."""
+    return [build_lossy_model(path_type, **kwargs)
+            for path_type in lossy_model_specs()]
 
 
 def all_model_specs(flowlink_counts=(0, 1)) -> List[Tuple[str, int]]:

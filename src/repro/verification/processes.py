@@ -21,6 +21,17 @@ abstraction the paper's Promela models use:
 * users at endpoints may ``modify`` a bounded number of times while
   flowing (fresh descriptor versions), which is what makes the
   recurrence properties non-trivial.
+
+The lossy-tunnel variants model signaling over an unreliable network:
+:class:`LossyTunnelProcess` is a relay with a bounded *fault budget*
+that may nondeterministically drop or duplicate each signal it carries,
+and :class:`ResilientEndpointProcess` extends the endpoint with the
+robust-mode slot behaviour of :mod:`repro.protocol.slot` — a bounded
+*retransmission budget* spent re-sending ``open``/``close`` while
+pending and re-``describe`` while unanswered, plus idempotent
+absorption of the duplicates retransmission creates.  With the
+retransmission budget exceeding the fault budget, the stability
+properties (``◇□ bothClosed`` / ``◇□ bothFlowing``) survive loss.
 """
 
 from __future__ import annotations
@@ -31,6 +42,8 @@ from .kernel import LocalState, Message, ModelError, Outcome, ProcessModel
 
 __all__ = ["Ver", "EndpointState", "EndpointProcess",
            "FlowlinkState", "FlowlinkProcess",
+           "ResilientEndpointState", "ResilientEndpointProcess",
+           "LossyTunnelState", "LossyTunnelProcess",
            "CLOSED", "OPENING", "OPENED", "FLOWING", "CLOSING"]
 
 Ver = Tuple[str, int]
@@ -480,3 +493,235 @@ class FlowlinkProcess(ProcessModel):
         if fresh:
             return (st, [(self._out(other), msg)])
         return (st, [])  # obsolete selector: discarded
+
+
+# ======================================================================
+# lossy-tunnel variants (robust mode, DESIGN.md §7)
+# ======================================================================
+class ResilientEndpointState(NamedTuple):
+    """:class:`EndpointState` plus the retransmission budget.  Field
+    order matches the base so the inherited ``_replace``-based helpers
+    work unchanged."""
+
+    phase: int
+    budget: int
+    slot: str
+    sent: Optional[Ver]
+    rcvd: Optional[Ver]
+    sel_rcvd: Optional[Ver]
+    next_ver: int
+    modifies: int
+    retx: int                  # retransmissions remaining
+
+
+class ResilientEndpointProcess(EndpointProcess):
+    """A path endpoint whose slot runs in robust mode.
+
+    Mirrors :class:`repro.protocol.slot.Slot` with a
+    :class:`~repro.protocol.slot.RetransmitPolicy`, with one standard
+    model-checking abstraction: instead of a free-running timer
+    (which would let the adversarial scheduler burn the whole budget
+    on spurious retransmissions *before* the loss happens, and which
+    multiplies the state space by every retransmit interleaving), the
+    lossy relay tells the sender which signal it ate via a ``("lost",
+    signal)`` notification — the image of "the retransmission timer
+    fires for exactly the signals that need it".  This is how Promela
+    models of ARQ protocols use the ``timeout`` keyword: retransmit
+    only when the channel has actually lost the message.  Backoff is
+    a timing concern and has no image in an untimed model.
+
+    On a loss notification the endpoint re-sends the *current* form of
+    the signal if it is still relevant (pending ``open``/``close``,
+    or the ``oack``/``describe``/``select``/``closeack`` its present
+    state still owes the peer), charging one unit of the ``retx``
+    budget; a notification for a signal the endpoint has moved past is
+    dropped free.  Each relay fault costs the victim at most one
+    re-send, so with ``retx > faults`` the budget never exhausts and
+    the runtime's give-up path stays unreachable — which is the
+    convergence theorem the lossy models check.
+
+    Duplicates created by the relay are absorbed idempotently: a
+    ``close`` in *closed* is re-acked, a duplicate ``open`` of the
+    accepted descriptor is re-``oack``\\ ed, and stale acks are dropped
+    — exactly the runtime's robust-mode dedup, so a
+    :class:`ModelError` is never raised under loss.
+    """
+
+    def __init__(self, origin: str, goal: str, out_queue: int,
+                 initiator: bool, retx_budget: int = 3, **kwargs):
+        super().__init__(origin, goal, out_queue, initiator, **kwargs)
+        self.retx_budget = retx_budget
+        self.name = "%s(%s,retx=%d)" % (origin, goal, retx_budget)
+
+    def initial(self) -> ResilientEndpointState:
+        base = super().initial()
+        return ResilientEndpointState(*base, retx=self.retx_budget)
+
+    # -- loss notifications: the retransmission timer ----------------------
+    def receive(self, st, qi: int, msg: Message) -> List[Outcome]:
+        if msg[0] == "lost":
+            return self._recv_lost(st, msg[1])
+        if msg[0] == "rejected":
+            return self._recv_rejected(st, msg[1])
+        return super().receive(st, qi, msg)
+
+    def _recv_lost(self, st, lost: Message) -> List[Outcome]:
+        """The network ate ``lost``; re-send its current form if our
+        state still owes the peer that signal, charging the ``retx``
+        budget.  Re-sends carry the *present* payload (descriptor
+        versions may have moved on since the lost copy), matching the
+        runtime, whose retransmit timer snapshots nothing."""
+        kind = lost[0]
+        resend: Optional[Message] = None
+        if kind == "open" and st.slot == OPENING and st.sent == lost[1]:
+            # version match pins the episode: a notification for an
+            # earlier incarnation's open (we closed and re-opened since)
+            # is not ours to retransmit
+            resend = ("open", st.sent)
+        elif kind == "close" and st.slot == CLOSING:
+            resend = ("close",)
+        elif kind == "closeack":
+            # always re-ack: we only ever sent a closeack in answer to
+            # a close, and the closer retransmits until acked, whatever
+            # we have moved on to (re-opened, crossing-close, ...); a
+            # stray closeack is absorbed by the robust receives
+            resend = ("closeack",)
+        elif kind == "oack" and st.slot == FLOWING and st.sent is not None:
+            resend = ("oack", st.sent)
+        elif kind == "describe" and st.slot == FLOWING \
+                and st.sent is not None:
+            resend = ("describe", st.sent)
+        elif kind == "select" and st.slot == FLOWING \
+                and st.rcvd is not None:
+            resend = ("select", st.rcvd)
+        if resend is None or st.retx <= 0:
+            return [(st, [])]  # moved past it (or budget gone: give up)
+        return [(st._replace(retx=st.retx - 1), [(self.out, resend)])]
+
+    def _recv_rejected(self, st, lost: Message) -> List[Outcome]:
+        """The peer consumed our ``open`` without effect (it crossed a
+        close, or landed in a stale flowing view).  Re-push it if it is
+        still our pending episode.  Unlike a network loss this costs no
+        budget: it is the goal-level "it sends open again" of the
+        paper's openslot, free in the fault-free models too — and in
+        the CO rejection loop it recurs forever."""
+        if lost[0] == "open" and st.slot == OPENING and st.sent == lost[1]:
+            return [(st, [(self.out, ("open", st.sent))])]
+        return [(st, [])]
+
+    # -- robust receives: absorb duplicates, never raise -------------------
+    def _recv_closed(self, st, kind, msg) -> List[Outcome]:
+        if kind == "close":
+            # late retransmitted close: the closer is still waiting for
+            # an ack the network ate — re-ack, stay closed (idempotence)
+            return [(st, [(self.out, ("closeack",))])]
+        if kind in ("closeack", "oack", "describe", "select"):
+            return [(st, [])]  # stragglers from a finished episode
+        return super()._recv_closed(st, kind, msg)
+
+    def _recv_opening(self, st, kind, msg) -> List[Outcome]:
+        if kind in ("closeack", "describe", "select"):
+            # closeack: duplicate ack of an already-closed close.
+            # describe/select: the peer is flowing but the oack that
+            # would have told us so was lost — drop; our open
+            # retransmission makes the peer re-oack.
+            return [(st, [])]
+        return super()._recv_opening(st, kind, msg)
+
+    def _recv_opened(self, st, kind, msg) -> List[Outcome]:
+        if kind in ("open", "closeack", "oack", "describe", "select"):
+            # duplicate of the open we already hold, or a straggler
+            return [(st, [])]
+        return super()._recv_opened(st, kind, msg)
+
+    def _recv_flowing(self, st, kind, msg) -> List[Outcome]:
+        if kind == "open":
+            if msg[1] == st.rcvd:
+                # duplicate of the accepted open (the peer retransmitted
+                # because our oack was lost): re-ack with our current
+                # descriptor
+                return [(st, [(self.out, ("oack", st.sent))])]
+            # an open from an episode we did not see start: the peer
+            # closed and re-opened while our view went stale (a dropped
+            # closeack can fork episodes this way).  Open is unilateral
+            # and idempotent, so accept it — adopt the new descriptor,
+            # re-ack, and answer it.  If the open itself was the stale
+            # one, the peer's select-staleness repair re-describes and
+            # the views still converge.
+            st = st._replace(rcvd=msg[1])
+            return [(st, [(self.out, ("oack", st.sent)),
+                          (self.out, ("select", msg[1]))])]
+        if kind == "select" and msg[1] != st.sent:
+            # stale answer: it selects a descriptor we have moved past
+            # (a duplicated close can fork episodes this way).  The
+            # runtime's staleness timer re-describes until answered;
+            # this is its receive-triggered image.
+            return [(st, [(self.out, ("describe", st.sent))])]
+        if kind in ("oack", "closeack"):
+            return [(st, [])]
+        return super()._recv_flowing(st, kind, msg)
+
+    def _recv_closing(self, st, kind, msg) -> List[Outcome]:
+        if kind == "open":
+            # Rejected by our in-flight close.  The fault-free model
+            # can drain this silently: FIFO guarantees our closeack
+            # precedes it, so the opener has already re-pushed.  Under
+            # loss the closeack may be gone, leaving the opener pending
+            # forever — so the drain reflects the open back, the image
+            # of the opener's timer refiring until the rejection lands.
+            return [(st, [(self.out, ("rejected", msg))])]
+        return super()._recv_closing(st, kind, msg)
+
+
+class LossyTunnelState(NamedTuple):
+    faults: int                # drop/duplicate events remaining
+
+
+class LossyTunnelProcess(ProcessModel):
+    """A tunnel that loses things: a relay between the two endpoints
+    with a bounded budget of fault events.  Each signal passing through
+    is forwarded intact, or — while budget remains — dropped or
+    duplicated (each costing one unit).  Reordering needs no separate
+    budget: the interleaving of the two directions is already
+    nondeterministic, and within a direction the paper's protocol
+    assumes FIFO tunnels.
+
+    Bounding the budget is what makes ``◇□`` checks meaningful: an
+    unboundedly lossy network can trivially defeat any liveness
+    property, so the theorem is "after finitely many faults, the path
+    still converges" — the model-checking image of a fault *rate*
+    below the retransmission budget.
+    """
+
+    def __init__(self, origin: str, in_left: int, in_right: int,
+                 out_left: int, out_right: int, faults: int = 2):
+        self.origin = origin
+        self.in_left = in_left
+        self.in_right = in_right
+        self.out_left = out_left
+        self.out_right = out_right
+        self.faults = faults
+        self.name = "%s(lossy,f=%d)" % (origin, faults)
+
+    def initial(self) -> LossyTunnelState:
+        return LossyTunnelState(faults=self.faults)
+
+    def receive(self, st: LossyTunnelState, qi: int,
+                msg: Message) -> List[Outcome]:
+        from_left = qi == self.in_left
+        dest = self.out_right if from_left else self.out_left
+        back = self.out_left if from_left else self.out_right
+        if msg[0] in ("lost", "rejected"):
+            # loss/rejection notifications model timers, not wire
+            # traffic: they are exempt from faults (cf. the runtime's
+            # out-of-band meta-signal exemption in repro.network.faults)
+            return [(st, [(dest, msg)])]
+        outcomes: List[Outcome] = [(st, [(dest, msg)])]
+        if st.faults > 0:
+            spent = st._replace(faults=st.faults - 1)
+            # drop: the sender's retransmission timer will notice (the
+            # ("lost", ...) notification is its model-checking image —
+            # see ResilientEndpointProcess)
+            outcomes.append((spent, [(back, ("lost", msg))]))
+            outcomes.append((spent, [(dest, msg), (dest, msg)]))  # dup
+        return outcomes

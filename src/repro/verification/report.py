@@ -66,6 +66,11 @@ def verify_model(model: PathModel, max_states: int = 2_000_000,
         violation = check_stability(graph, closed)
     elif kind == "stability-no-flow":
         violation = check_stability(graph, lambda s: not flowing(s))
+    elif kind == "stability-flowing":
+        # lossy variants: after the last fault the path converges and
+        # stays converged — ◇□ bothFlowing, stronger than the □◇ the
+        # fault-free models check
+        violation = check_stability(graph, flowing)
     elif kind == "recurrence-flowing":
         violation = check_recurrence(graph, flowing)
     elif kind == "closed-or-flowing":

@@ -172,3 +172,68 @@ def test_processing_cost_paid_per_stimulus():
     # channel-up meta (0.1 + 0.02) then open (0.1 arrival + queued 0.02
     # after the meta finishes at 0.12) => open handled at 0.14.
     assert times == [pytest.approx(0.14)]
+
+
+# ----------------------------------------------------------------------
+# teardown races: signals meeting a half-torn-down channel, both orders
+# ----------------------------------------------------------------------
+def test_teardown_race_initiator_first(loop):
+    """Initiator tears down while the responder's signal is in flight
+    toward it: the signal dies at the dead end, without raising."""
+    a, b = Recorder(loop, "a"), Recorder(loop, "b")
+    ch = SignalingChannel(loop, a, b, latency=FixedLatency(0.1))
+    f = DescriptorFactory("b")
+    ch.ends[1].slot().send_open(AUDIO, f.no_media())  # toward a
+    ch.ends[0].tear_down()                            # a dies first
+    loop.run()
+    assert a.seen == []
+    assert not ch.ends[0].alive and not ch.ends[1].alive
+    assert not ch.active
+
+
+def test_teardown_race_responder_first(loop):
+    """Same race, other order: the responder tears down while the
+    initiator's signal is in flight toward it."""
+    a, b = Recorder(loop, "a"), Recorder(loop, "b")
+    ch = SignalingChannel(loop, a, b, latency=FixedLatency(0.1))
+    f = DescriptorFactory("a")
+    ch.ends[0].slot().send_open(AUDIO, f.no_media())  # toward b
+    ch.ends[1].tear_down()                            # b dies first
+    loop.run()
+    kinds = [s.kind for _, s in b.seen]
+    assert "open" not in kinds  # the in-flight open died with the end
+    assert not ch.ends[0].alive and not ch.ends[1].alive
+    assert not ch.active
+
+
+def test_sends_into_half_torn_down_channel_are_dropped(loop):
+    """Until the TearDown meta arrives, the surviving side may keep
+    transmitting; deliveries at the dead end are swallowed."""
+    a, b = Recorder(loop, "a"), Recorder(loop, "b")
+    ch = SignalingChannel(loop, a, b, latency=FixedLatency(0.1))
+    ch.ends[0].tear_down()
+    # b has not heard yet (alive, link still up) and fires a burst.
+    assert ch.ends[1].alive
+    f = DescriptorFactory("b")
+    ch.ends[1].slot().send_open(AUDIO, f.no_media())
+    ch.ends[1].send_meta(Available())
+    loop.run()
+    assert a.seen == [] and a.metas == []
+    assert not ch.active
+
+
+def test_teardown_neutralizes_robust_mode_timers(loop):
+    """A torn-down channel with retransmission armed must still
+    quiesce: the timers find the end dead and stand down."""
+    from repro.protocol.slot import RetransmitPolicy
+    a, b = Recorder(loop, "a"), Recorder(loop, "b")
+    ch = SignalingChannel(loop, a, b, latency=FixedLatency(0.1),
+                          retransmit=RetransmitPolicy())
+    f = DescriptorFactory("a")
+    sa = ch.ends[0].slot()
+    sa.send_open(AUDIO, f.no_media())  # arms the retx timer
+    ch.ends[0].tear_down()
+    loop.run_until_quiescent()
+    assert sa.state == "closed"
+    assert not sa.failed  # torn down, not timed out
+    assert not ch.active

@@ -109,6 +109,47 @@ def test_run_until_quiescent_raises_on_livelock():
         loop.run_until_quiescent(max_events=100)
 
 
+def test_quiescence_error_carries_structured_payload():
+    """Chaos-test failures are diagnosed from the exception alone: the
+    spent budget, how many events are still live, and which one fires
+    next."""
+    loop = EventLoop()
+
+    def rearm():
+        loop.schedule(1.0, rearm)
+
+    loop.schedule(1.0, rearm)
+    with pytest.raises(QuiescenceError) as exc:
+        loop.run_until_quiescent(max_events=50)
+    err = exc.value
+    assert err.max_events == 50
+    assert err.pending == 1
+    assert isinstance(err.next_event, str) and "rearm" in err.next_event
+    assert "50" in str(err) and err.next_event in str(err)
+
+
+def test_quiescence_error_skips_cancelled_heap_heads():
+    loop = EventLoop()
+
+    def rearm():
+        loop.schedule(1.0, rearm)
+
+    dead = loop.schedule(0.5, lambda: None)
+    loop.schedule(200.0, rearm)
+    loop.run(until=100.0)  # burn nothing; dead is still heaped
+    dead.cancel()
+    with pytest.raises(QuiescenceError) as exc:
+        loop.run_until_quiescent(max_events=10)
+    # next_event reports the live rearm timer, not the cancelled head.
+    assert "rearm" in exc.value.next_event
+
+
+def test_quiescence_error_surfaced_in_protocol_errors():
+    from repro.protocol import errors
+    assert errors.QuiescenceError is QuiescenceError
+    assert "QuiescenceError" in errors.__all__
+
+
 def test_advance_moves_clock_even_without_events():
     loop = EventLoop()
     loop.advance(10.0)

@@ -1,0 +1,204 @@
+"""Unit tests for the fault-injection layer (network/faults.py):
+plan algebra, the faulty transmit path, link flaps, and crash windows."""
+
+import pytest
+
+from repro.network.eventloop import EventLoop
+from repro.network.faults import (PLANS, CrashSchedule, FaultPlan,
+                                  FaultStats, FaultyLink)
+from repro.network.latency import FixedLatency
+from repro.network.node import Node
+from repro.network.transport import Link
+
+from .test_transport import collect
+
+
+def lossy_link(seed, plan, exempt=None):
+    loop = EventLoop(seed=seed)
+    link = Link(loop, FixedLatency(0.1))
+    faulty = FaultyLink(link, plan, exempt=exempt)
+    return loop, link, faulty
+
+
+def test_same_seed_same_trace():
+    """The adversary draws from the loop's rng: one seed, one trace."""
+    plan = FaultPlan(drop=0.3, duplicate=0.3, jitter=0.02)
+    traces = []
+    for _ in range(2):
+        loop, link, faulty = lossy_link(11, plan)
+        got = collect(link.ends[1])
+        times = []
+        link.ends[1].set_receiver(
+            lambda m, got=got, times=times: (got.append(m),
+                                             times.append(loop.now)))
+        for i in range(100):
+            link.ends[0].send(i)
+        loop.run()
+        traces.append((got, times, faulty.stats.to_json()))
+    assert traces[0] == traces[1]
+
+
+def test_different_seeds_differ():
+    plan = FaultPlan(drop=0.3)
+    outcomes = set()
+    for seed in (1, 2, 3):
+        loop, link, faulty = lossy_link(seed, plan)
+        got = collect(link.ends[1])
+        for i in range(50):
+            link.ends[0].send(i)
+        loop.run()
+        outcomes.add(tuple(got))
+    assert len(outcomes) > 1
+
+
+def test_certain_drop_loses_everything():
+    loop, link, faulty = lossy_link(0, FaultPlan(drop=1.0))
+    got = collect(link.ends[1])
+    for i in range(10):
+        link.ends[0].send(i)
+    loop.run()
+    assert got == []
+    assert faulty.stats.dropped == 10
+    assert faulty.stats.forwarded == 0
+
+
+def test_certain_duplicate_doubles_everything():
+    loop, link, faulty = lossy_link(0, FaultPlan(duplicate=1.0))
+    got = collect(link.ends[1])
+    for i in range(5):
+        link.ends[0].send(i)
+    loop.run()
+    assert sorted(got) == sorted(list(range(5)) * 2)
+    assert faulty.stats.duplicated == 5
+    assert faulty.stats.forwarded == 10
+
+
+def test_duplicated_copies_suffer_drop_independently():
+    # With both certain, each message yields two copies, both dropped.
+    loop, link, faulty = lossy_link(0, FaultPlan(drop=1.0, duplicate=1.0))
+    got = collect(link.ends[1])
+    link.ends[0].send("x")
+    loop.run()
+    assert got == []
+    assert faulty.stats.duplicated == 1
+    assert faulty.stats.dropped == 2
+
+
+def test_jitter_delays_but_preserves_fifo():
+    loop, link, faulty = lossy_link(4, FaultPlan(jitter=0.05))
+    got = []
+    times = []
+    link.ends[1].set_receiver(
+        lambda m: (got.append(m), times.append(loop.now)))
+    for i in range(20):
+        link.ends[0].send(i)
+    loop.run()
+    assert got == list(range(20))  # horizon clamp still applies
+    assert faulty.stats.jittered == 20
+    assert all(t >= 0.1 for t in times)
+    assert any(t > 0.1 for t in times)
+
+
+def test_reorder_can_overtake():
+    # Reordered deliveries skip the FIFO horizon; with jitter in play
+    # some message overtakes an earlier one.
+    plan = FaultPlan(reorder=1.0, jitter=0.2)
+    loop, link, faulty = lossy_link(5, plan)
+    got = collect(link.ends[1])
+    for i in range(50):
+        link.ends[0].send(i)
+    loop.run()
+    assert sorted(got) == list(range(50))  # nothing lost
+    assert got != list(range(50))          # but not in order
+    assert faulty.stats.reordered == 50
+
+
+def test_exempt_messages_pass_faithfully():
+    exempt = lambda m: isinstance(m, str) and m.startswith("meta:")
+    loop, link, faulty = lossy_link(0, FaultPlan(drop=1.0), exempt=exempt)
+    got = collect(link.ends[1])
+    link.ends[0].send("meta:teardown")
+    link.ends[0].send("payload")
+    loop.run()
+    assert got == ["meta:teardown"]
+    assert faulty.stats.exempted == 1
+    assert faulty.stats.dropped == 1
+
+
+def test_uninstall_restores_faithful_transmit():
+    loop, link, faulty = lossy_link(0, FaultPlan(drop=1.0))
+    got = collect(link.ends[1])
+    link.ends[0].send("lost")
+    faulty.uninstall()
+    link.ends[0].send("kept")
+    loop.run()
+    assert got == ["kept"]
+
+
+def test_flap_drops_in_flight_and_recovers():
+    plan = FaultPlan(flaps=((0.05, 0.2),))
+    loop, link, faulty = lossy_link(0, plan)
+    got = collect(link.ends[1])
+    link.ends[0].send("in-flight")      # delivery due at 0.1, flap at 0.05
+    loop.schedule_at(0.15, link.ends[0].send, "during-outage")
+    loop.schedule_at(0.5, link.ends[0].send, "after-recovery")
+    loop.run()
+    assert got == ["after-recovery"]
+    assert faulty.stats.flap_drops == 1
+    assert not link.down
+
+
+def test_flap_respects_real_teardown():
+    plan = FaultPlan(flaps=((0.05, 0.2),))
+    loop, link, faulty = lossy_link(0, plan)
+    collect(link.ends[1])
+    link.tear_down()
+    loop.run()
+    # The flap window must not resurrect a link torn down for real.
+    assert link.down
+
+
+def test_faults_apply_in_both_directions():
+    # The wrapper replaces the shared link.transmit, so each direction
+    # passes through the plan.
+    loop, link, faulty = lossy_link(0, FaultPlan(drop=1.0))
+    got_a, got_b = collect(link.ends[0]), collect(link.ends[1])
+    link.ends[0].send("to-b")
+    link.ends[1].send("to-a")
+    loop.run()
+    assert got_a == [] and got_b == []
+    assert faulty.stats.dropped == 2
+
+
+def test_crash_schedule_drops_stimuli_while_offline():
+    loop = EventLoop()
+    node = Node(loop, cost=0.0)
+    sched = CrashSchedule(node, windows=((1.0, 0.5),))
+    out = []
+    loop.schedule_at(1.2, node.enqueue, out.append, "lost")
+    loop.schedule_at(2.0, node.enqueue, out.append, "kept")
+    loop.run()
+    assert out == ["kept"]
+    assert sched.crashes == 1
+    assert node.dropped_while_offline == 1
+    assert not node.offline
+
+
+def test_stats_merge_and_json_roundtrip():
+    a = FaultStats(forwarded=3, dropped=1)
+    b = FaultStats(duplicated=2, exempted=4)
+    merged = a.merge(b)
+    assert merged.forwarded == 3 and merged.dropped == 1
+    assert merged.duplicated == 2 and merged.exempted == 4
+    payload = merged.to_json()
+    assert set(payload) == {"forwarded", "dropped", "duplicated",
+                            "reordered", "jittered", "flap_drops",
+                            "exempted"}
+
+
+def test_plan_describe_is_json_friendly():
+    plan = PLANS["flaky"]
+    desc = plan.describe()
+    assert desc["name"] == "flaky"
+    assert desc["drop"] == pytest.approx(0.05)
+    assert desc["flaps"] == [[1.0, 0.4], [4.0, 0.4]]

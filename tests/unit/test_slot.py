@@ -246,3 +246,246 @@ def test_race_losing_open_not_passed_up(pair):
     assert "open" not in kinds_a  # dropped at the winner
     kinds_b = [s.kind for _, s in b.seen]
     assert kinds_b == ["open"]
+
+
+
+# ----------------------------------------------------------------------
+# robust mode: retransmission, duplicate absorption, graceful failure
+# ----------------------------------------------------------------------
+from repro.protocol.slot import RetransmitPolicy  # noqa: E402
+
+#: Handshake tests drive both ends by hand, so the staleness timer is
+#: disabled here; the describe/select recovery tests build their own
+#: channel with it on.
+HANDSHAKE_POLICY = RetransmitPolicy(initial=0.25, backoff=2.0,
+                                    max_retries=4, stale_after=0.0)
+
+
+@pytest.fixture
+def robust_pair():
+    loop = EventLoop()
+    a = Recorder(loop, "a")
+    b = Recorder(loop, "b")
+    channel = SignalingChannel(loop, a, b, name="r",
+                               retransmit=HANDSHAKE_POLICY)
+    return loop, a, b, channel
+
+
+def lose(channel):
+    """Context manager dropping every transmit while the block runs.
+
+    Taking the link down is the cleanest deterministic loss: transmit
+    returns early, so exactly the sends inside the block disappear.
+    """
+    import contextlib
+
+    @contextlib.contextmanager
+    def down():
+        channel.link.down = True
+        try:
+            yield
+        finally:
+            channel.link.down = False
+    return down()
+
+
+def robust_flowing(loop, ch):
+    """Drive the handshake to flowing/flowing with bounded advances, so
+    no retransmission timer fires along the way."""
+    sa, sb = ch.ends[0].slot(), ch.ends[1].slot()
+    sa.send_open(AUDIO, real_desc(descs("a")))
+    loop.advance(0.1)
+    sb.send_oack(real_desc(descs("b")))
+    loop.advance(0.1)
+    assert sa.state == "flowing" and sb.state == "flowing"
+    return sa, sb
+
+
+def test_lost_open_is_retransmitted(robust_pair):
+    loop, a, b, ch = robust_pair
+    sa, sb = ch.ends[0].slot(), ch.ends[1].slot()
+    with lose(ch):
+        sa.send_open(AUDIO, real_desc(descs("a")))
+    loop.advance(0.3)  # the 0.25 s timer re-sends the open
+    assert sa.retransmits == 1
+    assert sb.state == "opened"
+    sb.send_oack(real_desc(descs("b")))
+    loop.run()
+    assert sa.state == "flowing" and sb.state == "flowing"
+    assert loop.pending() == 0  # the oack cancelled the timer
+
+
+def test_lost_close_is_retransmitted(robust_pair):
+    loop, a, b, ch = robust_pair
+    sa, sb = robust_flowing(loop, ch)
+    with lose(ch):
+        sa.send_close()
+    loop.run()
+    assert sa.retransmits == 1
+    assert sa.state == "closed" and sb.state == "closed"
+    assert loop.pending() == 0
+
+
+def test_no_loss_means_no_retransmission(robust_pair):
+    """The acknowledgement cancels the timer before it fires."""
+    loop, a, b, ch = robust_pair
+    sa, sb = robust_flowing(loop, ch)
+    sa.send_close()
+    loop.advance(0.1)
+    assert sa.state == "closed" and sb.state == "closed"
+    assert sa.retransmits == 0 and sb.retransmits == 0
+    assert sa.duplicate_drops == 0 and sb.duplicate_drops == 0
+    assert loop.pending() == 0
+
+
+def test_duplicate_open_reelicits_oack(robust_pair):
+    """A retransmitted open at a flowing slot recovers a lost oack."""
+    loop, a, b, ch = robust_pair
+    sa, sb = robust_flowing(loop, ch)
+    assert sb.receive(Open(AUDIO, sb.remote_descriptor)) is False
+    assert sb.duplicate_drops == 1
+    loop.advance(0.1)
+    # the re-elicited oack is itself absorbed as a duplicate at a
+    assert sa.duplicate_drops == 1
+    assert sa.state == "flowing" and sb.state == "flowing"
+
+
+def test_duplicate_close_reacked_at_closed_slot(robust_pair):
+    """A retransmitted close whose closeack was lost is answered again
+    from ``closed`` instead of raising."""
+    loop, a, b, ch = robust_pair
+    sa, sb = robust_flowing(loop, ch)
+    sa.send_close()
+    loop.advance(0.1)
+    assert sb.receive(Close()) is False
+    assert sb.duplicate_drops == 1
+    loop.advance(0.1)
+    # the duplicate closeack is absorbed at the (already closed) sender
+    assert sa.duplicate_drops == 1
+    assert sa.state == "closed" and sb.state == "closed"
+
+
+def test_open_give_up_degrades_and_reports():
+    loop = EventLoop()
+    a, b = Recorder(loop, "a"), Recorder(loop, "b")
+    policy = RetransmitPolicy(initial=0.1, backoff=2.0, max_retries=2,
+                              stale_after=0.0)
+    ch = SignalingChannel(loop, a, b, retransmit=policy)
+    failures = []
+    a.on_slot_failed = lambda slot, reason: failures.append((slot, reason))
+    sa = ch.ends[0].slot()
+    ch.link.down = True  # the peer is unreachable for good
+    sa.send_open(AUDIO, real_desc(descs("a")))
+    loop.run()
+    assert sa.state == "closed"
+    assert sa.failed and sa.failures == 1
+    assert sa.retransmits == policy.max_retries
+    assert failures == [(sa, "open")]
+    assert loop.pending() == 0  # no timer left ticking
+
+
+def test_close_give_up_degrades_and_reports(robust_pair):
+    loop, a, b, ch = robust_pair
+    sa, sb = robust_flowing(loop, ch)
+    failures = []
+    a.on_slot_failed = lambda slot, reason: failures.append(reason)
+    ch.link.down = True
+    sa.send_close()
+    loop.run()
+    assert sa.state == "closed" and sa.failed
+    assert failures == ["close"]
+    assert loop.pending() == 0
+
+
+def test_failed_flag_cleared_by_next_open():
+    loop = EventLoop()
+    a, b = Recorder(loop, "a"), Recorder(loop, "b")
+    policy = RetransmitPolicy(initial=0.1, max_retries=1, stale_after=0.0)
+    ch = SignalingChannel(loop, a, b, retransmit=policy)
+    sa, sb = ch.ends[0].slot(), ch.ends[1].slot()
+    ch.link.down = True
+    sa.send_open(AUDIO, real_desc(descs("a")))
+    loop.run()
+    assert sa.failed
+    ch.link.down = False  # connectivity returns; a second episode works
+    sa.send_open(AUDIO, real_desc(descs("a"), port=10012))
+    assert not sa.failed
+    loop.advance(0.05)
+    assert sb.state == "opened"
+    sb.send_oack(real_desc(descs("b")))
+    loop.run()
+    assert sa.state == "flowing" and not sa.failed
+
+
+def stale_pair():
+    loop = EventLoop()
+    a = Recorder(loop, "a")
+    b = Recorder(loop, "b")
+    policy = RetransmitPolicy(initial=0.25, backoff=2.0, max_retries=4,
+                              stale_after=0.5)
+    ch = SignalingChannel(loop, a, b, name="s", retransmit=policy)
+    return loop, a, b, ch
+
+
+def test_lost_describe_recovered_by_staleness_timer():
+    loop, a, b, ch = stale_pair()
+    sa, sb = robust_flowing(loop, ch)
+    b.seen.clear()
+    fresh = real_desc(descs("a"), port=10020)
+    with lose(ch):
+        sa.send_describe(fresh)
+    loop.run()  # the staleness timer re-describes until answered/spent
+    kinds = [s.kind for _, s in b.seen]
+    assert "describe" in kinds
+    assert sb.remote_descriptor is fresh
+    assert sa.retransmits >= 1
+    assert not sa.failed  # a mute selector is not a dead handshake
+
+
+def test_answered_descriptor_stops_staleness_timer():
+    loop, a, b, ch = stale_pair()
+    sa, sb = robust_flowing(loop, ch)
+    fresh = real_desc(descs("a"), port=10022)
+    sa.send_describe(fresh)
+    loop.advance(0.1)
+    sb.send_select(Selector(answers=fresh.id, address=None, codec=G711))
+    loop.advance(0.1)
+    assert sa.selector_received is not None
+    before = sa.retransmits
+    loop.run()
+    assert sa.retransmits == before  # no re-describe after the answer
+
+
+def test_residual_signal_dropped_silently_in_robust_mode(robust_pair):
+    loop, a, b, ch = robust_pair
+    sa, sb = ch.ends[0].slot(), ch.ends[1].slot()
+    sa.send_open(AUDIO, real_desc(descs("a")))
+    loop.advance(0.1)
+    assert sb.state == "opened"
+    # A selector at an ``opened`` slot is out of place; strict mode
+    # would raise, robust mode counts it as weather.
+    sel = Selector(answers=real_desc(descs("a")).id, address=None,
+                   codec=NO_MEDIA)
+    assert sb.receive(Select(sel)) is False
+    assert sb.invalid_drops == 1
+    assert sb.state == "opened"
+
+
+def test_slot_failed_guard_predicate():
+    from repro.core.predicates import guard_atom, slot_failed
+
+    class Stub:
+        pass
+
+    guard = slot_failed("s")
+    assert guard_atom(guard) == ("slot", "failed", "s")
+    program = Stub()
+    program.box = Stub()
+    program.box.slot_names = {}
+    assert guard(program) is False        # unbound name
+    slot = Stub()
+    slot.failed = False
+    program.box.slot_names["s"] = slot
+    assert guard(program) is False        # bound, healthy
+    slot.failed = True
+    assert guard(program) is True

@@ -82,6 +82,51 @@ def test_torn_down_link_drops_messages():
     assert got == []
 
 
+def test_tear_down_cancels_in_flight_events():
+    """Regression: tear_down used to leave the pending delivery events
+    on the loop, where they fired into the dead link."""
+    loop = EventLoop()
+    link = Link(loop, FixedLatency(0.5))
+    a, b = link.ends
+    got = collect(b)
+    for i in range(3):
+        a.send(i)
+    assert link.in_flight() == 3
+    assert loop.pending() == 3
+    link.tear_down()
+    assert link.in_flight() == 0
+    # Cancelled outright, not merely ignored at delivery time: the loop
+    # is already quiescent, with no zombie events left to execute.
+    assert loop.pending() == 0
+    assert loop.run_until_quiescent() == 0
+    assert got == []
+
+
+def test_drop_in_flight_reports_live_count():
+    loop = EventLoop()
+    link = Link(loop, FixedLatency(0.5))
+    a, b = link.ends
+    collect(b)
+    a.send("one")
+    a.send("two")
+    assert link._drop_in_flight() == 2
+    assert link._drop_in_flight() == 0  # idempotent
+
+
+def test_pending_list_is_compacted():
+    """Delivered events are pruned so memory stays O(in-flight)."""
+    loop = EventLoop()
+    link = Link(loop, FixedLatency(0.0))
+    a, b = link.ends
+    collect(b)
+    for i in range(100):
+        a.send(i)
+        loop.run()  # deliver immediately; the entry is now dead
+    from repro.network.transport import _PENDING_COMPACT
+    assert len(link._pending) <= _PENDING_COMPACT
+    assert link.in_flight() == 0
+
+
 def test_node_zero_cost_runs_in_order():
     loop = EventLoop()
     node = Node(loop, cost=0.0)

@@ -1,0 +1,239 @@
+"""Tests for the lossy-tunnel verification models (robustness
+extension): convergence under bounded loss, the necessity of
+retransmission, fault-exemption of the timer-image notifications, and
+engine equivalence on the new process types."""
+
+import pytest
+
+from repro.verification import (LOSSY_PROPERTIES, PATH_TYPES,
+                                LossyTunnelProcess,
+                                ResilientEndpointProcess, all_model_specs,
+                                both_flowing, build_lossy_model, explore,
+                                lossy_model_specs, verify_model)
+
+# (states, transitions) at faults=1 with default kwargs — pinned so the
+# interned engine and the process models stay in exact agreement.
+LOSSY_COUNTS_F1 = {
+    "CC~lossy": (3132, 7202), "CH~lossy": (5464, 13665),
+    "CO~lossy": (6353, 15215), "HH~lossy": (69300, 189931),
+    "HO~lossy": (80865, 217969), "OO~lossy": (81354, 219153),
+}
+
+
+# ----------------------------------------------------------------------
+# the headline theorem: convergence under loss
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("path_type", sorted(PATH_TYPES))
+def test_lossy_model_converges_one_fault(path_type):
+    result = verify_model(build_lossy_model(path_type, faults=1),
+                          max_states=300_000)
+    assert result.safety_ok, "safety failed for %s" % result.key
+    assert result.property_ok, "spec failed for %s" % result.key
+    assert not result.truncated
+    assert result.property_kind == LOSSY_PROPERTIES[path_type]
+    assert (result.states, result.transitions) \
+        == LOSSY_COUNTS_F1[result.key]
+
+
+@pytest.mark.parametrize("path_type", sorted(PATH_TYPES))
+def test_lossy_model_converges_default_faults(path_type):
+    """The default adversary (two faults) still converges: every path
+    type satisfies its ◇□ property with zero safety violations."""
+    result = verify_model(build_lossy_model(path_type),
+                          max_states=2_000_000)
+    assert result.ok, "%s failed under the default fault budget" \
+        % result.key
+
+
+def test_flowing_paths_check_stability_not_recurrence():
+    """HO/OO lossy models prove ◇□ bothFlowing — strictly stronger
+    than the fault-free grid's □◇."""
+    assert LOSSY_PROPERTIES["HO"] == "stability-flowing"
+    assert LOSSY_PROPERTIES["OO"] == "stability-flowing"
+    assert PATH_TYPES["HO"][2] == "recurrence-flowing"
+
+
+# ----------------------------------------------------------------------
+# retransmission is necessary, and a budget matching the faults enough
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("path_type", sorted(PATH_TYPES))
+def test_no_retransmission_breaks_every_path(path_type):
+    """With the retransmission budget zeroed, one fault is enough to
+    defeat every path type — the degradation half of the theorem."""
+    result = verify_model(build_lossy_model(path_type, faults=1, retx=0),
+                          max_states=300_000)
+    assert not result.ok, "%s should break without retransmission" \
+        % result.key
+
+
+def test_tight_budget_suffices():
+    """retx == faults already converges (one charged re-send per loss;
+    goal-level re-pushes of rejected opens are free)."""
+    for path_type in ("CC", "CO"):
+        result = verify_model(
+            build_lossy_model(path_type, faults=2, retx=2),
+            max_states=300_000)
+        assert result.ok, result.key
+
+
+# ----------------------------------------------------------------------
+# the lossy grid is an extension, not a change to the paper's twelve
+# ----------------------------------------------------------------------
+def test_lossy_keys_stay_out_of_base_sweep():
+    specs = all_model_specs()
+    assert len(specs) == 12
+    assert lossy_model_specs() == list(PATH_TYPES)
+    model = build_lossy_model("CC")
+    assert model.key == "CC~lossy"
+    assert not model.has_flowlink
+
+
+def test_lossy_flowing_is_not_vacuous():
+    """HO~lossy really reaches bothFlowing (a stability check would
+    pass vacuously on a model that never flows)."""
+    model = build_lossy_model("HO", faults=1)
+    graph = explore(model.system, max_states=300_000)
+    assert any(both_flowing(s.procs[model.left_index],
+                            s.procs[model.right_index])
+               for s in graph.states)
+
+
+def test_fault_budget_is_exercised():
+    """Paths where the relay actually spent its fault budget are
+    reachable — the adversary is not a no-op."""
+    model = build_lossy_model("CC", faults=1)
+    graph = explore(model.system, max_states=300_000)
+    assert any(s.procs[1].faults == 0 for s in graph.states)
+    assert all(0 <= s.procs[1].faults <= 1 for s in graph.states)
+
+
+# ----------------------------------------------------------------------
+# the relay's fault algebra
+# ----------------------------------------------------------------------
+def relay():
+    return LossyTunnelProcess("T", in_left=0, in_right=3,
+                              out_left=1, out_right=2, faults=2)
+
+
+def test_relay_forwards_drops_and_duplicates():
+    t = relay()
+    st = t.initial()
+    assert st.faults == 2
+    outcomes = t.receive(st, 0, ("open", ("L", 0)))
+    assert len(outcomes) == 3
+    forward, drop, dup = outcomes
+    assert forward == (st, [(2, ("open", ("L", 0)))])
+    assert drop[0].faults == 1
+    assert drop[1] == [(1, ("lost", ("open", ("L", 0))))]
+    assert dup[0].faults == 1
+    assert dup[1] == [(2, ("open", ("L", 0))), (2, ("open", ("L", 0)))]
+
+
+def test_relay_direction_matters():
+    t = relay()
+    st = t.initial()
+    forward, drop, _ = t.receive(st, 3, ("close",))
+    assert forward == (st, [(1, ("close",))])
+    # the drop notification goes back to the right-hand sender
+    assert drop[1] == [(2, ("lost", ("close",)))]
+
+
+def test_relay_exhausted_budget_only_forwards():
+    t = relay()
+    st = t.initial()._replace(faults=0)
+    outcomes = t.receive(st, 0, ("oack", ("L", 1)))
+    assert outcomes == [(st, [(2, ("oack", ("L", 1)))])]
+
+
+def test_notifications_are_fault_exempt():
+    """Loss/rejection notifications model timers, not wire traffic:
+    the relay forwards them deterministically even with budget left."""
+    t = relay()
+    st = t.initial()
+    for kind in ("lost", "rejected"):
+        outcomes = t.receive(st, 0, (kind, ("open", ("L", 0))))
+        assert outcomes == [(st, [(2, (kind, ("open", ("L", 0))))])]
+
+
+# ----------------------------------------------------------------------
+# the resilient endpoint's retransmission timer image
+# ----------------------------------------------------------------------
+def endpoint(goal="close", retx=2):
+    return ResilientEndpointProcess("L", goal, out_queue=0,
+                                    initiator=True, retx_budget=retx)
+
+
+def test_lost_closeack_is_replayed_and_charged():
+    ep = endpoint()
+    st = ep.initial()  # closed
+    (st2, sends), = ep.receive(st, 1, ("lost", ("closeack",)))
+    assert sends == [(0, ("closeack",))]
+    assert st2.retx == st.retx - 1
+
+
+def test_exhausted_budget_gives_up():
+    ep = endpoint(retx=0)
+    st = ep.initial()
+    (st2, sends), = ep.receive(st, 1, ("lost", ("closeack",)))
+    assert sends == []
+    assert st2 == st
+
+
+def test_lost_open_pinned_to_episode():
+    ep = endpoint(goal="open")
+    st = ep.initial()._replace(slot="opening", sent=("L", 1), phase=2)
+    (st2, sends), = ep.receive(st, 1, ("lost", ("open", ("L", 1))))
+    assert sends == [(0, ("open", ("L", 1)))]
+    assert st2.retx == st.retx - 1
+    # a notification for an earlier incarnation's open is not ours
+    (st3, sends3), = ep.receive(st, 1, ("lost", ("open", ("L", 0))))
+    assert sends3 == [] and st3 == st
+
+
+def test_rejected_open_repush_is_free():
+    ep = endpoint(goal="open")
+    st = ep.initial()._replace(slot="opening", sent=("L", 1), phase=2)
+    (st2, sends), = ep.receive(st, 1, ("rejected", ("open", ("L", 1))))
+    assert sends == [(0, ("open", ("L", 1)))]
+    assert st2.retx == st.retx  # goal-level re-push: no budget charge
+
+
+def test_duplicate_close_reacked_when_closed():
+    ep = endpoint()
+    st = ep.initial()._replace(phase=2)
+    (st2, sends), = ep.receive(st, 1, ("close",))
+    assert st2.slot == "closed"
+    assert sends == [(0, ("closeack",))]
+
+
+def test_flowing_accepts_reopen_from_new_episode():
+    """Open is unilateral and idempotent: a flowing endpoint adopts a
+    new episode's descriptor, re-acks, and answers it."""
+    ep = endpoint(goal="hold")
+    st = ep.initial()._replace(slot="flowing", phase=2,
+                               sent=("L", 0), rcvd=("R", 0))
+    (st2, sends), = ep.receive(st, 1, ("open", ("R", 1)))
+    assert st2.rcvd == ("R", 1)
+    assert sends == [(0, ("oack", ("L", 0))), (0, ("select", ("R", 1)))]
+
+
+def test_closing_drain_reflects_rejection():
+    ep = endpoint()
+    st = ep.initial()._replace(slot="closing", phase=2)
+    (st2, sends), = ep.receive(st, 1, ("open", ("R", 1)))
+    assert st2 == st
+    assert sends == [(0, ("rejected", ("open", ("R", 1))))]
+
+
+# ----------------------------------------------------------------------
+# engine equivalence on the new process types
+# ----------------------------------------------------------------------
+def test_engine_matches_reference_kernel_on_lossy_model():
+    model = build_lossy_model("CC", faults=1)
+    graph = explore(model.system)
+    engine = graph.engine
+    for sid in range(graph.state_count):
+        reference = model.system.successors(graph.states[sid])
+        mine = [engine.decode(k)
+                for k in engine.expand(graph.packed[sid])]
+        assert mine == reference, "state %d diverges" % sid
