@@ -1,0 +1,121 @@
+"""Disabled-tracing overhead guard (not a paper artifact).
+
+The observability subsystem's contract is "free when disabled": an
+untraced run pays one ``loop.trace is None`` attribute test per
+would-be event and nothing else.  This module holds that contract two
+ways:
+
+* *structurally* — a default :class:`~repro.network.network.Network`
+  has no tracer, no transmit hooks, and executes exactly the same
+  event count (and fingerprint) as a traced twin of the same seed;
+* *in wall-clock* — the two seed workloads recorded in
+  ``baselines/throughput_seed.json`` **before** the runtime was
+  instrumented must still run within a generous tolerance band of
+  their pre-instrumentation best.  The band (3x) absorbs shared-CI
+  noise; a true per-event regression (the hot paths run 20k+ events)
+  would blow through it.
+"""
+
+import json
+import os
+import time
+
+from repro import AUDIO, Network
+from repro.network.eventloop import EventLoop
+
+_BASELINE_PATH = os.path.join(os.path.dirname(__file__), "baselines",
+                              "throughput_seed.json")
+#: Generous: wall clock on shared runners jitters, per-event overhead
+#: multiplied over 20k events does not hide inside 3x.
+_TOLERANCE = 3.0
+
+
+def _baseline(workload: str) -> float:
+    with open(_BASELINE_PATH) as fh:
+        return json.load(fh)["workloads"][workload]["best"]
+
+
+def _best_of(fn, repeats: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+# ----------------------------------------------------------------------
+# the recorded seed workloads, byte-for-byte the baseline recipes
+# ----------------------------------------------------------------------
+def _event_loop_churn_20k() -> int:
+    loop = EventLoop()
+    count = [0]
+
+    def tick():
+        count[0] += 1
+        if count[0] < 20_000:
+            loop.schedule(0.001, tick)
+
+    loop.schedule(0.0, tick)
+    loop.run()
+    return count[0]
+
+
+def _call_setup_teardown_50() -> int:
+    net = Network(seed=0)
+    a = net.device("A")
+    b = net.device("B", auto_accept=True)
+    box = net.box("srv")
+    ch_a = net.channel(a, box)
+    ch_b = net.channel(box, b)
+    box.flow_link(ch_a.end_for(box).slot(), ch_b.end_for(box).slot())
+    slot = ch_a.end_for(a).slot()
+    for _ in range(50):
+        a.open(slot, AUDIO)
+        net.settle()
+        a.close(slot)
+        net.settle()
+    return net.loop.executed
+
+
+def test_event_loop_churn_within_baseline_band():
+    assert _event_loop_churn_20k() == 20_000  # warm imports, then time
+    best = _best_of(_event_loop_churn_20k)
+    assert best <= _TOLERANCE * _baseline("event_loop_churn_20k"), \
+        "untraced event-loop churn regressed vs pre-instrumentation seed"
+
+
+def test_call_setup_teardown_within_baseline_band():
+    assert _call_setup_teardown_50() > 1000
+    best = _best_of(_call_setup_teardown_50)
+    assert best <= _TOLERANCE * _baseline("call_setup_teardown_50"), \
+        "untraced call setup/teardown regressed vs pre-instrumentation seed"
+
+
+# ----------------------------------------------------------------------
+# structural no-op: disabled means *nothing* is installed
+# ----------------------------------------------------------------------
+def test_untraced_network_installs_nothing():
+    net = Network(seed=0)
+    assert net.trace is None
+    assert net.loop.trace is None
+    a = net.device("a")
+    b = net.device("b", auto_accept=True)
+    ch = net.channel(a, b)
+    assert ch.link._hooks == []
+    assert ch.link._chain == ch.link._base_transmit
+
+
+def test_traced_and_untraced_runs_execute_identically():
+    def run(trace):
+        net = Network(seed=11, trace=trace)
+        a = net.device("a")
+        b = net.device("b", auto_accept=True)
+        ch = net.channel(a, b)
+        a.open(ch.initiator_end.slot(), AUDIO)
+        net.settle()
+        a.close(ch.initiator_end.slot())
+        net.settle()
+        return net.loop.executed, net.now, net.plane.two_way(a, b)
+
+    assert run(False) == run(True)

@@ -5,16 +5,19 @@ Subcommands::
 
     python -m repro latency     # Secs. VIII-C / IX-B numbers
     python -m repro verify      # the 12-model sweep (+ --rich, --two)
+    python -m repro sweep       # the parallel sweep CLI (see --help)
     python -m repro scenario    # Fig. 2 vs Fig. 3 snapshots
     python -m repro lint        # static analysis of the bundled
                                 # programs and models (see --help)
     python -m repro chaos       # the bundled apps under fault
                                 # injection (see --help)
-    python -m repro all         # everything above except lint/chaos
+    python -m repro trace       # record one app run and export its
+                                # trace (see --help)
+    python -m repro all         # latency + verify + scenario
 
 Exit status is normalized across subcommands: 0 on success (for
-``lint``: every target clean), 1 when findings were reported, 2 on
-usage errors.
+``lint``: every target clean; for ``chaos``: every app converged), 1
+when findings were reported, 2 on usage errors.
 """
 
 from __future__ import annotations
@@ -22,6 +25,31 @@ from __future__ import annotations
 import argparse
 import statistics
 import sys
+
+#: The delegating subcommands: each owns its flags, help, and exit
+#: codes (0 success / 1 findings / 2 usage), so ``python -m repro``
+#: hands the rest of the command line straight to its ``main``.
+_DELEGATED = {
+    "lint": ("repro.staticcheck.cli",
+             "static analysis of the bundled box programs and models"),
+    "chaos": ("repro.chaos.cli",
+              "run the bundled apps under fault injection and check "
+              "media convergence"),
+    "sweep": ("repro.verification.cli",
+              "fan the verification models across cores; can profile "
+              "itself as a Chrome trace"),
+    "trace": ("repro.obs.cli",
+              "record one app run and export it (Chrome trace_event "
+              "JSON, timeline, MSC)"),
+}
+
+#: The classic evaluation subcommands handled in this module.
+_BUILTIN = {
+    "latency": "the Secs. VIII-C / IX-B latency numbers",
+    "verify": "the 12-model verification sweep (+ --rich, --two)",
+    "scenario": "the Fig. 2 vs Fig. 3 prepaid-card snapshots",
+    "all": "latency + verify + scenario in sequence (default)",
+}
 
 
 def run_latency() -> None:
@@ -104,23 +132,38 @@ def run_scenario() -> None:
              net2.plane.two_way(good.a, good.b)))
 
 
+def _epilog() -> str:
+    lines = ["subcommands:"]
+    for name, desc in _BUILTIN.items():
+        lines.append("  %-10s %s" % (name, desc))
+    for name, (_, desc) in sorted(_DELEGATED.items()):
+        lines.append("  %-10s %s  (own flags: %s --help)"
+                     % (name, desc, name))
+    return "\n".join(lines)
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
-    if argv[:1] == ["lint"]:
-        # The lint subcommand owns its flags (and its exit codes:
-        # 0 clean / 1 findings / 2 usage error).
-        from .staticcheck.cli import main as lint_main
-        return lint_main(argv[1:])
-    if argv[:1] == ["chaos"]:
-        # Same shape: 0 converged / 1 divergence / 2 usage error.
-        from .chaos.cli import main as chaos_main
-        return chaos_main(argv[1:])
+    if argv[:1] == ["--version"]:
+        from . import __version__
+        print("repro %s" % __version__)
+        return 0
+    if argv[:1] and argv[0] in _DELEGATED:
+        import importlib
+        module = importlib.import_module(_DELEGATED[argv[0]][0])
+        return module.main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce 'Compositional Control of IP Media' "
-                    "(Zave & Cheung, CoNEXT 2006)")
+                    "(Zave & Cheung, CoNEXT 2006)",
+        epilog=_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("command", nargs="?", default="all",
-                        choices=("latency", "verify", "scenario", "all"))
+                        choices=sorted(set(_BUILTIN) | set(_DELEGATED)),
+                        metavar="COMMAND",
+                        help="one of the subcommands below (default: all)")
+    parser.add_argument("--version", action="store_true",
+                        help="print the package version and exit")
     parser.add_argument("--rich", action="store_true",
                         help="bigger verification budgets")
     parser.add_argument("--two", action="store_true",
@@ -134,6 +177,10 @@ def main(argv=None) -> int:
                         metavar="N",
                         help="per-model state bound (smoke sweeps)")
     args = parser.parse_args(argv)
+    if args.version:
+        from . import __version__
+        print("repro %s" % __version__)
+        return 0
     if args.command in ("latency", "all"):
         run_latency()
         print()

@@ -9,6 +9,8 @@ Usage::
     python -m repro chaos --drop 0.2 --jitter 0.05
     python -m repro chaos --app pbx --app prepaid --seed 3
     python -m repro chaos --json -               # JSON report on stdout
+    python -m repro chaos --trace-json trace.json
+                                                 # Chrome trace per app
     python -m repro chaos --bench-json BENCH_chaos.json
     python -m repro chaos --list-plans
     python -m repro chaos --no-retransmit        # negative control
@@ -23,6 +25,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import sys
 from typing import List, Optional, TextIO
 
@@ -32,6 +35,17 @@ from .runner import ChaosResult, run_suite
 from .scenarios import SCENARIOS
 
 __all__ = ["build_parser", "main"]
+
+
+def _write_text(path: str, text: str) -> None:
+    """Write ``text`` to ``path``, creating parent directories so
+    report/trace flags accept paths under directories that do not
+    exist yet (CI scratch dirs, for instance)."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as fh:
+        fh.write(text)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -62,6 +76,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="write the full JSON report to PATH "
                              "('-' for stdout)")
+    parser.add_argument("--trace-json", default=None, metavar="PATH",
+                        help="export each faulted run as Chrome "
+                             "trace_event JSON; with several apps the "
+                             "app name is inserted before the "
+                             "extension (out.json -> out.pbx.json)")
     parser.add_argument("--bench-json", default=None, metavar="PATH",
                         help="write a benchmark summary to PATH")
     parser.add_argument("--list-plans", action="store_true",
@@ -91,6 +110,19 @@ def _format_text(results: List[ChaosResult], out: TextIO) -> None:
                  "converged" if r.converged else "DIVERGED",
                  r.sim_time, r.fault_stats.get("dropped", 0),
                  r.fault_stats.get("duplicated", 0), detail), file=out)
+        if r.error and r.flight_tail:
+            print("    flight recorder tail (last %d events):"
+                  % len(r.flight_tail), file=out)
+            for line in r.flight_tail:
+                print("      %s" % line, file=out)
+
+
+def _trace_path(path: str, app: str, many: bool) -> str:
+    if not many:
+        return path
+    if path.endswith(".json"):
+        return "%s.%s.json" % (path[:-len(".json")], app)
+    return "%s.%s" % (path, app)
 
 
 def _bench_payload(results: List[ChaosResult], seed: int) -> dict:
@@ -130,22 +162,29 @@ def main(argv: Optional[List[str]] = None,
                      % (", ".join(unknown), ", ".join(SCENARIOS)))
     retransmit = None if args.no_retransmit else RetransmitPolicy()
     results = run_suite(apps=apps, plan=plan, seed=args.seed,
-                        retransmit=retransmit)
+                        retransmit=retransmit,
+                        keep_events=args.trace_json is not None)
+    if args.trace_json:
+        from ..obs.export import dumps_chrome
+        for r in results:
+            assert r.tracer is not None
+            path = _trace_path(args.trace_json, r.app, len(results) > 1)
+            _write_text(path, dumps_chrome(r.tracer, meta={
+                "app": r.app, "seed": r.seed, "plan": r.plan,
+                "converged": r.converged}))
     if args.json:
         payload = json.dumps([r.to_json() for r in results], indent=2,
                              sort_keys=True)
         if args.json == "-":
             print(payload, file=out)
         else:
-            with open(args.json, "w") as fh:
-                fh.write(payload + "\n")
+            _write_text(args.json, payload + "\n")
     if args.json != "-":
         _format_text(results, out)
     if args.bench_json:
-        with open(args.bench_json, "w") as fh:
-            json.dump(_bench_payload(results, args.seed), fh, indent=2,
-                      sort_keys=True)
-            fh.write("\n")
+        _write_text(args.bench_json,
+                    json.dumps(_bench_payload(results, args.seed),
+                               indent=2, sort_keys=True) + "\n")
     return 0 if all(r.converged for r in results) else 1
 
 

@@ -12,11 +12,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..network.eventloop import QuiescenceError
 from ..network.faults import FaultPlan
 from ..network.network import Network
+from ..obs.tracer import Tracer
 from ..protocol.errors import MediaControlError
 from ..protocol.slot import RetransmitPolicy
 from .scenarios import SCENARIOS, ConvergenceTimeout
@@ -39,6 +40,13 @@ class ChaosResult:
     fault_stats: Dict[str, int] = field(default_factory=dict)
     sim_time: float = 0.0
     elapsed: float = 0.0
+    #: The faulted run's flight-recorder tail when it errored: the last
+    #: signaling events before the timeout/livelock, straight from the
+    #: always-on recorder.
+    flight_tail: Tuple[str, ...] = ()
+    #: The faulted run's tracer (not serialized; a full-event tracer
+    #: only when the caller asked for an export).
+    tracer: Optional[Tracer] = None
 
     def to_json(self) -> Dict[str, object]:
         return {
@@ -53,16 +61,24 @@ class ChaosResult:
             "fault_stats": self.fault_stats,
             "sim_time": self.sim_time,
             "elapsed": self.elapsed,
+            "flight_tail": list(self.flight_tail),
         }
 
 
 def run_app(app: str, plan: FaultPlan, seed: int = 7,
-            retransmit: Optional[RetransmitPolicy] = None) -> ChaosResult:
+            retransmit: Optional[RetransmitPolicy] = None,
+            tracer: Optional[Tracer] = None) -> ChaosResult:
     """Run one application's scenario under ``plan`` and compare its
     media fingerprint with a fault-free run of the same seed.
 
     ``retransmit=None`` disables robust mode — the negative control:
     under real loss the apps are then expected to diverge or hang.
+
+    The faulted run always carries a tracer: the given one, or a
+    flight-recorder-only :class:`~repro.obs.tracer.Tracer`
+    (``keep_events=False``) so a diverging run's error report shows the
+    signaling history that led there.  Tracing never draws from the
+    simulation's RNG, so it cannot perturb the convergence verdict.
     """
     scenario = SCENARIOS[app]
     result = ChaosResult(app=app, plan=plan.describe(), seed=seed,
@@ -70,12 +86,17 @@ def run_app(app: str, plan: FaultPlan, seed: int = 7,
     baseline_net = Network(seed=seed, retransmit=retransmit)
     result.baseline = scenario(baseline_net)
 
+    if tracer is None:
+        tracer = Tracer(keep_events=False)
+    result.tracer = tracer
     start = time.perf_counter()
-    net = Network(seed=seed, retransmit=retransmit, faults=plan)
+    net = Network(seed=seed, retransmit=retransmit, faults=plan,
+                  trace=tracer)
     try:
         result.outcome = scenario(net)
     except (ConvergenceTimeout, QuiescenceError, MediaControlError) as e:
         result.error = "%s: %s" % (type(e).__name__, e)
+        result.flight_tail = tuple(tracer.flight_tail())
     result.elapsed = time.perf_counter() - start
     result.sim_time = net.now
     result.fault_stats = net.fault_stats.to_json()
@@ -92,12 +113,17 @@ def run_app(app: str, plan: FaultPlan, seed: int = 7,
 
 def run_suite(apps: Optional[List[str]] = None,
               plan: Optional[FaultPlan] = None, seed: int = 7,
-              retransmit: Optional[RetransmitPolicy] = None
-              ) -> List[ChaosResult]:
-    """Run a list of apps (default: all six) under one plan."""
+              retransmit: Optional[RetransmitPolicy] = None,
+              keep_events: bool = False) -> List[ChaosResult]:
+    """Run a list of apps (default: all six) under one plan.
+
+    ``keep_events=True`` gives each app a full-event tracer so the
+    results can be exported as Chrome traces (``--trace-json``).
+    """
     from ..network.faults import PLANS
     if plan is None:
         plan = PLANS["drop10+dup10"]
     names = list(SCENARIOS) if apps is None else apps
-    return [run_app(name, plan, seed=seed, retransmit=retransmit)
+    return [run_app(name, plan, seed=seed, retransmit=retransmit,
+                    tracer=Tracer() if keep_events else None)
             for name in names]

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..network.eventloop import EventLoop
+from ..obs.events import SlotFailureRecord
 from ..protocol.channel import ChannelEnd, SignalingAgent
 from ..protocol.codecs import Medium, NO_MEDIA
 from ..protocol.descriptor import Descriptor, DescriptorFactory, Selector
@@ -50,6 +51,11 @@ class Box(SignalingAgent):
         #: Robust mode: slots whose retransmission budget ran out,
         #: newest last, as ``(slot, reason)``.
         self.failed_log: List[Tuple[Slot, str]] = []
+        #: Structured counterparts of ``failed_log``: one
+        #: :class:`~repro.obs.events.SlotFailureRecord` per failure,
+        #: carrying the flight recorder's tail when the loop is traced —
+        #: the signaling history that led to the budget running out.
+        self.failure_records: List[SlotFailureRecord] = []
         #: Meta-signals seen (newest last), for programs polling them.
         self.meta_log: List[Tuple[ChannelEnd, MetaSignal]] = []
         #: Optional observer invoked after every stimulus (programs use
@@ -151,6 +157,10 @@ class Box(SignalingAgent):
         goal controlling the slot, then re-poll the program — the
         ``slot_failed`` guard predicate is now true for the slot."""
         self.failed_log.append((slot, reason))
+        tr = self.loop.trace
+        self.failure_records.append(SlotFailureRecord(
+            slot=slot.name, reason=reason, time=self.loop.now,
+            flight_tail=tuple(tr.flight_tail()) if tr is not None else ()))
         goal = self.maps.goal_for(slot)
         if goal is not None:
             goal.on_slot_failed(slot, reason)

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional, Sequence, Tuple
 
+from ..obs.events import GoalEvent
 from ..protocol.codecs import Medium
 from ..protocol.descriptor import Descriptor, Selector
 from ..protocol.errors import PreconditionError
@@ -59,12 +60,25 @@ class Goal:
         self.host = host
         self.slots = tuple(slots)
         self.attached = True
+        self._emit("install")
         self.on_attach()
 
     def detach(self) -> None:
         """Lose control; the object becomes garbage."""
         self.attached = False
+        self._emit("release")
         self.on_detach()
+
+    def _emit(self, action: str) -> None:
+        host = self.host
+        if host is None:
+            return
+        tr = host.loop.trace
+        if tr is not None:
+            tr.emit(GoalEvent(
+                ts=host.loop.now, box=host.name,
+                goal=type(self).__name__,
+                slots=tuple(s.name for s in self.slots), action=action))
 
     def on_attach(self) -> None:
         raise NotImplementedError

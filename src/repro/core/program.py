@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import (Any, Callable, Dict, List, Optional, Sequence, Tuple)
 
+from ..obs.events import ProgramStep
 from ..protocol.channel import ChannelEnd
 from ..protocol.codecs import Medium
 from ..protocol.errors import ConfigurationError
@@ -247,8 +248,15 @@ class Program:
     # -- lifecycle ----------------------------------------------------------
     def start(self) -> None:
         """Enter the initial state and start reacting."""
+        self._emit_step("", self._initial)
         self._enter(self._initial)
         self.poll()
+
+    def _emit_step(self, source: str, target: str) -> None:
+        tr = self.box.loop.trace
+        if tr is not None:
+            tr.emit(ProgramStep(ts=self.box.loop.now, box=self.box.name,
+                                source=source, target=target))
 
     def stop(self) -> None:
         """Terminate: release every goal, stop reacting."""
@@ -292,6 +300,7 @@ class Program:
             self._polling = False
 
     def _fire(self, action: Optional[Action], target: str) -> None:
+        self._emit_step(self.state_name or "", target)
         if action is not None:
             action(self)
         if target == END:

@@ -16,7 +16,11 @@ from __future__ import annotations
 import heapq
 import itertools
 import random
-from typing import Any, Callable, List, Optional, Tuple
+from typing import (TYPE_CHECKING, Any, Callable, Dict, List, Optional,
+                    Tuple)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.tracer import Tracer
 
 __all__ = ["Event", "EventLoop", "QuiescenceError"]
 
@@ -31,18 +35,25 @@ class QuiescenceError(RuntimeError):
 
     The exception carries a structured payload so chaos-test failures can
     be diagnosed without re-running: ``max_events`` (the spent budget),
-    ``pending`` (live events left in the heap), and ``next_event`` (repr
+    ``pending`` (live events left in the heap), ``next_event`` (repr
     of the earliest live event — usually the retransmission timer or
-    stimulus that keeps the system awake).
+    stimulus that keeps the system awake), and, when the loop carries a
+    tracer, ``flight_tail`` — the flight recorder's last events, i.e.
+    what the system was doing when it ran out of budget.
     """
 
     def __init__(self, message: str, max_events: Optional[int] = None,
                  pending: Optional[int] = None,
-                 next_event: Optional[str] = None):
+                 next_event: Optional[str] = None,
+                 flight_tail: Tuple[str, ...] = ()):
+        if flight_tail:
+            message += "\nflight recorder tail (last %d events):\n  %s" % (
+                len(flight_tail), "\n  ".join(flight_tail))
         super().__init__(message)
         self.max_events = max_events
         self.pending = pending
         self.next_event = next_event
+        self.flight_tail = flight_tail
 
 
 class Event:
@@ -112,6 +123,24 @@ class EventLoop:
         self.rng = random.Random(seed)
         #: Number of events executed so far (observability / budgets).
         self.executed = 0
+        #: The loop's :class:`~repro.obs.tracer.Tracer`, or ``None``.
+        #: Every emission site in the runtime guards on this being set,
+        #: so an untraced run pays a single attribute read per site.
+        self.trace: Optional["Tracer"] = None
+        #: Per-prefix counters for :meth:`autoname`.  Loop-local (not
+        #: class-global) so that two same-seed simulations in one
+        #: process generate identical component names — a prerequisite
+        #: for byte-identical trace exports.
+        self._names: Dict[str, int] = {}
+
+    def autoname(self, prefix: str, pattern: str = "%s%d") -> str:
+        """Generate the next default name for ``prefix`` on this loop
+        (e.g. ``ch1``, ``link-2``).  Counters live on the loop, so name
+        sequences restart with every simulation instead of accumulating
+        process-globally."""
+        count = self._names.get(prefix, 0) + 1
+        self._names[prefix] = count
+        return pattern % (prefix, count)
 
     # ------------------------------------------------------------------
     # time and scheduling
@@ -216,11 +245,14 @@ class EventLoop:
             while self._heap and self._heap[0].cancelled:
                 heapq.heappop(self._heap)
             nxt = repr(self._heap[0]) if self._heap else None
+            tail: Tuple[str, ...] = ()
+            if self.trace is not None:
+                tail = tuple(self.trace.flight_tail())
             raise QuiescenceError(
                 "system did not quiesce within %d events; %d still pending"
                 "; next: %s" % (max_events, self.pending(), nxt),
                 max_events=max_events, pending=self.pending(),
-                next_event=nxt)
+                next_event=nxt, flight_tail=tail)
         return executed
 
     def advance(self, duration: float) -> int:

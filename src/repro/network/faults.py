@@ -6,8 +6,9 @@ are lost and retransmitted.  The simulator's links are perfectly
 reliable, so this module supplies the adversary: a :class:`FaultPlan`
 describes seeded drop/duplicate/reorder/delay-jitter policies plus
 scheduled link flaps and box crash-restart windows, and a
-:class:`FaultyLink` wraps one :class:`~repro.network.transport.Link`'s
-``transmit`` with that plan.
+:class:`FaultyLink` installs that plan on one
+:class:`~repro.network.transport.Link` as a transmit hook (the same
+seam the tracing layer taps).
 
 Every random decision draws from the event loop's own ``random.Random``
 (``loop.rng``), so a run under a fault plan is exactly as reproducible
@@ -26,7 +27,8 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, Optional, Tuple
 
-from .transport import Link, LinkEnd
+from ..obs.events import FaultInjected
+from .transport import Link, LinkEnd, TransmitFn
 
 __all__ = ["FaultPlan", "FaultStats", "FaultyLink", "CrashSchedule",
            "PLANS", "plan_by_name", "scaled_plan"]
@@ -98,14 +100,14 @@ class FaultStats:
 
 
 class FaultyLink:
-    """Wraps one link's ``transmit`` with a :class:`FaultPlan`.
+    """Installs a :class:`FaultPlan` on one link as a transmit hook.
 
-    Installation replaces ``link.transmit`` with the faulty version (the
-    link object is shared by both channel ends, so every message in both
-    directions passes through).  The original transmit is kept and the
-    wrapper reuses the link's own ``_schedule`` internals, so the FIFO
-    horizon, in-flight tracking, and teardown cancellation all keep
-    working.
+    The hook sits in the link's transmit chain (the link object is
+    shared by both channel ends, so every message in both directions
+    passes through).  Non-exempt traffic is scheduled directly through
+    the link's own ``_schedule`` internals — the FIFO horizon, in-flight
+    tracking, and teardown cancellation all keep working — while exempt
+    traffic is forwarded unharmed to the next layer of the chain.
     """
 
     def __init__(self, link: Link, plan: FaultPlan,
@@ -115,34 +117,43 @@ class FaultyLink:
         self.plan = plan
         self.exempt = exempt
         self.stats = stats if stats is not None else FaultStats()
-        self._original = link.transmit
-        link.transmit = self.transmit  # type: ignore[method-assign]
+        link.add_transmit_hook(self._hook, innermost=True)
         for at, duration in plan.flaps:
             link.loop.schedule_at(at, self._flap_down, duration)
 
     def uninstall(self) -> None:
-        """Restore the link's faithful transmit."""
-        self.link.transmit = self._original  # type: ignore[method-assign]
+        """Remove the plan from the link's transmit chain."""
+        self.link.remove_transmit_hook(self._hook)
 
     # -- the faulty transmit ----------------------------------------------
-    def transmit(self, origin: LinkEnd, message: Any) -> None:
+    def _hook(self, origin: LinkEnd, message: Any,
+              forward: TransmitFn) -> None:
         link = self.link
         if link.down:
             return
         if self.exempt is not None and self.exempt(message):
             self.stats.exempted += 1
-            self._original(origin, message)
+            forward(origin, message)
             return
         plan = self.plan
         rng = link.loop.rng
+        tr = link.loop.trace
         link.sent += 1
         copies = 1
         if plan.duplicate and rng.random() < plan.duplicate:
             copies = 2
             self.stats.duplicated += 1
+            if tr is not None:
+                tr.emit(FaultInjected(ts=link.loop.now, link=link.name,
+                                      action="duplicate",
+                                      detail=str(message)))
         for _ in range(copies):
             if plan.drop and rng.random() < plan.drop:
                 self.stats.dropped += 1
+                if tr is not None:
+                    tr.emit(FaultInjected(ts=link.loop.now, link=link.name,
+                                          action="drop",
+                                          detail=str(message)))
                 continue
             delay = link.latency.sample(rng)
             if plan.jitter:
@@ -152,6 +163,10 @@ class FaultyLink:
             if plan.reorder and rng.random() < plan.reorder:
                 fifo = False
                 self.stats.reordered += 1
+                if tr is not None:
+                    tr.emit(FaultInjected(ts=link.loop.now, link=link.name,
+                                          action="reorder",
+                                          detail=str(message)))
             link._schedule(origin, message, delay, fifo=fifo)
             self.stats.forwarded += 1
 
@@ -162,10 +177,20 @@ class FaultyLink:
             return  # already torn down for real; stay down
         link.down = True
         self.stats.flap_drops += link._drop_in_flight()
+        tr = link.loop.trace
+        if tr is not None:
+            tr.emit(FaultInjected(ts=link.loop.now, link=link.name,
+                                  action="flap-down",
+                                  detail="%gs" % duration))
         link.loop.schedule(duration, self._flap_up)
 
     def _flap_up(self) -> None:
-        self.link.down = False
+        link = self.link
+        link.down = False
+        tr = link.loop.trace
+        if tr is not None:
+            tr.emit(FaultInjected(ts=link.loop.now, link=link.name,
+                                  action="flap-up"))
 
 
 class CrashSchedule:
@@ -188,10 +213,19 @@ class CrashSchedule:
     def _crash(self, duration: float) -> None:
         self.node.offline = True
         self.crashes += 1
+        tr = self.node.loop.trace
+        if tr is not None:
+            tr.emit(FaultInjected(ts=self.node.loop.now,
+                                  link=self.node.name, action="crash",
+                                  detail="%gs" % duration))
         self.node.loop.schedule(duration, self._restart)
 
     def _restart(self) -> None:
         self.node.offline = False
+        tr = self.node.loop.trace
+        if tr is not None:
+            tr.emit(FaultInjected(ts=self.node.loop.now,
+                                  link=self.node.name, action="restart"))
 
 
 # ----------------------------------------------------------------------

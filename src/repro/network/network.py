@@ -13,8 +13,9 @@ This is the main entry point of the public API::
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Type
+from typing import Iterable, Optional, Type, Union
 
+from ..obs.tracer import Tracer
 from ..protocol.channel import (SignalingAgent, SignalingChannel,
                                 DEFAULT_TUNNEL)
 from ..protocol.slot import RetransmitPolicy
@@ -43,9 +44,20 @@ class Network:
                  latency: Optional[LatencyModel] = None,
                  cost: float = 0.0,
                  retransmit: Optional[RetransmitPolicy] = None,
-                 faults: Optional[FaultPlan] = None):
+                 faults: Optional[FaultPlan] = None,
+                 trace: Union[bool, Tracer] = False):
         from ..media.plane import MediaPlane  # local import: layer order
         self.loop = EventLoop(seed=seed)
+        #: The run's tracer: pass ``trace=True`` for a default
+        #: :class:`~repro.obs.tracer.Tracer`, or a configured instance.
+        #: ``False`` (the default) leaves the loop untraced — every
+        #: emission site then costs one attribute test and nothing more.
+        self.trace: Optional[Tracer] = None
+        if trace is True:
+            self.trace = Tracer()
+        elif isinstance(trace, Tracer):
+            self.trace = trace
+        self.loop.trace = self.trace
         self.plane = MediaPlane()
         self.router = Router()
         #: Default latency for new channels.

@@ -26,13 +26,10 @@ Thunk = Tuple[Callable[..., Any], Tuple[Any, ...]]
 class Node:
     """A named, serialized processor of stimuli on an event loop."""
 
-    _counter = 0
-
     def __init__(self, loop: EventLoop, name: Optional[str] = None,
                  cost: float = 0.0):
-        Node._counter += 1
         self.loop = loop
-        self.name = name or ("node-%d" % Node._counter)
+        self.name = name or loop.autoname("node", "%s-%d")
         if cost < 0:
             raise ValueError("processing cost must be non-negative")
         self.cost = cost

@@ -8,6 +8,13 @@ delivery to be no earlier than the previous delivery in that direction.
 
 A link between two *virtual* modules inside the same physical component
 ("implemented by two software queues") is simply a link with zero latency.
+
+Observers and adversaries share one seam: the *transmit-hook chain*.  A
+hook wraps the link's faithful transmit (``hook(origin, message,
+forward)``); the fault-injection layer uses one to drop, duplicate, and
+reorder, and the tracing layer uses another to count offered load.  The
+most recently added hook is outermost, so a tracer installed after a
+fault policy sees messages before the adversary touches them.
 """
 
 from __future__ import annotations
@@ -24,6 +31,11 @@ __all__ = ["Link", "LinkEnd"]
 _PENDING_COMPACT = 16
 
 Receiver = Callable[[Any], None]
+TransmitFn = Callable[["LinkEnd", Any], None]
+#: A transmit hook: ``hook(origin, message, forward)``.  Call ``forward``
+#: (the next layer down) zero or more times; not calling it drops the
+#: message, calling it twice duplicates it.
+TransmitHook = Callable[["LinkEnd", Any, TransmitFn], None]
 
 
 class LinkEnd:
@@ -74,15 +86,12 @@ class LinkEnd:
 class Link:
     """A reliable, FIFO, duplex message pipe with a latency model."""
 
-    _counter = 0
-
     def __init__(self, loop: EventLoop,
                  latency: Optional[LatencyModel] = None,
                  name: Optional[str] = None):
-        Link._counter += 1
         self.loop = loop
         self.latency = latency if latency is not None else FixedLatency(0.0)
-        self.name = name or ("link-%d" % Link._counter)
+        self.name = name or loop.autoname("link", "%s-%d")
         self.ends = (LinkEnd(self, 0), LinkEnd(self, 1))
         #: A torn-down link silently drops traffic still in flight,
         #: matching a closed TCP connection.
@@ -92,13 +101,56 @@ class Link:
         #: Delivery events still in flight; cancelled wholesale when the
         #: link goes down so they never fire into a dead link.
         self._pending: List[Event] = []
+        #: Installed transmit hooks, innermost first.
+        self._hooks: List[TransmitHook] = []
+        #: The composed transmit entry point (rebuilt on hook changes).
+        self._chain: TransmitFn = self._base_transmit
 
     def transmit(self, origin: LinkEnd, message: Any) -> None:
-        """Schedule delivery of ``message`` at the end opposite ``origin``."""
+        """Schedule delivery of ``message`` at the end opposite ``origin``,
+        through the installed hook chain (if any)."""
+        self._chain(origin, message)
+
+    def _base_transmit(self, origin: LinkEnd, message: Any) -> None:
+        """The faithful transmit every hook chain bottoms out in."""
         if self.down:
             return
         self.sent += 1
         self._schedule(origin, message, self.latency.sample(self.loop.rng))
+
+    # -- the hook chain ----------------------------------------------------
+    def add_transmit_hook(self, hook: TransmitHook,
+                          innermost: bool = False) -> None:
+        """Install ``hook`` as the new outermost transmit wrapper.
+
+        ``innermost=True`` places it next to the faithful transmit
+        instead — the fault layer uses this so that observers (added
+        normally, hence outermost) always see traffic before the
+        adversary drops or duplicates it.
+        """
+        if innermost:
+            self._hooks.insert(0, hook)
+        else:
+            self._hooks.append(hook)
+        self._rebuild_chain()
+
+    def remove_transmit_hook(self, hook: TransmitHook) -> None:
+        """Remove one installed hook (wherever it sits in the chain).
+        Removing a hook that is not installed is a no-op, so detach
+        paths need not track installation state."""
+        if hook in self._hooks:
+            self._hooks.remove(hook)
+            self._rebuild_chain()
+
+    def _rebuild_chain(self) -> None:
+        chain: TransmitFn = self._base_transmit
+        for hook in self._hooks:
+            def bound(origin: LinkEnd, message: Any,
+                      _hook: TransmitHook = hook,
+                      _next: TransmitFn = chain) -> None:
+                _hook(origin, message, _next)
+            chain = bound
+        self._chain = chain
 
     def _schedule(self, origin: LinkEnd, message: Any, delay: float,
                   fifo: bool = True) -> Event:

@@ -1,0 +1,150 @@
+"""Counters and simulated-clock histograms.
+
+The registry is fed by the :class:`~repro.obs.tracer.Tracer` with the
+standard wiring below (signal counts by kind, retransmissions, fault
+actions, goal churn); span-derived durations (time-to-``bothFlowing``,
+span lifetimes) are observed by the span tracker.  Everything is keyed
+to the simulated clock, so two same-seed runs snapshot identically —
+percentiles included.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from .events import (ChannelEvent, FaultInjected, GoalEvent, ProgramStep,
+                     Retransmit, SignalReceived, SignalSent, SlotDrop,
+                     SlotFailed, TraceEvent)
+
+__all__ = ["Counter", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<Counter %s=%d>" % (self.name, self.value)
+
+
+class Histogram:
+    """A named distribution of simulated-clock observations.
+
+    Values are retained (runs are bounded, simulated, and small), so
+    exact percentiles come for free and snapshots are deterministic.
+    """
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return sum(self.values)
+
+    def percentile(self, p: float) -> Optional[float]:
+        """Nearest-rank percentile; ``None`` on an empty histogram."""
+        if not self.values:
+            return None
+        if not 0.0 <= p <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        ordered = sorted(self.values)
+        rank = max(1, int(-(-p * len(ordered) // 100)))  # ceil
+        return ordered[min(rank, len(ordered)) - 1]
+
+    def snapshot(self) -> Dict[str, Any]:
+        if not self.values:
+            return {"count": 0}
+        ordered = sorted(self.values)
+        return {
+            "count": len(ordered),
+            "sum": self.total,
+            "min": ordered[0],
+            "max": ordered[-1],
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<Histogram %s n=%d>" % (self.name, self.count)
+
+
+class MetricsRegistry:
+    """Get-or-create registry of counters and histograms."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = Counter(name)
+        return counter
+
+    def histogram(self, name: str) -> Histogram:
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram(name)
+        return histogram
+
+    # ------------------------------------------------------------------
+    # standard event wiring
+    # ------------------------------------------------------------------
+    def feed(self, event: TraceEvent) -> None:
+        """Update the standard metrics for one trace event."""
+        if isinstance(event, SignalSent):
+            self.counter("signals.sent").inc()
+            self.counter("signals.sent.%s" % event.kind).inc()
+        elif isinstance(event, SignalReceived):
+            self.counter("signals.recv").inc()
+            self.counter("signals.recv.%s" % event.kind).inc()
+        elif isinstance(event, Retransmit):
+            self.counter("slot.retransmits").inc()
+            self.counter("slot.retransmits.%s" % event.kind).inc()
+        elif isinstance(event, SlotDrop):
+            self.counter("slot.drops.%s" % event.kind).inc()
+        elif isinstance(event, SlotFailed):
+            self.counter("slot.failures").inc()
+        elif isinstance(event, GoalEvent):
+            self.counter("goals.%s" % event.action).inc()
+        elif isinstance(event, ProgramStep):
+            self.counter("program.steps").inc()
+        elif isinstance(event, FaultInjected):
+            self.counter("faults.%s" % event.action).inc()
+        elif isinstance(event, ChannelEvent):
+            self.counter("channels.%s" % event.action).inc()
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """A deterministic, JSON-friendly dump of every metric."""
+        return {
+            "counters": {name: c.value
+                         for name, c in sorted(self.counters.items())},
+            "histograms": {name: h.snapshot()
+                           for name, h in sorted(self.histograms.items())},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<MetricsRegistry counters=%d histograms=%d>" % (
+            len(self.counters), len(self.histograms))

@@ -1,0 +1,66 @@
+"""The flight recorder: a bounded ring of the most recent events.
+
+Post-hoc diagnosis is the whole point: when a chaos run fails to
+quiesce, or a slot exhausts its retransmission budget, the question is
+always "which signals, retransmissions, and transitions led here?".
+The recorder keeps the answer in O(capacity) memory no matter how long
+the run, and its formatted tail rides on
+:class:`~repro.network.eventloop.QuiescenceError` and on the
+:class:`~repro.obs.events.SlotFailureRecord` payloads a box keeps.
+
+It is *always on* whenever a :class:`~repro.obs.tracer.Tracer` is
+installed — exporter subscribers can be configured away, the recorder
+cannot, because by the time you know you needed it the run is over.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from .events import TraceEvent
+
+__all__ = ["FlightRecorder", "DEFAULT_RING"]
+
+#: Default ring capacity: enough for the full signaling tail of a
+#: handful of media channels without holding a whole run.
+DEFAULT_RING = 128
+
+
+class FlightRecorder:
+    """A fixed-capacity ring buffer of trace events."""
+
+    def __init__(self, capacity: int = DEFAULT_RING):
+        if capacity <= 0:
+            raise ValueError("flight recorder capacity must be positive")
+        self.capacity = capacity
+        self._ring: Deque[TraceEvent] = deque(maxlen=capacity)
+        #: Total events ever recorded (so a tail can report how much
+        #: history scrolled out of the ring).
+        self.recorded = 0
+
+    def record(self, event: TraceEvent) -> None:
+        self._ring.append(event)
+        self.recorded += 1
+
+    def events(self) -> List[TraceEvent]:
+        """The retained events, oldest first."""
+        return list(self._ring)
+
+    def tail(self, n: Optional[int] = None) -> List[str]:
+        """The last ``n`` (default: all retained) events as formatted
+        lines ``"  t=1.2345 slot.transition ..."``, oldest first."""
+        events = self.events()
+        if n is not None:
+            events = events[-n:]
+        return ["t=%.4f %s" % (e.ts, e.describe()) for e in events]
+
+    def clear(self) -> None:
+        self._ring.clear()
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<FlightRecorder %d/%d (%d recorded)>" % (
+            len(self._ring), self.capacity, self.recorded)

@@ -1,0 +1,191 @@
+"""Media-channel spans keyed by signaling path.
+
+A *span* is one lifecycle episode of one media channel — the tunnel
+``(channel, tunnel)`` going live (either slot leaves ``closed``),
+possibly reaching ``bothFlowing`` (both slots ``flowing``, the paper's
+Sec. V stability target), and returning to ``bothClosed``.  A tunnel
+reused for a second call produces a second span with the same key and
+the next episode index.
+
+Spans carry the path-temporal annotations Secs. V-VIII care about:
+open/open races resolved in the span, re-describes while flowing
+(descriptor freshness), retransmissions spent, and whether a side's
+retry budget failed.  The tracker also feeds the metrics registry the
+two signature histograms: ``span.time_to_flowing`` (open →
+``bothFlowing``) and ``span.lifetime`` (open → ``bothClosed``).
+
+State names are the Fig. 9 strings from :mod:`repro.protocol.slot`;
+they are duplicated here as plain constants because the protocol layer
+imports this package, not the other way around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from .events import (Retransmit, SignalReceived, SlotDrop, SlotFailed,
+                     SlotTransition, TraceEvent)
+from .metrics import MetricsRegistry
+
+__all__ = ["MediaChannelSpan", "SpanTracker"]
+
+_CLOSED = "closed"
+_FLOWING = "flowing"
+#: Fig. 12 live states — a slot in any of these holds the span open.
+_LIVE = frozenset(("opening", "opened", "flowing"))
+
+SpanKey = Tuple[str, str]
+
+
+@dataclass
+class MediaChannelSpan:
+    """One open → (flowing) → closed episode of one media channel."""
+
+    channel: str
+    tunnel: str
+    index: int
+    opened_at: float
+    opener: str
+    medium: str = ""
+    flowing_at: Optional[float] = None
+    closed_at: Optional[float] = None
+    races: int = 0
+    redescribes: int = 0
+    retransmits: int = 0
+    failed: bool = False
+
+    @property
+    def key(self) -> SpanKey:
+        return (self.channel, self.tunnel)
+
+    @property
+    def label(self) -> str:
+        return "%s/%s#%d" % (self.channel, self.tunnel, self.index)
+
+    @property
+    def reached_flowing(self) -> bool:
+        return self.flowing_at is not None
+
+    @property
+    def closed(self) -> bool:
+        return self.closed_at is not None
+
+    def duration(self, now: Optional[float] = None) -> float:
+        """Span length; an unclosed span is measured to ``now``."""
+        end = self.closed_at if self.closed_at is not None else now
+        return max(0.0, (end or self.opened_at) - self.opened_at)
+
+    def time_to_flowing(self) -> Optional[float]:
+        if self.flowing_at is None:
+            return None
+        return self.flowing_at - self.opened_at
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "channel": self.channel,
+            "tunnel": self.tunnel,
+            "index": self.index,
+            "opener": self.opener,
+            "medium": self.medium,
+            "opened_at": self.opened_at,
+            "flowing_at": self.flowing_at,
+            "closed_at": self.closed_at,
+            "time_to_flowing": self.time_to_flowing(),
+            "races": self.races,
+            "redescribes": self.redescribes,
+            "retransmits": self.retransmits,
+            "failed": self.failed,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "closed" if self.closed else (
+            "flowing" if self.reached_flowing else "open")
+        return "<Span %s %s>" % (self.label, state)
+
+
+class SpanTracker:
+    """Builds media-channel spans from the trace-event stream."""
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None):
+        self.metrics = metrics
+        #: All spans, in open order (closed and still-open alike).
+        self.spans: List[MediaChannelSpan] = []
+        self._active: Dict[SpanKey, MediaChannelSpan] = {}
+        self._states: Dict[SpanKey, List[str]] = {}
+        self._episodes: Dict[SpanKey, int] = {}
+
+    # ------------------------------------------------------------------
+    # event feed
+    # ------------------------------------------------------------------
+    def feed(self, event: TraceEvent) -> None:
+        if isinstance(event, SlotTransition):
+            self._on_transition(event)
+            return
+        span = None
+        if isinstance(event, (SlotDrop, Retransmit, SlotFailed)):
+            span = self._active.get((event.channel, event.tunnel))
+        if span is None:
+            if isinstance(event, SignalReceived):
+                span = self._active.get((event.channel, event.tunnel))
+                if span is not None and event.kind == "describe" \
+                        and span.reached_flowing:
+                    span.redescribes += 1
+            return
+        if isinstance(event, SlotDrop):
+            if event.kind == "race":
+                span.races += 1
+        elif isinstance(event, Retransmit):
+            span.retransmits += 1
+        elif isinstance(event, SlotFailed):
+            span.failed = True
+
+    def _on_transition(self, event: SlotTransition) -> None:
+        key = (event.channel, event.tunnel)
+        states = self._states.get(key)
+        if states is None:
+            states = self._states[key] = [_CLOSED, _CLOSED]
+        states[event.side] = event.new
+        span = self._active.get(key)
+        if span is None:
+            if event.new in _LIVE:
+                index = self._episodes.get(key, 0) + 1
+                self._episodes[key] = index
+                span = MediaChannelSpan(
+                    channel=event.channel, tunnel=event.tunnel,
+                    index=index, opened_at=event.ts, opener=event.end,
+                    medium=event.medium)
+                self._active[key] = span
+                self.spans.append(span)
+            return
+        if event.medium and not span.medium:
+            span.medium = event.medium
+        if span.flowing_at is None and states[0] == _FLOWING \
+                and states[1] == _FLOWING:
+            span.flowing_at = event.ts
+            if self.metrics is not None:
+                self.metrics.histogram("span.time_to_flowing").observe(
+                    span.time_to_flowing() or 0.0)
+        if states[0] == _CLOSED and states[1] == _CLOSED:
+            span.closed_at = event.ts
+            del self._active[key]
+            if self.metrics is not None:
+                self.metrics.histogram("span.lifetime").observe(
+                    span.duration())
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def open_spans(self) -> List[MediaChannelSpan]:
+        """Spans still open, in open order."""
+        return [s for s in self.spans if not s.closed]
+
+    def to_json(self) -> List[Dict[str, Any]]:
+        return [span.to_json() for span in self.spans]
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<SpanTracker %d spans (%d open)>" % (
+            len(self.spans), len(self._active))

@@ -1,0 +1,155 @@
+"""The per-loop tracing hub.
+
+One :class:`Tracer` serves one :class:`~repro.network.eventloop.
+EventLoop`: the runtime finds it at ``loop.trace`` and every emission
+site is guarded by a single ``loop.trace is None`` test, so an
+uninstrumented run pays one attribute read per would-be event and
+nothing else.
+
+The hub fans each event out, in a fixed order, to:
+
+1. the always-on :class:`~repro.obs.recorder.FlightRecorder` (its tail
+   rides on failure payloads);
+2. the :class:`~repro.obs.spans.SpanTracker` building media-channel
+   spans (which must see transitions before metrics snapshot them);
+3. the :class:`~repro.obs.metrics.MetricsRegistry`;
+4. the optional full event log (``keep_events=False`` turns it off for
+   long chaos runs that only want the flight recorder and metrics);
+5. any external subscribers (exporter callbacks, test probes).
+
+``attach_channel`` taps a signaling channel's link through the same
+transmit-hook chain the fault layer uses (one seam, two subscribers),
+emitting a :class:`~repro.obs.events.SignalSent` for every message the
+application hands to the wire — *before* any fault policy drops or
+duplicates it, which is the honest place to count offered load.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from .events import SignalSent, TraceEvent, signal_label
+from .metrics import MetricsRegistry
+from .recorder import DEFAULT_RING, FlightRecorder
+from .spans import SpanTracker
+
+__all__ = ["Tracer"]
+
+Subscriber = Callable[[TraceEvent], None]
+
+_MESSAGE_TYPES: Optional[tuple] = None
+
+
+def _message_types() -> tuple:
+    # Lazy: obs is a leaf package; the protocol layer imports it.
+    global _MESSAGE_TYPES
+    if _MESSAGE_TYPES is None:
+        from ..protocol.signals import MetaMessage, TunnelMessage
+        _MESSAGE_TYPES = (TunnelMessage, MetaMessage)
+    return _MESSAGE_TYPES
+
+
+class Tracer:
+    """Collects, aggregates, and retains the trace of one run."""
+
+    def __init__(self, ring: int = DEFAULT_RING, keep_events: bool = True):
+        self.flight = FlightRecorder(ring)
+        self.metrics = MetricsRegistry()
+        self.spans = SpanTracker(self.metrics)
+        #: Full event log for exporters; ``None`` when ``keep_events``
+        #: is off (flight recorder + metrics + spans still run).
+        self.events: Optional[List[TraceEvent]] = [] if keep_events else None
+        self.subscribers: List[Subscriber] = []
+        #: Total events emitted (independent of ``keep_events``).
+        self.emitted = 0
+        #: Simulated-clock time of the latest event.
+        self.last_ts = 0.0
+        self._channel_hooks: Dict[int, Any] = {}
+
+    # ------------------------------------------------------------------
+    # the emission path
+    # ------------------------------------------------------------------
+    def emit(self, event: TraceEvent) -> None:
+        """Record one event everywhere.  Called from the instrumented
+        runtime; keep it cheap."""
+        self.emitted += 1
+        self.last_ts = event.ts
+        self.flight.record(event)
+        self.spans.feed(event)
+        self.metrics.feed(event)
+        if self.events is not None:
+            self.events.append(event)
+        for subscriber in self.subscribers:
+            subscriber(event)
+
+    def subscribe(self, subscriber: Subscriber) -> None:
+        self.subscribers.append(subscriber)
+
+    def unsubscribe(self, subscriber: Subscriber) -> None:
+        if subscriber in self.subscribers:
+            self.subscribers.remove(subscriber)
+
+    # ------------------------------------------------------------------
+    # flight-recorder access
+    # ------------------------------------------------------------------
+    def flight_tail(self, n: Optional[int] = None) -> List[str]:
+        """The flight recorder's formatted tail (see
+        :meth:`~repro.obs.recorder.FlightRecorder.tail`)."""
+        return self.flight.tail(n)
+
+    # ------------------------------------------------------------------
+    # channel taps
+    # ------------------------------------------------------------------
+    def attach_channel(self, channel: Any) -> None:
+        """Tap ``channel``'s link so every send emits a
+        :class:`SignalSent`.  Idempotent per channel."""
+        if id(channel) in self._channel_hooks:
+            return
+        hook = self._make_send_hook(channel)
+        channel.link.add_transmit_hook(hook)
+        self._channel_hooks[id(channel)] = (channel, hook)
+
+    def detach_channel(self, channel: Any) -> None:
+        entry = self._channel_hooks.pop(id(channel), None)
+        if entry is not None:
+            channel.link.remove_transmit_hook(entry[1])
+
+    def _make_send_hook(self, channel: Any):
+        emit = self.emit
+        loop = channel.loop
+
+        def send_hook(origin: Any, message: Any, forward: Any) -> None:
+            tunnel_type, meta_type = _message_types()
+            side = 0 if origin is channel.link.ends[0] else 1
+            source = channel.ends[side].owner.name
+            target = channel.ends[1 - side].owner.name
+            if isinstance(message, tunnel_type):
+                emit(SignalSent(
+                    ts=loop.now, channel=channel.name, source=source,
+                    target=target, kind=message.signal.kind,
+                    label=signal_label(message),
+                    tunnel=message.tunnel_id))
+            elif isinstance(message, meta_type):
+                emit(SignalSent(
+                    ts=loop.now, channel=channel.name, source=source,
+                    target=target, kind=message.signal.kind,
+                    label=signal_label(message), tunnel=None))
+            forward(origin, message)
+
+        return send_hook
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, Any]:
+        """A deterministic JSON-friendly digest of the whole run."""
+        return {
+            "emitted": self.emitted,
+            "last_ts": self.last_ts,
+            "spans": self.spans.to_json(),
+            "metrics": self.metrics.snapshot(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<Tracer emitted=%d spans=%d last_ts=%.4f>" % (
+            self.emitted, len(self.spans), self.last_ts)

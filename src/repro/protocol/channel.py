@@ -28,6 +28,7 @@ from ..network.eventloop import EventLoop
 from ..network.latency import LatencyModel
 from ..network.node import Node
 from ..network.transport import Link
+from ..obs.events import ChannelEvent, SignalReceived, signal_label
 from .errors import ConfigurationError
 from .signals import (ChannelUp, MetaMessage, MetaSignal, TearDown,
                       TunnelMessage, TunnelSignal)
@@ -149,6 +150,11 @@ class ChannelEnd:
         """
         if not self.alive:
             return
+        tr = self.owner.loop.trace
+        if tr is not None:
+            tr.emit(ChannelEvent(
+                ts=self.owner.loop.now, channel=self.channel.name,
+                action="teardown", initiator=self.owner.name))
         self.send_meta(TearDown())
         self._shutdown(notify=False)
 
@@ -177,12 +183,26 @@ class ChannelEnd:
     def _process(self, message) -> None:
         if not self.alive:
             return
+        tr = self.owner.loop.trace
         if isinstance(message, TunnelMessage):
             slot = self.slot(message.tunnel_id)
-            if slot.receive(message.signal):
+            state_before = slot.state
+            accepted = slot.receive(message.signal)
+            if tr is not None:
+                tr.emit(SignalReceived(
+                    ts=self.owner.loop.now, channel=self.channel.name,
+                    agent=self.owner.name, tunnel=message.tunnel_id,
+                    kind=message.signal.kind, label=signal_label(message),
+                    state_before=state_before, state_after=slot.state,
+                    accepted=accepted))
+            if accepted:
                 self.owner.on_tunnel_signal(slot, message.signal)
         elif isinstance(message, MetaMessage):
             if isinstance(message.signal, TearDown):
+                if tr is not None:
+                    tr.emit(ChannelEvent(
+                        ts=self.owner.loop.now, channel=self.channel.name,
+                        action="gone", responder=self.owner.name))
                 self._shutdown(notify=True)
             else:
                 self.owner.on_meta(self, message.signal)
@@ -203,8 +223,6 @@ class SignalingChannel:
     program can react to the incoming channel.
     """
 
-    _counter = 0
-
     def __init__(self, loop: EventLoop, initiator: SignalingAgent,
                  responder: SignalingAgent,
                  tunnel_ids: Iterable[str] = (DEFAULT_TUNNEL,),
@@ -214,9 +232,8 @@ class SignalingChannel:
                  strict: bool = True,
                  announce: bool = True,
                  retransmit: Optional[RetransmitPolicy] = None):
-        SignalingChannel._counter += 1
         self.loop = loop
-        self.name = name or ("ch%d" % SignalingChannel._counter)
+        self.name = name or loop.autoname("ch")
         #: Robust-mode policy handed to every slot (None = reliable mode).
         self.retransmit = retransmit
         self.tunnel_ids: Tuple[str, ...] = tuple(tunnel_ids)
@@ -235,6 +252,15 @@ class SignalingChannel:
         for end in self.ends:
             end._link_end.set_receiver(end._receive)
             end.owner._adopt_end(end)
+        tr = loop.trace
+        if tr is not None:
+            # Tap the link for signal.send events (the tap is outermost
+            # in the transmit chain, so it sees traffic before any fault
+            # policy installed later on this link).
+            tr.attach_channel(self)
+            tr.emit(ChannelEvent(
+                ts=loop.now, channel=self.name, action="up",
+                initiator=initiator.name, responder=responder.name))
         if announce:
             self.ends[0].send_meta(ChannelUp(target=target))
 

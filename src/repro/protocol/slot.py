@@ -39,6 +39,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
+from ..obs.events import Retransmit, SlotDrop, SlotFailed, SlotTransition
 from .codecs import Medium
 from .descriptor import Descriptor, Selector
 from .errors import ProtocolError, ProtocolStateError
@@ -46,6 +47,7 @@ from .signals import (Close, CloseAck, Describe, Oack, Open, Select,
                       TunnelSignal)
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.tracer import Tracer
     from .channel import ChannelEnd
 
 __all__ = [
@@ -152,6 +154,35 @@ class Slot:
         initiated setup of the signaling channel" (Sec. VI-B)."""
         return self._end.is_initiator
 
+    # ------------------------------------------------------------------
+    # tracing
+    # ------------------------------------------------------------------
+    @property
+    def _trace(self) -> Optional["Tracer"]:
+        return self._end.owner.loop.trace
+
+    def _set_state(self, new: str, cause: str) -> None:
+        """Every protocol-state change funnels through here so a tracer
+        sees the full FSM history."""
+        old = self.state
+        self.state = new
+        tr = self._trace
+        if tr is not None and new != old:
+            tr.emit(SlotTransition(
+                ts=self._end.owner.loop.now, slot=self.name,
+                channel=self._end.channel.name, tunnel=self.tunnel_id,
+                end=self._end.name, side=self._end.side,
+                old=old, new=new, cause=cause,
+                medium=str(self.medium) if self.medium is not None else ""))
+
+    def _emit_drop(self, kind: str, signal: TunnelSignal) -> None:
+        tr = self._trace
+        if tr is not None:
+            tr.emit(SlotDrop(
+                ts=self._end.owner.loop.now, slot=self.name,
+                channel=self._end.channel.name, tunnel=self.tunnel_id,
+                kind=kind, signal=signal.kind))
+
     @property
     def is_closed(self) -> bool:
         return self.state == CLOSED
@@ -194,10 +225,10 @@ class Slot:
         """Send ``open``; legal only from ``closed``."""
         if self.state != CLOSED:
             raise ProtocolStateError(self, "send open", self.state)
-        self.state = OPENING
         self.medium = medium
         self.local_descriptor = descriptor
         self.failed = False
+        self._set_state(OPENING, "send_open")
         signal = Open(medium, descriptor)
         self._transmit(signal)
         self._arm_retx("open", signal)
@@ -206,8 +237,8 @@ class Slot:
         """Send ``oack``; legal only from ``opened``."""
         if self.state != OPENED:
             raise ProtocolStateError(self, "send oack", self.state)
-        self.state = FLOWING
         self.local_descriptor = descriptor
+        self._set_state(FLOWING, "send_oack")
         self._transmit(Oack(descriptor))
         # A lost oack is recovered by the peer retransmitting its open
         # (we re-oack the duplicate); the staleness timer covers the
@@ -219,7 +250,7 @@ class Slot:
         live state."""
         if self.state not in LIVE_STATES:
             raise ProtocolStateError(self, "send close", self.state)
-        self.state = CLOSING
+        self._set_state(CLOSING, "send_close")
         self._cancel_stale()
         signal = Close()
         self._transmit(signal)
@@ -278,20 +309,22 @@ class Slot:
     # -- per-state receive handlers --
     def _recv_closed(self, signal: TunnelSignal) -> bool:
         if isinstance(signal, Open):
-            self.state = OPENED
             self.medium = signal.medium
             self.remote_descriptor = signal.descriptor
+            self._set_state(OPENED, "recv_open")
             return True
         if self.retransmit is not None:
             if isinstance(signal, Close):
                 # A retransmitted close whose closeack was lost: our
                 # earlier closeack did not arrive, so answer again.
                 self.duplicate_drops += 1
+                self._emit_drop("duplicate", signal)
                 self._transmit(CloseAck())
                 return False
             if isinstance(signal, (CloseAck, Oack, Describe, Select)):
                 # Stale repeats from the episode just closed.
                 self.duplicate_drops += 1
+                self._emit_drop("duplicate", signal)
                 return False
         return self._illegal(signal)
 
@@ -301,16 +334,17 @@ class Slot:
             if self.is_initiator:
                 # We win: "the losing open signal is simply ignored."
                 self.race_drops += 1
+                self._emit_drop("race", signal)
                 return False
             # We lose: back off and become the acceptor; our own open
             # will be ignored at the winner.
-            self.state = OPENED
             self.medium = signal.medium
             self.remote_descriptor = signal.descriptor
+            self._set_state(OPENED, "recv_open_race_loss")
             return True
         if isinstance(signal, Oack):
-            self.state = FLOWING
             self.remote_descriptor = signal.descriptor
+            self._set_state(FLOWING, "recv_oack")
             return True
         if isinstance(signal, Close):
             # The peer rejected (or closed before answering).
@@ -319,6 +353,7 @@ class Slot:
         if self.retransmit is not None and isinstance(signal, CloseAck):
             # Stale acknowledgement of a close from a previous episode.
             self.duplicate_drops += 1
+            self._emit_drop("duplicate", signal)
             return False
         return self._illegal(signal)
 
@@ -333,6 +368,7 @@ class Slot:
             # Retransmitted open; we have it and will answer in our own
             # time.
             self.duplicate_drops += 1
+            self._emit_drop("duplicate", signal)
             return False
         return self._illegal(signal)
 
@@ -359,6 +395,7 @@ class Slot:
                 # is still in flight).  Re-acknowledge; idempotence makes
                 # the repeat harmless at the peer.
                 self.duplicate_drops += 1
+                self._emit_drop("duplicate", signal)
                 if self.local_descriptor is not None:
                     self._transmit(Oack(self.local_descriptor))
                 return False
@@ -367,9 +404,11 @@ class Slot:
                     and signal.descriptor.id == self.remote_descriptor.id:
                 # Duplicate of the oack that made us flowing.
                 self.duplicate_drops += 1
+                self._emit_drop("duplicate", signal)
                 return False
             if isinstance(signal, CloseAck):
                 self.duplicate_drops += 1
+                self._emit_drop("duplicate", signal)
                 return False
         return self._illegal(signal)
 
@@ -380,7 +419,7 @@ class Slot:
             self._transmit(CloseAck())
             return True
         if isinstance(signal, CloseAck):
-            self._reset_to_closed()
+            self._reset_to_closed("recv_closeack")
             return True
         if isinstance(signal, (Open, Oack, Describe, Select)):
             # The peer sent these before it saw our close; drain them.
@@ -388,16 +427,17 @@ class Slot:
             # open and our close passed each other, and our close
             # already acts as its rejection.)
             self.stale_drops += 1
+            self._emit_drop("stale", signal)
             return False
         return self._illegal(signal)
 
     # -- shared pieces --
     def _acknowledge_close(self) -> None:
         self._transmit(CloseAck())
-        self._reset_to_closed()
+        self._reset_to_closed("recv_close")
 
-    def _reset_to_closed(self) -> None:
-        self.state = CLOSED
+    def _reset_to_closed(self, cause: str = "reset") -> None:
+        self._set_state(CLOSED, cause)
         self.medium = None
         self.remote_descriptor = None
         self.local_descriptor = None
@@ -410,7 +450,7 @@ class Slot:
         """Destroy the slot's state without signaling; used when the whole
         signaling channel is torn down (teardown "destroys all its
         tunnels and slots", Sec. IV-B)."""
-        self._reset_to_closed()
+        self._reset_to_closed("teardown")
 
     def _illegal(self, signal: TunnelSignal) -> bool:
         if self.retransmit is not None:
@@ -419,6 +459,7 @@ class Slot:
             # protocol bug.  Count it and drop it without involving the
             # owner (unlike lenient mode, which forwards blindly).
             self.invalid_drops += 1
+            self._emit_drop("invalid", signal)
             return False
         if self.strict:
             raise ProtocolError(
@@ -429,6 +470,7 @@ class Slot:
         # signal to the owner, which may forward it blindly.  The slot's
         # own state is left untouched.
         self.invalid_drops += 1
+        self._emit_drop("invalid", signal)
         return True
 
     # ------------------------------------------------------------------
@@ -473,6 +515,13 @@ class Slot:
             return
         self._retx_attempts += 1
         self.retransmits += 1
+        tr = self._trace
+        if tr is not None:
+            tr.emit(Retransmit(
+                ts=self._end.owner.loop.now, slot=self.name,
+                channel=self._end.channel.name, tunnel=self.tunnel_id,
+                kind=self._retx_kind or "retry",
+                attempt=self._retx_attempts))
         self._transmit(self._retx_signal)
         self._retx_interval *= policy.backoff
         self._retx_timer = self._end.owner.node.set_timer(
@@ -486,9 +535,15 @@ class Slot:
             # Best-effort abort so a peer that did hear us stops waiting;
             # we do not wait for the closeack.
             self._transmit(Close())
-        self._reset_to_closed()
+        self._reset_to_closed("gave_up")
         self.failed = True
         self.failures += 1
+        tr = self._trace
+        if tr is not None:
+            tr.emit(SlotFailed(
+                ts=self._end.owner.loop.now, slot=self.name,
+                channel=self._end.channel.name, tunnel=self.tunnel_id,
+                reason=kind))
         self._end.owner.on_slot_failed(self, kind)
 
     def _arm_stale(self) -> None:
@@ -523,6 +578,12 @@ class Slot:
             return
         self._stale_attempts += 1
         self.retransmits += 1
+        tr = self._trace
+        if tr is not None:
+            tr.emit(Retransmit(
+                ts=self._end.owner.loop.now, slot=self.name,
+                channel=self._end.channel.name, tunnel=self.tunnel_id,
+                kind="describe", attempt=self._stale_attempts))
         self._transmit(Describe(self.local_descriptor))
         self._stale_timer = self._end.owner.node.set_timer(
             policy.stale_after * (policy.backoff ** self._stale_attempts),

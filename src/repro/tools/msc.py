@@ -13,8 +13,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..network.network import Network
+from ..obs.events import signal_label
 from ..protocol.channel import SignalingChannel
-from ..protocol.signals import MetaMessage, TunnelMessage
 
 __all__ = ["TracedMessage", "SignalTracer"]
 
@@ -33,27 +33,17 @@ class TracedMessage:
                                          self.target, self.label)
 
 
-def _label(message) -> str:
-    if isinstance(message, TunnelMessage):
-        signal = message.signal
-        descriptor = getattr(signal, "descriptor", None)
-        selector = getattr(signal, "selector", None)
-        if descriptor is not None:
-            detail = "noMedia" if descriptor.is_no_media \
-                else str(descriptor.id)
-            return "%s(%s)" % (signal.kind, detail)
-        if selector is not None:
-            detail = "noMedia" if selector.is_no_media \
-                else str(selector.answers)
-            return "select(%s)" % detail
-        return signal.kind
-    if isinstance(message, MetaMessage):
-        return str(message.signal)
-    return str(message)
-
-
 class SignalTracer:
-    """Captures every signal crossing the instrumented channels."""
+    """Captures every signal crossing the instrumented channels.
+
+    Each channel's link is tapped through the transmit-hook chain
+    (outermost, like the observability tracer's own tap), so the chart
+    shows what the application offered to the wire even when a fault
+    plan later drops or duplicates it.  Labels come from
+    :func:`repro.obs.events.signal_label`, the same canonical renderer
+    the trace exporters use — an MSC and a trace of one run agree line
+    for line.
+    """
 
     def __init__(self, net: Network,
                  channels: Optional[Sequence[SignalingChannel]] = None):
@@ -69,18 +59,16 @@ class SignalTracer:
         if channel in self._attached:
             return
         self._attached.append(channel)
-        original = channel.link.transmit
 
-        def spying_transmit(origin, message, _channel=channel,
-                            _original=original):
-            side = _channel.link.ends.index(origin)
+        def spying_hook(origin, message, forward, _channel=channel):
+            side = 0 if origin is _channel.link.ends[0] else 1
             source = _channel.ends[side].owner.name
             target = _channel.ends[1 - side].owner.name
             self.messages.append(TracedMessage(
-                self.net.loop.now, source, target, _label(message)))
-            _original(origin, message)
+                self.net.loop.now, source, target, signal_label(message)))
+            forward(origin, message)
 
-        channel.link.transmit = spying_transmit
+        channel.link.add_transmit_hook(spying_hook)
 
     # ------------------------------------------------------------------
     # rendering

@@ -1,0 +1,163 @@
+"""End-to-end tests of the observability subsystem: deterministic
+trace exports across every bundled app, span counts against the apps'
+media-channel counts, and flight-recorder tails on failure payloads."""
+
+import pytest
+
+from repro import AUDIO, FaultPlan, Network, QuiescenceError, RetransmitPolicy
+from repro.chaos.scenarios import SCENARIOS
+from repro.network.faults import PLANS
+from repro.obs.export import dumps_chrome
+
+APPS = sorted(SCENARIOS)
+
+
+def _trace_app(app, seed=7, plan=None):
+    retransmit = RetransmitPolicy() if plan is not None else None
+    net = Network(seed=seed, retransmit=retransmit, faults=plan,
+                  trace=True)
+    SCENARIOS[app](net)
+    return net
+
+
+# ----------------------------------------------------------------------
+# determinism: one seed, one byte stream
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("app", APPS)
+def test_same_seed_traces_are_byte_identical(app):
+    first = dumps_chrome(_trace_app(app).trace, meta={"app": app})
+    second = dumps_chrome(_trace_app(app).trace, meta={"app": app})
+    assert first == second
+
+
+@pytest.mark.parametrize("app", APPS)
+def test_same_seed_faulted_traces_are_byte_identical(app):
+    plan = PLANS["drop10+dup10"]
+    first = dumps_chrome(_trace_app(app, plan=plan).trace)
+    second = dumps_chrome(_trace_app(app, plan=plan).trace)
+    assert first == second
+
+
+def test_different_seeds_give_different_faulted_traces():
+    # The negative control for the determinism tests: under a fault
+    # plan the seed genuinely steers the trace.
+    plan = PLANS["drop10+dup10"]
+    a = dumps_chrome(_trace_app("click_to_dial", seed=7, plan=plan).trace)
+    b = dumps_chrome(_trace_app("click_to_dial", seed=8, plan=plan).trace)
+    assert a != b
+
+
+# ----------------------------------------------------------------------
+# spans against ground truth
+# ----------------------------------------------------------------------
+def test_click_to_dial_span_count_matches_channel_count():
+    net = _trace_app("click_to_dial")
+    assert len(net.trace.spans.spans) == len(net.channels) == 3
+    span_channels = {s.channel for s in net.trace.spans.spans}
+    assert span_channels == {ch.name for ch in net.channels}
+
+
+@pytest.mark.parametrize("app", APPS)
+def test_every_app_produces_spans_and_metrics(app):
+    net = _trace_app(app)
+    tracer = net.trace
+    assert tracer.emitted > 0
+    assert len(tracer.spans.spans) > 0
+    counters = tracer.metrics.snapshot()["counters"]
+    assert counters["channels.up"] == len(net.channels)
+    assert counters["signals.sent"] > 0
+
+
+def test_tracing_does_not_perturb_the_simulation():
+    # Same seed, traced vs untraced: identical fingerprints and event
+    # counts — the tracer never draws from the simulation RNG.
+    plain = Network(seed=7)
+    fp_plain = SCENARIOS["click_to_dial"](plain)
+    traced = Network(seed=7, trace=True)
+    fp_traced = SCENARIOS["click_to_dial"](traced)
+    assert fp_plain == fp_traced
+    assert plain.loop.executed == traced.loop.executed
+    assert plain.now == traced.now
+
+
+# ----------------------------------------------------------------------
+# flight-recorder tails on failure payloads
+# ----------------------------------------------------------------------
+def test_quiescence_error_carries_flight_tail():
+    # An openSlot facing a closeSlot never stabilizes (its spec is only
+    # eventually-not-bothFlowing), so a quiescence run must trip the
+    # budget — and the error must carry the recorder's tail.
+    net = Network(seed=1, trace=True)
+    a = net.box("opener")
+    b = net.box("closer")
+    ch = net.channel(a, b)
+    a.open_slot(ch.end_for(a).slot(), AUDIO)
+    b.close_slot(ch.end_for(b).slot())
+    with pytest.raises(QuiescenceError) as exc:
+        net.settle(max_events=300)
+    err = exc.value
+    assert err.flight_tail, "traced loop must attach the recorder tail"
+    assert any("signal." in line for line in err.flight_tail)
+    assert "flight recorder tail" in str(err)
+
+
+def test_quiescence_error_without_tracer_has_empty_tail():
+    net = Network(seed=1)
+    a = net.box("opener")
+    b = net.box("closer")
+    ch = net.channel(a, b)
+    a.open_slot(ch.end_for(a).slot(), AUDIO)
+    b.close_slot(ch.end_for(b).slot())
+    with pytest.raises(QuiescenceError) as exc:
+        net.settle(max_events=300)
+    assert exc.value.flight_tail == ()
+    assert "flight recorder" not in str(exc.value)
+
+
+def test_box_failure_record_carries_flight_tail():
+    policy = RetransmitPolicy(initial=0.1, backoff=2.0, max_retries=2,
+                              stale_after=0.0)
+    net = Network(seed=1, retransmit=policy, trace=True)
+    box = net.box("srv")
+    dev = net.device("d")
+    ch = net.channel(box, dev)
+    ch.link.down = True  # the peer is unreachable for good
+    box.open_slot(ch.end_for(box).slot(), AUDIO)
+    net.loop.run()
+    assert len(box.failure_records) == 1
+    record = box.failure_records[0]
+    assert record.reason == "open"
+    assert record.flight_tail, "failure record must carry the tail"
+    assert any("slot.retransmit" in line for line in record.flight_tail)
+    assert record.to_json()["flight_tail"] == list(record.flight_tail)
+    # The legacy failed_log stays in step.
+    assert len(box.failed_log) == 1
+
+
+def test_failure_record_without_tracer_has_empty_tail():
+    policy = RetransmitPolicy(initial=0.1, backoff=2.0, max_retries=2,
+                              stale_after=0.0)
+    net = Network(seed=1, retransmit=policy)
+    box = net.box("srv")
+    dev = net.device("d")
+    ch = net.channel(box, dev)
+    ch.link.down = True
+    box.open_slot(ch.end_for(box).slot(), AUDIO)
+    net.loop.run()
+    assert len(box.failure_records) == 1
+    assert box.failure_records[0].flight_tail == ()
+
+
+def test_fault_injections_are_traced():
+    plan = FaultPlan(name="all-drop", drop=1.0)
+    policy = RetransmitPolicy(initial=0.1, backoff=2.0, max_retries=2,
+                              stale_after=0.0)
+    net = Network(seed=3, retransmit=policy, faults=plan, trace=True)
+    a = net.device("a")
+    b = net.device("b", auto_accept=True)
+    ch = net.channel(a, b)
+    a.open(ch.initiator_end.slot(), AUDIO)
+    net.run(10.0)
+    counters = net.trace.metrics.snapshot()["counters"]
+    assert counters.get("faults.drop", 0) > 0
+    assert counters.get("faults.drop") == net.fault_stats.dropped

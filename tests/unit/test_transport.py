@@ -202,3 +202,133 @@ def test_node_handled_counter():
     loop.run()
     assert node.handled == 2
     assert node.idle
+
+
+# ----------------------------------------------------------------------
+# the transmit-hook chain
+# ----------------------------------------------------------------------
+def test_transmit_hook_sees_and_forwards_messages():
+    loop = EventLoop()
+    link = Link(loop, FixedLatency(0.0))
+    a, b = link.ends
+    got = collect(b)
+    seen = []
+
+    def spy(origin, message, forward):
+        seen.append((origin, message))
+        forward(origin, message)
+
+    link.add_transmit_hook(spy)
+    a.send("hello")
+    loop.run()
+    assert got == ["hello"]
+    assert seen == [(a, "hello")]
+
+
+def test_transmit_hook_can_suppress_delivery():
+    loop = EventLoop()
+    link = Link(loop, FixedLatency(0.0))
+    a, b = link.ends
+    got = collect(b)
+
+    def black_hole(origin, message, forward):
+        pass  # never forwards
+
+    link.add_transmit_hook(black_hole)
+    a.send("lost")
+    loop.run()
+    assert got == []
+    # The base transmit never ran, so nothing was counted as sent.
+    assert link.sent == 0
+
+
+def test_last_appended_hook_is_outermost():
+    loop = EventLoop()
+    link = Link(loop, FixedLatency(0.0))
+    a, b = link.ends
+    collect(b)
+    order = []
+
+    def mk(name):
+        def hook(origin, message, forward):
+            order.append(name)
+            forward(origin, message)
+        return hook
+
+    link.add_transmit_hook(mk("first"))
+    link.add_transmit_hook(mk("second"))
+    a.send("x")
+    loop.run()
+    assert order == ["second", "first"]
+
+
+def test_innermost_hook_runs_last():
+    loop = EventLoop()
+    link = Link(loop, FixedLatency(0.0))
+    a, b = link.ends
+    collect(b)
+    order = []
+
+    def mk(name):
+        def hook(origin, message, forward):
+            order.append(name)
+            forward(origin, message)
+        return hook
+
+    link.add_transmit_hook(mk("observer"))
+    # An adversary installed innermost never shadows observers, no
+    # matter how late it arrives (the FaultyLink contract).
+    link.add_transmit_hook(mk("adversary"), innermost=True)
+    a.send("x")
+    loop.run()
+    assert order == ["observer", "adversary"]
+
+
+def test_remove_transmit_hook_restores_chain():
+    loop = EventLoop()
+    link = Link(loop, FixedLatency(0.0))
+    a, b = link.ends
+    got = collect(b)
+
+    def black_hole(origin, message, forward):
+        pass
+
+    link.add_transmit_hook(black_hole)
+    link.remove_transmit_hook(black_hole)
+    link.remove_transmit_hook(black_hole)  # idempotent
+    a.send("through")
+    loop.run()
+    assert got == ["through"]
+
+
+def test_hook_may_rewrite_messages():
+    loop = EventLoop()
+    link = Link(loop, FixedLatency(0.0))
+    a, b = link.ends
+    got = collect(b)
+
+    def upper(origin, message, forward):
+        forward(origin, message.upper())
+
+    link.add_transmit_hook(upper)
+    a.send("quiet")
+    loop.run()
+    assert got == ["QUIET"]
+
+
+def test_msc_tracer_sees_traffic_fault_plan_drops():
+    # Observer hooks (appended, outermost) must see offered load even
+    # when an innermost fault hook later drops every message.
+    from repro import AUDIO, FaultPlan, Network
+    from repro.tools.msc import SignalTracer
+
+    net = Network(seed=1, faults=FaultPlan(name="all-drop", drop=1.0))
+    a = net.device("a")
+    b = net.device("b", auto_accept=True)
+    ch = net.channel(a, b)
+    tracer = SignalTracer(net, channels=[ch])
+    a.open(ch.initiator_end.slot(), AUDIO)
+    net.run(5.0)
+    offered = [m for m in tracer.messages if "open" in m.label]
+    assert offered, "tracer must record signals the fault plan dropped"
+    assert net.fault_stats.dropped > 0
