@@ -17,6 +17,9 @@ import os
 
 import pytest
 
+from repro.tools.bench import geomean as _geomean
+from repro.tools.bench import load_baseline
+
 _ROWS = []
 _PERF = {}
 
@@ -59,25 +62,8 @@ def perf_row():
     return record_perf
 
 
-def _load_baseline():
-    try:
-        with open(_BASELINE_PATH) as fh:
-            return json.load(fh).get("models", {})
-    except (OSError, ValueError):
-        return {}
-
-
-def _geomean(values):
-    if not values:
-        return None
-    product = 1.0
-    for v in values:
-        product *= v
-    return product ** (1.0 / len(values))
-
-
 def _write_bench_json(path):
-    baseline = _load_baseline()
+    baseline = load_baseline(_BASELINE_PATH, key="models")
     speedups = []
     models = {}
     for key, row in sorted(_PERF.items()):

@@ -1,0 +1,63 @@
+"""Load-harness throughput regression gate (not a paper artifact).
+
+PR 5 recorded the pre-optimization throughput of the benchmark
+scenario in ``benchmarks/baselines/load_seed.json``; this gate fails
+the suite if the relay topology's best-window rate ever falls below
+0.8× that recording — optimizations must not quietly rot.  The gate is
+deliberately generous (the recorded seed is a different machine state
+than CI) while still catching order-of-magnitude regressions.
+"""
+
+import os
+
+import pytest
+
+from repro.load import LoadJob
+from repro.load.harness import _run_job
+from repro.load.topologies import BATCH, RELAY
+from repro.tools.bench import load_baseline
+
+_BASELINE_PATH = os.path.join(os.path.dirname(__file__), "baselines",
+                              "load_seed.json")
+
+#: Throughput may wobble with the host; a drop past this factor is a
+#: real regression, not noise.
+FLOOR = 0.8
+
+
+def test_relay_load_throughput_does_not_regress(reproduce):
+    baseline = load_baseline(_BASELINE_PATH)
+    seed_rate = baseline.get("calls_per_sec_best")
+    assert seed_rate, "missing baselines/load_seed.json"
+    # Best window over a few hundred calls: long enough to hit steady
+    # state, short enough for a tier-1 gate.
+    best = max(
+        _run_job(LoadJob(app=RELAY, calls=6 * BATCH, seed=0,
+                         shard=0)).best_window_rate
+        for _ in range(3))
+    reproduce("load engine", "relay calls/sec (best window)",
+              seed_rate, best, unit="calls/s")
+    assert best >= FLOOR * seed_rate, (
+        "relay throughput %.1f calls/sec fell below %.1f "
+        "(%.2fx the recorded seed %.1f)"
+        % (best, FLOOR * seed_rate, best / seed_rate, seed_rate))
+
+
+def test_relay_load_is_deterministic_across_repeats():
+    a = _run_job(LoadJob(app=RELAY, calls=BATCH, seed=0, shard=0))
+    b = _run_job(LoadJob(app=RELAY, calls=BATCH, seed=0, shard=0))
+    assert a.executed == b.executed
+    assert a.signals_sent == b.signals_sent
+    assert a.setup_sim == b.setup_sim
+
+
+def test_call_batch_event_count_matches_recorded_seed():
+    """The seed baseline pins the scenario's event count; the optimized
+    runtime must execute the identical schedule."""
+    baseline = load_baseline(_BASELINE_PATH)
+    expected = baseline.get("executed_per_batch")
+    if not expected:
+        pytest.skip("baseline lacks executed_per_batch")
+    result = _run_job(LoadJob(app=RELAY, calls=baseline["calls_per_batch"],
+                              seed=baseline["seed"], shard=0))
+    assert result.executed == expected

@@ -13,6 +13,8 @@ Subcommands::
                                 # injection (see --help)
     python -m repro trace       # record one app run and export its
                                 # trace (see --help)
+    python -m repro load        # sharded call-load harness
+                                # (see --help)
     python -m repro all         # latency + verify + scenario
 
 Exit status is normalized across subcommands: 0 on success (for
@@ -41,6 +43,9 @@ _DELEGATED = {
     "trace": ("repro.obs.cli",
               "record one app run and export it (Chrome trace_event "
               "JSON, timeline, MSC)"),
+    "load": ("repro.load.cli",
+             "drive seeded call batches through app topologies across "
+             "a worker pool (calls/sec, latency percentiles)"),
 }
 
 #: The classic evaluation subcommands handled in this module.

@@ -25,27 +25,16 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
-import os
 import sys
 from typing import List, Optional, TextIO
 
 from ..network.faults import PLANS, FaultPlan, plan_by_name
 from ..protocol.slot import RetransmitPolicy
+from ..tools.bench import write_text as _write_text
 from .runner import ChaosResult, run_suite
 from .scenarios import SCENARIOS
 
 __all__ = ["build_parser", "main"]
-
-
-def _write_text(path: str, text: str) -> None:
-    """Write ``text`` to ``path``, creating parent directories so
-    report/trace flags accept paths under directories that do not
-    exist yet (CI scratch dirs, for instance)."""
-    parent = os.path.dirname(path)
-    if parent:
-        os.makedirs(parent, exist_ok=True)
-    with open(path, "w") as fh:
-        fh.write(text)
 
 
 def build_parser() -> argparse.ArgumentParser:

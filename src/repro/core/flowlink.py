@@ -38,7 +38,8 @@ from typing import Dict
 
 from ..protocol.signals import (Close, CloseAck, Describe, Oack, Open,
                                 Select, TunnelSignal)
-from ..protocol.slot import Slot
+from ..protocol.slot import (CLOSED, CLOSING, FLOWING, LIVE_STATES,
+                             OPENED, Slot)
 from .goals import Goal, require_medium_match
 
 __all__ = ["FlowLink"]
@@ -111,15 +112,18 @@ class FlowLink(Goal):
             return
         for slot in self.slots:
             peer = self.other(slot)
-            if self._reopen[slot] and slot.is_closed:
+            state = slot.state
+            if self._reopen[slot] and state == CLOSED:
                 self._reopen[slot] = False
-                if peer.is_live:
+                if peer.state in LIVE_STATES:
                     self._open_through(slot)
-            if slot.is_opened and peer.is_described:
+                state = slot.state
+            if state == OPENED and peer.remote_descriptor is not None:
                 # Accept, carrying the path-peer's current descriptor.
                 slot.send_oack(peer.remote_descriptor)
                 self._utd[slot] = True
-            if slot.is_flowing and not self._utd[slot] and peer.is_described:
+            elif state == FLOWING and not self._utd[slot] \
+                    and peer.remote_descriptor is not None:
                 slot.send_describe(peer.remote_descriptor)
                 self.describes_sent += 1
                 self._utd[slot] = True
@@ -149,31 +153,33 @@ class FlowLink(Goal):
     # ------------------------------------------------------------------
     def goal_receive(self, slot: Slot, signal: TunnelSignal) -> None:
         peer = self.other(slot)
-        if isinstance(signal, Open):
+        # Exact-type dispatch; the signal classes are final.
+        cls = type(signal)
+        if cls is Open:
             # ``slot`` is now opened (or backed off from a race).  Its
             # descriptor is fresh, so the peer is no longer up to date.
             require_medium_match(slot, peer)
             self._utd[peer] = False
-            if peer.is_closed:
+            if peer.state == CLOSED:
                 self._open_through(peer)
-            elif peer.is_closing:
+            elif peer.state == CLOSING:
                 self._reopen[peer] = True
             self._work()
-        elif isinstance(signal, (Oack, Describe)):
+        elif cls is Oack or cls is Describe:
             # A fresh descriptor arrived on ``slot``.
             self._utd[peer] = False
             self._work()
-        elif isinstance(signal, Select):
+        elif cls is Select:
             self._forward_select(slot, signal)
-        elif isinstance(signal, Close):
+        elif cls is Close:
             # Environment-initiated death propagates to the other slot.
             self._utd[slot] = False
             self._utd[peer] = False
-            if slot.is_closed and peer.is_live:
+            if slot.state == CLOSED and peer.state in LIVE_STATES:
                 peer.send_close()
             # slot.is_closing means closes crossed; our own close is
             # already in flight and its closeack will finish the job.
-        elif isinstance(signal, CloseAck):
+        elif cls is CloseAck:
             # A close we sent has completed; a reopen may be pending.
             self._work()
 
@@ -194,9 +200,10 @@ class FlowLink(Goal):
         """Forward a selector if it is fresh, else discard it."""
         peer = self.other(slot)
         selector = signal.selector
-        fresh = (peer.is_flowing
+        fresh = (peer.state == FLOWING
                  and peer.remote_descriptor is not None
-                 and selector.answers == peer.remote_descriptor.id)
+                 and (selector.answers is peer.remote_descriptor.id
+                      or selector.answers == peer.remote_descriptor.id))
         if fresh:
             peer.send_select(selector)
             self.forwarded_selects += 1

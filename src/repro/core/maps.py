@@ -24,6 +24,10 @@ class Maps:
 
     def __init__(self) -> None:
         self._by_slot: Dict[Slot, "Goal"] = {}
+        #: Reverse index: goal -> the slots it controls, in assignment
+        #: order.  Keeps goals()/assign/release O(slots of one goal)
+        #: instead of rescanning every installed slot per settle.
+        self._by_goal: Dict["Goal", List[Slot]] = {}
 
     def goal_for(self, slot: Slot) -> Optional["Goal"]:
         """The goal currently controlling ``slot``, or ``None``."""
@@ -31,11 +35,7 @@ class Maps:
 
     def goals(self) -> List["Goal"]:
         """All distinct goals currently installed."""
-        seen: List["Goal"] = []
-        for goal in self._by_slot.values():
-            if goal not in seen:
-                seen.append(goal)
-        return seen
+        return list(self._by_goal)
 
     def assign(self, goal: "Goal", slots: Iterable[Slot]) -> None:
         """Put ``slots`` under control of ``goal``.
@@ -46,7 +46,7 @@ class Maps:
         garbage", Sec. VII).  A goal object cannot be installed twice.
         """
         slots = list(slots)
-        if goal in self.goals():
+        if goal in self._by_goal:
             raise ConfigurationError(
                 "goal %r is already installed; goal objects are "
                 "single-use" % (goal,))
@@ -56,12 +56,13 @@ class Maps:
                 self.release(old)
         for slot in slots:
             self._by_slot[slot] = goal
+        self._by_goal[goal] = slots
 
     def release(self, goal: "Goal") -> None:
         """Remove ``goal`` and free all slots it controls."""
-        freed = [s for s, g in self._by_slot.items() if g is goal]
-        for slot in freed:
-            del self._by_slot[slot]
+        for slot in self._by_goal.pop(goal, ()):
+            if self._by_slot.get(slot) is goal:
+                del self._by_slot[slot]
         goal.detach()
 
     def release_slot(self, slot: Slot) -> None:

@@ -1,0 +1,14 @@
+"""The scale-out call-load engine (``python -m repro load``).
+
+Shards independent seeded call scenarios across ``multiprocessing``
+workers — the runtime counterpart of the model checker's parallel sweep
+(:mod:`repro.verification.sweep`) — and reports calls/sec, signals/sec,
+and setup-latency percentiles through :mod:`repro.obs.metrics`.
+"""
+
+from .harness import (LoadJob, LoadResult, default_jobs, run_jobs,
+                      summarize)
+from .topologies import TOPOLOGIES
+
+__all__ = ["LoadJob", "LoadResult", "TOPOLOGIES", "default_jobs",
+           "run_jobs", "summarize"]

@@ -1,0 +1,159 @@
+"""Load topologies: what one worker drives, and how a "call" counts.
+
+Two families:
+
+* ``relay`` — the benchmark topology (device–box–device with one
+  flowlink, the exact scenario of
+  ``benchmarks/test_bench_throughput.py::test_call_setup_teardown_throughput``).
+  The topology is built once and each call is one open/settle/close/
+  settle round through it, so calls/sec here is directly comparable to
+  ``benchmarks/baselines/load_seed.json``.
+
+* the six bundled applications (``click_to_dial`` … ``features``) —
+  each call runs the app's full chaos scenario on a fresh seeded
+  :class:`~repro.network.network.Network` (seed = shard seed + call
+  index), so shards stay independent and a ``--fault-plan`` exercises
+  the retransmission machinery end to end.
+
+Every driver feeds the same :class:`~repro.obs.metrics.MetricsRegistry`
+names: counters ``calls.completed`` and ``signals.sent``, histograms
+``call.setup.sim_seconds`` and ``call.setup.wall_seconds``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, NamedTuple, Optional
+
+from ..chaos.scenarios import SCENARIOS
+from ..network.faults import FaultPlan, plan_by_name
+from ..network.network import Network
+from ..obs.metrics import MetricsRegistry
+from ..protocol.codecs import AUDIO
+from ..protocol.slot import RetransmitPolicy
+
+__all__ = ["TOPOLOGIES", "DriveStats", "RELAY"]
+
+#: The default topology name (the benchmark scenario).
+RELAY = "relay"
+
+#: Calls per measurement window on the relay path — matches the
+#: 50-call batches behind ``benchmarks/baselines/load_seed.json``, so
+#: best-window rates compare like with like against the recorded seed.
+BATCH = 50
+
+
+class DriveStats(NamedTuple):
+    """What one driver observed, beyond the metrics registry."""
+
+    calls_done: int
+    executed: int
+    signals_sent: int
+    sim_time: float
+    #: Calls/sec of the fastest measurement window (``None`` when the
+    #: driver has no windowed measurement).
+    best_window_rate: Optional[float] = None
+
+
+def _resolve_plan(plan: Optional[str]) -> Optional[FaultPlan]:
+    return None if plan is None else plan_by_name(plan)
+
+
+def _make_net(seed: int, plan: Optional[FaultPlan]) -> Network:
+    # Faulted load runs in robust mode (as `repro chaos` does): without
+    # retransmission a lossy plan is a hang, not a measurement.
+    retransmit = RetransmitPolicy() if plan is not None else None
+    return Network(seed=seed, faults=plan, retransmit=retransmit)
+
+
+def _count_signals(net: Network) -> int:
+    return sum(slot.signals_sent
+               for channel in net.channels
+               for end in channel.ends
+               for slot in end.slots.values())
+
+
+def drive_relay(calls: int, seed: int, plan: Optional[str],
+                metrics: MetricsRegistry) -> DriveStats:
+    """The benchmark scenario: one relayed call set up and torn down
+    ``calls`` times through a persistent device–box–device topology."""
+    fault_plan = _resolve_plan(plan)
+    net = _make_net(seed, fault_plan)
+    a = net.device("A")
+    b = net.device("B", auto_accept=True)
+    box = net.box("srv")
+    ch_a = net.channel(a, box)
+    ch_b = net.channel(box, b)
+    box.flow_link(ch_a.end_for(box).slot(), ch_b.end_for(box).slot())
+    slot = ch_a.end_for(a).slot()
+    # Bound locals: this loop IS the measurement, so the harness's own
+    # overhead per call must stay in the noise.
+    loop = net.loop
+    settle = net.settle
+    open_call, close_call = a.open, a.close
+    observe_sim = metrics.histogram("call.setup.sim_seconds").observe
+    observe_wall = metrics.histogram("call.setup.wall_seconds").observe
+    perf_counter = time.perf_counter
+    best_window = None
+    in_window = 0
+    window0 = perf_counter()
+    for _ in range(calls):
+        sim0 = loop._now
+        wall0 = perf_counter()
+        open_call(slot, AUDIO)
+        settle()
+        observe_sim(loop._now - sim0)
+        observe_wall(perf_counter() - wall0)
+        close_call(slot)
+        settle()
+        in_window += 1
+        if in_window == BATCH:
+            elapsed = perf_counter() - window0
+            if elapsed > 0 and (best_window is None
+                                or elapsed < best_window):
+                best_window = elapsed
+            in_window = 0
+            window0 = perf_counter()
+    metrics.counter("calls.completed").inc(calls)
+    signals = _count_signals(net)
+    metrics.counter("signals.sent").inc(signals)
+    return DriveStats(calls_done=calls, executed=net.loop.executed,
+                      signals_sent=signals, sim_time=net.now,
+                      best_window_rate=BATCH / best_window
+                      if best_window else None)
+
+
+def _scenario_driver(app: str) -> Callable[..., DriveStats]:
+    scenario = SCENARIOS[app]
+
+    def drive(calls: int, seed: int, plan: Optional[str],
+              metrics: MetricsRegistry) -> DriveStats:
+        fault_plan = _resolve_plan(plan)
+        setup_sim = metrics.histogram("call.setup.sim_seconds")
+        setup_wall = metrics.histogram("call.setup.wall_seconds")
+        completed = metrics.counter("calls.completed")
+        executed = 0
+        signals = 0
+        sim_time = 0.0
+        perf_counter = time.perf_counter
+        for i in range(calls):
+            net = _make_net(seed + i, fault_plan)
+            wall0 = perf_counter()
+            scenario(net)
+            setup_wall.observe(perf_counter() - wall0)
+            setup_sim.observe(net.now)
+            completed.inc()
+            executed += net.loop.executed
+            signals += _count_signals(net)
+            sim_time += net.now
+        metrics.counter("signals.sent").inc(signals)
+        return DriveStats(calls_done=calls, executed=executed,
+                          signals_sent=signals, sim_time=sim_time)
+
+    drive.__name__ = "drive_%s" % app
+    return drive
+
+
+#: Every load topology, by CLI name.
+TOPOLOGIES: Dict[str, Callable[..., DriveStats]] = {RELAY: drive_relay}
+TOPOLOGIES.update((app, _scenario_driver(app)) for app in SCENARIOS)

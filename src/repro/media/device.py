@@ -56,9 +56,9 @@ class UserDevice(MediaEndpoint):
 
     # Keep the ring log even when a test replaces ``on_offer``.
     def on_tunnel_signal(self, slot: Slot, signal) -> None:
-        before = self.port(slot).offer_pending
-        super().on_tunnel_signal(slot, signal)
         port = self.port(slot)
+        before = port.offer_pending
+        self._handle_tunnel_signal(slot, signal, port)
         if port.offer_pending and not before:
             self.ring_log.append(port)
 

@@ -290,8 +290,16 @@ class MediaEndpoint(SignalingAgent):
     # protocol events
     # ------------------------------------------------------------------
     def on_tunnel_signal(self, slot: Slot, signal: TunnelSignal) -> None:
-        port = self.port(slot)
-        if isinstance(signal, Open):
+        self._handle_tunnel_signal(slot, signal, self.port(slot))
+
+    def _handle_tunnel_signal(self, slot: Slot, signal: TunnelSignal,
+                              port: Port) -> None:
+        """Body of :meth:`on_tunnel_signal` with the port already
+        resolved (subclasses that need the port themselves pass it in
+        rather than looking it up twice)."""
+        # Exact-type dispatch; the signal classes are final.
+        cls = type(signal)
+        if cls is Open:
             if not slot.is_opened:
                 # Spurious open on a lenient channel (an uncoordinated
                 # server re-opened a live tunnel): nothing sane to do.
@@ -302,7 +310,7 @@ class MediaEndpoint(SignalingAgent):
                 port.offer_pending = True
                 if self.on_offer is not None:
                     self.on_offer(port)
-        elif isinstance(signal, Oack):
+        elif cls is Oack:
             # A mute_in chosen while the open was in flight is folded in
             # now: the descriptor sent with the open no longer reflects
             # the user's intention, so re-describe first.
@@ -313,19 +321,19 @@ class MediaEndpoint(SignalingAgent):
             self._answer(port)
             if self.on_flowing is not None:
                 self.on_flowing(port)
-        elif isinstance(signal, Describe):
+        elif cls is Describe:
             # "The endpoint that receives the new descriptor must begin
             # to act according to the new descriptor ... and must respond
             # with a new selector."
             self._answer(port)
-        elif isinstance(signal, Select):
+        elif cls is Select:
             pass  # reception readiness is captured by ``listening``
-        elif isinstance(signal, Close):
+        elif cls is Close:
             port.offer_pending = False
             self._stop_sending(port)
             if self.on_port_closed is not None:
                 self.on_port_closed(port)
-        elif isinstance(signal, CloseAck):
+        elif cls is CloseAck:
             self._stop_sending(port)
 
     def default_mutes(self, port: Port) -> Tuple[bool, bool]:

@@ -36,6 +36,13 @@ PAPER_C = 0.020
 class LatencyModel:
     """Base class: produces per-message one-way delays."""
 
+    #: When not ``None``, every sample is this constant and drawing it
+    #: consumes no randomness — the transport reads the attribute
+    #: instead of paying a ``sample()`` call per message.  Models whose
+    #: delay depends on the RNG must leave it ``None``: skipping their
+    #: ``sample()`` would desynchronize the seeded random stream.
+    fixed_delay: Optional[float] = None
+
     def sample(self, rng: random.Random) -> float:
         """Return the next message's network delay in seconds."""
         raise NotImplementedError
@@ -53,6 +60,7 @@ class FixedLatency(LatencyModel):
         if delay < 0:
             raise ValueError("latency must be non-negative")
         self.delay = delay
+        self.fixed_delay = delay
 
     def sample(self, rng: random.Random) -> float:
         return self.delay

@@ -22,9 +22,10 @@ are dropped, which is exactly what a closed TCP connection does.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from ..network.eventloop import EventLoop
+from ..network.eventloop import Event, EventLoop
 from ..network.latency import LatencyModel
 from ..network.node import Node
 from ..network.transport import Link
@@ -101,6 +102,12 @@ class ChannelEnd:
         self.side = side
         self.owner = owner
         self.alive = True
+        #: Cached hot-path collaborators (the property chain
+        #: ``channel.link.ends[side]``, ``owner.node``, and
+        #: ``owner.loop`` cost real time at one lookup per signal).
+        self._wire = channel.link.ends[side]
+        self._node = owner.node
+        self._loop = owner.loop
         self.slots: Dict[str, Slot] = {
             tid: Slot(self, tid, strict=strict, retransmit=retransmit)
             for tid in channel.tunnel_ids}
@@ -135,12 +142,12 @@ class ChannelEnd:
     def send_tunnel(self, tunnel_id: str, signal: TunnelSignal) -> None:
         if not self.alive:
             return
-        self._link_end.send(TunnelMessage(tunnel_id, signal))
+        self._wire.send(TunnelMessage(tunnel_id, signal))
 
     def send_meta(self, signal: MetaSignal) -> None:
         if not self.alive:
             return
-        self._link_end.send(MetaMessage(signal))
+        self._wire.send(MetaMessage(signal))
 
     def tear_down(self) -> None:
         """Destroy the whole signaling channel from this side.
@@ -173,31 +180,60 @@ class ChannelEnd:
     # -- receiving ---------------------------------------------------------
     @property
     def _link_end(self):
-        return self.channel.link.ends[self.side]
+        return self._wire
 
     def _receive(self, message) -> None:
-        # Runs inline at link-delivery time; queue as one stimulus so the
-        # owner pays its processing cost c before reacting.
-        self.owner.node.enqueue(self._process, message)
+        # Runs inline at link-delivery time; queue as one stimulus so
+        # the owner pays its processing cost c before reacting.  The
+        # body of Node.enqueue is inlined — every signal in the network
+        # funnels through this method, and the call frame plus varargs
+        # packing were measurable at load.  Keep in sync with
+        # repro.network.node.Node.enqueue.
+        node = self._node
+        if node.offline:
+            node.dropped_while_offline += 1
+            return
+        node._inbox.append((self._process, (message,)))
+        if not node._busy:
+            node._busy = True
+            loop = node.loop
+            event = Event(loop._now + node.cost, 0, next(loop._seq),
+                          node._finish_one, (), loop)
+            heappush(loop._heap, event)
+            loop._live += 1
 
     def _process(self, message) -> None:
         if not self.alive:
             return
-        tr = self.owner.loop.trace
-        if isinstance(message, TunnelMessage):
-            slot = self.slot(message.tunnel_id)
+        # Exact-type dispatch: the wire carries only the two final
+        # envelope classes, so ``type() is`` is both faster than
+        # isinstance and just as correct.
+        if type(message) is TunnelMessage:
+            signal = message.signal
+            try:
+                slot = self.slots[message.tunnel_id]
+            except KeyError:
+                slot = self.slot(message.tunnel_id)
+            owner = self.owner
+            tr = self._loop.trace
+            if tr is None:
+                # Untraced load runs skip the pre-state capture and the
+                # event construction entirely.
+                if slot.receive(signal):
+                    owner.on_tunnel_signal(slot, signal)
+                return
             state_before = slot.state
-            accepted = slot.receive(message.signal)
-            if tr is not None:
-                tr.emit(SignalReceived(
-                    ts=self.owner.loop.now, channel=self.channel.name,
-                    agent=self.owner.name, tunnel=message.tunnel_id,
-                    kind=message.signal.kind, label=signal_label(message),
-                    state_before=state_before, state_after=slot.state,
-                    accepted=accepted))
+            accepted = slot.receive(signal)
+            tr.emit(SignalReceived(
+                ts=self._loop.now, channel=self.channel.name,
+                agent=owner.name, tunnel=message.tunnel_id,
+                kind=signal.kind, label=signal_label(message),
+                state_before=state_before, state_after=slot.state,
+                accepted=accepted))
             if accepted:
-                self.owner.on_tunnel_signal(slot, message.signal)
-        elif isinstance(message, MetaMessage):
+                owner.on_tunnel_signal(slot, signal)
+        elif type(message) is MetaMessage:
+            tr = self._loop.trace
             if isinstance(message.signal, TearDown):
                 if tr is not None:
                     tr.emit(ChannelEvent(

@@ -11,7 +11,7 @@ masquerading as a media endpoint, but it is not a genuine media endpoint"
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field as dataclasses_field
 from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 __all__ = [
@@ -38,13 +38,25 @@ class Codec:
     fidelity: int
     bandwidth: float
 
-    @property
-    def is_real(self) -> bool:
-        """True for every codec except the ``noMedia`` pseudo-codec."""
-        return self.name != "noMedia"
+    #: True for every codec except the ``noMedia`` pseudo-codec.
+    #: Computed once at construction: codec negotiation and selector
+    #: validation read this on every signal, and a property doing a
+    #: string compare per read was measurable at load.
+    is_real: bool = dataclasses_field(init=False, compare=False,
+                                      repr=False, default=True)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "is_real", self.name != "noMedia")
 
     def __str__(self) -> str:
         return self.name
+
+    def __hash__(self) -> int:
+        # Equal codecs always share a name, so hashing the (cached)
+        # string hash alone is consistent with the generated __eq__ and
+        # avoids building a field tuple per set/dict probe on the codec
+        # negotiation path.
+        return hash(self.name)
 
 
 # media
@@ -82,10 +94,28 @@ def registry() -> Dict[str, Codec]:
     return {c.name: c for c in _ALL}
 
 
+#: Interned per-medium codec tuples.  Every endpoint minting a
+#: descriptor for a medium shares one tuple object, which both skips
+#: the scan/sort and lets descriptor validation cache by tuple identity
+#: (see ``repro.protocol.descriptor``).
+_BY_MEDIUM: Dict[Medium, Tuple[Codec, ...]] = {}
+
+#: ``supported`` iterables already reduced to their real-codec set,
+#: keyed by tuple identity (the tuple is kept alive as the value so the
+#: id cannot be recycled).  Bounded: cleared if it ever grows past the
+#: small working set interning produces.
+_SUPPORTED_MEMO: Dict[int, Tuple[Tuple[Codec, ...], frozenset]] = {}
+
+
 def codecs_for_medium(medium: Medium) -> Tuple[Codec, ...]:
-    """All real codecs for ``medium``, best fidelity first."""
-    found = [c for c in _ALL if c.medium == medium and c.is_real]
-    return tuple(sorted(found, key=lambda c: -c.fidelity))
+    """All real codecs for ``medium``, best fidelity first.  The tuple
+    is interned: repeated calls return the same object."""
+    interned = _BY_MEDIUM.get(medium)
+    if interned is None:
+        found = [c for c in _ALL if c.medium == medium and c.is_real]
+        interned = _BY_MEDIUM[medium] = tuple(
+            sorted(found, key=lambda c: -c.fidelity))
+    return interned
 
 
 def best_common_codec(offered: Sequence[Codec],
@@ -99,7 +129,17 @@ def best_common_codec(offered: Sequence[Codec],
     also supported.  Returns ``None`` when there is no real common codec
     (including when the descriptor offers only ``noMedia``).
     """
-    supported_set = {c for c in supported if c.is_real}
+    if type(supported) is tuple:
+        memo = _SUPPORTED_MEMO.get(id(supported))
+        if memo is not None and memo[0] is supported:
+            supported_set = memo[1]
+        else:
+            supported_set = frozenset(c for c in supported if c.is_real)
+            if len(_SUPPORTED_MEMO) > 1024:
+                _SUPPORTED_MEMO.clear()
+            _SUPPORTED_MEMO[id(supported)] = (supported, supported_set)
+    else:
+        supported_set = {c for c in supported if c.is_real}
     for codec in offered:
         if codec.is_real and codec in supported_set:
             return codec

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..network.address import Address
 from .codecs import Codec, NO_MEDIA
@@ -31,7 +31,7 @@ from .errors import ProtocolError
 __all__ = ["DescriptorId", "Descriptor", "Selector", "DescriptorFactory"]
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class DescriptorId:
     """Identity of one descriptor: who minted it and its version."""
 
@@ -42,7 +42,18 @@ class DescriptorId:
         return "%s#%d" % (self.origin, self.version)
 
 
-@dataclass(frozen=True)
+#: Codec tuples that already passed ``Descriptor.__post_init__``'s
+#: structural checks, keyed by tuple identity.  Endpoints intern their
+#: codec lists (see :func:`repro.protocol.codecs.codecs_for_medium`), so
+#: in steady state every mint after the first skips the per-codec scan.
+#: Each entry holds ``(codecs, has_real, no_media)``; the tuple itself
+#: is kept as the value so the id cannot be recycled while the entry
+#: lives; bounded so pathological workloads cannot grow it without
+#: limit.
+_VALIDATED: Dict[int, Tuple[Tuple["Codec", ...], bool, bool]] = {}
+
+
+@dataclass(frozen=True, slots=True)
 class Descriptor:
     """Self-description of one media receiver.
 
@@ -53,33 +64,70 @@ class Descriptor:
     id: DescriptorId
     address: Optional[Address]
     codecs: Tuple[Codec, ...]
+    #: Lazily cached canonical encoding (Sec. VII: "caching strategies
+    #: ... an object need not re-encode a descriptor it has already
+    #: sent").  Not part of identity/equality.
+    _encoded: Optional[str] = field(default=None, init=False, repr=False,
+                                    compare=False)
+    #: Cached ``is_no_media`` answer (a tuple compare per read added up
+    #: on the selector/answer path).  Not part of identity/equality.
+    _no_media: bool = field(default=False, init=False, repr=False,
+                            compare=False)
 
     def __post_init__(self) -> None:
-        if not self.codecs:
-            raise ProtocolError("descriptor must offer at least one codec "
-                                "(use noMedia to refuse media)")
-        real = [c for c in self.codecs if c.is_real]
-        if real and NO_MEDIA in self.codecs:
-            raise ProtocolError(
-                "descriptor mixes real codecs with noMedia: %r"
-                % (self.codecs,))
-        if real and self.address is None:
+        codecs = self.codecs
+        cached = _VALIDATED.get(id(codecs))
+        if cached is not None and cached[0] is codecs:
+            has_real = cached[1]
+            no_media = cached[2]
+        else:
+            if not codecs:
+                raise ProtocolError(
+                    "descriptor must offer at least one codec "
+                    "(use noMedia to refuse media)")
+            has_real = any(c.is_real for c in codecs)
+            if has_real and NO_MEDIA in codecs:
+                raise ProtocolError(
+                    "descriptor mixes real codecs with noMedia: %r"
+                    % (codecs,))
+            no_media = codecs == (NO_MEDIA,)
+            if len(_VALIDATED) > 1024:
+                _VALIDATED.clear()
+            _VALIDATED[id(codecs)] = (codecs, has_real, no_media)
+        if has_real and self.address is None:
             raise ProtocolError(
                 "descriptor offering real codecs needs an address")
+        object.__setattr__(self, "_no_media", no_media)
+
+    @property
+    def encoded(self) -> str:
+        """The descriptor's canonical wire encoding, computed once.
+
+        Realizes Sec. VII's cached-descriptor strategy: tracers and
+        exporters label every signal carrying this descriptor, and the
+        label is serialized exactly once per descriptor instance.
+        """
+        enc = self._encoded
+        if enc is None:
+            if self.is_no_media:
+                enc = "desc[%s noMedia]" % self.id
+            else:
+                enc = "desc[%s %s %s]" % (
+                    self.id, self.address,
+                    "/".join(c.name for c in self.codecs))
+            object.__setattr__(self, "_encoded", enc)
+        return enc
 
     @property
     def is_no_media(self) -> bool:
         """True when this descriptor refuses inbound media (muteIn)."""
-        return self.codecs == (NO_MEDIA,)
+        return self._no_media
 
     def __str__(self) -> str:
-        if self.is_no_media:
-            return "desc[%s noMedia]" % self.id
-        return "desc[%s %s %s]" % (
-            self.id, self.address, "/".join(c.name for c in self.codecs))
+        return self.encoded
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Selector:
     """A response to a descriptor, declaring the sender's intention.
 
@@ -98,7 +146,11 @@ class Selector:
 
     def answers_descriptor(self, descriptor: Descriptor) -> bool:
         """Does this selector respond to exactly ``descriptor``?"""
-        return self.answers == descriptor.id
+        # Identity fast path: the simulated wire carries objects by
+        # reference, so a selector minted from a received descriptor
+        # holds the *same* id object in the overwhelmingly common case.
+        answers = self.answers
+        return answers is descriptor.id or answers == descriptor.id
 
     def validate_against(self, descriptor: Descriptor) -> None:
         """Check the codec choice is legal for ``descriptor``.

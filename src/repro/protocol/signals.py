@@ -32,13 +32,15 @@ __all__ = [
 class TunnelSignal:
     """Base class for the six media-control signals."""
 
+    __slots__ = ()
+
     kind = "signal"
 
     def __str__(self) -> str:
         return self.kind
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Open(TunnelSignal):
     """Attempt to open a media channel.
 
@@ -54,7 +56,7 @@ class Open(TunnelSignal):
         return "open(%s, %s)" % (self.medium, self.descriptor)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Oack(TunnelSignal):
     """Affirmative response to ``open``, carrying the acceptor's
     descriptor."""
@@ -66,7 +68,7 @@ class Oack(TunnelSignal):
         return "oack(%s)" % (self.descriptor,)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Close(TunnelSignal):
     """Close (or reject) the media channel.  "Note that close now plays
     the role of both close and reject in Figure 5."""
@@ -74,7 +76,7 @@ class Close(TunnelSignal):
     kind = "close"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CloseAck(TunnelSignal):
     """Mandatory acknowledgement of ``close``; drains the tunnel lane so
     it can be reused cleanly."""
@@ -82,7 +84,7 @@ class CloseAck(TunnelSignal):
     kind = "closeack"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Describe(TunnelSignal):
     """A new self-description of the sender as a media receiver; the
     receiver "must respond with a new selector in a select signal, if
@@ -95,7 +97,7 @@ class Describe(TunnelSignal):
         return "describe(%s)" % (self.descriptor,)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Select(TunnelSignal):
     """A selector: the sender's declared intention toward a received
     descriptor."""
@@ -113,13 +115,15 @@ class Select(TunnelSignal):
 class MetaSignal:
     """Base class for channel-scope signals."""
 
+    __slots__ = ()
+
     kind = "meta"
 
     def __str__(self) -> str:
         return self.kind
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ChannelUp(MetaSignal):
     """Delivered to the callee-side owner when a new signaling channel
     reaches it.  ``target`` is the dialed address string, so a box
@@ -129,7 +133,7 @@ class ChannelUp(MetaSignal):
     kind = "channel-up"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TearDown(MetaSignal):
     """The whole signaling channel is being destroyed; "a meta-action
     that of course destroys all its tunnels and slots" (Sec. IV-B)."""
@@ -137,7 +141,7 @@ class TearDown(MetaSignal):
     kind = "teardown"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Available(MetaSignal):
     """The intended far endpoint is currently available (e.g. ringing
     succeeded)."""
@@ -145,7 +149,7 @@ class Available(MetaSignal):
     kind = "available"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Unavailable(MetaSignal):
     """The intended far endpoint is unavailable (busy, unreachable)."""
 
@@ -153,7 +157,7 @@ class Unavailable(MetaSignal):
     kind = "unavailable"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AppMeta(MetaSignal):
     """Application-defined meta-signal (e.g. "user has paid" from the
     interactive-voice resource to the prepaid-card server, or mix-matrix
@@ -170,7 +174,10 @@ class AppMeta(MetaSignal):
 # ----------------------------------------------------------------------
 # wire envelopes
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
+# The envelopes are deliberately *not* frozen: one is constructed per
+# signal on the wire, and a frozen dataclass pays an object.__setattr__
+# per field in __init__.  The signals inside them stay immutable.
+@dataclass(slots=True)
 class TunnelMessage:
     """Envelope routing a tunnel signal to one tunnel of a channel."""
 
@@ -181,7 +188,7 @@ class TunnelMessage:
         return "[%s] %s" % (self.tunnel_id, self.signal)
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class MetaMessage:
     """Envelope for a channel-scope meta-signal."""
 

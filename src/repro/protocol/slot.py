@@ -44,7 +44,7 @@ from .codecs import Medium
 from .descriptor import Descriptor, Selector
 from .errors import ProtocolError, ProtocolStateError
 from .signals import (Close, CloseAck, Describe, Oack, Open, Select,
-                      TunnelSignal)
+                      TunnelMessage, TunnelSignal)
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..obs.tracer import Tracer
@@ -66,6 +66,11 @@ CLOSING = "closing"
 #: states are closed and closing."
 LIVE_STATES = frozenset((OPENING, OPENED, FLOWING))
 DEAD_STATES = frozenset((CLOSED, CLOSING))
+
+#: ``close``/``closeack`` carry no payload and are frozen, so every slot
+#: shares these two instances instead of allocating one per teardown.
+_CLOSE = Close()
+_CLOSEACK = CloseAck()
 
 
 @dataclass(frozen=True)
@@ -89,10 +94,24 @@ class RetransmitPolicy:
 class Slot:
     """One protocol endpoint of one tunnel."""
 
+    # Load runs create a slot per tunnel per call; __slots__ removes the
+    # per-instance dict and makes the state fields the FSM touches on
+    # every receive direct offsets.
+    __slots__ = (
+        "_end", "tunnel_id", "strict", "retransmit",
+        "state", "medium", "remote_descriptor", "local_descriptor",
+        "selector_received", "selector_sent", "failed",
+        "race_drops", "stale_drops", "invalid_drops", "duplicate_drops",
+        "retransmits", "failures", "signals_sent", "signals_received",
+        "_retx_timer", "_retx_signal", "_retx_kind", "_retx_attempts",
+        "_retx_interval", "_stale_timer", "_stale_attempts", "_loop",
+    )
+
     def __init__(self, channel_end: "ChannelEnd", tunnel_id: str,
                  strict: bool = True,
                  retransmit: Optional[RetransmitPolicy] = None):
         self._end = channel_end
+        self._loop = channel_end.owner.loop
         self.tunnel_id = tunnel_id
         #: Strict slots raise :class:`ProtocolError` on illegal receives;
         #: lenient slots count them and pass them up unprocessed (used by
@@ -159,14 +178,14 @@ class Slot:
     # ------------------------------------------------------------------
     @property
     def _trace(self) -> Optional["Tracer"]:
-        return self._end.owner.loop.trace
+        return self._loop.trace
 
     def _set_state(self, new: str, cause: str) -> None:
         """Every protocol-state change funnels through here so a tracer
         sees the full FSM history."""
         old = self.state
         self.state = new
-        tr = self._trace
+        tr = self._loop.trace
         if tr is not None and new != old:
             tr.emit(SlotTransition(
                 ts=self._end.owner.loop.now, slot=self.name,
@@ -176,7 +195,7 @@ class Slot:
                 medium=str(self.medium) if self.medium is not None else ""))
 
     def _emit_drop(self, kind: str, signal: TunnelSignal) -> None:
-        tr = self._trace
+        tr = self._loop.trace
         if tr is not None:
             tr.emit(SlotDrop(
                 ts=self._end.owner.loop.now, slot=self.name,
@@ -252,7 +271,7 @@ class Slot:
             raise ProtocolStateError(self, "send close", self.state)
         self._set_state(CLOSING, "send_close")
         self._cancel_stale()
-        signal = Close()
+        signal = _CLOSE
         self._transmit(signal)
         self._arm_retx("close", signal)
 
@@ -278,7 +297,11 @@ class Slot:
 
     def _transmit(self, signal: TunnelSignal) -> None:
         self.signals_sent += 1
-        self._end.send_tunnel(self.tunnel_id, signal)
+        # Inlined ChannelEnd.send_tunnel: one envelope per signal makes
+        # the extra call frame measurable at load.
+        end = self._end
+        if end.alive:
+            end._wire.send(TunnelMessage(self.tunnel_id, signal))
 
     # ------------------------------------------------------------------
     # receiving
@@ -293,35 +316,43 @@ class Slot:
         to reopening opportunities).
         """
         self.signals_received += 1
-        handler = getattr(self, "_recv_%s" % self.state, None)
-        if handler is None:  # pragma: no cover - states are exhaustive
+        try:
+            handler = _DISPATCH[self.state]
+        except KeyError:  # pragma: no cover - states are exhaustive
             raise AssertionError("slot in unknown state %r" % self.state)
-        result = handler(signal)
+        result = handler(self, signal)
         # Robust mode: an unacknowledged open is acknowledged by whatever
         # receive moved us out of ``opening`` (oack, rejection, race
         # loss); a close is acknowledged only by reaching ``closed``.
-        if self._retx_kind == "open" and self.state != OPENING:
-            self._cancel_retx()
-        elif self._retx_kind == "close" and self.state == CLOSED:
-            self._cancel_retx()
+        retx_kind = self._retx_kind
+        if retx_kind is not None:
+            if retx_kind == "open" and self.state != OPENING:
+                self._cancel_retx()
+            elif retx_kind == "close" and self.state == CLOSED:
+                self._cancel_retx()
         return result
 
     # -- per-state receive handlers --
     def _recv_closed(self, signal: TunnelSignal) -> bool:
-        if isinstance(signal, Open):
+        # The handlers dispatch on exact type: the six signal classes
+        # are final (nothing subclasses them), so ``type() is`` replaces
+        # isinstance on the busiest path in the protocol layer.
+        cls = type(signal)
+        if cls is Open:
             self.medium = signal.medium
             self.remote_descriptor = signal.descriptor
             self._set_state(OPENED, "recv_open")
             return True
         if self.retransmit is not None:
-            if isinstance(signal, Close):
+            if cls is Close:
                 # A retransmitted close whose closeack was lost: our
                 # earlier closeack did not arrive, so answer again.
                 self.duplicate_drops += 1
                 self._emit_drop("duplicate", signal)
-                self._transmit(CloseAck())
+                self._transmit(_CLOSEACK)
                 return False
-            if isinstance(signal, (CloseAck, Oack, Describe, Select)):
+            if cls is CloseAck or cls is Oack or cls is Describe \
+                    or cls is Select:
                 # Stale repeats from the episode just closed.
                 self.duplicate_drops += 1
                 self._emit_drop("duplicate", signal)
@@ -329,7 +360,8 @@ class Slot:
         return self._illegal(signal)
 
     def _recv_opening(self, signal: TunnelSignal) -> bool:
-        if isinstance(signal, Open):
+        cls = type(signal)
+        if cls is Open:
             # open/open race in this tunnel (Sec. VI-B).
             if self.is_initiator:
                 # We win: "the losing open signal is simply ignored."
@@ -342,15 +374,15 @@ class Slot:
             self.remote_descriptor = signal.descriptor
             self._set_state(OPENED, "recv_open_race_loss")
             return True
-        if isinstance(signal, Oack):
+        if cls is Oack:
             self.remote_descriptor = signal.descriptor
             self._set_state(FLOWING, "recv_oack")
             return True
-        if isinstance(signal, Close):
+        if cls is Close:
             # The peer rejected (or closed before answering).
             self._acknowledge_close()
             return True
-        if self.retransmit is not None and isinstance(signal, CloseAck):
+        if self.retransmit is not None and cls is CloseAck:
             # Stale acknowledgement of a close from a previous episode.
             self.duplicate_drops += 1
             self._emit_drop("duplicate", signal)
@@ -358,11 +390,12 @@ class Slot:
         return self._illegal(signal)
 
     def _recv_opened(self, signal: TunnelSignal) -> bool:
-        if isinstance(signal, Close):
+        cls = type(signal)
+        if cls is Close:
             # The opener gave up before we answered.
             self._acknowledge_close()
             return True
-        if self.retransmit is not None and isinstance(signal, Open) \
+        if self.retransmit is not None and cls is Open \
                 and self.remote_descriptor is not None \
                 and signal.descriptor.id == self.remote_descriptor.id:
             # Retransmitted open; we have it and will answer in our own
@@ -373,22 +406,25 @@ class Slot:
         return self._illegal(signal)
 
     def _recv_flowing(self, signal: TunnelSignal) -> bool:
-        if isinstance(signal, Describe):
+        cls = type(signal)
+        if cls is Describe:
             self.remote_descriptor = signal.descriptor
             return True
-        if isinstance(signal, Select):
+        if cls is Select:
             self.selector_received = signal.selector
             if self._stale_timer is not None \
                     and self.local_descriptor is not None \
-                    and signal.selector.answers == self.local_descriptor.id:
+                    and (signal.selector.answers is self.local_descriptor.id
+                         or signal.selector.answers
+                         == self.local_descriptor.id):
                 # Our descriptor is answered; staleness recovery done.
                 self._cancel_stale()
             return True
-        if isinstance(signal, Close):
+        if cls is Close:
             self._acknowledge_close()
             return True
         if self.retransmit is not None:
-            if isinstance(signal, Open) \
+            if cls is Open \
                     and self.remote_descriptor is not None \
                     and signal.descriptor.id == self.remote_descriptor.id:
                 # The peer retransmitted its open: our oack was lost (or
@@ -399,29 +435,30 @@ class Slot:
                 if self.local_descriptor is not None:
                     self._transmit(Oack(self.local_descriptor))
                 return False
-            if isinstance(signal, Oack) \
+            if cls is Oack \
                     and self.remote_descriptor is not None \
                     and signal.descriptor.id == self.remote_descriptor.id:
                 # Duplicate of the oack that made us flowing.
                 self.duplicate_drops += 1
                 self._emit_drop("duplicate", signal)
                 return False
-            if isinstance(signal, CloseAck):
+            if cls is CloseAck:
                 self.duplicate_drops += 1
                 self._emit_drop("duplicate", signal)
                 return False
         return self._illegal(signal)
 
     def _recv_closing(self, signal: TunnelSignal) -> bool:
-        if isinstance(signal, Close):
+        cls = type(signal)
+        if cls is Close:
             # Crossing closes: acknowledge theirs, keep waiting for the
             # acknowledgement of ours.
-            self._transmit(CloseAck())
+            self._transmit(_CLOSEACK)
             return True
-        if isinstance(signal, CloseAck):
+        if cls is CloseAck:
             self._reset_to_closed("recv_closeack")
             return True
-        if isinstance(signal, (Open, Oack, Describe, Select)):
+        if cls is Open or cls is Oack or cls is Describe or cls is Select:
             # The peer sent these before it saw our close; drain them.
             # (An ``open`` here is the crossing-open case: the peer's
             # open and our close passed each other, and our close
@@ -433,7 +470,7 @@ class Slot:
 
     # -- shared pieces --
     def _acknowledge_close(self) -> None:
-        self._transmit(CloseAck())
+        self._transmit(_CLOSEACK)
         self._reset_to_closed("recv_close")
 
     def _reset_to_closed(self, cause: str = "reset") -> None:
@@ -534,7 +571,7 @@ class Slot:
         if kind == "open" and self.state == OPENING:
             # Best-effort abort so a peer that did hear us stops waiting;
             # we do not wait for the closeack.
-            self._transmit(Close())
+            self._transmit(_CLOSE)
         self._reset_to_closed("gave_up")
         self.failed = True
         self.failures += 1
@@ -591,3 +628,15 @@ class Slot:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return "<Slot %s %s medium=%s>" % (self.name, self.state, self.medium)
+
+
+#: Fig. 9 FSM dispatch: protocol state -> unbound receive handler.  One
+#: dict probe per receive, replacing the string-formatting getattr
+#: lookup that used to sit on the hottest signaling path.
+_DISPATCH = {
+    CLOSED: Slot._recv_closed,
+    OPENING: Slot._recv_opening,
+    OPENED: Slot._recv_opened,
+    FLOWING: Slot._recv_flowing,
+    CLOSING: Slot._recv_closing,
+}

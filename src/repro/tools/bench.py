@@ -1,0 +1,80 @@
+"""Shared benchmark-report plumbing.
+
+Every CLI that records a perf trajectory (``repro sweep --json``,
+``repro chaos --bench-json``, ``repro load --bench-json``, and the
+benchmark suite's ``--bench-json`` hook) needs the same three moves:
+write a report under a path whose parent may not exist yet, load the
+recorded seed baseline (tolerating its absence), and reduce a set of
+speedups to one geomean.  They live here once.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Sequence, TextIO
+
+__all__ = ["write_text", "emit_json", "load_baseline", "geomean",
+           "speedup_vs_seed"]
+
+
+def write_text(path: str, text: str) -> None:
+    """Write ``text`` to ``path``, creating parent directories so
+    report/trace flags accept paths under directories that do not exist
+    yet (CI scratch dirs, for instance)."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as fh:
+        fh.write(text)
+
+
+def emit_json(path: str, payload: Any, out: Optional[TextIO] = None) -> None:
+    """Serialize ``payload`` to ``path``, treating ``"-"`` as ``out``
+    (stdout by default).  Reports stay diffable: sorted keys, indented,
+    trailing newline."""
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    if path == "-":
+        import sys
+        (out if out is not None else sys.stdout).write(text)
+    else:
+        write_text(path, text)
+
+
+def load_baseline(path: str, key: Optional[str] = None) -> Dict[str, Any]:
+    """Load a recorded seed baseline, or ``{}`` when it is missing or
+    unreadable — a fresh checkout without baselines still benches, it
+    just cannot report speedups.  ``key`` selects one top-level section
+    of the baseline file."""
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError):
+        return {}
+    if not isinstance(payload, dict):
+        return {}
+    if key is None:
+        return payload
+    section = payload.get(key, {})
+    return section if isinstance(section, dict) else {}
+
+
+def geomean(values: Sequence[float]) -> Optional[float]:
+    """Geometric mean, or ``None`` on an empty sequence."""
+    if not values:
+        return None
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))
+
+
+def speedup_vs_seed(seed_elapsed: Optional[float],
+                    elapsed: Optional[float]) -> Optional[float]:
+    """``seed_elapsed / elapsed`` when both are positive, else ``None``
+    (missing baselines and zero-length timings never divide)."""
+    if not seed_elapsed or not elapsed:
+        return None
+    if seed_elapsed <= 0 or elapsed <= 0:
+        return None
+    return seed_elapsed / elapsed

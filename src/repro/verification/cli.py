@@ -28,26 +28,15 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import sys
 from typing import Any, Dict, List, Optional, TextIO
 
+from ..tools.bench import write_text as _write_text
 from .models import PATH_TYPES
 from .report import VerificationResult, blowup_table, format_results
 from .sweep import default_jobs, run_jobs
 
 __all__ = ["build_parser", "sweep_trace", "main"]
-
-
-def _write_text(path: str, text: str) -> None:
-    """Write ``text`` to ``path``, creating parent directories so
-    ``--json``/``--trace-json`` accept paths under directories that do
-    not exist yet."""
-    parent = os.path.dirname(path)
-    if parent:
-        os.makedirs(parent, exist_ok=True)
-    with open(path, "w") as fh:
-        fh.write(text)
 
 
 def build_parser() -> argparse.ArgumentParser:

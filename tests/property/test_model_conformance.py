@@ -50,15 +50,17 @@ class ScriptedPeer:
         self.emitted = []
         self._descriptors = DescriptorFactory("P")
         self._version = 0
-        original = self.channel.link.transmit
 
-        def spy(origin, message, _original=original):
+        def spy(origin, message, forward):
             if origin is self.channel.link.ends[1]:  # from the box
                 if isinstance(message, TunnelMessage):
                     self.emitted.append(message.signal.kind)
-            _original(origin, message)
+            forward(origin, message)
 
-        self.channel.link.transmit = spy
+        # Spy through the link's sanctioned observation seam (the
+        # transmit-hook chain) so it sees every send regardless of how
+        # the fast path reaches the link.
+        self.channel.link.add_transmit_hook(spy)
 
     def inject(self, kind):
         ver = ("P", self._version)

@@ -79,8 +79,12 @@ def test_random_user_behaviour_respects_media_invariants(actions):
     net.settle(max_events=50_000)
     # Resolve any pending human decision (an unanswered ring is a
     # legitimately unstable path: its endpoint goal is still the user).
+    # A re-link after ``a-close`` can leave *either* device ringing, so
+    # both must be resolved before the stability invariants can hold.
     if b.ringing():
         b.answer()
+    if a.ringing():
+        a.answer()
     net.settle(max_events=50_000)
 
     # Invariant 1: nobody transmits into the void after quiescence.

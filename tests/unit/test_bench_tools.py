@@ -1,0 +1,66 @@
+"""Unit tests for the shared benchmark-report plumbing."""
+
+import io
+import json
+
+import pytest
+
+from repro.tools.bench import (emit_json, geomean, load_baseline,
+                               speedup_vs_seed, write_text)
+
+
+def test_write_text_creates_parent_directories(tmp_path):
+    path = tmp_path / "a" / "b" / "report.json"
+    write_text(str(path), "hello\n")
+    assert path.read_text() == "hello\n"
+
+
+def test_emit_json_to_file_is_sorted_and_newline_terminated(tmp_path):
+    path = tmp_path / "deep" / "out.json"
+    emit_json(str(path), {"b": 1, "a": 2})
+    text = path.read_text()
+    assert text.endswith("\n")
+    assert text.index('"a"') < text.index('"b"')
+    assert json.loads(text) == {"a": 2, "b": 1}
+
+
+def test_emit_json_dash_writes_to_stream():
+    out = io.StringIO()
+    emit_json("-", {"k": "v"}, out=out)
+    assert json.loads(out.getvalue()) == {"k": "v"}
+
+
+def test_load_baseline_missing_file_is_empty(tmp_path):
+    assert load_baseline(str(tmp_path / "nope.json")) == {}
+
+
+def test_load_baseline_corrupt_file_is_empty(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("{not json")
+    assert load_baseline(str(path)) == {}
+    path.write_text('["a list, not a dict"]')
+    assert load_baseline(str(path)) == {}
+
+
+def test_load_baseline_key_selects_section(tmp_path):
+    path = tmp_path / "seed.json"
+    path.write_text(json.dumps({"models": {"OO": {"elapsed": 1.0}},
+                                "note": "text"}))
+    assert load_baseline(str(path), key="models") == {
+        "OO": {"elapsed": 1.0}}
+    assert load_baseline(str(path), key="missing") == {}
+    assert load_baseline(str(path), key="note") == {}  # non-dict section
+
+
+def test_geomean():
+    assert geomean([]) is None
+    assert geomean([4.0]) == 4.0
+    assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+
+def test_speedup_vs_seed_guards_missing_and_zero():
+    assert speedup_vs_seed(None, 1.0) is None
+    assert speedup_vs_seed(1.0, None) is None
+    assert speedup_vs_seed(0.0, 1.0) is None
+    assert speedup_vs_seed(2.0, 0.0) is None
+    assert speedup_vs_seed(2.0, 1.0) == 2.0

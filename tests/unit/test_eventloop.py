@@ -222,3 +222,144 @@ def test_max_events_budget():
         loop.schedule(float(i), out.append, i)
     loop.run(max_events=3)
     assert out == [0, 1, 2]
+
+
+# ----------------------------------------------------------------------
+# schedule_at clamping and run(until=...)/advance() boundary behaviour
+# ----------------------------------------------------------------------
+def test_schedule_at_clamps_infinitesimal_negative_drift():
+    """``(now + dt) - now`` is not always ``>= dt`` in binary floating
+    point: re-scheduling at an absolute time computed from the current
+    clock may land one ulp in the past and must not raise."""
+    loop = EventLoop()
+    # Put the clock on a value whose float neighbourhood is sparse
+    # enough to exhibit drift.
+    loop.schedule(0.1, lambda: None)
+    loop.schedule(0.2, lambda: None)
+    loop.run()
+    now = loop.now
+    drifted = now - 1e-12  # accumulated-rounding stand-in: when < now
+    assert drifted < now
+    fired = []
+    loop.schedule_at(drifted, fired.append, "clamped")
+    loop.run()
+    assert fired == ["clamped"]
+    assert loop.now == now  # clamped to the current instant, not moved
+
+
+def test_schedule_at_accepts_when_equal_to_now_after_drift():
+    loop = EventLoop()
+    # Accumulate float drift the way a retransmission timer does:
+    # many small increments that do not sum exactly.
+    t = 0.0
+    for _ in range(100):
+        loop.schedule_at(t, lambda: None)
+        loop.run()
+        t = loop.now + 0.1
+        loop.schedule_at(t, lambda: None)
+        loop.run()
+    event = loop.schedule_at(loop.now, lambda: None)  # when == now
+    assert event.time == loop.now
+    loop.run()
+
+
+def test_schedule_at_rejects_genuinely_past_times():
+    loop = EventLoop()
+    loop.schedule(5.0, lambda: None)
+    loop.run()
+    with pytest.raises(ValueError):
+        loop.schedule_at(4.0, lambda: None)
+
+
+def test_schedule_at_tolerance_scales_with_large_clock():
+    """At large simulated times one ulp is much bigger than at t=1;
+    the clamp tolerance is relative, so drift keeps being absorbed."""
+    loop = EventLoop()
+    loop.schedule(1e9, lambda: None)
+    loop.run()
+    ulp = loop.now - (loop.now - 1e-3)  # well inside 1e-9 relative
+    fired = []
+    loop.schedule_at(loop.now - 1e-3, fired.append, "ok")
+    loop.run()
+    assert fired == ["ok"]
+    assert ulp > 0
+
+
+def test_run_until_executes_event_landing_exactly_on_boundary():
+    loop = EventLoop()
+    out = []
+    loop.schedule(1.0, out.append, "on-boundary")
+    loop.schedule(1.5, out.append, "beyond")
+    assert loop.run(until=1.0) == 1
+    assert out == ["on-boundary"]
+    assert loop.now == 1.0
+    assert loop.pending() == 1  # the 1.5s event survives, un-popped
+
+
+def test_run_until_cancelled_event_at_heap_front_at_boundary():
+    """A tombstone sitting exactly at ``until`` must be drained, the
+    live event behind it run, and the clock left on the boundary."""
+    loop = EventLoop()
+    out = []
+    doomed = loop.schedule(1.0, out.append, "cancelled", priority=-1)
+    loop.schedule(1.0, out.append, "live")
+    doomed.cancel()
+    assert loop.run(until=1.0) == 1
+    assert out == ["live"]
+    assert loop.now == 1.0
+    assert loop.pending() == 0
+
+
+def test_run_until_only_cancelled_events_advances_clock_to_until():
+    loop = EventLoop()
+    for delay in (0.5, 1.0):
+        loop.schedule(delay, lambda: None).cancel()
+    assert loop.run(until=2.0) == 0
+    assert loop.now == 2.0  # idle time still passes
+    assert loop.pending() == 0
+
+
+def test_run_max_events_with_only_cancelled_events_remaining():
+    """Spending the budget must stop the run even when everything left
+    in the heap is a tombstone; a later unbudgeted run drains them."""
+    loop = EventLoop()
+    out = []
+    loop.schedule(1.0, out.append, "first")
+    for delay in (2.0, 3.0):
+        loop.schedule(delay, lambda: None).cancel()
+    assert loop.run(max_events=1) == 1
+    assert out == ["first"]
+    assert loop.pending() == 0      # live counter sees through tombstones
+    assert loop.run() == 0          # drains the cancelled tail
+    assert loop.now == 1.0          # tombstones never advance the clock
+
+
+def test_run_until_max_events_budget_stops_before_boundary():
+    loop = EventLoop()
+    out = []
+    for i in range(4):
+        loop.schedule(float(i + 1), out.append, i)
+    assert loop.run(until=10.0, max_events=2) == 2
+    assert out == [0, 1]
+    assert loop.now == 2.0  # budget exhausted: clock stays put
+
+
+def test_advance_lands_clock_exactly_even_when_idle():
+    loop = EventLoop()
+    assert loop.advance(0.25) == 0
+    assert loop.now == 0.25
+    out = []
+    loop.schedule(0.25, out.append, "x")  # due exactly at the boundary
+    assert loop.advance(0.25) == 1
+    assert out == ["x"]
+    assert loop.now == 0.5
+
+
+def test_advance_with_cancelled_front_reaches_full_duration():
+    loop = EventLoop()
+    loop.schedule(0.1, lambda: None).cancel()
+    out = []
+    loop.schedule(0.2, out.append, "live")
+    assert loop.advance(1.0) == 1
+    assert out == ["live"]
+    assert loop.now == 1.0

@@ -1,0 +1,150 @@
+"""Unit tests for the sharded call-load harness."""
+
+import pytest
+
+from repro.load import (LoadJob, TOPOLOGIES, default_jobs, run_jobs,
+                        summarize)
+from repro.load.harness import _run_job
+from repro.load.topologies import BATCH, RELAY
+
+
+# ----------------------------------------------------------------------
+# job splitting
+# ----------------------------------------------------------------------
+def test_default_jobs_split_calls_exactly():
+    jobs = default_jobs(apps=[RELAY], calls=10, shards=3)
+    assert sum(j.calls for j in jobs) == 10
+    assert [j.calls for j in jobs] == [4, 3, 3]  # remainder up front
+    assert [j.shard for j in jobs] == [0, 1, 2]
+
+
+def test_default_jobs_never_emit_empty_shards():
+    jobs = default_jobs(apps=[RELAY], calls=2, shards=5)
+    assert len(jobs) == 2
+    assert all(j.calls == 1 for j in jobs)
+
+
+def test_default_jobs_give_every_shard_its_own_seed():
+    jobs = default_jobs(apps=[RELAY, "pbx"], calls=9, shards=3, seed=5)
+    by_app = {}
+    for j in jobs:
+        by_app.setdefault(j.app, []).append(j.seed)
+    for seeds in by_app.values():
+        assert len(set(seeds)) == len(seeds)
+    # Shard seeds are a function of (seed, shard), identical across apps
+    # — the topology name is the distinguishing input.
+    assert by_app[RELAY] == by_app["pbx"]
+
+
+def test_default_jobs_reject_unknown_topology_and_bad_counts():
+    with pytest.raises(KeyError):
+        default_jobs(apps=["no-such-app"], calls=10)
+    with pytest.raises(ValueError):
+        default_jobs(calls=0)
+    with pytest.raises(ValueError):
+        default_jobs(calls=1, shards=0)
+
+
+def test_topologies_cover_relay_and_all_six_apps():
+    from repro.chaos.scenarios import SCENARIOS
+    assert set(TOPOLOGIES) == {RELAY} | set(SCENARIOS)
+
+
+# ----------------------------------------------------------------------
+# driving shards
+# ----------------------------------------------------------------------
+def test_relay_shard_drives_calls_and_collects_metrics():
+    result = _run_job(LoadJob(app=RELAY, calls=7, seed=0, shard=0))
+    assert result.error is None
+    assert result.calls_done == 7
+    assert result.executed > 0
+    assert result.signals_sent > 0
+    assert len(result.setup_sim) == 7
+    assert len(result.setup_wall) == 7
+    counters = result.metrics["counters"]
+    assert counters["calls.completed"] == 7
+    assert counters["signals.sent"] == result.signals_sent
+    hist = result.metrics["histograms"]["call.setup.wall_seconds"]
+    assert hist["count"] == 7
+    assert hist["p90"] >= hist["p50"] > 0
+
+
+def test_relay_shard_is_deterministic_modulo_wall_clock():
+    a = _run_job(LoadJob(app=RELAY, calls=5, seed=3, shard=0))
+    b = _run_job(LoadJob(app=RELAY, calls=5, seed=3, shard=0))
+    assert (a.executed, a.signals_sent, a.sim_time, a.setup_sim) == \
+        (b.executed, b.signals_sent, b.sim_time, b.setup_sim)
+
+
+def test_relay_best_window_rate_needs_a_full_window():
+    small = _run_job(LoadJob(app=RELAY, calls=BATCH - 1, seed=0, shard=0))
+    assert small.best_window_rate is None
+    full = _run_job(LoadJob(app=RELAY, calls=BATCH, seed=0, shard=0))
+    assert full.best_window_rate and full.best_window_rate > 0
+
+
+def test_scenario_shard_runs_an_app_end_to_end():
+    result = _run_job(LoadJob(app="click_to_dial", calls=2, seed=0,
+                              shard=0))
+    assert result.error is None
+    assert result.calls_done == 2
+    assert result.sim_time > 0  # scenarios advance simulated time
+    assert result.metrics["counters"]["calls.completed"] == 2
+
+
+def test_faulted_relay_shard_converges_in_robust_mode():
+    result = _run_job(LoadJob(app=RELAY, calls=10, seed=0, shard=0,
+                              plan="drop10+dup10"))
+    assert result.error is None
+    assert result.calls_done == 10
+    # Loss forces retransmission delays: simulated setup time is no
+    # longer uniformly zero.
+    assert max(result.setup_sim) > 0
+
+
+def test_shard_errors_travel_as_results_not_raises():
+    # An unknown plan name explodes inside the worker; the harness must
+    # return the verdict, not propagate.
+    result = _run_job(LoadJob(app=RELAY, calls=1, seed=0, shard=0,
+                              plan="no-such-plan"))
+    assert result.error is not None
+    assert "no-such-plan" in result.error
+    assert result.calls_done == 0
+
+
+def test_run_jobs_serial_matches_job_order():
+    jobs = default_jobs(apps=[RELAY], calls=4, shards=2)
+    results = run_jobs(jobs, processes=1)
+    assert [(r.app, r.shard) for r in results] == \
+        [(j.app, j.shard) for j in jobs]
+
+
+def test_load_result_to_json_drops_raw_observations():
+    result = _run_job(LoadJob(app=RELAY, calls=2, seed=0, shard=0))
+    payload = result.to_json()
+    assert "setup_sim" not in payload
+    assert "setup_wall" not in payload
+    assert payload["calls_done"] == 2
+
+
+# ----------------------------------------------------------------------
+# summarizing
+# ----------------------------------------------------------------------
+def test_summarize_aggregates_shards_and_merges_percentiles():
+    jobs = default_jobs(apps=[RELAY], calls=6, shards=2)
+    results = run_jobs(jobs, processes=1)
+    summary = summarize(results, wall_elapsed=2.0)
+    assert summary["ok"] is True
+    assert summary["calls_done"] == 6
+    assert summary["calls_per_sec"] == 3.0
+    assert summary["setup_sim_seconds"]["count"] == 6
+    assert summary["setup_wall_seconds"]["p95"] is not None
+    assert summary["per_app"][RELAY]["shards"] == 2
+
+
+def test_summarize_reports_shard_errors():
+    results = run_jobs([LoadJob(app=RELAY, calls=1, seed=0, shard=0,
+                                plan="no-such-plan")], processes=1)
+    summary = summarize(results, wall_elapsed=1.0)
+    assert summary["ok"] is False
+    assert summary["errors"][0]["app"] == RELAY

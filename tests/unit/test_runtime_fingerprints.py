@@ -1,0 +1,74 @@
+"""Pinned-fingerprint guard for the optimized runtime (PR 5).
+
+The load-engine PR rewrote the scheduler's hot paths (localized heap
+ops, slotted signals, dict-dispatch slot FSM, cached descriptor
+encodings, the FIFO fast path).  None of that is allowed to change
+*behavior*: the simulation must execute the same events in the same
+order, draw the same random numbers, and emit byte-identical trace
+exports.
+
+``tests/unit/data/runtime_fingerprints.json`` pins, for every bundled
+app in both faithful and faulted (``drop10+dup10`` + retransmission)
+modes, the values recorded on the pre-optimization runtime:
+
+- ``executed``     — ``net.loop.executed`` after the scenario
+- ``emitted``      — events captured by the tracer
+- ``sim_time``     — final simulation clock
+- ``trace_sha256`` — sha256 of the canonical Chrome trace export
+
+If an optimization changes any of these, it changed observable runtime
+semantics and must be rejected (or, for an *intentional* semantic
+change in a future PR, the fingerprints re-pinned with justification).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+import pytest
+
+from repro.chaos.scenarios import SCENARIOS
+from repro.network.faults import plan_by_name
+from repro.network.network import Network
+from repro.obs.export import dumps_chrome
+from repro.obs.tracer import Tracer
+from repro.protocol.slot import RetransmitPolicy
+
+_DATA = os.path.join(os.path.dirname(__file__), "data",
+                     "runtime_fingerprints.json")
+
+with open(_DATA) as _fh:
+    _PINNED = json.load(_fh)
+
+_SEED = 7
+_PLAN = _PINNED["plan"]
+
+
+def _run(app: str, mode: str):
+    tracer = Tracer()
+    if mode == "faithful":
+        net = Network(seed=_SEED, trace=tracer)
+    else:
+        net = Network(seed=_SEED, retransmit=RetransmitPolicy(),
+                      faults=plan_by_name(_PLAN), trace=tracer)
+    SCENARIOS[app](net)
+    export = dumps_chrome(tracer, meta={
+        "app": app, "seed": _SEED, "mode": mode})
+    return {
+        "executed": net.loop.executed,
+        "emitted": len(tracer.events),
+        "sim_time": net.loop.now,
+        "trace_sha256": hashlib.sha256(export.encode()).hexdigest(),
+    }
+
+
+@pytest.mark.parametrize("key", sorted(_PINNED["fingerprints"]))
+def test_runtime_fingerprint_is_unchanged(key):
+    app, mode = key.split("@")
+    expected = _PINNED["fingerprints"][key]
+    actual = _run(app, mode)
+    assert actual == expected, (
+        "optimized runtime diverged from the pinned pre-optimization "
+        "fingerprint for %s" % key)
