@@ -15,7 +15,9 @@ import os
 import time
 from typing import Any, Dict, List, NamedTuple, Optional, Sequence
 
+from ..network.backend import describe as _backend_describe
 from ..obs.metrics import MetricsRegistry
+from ..tools.bench import exact_percentiles
 from .topologies import RELAY, TOPOLOGIES
 
 __all__ = ["LoadJob", "LoadResult", "default_jobs", "run_jobs",
@@ -144,22 +146,17 @@ def run_jobs(jobs: Sequence[LoadJob],
         return [_run_job(job) for job in jobs]
 
 
-def _percentile(values: List[float], p: float) -> Optional[float]:
-    if not values:
-        return None
-    ordered = sorted(values)
-    rank = max(1, int(-(-p * len(ordered) // 100)))  # ceil
-    return ordered[min(rank, len(ordered)) - 1]
-
-
 def _merged_percentiles(results: Sequence[LoadResult],
                         attr: str) -> Dict[str, Optional[float]]:
     """Exact whole-run percentiles: shards carry their raw per-call
-    observations, so the merge is a plain concatenation."""
+    observations, so the merge is a plain concatenation.  Tail
+    percentiles (p99/p999) are exact nearest-rank values over the raw
+    merge — at 20k calls the p999 is the 20 worst calls, which a
+    bucketed histogram would smear."""
     values = [v for r in results for v in getattr(r, attr)]
-    return {"count": len(values),
-            "p50": _percentile(values, 50),
-            "p95": _percentile(values, 95)}
+    out: Dict[str, Optional[float]] = {"count": len(values)}
+    out.update(exact_percentiles(values, (50, 95, 99, 99.9)))
+    return out
 
 
 def summarize(results: Sequence[LoadResult],
@@ -205,5 +202,6 @@ def summarize(results: Sequence[LoadResult],
         "setup_wall_seconds": _merged_percentiles(results, "setup_wall"),
         "per_app": per_app,
         "errors": errors,
+        "backend": _backend_describe(),
         "ok": not errors,
     }

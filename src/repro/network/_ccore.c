@@ -1,0 +1,2242 @@
+/* _ccore: the compiled backend for the simulator's dispatch-critical
+ * kernels (see repro/network/backend.py).
+ *
+ * Selected at import time via REPRO_BACKEND=compiled|auto.  Everything
+ * here is a hand-written C twin of a pure-Python kernel; the Python
+ * implementations remain the reference and the runtime fingerprint
+ * suite pins that both produce bit-identical executions.
+ *
+ * Exposed objects:
+ *
+ *   Event          C twin of repro.network.eventloop.Event: same
+ *                  constructor, attributes, cancel() semantics
+ *                  (including the heap-compaction trigger), and a
+ *                  C-level __lt__ compatible with the Python one.
+ *   drain          C twin of EventLoop._drain_py: the untimed merged
+ *                  two-lane batched drain (deferred counter flush,
+ *                  clock stored once per same-timestamp batch).
+ *   LinkTransmit   C twin of Link._base_transmit (installed as the
+ *                  chain bottom), including the per-link Event
+ *                  freelist and ready-lane routing.
+ *   Deliver        C twin of LinkEnd._deliver, used as the delivery
+ *                  event callback so drain can dispatch it without a
+ *                  Python frame.
+ *   Receive        C twin of ChannelEnd._receive (inbox append + node
+ *                  arm with stimulus-event reuse).
+ *   Finish         C twin of Node._finish_one (pop, dispatch, re-arm).
+ *   Process        C twin of the untraced TunnelMessage fast path of
+ *                  ChannelEnd._process (falls back to the Python
+ *                  method for traced runs, meta messages, and every
+ *                  other cold path).
+ *
+ * Correctness invariants shared with the Python side:
+ *   - events execute in strict (time, priority, seq) order; the ready
+ *     lane holds only priority-0 events at the current instant, so the
+ *     two-lane merge reproduces the single-heap order exactly;
+ *   - a fired event has _loop == NULL and cancelled == 0 and may be
+ *     re-armed only with a freshly drawn seq;
+ *   - cancelled events are never recycled (they may still be lane
+ *     tombstones);
+ *   - loop._pending/_free/_heap/_ready lists are mutated strictly in
+ *     place, never rebound, so cached references stay valid.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <structmember.h>
+
+#define CCORE_ABI_VERSION 1
+
+/* Caps mirrored from the Python side (transport._FREELIST_MAX and
+ * channel._ENV_POOL_MAX). */
+#define FREELIST_MAX 32
+#define ENV_POOL_MAX 64
+
+/* ------------------------------------------------------------------ */
+/* interned attribute names                                            */
+/* ------------------------------------------------------------------ */
+static struct {
+    PyObject *_heap, *_ready, *_now, *_live, *executed, *_seq, *trace;
+    PyObject *_env_pool, *rng, *_compact;
+    PyObject *popleft, *append, *sample;
+    PyObject *down, *sent, *latency, *fixed_delay, *_pending, *_compact_at;
+    PyObject *_free, *_horizon, *_receiver, *_peer, *_cdeliver, *ends, *loop;
+    PyObject *offline, *dropped_while_offline, *_inbox, *_busy;
+    PyObject *_stim_event, *handled, *cost, *_finish_cb, *_link, *_node;
+    PyObject *_loop, *_process, *_process_fn, *alive, *slots, *owner;
+    PyObject *on_tunnel_signal, *signal, *tunnel_id, *pooled;
+    PyObject *state, *_retx_kind, *signals_received, *signals_sent;
+    PyObject *_cancel_retx, *_wire, *_chain, *_end, *_transmit, *_hooks;
+    PyObject *qualname;
+} S;
+
+static PyObject *g_empty_tuple;
+/* lazily imported protocol objects (avoid import cycles at init) */
+static PyObject *g_tunnelmsg_type;   /* repro.protocol.signals.TunnelMessage */
+static PyObject *g_slot_type;        /* repro.protocol.slot.Slot */
+static PyObject *g_slot_receive;     /* unbound Slot.receive */
+static PyObject *g_dispatch;         /* repro.protocol.slot._DISPATCH */
+static PyObject *g_state_opening;    /* slot.OPENING */
+static PyObject *g_state_closed;     /* slot.CLOSED */
+static PyObject *g_kind_open;        /* "open" */
+static PyObject *g_kind_close;       /* "close" */
+
+static int
+ensure_protocol(void)
+{
+    PyObject *mod;
+    if (g_tunnelmsg_type != NULL)
+        return 0;
+    mod = PyImport_ImportModule("repro.protocol.signals");
+    if (mod == NULL)
+        return -1;
+    g_tunnelmsg_type = PyObject_GetAttrString(mod, "TunnelMessage");
+    Py_DECREF(mod);
+    if (g_tunnelmsg_type == NULL)
+        return -1;
+    mod = PyImport_ImportModule("repro.protocol.slot");
+    if (mod == NULL)
+        return -1;
+    g_slot_type = PyObject_GetAttrString(mod, "Slot");
+    Py_DECREF(mod);
+    if (g_slot_type == NULL)
+        return -1;
+    g_slot_receive = PyObject_GetAttrString(g_slot_type, "receive");
+    if (g_slot_receive == NULL)
+        return -1;
+    mod = PyImport_ImportModule("repro.protocol.slot");
+    if (mod == NULL)
+        return -1;
+    g_dispatch = PyObject_GetAttrString(mod, "_DISPATCH");
+    if (g_dispatch == NULL || !PyDict_Check(g_dispatch)) {
+        Py_DECREF(mod);
+        if (g_dispatch != NULL)
+            PyErr_SetString(PyExc_TypeError, "slot._DISPATCH must be a dict");
+        return -1;
+    }
+    g_state_opening = PyObject_GetAttrString(mod, "OPENING");
+    g_state_closed = PyObject_GetAttrString(mod, "CLOSED");
+    Py_DECREF(mod);
+    if (g_state_opening == NULL || g_state_closed == NULL)
+        return -1;
+    g_kind_open = PyUnicode_InternFromString("open");
+    g_kind_close = PyUnicode_InternFromString("close");
+    if (g_kind_open == NULL || g_kind_close == NULL)
+        return -1;
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* small attribute helpers                                             */
+/* ------------------------------------------------------------------ */
+
+/* obj.<name> as C double (accepts int or float); -1.0 + PyErr on error */
+static int
+get_attr_double(PyObject *obj, PyObject *name, double *out)
+{
+    PyObject *v = PyObject_GetAttr(obj, name);
+    if (v == NULL)
+        return -1;
+    *out = PyFloat_AsDouble(v);
+    Py_DECREF(v);
+    if (*out == -1.0 && PyErr_Occurred())
+        return -1;
+    return 0;
+}
+
+static int
+set_attr_double(PyObject *obj, PyObject *name, double value)
+{
+    PyObject *v = PyFloat_FromDouble(value);
+    int st;
+    if (v == NULL)
+        return -1;
+    st = PyObject_SetAttr(obj, name, v);
+    Py_DECREF(v);
+    return st;
+}
+
+static int
+get_attr_bool(PyObject *obj, PyObject *name)
+{
+    PyObject *v = PyObject_GetAttr(obj, name);
+    int st;
+    if (v == NULL)
+        return -1;
+    st = PyObject_IsTrue(v);
+    Py_DECREF(v);
+    return st;
+}
+
+static int
+get_attr_ll(PyObject *obj, PyObject *name, long long *out)
+{
+    PyObject *v = PyObject_GetAttr(obj, name);
+    if (v == NULL)
+        return -1;
+    *out = PyLong_AsLongLong(v);
+    Py_DECREF(v);
+    if (*out == -1 && PyErr_Occurred())
+        return -1;
+    return 0;
+}
+
+/* obj.<name> += delta; optionally reports the new value */
+static int
+attr_add_ll(PyObject *obj, PyObject *name, long long delta, long long *out)
+{
+    long long cur;
+    PyObject *nv;
+    int st;
+    if (get_attr_ll(obj, name, &cur) < 0)
+        return -1;
+    cur += delta;
+    nv = PyLong_FromLongLong(cur);
+    if (nv == NULL)
+        return -1;
+    st = PyObject_SetAttr(obj, name, nv);
+    Py_DECREF(nv);
+    if (out != NULL)
+        *out = cur;
+    return st;
+}
+
+/* next(seq_iter) as long long (itertools.count: C-level iteration) */
+static long long
+next_seq(PyObject *seq_iter)
+{
+    PyObject *v = PyIter_Next(seq_iter);
+    long long r;
+    if (v == NULL) {
+        if (!PyErr_Occurred())
+            PyErr_SetString(PyExc_RuntimeError, "sequence counter exhausted");
+        return -1;
+    }
+    r = PyLong_AsLongLong(v);
+    Py_DECREF(v);
+    if (r == -1 && PyErr_Occurred())
+        return -1;
+    return r;
+}
+
+/* ------------------------------------------------------------------ */
+/* Event                                                               */
+/* ------------------------------------------------------------------ */
+typedef struct {
+    PyObject_HEAD
+    double time;
+    int priority;
+    long long seq;
+    PyObject *callback;
+    PyObject *args;        /* always a tuple */
+    PyObject *loop;        /* NULL when detached (fired or never armed) */
+    char cancelled;
+} CEvent;
+
+static PyTypeObject CEventType;
+
+#define CEvent_CheckExact(op) (Py_TYPE(op) == &CEventType)
+
+/* strict (time, priority, seq) order between two known CEvents */
+static inline int
+cev_lt(CEvent *a, CEvent *b)
+{
+    if (a->time != b->time)
+        return a->time < b->time;
+    if (a->priority != b->priority)
+        return a->priority < b->priority;
+    return a->seq < b->seq;
+}
+
+/* a < b for arbitrary heap entries; -1 + PyErr on comparison error */
+static inline int
+ev_lt(PyObject *a, PyObject *b)
+{
+    if (CEvent_CheckExact(a) && CEvent_CheckExact(b))
+        return cev_lt((CEvent *)a, (CEvent *)b);
+    return PyObject_RichCompareBool(a, b, Py_LT);
+}
+
+static PyObject *
+cevent_new(PyTypeObject *type, PyObject *args, PyObject *kwds)
+{
+    CEvent *self = (CEvent *)type->tp_alloc(type, 0);
+    if (self == NULL)
+        return NULL;
+    self->time = 0.0;
+    self->priority = 0;
+    self->seq = 0;
+    self->callback = NULL;
+    self->args = NULL;
+    self->loop = NULL;
+    self->cancelled = 0;
+    return (PyObject *)self;
+}
+
+static int
+cevent_init(CEvent *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"time", "priority", "seq", "callback", "args",
+                             "loop", NULL};
+    double time;
+    int priority;
+    long long seq;
+    PyObject *callback, *cargs, *loop = Py_None;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "diLOO|O", kwlist,
+                                     &time, &priority, &seq, &callback,
+                                     &cargs, &loop))
+        return -1;
+    if (!PyTuple_Check(cargs)) {
+        PyErr_SetString(PyExc_TypeError, "Event args must be a tuple");
+        return -1;
+    }
+    self->time = time;
+    self->priority = priority;
+    self->seq = seq;
+    Py_INCREF(callback);
+    Py_XSETREF(self->callback, callback);
+    Py_INCREF(cargs);
+    Py_XSETREF(self->args, cargs);
+    if (loop == Py_None) {
+        Py_CLEAR(self->loop);
+    }
+    else {
+        Py_INCREF(loop);
+        Py_XSETREF(self->loop, loop);
+    }
+    self->cancelled = 0;
+    return 0;
+}
+
+/* fast internal constructor (no arg parsing) */
+static CEvent *
+cevent_make(double time, int priority, long long seq, PyObject *callback,
+            PyObject *cargs, PyObject *loop)
+{
+    CEvent *ev = (CEvent *)CEventType.tp_alloc(&CEventType, 0);
+    if (ev == NULL)
+        return NULL;
+    ev->time = time;
+    ev->priority = priority;
+    ev->seq = seq;
+    Py_INCREF(callback);
+    ev->callback = callback;
+    Py_INCREF(cargs);
+    ev->args = cargs;
+    if (loop != NULL && loop != Py_None) {
+        Py_INCREF(loop);
+        ev->loop = loop;
+    }
+    else {
+        ev->loop = NULL;
+    }
+    ev->cancelled = 0;
+    return ev;
+}
+
+static int
+cevent_traverse(CEvent *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->callback);
+    Py_VISIT(self->args);
+    Py_VISIT(self->loop);
+    return 0;
+}
+
+static int
+cevent_clear(CEvent *self)
+{
+    Py_CLEAR(self->callback);
+    Py_CLEAR(self->args);
+    Py_CLEAR(self->loop);
+    return 0;
+}
+
+static void
+cevent_dealloc(CEvent *self)
+{
+    PyObject_GC_UnTrack(self);
+    cevent_clear(self);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+/* Event.cancel(): mirror of the Python implementation, including the
+ * threshold-triggered heap compaction. */
+static PyObject *
+cevent_cancel(CEvent *self, PyObject *Py_UNUSED(ignored))
+{
+    PyObject *loop, *heap;
+    long long live;
+    if (self->cancelled)
+        Py_RETURN_NONE;
+    self->cancelled = 1;
+    loop = self->loop;
+    if (loop == NULL)
+        Py_RETURN_NONE;
+    self->loop = NULL;           /* we now own the reference */
+    if (attr_add_ll(loop, S._live, -1, &live) < 0) {
+        Py_DECREF(loop);
+        return NULL;
+    }
+    heap = PyObject_GetAttr(loop, S._heap);
+    if (heap == NULL) {
+        Py_DECREF(loop);
+        return NULL;
+    }
+    if (PyList_Check(heap)) {
+        Py_ssize_t n = PyList_GET_SIZE(heap);
+        if (n > 64 && live < (long long)(n >> 1)) {
+            PyObject *res = PyObject_CallMethodNoArgs(loop, S._compact);
+            if (res == NULL) {
+                Py_DECREF(heap);
+                Py_DECREF(loop);
+                return NULL;
+            }
+            Py_DECREF(res);
+        }
+    }
+    Py_DECREF(heap);
+    Py_DECREF(loop);
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+cevent_richcompare(PyObject *a, PyObject *b, int op)
+{
+    int lt;
+    if (!CEvent_CheckExact(a) || !CEvent_CheckExact(b) ||
+        (op != Py_LT && op != Py_GT && op != Py_LE && op != Py_GE))
+        Py_RETURN_NOTIMPLEMENTED;
+    switch (op) {
+    case Py_LT:
+        lt = cev_lt((CEvent *)a, (CEvent *)b);
+        break;
+    case Py_GT:
+        lt = cev_lt((CEvent *)b, (CEvent *)a);
+        break;
+    case Py_LE:
+        lt = !cev_lt((CEvent *)b, (CEvent *)a);
+        break;
+    default:                     /* Py_GE */
+        lt = !cev_lt((CEvent *)a, (CEvent *)b);
+        break;
+    }
+    if (lt)
+        Py_RETURN_TRUE;
+    Py_RETURN_FALSE;
+}
+
+static PyObject *
+cevent_repr(CEvent *self)
+{
+    char tbuf[64];
+    PyObject *name = NULL, *out;
+    PyOS_snprintf(tbuf, sizeof(tbuf), "%g", self->time);
+    if (self->callback != NULL) {
+        name = PyObject_GetAttr(self->callback, S.qualname);
+        if (name == NULL) {
+            PyErr_Clear();
+            name = PyObject_Str(self->callback);
+            if (name == NULL)
+                return NULL;
+        }
+    }
+    else {
+        name = PyUnicode_FromString("?");
+        if (name == NULL)
+            return NULL;
+    }
+    out = PyUnicode_FromFormat("<Event t=%s p=%d #%lld %U%s>",
+                               tbuf, self->priority, self->seq, name,
+                               self->cancelled ? " cancelled" : "");
+    Py_DECREF(name);
+    return out;
+}
+
+static PyObject *
+cevent_get_loop(CEvent *self, void *closure)
+{
+    PyObject *loop = self->loop ? self->loop : Py_None;
+    Py_INCREF(loop);
+    return loop;
+}
+
+static int
+cevent_set_loop(CEvent *self, PyObject *value, void *closure)
+{
+    if (value == NULL || value == Py_None) {
+        Py_CLEAR(self->loop);
+        return 0;
+    }
+    Py_INCREF(value);
+    Py_XSETREF(self->loop, value);
+    return 0;
+}
+
+static PyMemberDef cevent_members[] = {
+    {"time", T_DOUBLE, offsetof(CEvent, time), 0, "fire time"},
+    {"priority", T_INT, offsetof(CEvent, priority), 0, "tie-break priority"},
+    {"seq", T_LONGLONG, offsetof(CEvent, seq), 0, "monotonic tie-breaker"},
+    {"callback", T_OBJECT_EX, offsetof(CEvent, callback), 0, "callback"},
+    {"args", T_OBJECT_EX, offsetof(CEvent, args), 0, "callback args"},
+    {"cancelled", T_BOOL, offsetof(CEvent, cancelled), 0, "tombstone flag"},
+    {NULL}
+};
+
+static PyGetSetDef cevent_getset[] = {
+    {"_loop", (getter)cevent_get_loop, (setter)cevent_set_loop,
+     "owning loop while scheduled, None once fired/cancelled", NULL},
+    {NULL}
+};
+
+static PyMethodDef cevent_methods[] = {
+    {"cancel", (PyCFunction)cevent_cancel, METH_NOARGS,
+     "Prevent the event from firing.  Idempotent."},
+    {NULL}
+};
+
+static PyTypeObject CEventType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.network._ccore.Event",
+    .tp_basicsize = sizeof(CEvent),
+    .tp_dealloc = (destructor)cevent_dealloc,
+    .tp_repr = (reprfunc)cevent_repr,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "A scheduled callback (compiled backend).",
+    .tp_traverse = (traverseproc)cevent_traverse,
+    .tp_clear = (inquiry)cevent_clear,
+    .tp_richcompare = cevent_richcompare,
+    .tp_methods = cevent_methods,
+    .tp_members = cevent_members,
+    .tp_getset = cevent_getset,
+    .tp_init = (initproc)cevent_init,
+    .tp_new = cevent_new,
+};
+
+/* ------------------------------------------------------------------ */
+/* binary-heap primitives over a PyList of events                      */
+/* ------------------------------------------------------------------ */
+
+/* push ev (borrowed; the list takes its own reference) */
+static int
+heap_push(PyObject *heap, PyObject *ev)
+{
+    Py_ssize_t pos, parent;
+    if (PyList_Append(heap, ev) < 0)
+        return -1;
+    pos = PyList_GET_SIZE(heap) - 1;
+    while (pos > 0) {
+        PyObject *p;
+        int lt;
+        parent = (pos - 1) >> 1;
+        p = PyList_GET_ITEM(heap, parent);
+        lt = ev_lt(ev, p);
+        if (lt < 0)
+            return -1;
+        if (!lt)
+            break;
+        /* swap: both objects stay referenced by the list */
+        PyList_SET_ITEM(heap, pos, p);
+        PyList_SET_ITEM(heap, parent, ev);
+        pos = parent;
+    }
+    return 0;
+}
+
+/* pop the minimum; returns a new reference (NULL + PyErr on error) */
+static PyObject *
+heap_pop(PyObject *heap)
+{
+    Py_ssize_t n = PyList_GET_SIZE(heap);
+    PyObject *last, *ret;
+    Py_ssize_t pos;
+    if (n == 0) {
+        PyErr_SetString(PyExc_IndexError, "pop from empty heap");
+        return NULL;
+    }
+    last = PyList_GET_ITEM(heap, n - 1);
+    Py_INCREF(last);
+    if (PyList_SetSlice(heap, n - 1, n, NULL) < 0) {
+        Py_DECREF(last);
+        return NULL;
+    }
+    n -= 1;
+    if (n == 0)
+        return last;
+    ret = PyList_GET_ITEM(heap, 0);
+    /* Overwrite the root with `last`: our reference to `last` moves
+     * into the list, and the list's former reference to the old root
+     * transfers to `ret` (PyList_SET_ITEM does not decref). */
+    PyList_SET_ITEM(heap, 0, last);
+    /* sift the new root down */
+    pos = 0;
+    for (;;) {
+        Py_ssize_t child = 2 * pos + 1, right = child + 1;
+        PyObject *c, *r;
+        int lt;
+        if (child >= n)
+            break;
+        c = PyList_GET_ITEM(heap, child);
+        if (right < n) {
+            r = PyList_GET_ITEM(heap, right);
+            lt = ev_lt(c, r);
+            if (lt < 0)
+                goto fail;
+            if (!lt) {
+                child = right;
+                c = r;
+            }
+        }
+        lt = ev_lt(c, last);
+        if (lt < 0)
+            goto fail;
+        if (!lt)
+            break;
+        PyList_SET_ITEM(heap, pos, c);
+        PyList_SET_ITEM(heap, child, last);
+        pos = child;
+    }
+    return ret;
+fail:
+    Py_DECREF(ret);
+    return NULL;
+}
+
+/* ------------------------------------------------------------------ */
+/* kernel callables: forward declarations                              */
+/* ------------------------------------------------------------------ */
+static PyTypeObject DeliverType, ReceiveType, FinishType, ProcessType,
+    LinkTransmitType;
+
+typedef struct {
+    PyObject_HEAD
+    PyObject *end;               /* LinkEnd */
+    PyObject *link;              /* Link (== end._link, cached) */
+} DeliverObj;
+
+typedef struct {
+    PyObject_HEAD
+    PyObject *chend;             /* ChannelEnd */
+    PyObject *node;              /* owner node */
+    PyObject *loop;              /* event loop */
+    PyObject *heap;              /* loop._heap */
+    PyObject *ready;             /* loop._ready */
+    PyObject *inbox;             /* node._inbox */
+    PyObject *seq_iter;          /* loop._seq */
+    PyObject *process_fn;        /* chend._process_fn */
+    PyObject *finish_cb;         /* node._finish_cb */
+} ReceiveObj;
+
+typedef struct {
+    PyObject_HEAD
+    PyObject *node;
+    PyObject *loop;
+    PyObject *heap;
+    PyObject *ready;
+    PyObject *inbox;
+    PyObject *seq_iter;
+} FinishObj;
+
+typedef struct {
+    PyObject_HEAD
+    PyObject *chend;             /* ChannelEnd */
+    PyObject *loop;
+    PyObject *owner;             /* chend.owner */
+    PyObject *slots;             /* chend.slots (dict) */
+    PyObject *py_process;        /* bound ChannelEnd._process */
+    PyObject *env_pool;          /* loop._env_pool (list) */
+} ProcessObj;
+
+typedef struct {
+    PyObject_HEAD
+    PyObject *link;
+    PyObject *loop;
+    PyObject *heap;
+    PyObject *ready;
+    PyObject *seq_iter;
+    PyObject *rng;
+    PyObject *end0, *end1;
+    PyObject *deliver0, *deliver1;  /* the ends' Deliver callables */
+    PyObject *pending;           /* link._pending (list, mutated in place) */
+    PyObject *freelist;          /* link._free (list) */
+} TransmitObj;
+
+static int deliver_impl(DeliverObj *d, PyObject *msg);
+static int receive_impl(ReceiveObj *rc, PyObject *msg);
+static int finish_impl(FinishObj *f);
+static int process_impl(ProcessObj *p, PyObject *msg);
+static int transmit_impl(TransmitObj *t, PyObject *origin, PyObject *msg);
+
+/* ------------------------------------------------------------------ */
+/* node arming (shared by Receive and Finish)                          */
+/* ------------------------------------------------------------------ */
+
+/* Schedule node._finish_cb to run `cost` seconds from now, re-arming
+ * the node's singleton stimulus event when it has fired (the _busy
+ * flag guarantees at most one is in flight).  Mirrors Node._arm. */
+static int
+arm_node(PyObject *node, PyObject *loop, PyObject *heap, PyObject *ready,
+         PyObject *seq_iter, PyObject *finish_cb)
+{
+    double now, when, cost;
+    long long seq;
+    PyObject *ev_obj;
+    CEvent *ev = NULL;
+    int st;
+
+    if (get_attr_double(loop, S._now, &now) < 0)
+        return -1;
+    /* cost is read per arm, not cached: tests and scenarios may retune
+     * a node's processing cost after construction */
+    if (get_attr_double(node, S.cost, &cost) < 0)
+        return -1;
+    when = now + cost;
+    seq = next_seq(seq_iter);
+    if (seq < 0 && PyErr_Occurred())
+        return -1;
+    ev_obj = PyObject_GetAttr(node, S._stim_event);
+    if (ev_obj == NULL)
+        return -1;
+    if (CEvent_CheckExact(ev_obj)) {
+        CEvent *c = (CEvent *)ev_obj;
+        if (c->loop == NULL && !c->cancelled)
+            ev = c;
+    }
+    if (ev != NULL) {
+        ev->time = when;
+        ev->seq = seq;
+        Py_INCREF(loop);
+        ev->loop = loop;
+    }
+    else {
+        Py_DECREF(ev_obj);
+        ev = cevent_make(when, 0, seq, finish_cb, g_empty_tuple, loop);
+        if (ev == NULL)
+            return -1;
+        ev_obj = (PyObject *)ev;
+        if (PyObject_SetAttr(node, S._stim_event, ev_obj) < 0) {
+            Py_DECREF(ev_obj);
+            return -1;
+        }
+    }
+    if (when == now) {
+        PyObject *res = PyObject_CallMethodObjArgs(ready, S.append,
+                                                   ev_obj, NULL);
+        st = (res == NULL) ? -1 : 0;
+        Py_XDECREF(res);
+    }
+    else {
+        st = heap_push(heap, ev_obj);
+    }
+    Py_DECREF(ev_obj);
+    if (st < 0)
+        return -1;
+    return attr_add_ll(loop, S._live, 1, NULL);
+}
+
+/* ------------------------------------------------------------------ */
+/* Deliver                                                             */
+/* ------------------------------------------------------------------ */
+static int
+deliver_impl(DeliverObj *d, PyObject *msg)
+{
+    PyObject *recv;
+    int down = get_attr_bool(d->link, S.down);
+    int st;
+    if (down < 0)
+        return -1;
+    if (down)
+        return 0;
+    recv = PyObject_GetAttr(d->end, S._receiver);
+    if (recv == NULL)
+        return -1;
+    if (recv == Py_None) {
+        Py_DECREF(recv);
+        PyErr_Format(PyExc_RuntimeError,
+                     "message delivered to a link end with no receiver: %R",
+                     msg);
+        return -1;
+    }
+    if (Py_TYPE(recv) == &ReceiveType) {
+        st = receive_impl((ReceiveObj *)recv, msg);
+    }
+    else {
+        PyObject *res = PyObject_CallOneArg(recv, msg);
+        st = (res == NULL) ? -1 : 0;
+        Py_XDECREF(res);
+    }
+    Py_DECREF(recv);
+    return st;
+}
+
+static int
+deliver_init(DeliverObj *self, PyObject *args, PyObject *kwds)
+{
+    PyObject *end;
+    if (!PyArg_ParseTuple(args, "O", &end))
+        return -1;
+    Py_INCREF(end);
+    Py_XSETREF(self->end, end);
+    Py_XSETREF(self->link, PyObject_GetAttr(end, S._link));
+    if (self->link == NULL)
+        return -1;
+    return 0;
+}
+
+static PyObject *
+deliver_call(DeliverObj *self, PyObject *args, PyObject *kwds)
+{
+    PyObject *msg;
+    if (!PyArg_ParseTuple(args, "O", &msg))
+        return NULL;
+    if (deliver_impl(self, msg) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static int
+deliver_traverse(DeliverObj *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->end);
+    Py_VISIT(self->link);
+    return 0;
+}
+
+static int
+deliver_clear(DeliverObj *self)
+{
+    Py_CLEAR(self->end);
+    Py_CLEAR(self->link);
+    return 0;
+}
+
+static void
+deliver_dealloc(DeliverObj *self)
+{
+    PyObject_GC_UnTrack(self);
+    deliver_clear(self);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static PyTypeObject DeliverType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.network._ccore.Deliver",
+    .tp_basicsize = sizeof(DeliverObj),
+    .tp_dealloc = (destructor)deliver_dealloc,
+    .tp_call = (ternaryfunc)deliver_call,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "Compiled LinkEnd._deliver twin (delivery event callback).",
+    .tp_traverse = (traverseproc)deliver_traverse,
+    .tp_clear = (inquiry)deliver_clear,
+    .tp_init = (initproc)deliver_init,
+    .tp_new = PyType_GenericNew,
+};
+
+/* ------------------------------------------------------------------ */
+/* Receive                                                             */
+/* ------------------------------------------------------------------ */
+static int
+receive_impl(ReceiveObj *rc, PyObject *msg)
+{
+    PyObject *margs, *thunk, *res;
+    int flag;
+
+    flag = get_attr_bool(rc->node, S.offline);
+    if (flag < 0)
+        return -1;
+    if (flag)
+        return attr_add_ll(rc->node, S.dropped_while_offline, 1, NULL);
+    margs = PyTuple_Pack(1, msg);
+    if (margs == NULL)
+        return -1;
+    thunk = PyTuple_Pack(2, rc->process_fn, margs);
+    Py_DECREF(margs);
+    if (thunk == NULL)
+        return -1;
+    res = PyObject_CallMethodObjArgs(rc->inbox, S.append, thunk, NULL);
+    Py_DECREF(thunk);
+    if (res == NULL)
+        return -1;
+    Py_DECREF(res);
+    flag = get_attr_bool(rc->node, S._busy);
+    if (flag < 0)
+        return -1;
+    if (!flag) {
+        if (PyObject_SetAttr(rc->node, S._busy, Py_True) < 0)
+            return -1;
+        return arm_node(rc->node, rc->loop, rc->heap, rc->ready,
+                        rc->seq_iter, rc->finish_cb);
+    }
+    return 0;
+}
+
+static int
+receive_init(ReceiveObj *self, PyObject *args, PyObject *kwds)
+{
+    PyObject *chend;
+    if (!PyArg_ParseTuple(args, "O", &chend))
+        return -1;
+    Py_INCREF(chend);
+    Py_XSETREF(self->chend, chend);
+    Py_XSETREF(self->node, PyObject_GetAttr(chend, S._node));
+    if (self->node == NULL)
+        return -1;
+    Py_XSETREF(self->loop, PyObject_GetAttr(chend, S._loop));
+    if (self->loop == NULL)
+        return -1;
+    Py_XSETREF(self->heap, PyObject_GetAttr(self->loop, S._heap));
+    if (self->heap == NULL)
+        return -1;
+    Py_XSETREF(self->ready, PyObject_GetAttr(self->loop, S._ready));
+    if (self->ready == NULL)
+        return -1;
+    Py_XSETREF(self->inbox, PyObject_GetAttr(self->node, S._inbox));
+    if (self->inbox == NULL)
+        return -1;
+    Py_XSETREF(self->seq_iter, PyObject_GetAttr(self->loop, S._seq));
+    if (self->seq_iter == NULL)
+        return -1;
+    Py_XSETREF(self->process_fn, PyObject_GetAttr(chend, S._process_fn));
+    if (self->process_fn == NULL)
+        return -1;
+    Py_XSETREF(self->finish_cb, PyObject_GetAttr(self->node, S._finish_cb));
+    if (self->finish_cb == NULL)
+        return -1;
+    return 0;
+}
+
+static PyObject *
+receive_call(ReceiveObj *self, PyObject *args, PyObject *kwds)
+{
+    PyObject *msg;
+    if (!PyArg_ParseTuple(args, "O", &msg))
+        return NULL;
+    if (receive_impl(self, msg) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static int
+receive_traverse(ReceiveObj *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->chend);
+    Py_VISIT(self->node);
+    Py_VISIT(self->loop);
+    Py_VISIT(self->heap);
+    Py_VISIT(self->ready);
+    Py_VISIT(self->inbox);
+    Py_VISIT(self->seq_iter);
+    Py_VISIT(self->process_fn);
+    Py_VISIT(self->finish_cb);
+    return 0;
+}
+
+static int
+receive_clear(ReceiveObj *self)
+{
+    Py_CLEAR(self->chend);
+    Py_CLEAR(self->node);
+    Py_CLEAR(self->loop);
+    Py_CLEAR(self->heap);
+    Py_CLEAR(self->ready);
+    Py_CLEAR(self->inbox);
+    Py_CLEAR(self->seq_iter);
+    Py_CLEAR(self->process_fn);
+    Py_CLEAR(self->finish_cb);
+    return 0;
+}
+
+static void
+receive_dealloc(ReceiveObj *self)
+{
+    PyObject_GC_UnTrack(self);
+    receive_clear(self);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static PyTypeObject ReceiveType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.network._ccore.Receive",
+    .tp_basicsize = sizeof(ReceiveObj),
+    .tp_dealloc = (destructor)receive_dealloc,
+    .tp_call = (ternaryfunc)receive_call,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "Compiled ChannelEnd._receive twin (wire receiver).",
+    .tp_traverse = (traverseproc)receive_traverse,
+    .tp_clear = (inquiry)receive_clear,
+    .tp_init = (initproc)receive_init,
+    .tp_new = PyType_GenericNew,
+};
+
+/* ------------------------------------------------------------------ */
+/* Finish                                                              */
+/* ------------------------------------------------------------------ */
+static int
+finish_impl(FinishObj *f)
+{
+    PyObject *thunk, *handler, *hargs;
+    Py_ssize_t remaining;
+    int st = 0;
+
+    thunk = PyObject_CallMethodNoArgs(f->inbox, S.popleft);
+    if (thunk == NULL)
+        return -1;
+    if (!PyTuple_Check(thunk) || PyTuple_GET_SIZE(thunk) != 2) {
+        PyErr_SetString(PyExc_TypeError,
+                        "node inbox entries must be (handler, args) tuples");
+        Py_DECREF(thunk);
+        return -1;
+    }
+    if (attr_add_ll(f->node, S.handled, 1, NULL) < 0) {
+        Py_DECREF(thunk);
+        return -1;
+    }
+    handler = PyTuple_GET_ITEM(thunk, 0);
+    hargs = PyTuple_GET_ITEM(thunk, 1);
+    if (Py_TYPE(handler) == &ProcessType && PyTuple_Check(hargs) &&
+        PyTuple_GET_SIZE(hargs) == 1) {
+        st = process_impl((ProcessObj *)handler,
+                          PyTuple_GET_ITEM(hargs, 0));
+    }
+    else {
+        PyObject *res = PyObject_CallObject(handler, hargs);
+        st = (res == NULL) ? -1 : 0;
+        Py_XDECREF(res);
+    }
+    /* finally: re-arm or go idle, preserving any in-flight exception */
+    {
+        PyObject *etype = NULL, *eval = NULL, *etb = NULL;
+        if (st < 0)
+            PyErr_Fetch(&etype, &eval, &etb);
+        remaining = PyObject_Length(f->inbox);
+        if (remaining < 0) {
+            PyErr_Clear();
+            remaining = 0;
+        }
+        if (remaining > 0) {
+            if (arm_node(f->node, f->loop, f->heap, f->ready, f->seq_iter,
+                         (PyObject *)f) < 0) {
+                if (st < 0) {
+                    /* keep the original exception */
+                    PyErr_Clear();
+                }
+                else {
+                    st = -1;
+                    PyErr_Fetch(&etype, &eval, &etb);
+                }
+            }
+        }
+        else {
+            if (PyObject_SetAttr(f->node, S._busy, Py_False) < 0) {
+                if (st < 0)
+                    PyErr_Clear();
+                else {
+                    st = -1;
+                    PyErr_Fetch(&etype, &eval, &etb);
+                }
+            }
+        }
+        if (st < 0)
+            PyErr_Restore(etype, eval, etb);
+    }
+    Py_DECREF(thunk);
+    return st;
+}
+
+static int
+finish_init(FinishObj *self, PyObject *args, PyObject *kwds)
+{
+    PyObject *node;
+    if (!PyArg_ParseTuple(args, "O", &node))
+        return -1;
+    Py_INCREF(node);
+    Py_XSETREF(self->node, node);
+    Py_XSETREF(self->loop, PyObject_GetAttr(node, S.loop));
+    if (self->loop == NULL)
+        return -1;
+    Py_XSETREF(self->heap, PyObject_GetAttr(self->loop, S._heap));
+    if (self->heap == NULL)
+        return -1;
+    Py_XSETREF(self->ready, PyObject_GetAttr(self->loop, S._ready));
+    if (self->ready == NULL)
+        return -1;
+    Py_XSETREF(self->inbox, PyObject_GetAttr(node, S._inbox));
+    if (self->inbox == NULL)
+        return -1;
+    Py_XSETREF(self->seq_iter, PyObject_GetAttr(self->loop, S._seq));
+    if (self->seq_iter == NULL)
+        return -1;
+    return 0;
+}
+
+static PyObject *
+finish_call(FinishObj *self, PyObject *args, PyObject *kwds)
+{
+    if (args != NULL && PyTuple_GET_SIZE(args) != 0) {
+        PyErr_SetString(PyExc_TypeError, "Finish takes no arguments");
+        return NULL;
+    }
+    if (finish_impl(self) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static int
+finish_traverse(FinishObj *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->node);
+    Py_VISIT(self->loop);
+    Py_VISIT(self->heap);
+    Py_VISIT(self->ready);
+    Py_VISIT(self->inbox);
+    Py_VISIT(self->seq_iter);
+    return 0;
+}
+
+static int
+finish_clear(FinishObj *self)
+{
+    Py_CLEAR(self->node);
+    Py_CLEAR(self->loop);
+    Py_CLEAR(self->heap);
+    Py_CLEAR(self->ready);
+    Py_CLEAR(self->inbox);
+    Py_CLEAR(self->seq_iter);
+    return 0;
+}
+
+static void
+finish_dealloc(FinishObj *self)
+{
+    PyObject_GC_UnTrack(self);
+    finish_clear(self);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static PyTypeObject FinishType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.network._ccore.Finish",
+    .tp_basicsize = sizeof(FinishObj),
+    .tp_dealloc = (destructor)finish_dealloc,
+    .tp_call = (ternaryfunc)finish_call,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "Compiled Node._finish_one twin (stimulus event callback).",
+    .tp_traverse = (traverseproc)finish_traverse,
+    .tp_clear = (inquiry)finish_clear,
+    .tp_init = (initproc)finish_init,
+    .tp_new = PyType_GenericNew,
+};
+
+/* ------------------------------------------------------------------ */
+/* Process                                                             */
+/* ------------------------------------------------------------------ */
+/* Inline of Slot.receive's dispatch shell: counter bump, per-state
+ * handler dispatch, and the robust-mode retransmission-acknowledged
+ * check.  Returns 0/1 (the handler's accepted verdict) or -1 + PyErr.
+ * Unknown states fall back to the Python method, which owns the
+ * descriptive failure. */
+static int
+slot_receive_inline(PyObject *slot, PyObject *sig)
+{
+    PyObject *state, *handler, *res, *retx;
+    int accepted, eq;
+
+    state = PyObject_GetAttr(slot, S.state);
+    if (state == NULL)
+        return -1;
+    handler = PyDict_GetItemWithError(g_dispatch, state);  /* borrowed */
+    Py_DECREF(state);
+    if (handler == NULL) {
+        if (PyErr_Occurred())
+            return -1;
+        res = PyObject_CallFunctionObjArgs(g_slot_receive, slot, sig, NULL);
+        if (res == NULL)
+            return -1;
+        accepted = PyObject_IsTrue(res);
+        Py_DECREF(res);
+        return accepted;
+    }
+    if (attr_add_ll(slot, S.signals_received, 1, NULL) < 0)
+        return -1;
+    res = PyObject_CallFunctionObjArgs(handler, slot, sig, NULL);
+    if (res == NULL)
+        return -1;
+    accepted = PyObject_IsTrue(res);
+    Py_DECREF(res);
+    if (accepted < 0)
+        return -1;
+    retx = PyObject_GetAttr(slot, S._retx_kind);
+    if (retx == NULL)
+        return -1;
+    if (retx != Py_None) {
+        eq = PyObject_RichCompareBool(retx, g_kind_open, Py_EQ);
+        if (eq < 0)
+            goto retx_fail;
+        if (eq) {
+            state = PyObject_GetAttr(slot, S.state);
+            if (state == NULL)
+                goto retx_fail;
+            eq = PyObject_RichCompareBool(state, g_state_opening, Py_EQ);
+            Py_DECREF(state);
+            if (eq < 0)
+                goto retx_fail;
+            if (!eq) {
+                res = PyObject_CallMethodNoArgs(slot, S._cancel_retx);
+                if (res == NULL)
+                    goto retx_fail;
+                Py_DECREF(res);
+            }
+        }
+        else {
+            eq = PyObject_RichCompareBool(retx, g_kind_close, Py_EQ);
+            if (eq < 0)
+                goto retx_fail;
+            if (eq) {
+                state = PyObject_GetAttr(slot, S.state);
+                if (state == NULL)
+                    goto retx_fail;
+                eq = PyObject_RichCompareBool(state, g_state_closed, Py_EQ);
+                Py_DECREF(state);
+                if (eq < 0)
+                    goto retx_fail;
+                if (eq) {
+                    res = PyObject_CallMethodNoArgs(slot, S._cancel_retx);
+                    if (res == NULL)
+                        goto retx_fail;
+                    Py_DECREF(res);
+                }
+            }
+        }
+    }
+    Py_DECREF(retx);
+    return accepted;
+retx_fail:
+    Py_DECREF(retx);
+    return -1;
+}
+
+static int
+call_py_process(ProcessObj *p, PyObject *msg)
+{
+    PyObject *res = PyObject_CallOneArg(p->py_process, msg);
+    if (res == NULL)
+        return -1;
+    Py_DECREF(res);
+    return 0;
+}
+
+static int
+process_impl(ProcessObj *p, PyObject *msg)
+{
+    PyObject *trace, *tid, *slot, *sig, *acc;
+    int flag, accepted;
+
+    flag = get_attr_bool(p->chend, S.alive);
+    if (flag < 0)
+        return -1;
+    if (!flag)
+        return 0;
+    if (ensure_protocol() < 0)
+        return -1;
+    if ((PyObject *)Py_TYPE(msg) != g_tunnelmsg_type)
+        return call_py_process(p, msg);
+    trace = PyObject_GetAttr(p->loop, S.trace);
+    if (trace == NULL)
+        return -1;
+    if (trace != Py_None) {
+        /* traced runs take the full Python path (pre/post state capture,
+         * SignalReceived emission, pooled release) */
+        Py_DECREF(trace);
+        return call_py_process(p, msg);
+    }
+    Py_DECREF(trace);
+    tid = PyObject_GetAttr(msg, S.tunnel_id);
+    if (tid == NULL)
+        return -1;
+    slot = PyDict_GetItemWithError(p->slots, tid);
+    Py_DECREF(tid);
+    if (slot == NULL) {
+        if (PyErr_Occurred())
+            return -1;
+        /* unknown tunnel: Python path raises the descriptive error */
+        return call_py_process(p, msg);
+    }
+    if ((PyObject *)Py_TYPE(slot) != g_slot_type)
+        return call_py_process(p, msg);
+    Py_INCREF(slot);   /* the handler below may drop the channel's slots */
+    sig = PyObject_GetAttr(msg, S.signal);
+    if (sig == NULL) {
+        Py_DECREF(slot);
+        return -1;
+    }
+    accepted = slot_receive_inline(slot, sig);
+    if (accepted < 0) {
+        Py_DECREF(sig);
+        Py_DECREF(slot);
+        return -1;
+    }
+    if (accepted) {
+        PyObject *handler = PyObject_GetAttr(p->owner, S.on_tunnel_signal);
+        PyObject *res;
+        if (handler == NULL) {
+            Py_DECREF(sig);
+            Py_DECREF(slot);
+            return -1;
+        }
+        res = PyObject_CallFunctionObjArgs(handler, slot, sig, NULL);
+        Py_DECREF(handler);
+        if (res == NULL) {
+            Py_DECREF(sig);
+            Py_DECREF(slot);
+            return -1;
+        }
+        Py_DECREF(res);
+    }
+    Py_DECREF(sig);
+    Py_DECREF(slot);
+    /* envelope reset contract: exactly one delivery happened (pooling
+     * is only enabled on hook-free links), so release the envelope */
+    flag = get_attr_bool(msg, S.pooled);
+    if (flag < 0)
+        return -1;
+    if (flag) {
+        if (PyObject_SetAttr(msg, S.signal, Py_None) < 0)
+            return -1;
+        if (PyList_Check(p->env_pool) &&
+            PyList_GET_SIZE(p->env_pool) < ENV_POOL_MAX) {
+            if (PyList_Append(p->env_pool, msg) < 0)
+                return -1;
+        }
+    }
+    return 0;
+}
+
+static int
+process_init(ProcessObj *self, PyObject *args, PyObject *kwds)
+{
+    PyObject *chend;
+    if (!PyArg_ParseTuple(args, "O", &chend))
+        return -1;
+    Py_INCREF(chend);
+    Py_XSETREF(self->chend, chend);
+    Py_XSETREF(self->loop, PyObject_GetAttr(chend, S._loop));
+    if (self->loop == NULL)
+        return -1;
+    Py_XSETREF(self->owner, PyObject_GetAttr(chend, S.owner));
+    if (self->owner == NULL)
+        return -1;
+    Py_XSETREF(self->slots, PyObject_GetAttr(chend, S.slots));
+    if (self->slots == NULL || !PyDict_Check(self->slots)) {
+        if (self->slots != NULL)
+            PyErr_SetString(PyExc_TypeError, "chend.slots must be a dict");
+        return -1;
+    }
+    Py_XSETREF(self->py_process, PyObject_GetAttr(chend, S._process));
+    if (self->py_process == NULL)
+        return -1;
+    Py_XSETREF(self->env_pool, PyObject_GetAttr(self->loop, S._env_pool));
+    if (self->env_pool == NULL)
+        return -1;
+    return 0;
+}
+
+static PyObject *
+process_call(ProcessObj *self, PyObject *args, PyObject *kwds)
+{
+    PyObject *msg;
+    if (!PyArg_ParseTuple(args, "O", &msg))
+        return NULL;
+    if (process_impl(self, msg) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static int
+process_traverse(ProcessObj *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->chend);
+    Py_VISIT(self->loop);
+    Py_VISIT(self->owner);
+    Py_VISIT(self->slots);
+    Py_VISIT(self->py_process);
+    Py_VISIT(self->env_pool);
+    return 0;
+}
+
+static int
+process_clear(ProcessObj *self)
+{
+    Py_CLEAR(self->chend);
+    Py_CLEAR(self->loop);
+    Py_CLEAR(self->owner);
+    Py_CLEAR(self->slots);
+    Py_CLEAR(self->py_process);
+    Py_CLEAR(self->env_pool);
+    return 0;
+}
+
+static void
+process_dealloc(ProcessObj *self)
+{
+    PyObject_GC_UnTrack(self);
+    process_clear(self);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static PyTypeObject ProcessType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.network._ccore.Process",
+    .tp_basicsize = sizeof(ProcessObj),
+    .tp_dealloc = (destructor)process_dealloc,
+    .tp_call = (ternaryfunc)process_call,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "Compiled ChannelEnd._process fast path (untraced tunnel "
+              "messages; everything else falls back to Python).",
+    .tp_traverse = (traverseproc)process_traverse,
+    .tp_clear = (inquiry)process_clear,
+    .tp_init = (initproc)process_init,
+    .tp_new = PyType_GenericNew,
+};
+
+/* ------------------------------------------------------------------ */
+/* LinkTransmit                                                        */
+/* ------------------------------------------------------------------ */
+
+/* Prune fired entries from link._pending in place, harvesting
+ * recyclable events (fired, not cancelled) onto link._free.  Mirrors
+ * Link._compact_pending. */
+static int
+compact_pending_c(TransmitObj *t)
+{
+    PyObject *alive = PyList_New(0);
+    Py_ssize_t i, n;
+    long long threshold;
+    PyObject *th;
+    if (alive == NULL)
+        return -1;
+    n = PyList_GET_SIZE(t->pending);
+    for (i = 0; i < n; i++) {
+        PyObject *e = PyList_GET_ITEM(t->pending, i);
+        if (CEvent_CheckExact(e)) {
+            CEvent *c = (CEvent *)e;
+            if (c->loop != NULL) {
+                if (PyList_Append(alive, e) < 0)
+                    goto fail;
+            }
+            else if (!c->cancelled &&
+                     PyList_GET_SIZE(t->freelist) < FREELIST_MAX) {
+                if (PyList_Append(t->freelist, e) < 0)
+                    goto fail;
+            }
+        }
+        else {
+            /* foreign event object: keep it if still scheduled */
+            PyObject *lp = PyObject_GetAttr(e, S._loop);
+            if (lp == NULL)
+                goto fail;
+            if (lp != Py_None) {
+                if (PyList_Append(alive, e) < 0) {
+                    Py_DECREF(lp);
+                    goto fail;
+                }
+            }
+            Py_DECREF(lp);
+        }
+    }
+    if (PyList_SetSlice(t->pending, 0, n, alive) < 0)
+        goto fail;
+    threshold = 2 * (long long)PyList_GET_SIZE(alive);
+    if (threshold < 16)
+        threshold = 16;
+    th = PyLong_FromLongLong(threshold);
+    if (th == NULL)
+        goto fail;
+    if (PyObject_SetAttr(t->link, S._compact_at, th) < 0) {
+        Py_DECREF(th);
+        goto fail;
+    }
+    Py_DECREF(th);
+    Py_DECREF(alive);
+    return 0;
+fail:
+    Py_DECREF(alive);
+    return -1;
+}
+
+static int
+transmit_impl(TransmitObj *t, PyObject *origin, PyObject *msg)
+{
+    PyObject *lat, *fd, *deliver;
+    double delay, now, deliver_at, horizon;
+    long long compact_at, seq;
+    CEvent *ev;
+    Py_ssize_t fn;
+    int flag;
+
+    flag = get_attr_bool(t->link, S.down);
+    if (flag < 0)
+        return -1;
+    if (flag)
+        return 0;
+    if (attr_add_ll(t->link, S.sent, 1, NULL) < 0)
+        return -1;
+    lat = PyObject_GetAttr(t->link, S.latency);
+    if (lat == NULL)
+        return -1;
+    fd = PyObject_GetAttr(lat, S.fixed_delay);
+    if (fd == NULL) {
+        Py_DECREF(lat);
+        return -1;
+    }
+    if (fd == Py_None) {
+        PyObject *res = PyObject_CallMethodObjArgs(lat, S.sample, t->rng,
+                                                   NULL);
+        Py_DECREF(fd);
+        Py_DECREF(lat);
+        if (res == NULL)
+            return -1;
+        delay = PyFloat_AsDouble(res);
+        Py_DECREF(res);
+        if (delay == -1.0 && PyErr_Occurred())
+            return -1;
+    }
+    else {
+        delay = PyFloat_AsDouble(fd);
+        Py_DECREF(fd);
+        Py_DECREF(lat);
+        if (delay == -1.0 && PyErr_Occurred())
+            return -1;
+    }
+    if (get_attr_double(t->loop, S._now, &now) < 0)
+        return -1;
+    deliver_at = now + delay;
+    if (get_attr_double(origin, S._horizon, &horizon) < 0)
+        return -1;
+    if (deliver_at < horizon)
+        deliver_at = horizon;
+    if (set_attr_double(origin, S._horizon, deliver_at) < 0)
+        return -1;
+    deliver = (origin == t->end0) ? t->deliver1 : t->deliver0;
+
+    if (get_attr_ll(t->link, S._compact_at, &compact_at) < 0)
+        return -1;
+    if ((long long)PyList_GET_SIZE(t->pending) >= compact_at) {
+        if (compact_pending_c(t) < 0)
+            return -1;
+    }
+    seq = next_seq(t->seq_iter);
+    if (seq < 0 && PyErr_Occurred())
+        return -1;
+    fn = PyList_GET_SIZE(t->freelist);
+    if (fn > 0) {
+        PyObject *margs;
+        ev = (CEvent *)PyList_GET_ITEM(t->freelist, fn - 1);
+        Py_INCREF(ev);
+        if (PyList_SetSlice(t->freelist, fn - 1, fn, NULL) < 0) {
+            Py_DECREF(ev);
+            return -1;
+        }
+        margs = PyTuple_Pack(1, msg);
+        if (margs == NULL) {
+            Py_DECREF(ev);
+            return -1;
+        }
+        ev->time = deliver_at;
+        ev->priority = 0;
+        ev->seq = seq;
+        Py_INCREF(deliver);
+        Py_XSETREF(ev->callback, deliver);
+        Py_XSETREF(ev->args, margs);
+        Py_INCREF(t->loop);
+        Py_XSETREF(ev->loop, t->loop);
+    }
+    else {
+        PyObject *margs = PyTuple_Pack(1, msg);
+        if (margs == NULL)
+            return -1;
+        ev = cevent_make(deliver_at, 0, seq, deliver, margs, t->loop);
+        Py_DECREF(margs);
+        if (ev == NULL)
+            return -1;
+    }
+    if (deliver_at == now) {
+        PyObject *res = PyObject_CallMethodObjArgs(t->ready, S.append,
+                                                   (PyObject *)ev, NULL);
+        if (res == NULL) {
+            Py_DECREF(ev);
+            return -1;
+        }
+        Py_DECREF(res);
+    }
+    else {
+        if (heap_push(t->heap, (PyObject *)ev) < 0) {
+            Py_DECREF(ev);
+            return -1;
+        }
+    }
+    if (attr_add_ll(t->loop, S._live, 1, NULL) < 0) {
+        Py_DECREF(ev);
+        return -1;
+    }
+    if (PyList_Append(t->pending, (PyObject *)ev) < 0) {
+        Py_DECREF(ev);
+        return -1;
+    }
+    Py_DECREF(ev);
+    return 0;
+}
+
+static int
+transmit_init(TransmitObj *self, PyObject *args, PyObject *kwds)
+{
+    PyObject *link, *ends;
+    if (!PyArg_ParseTuple(args, "O", &link))
+        return -1;
+    Py_INCREF(link);
+    Py_XSETREF(self->link, link);
+    Py_XSETREF(self->loop, PyObject_GetAttr(link, S.loop));
+    if (self->loop == NULL)
+        return -1;
+    Py_XSETREF(self->heap, PyObject_GetAttr(self->loop, S._heap));
+    if (self->heap == NULL || !PyList_Check(self->heap)) {
+        if (self->heap != NULL)
+            PyErr_SetString(PyExc_TypeError, "loop._heap must be a list");
+        return -1;
+    }
+    Py_XSETREF(self->ready, PyObject_GetAttr(self->loop, S._ready));
+    if (self->ready == NULL)
+        return -1;
+    Py_XSETREF(self->seq_iter, PyObject_GetAttr(self->loop, S._seq));
+    if (self->seq_iter == NULL)
+        return -1;
+    Py_XSETREF(self->rng, PyObject_GetAttr(self->loop, S.rng));
+    if (self->rng == NULL)
+        return -1;
+    ends = PyObject_GetAttr(link, S.ends);
+    if (ends == NULL)
+        return -1;
+    if (!PyTuple_Check(ends) || PyTuple_GET_SIZE(ends) != 2) {
+        Py_DECREF(ends);
+        PyErr_SetString(PyExc_TypeError, "link.ends must be a 2-tuple");
+        return -1;
+    }
+    Py_INCREF(PyTuple_GET_ITEM(ends, 0));
+    Py_XSETREF(self->end0, PyTuple_GET_ITEM(ends, 0));
+    Py_INCREF(PyTuple_GET_ITEM(ends, 1));
+    Py_XSETREF(self->end1, PyTuple_GET_ITEM(ends, 1));
+    Py_DECREF(ends);
+    Py_XSETREF(self->deliver0, PyObject_GetAttr(self->end0, S._cdeliver));
+    if (self->deliver0 == NULL)
+        return -1;
+    Py_XSETREF(self->deliver1, PyObject_GetAttr(self->end1, S._cdeliver));
+    if (self->deliver1 == NULL)
+        return -1;
+    Py_XSETREF(self->pending, PyObject_GetAttr(link, S._pending));
+    if (self->pending == NULL || !PyList_Check(self->pending)) {
+        if (self->pending != NULL)
+            PyErr_SetString(PyExc_TypeError, "link._pending must be a list");
+        return -1;
+    }
+    Py_XSETREF(self->freelist, PyObject_GetAttr(link, S._free));
+    if (self->freelist == NULL || !PyList_Check(self->freelist)) {
+        if (self->freelist != NULL)
+            PyErr_SetString(PyExc_TypeError, "link._free must be a list");
+        return -1;
+    }
+    return 0;
+}
+
+static PyObject *
+transmit_call(TransmitObj *self, PyObject *args, PyObject *kwds)
+{
+    PyObject *origin, *msg;
+    if (!PyArg_ParseTuple(args, "OO", &origin, &msg))
+        return NULL;
+    if (transmit_impl(self, origin, msg) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static int
+transmit_traverse(TransmitObj *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->link);
+    Py_VISIT(self->loop);
+    Py_VISIT(self->heap);
+    Py_VISIT(self->ready);
+    Py_VISIT(self->seq_iter);
+    Py_VISIT(self->rng);
+    Py_VISIT(self->end0);
+    Py_VISIT(self->end1);
+    Py_VISIT(self->deliver0);
+    Py_VISIT(self->deliver1);
+    Py_VISIT(self->pending);
+    Py_VISIT(self->freelist);
+    return 0;
+}
+
+static int
+transmit_clear(TransmitObj *self)
+{
+    Py_CLEAR(self->link);
+    Py_CLEAR(self->loop);
+    Py_CLEAR(self->heap);
+    Py_CLEAR(self->ready);
+    Py_CLEAR(self->seq_iter);
+    Py_CLEAR(self->rng);
+    Py_CLEAR(self->end0);
+    Py_CLEAR(self->end1);
+    Py_CLEAR(self->deliver0);
+    Py_CLEAR(self->deliver1);
+    Py_CLEAR(self->pending);
+    Py_CLEAR(self->freelist);
+    return 0;
+}
+
+static void
+transmit_dealloc(TransmitObj *self)
+{
+    PyObject_GC_UnTrack(self);
+    transmit_clear(self);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static PyTypeObject LinkTransmitType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.network._ccore.LinkTransmit",
+    .tp_basicsize = sizeof(TransmitObj),
+    .tp_dealloc = (destructor)transmit_dealloc,
+    .tp_call = (ternaryfunc)transmit_call,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "Compiled Link._base_transmit twin (hook-chain bottom).",
+    .tp_traverse = (traverseproc)transmit_traverse,
+    .tp_clear = (inquiry)transmit_clear,
+    .tp_init = (initproc)transmit_init,
+    .tp_new = PyType_GenericNew,
+};
+
+
+/* ------------------------------------------------------------------ */
+/* SlotTransmit                                                        */
+/* ------------------------------------------------------------------ */
+typedef struct {
+    PyObject_HEAD
+    PyObject *slot;
+    PyObject *end;               /* slot._end (ChannelEnd) */
+    PyObject *wire;              /* end._wire (LinkEnd) */
+    PyObject *hooks;             /* wire._link._hooks (list, in place) */
+    PyObject *env_pool;          /* loop._env_pool (list) */
+    PyObject *tunnel_id;         /* slot.tunnel_id (immutable) */
+} SlotTransmitObj;
+
+static PyTypeObject SlotTransmitType;
+
+/* Mirror of Slot._transmit: counter bump, dead-end drop, and either
+ * the hooked path (fresh, never-pooled envelope through the generic
+ * chain) or the pooled fast path straight into the C link transmit. */
+static int
+slot_transmit_impl(SlotTransmitObj *st, PyObject *sig)
+{
+    PyObject *msg, *chain, *res;
+    Py_ssize_t pn;
+    int alive, hooked;
+
+    if (attr_add_ll(st->slot, S.signals_sent, 1, NULL) < 0)
+        return -1;
+    alive = get_attr_bool(st->end, S.alive);
+    if (alive < 0)
+        return -1;
+    if (!alive)
+        return 0;
+    hooked = PyList_GET_SIZE(st->hooks) != 0;
+    if (hooked) {
+        /* A hooked link (fault layer, tracer tap) may duplicate the
+         * envelope or deliver it late; never pool those. */
+        msg = PyObject_CallFunctionObjArgs(g_tunnelmsg_type, st->tunnel_id,
+                                           sig, NULL);
+        if (msg == NULL)
+            return -1;
+    }
+    else {
+        pn = PyList_GET_SIZE(st->env_pool);
+        if (pn > 0) {
+            msg = PyList_GET_ITEM(st->env_pool, pn - 1);
+            Py_INCREF(msg);
+            if (PyList_SetSlice(st->env_pool, pn - 1, pn, NULL) < 0) {
+                Py_DECREF(msg);
+                return -1;
+            }
+            if (PyObject_SetAttr(msg, S.tunnel_id, st->tunnel_id) < 0 ||
+                PyObject_SetAttr(msg, S.signal, sig) < 0) {
+                Py_DECREF(msg);
+                return -1;
+            }
+        }
+        else {
+            msg = PyObject_CallFunctionObjArgs(g_tunnelmsg_type,
+                                               st->tunnel_id, sig,
+                                               Py_True, NULL);
+            if (msg == NULL)
+                return -1;
+        }
+    }
+    chain = PyObject_GetAttr(st->wire, S._chain);
+    if (chain == NULL) {
+        Py_DECREF(msg);
+        return -1;
+    }
+    if (!hooked && Py_TYPE(chain) == &LinkTransmitType) {
+        int stx = transmit_impl((TransmitObj *)chain, st->wire, msg);
+        Py_DECREF(chain);
+        Py_DECREF(msg);
+        return stx;
+    }
+    res = PyObject_CallFunctionObjArgs(chain, st->wire, msg, NULL);
+    Py_DECREF(chain);
+    Py_DECREF(msg);
+    if (res == NULL)
+        return -1;
+    Py_DECREF(res);
+    return 0;
+}
+
+static int
+slot_transmit_init(SlotTransmitObj *self, PyObject *args, PyObject *kwds)
+{
+    PyObject *slot, *link, *loop;
+    if (!PyArg_ParseTuple(args, "O", &slot))
+        return -1;
+    if (ensure_protocol() < 0)
+        return -1;
+    Py_INCREF(slot);
+    Py_XSETREF(self->slot, slot);
+    Py_XSETREF(self->end, PyObject_GetAttr(slot, S._end));
+    if (self->end == NULL)
+        return -1;
+    Py_XSETREF(self->wire, PyObject_GetAttr(self->end, S._wire));
+    if (self->wire == NULL)
+        return -1;
+    link = PyObject_GetAttr(self->wire, S._link);
+    if (link == NULL)
+        return -1;
+    Py_XSETREF(self->hooks, PyObject_GetAttr(link, S._hooks));
+    Py_DECREF(link);
+    if (self->hooks == NULL || !PyList_Check(self->hooks)) {
+        if (self->hooks != NULL)
+            PyErr_SetString(PyExc_TypeError, "link._hooks must be a list");
+        return -1;
+    }
+    loop = PyObject_GetAttr(slot, S._loop);
+    if (loop == NULL)
+        return -1;
+    Py_XSETREF(self->env_pool, PyObject_GetAttr(loop, S._env_pool));
+    Py_DECREF(loop);
+    if (self->env_pool == NULL || !PyList_Check(self->env_pool)) {
+        if (self->env_pool != NULL)
+            PyErr_SetString(PyExc_TypeError, "loop._env_pool must be a list");
+        return -1;
+    }
+    Py_XSETREF(self->tunnel_id, PyObject_GetAttr(slot, S.tunnel_id));
+    if (self->tunnel_id == NULL)
+        return -1;
+    return 0;
+}
+
+static PyObject *
+slot_transmit_call(SlotTransmitObj *self, PyObject *args, PyObject *kwds)
+{
+    PyObject *sig;
+    if (!PyArg_ParseTuple(args, "O", &sig))
+        return NULL;
+    if (slot_transmit_impl(self, sig) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static int
+slot_transmit_traverse(SlotTransmitObj *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->slot);
+    Py_VISIT(self->end);
+    Py_VISIT(self->wire);
+    Py_VISIT(self->hooks);
+    Py_VISIT(self->env_pool);
+    Py_VISIT(self->tunnel_id);
+    return 0;
+}
+
+static int
+slot_transmit_clear(SlotTransmitObj *self)
+{
+    Py_CLEAR(self->slot);
+    Py_CLEAR(self->end);
+    Py_CLEAR(self->wire);
+    Py_CLEAR(self->hooks);
+    Py_CLEAR(self->env_pool);
+    Py_CLEAR(self->tunnel_id);
+    return 0;
+}
+
+static void
+slot_transmit_dealloc(SlotTransmitObj *self)
+{
+    PyObject_GC_UnTrack(self);
+    slot_transmit_clear(self);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static PyTypeObject SlotTransmitType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.network._ccore.SlotTransmit",
+    .tp_basicsize = sizeof(SlotTransmitObj),
+    .tp_dealloc = (destructor)slot_transmit_dealloc,
+    .tp_call = (ternaryfunc)slot_transmit_call,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "Compiled Slot._transmit twin (per-signal send path).",
+    .tp_traverse = (traverseproc)slot_transmit_traverse,
+    .tp_clear = (inquiry)slot_transmit_clear,
+    .tp_init = (initproc)slot_transmit_init,
+    .tp_new = PyType_GenericNew,
+};
+
+/* ------------------------------------------------------------------ */
+/* drain(loop, limit)                                                  */
+/* ------------------------------------------------------------------ */
+static PyObject *
+mod_drain(PyObject *mod, PyObject *args)
+{
+    PyObject *loop;
+    long long limit, executed = 0;
+    PyObject *heap, *ready;
+    int failed = 0;
+
+    if (!PyArg_ParseTuple(args, "OL", &loop, &limit))
+        return NULL;
+    heap = PyObject_GetAttr(loop, S._heap);
+    if (heap == NULL)
+        return NULL;
+    if (!PyList_Check(heap)) {
+        Py_DECREF(heap);
+        PyErr_SetString(PyExc_TypeError, "loop._heap must be a list");
+        return NULL;
+    }
+    ready = PyObject_GetAttr(loop, S._ready);
+    if (ready == NULL) {
+        Py_DECREF(heap);
+        return NULL;
+    }
+
+    for (;;) {
+        CEvent *ev;
+        PyObject *ev_obj = NULL;
+        Py_ssize_t hs, rs;
+        double now;
+        PyObject *cb;
+        int st;
+
+        if (executed == limit)
+            break;
+        hs = PyList_GET_SIZE(heap);
+        rs = PyObject_Length(ready);
+        if (rs < 0) {
+            failed = 1;
+            break;
+        }
+        if (rs > 0) {
+            PyObject *r0 = PySequence_GetItem(ready, 0);
+            if (r0 == NULL) {
+                failed = 1;
+                break;
+            }
+            if (hs > 0) {
+                PyObject *f0 = PyList_GET_ITEM(heap, 0);
+                int lt = ev_lt(f0, r0);
+                Py_DECREF(r0);
+                if (lt < 0) {
+                    failed = 1;
+                    break;
+                }
+                if (lt) {
+                    ev_obj = heap_pop(heap);
+                }
+                else {
+                    ev_obj = PyObject_CallMethodNoArgs(ready, S.popleft);
+                }
+            }
+            else {
+                Py_DECREF(r0);
+                ev_obj = PyObject_CallMethodNoArgs(ready, S.popleft);
+            }
+        }
+        else if (hs > 0) {
+            ev_obj = heap_pop(heap);
+        }
+        else {
+            break;
+        }
+        if (ev_obj == NULL) {
+            failed = 1;
+            break;
+        }
+        if (!CEvent_CheckExact(ev_obj)) {
+            /* Foreign event object (should not happen under the
+             * compiled backend, but stay safe): emulate the Python
+             * drain on it via attribute access. */
+            PyObject *c = PyObject_GetAttrString(ev_obj, "cancelled");
+            int cflag = c ? PyObject_IsTrue(c) : -1;
+            Py_XDECREF(c);
+            if (cflag < 0) {
+                Py_DECREF(ev_obj);
+                failed = 1;
+                break;
+            }
+            if (cflag) {
+                Py_DECREF(ev_obj);
+                continue;
+            }
+            executed++;
+            if (PyObject_SetAttrString(ev_obj, "_loop", Py_None) < 0 ||
+                get_attr_double(loop, S._now, &now) < 0) {
+                Py_DECREF(ev_obj);
+                failed = 1;
+                break;
+            }
+            {
+                PyObject *tv = PyObject_GetAttrString(ev_obj, "time");
+                PyObject *cbv, *argv, *res;
+                double tval = tv ? PyFloat_AsDouble(tv) : -1.0;
+                Py_XDECREF(tv);
+                if (tv == NULL || (tval == -1.0 && PyErr_Occurred())) {
+                    Py_DECREF(ev_obj);
+                    failed = 1;
+                    break;
+                }
+                if (tval != now &&
+                    set_attr_double(loop, S._now, tval) < 0) {
+                    Py_DECREF(ev_obj);
+                    failed = 1;
+                    break;
+                }
+                cbv = PyObject_GetAttrString(ev_obj, "callback");
+                argv = cbv ? PyObject_GetAttrString(ev_obj, "args") : NULL;
+                res = argv ? PyObject_CallObject(cbv, argv) : NULL;
+                Py_XDECREF(cbv);
+                Py_XDECREF(argv);
+                Py_DECREF(ev_obj);
+                if (res == NULL) {
+                    failed = 1;
+                    break;
+                }
+                Py_DECREF(res);
+            }
+            continue;
+        }
+        ev = (CEvent *)ev_obj;
+        if (ev->cancelled) {
+            Py_DECREF(ev_obj);
+            continue;
+        }
+        executed++;
+        /* detach before the callback so a post-hoc cancel() cannot
+         * double-count */
+        Py_CLEAR(ev->loop);
+        /* clock: one store per same-timestamp batch; re-read per event
+         * because a callback may run nested timed drains */
+        if (get_attr_double(loop, S._now, &now) < 0) {
+            Py_DECREF(ev_obj);
+            failed = 1;
+            break;
+        }
+        if (ev->time != now) {
+            if (set_attr_double(loop, S._now, ev->time) < 0) {
+                Py_DECREF(ev_obj);
+                failed = 1;
+                break;
+            }
+        }
+        cb = ev->callback;
+        if (Py_TYPE(cb) == &DeliverType && PyTuple_GET_SIZE(ev->args) == 1) {
+            st = deliver_impl((DeliverObj *)cb,
+                              PyTuple_GET_ITEM(ev->args, 0));
+        }
+        else if (Py_TYPE(cb) == &FinishType &&
+                 PyTuple_GET_SIZE(ev->args) == 0) {
+            st = finish_impl((FinishObj *)cb);
+        }
+        else {
+            PyObject *res = PyObject_CallObject(cb, ev->args);
+            st = (res == NULL) ? -1 : 0;
+            Py_XDECREF(res);
+        }
+        Py_DECREF(ev_obj);
+        if (st < 0) {
+            failed = 1;
+            break;
+        }
+    }
+
+    /* deferred counter flush (exception-safe, mirrors the Python
+     * drain's finally block) */
+    {
+        PyObject *etype = NULL, *eval = NULL, *etb = NULL;
+        if (failed)
+            PyErr_Fetch(&etype, &eval, &etb);
+        if (attr_add_ll(loop, S._live, -executed, NULL) < 0 ||
+            attr_add_ll(loop, S.executed, executed, NULL) < 0) {
+            if (failed)
+                PyErr_Clear();   /* keep the original exception */
+            else
+                failed = 1;
+        }
+        if (etype != NULL || eval != NULL || etb != NULL)
+            PyErr_Restore(etype, eval, etb);
+    }
+    Py_DECREF(heap);
+    Py_DECREF(ready);
+    if (failed)
+        return NULL;
+    return PyLong_FromLongLong(executed);
+}
+
+/* ------------------------------------------------------------------ */
+/* module                                                              */
+/* ------------------------------------------------------------------ */
+static PyMethodDef ccore_methods[] = {
+    {"drain", mod_drain, METH_VARARGS,
+     "drain(loop, limit) -> int\n\n"
+     "Untimed batched two-lane drain; executes events in strict\n"
+     "(time, priority, seq) order until both lanes empty or `limit`\n"
+     "events have run (limit < 0 means no budget).  Returns the number\n"
+     "of events executed.  Mirrors EventLoop._drain_py exactly."},
+    {NULL, NULL, 0, NULL}
+};
+
+static struct PyModuleDef ccore_module = {
+    PyModuleDef_HEAD_INIT,
+    .m_name = "repro.network._ccore",
+    .m_doc = "Compiled kernels for the repro event core "
+             "(see repro.network.backend).",
+    .m_size = -1,
+    .m_methods = ccore_methods,
+};
+
+static int
+intern_all(void)
+{
+#define INTERN(field, text)                                   \
+    do {                                                      \
+        S.field = PyUnicode_InternFromString(text);           \
+        if (S.field == NULL)                                  \
+            return -1;                                        \
+    } while (0)
+    INTERN(_heap, "_heap");
+    INTERN(_ready, "_ready");
+    INTERN(_now, "_now");
+    INTERN(_live, "_live");
+    INTERN(executed, "executed");
+    INTERN(_seq, "_seq");
+    INTERN(trace, "trace");
+    INTERN(_env_pool, "_env_pool");
+    INTERN(rng, "rng");
+    INTERN(_compact, "_compact");
+    INTERN(popleft, "popleft");
+    INTERN(append, "append");
+    INTERN(sample, "sample");
+    INTERN(down, "down");
+    INTERN(sent, "sent");
+    INTERN(latency, "latency");
+    INTERN(fixed_delay, "fixed_delay");
+    INTERN(_pending, "_pending");
+    INTERN(_compact_at, "_compact_at");
+    INTERN(_free, "_free");
+    INTERN(_horizon, "_horizon");
+    INTERN(_receiver, "_receiver");
+    INTERN(_peer, "_peer");
+    INTERN(_cdeliver, "_cdeliver");
+    INTERN(ends, "ends");
+    INTERN(loop, "loop");
+    INTERN(offline, "offline");
+    INTERN(dropped_while_offline, "dropped_while_offline");
+    INTERN(_inbox, "_inbox");
+    INTERN(_busy, "_busy");
+    INTERN(_stim_event, "_stim_event");
+    INTERN(handled, "handled");
+    INTERN(cost, "cost");
+    INTERN(_finish_cb, "_finish_cb");
+    INTERN(_link, "_link");
+    INTERN(_node, "_node");
+    INTERN(_loop, "_loop");
+    INTERN(_process, "_process");
+    INTERN(_process_fn, "_process_fn");
+    INTERN(alive, "alive");
+    INTERN(slots, "slots");
+    INTERN(owner, "owner");
+    INTERN(on_tunnel_signal, "on_tunnel_signal");
+    INTERN(signal, "signal");
+    INTERN(tunnel_id, "tunnel_id");
+    INTERN(pooled, "pooled");
+    INTERN(state, "state");
+    INTERN(_retx_kind, "_retx_kind");
+    INTERN(signals_received, "signals_received");
+    INTERN(signals_sent, "signals_sent");
+    INTERN(_cancel_retx, "_cancel_retx");
+    INTERN(_wire, "_wire");
+    INTERN(_chain, "_chain");
+    INTERN(_end, "_end");
+    INTERN(_transmit, "_transmit");
+    INTERN(_hooks, "_hooks");
+    INTERN(qualname, "__qualname__");
+#undef INTERN
+    return 0;
+}
+
+PyMODINIT_FUNC
+PyInit__ccore(void)
+{
+    PyObject *mod;
+    if (intern_all() < 0)
+        return NULL;
+    g_empty_tuple = PyTuple_New(0);
+    if (g_empty_tuple == NULL)
+        return NULL;
+    if (PyType_Ready(&CEventType) < 0 ||
+        PyType_Ready(&DeliverType) < 0 ||
+        PyType_Ready(&ReceiveType) < 0 ||
+        PyType_Ready(&FinishType) < 0 ||
+        PyType_Ready(&ProcessType) < 0 ||
+        PyType_Ready(&LinkTransmitType) < 0 ||
+        PyType_Ready(&SlotTransmitType) < 0)
+        return NULL;
+    mod = PyModule_Create(&ccore_module);
+    if (mod == NULL)
+        return NULL;
+    if (PyModule_AddIntConstant(mod, "ABI_VERSION", CCORE_ABI_VERSION) < 0)
+        goto fail;
+    Py_INCREF(&CEventType);
+    if (PyModule_AddObject(mod, "Event", (PyObject *)&CEventType) < 0)
+        goto fail;
+    Py_INCREF(&DeliverType);
+    if (PyModule_AddObject(mod, "Deliver", (PyObject *)&DeliverType) < 0)
+        goto fail;
+    Py_INCREF(&ReceiveType);
+    if (PyModule_AddObject(mod, "Receive", (PyObject *)&ReceiveType) < 0)
+        goto fail;
+    Py_INCREF(&FinishType);
+    if (PyModule_AddObject(mod, "Finish", (PyObject *)&FinishType) < 0)
+        goto fail;
+    Py_INCREF(&ProcessType);
+    if (PyModule_AddObject(mod, "Process", (PyObject *)&ProcessType) < 0)
+        goto fail;
+    Py_INCREF(&LinkTransmitType);
+    if (PyModule_AddObject(mod, "LinkTransmit",
+                           (PyObject *)&LinkTransmitType) < 0)
+        goto fail;
+    Py_INCREF(&SlotTransmitType);
+    if (PyModule_AddObject(mod, "SlotTransmit",
+                           (PyObject *)&SlotTransmitType) < 0)
+        goto fail;
+    return mod;
+fail:
+    Py_DECREF(mod);
+    return NULL;
+}

@@ -1,0 +1,100 @@
+"""Backend selection for the dispatch-critical runtime kernels.
+
+The simulator's hot core — the event scheduler (:mod:`.eventloop`), the
+link transmit/delivery path (:mod:`.transport`), and the slot send path
+(:mod:`repro.protocol.slot`) — is factored behind this seam so the same
+protocol semantics can run on two interchangeable implementations:
+
+``python``
+    The pure-Python kernels that live inline in the modules above.
+    Always available; the reference implementation the fingerprint
+    suite pins.
+
+``compiled``
+    A CPython extension module (:mod:`repro.network._ccore`) holding
+    hand-written C versions of the same kernels: the ``Event`` type
+    with a C-level comparison, the batched two-lane drain loop, and
+    the per-signal transmit/deliver/receive/slot-send fast paths.
+    Build it with ``python tools/build_backend.py`` (requires only a C
+    compiler and the CPython headers; ``mypyc``/``Cython`` are *not*
+    needed — when they are absent, which is the common case in
+    hermetic containers, the hand-written core is the compiled
+    artifact).  Semantics are identical by construction and enforced
+    by the runtime fingerprint suite
+    (``tests/unit/test_runtime_fingerprints.py`` under both values of
+    ``REPRO_BACKEND``).
+
+The backend is chosen **once, at import time**, from the
+``REPRO_BACKEND`` environment variable:
+
+- ``python`` (default) — pure Python, never imports the extension.
+- ``compiled`` — use the extension; **falls back silently to python**
+  when no compiled artifact exists (a fresh checkout must never fail
+  to import).
+- ``auto`` — synonym for ``compiled`` (opportunistic).
+
+``repro.network.backend.BACKEND`` reports what was actually selected
+(``"python"`` or ``"compiled"``); bench reports record it so per-
+backend numbers in ``BENCH_load.json`` are attributable.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Optional
+
+__all__ = ["BACKEND", "BACKEND_ENV", "BACKEND_REQUESTED", "CORE",
+           "compiled_available", "describe"]
+
+#: Environment variable consulted once at import time.
+BACKEND_ENV = "REPRO_BACKEND"
+
+_VALID = ("python", "compiled", "auto")
+
+#: What the environment asked for (normalized; unknown values degrade
+#: to ``python`` rather than exploding an import chain — CLIs surface
+#: the resolved backend so a typo is visible, not fatal).
+BACKEND_REQUESTED = (os.environ.get(BACKEND_ENV) or "python").strip().lower()
+if BACKEND_REQUESTED not in _VALID:
+    BACKEND_REQUESTED = "python"
+
+#: The extension module when selected *and* importable, else ``None``.
+#: Every kernel consumer guards on this exact object.
+CORE: Optional[Any] = None
+
+if BACKEND_REQUESTED in ("compiled", "auto"):
+    try:
+        from . import _ccore as _core_mod  # type: ignore[attr-defined]
+    except ImportError:
+        _core_mod = None  # no artifact built: silent pure-Python fallback
+    else:
+        # A stale artifact built against different kernel contracts must
+        # not half-load; the ABI tag is bumped whenever the C side's
+        # expectations of the Python objects change.
+        if getattr(_core_mod, "ABI_VERSION", None) != 1:
+            _core_mod = None
+    CORE = _core_mod
+
+#: The backend actually in effect for this process.
+BACKEND: str = "compiled" if CORE is not None else "python"
+
+
+def compiled_available() -> bool:
+    """True when the compiled core is importable *in this process*
+    (regardless of whether it was selected)."""
+    if CORE is not None:
+        return True
+    try:
+        from . import _ccore  # noqa: F401
+    except ImportError:
+        return False
+    return getattr(_ccore, "ABI_VERSION", None) == 1
+
+
+def describe() -> Dict[str, Any]:
+    """Backend facts for bench reports and diagnostics."""
+    return {
+        "backend": BACKEND,
+        "requested": BACKEND_REQUESTED,
+        "compiled_loaded": CORE is not None,
+    }

@@ -9,6 +9,37 @@ order, where ``sequence`` is a monotonically increasing tie-breaker, so two
 runs with the same seed and the same call pattern produce identical traces.
 Randomness (used by the SIP glare backoff and latency jitter models) comes
 from a ``random.Random`` owned by the loop and seeded at construction.
+
+Two-lane batched dispatch
+-------------------------
+Internally the loop keeps two structures:
+
+- ``_heap`` — the classic binary heap of future (or odd-priority)
+  events, ordered by ``(time, priority, seq)``.
+- ``_ready`` — a FIFO *ready lane* holding priority-0 events scheduled
+  at the **current instant** (``call_soon``, zero-delay ``schedule``,
+  clamped ``schedule_at``, zero-latency link deliveries, zero-cost node
+  stimuli).  Because the clock never runs backwards and ``seq`` is
+  globally increasing, the lane is always sorted by ``(time, 0, seq)``
+  — appending preserves order by construction, so same-timestamp bursts
+  drain with O(1) deque operations and **zero** heap comparisons.
+
+The drain loop merges the two lanes by the same total order the heap
+alone used to impose (the order is strict — ``seq`` is unique — so the
+merge is exactly the old execution order, pinned by the runtime
+fingerprint suite).  The clock is written only when an event's
+timestamp actually differs from the previous one — one store per
+same-timestamp *batch*, not per event — and the executed/live counters
+are flushed once per drain.
+
+Backends
+--------
+The dispatch-critical kernels are selectable via ``REPRO_BACKEND`` (see
+:mod:`repro.network.backend`).  Under the compiled backend,
+:class:`Event` is a C extension type (C-level ordering, cheap
+allocation) and the untimed drain runs entirely in C; semantics are
+identical and the pure-Python implementations below remain the
+reference.
 """
 
 from __future__ import annotations
@@ -16,8 +47,11 @@ from __future__ import annotations
 import heapq
 import itertools
 import random
-from typing import (TYPE_CHECKING, Any, Callable, Dict, List, Optional,
-                    Tuple)
+from collections import deque
+from typing import (TYPE_CHECKING, Any, Callable, Deque, Dict, List,
+                    Optional, Tuple)
+
+from .backend import CORE as _CORE
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..obs.tracer import Tracer
@@ -60,10 +94,19 @@ class Event:
     """A scheduled callback.
 
     Instances are returned by :meth:`EventLoop.schedule` and can be
-    cancelled.  A cancelled event stays in the heap but is skipped when it
-    reaches the front; this is the standard lazy-deletion scheme.  The
-    owning loop keeps a live-event counter so that cancellation — and the
-    loop's quiescence checks — stay O(1) instead of rescanning the heap.
+    cancelled.  A cancelled event stays in its lane but is skipped when
+    it reaches the front; this is the standard lazy-deletion scheme.
+    The owning loop keeps a live-event counter so that cancellation —
+    and the loop's quiescence checks — stay O(1) instead of rescanning
+    the heap.
+
+    Freelist contract (see :mod:`repro.network.transport` and
+    :mod:`repro.network.node`): an event whose ``_loop`` is ``None``
+    and whose ``cancelled`` flag is clear has *fired* and sits in no
+    lane; an owner that provably holds the only reference may re-arm it
+    by resetting ``time``/``seq``/``args``/``_loop`` and re-inserting —
+    always drawing a **fresh** ``seq`` so the merged order is the same
+    as if a new object had been allocated.
     """
 
     __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled",
@@ -91,7 +134,10 @@ class Event:
                 # Timer-heavy runs (retransmission under loss) can leave
                 # the heap mostly tombstones; compacting once a majority
                 # is dead keeps push/pop log-factors honest instead of
-                # draining tombstones one heappop at a time.
+                # draining tombstones one heappop at a time.  (Ready-lane
+                # tombstones are excluded from the trigger: they drain in
+                # O(1) before the clock can advance, so they never hurt
+                # the heap's log factors.)
                 heap = loop._heap
                 if len(heap) > 64 and loop._live < (len(heap) >> 1):
                     loop._compact()
@@ -113,6 +159,16 @@ class Event:
             getattr(self.callback, "__qualname__", self.callback), state)
 
 
+#: The selected backend's event type.  The C type has the same
+#: constructor, the same attribute names, the same ``cancel()``
+#: semantics (including the compaction trigger), and a C-level
+#: ``__lt__`` compatible with the Python one.
+if _CORE is not None:
+    Event = _CORE.Event  # type: ignore[misc, assignment]
+
+_drain = None if _CORE is None else _CORE.drain
+
+
 class EventLoop:
     """A deterministic discrete-event simulation loop.
 
@@ -126,16 +182,26 @@ class EventLoop:
 
     def __init__(self, seed: Optional[int] = 0):
         self._heap: List[Event] = []
+        #: The ready lane: priority-0 events at the current instant,
+        #: FIFO.  Invariant: sorted by ``(time, seq)`` with every time
+        #: >= the clock value it will be popped at.  Mutated strictly
+        #: in place (``run`` holds a local reference to it).
+        self._ready: Deque[Event] = deque()
         self._seq = itertools.count()
         self._now = 0.0
         self._running = False
-        #: Live (scheduled, not yet executed or cancelled) events.
-        #: Maintained by schedule/cancel/execute so quiescence checks
-        #: never rescan the heap.
+        #: Live (scheduled, not yet executed or cancelled) events across
+        #: both lanes.  Maintained by schedule/cancel/execute so
+        #: quiescence checks never rescan.
         self._live = 0
         self.rng = random.Random(seed)
         #: Number of events executed so far (observability / budgets).
         self.executed = 0
+        #: Freelist of wire envelopes (:class:`~repro.protocol.signals.
+        #: TunnelMessage`), shared by every channel on this loop.  See
+        #: the reset contract in :meth:`repro.protocol.channel.
+        #: ChannelEnd._process`.
+        self._env_pool: List[Any] = []
         #: The loop's :class:`~repro.obs.tracer.Tracer`, or ``None``.
         #: Every emission site in the runtime guards on this being set,
         #: so an untraced run pays a single attribute read per site.
@@ -174,9 +240,12 @@ class EventLoop:
         if delay < 0:
             raise ValueError("cannot schedule an event in the past "
                              "(delay=%r)" % (delay,))
-        event = Event(self._now + delay, priority, next(self._seq),
-                      callback, args, self)
-        heapq.heappush(self._heap, event)
+        when = self._now + delay
+        event = Event(when, priority, next(self._seq), callback, args, self)
+        if when == self._now and priority == 0:
+            self._ready.append(event)
+        else:
+            heapq.heappush(self._heap, event)
         self._live += 1
         return event
 
@@ -200,14 +269,17 @@ class EventLoop:
                                  "(when=%r, now=%r)" % (when, now))
             when = now
         event = Event(when, priority, next(self._seq), callback, args, self)
-        heapq.heappush(self._heap, event)
+        if when == now and priority == 0:
+            self._ready.append(event)
+        else:
+            heapq.heappush(self._heap, event)
         self._live += 1
         return event
 
     def call_soon(self, callback: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``callback`` at the current instant."""
         event = Event(self._now, 0, next(self._seq), callback, args, self)
-        heapq.heappush(self._heap, event)
+        self._ready.append(event)
         self._live += 1
         return event
 
@@ -215,16 +287,23 @@ class EventLoop:
     # execution
     # ------------------------------------------------------------------
     def pending(self) -> int:
-        """Number of live (non-cancelled) events in the heap.  O(1):
-        reads the counter maintained by schedule/cancel/execute."""
+        """Number of live (non-cancelled) events across both lanes.
+        O(1): reads the counter maintained by schedule/cancel/execute."""
         return self._live
 
     def _compact(self) -> None:
-        """Drop cancelled events and re-heapify.  Mutates the heap list
-        in place: ``run()`` holds a local reference to it, so rebinding
-        ``self._heap`` here would desynchronize an in-progress run."""
+        """Drop cancelled events and restore the lane invariants.
+        Mutates the heap list and ready deque strictly in place:
+        ``run()`` holds local references to both, so rebinding either
+        here would desynchronize an in-progress run."""
         self._heap[:] = [e for e in self._heap if not e.cancelled]
         heapq.heapify(self._heap)
+        ready = self._ready
+        if ready:
+            alive = [e for e in ready if not e.cancelled]
+            if len(alive) != len(ready):
+                ready.clear()
+                ready.extend(alive)
 
     def _execute(self, event: Event) -> None:
         """Run one popped, live event (detaching it from the counter
@@ -235,13 +314,47 @@ class EventLoop:
         self.executed += 1
         event.callback(*event.args)
 
+    def _front(self, pop_cancelled: bool = False) -> Optional[Event]:
+        """The earliest live event across both lanes, or ``None``.
+        With ``pop_cancelled`` the tombstones in front of it are
+        discarded while scanning (used by diagnostics paths)."""
+        heap, ready = self._heap, self._ready
+        if pop_cancelled:
+            while heap and heap[0].cancelled:
+                heapq.heappop(heap)
+            while ready and ready[0].cancelled:
+                ready.popleft()
+        f = heap[0] if heap else None
+        r = ready[0] if ready else None
+        if f is None or (f is not None and f.cancelled):
+            f = None
+        if r is None or (r is not None and r.cancelled):
+            r = None
+        if f is None:
+            return r
+        if r is None:
+            return f
+        return f if _earlier(f, r) else r
+
     def step(self) -> bool:
         """Execute the single next event.
 
-        Returns ``True`` if an event ran, ``False`` if the heap is empty.
+        Returns ``True`` if an event ran, ``False`` if no live event
+        remains in either lane.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap, ready = self._heap, self._ready
+        while heap or ready:
+            if ready:
+                if heap:
+                    f, r = heap[0], ready[0]
+                    if _earlier(f, r):
+                        event = heapq.heappop(heap)
+                    else:
+                        event = ready.popleft()
+                else:
+                    event = ready.popleft()
+            else:
+                event = heapq.heappop(heap)
             if event.cancelled:
                 continue
             self._execute(event)
@@ -250,57 +363,113 @@ class EventLoop:
 
     def run(self, until: Optional[float] = None,
             max_events: Optional[int] = None) -> int:
-        """Run events until the heap drains, ``until`` passes, or the budget
-        of ``max_events`` is spent.  Returns the number of events executed
-        by this call.
+        """Run events until both lanes drain, ``until`` passes, or the
+        budget of ``max_events`` is spent.  Returns the number of events
+        executed by this call.
         """
-        # Hot loop: heap bookkeeping is localized and the body of
-        # _execute is inlined — at hundreds of thousands of events per
-        # settle the attribute reads and the extra call frame are the
-        # dominant cost, not the callbacks.
-        executed = 0
-        heap = self._heap
-        heappop = heapq.heappop
         if until is None:
             # Untimed runs (settle / run_until_quiescent / drain) are
-            # the hot case; with no deadline to peek against, every
-            # entry can be popped directly instead of inspected at the
-            # front first.  ``limit`` of -1 (no budget) never equals a
-            # non-negative count, so the budget check is one compare.
-            # The executed/live counters are flushed once at the end
-            # (exception-safe via finally) instead of updated per event;
-            # nothing reads them mid-run — cancel() only uses ``_live``
-            # for its compaction heuristic, which tolerates a high
-            # estimate.
+            # the hot case; the batched drain pops directly with no
+            # deadline to peek against.  Under the compiled backend the
+            # whole drain, including counter flushing, runs in C.
             limit = -1 if max_events is None else max_events
-            try:
-                while heap:
-                    if executed == limit:
-                        break
+            if _drain is not None:
+                return _drain(self, limit)
+            return self._drain_py(limit)
+        return self._run_timed(until, max_events)
+
+    def _drain_py(self, limit: int) -> int:
+        # Hot loop: lane bookkeeping is localized and the body of
+        # _execute is inlined — at hundreds of thousands of events per
+        # settle the attribute reads and the extra call frame are the
+        # dominant cost, not the callbacks.  ``limit`` of -1 (no
+        # budget) never equals a non-negative count, so the budget
+        # check is one compare.  The executed/live counters are
+        # flushed once at the end (exception-safe via finally) instead
+        # of updated per event; nothing reads them mid-run — cancel()
+        # only uses ``_live`` for its compaction heuristic, which
+        # tolerates a high estimate.  The clock is stored only when a
+        # popped event's timestamp differs from the current instant:
+        # one store per same-timestamp batch.
+        executed = 0
+        heap = self._heap
+        ready = self._ready
+        heappop = heapq.heappop
+        rpop = ready.popleft
+        try:
+            while True:
+                if executed == limit:
+                    break
+                if ready:
+                    if heap:
+                        f = heap[0]
+                        r = ready[0]
+                        # Inline _earlier(f, r) with r.priority == 0
+                        # (the ready-lane invariant).
+                        if (f.time < r.time
+                                or (f.time == r.time
+                                    and (f.priority < 0
+                                         or (f.priority == 0
+                                             and f.seq < r.seq)))):
+                            event = heappop(heap)
+                        else:
+                            event = rpop()
+                    else:
+                        event = rpop()
+                elif heap:
                     event = heappop(heap)
-                    if event.cancelled:
-                        continue
-                    executed += 1
-                    # detach before the callback so a post-hoc cancel()
-                    # cannot double-count
-                    event._loop = None
-                    self._now = event.time
-                    event.callback(*event.args)
-            finally:
-                self._live -= executed
-                self.executed += executed
-            return executed
-        while heap:
-            event = heap[0]
-            if event.cancelled:
+                else:
+                    break
+                if event.cancelled:
+                    continue
+                executed += 1
+                # detach before the callback so a post-hoc cancel()
+                # cannot double-count
+                event._loop = None
+                t = event.time
+                if t != self._now:
+                    self._now = t
+                event.callback(*event.args)
+        finally:
+            self._live -= executed
+            self.executed += executed
+        return executed
+
+    def _run_timed(self, until: float,
+                   max_events: Optional[int]) -> int:
+        executed = 0
+        heap = self._heap
+        ready = self._ready
+        heappop = heapq.heappop
+        while heap or ready:
+            # Peek the earliest front, draining tombstones lazily
+            # (tombstones never advance the clock and never count
+            # against the budget).
+            f = heap[0] if heap else None
+            if f is not None and f.cancelled:
                 heappop(heap)
                 continue
+            r = ready[0] if ready else None
+            if r is not None and r.cancelled:
+                ready.popleft()
+                continue
+            if f is None:
+                event, use_heap = r, False
+            elif r is None:
+                event, use_heap = f, True
+            elif _earlier(f, r):
+                event, use_heap = f, True
+            else:
+                event, use_heap = r, False
             if event.time > until:
                 self._now = until
-                break
+                return executed
             if max_events is not None and executed >= max_events:
-                break
-            heappop(heap)
+                return executed
+            if use_heap:
+                heappop(heap)
+            else:
+                ready.popleft()
             executed += 1
             # inline _execute (see above)
             event._loop = None
@@ -308,13 +477,12 @@ class EventLoop:
             self._now = event.time
             self.executed += 1
             event.callback(*event.args)
-        else:
-            if until > self._now:
-                self._now = until
+        if until > self._now:
+            self._now = until
         return executed
 
     def run_until_quiescent(self, max_events: int = 1_000_000) -> int:
-        """Run until no events remain.
+        """Run until no events remain, via the batched drain.
 
         Raises :class:`QuiescenceError` if more than ``max_events`` events
         execute, which indicates the system is not going to stabilize (a
@@ -323,9 +491,8 @@ class EventLoop:
         """
         executed = self.run(max_events=max_events)
         if self._live:
-            while self._heap and self._heap[0].cancelled:
-                heapq.heappop(self._heap)
-            nxt = repr(self._heap[0]) if self._heap else None
+            nxt_event = self._front(pop_cancelled=True)
+            nxt = repr(nxt_event) if nxt_event is not None else None
             tail: Tuple[str, ...] = ()
             if self.trace is not None:
                 tail = tuple(self.trace.flight_tail())
@@ -339,8 +506,18 @@ class EventLoop:
     def advance(self, duration: float) -> int:
         """Run all events in the next ``duration`` seconds of simulated
         time, then set the clock to exactly ``now + duration``."""
-        return self.run(until=self._now + duration)
+        return self._run_timed(self._now + duration, None)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return "<EventLoop t=%g pending=%d executed=%d>" % (
             self._now, self.pending(), self.executed)
+
+
+def _earlier(f: Event, r: Event) -> bool:
+    """Strict ``(time, priority, seq)`` order between the two lane
+    fronts; equivalent to ``f < r`` without the dunder dispatch."""
+    if f.time != r.time:
+        return f.time < r.time
+    if f.priority != r.priority:
+        return f.priority < r.priority
+    return f.seq < r.seq

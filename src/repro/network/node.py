@@ -17,6 +17,7 @@ from collections import deque
 from heapq import heappush
 from typing import Any, Callable, Deque, Optional, Tuple
 
+from .backend import CORE as _CORE
 from .eventloop import Event, EventLoop
 
 __all__ = ["Node"]
@@ -44,6 +45,39 @@ class Node:
         #: storage; recovery relies on peers retransmitting.
         self.offline = False
         self.dropped_while_offline = 0
+        #: The node's single in-flight completion event, recycled across
+        #: stimuli.  ``_busy`` guarantees at most one is scheduled at a
+        #: time, so once it has fired (``_loop is None``) and is not a
+        #: cancellation tombstone it can be re-armed in place with a
+        #: fresh ``seq`` — same execution order, no allocation.
+        self._stim_event: Optional[Event] = None
+        #: The callback armed for each stimulus completion.  Under the
+        #: compiled backend this is a C callable the drain loop
+        #: dispatches without a Python frame; otherwise the bound
+        #: method.  Created after ``loop``/``cost``/``_inbox`` exist
+        #: (the C object caches them).
+        self._finish_cb: Callable[[], None] = (
+            self._finish_one if _CORE is None else _CORE.Finish(self))
+
+    def _arm(self) -> None:
+        """Schedule ``_finish_one`` after ``cost`` seconds (inlined
+        ``loop.schedule``: every signal delivery funnels through here,
+        and ``cost`` is a constant >= 0 by construction)."""
+        loop = self.loop
+        when = loop._now + self.cost
+        event = self._stim_event
+        if event is not None and event._loop is None and not event.cancelled:
+            event.time = when
+            event.seq = next(loop._seq)
+            event._loop = loop
+        else:
+            event = self._stim_event = Event(
+                when, 0, next(loop._seq), self._finish_cb, (), loop)
+        if when == loop._now:
+            loop._ready.append(event)
+        else:
+            heappush(loop._heap, event)
+        loop._live += 1
 
     # ------------------------------------------------------------------
     # stimulus queueing
@@ -60,13 +94,7 @@ class Node:
         self._inbox.append((handler, args))
         if not self._busy:
             self._busy = True
-            # Inlined loop.schedule: every signal delivery funnels
-            # through here, and cost is a constant >= 0 by construction.
-            loop = self.loop
-            event = Event(loop._now + self.cost, 0, next(loop._seq),
-                          self._finish_one, (), loop)
-            heappush(loop._heap, event)
-            loop._live += 1
+            self._arm()
 
     def _finish_one(self) -> None:
         handler, args = self._inbox.popleft()
@@ -75,11 +103,7 @@ class Node:
             handler(*args)
         finally:
             if self._inbox:
-                loop = self.loop
-                event = Event(loop._now + self.cost, 0, next(loop._seq),
-                              self._finish_one, (), loop)
-                heappush(loop._heap, event)
-                loop._live += 1
+                self._arm()
             else:
                 self._busy = False
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 from heapq import heappush
 from typing import Any, Callable, List, Optional
 
+from .backend import CORE as _CORE
 from .eventloop import Event, EventLoop
 from .latency import FixedLatency, LatencyModel
 
@@ -30,6 +31,10 @@ __all__ = ["Link", "LinkEnd"]
 #: Compact the in-flight event list once it reaches this length; entries
 #: whose events already fired are pruned, keeping memory O(in-flight).
 _PENDING_COMPACT = 16
+
+#: Cap on each link's recycled-:class:`Event` freelist; beyond this,
+#: fired events are simply released to the allocator.
+_FREELIST_MAX = 32
 
 Receiver = Callable[[Any], None]
 TransmitFn = Callable[["LinkEnd", Any], None]
@@ -116,10 +121,25 @@ class Link:
         #: Compaction threshold for ``_pending`` (doubles with the live
         #: population so compaction cost stays amortized O(1) per send).
         self._compact_at = _PENDING_COMPACT
+        #: Recycled delivery events (fired, unreferenced, re-armable).
+        self._free: List[Event] = []
         #: Installed transmit hooks, innermost first.
         self._hooks: List[TransmitHook] = []
         #: The composed transmit entry point (rebuilt on hook changes).
         self._chain: TransmitFn = self._base_transmit
+        if _CORE is not None:
+            # Compiled backend: per-end delivery kernels first (the
+            # transmit kernel caches them), then shadow the bound
+            # ``_base_transmit`` with the C transmit so every chain —
+            # including ones rebuilt after hook changes — bottoms out
+            # in C.  The Python method above stays the reference.
+            self.ends[0]._cdeliver = _CORE.Deliver(self.ends[0])
+            self.ends[1]._cdeliver = _CORE.Deliver(self.ends[1])
+            base = _CORE.LinkTransmit(self)
+            self._base_transmit = base  # type: ignore[method-assign]
+            self._chain = base
+            self.ends[0]._chain = base
+            self.ends[1]._chain = base
 
     def transmit(self, origin: LinkEnd, message: Any) -> None:
         """Schedule delivery of ``message`` at the end opposite ``origin``,
@@ -152,14 +172,53 @@ class Link:
         target = origin._peer
         pending = self._pending
         if len(pending) >= self._compact_at:
-            pending = self._pending = [e for e in pending
-                                       if e._loop is not None]
-            self._compact_at = max(_PENDING_COMPACT, 2 * len(pending))
-        event = Event(deliver_at, 0, next(loop._seq),
-                      target._deliver, (message,), loop)
-        heappush(loop._heap, event)
+            pending = self._compact_pending()
+        # Delivery events are recycled through a per-link freelist: an
+        # entry whose ``_loop`` is ``None`` and whose ``cancelled`` flag
+        # is clear has *fired* and is referenced by nobody but this
+        # link, so it can be re-armed in place.  (Cancelled events are
+        # never recycled — they may still sit in a lane as tombstones.)
+        # The freelist is per-link, not per-loop, so ``tear_down`` /
+        # ``_drop_in_flight`` on one link can never cancel an event
+        # another link has already re-armed.  A fresh ``seq`` is drawn
+        # on reuse, making the execution order identical to a fresh
+        # allocation.
+        free = self._free
+        if free:
+            event = free.pop()
+            event.time = deliver_at
+            event.seq = next(loop._seq)
+            event.args = (message,)
+            event.callback = target._deliver
+            event._loop = loop
+        else:
+            event = Event(deliver_at, 0, next(loop._seq),
+                          target._deliver, (message,), loop)
+        if deliver_at == loop._now:
+            loop._ready.append(event)
+        else:
+            heappush(loop._heap, event)
         loop._live += 1
         pending.append(event)
+
+    def _compact_pending(self) -> List[Event]:
+        """Prune fired entries from ``_pending``, harvesting them onto
+        the freelist, and re-arm the amortization threshold."""
+        alive: List[Event] = []
+        free = self._free
+        for e in self._pending:
+            if e._loop is not None:
+                alive.append(e)
+            elif not e.cancelled and len(free) < _FREELIST_MAX:
+                free.append(e)
+        # In-place replacement (not rebinding): the compiled backend's
+        # transmit kernel holds a direct reference to this list.
+        self._pending[:] = alive
+        # Amortize: raise the threshold with the live population so a
+        # busy link is not rescanned on every send, but an idle one
+        # shrinks back to the floor.
+        self._compact_at = max(_PENDING_COMPACT, 2 * len(alive))
+        return self._pending
 
     # -- the hook chain ----------------------------------------------------
     def add_transmit_hook(self, hook: TransmitHook,
@@ -216,12 +275,7 @@ class Link:
         target = origin._peer
         pending = self._pending
         if len(pending) >= self._compact_at:
-            pending = self._pending = [e for e in pending
-                                       if e._loop is not None]
-            # Amortize: raise the threshold with the live population so
-            # a busy link is not rescanned on every send, but an idle
-            # one shrinks back to the floor.
-            self._compact_at = max(_PENDING_COMPACT, 2 * len(pending))
+            pending = self._compact_pending()
         if deliver_at >= loop._now:
             # Inlined loop.schedule_at: one delivery per signal makes
             # this the single hottest allocation site in a load run.

@@ -25,6 +25,7 @@ from __future__ import annotations
 from heapq import heappush
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from ..network.backend import CORE as _CORE
 from ..network.eventloop import Event, EventLoop
 from ..network.latency import LatencyModel
 from ..network.node import Node
@@ -43,6 +44,10 @@ __all__ = ["SignalingAgent", "ChannelEnd", "SignalingChannel",
 #: a media channel is no longer needed, the entire signaling channel is
 #: destroyed").
 DEFAULT_TUNNEL = "t0"
+
+#: Cap on the per-loop recycled-envelope pool (see
+#: :attr:`repro.network.eventloop.EventLoop._env_pool`).
+_ENV_POOL_MAX = 64
 
 
 class SignalingAgent:
@@ -111,6 +116,17 @@ class ChannelEnd:
         self.slots: Dict[str, Slot] = {
             tid: Slot(self, tid, strict=strict, retransmit=retransmit)
             for tid in channel.tunnel_ids}
+        #: The per-message kernels the wire and inbox dispatch through.
+        #: Under the compiled backend these are C callables (created in
+        #: this order: ``Receive`` caches ``_process_fn``); otherwise
+        #: the bound methods.  Either backend may process thunks queued
+        #: by the other — both callables obey the same contract.
+        if _CORE is None:
+            self._process_fn = self._process
+            self._receive_fn = self._receive
+        else:
+            self._process_fn = _CORE.Process(self)
+            self._receive_fn = _CORE.Receive(self)
 
     # -- identity ---------------------------------------------------------
     @property
@@ -193,13 +209,24 @@ class ChannelEnd:
         if node.offline:
             node.dropped_while_offline += 1
             return
-        node._inbox.append((self._process, (message,)))
+        node._inbox.append((self._process_fn, (message,)))
         if not node._busy:
             node._busy = True
             loop = node.loop
-            event = Event(loop._now + node.cost, 0, next(loop._seq),
-                          node._finish_one, (), loop)
-            heappush(loop._heap, event)
+            when = loop._now + node.cost
+            event = node._stim_event
+            if event is not None and event._loop is None \
+                    and not event.cancelled:
+                event.time = when
+                event.seq = next(loop._seq)
+                event._loop = loop
+            else:
+                event = node._stim_event = Event(
+                    when, 0, next(loop._seq), node._finish_cb, (), loop)
+            if when == loop._now:
+                loop._ready.append(event)
+            else:
+                heappush(loop._heap, event)
             loop._live += 1
 
     def _process(self, message) -> None:
@@ -221,6 +248,15 @@ class ChannelEnd:
                 # event construction entirely.
                 if slot.receive(signal):
                     owner.on_tunnel_signal(slot, signal)
+                if message.pooled:
+                    # Envelope reset contract: a pooled envelope has had
+                    # exactly its one delivery (pooling is only enabled
+                    # on hook-free links); drop the signal reference and
+                    # release it for the next send.
+                    message.signal = None  # type: ignore[assignment]
+                    pool = self._loop._env_pool
+                    if len(pool) < _ENV_POOL_MAX:
+                        pool.append(message)
                 return
             state_before = slot.state
             accepted = slot.receive(signal)
@@ -232,6 +268,11 @@ class ChannelEnd:
                 accepted=accepted))
             if accepted:
                 owner.on_tunnel_signal(slot, signal)
+            if message.pooled:
+                message.signal = None  # type: ignore[assignment]
+                pool = self._loop._env_pool
+                if len(pool) < _ENV_POOL_MAX:
+                    pool.append(message)
         elif type(message) is MetaMessage:
             tr = self._loop.trace
             if isinstance(message.signal, TearDown):
@@ -286,7 +327,7 @@ class SignalingChannel:
         self.ends = (ChannelEnd(self, 0, initiator, strict, retransmit),
                      ChannelEnd(self, 1, responder, strict, retransmit))
         for end in self.ends:
-            end._link_end.set_receiver(end._receive)
+            end._link_end.set_receiver(end._receive_fn)
             end.owner._adopt_end(end)
         tr = loop.trace
         if tr is not None:

@@ -179,10 +179,21 @@ class AppMeta(MetaSignal):
 # per field in __init__.  The signals inside them stay immutable.
 @dataclass(slots=True)
 class TunnelMessage:
-    """Envelope routing a tunnel signal to one tunnel of a channel."""
+    """Envelope routing a tunnel signal to one tunnel of a channel.
+
+    ``pooled`` marks an envelope drawn from the loop's freelist
+    (:attr:`repro.network.eventloop.EventLoop._env_pool`).  Such an
+    envelope is acquired at a send site that proved the link has no
+    transmit hooks — so exactly one delivery will happen and nobody
+    retains the object — and is reset and released at the end of
+    :meth:`repro.protocol.channel.ChannelEnd._process`.  The flag is
+    excluded from equality and repr: a recycled envelope is
+    indistinguishable from a fresh one.
+    """
 
     tunnel_id: str
     signal: TunnelSignal
+    pooled: bool = field(default=False, compare=False, repr=False)
 
     def __str__(self) -> str:
         return "[%s] %s" % (self.tunnel_id, self.signal)

@@ -39,6 +39,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
+from ..network.backend import CORE as _CORE
 from ..obs.events import Retransmit, SlotDrop, SlotFailed, SlotTransition
 from .codecs import Medium
 from .descriptor import Descriptor, Selector
@@ -105,6 +106,7 @@ class Slot:
         "retransmits", "failures", "signals_sent", "signals_received",
         "_retx_timer", "_retx_signal", "_retx_kind", "_retx_attempts",
         "_retx_interval", "_stale_timer", "_stale_attempts", "_loop",
+        "_tx",
     )
 
     def __init__(self, channel_end: "ChannelEnd", tunnel_id: str,
@@ -154,6 +156,13 @@ class Slot:
         self._retx_interval = 0.0
         self._stale_timer = None
         self._stale_attempts = 0
+
+        #: The per-signal send kernel: under the compiled backend a C
+        #: callable that fuses ``_transmit`` with the link's transmit,
+        #: otherwise the bound reference method.  Every send site calls
+        #: ``self._tx``; ``_transmit`` below stays the specification.
+        self._tx = (self._transmit if _CORE is None
+                    else _CORE.SlotTransmit(self))
 
     # ------------------------------------------------------------------
     # identity and predicates
@@ -249,7 +258,7 @@ class Slot:
         self.failed = False
         self._set_state(OPENING, "send_open")
         signal = Open(medium, descriptor)
-        self._transmit(signal)
+        self._tx(signal)
         self._arm_retx("open", signal)
 
     def send_oack(self, descriptor: Descriptor) -> None:
@@ -258,7 +267,7 @@ class Slot:
             raise ProtocolStateError(self, "send oack", self.state)
         self.local_descriptor = descriptor
         self._set_state(FLOWING, "send_oack")
-        self._transmit(Oack(descriptor))
+        self._tx(Oack(descriptor))
         # A lost oack is recovered by the peer retransmitting its open
         # (we re-oack the duplicate); the staleness timer covers the
         # descriptor-answering select.
@@ -272,7 +281,7 @@ class Slot:
         self._set_state(CLOSING, "send_close")
         self._cancel_stale()
         signal = _CLOSE
-        self._transmit(signal)
+        self._tx(signal)
         self._arm_retx("close", signal)
 
     def send_describe(self, descriptor: Descriptor) -> None:
@@ -280,7 +289,7 @@ class Slot:
         if self.state != FLOWING:
             raise ProtocolStateError(self, "send describe", self.state)
         self.local_descriptor = descriptor
-        self._transmit(Describe(descriptor))
+        self._tx(Describe(descriptor))
         self._arm_stale()
 
     def send_select(self, selector: Selector) -> None:
@@ -293,7 +302,7 @@ class Slot:
                 "%s: select with no received descriptor" % self.name)
         selector.validate_against(self.remote_descriptor)
         self.selector_sent = selector
-        self._transmit(Select(selector))
+        self._tx(Select(selector))
 
     def _transmit(self, signal: TunnelSignal) -> None:
         self.signals_sent += 1
@@ -301,7 +310,22 @@ class Slot:
         # the extra call frame measurable at load.
         end = self._end
         if end.alive:
-            end._wire.send(TunnelMessage(self.tunnel_id, signal))
+            wire = end._wire
+            if wire._link._hooks:
+                # A hooked link (fault layer, tracer tap) may duplicate
+                # the envelope or deliver it late; such envelopes are
+                # never pooled, so a duplicate can never observe a
+                # recycled one.
+                wire.send(TunnelMessage(self.tunnel_id, signal))
+                return
+            pool = self._loop._env_pool
+            if pool:
+                message = pool.pop()
+                message.tunnel_id = self.tunnel_id
+                message.signal = signal
+            else:
+                message = TunnelMessage(self.tunnel_id, signal, True)
+            wire.send(message)
 
     # ------------------------------------------------------------------
     # receiving
@@ -349,7 +373,7 @@ class Slot:
                 # earlier closeack did not arrive, so answer again.
                 self.duplicate_drops += 1
                 self._emit_drop("duplicate", signal)
-                self._transmit(_CLOSEACK)
+                self._tx(_CLOSEACK)
                 return False
             if cls is CloseAck or cls is Oack or cls is Describe \
                     or cls is Select:
@@ -433,7 +457,7 @@ class Slot:
                 self.duplicate_drops += 1
                 self._emit_drop("duplicate", signal)
                 if self.local_descriptor is not None:
-                    self._transmit(Oack(self.local_descriptor))
+                    self._tx(Oack(self.local_descriptor))
                 return False
             if cls is Oack \
                     and self.remote_descriptor is not None \
@@ -453,7 +477,7 @@ class Slot:
         if cls is Close:
             # Crossing closes: acknowledge theirs, keep waiting for the
             # acknowledgement of ours.
-            self._transmit(_CLOSEACK)
+            self._tx(_CLOSEACK)
             return True
         if cls is CloseAck:
             self._reset_to_closed("recv_closeack")
@@ -470,7 +494,7 @@ class Slot:
 
     # -- shared pieces --
     def _acknowledge_close(self) -> None:
-        self._transmit(_CLOSEACK)
+        self._tx(_CLOSEACK)
         self._reset_to_closed("recv_close")
 
     def _reset_to_closed(self, cause: str = "reset") -> None:
@@ -559,7 +583,7 @@ class Slot:
                 channel=self._end.channel.name, tunnel=self.tunnel_id,
                 kind=self._retx_kind or "retry",
                 attempt=self._retx_attempts))
-        self._transmit(self._retx_signal)
+        self._tx(self._retx_signal)
         self._retx_interval *= policy.backoff
         self._retx_timer = self._end.owner.node.set_timer(
             self._retx_interval, self._retx_fire)
@@ -571,7 +595,7 @@ class Slot:
         if kind == "open" and self.state == OPENING:
             # Best-effort abort so a peer that did hear us stops waiting;
             # we do not wait for the closeack.
-            self._transmit(_CLOSE)
+            self._tx(_CLOSE)
         self._reset_to_closed("gave_up")
         self.failed = True
         self.failures += 1
@@ -621,7 +645,7 @@ class Slot:
                 ts=self._end.owner.loop.now, slot=self.name,
                 channel=self._end.channel.name, tunnel=self.tunnel_id,
                 kind="describe", attempt=self._stale_attempts))
-        self._transmit(Describe(self.local_descriptor))
+        self._tx(Describe(self.local_descriptor))
         self._stale_timer = self._end.owner.node.set_timer(
             policy.stale_after * (policy.backoff ** self._stale_attempts),
             self._stale_fire)

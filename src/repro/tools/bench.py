@@ -59,6 +59,30 @@ def load_baseline(path: str, key: Optional[str] = None) -> Dict[str, Any]:
     return section if isinstance(section, dict) else {}
 
 
+def exact_percentiles(values: Sequence[float],
+                      ps: Sequence[float]) -> "Dict[str, Optional[float]]":
+    """Exact (nearest-rank) percentiles over raw observations.
+
+    Returns ``{"p50": ..., "p99": ..., "p999": ...}``-style keys (the
+    label drops the decimal point: 99.9 -> ``p999``).  ``None`` per key
+    on an empty input.  Exact because the load harness ships every raw
+    per-call latency to the merge — tail percentiles from histogram
+    buckets would be bounded by bucket resolution exactly where tails
+    matter most.
+    """
+    labels = {p: "p%s" % str(p).replace(".", "").rstrip("0")
+              if p != int(p) else "p%d" % int(p) for p in ps}
+    if not values:
+        return {labels[p]: None for p in ps}
+    ordered = sorted(values)
+    n = len(ordered)
+    out = {}
+    for p in ps:
+        rank = max(1, -(-int(p * 10) * n // 1000))  # ceil(p*n/100), int-safe
+        out[labels[p]] = ordered[min(rank, n) - 1]
+    return out
+
+
 def geomean(values: Sequence[float]) -> Optional[float]:
     """Geometric mean, or ``None`` on an empty sequence."""
     if not values:

@@ -1,0 +1,186 @@
+"""Backend seam tests: selection, fallback, and cross-backend parity.
+
+The backend is chosen once at import time, so every selection test runs
+in a child interpreter with a controlled ``REPRO_BACKEND``.  The parity
+test computes the full runtime-fingerprint set under *both* backends in
+child processes and requires byte-identical results — the compiled core
+is only allowed to be faster, never different.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.network.backend import compiled_available
+
+_SRC = os.path.normpath(os.path.join(
+    os.path.dirname(__file__), "..", "..", "src"))
+
+
+def _probe(code: str, backend_env=None) -> str:
+    """Run ``code`` in a child interpreter; returns its stdout."""
+    env = {k: v for k, v in os.environ.items() if k != "REPRO_BACKEND"}
+    if backend_env is not None:
+        env["REPRO_BACKEND"] = backend_env
+    env["PYTHONPATH"] = _SRC
+    proc = subprocess.run([sys.executable, "-c", textwrap.dedent(code)],
+                          env=env, capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout.strip()
+
+
+def _describe(backend_env=None) -> dict:
+    return json.loads(_probe(
+        """
+        import json
+        from repro.network import backend
+        print(json.dumps(backend.describe()))
+        """, backend_env))
+
+
+def test_default_backend_is_python():
+    info = _describe(None)
+    assert info == {"backend": "python", "requested": "python",
+                    "compiled_loaded": False}
+
+
+def test_explicit_python_never_loads_the_extension():
+    info = _describe("python")
+    assert info["backend"] == "python"
+    assert info["compiled_loaded"] is False
+
+
+def test_unknown_backend_value_degrades_to_python():
+    info = _describe("turbo9000")
+    assert info["backend"] == "python"
+    assert info["requested"] == "python"
+
+
+def test_backend_env_value_is_normalized():
+    info = _describe("  Python \n")
+    assert info["requested"] == "python"
+
+
+def test_compiled_falls_back_silently_without_artifact():
+    # Block the extension import (as on a fresh checkout with no build)
+    # and ask for the compiled backend: the import chain must survive
+    # and land on pure Python.
+    out = _probe(
+        """
+        import sys
+        sys.modules["repro.network._ccore"] = None  # import -> ImportError
+        from repro.network import backend
+        assert backend.BACKEND == "python", backend.describe()
+        assert backend.CORE is None
+        assert backend.BACKEND_REQUESTED == "compiled"
+        print("fallback-ok")
+        """, "compiled")
+    assert out == "fallback-ok"
+
+
+def test_stale_abi_artifact_is_rejected():
+    # An artifact built against older kernel contracts must not
+    # half-load; the seam checks ABI_VERSION before adopting it.
+    out = _probe(
+        """
+        import sys, types
+        fake = types.ModuleType("repro.network._ccore")
+        fake.ABI_VERSION = 999
+        sys.modules["repro.network._ccore"] = fake
+        from repro.network import backend
+        assert backend.BACKEND == "python", backend.describe()
+        assert backend.CORE is None
+        print("abi-gate-ok")
+        """, "compiled")
+    assert out == "abi-gate-ok"
+
+
+@pytest.mark.skipif(not compiled_available(),
+                    reason="compiled backend not built "
+                           "(python tools/build_backend.py)")
+def test_compiled_backend_selected_when_requested():
+    for env in ("compiled", "auto"):
+        info = _describe(env)
+        assert info["backend"] == "compiled", info
+        assert info["compiled_loaded"] is True
+
+
+@pytest.mark.skipif(not compiled_available(),
+                    reason="compiled backend not built "
+                           "(python tools/build_backend.py)")
+def test_compiled_event_type_is_the_c_type():
+    out = _probe(
+        """
+        from repro.network import backend
+        from repro.network.eventloop import Event
+        assert Event is backend.CORE.Event
+        e = Event(1.5, 0, 7, print, ("x",), None)
+        assert (e.time, e.priority, e.seq) == (1.5, 0, 7)
+        assert not e.cancelled
+        e.cancel(); e.cancel()  # idempotent
+        assert e.cancelled
+        print("ctype-ok")
+        """, "compiled")
+    assert out == "ctype-ok"
+
+
+# ---------------------------------------------------------------------------
+# cross-backend parity: the whole fingerprint matrix, both backends
+# ---------------------------------------------------------------------------
+
+_FINGERPRINT_CODE = """
+import hashlib, json
+from repro.chaos.scenarios import SCENARIOS
+from repro.network import backend
+from repro.network.faults import plan_by_name
+from repro.network.network import Network
+from repro.obs.export import dumps_chrome
+from repro.obs.tracer import Tracer
+from repro.protocol.slot import RetransmitPolicy
+
+out = {"backend": backend.BACKEND}
+for app in sorted(SCENARIOS):
+    for mode in ("faithful", "faulted"):
+        tracer = Tracer()
+        if mode == "faithful":
+            net = Network(seed=7, trace=tracer)
+        else:
+            net = Network(seed=7, retransmit=RetransmitPolicy(),
+                          faults=plan_by_name("drop10+dup10"),
+                          trace=tracer)
+        SCENARIOS[app](net)
+        export = dumps_chrome(tracer, meta={"app": app, "seed": 7,
+                                            "mode": mode})
+        out["%s@%s" % (app, mode)] = {
+            "executed": net.loop.executed,
+            "emitted": len(tracer.events),
+            "sim_time": net.loop.now,
+            "trace_sha256":
+                hashlib.sha256(export.encode()).hexdigest(),
+        }
+print(json.dumps(out, sort_keys=True))
+"""
+
+
+@pytest.mark.skipif(not compiled_available(),
+                    reason="compiled backend not built "
+                           "(python tools/build_backend.py)")
+def test_fingerprints_identical_across_backends():
+    """Every bundled app, faithful and faulted, must produce the same
+    executed-event count, trace volume, final clock, and byte-identical
+    trace export under both backends."""
+    py = json.loads(_probe(_FINGERPRINT_CODE, "python"))
+    cc = json.loads(_probe(_FINGERPRINT_CODE, "compiled"))
+    assert py.pop("backend") == "python"
+    assert cc.pop("backend") == "compiled"
+    assert set(py) == set(cc) and len(py) == 12
+    for key in sorted(py):
+        assert py[key] == cc[key], (
+            "backend divergence on %s:\npython:   %r\ncompiled: %r"
+            % (key, py[key], cc[key]))

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Build the compiled runtime backend (``repro.network._ccore``).
+
+The extension is a single hand-written C file with no dependencies
+beyond the CPython headers, so the build is one compiler invocation —
+no ``setuptools`` build machinery, no ``Cython``/``mypyc``.  The
+artifact lands next to its source (``src/repro/network/``), where
+:mod:`repro.network.backend` looks for it when ``REPRO_BACKEND`` is
+``compiled`` or ``auto``.
+
+Usage::
+
+    python tools/build_backend.py [--force] [--check] [--quiet]
+
+``--check`` only reports whether a current artifact exists (exit 0) or
+not (exit 1), without building.  Without ``--force`` the build is
+skipped when the artifact is newer than the source (make-style).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shlex
+import subprocess
+import sys
+import sysconfig
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+PKG_DIR = os.path.join(ROOT, "src", "repro", "network")
+SOURCE = os.path.join(PKG_DIR, "_ccore.c")
+
+#: Platform-tagged extension suffix (e.g. ``.cpython-311-x86_64-...so``)
+#: so the artifact never shadows one built for a different interpreter.
+EXT_SUFFIX = sysconfig.get_config_var("EXT_SUFFIX") or ".so"
+ARTIFACT = os.path.join(PKG_DIR, "_ccore" + EXT_SUFFIX)
+
+
+def artifact_is_current() -> bool:
+    return (os.path.exists(ARTIFACT)
+            and os.path.getmtime(ARTIFACT) >= os.path.getmtime(SOURCE))
+
+
+def build(force: bool = False, quiet: bool = False) -> str:
+    """Compile the extension in place; returns the artifact path."""
+    if not force and artifact_is_current():
+        if not quiet:
+            print("up to date: %s" % ARTIFACT)
+        return ARTIFACT
+    cc = sysconfig.get_config_var("CC") or "cc"
+    include = sysconfig.get_paths()["include"]
+    cmd = shlex.split(cc) + [
+        "-O3", "-fPIC", "-shared", "-fno-strict-aliasing",
+        "-I", include,
+        SOURCE, "-o", ARTIFACT,
+    ]
+    if not quiet:
+        print(" ".join(shlex.quote(c) for c in cmd))
+    subprocess.run(cmd, check=True)
+    # Smoke-import in a child process with the backend forced on, so a
+    # broken artifact fails the build instead of a later test run.
+    probe = subprocess.run(
+        [sys.executable, "-c",
+         "from repro.network import backend; "
+         "assert backend.BACKEND == 'compiled', backend.describe(); "
+         "print(backend.describe())"],
+        env={**os.environ, "REPRO_BACKEND": "compiled",
+             "PYTHONPATH": os.path.join(ROOT, "src")},
+        capture_output=True, text=True)
+    if probe.returncode != 0:
+        try:
+            os.unlink(ARTIFACT)
+        except OSError:
+            pass
+        raise SystemExit("built artifact failed to import:\n%s%s"
+                         % (probe.stdout, probe.stderr))
+    if not quiet:
+        print("built: %s" % ARTIFACT)
+        print(probe.stdout.strip())
+    return ARTIFACT
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--force", action="store_true",
+                        help="rebuild even if the artifact is current")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 0 if a current artifact exists, 1 if not")
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+    if args.check:
+        ok = artifact_is_current()
+        if not args.quiet:
+            print("%s: %s" % ("current" if ok else "missing/stale", ARTIFACT))
+        return 0 if ok else 1
+    build(force=args.force, quiet=args.quiet)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
