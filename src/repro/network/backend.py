@@ -28,10 +28,15 @@ The backend is chosen **once, at import time**, from the
 ``REPRO_BACKEND`` environment variable:
 
 - ``python`` (default) — pure Python, never imports the extension.
-- ``compiled`` — use the extension; **falls back silently to python**
-  when no compiled artifact exists (a fresh checkout must never fail
-  to import).
-- ``auto`` — synonym for ``compiled`` (opportunistic).
+- ``compiled`` — use the extension; falls back to python **with a
+  one-time RuntimeWarning** when no compiled artifact exists or its
+  ABI is stale (a fresh checkout must never fail to import, but an
+  explicit ask that degrades must not do so silently).
+- ``auto`` — like ``compiled`` but opportunistic: the fallback is
+  expected, so it stays silent.
+
+An unknown ``REPRO_BACKEND`` value likewise degrades to ``python``
+with a one-time RuntimeWarning naming the valid values.
 
 ``repro.network.backend.BACKEND`` reports what was actually selected
 (``"python"`` or ``"compiled"``); bench reports record it so per-
@@ -41,10 +46,12 @@ backend numbers in ``BENCH_load.json`` are attributable.
 from __future__ import annotations
 
 import os
+import warnings
 from typing import Any, Dict, Optional
 
-__all__ = ["BACKEND", "BACKEND_ENV", "BACKEND_REQUESTED", "CORE",
-           "compiled_available", "describe"]
+__all__ = ["ARENA_POISON", "BACKEND", "BACKEND_ENV",
+           "BACKEND_REQUESTED", "CORE", "compiled_available",
+           "describe"]
 
 #: Environment variable consulted once at import time.
 BACKEND_ENV = "REPRO_BACKEND"
@@ -52,11 +59,28 @@ BACKEND_ENV = "REPRO_BACKEND"
 _VALID = ("python", "compiled", "auto")
 
 #: What the environment asked for (normalized; unknown values degrade
-#: to ``python`` rather than exploding an import chain — CLIs surface
-#: the resolved backend so a typo is visible, not fatal).
-BACKEND_REQUESTED = (os.environ.get(BACKEND_ENV) or "python").strip().lower()
+#: to ``python`` with a one-time warning rather than exploding an
+#: import chain — a typo is visible on stderr and in ``describe()``,
+#: not fatal).
+_RAW_REQUESTED = os.environ.get(BACKEND_ENV)
+BACKEND_REQUESTED = (_RAW_REQUESTED or "python").strip().lower()
 if BACKEND_REQUESTED not in _VALID:
+    warnings.warn(
+        "unknown %s value %r (valid: %s); falling back to the "
+        "pure-Python backend" % (BACKEND_ENV, _RAW_REQUESTED,
+                                 ", ".join(_VALID)),
+        RuntimeWarning, stacklevel=2)
     BACKEND_REQUESTED = "python"
+
+#: Opt-in debug mode: poison arena objects on release so a
+#: use-after-release fails loudly instead of silently delivering a
+#: recycled envelope or replaying a stale event.  Read here because
+#: this module is the one sanctioned ``os.environ`` seam (RC813); the
+#: consumers are :mod:`repro.network.transport` (Event freelist) and
+#: :mod:`repro.protocol.channel` (envelope pool).  A pure-Python debug
+#: aid: the compiled kernels keep their own (audited) release paths.
+ARENA_POISON: bool = (os.environ.get("REPRO_ARENA_POISON", "")
+                      .strip().lower() in ("1", "true", "yes", "on"))
 
 #: The extension module when selected *and* importable, else ``None``.
 #: Every kernel consumer guards on this exact object.
@@ -66,12 +90,30 @@ if BACKEND_REQUESTED in ("compiled", "auto"):
     try:
         from . import _ccore as _core_mod  # type: ignore[attr-defined]
     except ImportError:
-        _core_mod = None  # no artifact built: silent pure-Python fallback
+        # No artifact built: pure-Python fallback.  ``compiled`` was an
+        # explicit ask, so its degradation warns once; ``auto`` is
+        # opportunistic by definition and stays silent.
+        _core_mod = None
+        if BACKEND_REQUESTED == "compiled":
+            warnings.warn(
+                "%s=compiled but no compiled artifact is importable; "
+                "build one with 'python tools/build_backend.py' -- "
+                "falling back to the pure-Python backend"
+                % BACKEND_ENV, RuntimeWarning, stacklevel=2)
     else:
         # A stale artifact built against different kernel contracts must
         # not half-load; the ABI tag is bumped whenever the C side's
         # expectations of the Python objects change.
         if getattr(_core_mod, "ABI_VERSION", None) != 1:
+            if BACKEND_REQUESTED == "compiled":
+                warnings.warn(
+                    "%s=compiled but the artifact's ABI_VERSION is %r "
+                    "(expected 1); rebuild with 'python "
+                    "tools/build_backend.py --force' -- falling back "
+                    "to the pure-Python backend"
+                    % (BACKEND_ENV,
+                       getattr(_core_mod, "ABI_VERSION", None)),
+                    RuntimeWarning, stacklevel=2)
             _core_mod = None
     CORE = _core_mod
 
@@ -97,4 +139,5 @@ def describe() -> Dict[str, Any]:
         "backend": BACKEND,
         "requested": BACKEND_REQUESTED,
         "compiled_loaded": CORE is not None,
+        "arena_poison": ARENA_POISON,
     }

@@ -22,9 +22,22 @@ from __future__ import annotations
 from heapq import heappush
 from typing import Any, Callable, List, Optional
 
+from .backend import ARENA_POISON as _ARENA_POISON
 from .backend import CORE as _CORE
 from .eventloop import Event, EventLoop
 from .latency import FixedLatency, LatencyModel
+
+
+def _poisoned_event_fired(*args: Any) -> None:
+    """Installed as a harvested event's callback under
+    ``REPRO_ARENA_POISON``.  A legal freelist reuse overwrites the
+    callback at its acquire site, so this only ever runs when a
+    harvested event was pushed back into a scheduler lane *without*
+    re-arming — the use-after-release the poison mode exists to catch.
+    """
+    raise RuntimeError(
+        "arena poison: use-after-release — a freelist event fired "
+        "without being re-armed through the acquire path")
 
 __all__ = ["Link", "LinkEnd"]
 
@@ -210,6 +223,13 @@ class Link:
             if e._loop is not None:
                 alive.append(e)
             elif not e.cancelled and len(free) < _FREELIST_MAX:
+                if _ARENA_POISON:
+                    # Debug mode: a harvested event that fires without
+                    # re-arming raises instead of delivering a stale
+                    # message.  Both fields are overwritten by every
+                    # legal acquire, so behavior is otherwise unchanged.
+                    e.callback = _poisoned_event_fired
+                    e.args = ()
                 free.append(e)
         # In-place replacement (not rebinding): the compiled backend's
         # transmit kernel holds a direct reference to this list.

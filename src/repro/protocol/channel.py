@@ -25,6 +25,7 @@ from __future__ import annotations
 from heapq import heappush
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from ..network.backend import ARENA_POISON as _ARENA_POISON
 from ..network.backend import CORE as _CORE
 from ..network.eventloop import Event, EventLoop
 from ..network.latency import LatencyModel
@@ -32,8 +33,8 @@ from ..network.node import Node
 from ..network.transport import Link
 from ..obs.events import ChannelEvent, SignalReceived, signal_label
 from .errors import ConfigurationError
-from .signals import (ChannelUp, MetaMessage, MetaSignal, TearDown,
-                      TunnelMessage, TunnelSignal)
+from .signals import (POISONED_SIGNAL, ChannelUp, MetaMessage,
+                      MetaSignal, TearDown, TunnelMessage, TunnelSignal)
 from .slot import RetransmitPolicy, Slot
 
 __all__ = ["SignalingAgent", "ChannelEnd", "SignalingChannel",
@@ -48,6 +49,14 @@ DEFAULT_TUNNEL = "t0"
 #: Cap on the per-loop recycled-envelope pool (see
 #: :attr:`repro.network.eventloop.EventLoop._env_pool`).
 _ENV_POOL_MAX = 64
+
+#: What a released envelope's ``signal`` field is reset to.  Normally
+#: ``None`` (drop the reference); under ``REPRO_ARENA_POISON`` it is
+#: the poison sentinel, so a use-after-release raises at its next
+#: attribute access instead of silently dispatching stale state.  A
+#: pure-Python debug aid: the compiled Process kernel keeps its own
+#: release path.
+_RELEASED_SIGNAL = POISONED_SIGNAL if _ARENA_POISON else None
 
 
 class SignalingAgent:
@@ -237,6 +246,11 @@ class ChannelEnd:
         # isinstance and just as correct.
         if type(message) is TunnelMessage:
             signal = message.signal
+            if _ARENA_POISON and signal is POISONED_SIGNAL:
+                raise RuntimeError(
+                    "arena poison: use-after-release — envelope %r "
+                    "was delivered again after _process released it "
+                    "to the pool" % (message,))
             try:
                 slot = self.slots[message.tunnel_id]
             except KeyError:
@@ -251,9 +265,10 @@ class ChannelEnd:
                 if message.pooled:
                     # Envelope reset contract: a pooled envelope has had
                     # exactly its one delivery (pooling is only enabled
-                    # on hook-free links); drop the signal reference and
+                    # on hook-free links); drop the signal reference
+                    # (or poison it, under REPRO_ARENA_POISON) and
                     # release it for the next send.
-                    message.signal = None  # type: ignore[assignment]
+                    message.signal = _RELEASED_SIGNAL  # type: ignore[assignment]
                     pool = self._loop._env_pool
                     if len(pool) < _ENV_POOL_MAX:
                         pool.append(message)
@@ -269,7 +284,7 @@ class ChannelEnd:
             if accepted:
                 owner.on_tunnel_signal(slot, signal)
             if message.pooled:
-                message.signal = None  # type: ignore[assignment]
+                message.signal = _RELEASED_SIGNAL  # type: ignore[assignment]
                 pool = self._loop._env_pool
                 if len(pool) < _ENV_POOL_MAX:
                     pool.append(message)

@@ -207,3 +207,34 @@ class MetaMessage:
 
     def __str__(self) -> str:
         return "[meta] %s" % (self.signal,)
+
+
+class _PoisonedSignal:
+    """Sentinel stored in released pooled envelopes when arena
+    poisoning is on (``REPRO_ARENA_POISON=1``, surfaced as
+    :data:`repro.network.backend.ARENA_POISON`).
+
+    A correctly recycled envelope overwrites the sentinel at its next
+    acquire, so enabling poisoning changes nothing on legal paths.  A
+    *use-after-release* — an envelope delivered again after
+    :meth:`~repro.protocol.channel.ChannelEnd._process` released it —
+    surfaces the sentinel where a signal was expected, and any
+    attribute access (``.kind``, dispatch fields) raises instead of
+    silently mis-dispatching a stale or ``None`` signal.
+    """
+
+    __slots__ = ()
+
+    def __getattr__(self, name: str):
+        raise RuntimeError(
+            "arena poison: use-after-release — a pooled TunnelMessage "
+            "was used after its release (attribute %r read on the "
+            "poison sentinel)" % name)
+
+    def __repr__(self) -> str:  # safe: debuggers/tracebacks may repr it
+        return "<poisoned signal (released envelope)>"
+
+
+#: The singleton written into ``TunnelMessage.signal`` at release
+#: sites when poisoning is enabled.
+POISONED_SIGNAL = _PoisonedSignal()

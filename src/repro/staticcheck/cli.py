@@ -4,6 +4,8 @@ Usage::
 
     python -m repro lint                      # the whole catalog
     python -m repro lint --list               # show target names
+    python -m repro lint --list-rules         # the rule catalog with
+                                              # one-line descriptions
     python -m repro lint --target apps/pbx    # a subset (repeatable)
     python -m repro lint --format json        # machine-readable output
     python -m repro lint --fixtures           # the broken fixtures
@@ -41,6 +43,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "(repeatable; see --list)")
     parser.add_argument("--list", action="store_true",
                         help="list catalog target names and exit")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print every RCxxx/RC8xx rule with its "
+                             "one-line description and exit")
     parser.add_argument("--fixtures", action="store_true",
                         help="lint the deliberately-broken fixtures "
                              "instead of the catalog (exits 1)")
@@ -95,6 +100,14 @@ def main(argv: Optional[Sequence[str]] = None,
     parser = build_parser()
     args = parser.parse_args(argv)  # exits 2 on usage errors
     out = stream if stream is not None else sys.stdout
+
+    if args.list_rules:
+        # The audit family registers its RC8xx codes at import time;
+        # pull it in so one flag prints the whole merged catalog.
+        from ..audit import codes as _audit_codes  # noqa: F401
+        from .diagnostics import format_rule_table
+        out.write(format_rule_table())
+        return 0
 
     if args.list:
         for target in all_targets():

@@ -17,6 +17,15 @@ Code families::
                               selector freshness)
     RC6xx  path models       (goal pair vs. temporal spec mismatch)
     RC7xx  robustness        (degradation paths under lossy networks)
+    RC8xx  runtime audit     (backend parity, determinism hazards,
+                              arena contracts -- registered by
+                              :mod:`repro.audit.codes`)
+
+The code registry is shared between rule families:
+:func:`register_codes` lets the RC8xx runtime auditor add its codes
+and one-line descriptions at import time, and :func:`rule_table`
+renders the merged catalog for ``repro lint --list-rules`` /
+``repro audit --list-rules``.
 """
 
 from __future__ import annotations
@@ -24,7 +33,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-__all__ = ["Diagnostic", "Suppression", "CODES", "severity_of"]
+__all__ = ["Diagnostic", "Suppression", "CODES", "DESCRIPTIONS",
+           "severity_of", "register_codes", "rule_table",
+           "format_rule_table"]
 
 #: Stable code → (title, severity).  Severity ``error`` marks a
 #: composition bug the paper's semantics rules out; ``warning`` marks a
@@ -45,6 +56,59 @@ CODES: Dict[str, Tuple[str, str]] = {
     "RC601": ("spec-mismatch", "error"),
     "RC701": ("unhandled-slot-failure", "warning"),
 }
+
+#: Stable code → one-line description, rendered by ``--list-rules``.
+#: Every registered code must have one; the cross-validation tests
+#: keep the two maps in lockstep.
+DESCRIPTIONS: Dict[str, str] = {
+    "RC101": "a program state has no path from the initial state",
+    "RC102": "no reachable state terminates the program (END)",
+    "RC103": "a reachable state has no outgoing transition and is "
+             "not END",
+    "RC201": "two simultaneous goals claim the same slot",
+    "RC202": "a flow goal links through a slot that is closed in "
+             "its state",
+    "RC203": "a flow goal joins slots declared for different media",
+    "RC301": "a transition guard can never be satisfied in its state",
+    "RC302": "two guards on one state overlap nondeterministically",
+    "RC401": "a goal references a slot the program never declared",
+    "RC501": "a codec preference list is not priority-ordered "
+             "(best first)",
+    "RC502": "noMedia appears anywhere but last in a codec list",
+    "RC503": "a cached selector answers a stale descriptor version",
+    "RC601": "a goal pair disagrees with its temporal specification",
+    "RC701": "no transition handles a slot failure in a state that "
+             "holds one open",
+}
+
+
+def register_codes(codes: Dict[str, Tuple[str, str]],
+                   descriptions: Dict[str, str]) -> None:
+    """Merge another rule family into the shared registry.
+
+    Called at import time by :mod:`repro.audit.codes` so RC8xx
+    diagnostics resolve titles/severities through the same tables the
+    box-program linter uses, and ``--list-rules`` shows one catalog.
+    """
+    CODES.update(codes)
+    DESCRIPTIONS.update(descriptions)
+
+
+def rule_table() -> List[Tuple[str, str, str, str]]:
+    """The merged catalog as ``(code, title, severity, description)``
+    rows in code order."""
+    return [(code, title, severity, DESCRIPTIONS.get(code, ""))
+            for code, (title, severity) in sorted(CODES.items())]
+
+
+def format_rule_table(rows=None) -> str:
+    """Render ``--list-rules`` output (shared by lint and audit)."""
+    lines = []
+    for code, title, severity, description in (rule_table()
+                                               if rows is None else rows):
+        lines.append("%s  %-24s %-7s  %s"
+                     % (code, title, severity, description))
+    return "\n".join(lines) + "\n"
 
 
 def severity_of(code: str) -> str:

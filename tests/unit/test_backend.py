@@ -47,7 +47,7 @@ def _describe(backend_env=None) -> dict:
 def test_default_backend_is_python():
     info = _describe(None)
     assert info == {"backend": "python", "requested": "python",
-                    "compiled_loaded": False}
+                    "compiled_loaded": False, "arena_poison": False}
 
 
 def test_explicit_python_never_loads_the_extension():
@@ -67,21 +67,77 @@ def test_backend_env_value_is_normalized():
     assert info["requested"] == "python"
 
 
-def test_compiled_falls_back_silently_without_artifact():
+def test_compiled_falls_back_without_artifact():
     # Block the extension import (as on a fresh checkout with no build)
     # and ask for the compiled backend: the import chain must survive
-    # and land on pure Python.
-    out = _probe(
-        """
-        import sys
-        sys.modules["repro.network._ccore"] = None  # import -> ImportError
-        from repro.network import backend
-        assert backend.BACKEND == "python", backend.describe()
-        assert backend.CORE is None
-        assert backend.BACKEND_REQUESTED == "compiled"
-        print("fallback-ok")
-        """, "compiled")
-    assert out == "fallback-ok"
+    # and land on pure Python.  An explicit ``compiled`` ask that
+    # degrades is visible: a one-time RuntimeWarning on stderr.
+    env = {k: v for k, v in os.environ.items() if k != "REPRO_BACKEND"}
+    env["REPRO_BACKEND"] = "compiled"
+    env["PYTHONPATH"] = _SRC
+    proc = subprocess.run(
+        [sys.executable, "-c", textwrap.dedent(
+            """
+            import sys
+            sys.modules["repro.network._ccore"] = None  # -> ImportError
+            from repro.network import backend
+            assert backend.BACKEND == "python", backend.describe()
+            assert backend.CORE is None
+            assert backend.BACKEND_REQUESTED == "compiled"
+            print("fallback-ok")
+            """)],
+        env=env, capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip() == "fallback-ok"
+    assert "RuntimeWarning" in proc.stderr
+    assert "no compiled artifact is importable" in proc.stderr
+
+
+def test_auto_falls_back_silently_without_artifact():
+    # ``auto`` is opportunistic: the same degradation stays silent.
+    env = {k: v for k, v in os.environ.items() if k != "REPRO_BACKEND"}
+    env["REPRO_BACKEND"] = "auto"
+    env["PYTHONPATH"] = _SRC
+    proc = subprocess.run(
+        [sys.executable, "-c", textwrap.dedent(
+            """
+            import sys
+            sys.modules["repro.network._ccore"] = None  # -> ImportError
+            from repro.network import backend
+            assert backend.BACKEND == "python", backend.describe()
+            print("auto-ok")
+            """)],
+        env=env, capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip() == "auto-ok"
+    assert "RuntimeWarning" not in proc.stderr
+
+
+def test_unknown_backend_value_warns_once():
+    env = {k: v for k, v in os.environ.items() if k != "REPRO_BACKEND"}
+    env["REPRO_BACKEND"] = "turbo9000"
+    env["PYTHONPATH"] = _SRC
+    proc = subprocess.run(
+        [sys.executable, "-c",
+         "from repro.network import backend; print(backend.BACKEND)"],
+        env=env, capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip() == "python"
+    assert proc.stderr.count("unknown REPRO_BACKEND value 'turbo9000'") == 1
+
+
+def test_arena_poison_env_is_surfaced():
+    env = {k: v for k, v in os.environ.items()
+           if k not in ("REPRO_BACKEND", "REPRO_ARENA_POISON")}
+    env["REPRO_ARENA_POISON"] = "1"
+    env["PYTHONPATH"] = _SRC
+    proc = subprocess.run(
+        [sys.executable, "-c",
+         "import json; from repro.network import backend; "
+         "print(json.dumps(backend.describe()))"],
+        env=env, capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stderr
+    assert json.loads(proc.stdout)["arena_poison"] is True
 
 
 def test_stale_abi_artifact_is_rejected():

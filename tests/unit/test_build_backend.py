@@ -1,0 +1,116 @@
+"""The backend build script's staleness logic: the script itself is a
+build input, flag profiles are stamped, and ``--print-artifact`` is a
+stable machine interface (CI cache keys)."""
+
+import importlib.util
+import os
+import subprocess
+import sys
+
+import pytest
+
+_TOOLS = os.path.normpath(os.path.join(
+    os.path.dirname(__file__), "..", "..", "tools", "build_backend.py"))
+
+
+@pytest.fixture()
+def bb(monkeypatch, tmp_path):
+    """A private import of the build module, its paths pointed at a
+    throwaway tree so tests never touch the real artifact."""
+    spec = importlib.util.spec_from_file_location("_bb_under_test",
+                                                  _TOOLS)
+    mod = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = mod
+    spec.loader.exec_module(mod)
+
+    source = tmp_path / "_ccore.c"
+    script = tmp_path / "build_backend.py"
+    artifact = tmp_path / "_ccore.so"
+    source.write_text("/* c */")
+    script.write_text("# build script")
+    monkeypatch.setattr(mod, "SOURCE", str(source))
+    monkeypatch.setattr(mod, "SCRIPT", str(script))
+    monkeypatch.setattr(mod, "ARTIFACT", str(artifact))
+    monkeypatch.setattr(mod, "STAMP", str(artifact) + ".buildstamp")
+    yield mod
+    del sys.modules[spec.name]
+
+
+def _age(path, seconds):
+    old = os.path.getmtime(path) - seconds
+    os.utime(path, (old, old))
+
+
+def _make_current(bb, profile="opt"):
+    with open(bb.ARTIFACT, "w") as fh:
+        fh.write("artifact")
+    with open(bb.STAMP, "w") as fh:
+        fh.write(profile + "\n")
+    _age(bb.SOURCE, 100)
+    _age(bb.SCRIPT, 100)
+
+
+def test_missing_artifact_is_stale(bb):
+    assert not bb.artifact_is_current()
+
+
+def test_fresh_artifact_is_current(bb):
+    _make_current(bb)
+    assert bb.artifact_is_current()
+
+
+def test_newer_source_invalidates(bb):
+    _make_current(bb)
+    _age(bb.ARTIFACT, 200)  # now older than the source
+    assert not bb.artifact_is_current()
+
+
+def test_newer_build_script_invalidates(bb):
+    # The script's flags decide the artifact, so editing the script
+    # must retrigger the build even when the C source is untouched.
+    _make_current(bb)
+    os.utime(bb.SCRIPT)  # touched after the artifact
+    assert not bb.artifact_is_current()
+
+
+def test_flag_profile_mismatch_invalidates(bb):
+    _make_current(bb, profile="opt")
+    assert bb.artifact_is_current()
+    assert not bb.artifact_is_current(debug=True, sanitize=True)
+    _make_current(bb, profile="debug+asan-ubsan")
+    assert bb.artifact_is_current(debug=True, sanitize=True)
+    assert not bb.artifact_is_current()
+
+
+def test_missing_stamp_means_plain_opt_build(bb):
+    # Artifacts from before the stamp existed were all plain builds.
+    _make_current(bb)
+    os.unlink(bb.STAMP)
+    assert bb.artifact_is_current()
+    assert not bb.artifact_is_current(sanitize=True)
+
+
+def test_profile_names():
+    spec = importlib.util.spec_from_file_location("_bb_profile", _TOOLS)
+    mod = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = mod
+    try:
+        spec.loader.exec_module(mod)
+        assert mod._profile(False, False) == "opt"
+        assert mod._profile(True, False) == "debug"
+        assert mod._profile(True, True) == "debug+asan-ubsan"
+        cmd = mod._compile_cmd(debug=True, sanitize=True)
+        assert "-Og" in cmd and "-fsanitize=address,undefined" in cmd
+        assert "-O3" not in cmd
+    finally:
+        del sys.modules[spec.name]
+
+
+def test_print_artifact_is_bare_path():
+    proc = subprocess.run([sys.executable, _TOOLS, "--print-artifact"],
+                          capture_output=True, text=True)
+    assert proc.returncode == 0
+    path = proc.stdout.strip()
+    assert "\n" not in path
+    assert os.path.basename(path).startswith("_ccore")
+    assert path.endswith((".so", ".pyd"))

@@ -25,8 +25,8 @@ def test_help_lists_every_subcommand(capsys):
         repro_main(["--help"])
     assert exc.value.code == 0
     out = capsys.readouterr().out
-    for name in ("latency", "verify", "scenario", "lint", "chaos",
-                 "sweep", "trace", "all"):
+    for name in ("latency", "verify", "scenario", "lint", "audit",
+                 "chaos", "sweep", "trace", "all"):
         assert name in out
 
 

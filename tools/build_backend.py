@@ -11,10 +11,23 @@ artifact lands next to its source (``src/repro/network/``), where
 Usage::
 
     python tools/build_backend.py [--force] [--check] [--quiet]
+                                  [--debug] [--sanitize]
+                                  [--print-artifact]
 
 ``--check`` only reports whether a current artifact exists (exit 0) or
-not (exit 1), without building.  Without ``--force`` the build is
-skipped when the artifact is newer than the source (make-style).
+not (exit 1), without building.  ``--print-artifact`` prints the
+platform-tagged artifact path and exits (for CI cache keys and upload
+globs).  Without ``--force`` the build is skipped when the artifact is
+newer than both the C source *and this build script* — a flag or
+compiler change edits this file's behavior, so the script itself is a
+build dependency — and was built with the same flag profile (recorded
+in a ``.buildstamp`` sidecar).
+
+``--debug`` compiles at ``-Og -g`` with assertions live.  ``--sanitize``
+adds AddressSanitizer + UndefinedBehaviorSanitizer; the resulting
+artifact requires ``LD_PRELOAD=$(cc -print-file-name=libasan.so)``
+when loaded into a non-instrumented interpreter (the smoke probe and
+the CI sanitizer job both do this).
 """
 
 from __future__ import annotations
@@ -29,53 +42,115 @@ import sysconfig
 ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 PKG_DIR = os.path.join(ROOT, "src", "repro", "network")
 SOURCE = os.path.join(PKG_DIR, "_ccore.c")
+#: This script is itself a build input: its flags decide the artifact.
+SCRIPT = os.path.abspath(__file__)
 
 #: Platform-tagged extension suffix (e.g. ``.cpython-311-x86_64-...so``)
 #: so the artifact never shadows one built for a different interpreter.
 EXT_SUFFIX = sysconfig.get_config_var("EXT_SUFFIX") or ".so"
 ARTIFACT = os.path.join(PKG_DIR, "_ccore" + EXT_SUFFIX)
+#: Sidecar recording the flag profile the artifact was built with, so
+#: ``--check`` treats a plain artifact as stale when a sanitized one is
+#: requested (and vice versa).
+STAMP = ARTIFACT + ".buildstamp"
+
+_BASE_FLAGS = ["-fPIC", "-shared", "-fno-strict-aliasing"]
+_SANITIZE_FLAGS = ["-fsanitize=address,undefined",
+                   "-fno-omit-frame-pointer",
+                   "-fno-sanitize-recover=undefined"]
 
 
-def artifact_is_current() -> bool:
-    return (os.path.exists(ARTIFACT)
-            and os.path.getmtime(ARTIFACT) >= os.path.getmtime(SOURCE))
+def _profile(debug: bool, sanitize: bool) -> str:
+    """Canonical name for a flag combination, stored in the stamp."""
+    parts = ["debug" if debug else "opt"]
+    if sanitize:
+        parts.append("asan-ubsan")
+    return "+".join(parts)
 
 
-def build(force: bool = False, quiet: bool = False) -> str:
+def _cc() -> str:
+    return sysconfig.get_config_var("CC") or "cc"
+
+
+def _compile_cmd(debug: bool, sanitize: bool) -> list:
+    opt = ["-Og", "-g"] if debug else ["-O3"]
+    cmd = shlex.split(_cc()) + opt + list(_BASE_FLAGS)
+    if sanitize:
+        cmd += _SANITIZE_FLAGS
+    cmd += ["-I", sysconfig.get_paths()["include"],
+            SOURCE, "-o", ARTIFACT]
+    return cmd
+
+
+def _read_stamp() -> str:
+    try:
+        with open(STAMP) as fh:
+            return fh.read().strip()
+    except OSError:
+        # Artifacts predating the stamp were all plain optimized builds.
+        return _profile(debug=False, sanitize=False)
+
+
+def _asan_runtime() -> str:
+    """Path to libasan for preloading into the plain interpreter."""
+    probe = subprocess.run(shlex.split(_cc())
+                           + ["-print-file-name=libasan.so"],
+                           capture_output=True, text=True)
+    return probe.stdout.strip()
+
+
+def artifact_is_current(debug: bool = False,
+                        sanitize: bool = False) -> bool:
+    """Artifact exists, is newer than the C source *and* this build
+    script, and was built with the requested flag profile."""
+    if not os.path.exists(ARTIFACT):
+        return False
+    built = os.path.getmtime(ARTIFACT)
+    if built < os.path.getmtime(SOURCE) or built < os.path.getmtime(SCRIPT):
+        return False
+    return _read_stamp() == _profile(debug, sanitize)
+
+
+def build(force: bool = False, quiet: bool = False,
+          debug: bool = False, sanitize: bool = False) -> str:
     """Compile the extension in place; returns the artifact path."""
-    if not force and artifact_is_current():
+    if not force and artifact_is_current(debug, sanitize):
         if not quiet:
-            print("up to date: %s" % ARTIFACT)
+            print("up to date: %s [%s]" % (ARTIFACT,
+                                           _profile(debug, sanitize)))
         return ARTIFACT
-    cc = sysconfig.get_config_var("CC") or "cc"
-    include = sysconfig.get_paths()["include"]
-    cmd = shlex.split(cc) + [
-        "-O3", "-fPIC", "-shared", "-fno-strict-aliasing",
-        "-I", include,
-        SOURCE, "-o", ARTIFACT,
-    ]
+    cmd = _compile_cmd(debug, sanitize)
     if not quiet:
         print(" ".join(shlex.quote(c) for c in cmd))
     subprocess.run(cmd, check=True)
+    with open(STAMP, "w") as fh:
+        fh.write(_profile(debug, sanitize) + "\n")
     # Smoke-import in a child process with the backend forced on, so a
     # broken artifact fails the build instead of a later test run.
+    env = {**os.environ, "REPRO_BACKEND": "compiled",
+           "PYTHONPATH": os.path.join(ROOT, "src")}
+    if sanitize:
+        # The interpreter is not ASan-instrumented, so the runtime must
+        # be preloaded; leak checking at exit would drown in CPython's
+        # own immortal allocations, so only in-run reports are armed.
+        env["LD_PRELOAD"] = _asan_runtime()
+        env["ASAN_OPTIONS"] = "detect_leaks=0"
     probe = subprocess.run(
         [sys.executable, "-c",
          "from repro.network import backend; "
          "assert backend.BACKEND == 'compiled', backend.describe(); "
          "print(backend.describe())"],
-        env={**os.environ, "REPRO_BACKEND": "compiled",
-             "PYTHONPATH": os.path.join(ROOT, "src")},
-        capture_output=True, text=True)
+        env=env, capture_output=True, text=True)
     if probe.returncode != 0:
-        try:
-            os.unlink(ARTIFACT)
-        except OSError:
-            pass
+        for path in (ARTIFACT, STAMP):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
         raise SystemExit("built artifact failed to import:\n%s%s"
                          % (probe.stdout, probe.stderr))
     if not quiet:
-        print("built: %s" % ARTIFACT)
+        print("built: %s [%s]" % (ARTIFACT, _profile(debug, sanitize)))
         print(probe.stdout.strip())
     return ARTIFACT
 
@@ -86,14 +161,24 @@ def main(argv=None) -> int:
                         help="rebuild even if the artifact is current")
     parser.add_argument("--check", action="store_true",
                         help="exit 0 if a current artifact exists, 1 if not")
+    parser.add_argument("--debug", action="store_true",
+                        help="compile at -Og -g instead of -O3")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="add ASan+UBSan instrumentation")
+    parser.add_argument("--print-artifact", action="store_true",
+                        help="print the artifact path and exit")
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
+    if args.print_artifact:
+        print(ARTIFACT)
+        return 0
     if args.check:
-        ok = artifact_is_current()
+        ok = artifact_is_current(args.debug, args.sanitize)
         if not args.quiet:
             print("%s: %s" % ("current" if ok else "missing/stale", ARTIFACT))
         return 0 if ok else 1
-    build(force=args.force, quiet=args.quiet)
+    build(force=args.force, quiet=args.quiet,
+          debug=args.debug, sanitize=args.sanitize)
     return 0
 
 
