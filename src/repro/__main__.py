@@ -18,6 +18,8 @@ Subcommands::
                                 # trace (see --help)
     python -m repro load        # sharded call-load harness
                                 # (see --help)
+    python -m repro soak        # sustained-churn soak with memory
+                                # gates (see --help)
     python -m repro all         # latency + verify + scenario
 
 Exit status is normalized across subcommands: 0 on success (for
@@ -52,6 +54,9 @@ _DELEGATED = {
     "load": ("repro.load.cli",
              "drive seeded call batches through app topologies across "
              "a worker pool (calls/sec, latency percentiles)"),
+    "soak": ("repro.load.soak_cli",
+             "sustained seeded call churn with admission control, "
+             "memory-stability gates, and shed accounting"),
 }
 
 #: The classic evaluation subcommands handled in this module.

@@ -1,6 +1,7 @@
 """The paper's primary contribution: goal primitives, flowlinks, boxes,
 and state-oriented box programs (Secs. IV and VII)."""
 
+from .admission import AdmissionControl, AdmissionPolicy
 from .box import Box
 from .flowlink import FlowLink
 from .goals import CloseSlot, Goal, HoldSlot, OpenSlot, require_medium_match
@@ -12,6 +13,7 @@ from .program import (END, GoalSpec, Program, State, Timeout, Transition,
                       on_meta, open_slot)
 
 __all__ = [
+    "AdmissionControl", "AdmissionPolicy",
     "Box", "FlowLink", "CloseSlot", "Goal", "HoldSlot", "OpenSlot",
     "require_medium_match", "Maps",
     "all_of", "always", "any_of", "is_closed", "is_flowing", "is_opened",

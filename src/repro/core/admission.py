@@ -1,0 +1,182 @@
+"""Admission control for overloaded boxes (overload resilience layer).
+
+Long-lived network elements cannot serve unbounded load: a box in a
+composition chain must *shed* excess session setups gracefully rather
+than time every caller out.  This module supplies the policy and the
+bookkeeping; :meth:`repro.core.box.Box.on_tunnel_signal` consults it
+when an ``open`` arrives and answers with the structured
+:class:`~repro.protocol.signals.Busy` refusal when a limit fires.  The
+refused opener retries with bounded backoff and ultimately degrades to
+the paper's ``noMedia`` fallback — shedding is compositional, not a
+collapse.
+
+Three limits, all optional (0 disables each):
+
+* ``max_concurrent`` — cap on media channels concurrently live at the
+  box (its per-worker fan-in budget);
+* ``per_tenant_concurrent`` — the same cap bucketed by *tenant*, the
+  agent that initiated the signaling channel the open arrived on, so a
+  heavy-hitter upstream cannot starve everyone else;
+* ``setup_rate``/``setup_burst`` — a token bucket over the *rate* of
+  setups, filled on the simulated clock, protecting against arrival
+  spikes even when concurrency is low.
+
+Determinism: all state advances on the loop's simulated clock and on
+insertion-ordered dicts — same seed, same sheds, same fingerprints.
+When no box installs a policy the runtime's behavior is byte-identical
+to before this module existed (one ``is None`` attribute test on the
+open path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict
+
+if TYPE_CHECKING:  # pragma: no cover
+    from typing import Optional
+
+    from ..network.eventloop import EventLoop
+    from ..protocol.slot import Slot
+
+__all__ = ["AdmissionPolicy", "AdmissionControl"]
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Limits for one box's admission control.  Every limit defaults to
+    0 = unlimited, so ``AdmissionPolicy()`` admits everything.
+
+    ``retry_after`` is the hint (simulated seconds) placed into the
+    ``busy`` refusal; 0 leaves the opener on its own backoff schedule.
+    """
+
+    max_concurrent: int = 0
+    per_tenant_concurrent: int = 0
+    setup_rate: float = 0.0
+    setup_burst: int = 1
+    retry_after: float = 0.0
+
+
+class AdmissionControl:
+    """Per-box admission bookkeeping: live-channel tracking, per-tenant
+    buckets, and a sim-clock token bucket for setup rate.
+
+    The active set is a ``Dict[Slot, None]`` used as an insertion-
+    ordered set (plain sets iterate in hash order, which is banned for
+    determinism — audit rule RC812).  Slots are pruned lazily: a slot
+    whose episode ended (state left the live set) stops counting the
+    next time a limit is evaluated, with no hook needed on the close
+    path.
+    """
+
+    __slots__ = ("policy", "_loop", "_active", "_tenants",
+                 "_tokens", "_last_refill",
+                 "admitted", "shed_rate", "shed_concurrent", "shed_tenant")
+
+    def __init__(self, loop: "EventLoop", policy: AdmissionPolicy):
+        self.policy = policy
+        self._loop = loop
+        self._active: Dict["Slot", None] = {}
+        self._tenants: Dict[str, Dict["Slot", None]] = {}
+        self._tokens = float(policy.setup_burst)
+        self._last_refill = loop.now
+
+        # shed/admit counters (the soak harness and metrics read these)
+        self.admitted = 0
+        self.shed_rate = 0
+        self.shed_concurrent = 0
+        self.shed_tenant = 0
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def shed_total(self) -> int:
+        return self.shed_rate + self.shed_concurrent + self.shed_tenant
+
+    def active_count(self) -> int:
+        """Live admitted channels right now (prunes first)."""
+        self._prune()
+        return len(self._active)
+
+    def tenant_count(self, tenant: str) -> int:
+        self._prune()
+        bucket = self._tenants.get(tenant)
+        return 0 if bucket is None else len(bucket)
+
+    def counters(self) -> Dict[str, int]:
+        """Deterministic snapshot of the shed/admit counters."""
+        return {
+            "admitted": self.admitted,
+            "shed_rate": self.shed_rate,
+            "shed_concurrent": self.shed_concurrent,
+            "shed_tenant": self.shed_tenant,
+        }
+
+    # ------------------------------------------------------------------
+    # the decision
+    # ------------------------------------------------------------------
+    def admit(self, slot: "Slot") -> "Optional[str]":
+        """Decide on one just-received ``open`` at ``slot`` (the box's
+        own slot, state ``opened``).
+
+        Returns ``None`` and registers the slot when admitted, or the
+        shed reason (``"rate"``, ``"concurrent"``, ``"tenant"``) when a
+        limit fired.  The rate token is only consumed on admission, so
+        a concurrency-shed burst does not also drain the bucket.
+        """
+        policy = self.policy
+        if policy.setup_rate > 0:
+            self._refill()
+            if self._tokens < 1.0:
+                self.shed_rate += 1
+                return "rate"
+        self._prune()
+        if policy.max_concurrent > 0 \
+                and len(self._active) >= policy.max_concurrent:
+            self.shed_concurrent += 1
+            return "concurrent"
+        tenant = slot.channel_end.tenant
+        bucket = self._tenants.get(tenant)
+        if policy.per_tenant_concurrent > 0 and bucket is not None \
+                and len(bucket) >= policy.per_tenant_concurrent:
+            self.shed_tenant += 1
+            return "tenant"
+        if policy.setup_rate > 0:
+            self._tokens -= 1.0
+        self._active[slot] = None
+        if bucket is None:
+            bucket = self._tenants[tenant] = {}
+        bucket[slot] = None
+        self.admitted += 1
+        return None
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _refill(self) -> None:
+        now = self._loop.now
+        elapsed = now - self._last_refill
+        if elapsed > 0:
+            self._tokens = min(
+                float(max(self.policy.setup_burst, 1)),
+                self._tokens + elapsed * self.policy.setup_rate)
+            self._last_refill = now
+
+    def _prune(self) -> None:
+        active = self._active
+        if not active:
+            return
+        dead = [slot for slot in active if not slot.is_live]
+        for slot in dead:
+            del active[slot]
+        if dead:
+            for bucket in self._tenants.values():
+                for slot in dead:
+                    if slot in bucket:
+                        del bucket[slot]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return ("<AdmissionControl active=%d admitted=%d shed=%d>"
+                % (len(self._active), self.admitted, self.shed_total))

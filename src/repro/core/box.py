@@ -21,8 +21,9 @@ from ..protocol.channel import ChannelEnd, SignalingAgent
 from ..protocol.codecs import Medium, NO_MEDIA
 from ..protocol.descriptor import Descriptor, DescriptorFactory, Selector
 from ..protocol.errors import ConfigurationError
-from ..protocol.signals import MetaSignal, TunnelSignal
+from ..protocol.signals import MetaSignal, Open, TunnelSignal
 from ..protocol.slot import Slot
+from .admission import AdmissionControl, AdmissionPolicy
 from .flowlink import FlowLink
 from .goals import CloseSlot, Goal, HoldSlot, OpenSlot
 from .maps import Maps
@@ -63,6 +64,9 @@ class Box(SignalingAgent):
         self.after_stimulus: Optional[Callable[[], None]] = None
         #: The state-oriented program driving this box, if any.
         self.program = None
+        #: Admission control; ``None`` (the default) admits everything
+        #: with zero overhead beyond this attribute test.
+        self.admission: Optional[AdmissionControl] = None
 
     # ------------------------------------------------------------------
     # descriptor policy: a server slot masquerades as a media endpoint
@@ -134,9 +138,34 @@ class Box(SignalingAgent):
         self.maps.release(goal)
 
     # ------------------------------------------------------------------
+    # admission control
+    # ------------------------------------------------------------------
+    def set_admission(self, policy: Optional[AdmissionPolicy]
+                      ) -> Optional[AdmissionControl]:
+        """Install (or, with ``None``, remove) admission control.  Every
+        subsequent incoming ``open`` is checked against the policy and
+        refused with a ``busy`` when a limit fires.  Returns the live
+        :class:`AdmissionControl` so callers can read its counters."""
+        self.admission = (None if policy is None
+                          else AdmissionControl(self.loop, policy))
+        return self.admission
+
+    # ------------------------------------------------------------------
     # stimulus dispatch
     # ------------------------------------------------------------------
     def on_tunnel_signal(self, slot: Slot, signal: TunnelSignal) -> None:
+        admission = self.admission
+        if admission is not None and type(signal) is Open \
+                and slot.is_opened:
+            # ``is_opened`` guards the race-loss replay: a losing-side
+            # open that already moved the slot onward must not be
+            # double-counted, and ``send_busy`` is only legal from
+            # ``opened`` anyway.
+            reason = admission.admit(slot)
+            if reason is not None:
+                slot.send_busy(reason, admission.policy.retry_after)
+                self._poll()
+                return
         goal = self.maps.goal_for(slot)
         if goal is not None:
             goal.goal_receive(slot, signal)

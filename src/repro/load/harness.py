@@ -127,10 +127,29 @@ def _run_job(job: LoadJob) -> LoadResult:
         error=None)
 
 
+def _dead_shard_result(job: LoadJob) -> LoadResult:
+    """Tombstone for a shard whose worker process died before
+    returning (killed, segfaulted, OOM-reaped).  It carries an error,
+    so :func:`summarize` reports the run not-ok and the CLI exits
+    nonzero — with the surviving shards' partial results intact."""
+    return LoadResult(
+        app=job.app, shard=job.shard, seed=job.seed, plan=job.plan,
+        calls_done=0, executed=0, signals_sent=0, sim_time=0.0,
+        elapsed=0.0, metrics={},
+        error="shard worker died before returning a result "
+              "(process killed or crashed)")
+
+
 def run_jobs(jobs: Sequence[LoadJob],
              processes: Optional[int] = None) -> List[LoadResult]:
     """Run ``jobs`` across ``processes`` workers (default: one per
-    core, capped at the job count).  ``processes<=1`` runs serially."""
+    core, capped at the job count).  ``processes<=1`` runs serially.
+
+    A worker that dies mid-run (OOM kill, segfault) must not hang the
+    harness: per-job futures surface ``BrokenProcessPool`` for every
+    shard the dead worker took down, and those shards come back as
+    error tombstones next to the completed shards' real results.
+    """
     jobs = list(jobs)
     if processes is None:
         processes = min(len(jobs), os.cpu_count() or 1)
@@ -138,9 +157,19 @@ def run_jobs(jobs: Sequence[LoadJob],
         return [_run_job(job) for job in jobs]
     try:
         import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
         ctx = multiprocessing.get_context()
-        with ctx.Pool(processes) as pool:
-            return pool.map(_run_job, jobs, chunksize=1)
+        results: List[LoadResult] = []
+        with ProcessPoolExecutor(max_workers=processes,
+                                 mp_context=ctx) as pool:
+            futures = [pool.submit(_run_job, job) for job in jobs]
+            for job, future in zip(jobs, futures):
+                try:
+                    results.append(future.result())
+                except BrokenProcessPool:
+                    results.append(_dead_shard_result(job))
+        return results
     except (ImportError, OSError, PermissionError, ValueError):
         # No usable worker pool on this platform: degrade gracefully.
         return [_run_job(job) for job in jobs]

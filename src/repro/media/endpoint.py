@@ -112,6 +112,10 @@ class MediaEndpoint(SignalingAgent):
         self.on_offer: Optional[Hook] = None
         self.on_flowing: Optional[Hook] = None
         self.on_port_closed: Optional[Hook] = None
+        #: Robust mode: ``(tunnel_id, reason)`` per slot whose retry
+        #: budget ran out (``reason`` includes ``"busy"`` when the far
+        #: box shed us), newest last.
+        self.failed_ports: List[Tuple[str, str]] = []
 
     # ------------------------------------------------------------------
     # ports
@@ -342,6 +346,21 @@ class MediaEndpoint(SignalingAgent):
 
     def on_meta(self, end: ChannelEnd, signal: MetaSignal) -> None:
         """Endpoints ignore meta-signals by default."""
+
+    def on_slot_failed(self, slot: Slot, reason: str) -> None:
+        """Robust mode: the slot's retry budget ran out (``reason`` is
+        ``"open"``/``"close"``/``"busy"``) and it fell back to
+        ``closed`` — the ``noMedia`` degradation.  Clean up the port so
+        the media plane stops carrying a dead channel, and record the
+        failure for applications and harnesses."""
+        self.failed_ports.append((slot.tunnel_id, reason))
+        port = self._ports.get(slot)
+        if port is None:
+            return
+        port.offer_pending = False
+        self._stop_sending(port)
+        if self.on_port_closed is not None:
+            self.on_port_closed(port)
 
     def on_channel_gone(self, end: ChannelEnd) -> None:
         for slot in end.slots.values():

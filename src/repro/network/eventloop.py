@@ -291,6 +291,20 @@ class EventLoop:
         O(1): reads the counter maintained by schedule/cancel/execute."""
         return self._live
 
+    def lane_stats(self) -> dict:
+        """Observability snapshot of the scheduler's internal lanes:
+        raw lane lengths (tombstones included), the live counter, the
+        envelope-pool depth, and the lifetime executed count.  The soak
+        harness samples this per epoch to prove the lanes stay bounded
+        under sustained churn."""
+        return {
+            "heap_len": len(self._heap),
+            "ready_len": len(self._ready),
+            "live": self._live,
+            "env_pool": len(self._env_pool),
+            "executed": self.executed,
+        }
+
     def _compact(self) -> None:
         """Drop cancelled events and restore the lane invariants.
         Mutates the heap list and ready deque strictly in place:

@@ -207,12 +207,20 @@ class CrashSchedule:
         self.node = node
         self.windows = windows
         self.crashes = 0
+        #: Timers (retransmit, staleness, busy-retry) cancelled by
+        #: crashes: a dead process's pending alarms die with it.
+        self.timers_cancelled = 0
         for at, duration in windows:
             node.loop.schedule_at(at, self._crash, duration)
 
     def _crash(self, duration: float) -> None:
         self.node.offline = True
         self.crashes += 1
+        # The crash wipes the process's alarm table.  Without this, a
+        # retransmit timer armed before the crash survives the outage
+        # and fires into the *restarted* node — a ghost of the dead
+        # incarnation driving the protocol.
+        self.timers_cancelled += self.node.cancel_timers()
         tr = self.node.loop.trace
         if tr is not None:
             tr.emit(FaultInjected(ts=self.node.loop.now,

@@ -45,7 +45,8 @@ class Network:
                  cost: float = 0.0,
                  retransmit: Optional[RetransmitPolicy] = None,
                  faults: Optional[FaultPlan] = None,
-                 trace: Union[bool, Tracer] = False):
+                 trace: Union[bool, Tracer] = False,
+                 backpressure: Optional[int] = None):
         from ..media.plane import MediaPlane  # local import: layer order
         self.loop = EventLoop(seed=seed)
         #: The run's tracer: pass ``trace=True`` for a default
@@ -68,6 +69,9 @@ class Network:
         self.retransmit = retransmit
         #: Fault plan installed on every new channel's link (chaos runs).
         self.faults = faults
+        #: Per-link in-flight high-water mark installed on every new
+        #: channel's link (``None`` = unbounded, the default).
+        self.backpressure = backpressure
         #: Aggregate adversary counters across all faulty links.
         self.fault_stats = FaultStats()
         self._faulty_links = []
@@ -128,6 +132,8 @@ class Network:
             retransmit=retransmit if retransmit is not None
             else self.retransmit)
         self.channels.append(channel)
+        if self.backpressure is not None:
+            channel.link.set_backpressure(self.backpressure)
         if self.faults is not None:
             self._faulty_links.append(FaultyLink(
                 channel.link, self.faults, exempt=_is_meta,

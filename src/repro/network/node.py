@@ -58,6 +58,11 @@ class Node:
         #: (the C object caches them).
         self._finish_cb: Callable[[], None] = (
             self._finish_one if _CORE is None else _CORE.Finish(self))
+        #: Live timer events armed through :meth:`set_timer`, so a
+        #: crash can cancel them wholesale (a dead process's pending
+        #: alarms must not fire into its restarted self).  Compacted
+        #: lazily once fired entries dominate.
+        self._timers: list = []
 
     def _arm(self) -> None:
         """Schedule ``_finish_one`` after ``cost`` seconds (inlined
@@ -115,7 +120,29 @@ class Node:
         """Arrange for ``handler(*args)`` to be enqueued as a stimulus
         after ``delay`` seconds.  Returns the underlying event, whose
         ``cancel()`` method cancels the timer."""
-        return self.loop.schedule(delay, self.enqueue, handler, *args)
+        event = self.loop.schedule(delay, self.enqueue, handler, *args)
+        timers = self._timers
+        timers.append(event)
+        if len(timers) >= 32:
+            alive = [e for e in timers
+                     if e._loop is not None and not e.cancelled]
+            if len(alive) * 2 <= len(timers):
+                timers[:] = alive
+        return event
+
+    def cancel_timers(self) -> int:
+        """Cancel every timer still armed on this node; returns how
+        many were live.  Used by the fault layer's crash model: a
+        crashed process loses its pending alarms (retransmit timers,
+        staleness timers) along with its volatile state — they must
+        not fire into the restarted node."""
+        cancelled = 0
+        for event in self._timers:
+            if event._loop is not None and not event.cancelled:
+                event.cancel()
+                cancelled += 1
+        self._timers.clear()
+        return cancelled
 
     @property
     def idle(self) -> bool:

@@ -19,8 +19,9 @@ fault policy sees messages before the adversary touches them.
 
 from __future__ import annotations
 
+from collections import deque
 from heapq import heappush
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Deque, List, Optional, Tuple
 
 from .backend import ARENA_POISON as _ARENA_POISON
 from .backend import CORE as _CORE
@@ -138,6 +139,14 @@ class Link:
         self._free: List[Event] = []
         #: Installed transmit hooks, innermost first.
         self._hooks: List[TransmitHook] = []
+        #: Backpressure (see :meth:`set_backpressure`): high-water mark
+        #: on in-flight deliveries, ``None`` = unbounded (the default).
+        self._bp_high: Optional[int] = None
+        self._bp_live = 0
+        self._bp_deferred: Deque[Tuple[LinkEnd, Any]] = deque()
+        #: Observability: transmits deferred / deepest drain queue seen.
+        self.deferred_total = 0
+        self.deferred_peak = 0
         #: The composed transmit entry point (rebuilt on hook changes).
         self._chain: TransmitFn = self._base_transmit
         if _CORE is not None:
@@ -276,6 +285,110 @@ class Link:
         self.ends[0]._chain = chain
         self.ends[1]._chain = chain
 
+    # -- backpressure ------------------------------------------------------
+    def set_backpressure(self, high_water: Optional[int]) -> None:
+        """Bound this link's in-flight deliveries at ``high_water``.
+
+        While the bound is reached, further transmits are *deferred*
+        into a FIFO drain queue instead of growing the scheduler
+        without limit; each completed delivery drains as many deferred
+        transmits as fit back under the mark.  FIFO order per direction
+        is preserved (the queue is FIFO and the horizon clamp still
+        applies at actual send time), and as long as the mark is never
+        hit the wire behavior — timing, ordering, RNG draws — is
+        byte-identical to an unbounded link under both backends: the
+        bounded transmit replaces the faithful one at the bottom of the
+        hook chain and reproduces it exactly, only routing delivery
+        through an accounting trampoline.
+
+        ``None`` removes the bound (deferred messages already queued
+        are drained by the still-in-flight deliveries).
+        """
+        if high_water is not None and high_water < 1:
+            raise ValueError(
+                "backpressure high-water mark must be >= 1, got %r"
+                % (high_water,))
+        if high_water is None:
+            if self._bp_high is not None:
+                self._bp_high = None
+                self._base_transmit = (  # type: ignore[method-assign]
+                    self._bp_faithful)
+                self._rebuild_chain()
+            return
+        if self._bp_high is None:
+            #: The faithful transmit being shadowed — the C kernel under
+            #: the compiled backend, the bound Python method otherwise.
+            self._bp_faithful = self._base_transmit
+            self._base_transmit = (  # type: ignore[method-assign]
+                self._bp_transmit)
+            self._rebuild_chain()
+        self._bp_high = high_water
+
+    def _bp_transmit(self, origin: LinkEnd, message: Any) -> None:
+        """Bounded transmit: defer above the high-water mark, otherwise
+        behave exactly like :meth:`_base_transmit`."""
+        if self.down:
+            return
+        high = self._bp_high
+        if high is not None and self._bp_live >= high:
+            self._bp_deferred.append((origin, message))
+            self.deferred_total += 1
+            depth = len(self._bp_deferred)
+            if depth > self.deferred_peak:
+                self.deferred_peak = depth
+            return
+        self._bp_send(origin, message)
+
+    def _bp_send(self, origin: LinkEnd, message: Any) -> None:
+        # Mirrors _base_transmit exactly (same clamp, same event time /
+        # priority / seq draw, same lane choice) so the no-deferral
+        # trace is byte-identical; delivery goes through _bp_deliver to
+        # keep the in-flight count and drain the queue.
+        self.sent += 1
+        latency = self.latency
+        delay = latency.fixed_delay
+        if delay is None:
+            delay = latency.sample(self.loop.rng)
+        loop = self.loop
+        deliver_at = loop._now + delay
+        if deliver_at < origin._horizon:
+            deliver_at = origin._horizon
+        origin._horizon = deliver_at
+        target = origin._peer
+        pending = self._pending
+        if len(pending) >= self._compact_at:
+            pending = self._compact_pending()
+        event = Event(deliver_at, 0, next(loop._seq),
+                      self._bp_deliver, (target, message), loop)
+        if deliver_at == loop._now:
+            loop._ready.append(event)
+        else:
+            heappush(loop._heap, event)
+        loop._live += 1
+        pending.append(event)
+        self._bp_live += 1
+
+    def _bp_deliver(self, target: LinkEnd, message: Any) -> None:
+        self._bp_live -= 1
+        target._deliver(message)
+        # A slot freed up: drain deferred transmits back under the mark.
+        deferred = self._bp_deferred
+        while deferred and not self.down \
+                and (self._bp_high is None
+                     or self._bp_live < self._bp_high):
+            origin, queued = deferred.popleft()
+            self._bp_send(origin, queued)
+
+    def backpressure_stats(self) -> dict:
+        """Deterministic snapshot of the backpressure counters."""
+        return {
+            "high_water": self._bp_high,
+            "in_flight": self._bp_live,
+            "deferred_now": len(self._bp_deferred),
+            "deferred_total": self.deferred_total,
+            "deferred_peak": self.deferred_peak,
+        }
+
     def _schedule(self, origin: LinkEnd, message: Any, delay: float,
                   fifo: bool = True) -> Event:
         """Schedule one delivery toward ``origin``'s peer.
@@ -333,6 +446,12 @@ class Link:
                 dropped += 1
         self._pending.clear()
         self._compact_at = _PENDING_COMPACT
+        if self._bp_deferred:
+            # What the wire carried is gone; what was queued behind the
+            # high-water mark goes with it (a dead link drains nothing).
+            dropped += len(self._bp_deferred)
+            self._bp_deferred.clear()
+        self._bp_live = 0
         return dropped
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

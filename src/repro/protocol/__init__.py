@@ -10,7 +10,7 @@ from .descriptor import Descriptor, DescriptorFactory, DescriptorId, Selector
 from .errors import (ConfigurationError, MediaControlError,
                      PreconditionError, ProtocolError, ProtocolStateError,
                      QuiescenceError)
-from .signals import (AppMeta, Available, ChannelUp, Close, CloseAck,
+from .signals import (AppMeta, Available, Busy, ChannelUp, Close, CloseAck,
                       Describe, MetaMessage, MetaSignal, Oack, Open, Select,
                       TearDown, TunnelMessage, TunnelSignal, Unavailable)
 from .slot import (RetransmitPolicy, Slot, CLOSED, CLOSING, DEAD_STATES,
@@ -25,7 +25,8 @@ __all__ = [
     "Descriptor", "DescriptorFactory", "DescriptorId", "Selector",
     "ConfigurationError", "MediaControlError", "PreconditionError",
     "ProtocolError", "ProtocolStateError", "QuiescenceError",
-    "AppMeta", "Available", "ChannelUp", "Close", "CloseAck", "Describe",
+    "AppMeta", "Available", "Busy", "ChannelUp", "Close", "CloseAck",
+    "Describe",
     "MetaMessage", "MetaSignal", "Oack", "Open", "Select", "TearDown",
     "TunnelMessage", "TunnelSignal", "Unavailable",
     "RetransmitPolicy", "Slot", "CLOSED", "CLOSING", "OPENED", "OPENING",

@@ -150,6 +150,15 @@ class ChannelEnd:
     def peer(self) -> "ChannelEnd":
         return self.channel.ends[1 - self.side]
 
+    @property
+    def tenant(self) -> str:
+        """The admission-control tenant this end's traffic is billed to:
+        the name of the agent that initiated the signaling channel.
+        Per-tenant caps at a shared box thereby bucket load by upstream
+        originator, whichever side of this particular channel it sits
+        on."""
+        return self.channel.ends[0].owner.name
+
     def slot(self, tunnel_id: str = DEFAULT_TUNNEL) -> Slot:
         try:
             return self.slots[tunnel_id]

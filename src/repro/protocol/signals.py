@@ -19,7 +19,7 @@ from .descriptor import Descriptor, Selector
 
 __all__ = [
     "TunnelSignal", "Open", "Oack", "Close", "CloseAck",
-    "Describe", "Select",
+    "Describe", "Select", "Busy",
     "MetaSignal", "ChannelUp", "TearDown", "Available", "Unavailable",
     "AppMeta",
     "TunnelMessage", "MetaMessage",
@@ -107,6 +107,31 @@ class Select(TunnelSignal):
 
     def __str__(self) -> str:
         return "select(%s)" % (self.selector,)
+
+
+@dataclass(frozen=True, slots=True)
+class Busy(TunnelSignal):
+    """Structured admission refusal: the receiving box is shedding load
+    and will not serve this ``open`` right now.
+
+    Unlike ``close`` (which doubles as a *semantic* rejection — the far
+    party declined), ``busy`` is an *operational* refusal: the box is
+    over one of its admission limits and the request may well succeed
+    shortly.  An upstream robust slot reacts with bounded
+    retry-with-backoff before degrading to the paper's ``noMedia``
+    fallback; a reliable-mode slot degrades immediately.
+
+    ``reason`` names the limit that fired (``"rate"``, ``"concurrent"``,
+    ``"tenant"``); ``retry_after`` is an optional hint, in simulated
+    seconds, for the earliest sensible retry (0 = no hint).
+    """
+
+    reason: str = "admission"
+    retry_after: float = 0.0
+    kind = "busy"
+
+    def __str__(self) -> str:
+        return "busy(%s)" % (self.reason,)
 
 
 # ----------------------------------------------------------------------

@@ -44,7 +44,7 @@ from ..obs.events import Retransmit, SlotDrop, SlotFailed, SlotTransition
 from .codecs import Medium
 from .descriptor import Descriptor, Selector
 from .errors import ProtocolError, ProtocolStateError
-from .signals import (Close, CloseAck, Describe, Oack, Open, Select,
+from .signals import (Busy, Close, CloseAck, Describe, Oack, Open, Select,
                       TunnelMessage, TunnelSignal)
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -107,6 +107,13 @@ class Slot:
         "_retx_timer", "_retx_signal", "_retx_kind", "_retx_attempts",
         "_retx_interval", "_stale_timer", "_stale_attempts", "_loop",
         "_tx",
+        # Admission control: busy refusals received / retry machinery.
+        # Deliberately separate from the ``_retx_*`` fields — the
+        # compiled backend's receive kernel replicates the retx
+        # acknowledgement check against ``_retx_kind`` and must keep
+        # seeing only "open"/"close" there.
+        "busy_refusals", "_busy_timer", "_busy_attempts",
+        "_busy_medium", "_busy_descriptor",
     )
 
     def __init__(self, channel_end: "ChannelEnd", tunnel_id: str,
@@ -156,6 +163,13 @@ class Slot:
         self._retx_interval = 0.0
         self._stale_timer = None
         self._stale_attempts = 0
+
+        # admission-refusal machinery (see ``_handle_busy``)
+        self.busy_refusals = 0   # Busy signals received
+        self._busy_timer = None
+        self._busy_attempts = 0
+        self._busy_medium: Optional[Medium] = None
+        self._busy_descriptor: Optional[Descriptor] = None
 
         #: The per-signal send kernel: under the compiled backend a C
         #: callable that fuses ``_transmit`` with the link's transmit,
@@ -256,6 +270,10 @@ class Slot:
         self.medium = medium
         self.local_descriptor = descriptor
         self.failed = False
+        # A fresh open starts a fresh busy-retry budget (``_busy_retry``
+        # restores the running count after its own re-open).
+        self._cancel_busy()
+        self._busy_attempts = 0
         self._set_state(OPENING, "send_open")
         signal = Open(medium, descriptor)
         self._tx(signal)
@@ -303,6 +321,22 @@ class Slot:
         selector.validate_against(self.remote_descriptor)
         self.selector_sent = selector
         self._tx(Select(selector))
+
+    def send_busy(self, reason: str = "admission",
+                  retry_after: float = 0.0) -> None:
+        """Refuse a just-received ``open`` with a structured ``busy``
+        (admission control shedding load); legal only from ``opened``.
+
+        Unlike a ``close`` rejection there is no acknowledgement round:
+        the slot resets to ``closed`` immediately.  If the ``busy`` is
+        lost, the opener's retransmitted ``open`` re-arrives at the
+        closed slot and is refused again — convergence by idempotence,
+        exactly as for the six base signals.
+        """
+        if self.state != OPENED:
+            raise ProtocolStateError(self, "send busy", self.state)
+        self._tx(Busy(reason, retry_after))
+        self._reset_to_closed("shed_busy")
 
     def _transmit(self, signal: TunnelSignal) -> None:
         self.signals_sent += 1
@@ -376,8 +410,10 @@ class Slot:
                 self._tx(_CLOSEACK)
                 return False
             if cls is CloseAck or cls is Oack or cls is Describe \
-                    or cls is Select:
-                # Stale repeats from the episode just closed.
+                    or cls is Select or cls is Busy:
+                # Stale repeats from the episode just closed.  (A
+                # ``busy`` here is a duplicate refusal raced by our own
+                # reset — the retry timer, if any, is already running.)
                 self.duplicate_drops += 1
                 self._emit_drop("duplicate", signal)
                 return False
@@ -385,6 +421,9 @@ class Slot:
 
     def _recv_opening(self, signal: TunnelSignal) -> bool:
         cls = type(signal)
+        if cls is Busy:
+            # The peer's admission control refused our open.
+            return self._handle_busy(signal)
         if cls is Open:
             # open/open race in this tunnel (Sec. VI-B).
             if self.is_initiator:
@@ -466,7 +505,10 @@ class Slot:
                 self.duplicate_drops += 1
                 self._emit_drop("duplicate", signal)
                 return False
-            if cls is CloseAck:
+            if cls is CloseAck or cls is Busy:
+                # A ``busy`` while flowing is a residual duplicate of a
+                # refusal from a previous episode (our retried open got
+                # through; a dup of the earlier refusal straggled in).
                 self.duplicate_drops += 1
                 self._emit_drop("duplicate", signal)
                 return False
@@ -482,7 +524,8 @@ class Slot:
         if cls is CloseAck:
             self._reset_to_closed("recv_closeack")
             return True
-        if cls is Open or cls is Oack or cls is Describe or cls is Select:
+        if cls is Open or cls is Oack or cls is Describe or cls is Select \
+                or cls is Busy:
             # The peer sent these before it saw our close; drain them.
             # (An ``open`` here is the crossing-open case: the peer's
             # open and our close passed each other, and our close
@@ -506,6 +549,7 @@ class Slot:
         self.selector_sent = None
         self._cancel_retx()
         self._cancel_stale()
+        self._cancel_busy()
 
     def force_close(self) -> None:
         """Destroy the slot's state without signaling; used when the whole
@@ -606,6 +650,84 @@ class Slot:
                 channel=self._end.channel.name, tunnel=self.tunnel_id,
                 reason=kind))
         self._end.owner.on_slot_failed(self, kind)
+
+    # ------------------------------------------------------------------
+    # admission-refusal handling (busy retry-with-backoff)
+    # ------------------------------------------------------------------
+    def _handle_busy(self, signal: Busy) -> bool:
+        """React to an admission refusal of our ``open`` (state
+        ``opening``).
+
+        The refusal is operational, not semantic, so a robust slot
+        retries the open on the same exponential-backoff schedule as a
+        retransmission — bounded by the policy's ``max_retries`` budget,
+        which spans the whole retry *sequence* (``send_open`` resets it
+        only for user-initiated opens).  When the budget runs out, or in
+        reliable mode (no policy), the slot degrades exactly like an
+        exhausted retransmission: reset to ``closed``, ``failed`` set,
+        and ``on_slot_failed`` reported upward — the paper's ``noMedia``
+        fallback.
+        """
+        self.busy_refusals += 1
+        medium = self.medium
+        descriptor = self.local_descriptor
+        policy = self.retransmit
+        # Resetting cancels the open-retransmit timer too (the refusal
+        # *is* the acknowledgement) and clears any previous busy state.
+        self._reset_to_closed("busy")
+        if policy is None or self._busy_attempts >= policy.max_retries:
+            self._busy_attempts = 0
+            self.failed = True
+            self.failures += 1
+            tr = self._trace
+            if tr is not None:
+                tr.emit(SlotFailed(
+                    ts=self._end.owner.loop.now, slot=self.name,
+                    channel=self._end.channel.name, tunnel=self.tunnel_id,
+                    reason="busy"))
+            self._end.owner.on_slot_failed(self, "busy")
+            return False
+        self._busy_attempts += 1
+        self._busy_medium = medium
+        self._busy_descriptor = descriptor
+        delay = policy.initial * (policy.backoff
+                                  ** (self._busy_attempts - 1))
+        if signal.retry_after > delay:
+            delay = signal.retry_after
+        self._busy_timer = self._end.owner.node.set_timer(
+            delay, self._busy_retry)
+        return False
+
+    def _busy_retry(self) -> None:
+        self._busy_timer = None
+        medium = self._busy_medium
+        descriptor = self._busy_descriptor
+        self._busy_medium = None
+        self._busy_descriptor = None
+        if not self._end.alive or self.state != CLOSED \
+                or medium is None or descriptor is None:
+            # The goal layer moved on (reopened, channel died) while we
+            # were backing off; it owns the slot now.
+            return
+        attempts = self._busy_attempts
+        self.retransmits += 1
+        tr = self._trace
+        if tr is not None:
+            tr.emit(Retransmit(
+                ts=self._end.owner.loop.now, slot=self.name,
+                channel=self._end.channel.name, tunnel=self.tunnel_id,
+                kind="busy", attempt=attempts))
+        self.send_open(medium, descriptor)
+        # ``send_open`` zeroed the count (right for a *user* open);
+        # restore it so the overall busy budget stays bounded.
+        self._busy_attempts = attempts
+
+    def _cancel_busy(self) -> None:
+        if self._busy_timer is not None:
+            self._busy_timer.cancel()
+            self._busy_timer = None
+        self._busy_medium = None
+        self._busy_descriptor = None
 
     def _arm_stale(self) -> None:
         policy = self.retransmit

@@ -1,0 +1,228 @@
+"""Unit tests for admission control: policy limits, the busy refusal,
+and the retry-to-noMedia degradation path."""
+
+import pytest
+
+from repro.core.admission import AdmissionControl, AdmissionPolicy
+from repro.network.eventloop import EventLoop
+from repro.network.network import Network
+from repro.protocol.codecs import AUDIO
+from repro.protocol.signals import Busy
+from repro.protocol.slot import RetransmitPolicy
+
+
+# ----------------------------------------------------------------------
+# AdmissionControl bookkeeping (fake slots: only ``is_live`` and the
+# tenant identity matter to the ledger)
+# ----------------------------------------------------------------------
+class _FakeEnd:
+    def __init__(self, tenant):
+        self.tenant = tenant
+
+
+class _FakeSlot:
+    def __init__(self, tenant="t0"):
+        self.channel_end = _FakeEnd(tenant)
+        self.is_live = True
+
+
+def test_default_policy_admits_everything():
+    ctl = AdmissionControl(EventLoop(), AdmissionPolicy())
+    for i in range(100):
+        assert ctl.admit(_FakeSlot("t%d" % (i % 3))) is None
+    assert ctl.admitted == 100
+    assert ctl.shed_total == 0
+
+
+def test_max_concurrent_caps_and_prunes_lazily():
+    ctl = AdmissionControl(EventLoop(), AdmissionPolicy(max_concurrent=2))
+    first, second = _FakeSlot(), _FakeSlot()
+    assert ctl.admit(first) is None
+    assert ctl.admit(second) is None
+    assert ctl.admit(_FakeSlot()) == "concurrent"
+    assert ctl.active_count() == 2
+    # A slot whose episode ended stops counting at the next evaluation
+    # — no hook on the close path.
+    first.is_live = False
+    assert ctl.admit(_FakeSlot()) is None
+    assert ctl.active_count() == 2
+    assert ctl.counters() == {"admitted": 3, "shed_rate": 0,
+                              "shed_concurrent": 1, "shed_tenant": 0}
+
+
+def test_per_tenant_cap_isolates_the_heavy_hitter():
+    ctl = AdmissionControl(
+        EventLoop(), AdmissionPolicy(per_tenant_concurrent=1))
+    hog = _FakeSlot("hog")
+    assert ctl.admit(hog) is None
+    assert ctl.admit(_FakeSlot("hog")) == "tenant"
+    # Another tenant is unaffected by the hog's full bucket.
+    assert ctl.admit(_FakeSlot("quiet")) is None
+    assert ctl.tenant_count("hog") == 1
+    assert ctl.tenant_count("quiet") == 1
+    assert ctl.shed_tenant == 1
+    # The hog's call ending frees the bucket.
+    hog.is_live = False
+    assert ctl.admit(_FakeSlot("hog")) is None
+
+
+def test_token_bucket_refills_on_the_simulated_clock():
+    loop = EventLoop()
+    ctl = AdmissionControl(
+        loop, AdmissionPolicy(setup_rate=2.0, setup_burst=2))
+    assert ctl.admit(_FakeSlot()) is None
+    assert ctl.admit(_FakeSlot()) is None
+    assert ctl.admit(_FakeSlot()) == "rate"
+    assert ctl.shed_rate == 1
+    # 0.5 simulated seconds at 2/s refills exactly one token.
+    loop.advance(0.5)
+    assert ctl.admit(_FakeSlot()) is None
+    assert ctl.admit(_FakeSlot()) == "rate"
+    # The bucket caps at the burst size no matter how long it idles.
+    loop.advance(100.0)
+    assert ctl.admit(_FakeSlot()) is None
+    assert ctl.admit(_FakeSlot()) is None
+    assert ctl.admit(_FakeSlot()) == "rate"
+
+
+def test_rate_token_only_consumed_on_admission():
+    loop = EventLoop()
+    ctl = AdmissionControl(loop, AdmissionPolicy(
+        max_concurrent=1, setup_rate=1.0, setup_burst=2))
+    blocker = _FakeSlot()
+    assert ctl.admit(blocker) is None
+    # Concurrency sheds must not also drain the bucket: the second
+    # token survives the burst of refusals.
+    for _ in range(5):
+        assert ctl.admit(_FakeSlot()) == "concurrent"
+    blocker.is_live = False
+    assert ctl.admit(_FakeSlot()) is None
+    assert ctl.shed_concurrent == 5 and ctl.shed_rate == 0
+
+
+# ----------------------------------------------------------------------
+# box-level shedding: caller -> core box -> callee relay
+# ----------------------------------------------------------------------
+def _relay(policy, retransmit, callers=2, seed=5):
+    """``callers`` devices each with a channel into one core box,
+    relayed by a flowlink to an auto-accepting callee."""
+    net = Network(seed=seed, retransmit=retransmit)
+    core = net.box("core")
+    core.set_admission(policy)
+    sides = []
+    for i in range(callers):
+        caller = net.device("a%d" % i)
+        callee = net.device("b%d" % i, auto_accept=True)
+        ch_in = net.channel(caller, core)
+        ch_out = net.channel(core, callee)
+        core.flow_link(ch_in.end_for(core).slot(),
+                       ch_out.end_for(core).slot())
+        sides.append((caller, ch_in.end_for(caller).slot()))
+    return net, core, sides
+
+
+_FAST_RETRY = RetransmitPolicy(initial=0.25, backoff=2.0,
+                               max_retries=3, stale_after=0.5)
+
+
+def test_admitted_call_flows_end_to_end():
+    net, core, sides = _relay(
+        AdmissionPolicy(max_concurrent=4), _FAST_RETRY)
+    caller, slot = sides[0]
+    caller.open(slot, AUDIO)
+    net.settle()
+    assert slot.is_flowing
+    assert core.admission.admitted == 1
+    assert core.admission.shed_total == 0
+
+
+def test_refused_call_retries_and_wins_when_capacity_frees():
+    net, core, sides = _relay(
+        AdmissionPolicy(max_concurrent=1), _FAST_RETRY)
+    (a0, s0), (a1, s1) = sides
+    a0.open(s0, AUDIO)
+    net.settle()
+    assert s0.is_flowing
+    a1.open(s1, AUDIO)
+    net.run(0.1)  # the refusal lands; the first retry (0.25s) has not
+    assert not s1.is_flowing and s1.busy_refusals == 1
+    # capacity frees before the retry budget runs out...
+    a0.close(s0)
+    net.run(10.0)
+    # ...and the backoff retry succeeds without user intervention.
+    assert s1.is_flowing and not s1.failed
+    assert core.admission.admitted == 2
+    assert core.admission.shed_concurrent >= 1
+
+
+def test_budget_exhaustion_degrades_to_nomedia():
+    net, core, sides = _relay(
+        AdmissionPolicy(max_concurrent=1), _FAST_RETRY)
+    (a0, s0), (a1, s1) = sides
+    a0.open(s0, AUDIO)
+    net.settle()
+    a1.open(s1, AUDIO)
+    net.run(30.0)  # far past the give-up boundary; s0 never hangs up
+    assert s0.is_flowing            # the admitted call is untouched
+    assert s1.is_closed and s1.failed
+    assert s1.busy_refusals == _FAST_RETRY.max_retries + 1
+    # The endpoint saw the degradation: the port fell back to noMedia.
+    assert ("t0", "busy") in a1.failed_ports
+    assert net.plane.silent(a1)
+    assert core.admission.shed_concurrent == s1.busy_refusals
+    net.settle()
+    assert net.loop.pending() == 0  # no busy-retry timer left ticking
+
+
+def test_retry_after_hint_stretches_the_backoff():
+    hinted = AdmissionPolicy(max_concurrent=1, retry_after=2.0)
+    net, core, sides = _relay(hinted, _FAST_RETRY)
+    (a0, s0), (a1, s1) = sides
+    a0.open(s0, AUDIO)
+    net.settle()
+    a1.open(s1, AUDIO)
+    net.run(0.1)
+    refusals = s1.busy_refusals
+    assert refusals == 1
+    # The policy's own backoff (0.25s) would retry well within 1s, but
+    # the box asked for 2.0s: nothing happens for the hinted window.
+    net.run(1.5)
+    assert s1.busy_refusals == refusals
+    net.run(1.0)
+    assert s1.busy_refusals == refusals + 1
+
+
+def test_busy_signal_shape():
+    sig = Busy()
+    assert sig.kind == "busy"
+    assert sig.reason == "admission" and sig.retry_after == 0.0
+    with pytest.raises(AttributeError):
+        sig.reason = "other"  # frozen, like every wire signal
+
+
+def test_user_reopen_resets_the_busy_budget():
+    net, core, sides = _relay(
+        AdmissionPolicy(max_concurrent=1), _FAST_RETRY)
+    (a0, s0), (a1, s1) = sides
+    a0.open(s0, AUDIO)
+    net.settle()
+    a1.open(s1, AUDIO)
+    net.run(30.0)
+    assert s1.failed  # first attempt exhausted its retry budget
+    a0.close(s0)
+    net.settle()
+    # A fresh user-initiated open starts a fresh budget and succeeds.
+    a1.open(s1, AUDIO)
+    net.settle()
+    assert s1.is_flowing and not s1.failed
+
+
+def test_set_admission_none_removes_the_limits():
+    net, core, sides = _relay(
+        AdmissionPolicy(max_concurrent=1), _FAST_RETRY)
+    core.set_admission(None)
+    assert core.admission is None
+    for caller, slot in sides:
+        caller.open(slot, AUDIO)
+    net.settle()
+    assert all(slot.is_flowing for _, slot in sides)

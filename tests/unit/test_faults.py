@@ -184,6 +184,43 @@ def test_crash_schedule_drops_stimuli_while_offline():
     assert not node.offline
 
 
+def test_crash_cancels_the_dead_incarnations_timers():
+    """Regression: a timer armed before a crash must not fire into the
+    restarted node.  The crash drops volatile state, and a pending
+    alarm (retransmit timer, staleness timer) is exactly that — before
+    the fix it survived the crash and fired as a ghost of the dead
+    incarnation after recovery."""
+    loop = EventLoop()
+    node = Node(loop, cost=0.0)
+    sched = CrashSchedule(node, windows=((1.0, 0.5),))
+    fired = []
+    # Armed at t=0.5 to fire at t=2.0 — after the node has recovered
+    # (t=1.5), so node.enqueue alone would happily deliver it.
+    loop.schedule_at(0.5, node.set_timer, 1.5, fired.append, "ghost")
+    # A timer armed *after* recovery belongs to the new incarnation.
+    loop.schedule_at(1.6, node.set_timer, 0.5, fired.append, "fresh")
+    loop.run()
+    assert fired == ["fresh"]
+    assert sched.crashes == 1
+    assert sched.timers_cancelled == 1
+    assert not node.offline
+
+
+def test_cancel_timers_counts_only_live_timers():
+    loop = EventLoop()
+    node = Node(loop, cost=0.0)
+    fired = []
+    node.set_timer(0.1, fired.append, "early")
+    survivor = node.set_timer(5.0, fired.append, "late")
+    survivor.cancel()  # user-cancelled before the crash
+    loop.advance(1.0)  # the early timer fires normally
+    armed = node.set_timer(5.0, fired.append, "pending")
+    assert node.cancel_timers() == 1  # only the armed one was live
+    loop.run()
+    assert fired == ["early"]
+    assert armed.cancelled
+
+
 def test_stats_merge_and_json_roundtrip():
     a = FaultStats(forwarded=3, dropped=1)
     b = FaultStats(duplicated=2, exempted=4)

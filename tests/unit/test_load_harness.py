@@ -128,6 +128,56 @@ def test_load_result_to_json_drops_raw_observations():
 
 
 # ----------------------------------------------------------------------
+# dead workers
+# ----------------------------------------------------------------------
+def _suicidal_topology(calls, seed, plan, metrics):
+    """A topology whose worker dies mid-run (stand-in for an OOM kill
+    or segfault): no exception, no result, just a vanished process."""
+    import os
+    import signal
+    import time
+    # Give sibling shards a head start so their results are already
+    # home when this worker takes the pool down.
+    time.sleep(0.5)
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def test_dead_shard_yields_tombstone_not_a_hang(monkeypatch):
+    """Regression: a worker killed mid-run used to hang the whole
+    harness inside ``Pool.map``.  Per-job futures must surface the
+    death as an error tombstone next to the surviving shards' real
+    results, and the run must summarize not-ok."""
+    monkeypatch.setitem(TOPOLOGIES, "killer", _suicidal_topology)
+    jobs = [LoadJob(app=RELAY, calls=2, seed=0, shard=0),
+            LoadJob(app="killer", calls=1, seed=0, shard=1)]
+    results = run_jobs(jobs, processes=2)
+    assert len(results) == 2
+    by_app = {r.app: r for r in results}
+    dead = by_app["killer"]
+    assert dead.error is not None and "died" in dead.error
+    assert dead.calls_done == 0
+    survivor = by_app[RELAY]
+    assert survivor.error is None and survivor.calls_done == 2
+    summary = summarize(results, wall_elapsed=1.0)
+    assert summary["ok"] is False
+    assert summary["errors"] == [
+        {"app": "killer", "shard": 1, "error": dead.error}]
+    # The survivor's numbers still aggregate: partial results, not an
+    # all-or-nothing failure.
+    assert summary["calls_done"] == 2
+
+
+def test_dead_shard_tombstone_shape():
+    from repro.load.harness import _dead_shard_result
+    job = LoadJob(app=RELAY, calls=5, seed=3, shard=2)
+    tomb = _dead_shard_result(job)
+    assert (tomb.app, tomb.shard, tomb.seed) == (RELAY, 2, 3)
+    assert tomb.calls_done == 0 and tomb.metrics == {}
+    assert "died" in tomb.error
+    assert tomb.to_json()["error"] == tomb.error
+
+
+# ----------------------------------------------------------------------
 # summarizing
 # ----------------------------------------------------------------------
 def test_summarize_aggregates_shards_and_merges_percentiles():

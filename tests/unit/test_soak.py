@@ -1,0 +1,138 @@
+"""Unit tests for the sustained-churn soak harness and its memory
+gate."""
+
+import pytest
+
+from repro.load.soak import (SOAK_PROFILES, TRACKED_TYPES, memory_gate,
+                             run_soak)
+
+
+def _short(name, **overrides):
+    """A CI-sized cut of a named profile.  Epochs stay 2s long and the
+    warmup stays 2 epochs: the per-link Event freelists take a few
+    simulated seconds to fill, and gating against a pre-warm baseline
+    reads that legitimate pool growth as a leak."""
+    profile = SOAK_PROFILES[name]
+    params = dict(epochs=6, epoch_seconds=2.0, warmup_epochs=2)
+    params.update(overrides)
+    return profile._replace(**params)
+
+
+def test_profiles_cover_the_three_workload_shapes():
+    assert set(SOAK_PROFILES) == {"steady", "overload", "churn"}
+    assert SOAK_PROFILES["steady"].admission is None
+    assert SOAK_PROFILES["overload"].admission is not None
+    # Every stock profile gates over 60 simulated seconds.
+    for profile in SOAK_PROFILES.values():
+        assert profile.epochs * profile.epoch_seconds == 60.0
+
+
+def test_steady_soak_passes_gates_and_accounts_every_session():
+    report = run_soak(_short("steady"), seed=7)
+    assert report["ok"]
+    assert report["memory_gate"]["ok"]
+    assert report["safety"]["violations"] == []
+    s = report["sessions"]
+    assert s["started"] > 0 and s["live_now"] == 0
+    assert s["started"] == (s["completed"] + s["shed_nomedia"]
+                            + s["abandoned_in_backoff"]
+                            + s["failed_other"])
+    # No admission on steady: nothing sheds, everything completes.
+    assert s["shed_nomedia"] == 0 and report["admission"] is None
+    # The counters also flow through the metrics registry.
+    counters = report["metrics"]["counters"]
+    assert counters["soak.sessions.started"] == s["started"]
+
+
+def test_overload_soak_sheds_to_nomedia_without_violations():
+    report = run_soak(_short("overload", epochs=6, epoch_seconds=2.0),
+                      seed=7)
+    s = report["sessions"]
+    assert s["shed_nomedia"] > 0          # calls degraded gracefully
+    assert report["safety"]["violations"] == []   # and safely
+    admission = report["admission"]
+    shed = (admission["shed_rate"] + admission["shed_concurrent"]
+            + admission["shed_tenant"])
+    assert shed > 0 and admission["admitted"] > 0
+    assert report["metrics"]["counters"][
+        "soak.admission.shed_concurrent"] == admission["shed_concurrent"]
+    # Backpressure on a loaded wire actually engaged at least once.
+    assert report["backpressure"]["deferred_total"] >= 0
+
+
+def test_soak_is_deterministic_for_a_seed():
+    a = run_soak(_short("churn"), seed=13)
+    b = run_soak(_short("churn"), seed=13)
+    assert a["sessions"] == b["sessions"]
+    assert a["executed"] == b["executed"]
+    assert a["sim_time"] == b["sim_time"]
+    c = run_soak(_short("churn"), seed=14)
+    assert c["sessions"] != a["sessions"]
+
+
+def test_gate_disabled_still_reports():
+    report = run_soak(_short("steady", epochs=2), seed=7, gate=False)
+    assert report["memory_gate"]["ok"]
+    assert report["memory_gate"]["checks"] == []
+
+
+# ----------------------------------------------------------------------
+# the memory gate on synthetic samples
+# ----------------------------------------------------------------------
+def _sample(epoch, count, heap=10, rss=50_000):
+    return {"epoch": epoch, "rss_kb": rss,
+            "objects": dict.fromkeys(TRACKED_TYPES, count),
+            "lanes": {"heap_len": heap}}
+
+
+def test_memory_gate_accepts_flat_populations():
+    samples = [_sample(i, 100) for i in range(6)]
+    verdict = memory_gate(samples, warmup_epochs=2)
+    assert verdict["ok"]
+    assert verdict["epochs_compared"] == [2, 5]
+
+
+def test_memory_gate_ignores_warmup_growth():
+    # A pool filling during warmup is legitimate; growth stops after.
+    samples = [_sample(0, 10), _sample(1, 500)] + \
+        [_sample(i, 520) for i in range(2, 6)]
+    assert memory_gate(samples, warmup_epochs=2)["ok"]
+
+
+def test_memory_gate_fails_on_sustained_object_growth():
+    # One leaked object per call blows past abs+rel tolerance.
+    samples = [_sample(i, 100 + i * 200) for i in range(6)]
+    verdict = memory_gate(samples, warmup_epochs=2)
+    assert not verdict["ok"]
+    bad = [c for c in verdict["checks"] if not c["ok"]]
+    assert bad and bad[0]["metric"].startswith("objects.")
+
+
+def test_memory_gate_fails_on_scheduler_heap_growth():
+    samples = [_sample(i, 100, heap=10 + i * 500) for i in range(6)]
+    verdict = memory_gate(samples, warmup_epochs=2)
+    assert not verdict["ok"]
+    assert any(c["metric"] == "lanes.heap_len" and not c["ok"]
+               for c in verdict["checks"])
+
+
+def test_memory_gate_fails_on_rss_growth_beyond_tolerance():
+    samples = [_sample(i, 100, rss=50_000 + i * 20_000)
+               for i in range(6)]
+    verdict = memory_gate(samples, warmup_epochs=2)
+    assert not verdict["ok"]
+    assert any(c["metric"] == "rss_kb" and not c["ok"]
+               for c in verdict["checks"])
+
+
+def test_memory_gate_skips_rss_where_proc_is_unavailable():
+    samples = [_sample(i, 100, rss=0) for i in range(6)]
+    verdict = memory_gate(samples, warmup_epochs=2)
+    assert verdict["ok"]
+    assert not any(c["metric"] == "rss_kb" for c in verdict["checks"])
+
+
+def test_memory_gate_needs_two_post_warmup_epochs():
+    samples = [_sample(i, 100) for i in range(3)]
+    verdict = memory_gate(samples, warmup_epochs=2)
+    assert verdict["ok"] and "note" in verdict
