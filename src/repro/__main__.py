@@ -20,6 +20,12 @@ Subcommands::
                                 # (see --help)
     python -m repro soak        # sustained-churn soak with memory
                                 # gates (see --help)
+    python -m repro serve       # run a live node: TCP signaling
+                                # listener + media gateway (see --help)
+    python -m repro call        # place a call through a running
+                                # gateway (see --help)
+    python -m repro live-demo   # two OS processes negotiate flowing
+                                # media over localhost, self-checked
     python -m repro all         # latency + verify + scenario
 
 Exit status is normalized across subcommands: 0 on success (for
@@ -30,12 +36,17 @@ when findings were reported, 2 on usage errors.
 from __future__ import annotations
 
 import argparse
+import importlib
 import statistics
 import sys
 
-#: The delegating subcommands: each owns its flags, help, and exit
-#: codes (0 success / 1 findings / 2 usage), so ``python -m repro``
-#: hands the rest of the command line straight to its ``main``.
+#: The single subcommand registry: every delegating subcommand is one
+#: entry ``name -> ("module.path[:function]", help)``.  Dispatch, the
+#: ``COMMAND`` choices, and the ``--help`` epilog all derive from this
+#: dict, so a new subcommand is exactly one line here.  Each target
+#: owns its flags, help, and exit codes (0 success / 1 findings /
+#: 2 usage) and receives the rest of the command line verbatim; the
+#: function defaults to ``main``.
 _DELEGATED = {
     "lint": ("repro.staticcheck.cli",
              "static analysis of the bundled box programs and models"),
@@ -57,7 +68,24 @@ _DELEGATED = {
     "soak": ("repro.load.soak_cli",
              "sustained seeded call churn with admission control, "
              "memory-stability gates, and shed accounting"),
+    "serve": ("repro.livenet.cli:serve_main",
+              "run a live node: asyncio TCP signaling listener plus an "
+              "HTTP/WebSocket media gateway"),
+    "call": ("repro.livenet.cli:call_main",
+             "place a call through a running gateway and report the "
+             "media verdict"),
+    "live-demo": ("repro.livenet.cli:demo_main",
+                  "two OS processes negotiate flowing media over "
+                  "localhost sockets, self-checked"),
 }
+
+
+def _dispatch(name: str, argv) -> int:
+    """Resolve a registry target and hand it the remaining argv."""
+    target = _DELEGATED[name][0]
+    module_path, _, function = target.partition(":")
+    module = importlib.import_module(module_path)
+    return getattr(module, function or "main")(argv)
 
 #: The classic evaluation subcommands handled in this module.
 _BUILTIN = {
@@ -165,9 +193,7 @@ def main(argv=None) -> int:
         print("repro %s" % __version__)
         return 0
     if argv[:1] and argv[0] in _DELEGATED:
-        import importlib
-        module = importlib.import_module(_DELEGATED[argv[0]][0])
-        return module.main(argv[1:])
+        return _dispatch(argv[0], argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce 'Compositional Control of IP Media' "

@@ -43,6 +43,18 @@ DETERMINISM_WAIVERS: Dict[str, Tuple[Suppression, ...]] = {
                     "wall-clock deadline by design; it can truncate a "
                     "sweep but never alters a state's successors"),
     ),
+    "livenet": (
+        Suppression("RC810", "the live transport bridges the simulated "
+                    "clock onto asyncio's wall clock by design (the "
+                    "pump anchor, reconnect backoff, gateway rate "
+                    "limiting); deterministic semantics stay pinned by "
+                    "the direction-wise journal parity fingerprints, "
+                    "not by timing"),
+        Suppression("RC813", "the serve CLI forwards the parent "
+                    "environment (plus PYTHONUNBUFFERED) when spawning "
+                    "the demo's second OS process; no simulation input "
+                    "is read from it"),
+    ),
 }
 
 

@@ -31,7 +31,7 @@ open path).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict
+from typing import TYPE_CHECKING, Callable, Dict
 
 if TYPE_CHECKING:  # pragma: no cover
     from typing import Optional
@@ -39,7 +39,67 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..network.eventloop import EventLoop
     from ..protocol.slot import Slot
 
-__all__ = ["AdmissionPolicy", "AdmissionControl"]
+__all__ = ["AdmissionPolicy", "AdmissionControl", "TokenBucket"]
+
+
+class TokenBucket:
+    """A clock-agnostic token bucket: ``burst`` capacity, refilled at
+    ``rate`` tokens per clock second.
+
+    The clock is injected as a zero-argument callable so the same
+    arithmetic serves both admission control (the *simulated* clock —
+    deterministic, fingerprint-pinned) and the live gateway's per-client
+    rate limiting (``time.monotonic``).  Refill happens lazily at each
+    query; no timers are armed.
+    """
+
+    __slots__ = ("rate", "burst", "_tokens", "_last", "_clock")
+
+    def __init__(self, rate: float, burst: int,
+                 clock: Callable[[], float]):
+        self.rate = rate
+        self.burst = burst
+        self._tokens = float(burst)
+        self._last = clock()
+        self._clock = clock
+
+    @property
+    def tokens(self) -> float:
+        return self._tokens
+
+    def refill(self) -> None:
+        """Credit tokens for the clock time elapsed since the last
+        refill, capped at the burst size (floor 1, so ``burst=0``
+        configurations still admit a steady trickle)."""
+        now = self._clock()
+        elapsed = now - self._last
+        if elapsed > 0:
+            self._tokens = min(float(max(self.burst, 1)),
+                               self._tokens + elapsed * self.rate)
+            self._last = now
+
+    def peek(self) -> bool:
+        """Refill, then report whether one whole token is available —
+        without consuming it (admission only bills admitted setups)."""
+        self.refill()
+        return self._tokens >= 1.0
+
+    def take(self) -> None:
+        """Consume one token (caller has already checked :meth:`peek`)."""
+        self._tokens -= 1.0
+
+    def try_take(self) -> bool:
+        """Refill, then atomically take one token if available.  The
+        one-call form the gateway uses per request."""
+        self.refill()
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<TokenBucket %.3f/%d tokens=%.3f>" % (
+            self.rate, self.burst, self._tokens)
 
 
 @dataclass(frozen=True)
@@ -70,8 +130,7 @@ class AdmissionControl:
     path.
     """
 
-    __slots__ = ("policy", "_loop", "_active", "_tenants",
-                 "_tokens", "_last_refill",
+    __slots__ = ("policy", "_loop", "_active", "_tenants", "_bucket",
                  "admitted", "shed_rate", "shed_concurrent", "shed_tenant")
 
     def __init__(self, loop: "EventLoop", policy: AdmissionPolicy):
@@ -79,8 +138,12 @@ class AdmissionControl:
         self._loop = loop
         self._active: Dict["Slot", None] = {}
         self._tenants: Dict[str, Dict["Slot", None]] = {}
-        self._tokens = float(policy.setup_burst)
-        self._last_refill = loop.now
+        #: Setup-rate limiter on the *simulated* clock.  The arithmetic
+        #: lives in :class:`TokenBucket` (shared with the live gateway);
+        #: refill points and consumption order below are unchanged, so
+        #: shed sequences — and hence fingerprints — are identical.
+        self._bucket = TokenBucket(policy.setup_rate, policy.setup_burst,
+                                   lambda: self._loop.now)
 
         # shed/admit counters (the soak harness and metrics read these)
         self.admitted = 0
@@ -128,8 +191,7 @@ class AdmissionControl:
         """
         policy = self.policy
         if policy.setup_rate > 0:
-            self._refill()
-            if self._tokens < 1.0:
+            if not self._bucket.peek():
                 self.shed_rate += 1
                 return "rate"
         self._prune()
@@ -144,7 +206,7 @@ class AdmissionControl:
             self.shed_tenant += 1
             return "tenant"
         if policy.setup_rate > 0:
-            self._tokens -= 1.0
+            self._bucket.take()
         self._active[slot] = None
         if bucket is None:
             bucket = self._tenants[tenant] = {}
@@ -155,15 +217,6 @@ class AdmissionControl:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    def _refill(self) -> None:
-        now = self._loop.now
-        elapsed = now - self._last_refill
-        if elapsed > 0:
-            self._tokens = min(
-                float(max(self.policy.setup_burst, 1)),
-                self._tokens + elapsed * self.policy.setup_rate)
-            self._last_refill = now
-
     def _prune(self) -> None:
         active = self._active
         if not active:

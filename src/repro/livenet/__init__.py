@@ -1,0 +1,43 @@
+"""Live transports: the same box programs over real sockets.
+
+The paper's original artifact ran box programs on real processes over
+real TCP; the rest of this repository runs them inside one deterministic
+simulator process.  This package closes that gap without forking the
+protocol stack:
+
+* :mod:`repro.livenet.wire` — a deterministic, versioned binary codec
+  for every tunnel signal, meta-signal, descriptor, and envelope, plus
+  length-prefixed framing.  No pickling; explicit field order; strict,
+  bounded decoding (wire input is adversarial).
+* :mod:`repro.livenet.seam` — the transport seam.  A signaling channel's
+  far half can be replaced by a :class:`~repro.livenet.seam.RemoteRelay`
+  bound to any byte transport; the local half (slots, goals, retransmit
+  timers, admission) is the *unchanged* simulator code.  The simulator
+  itself is the null transport — fingerprints pin it byte-for-byte.
+* :mod:`repro.livenet.journal` — direction-wise signal journals whose
+  fingerprint is identical for a sim run and a live run of the same
+  scenario; the proof obligation of the two-process demo.
+* :mod:`repro.livenet.tcp` — an asyncio TCP transport running one
+  :class:`~repro.livenet.tcp.LiveNode` per OS process, with per-peer
+  reconnect/backoff; a dead peer degrades through the existing
+  ``noMedia`` path (channel teardown → ``on_channel_gone``).
+* :mod:`repro.livenet.udp` — an optional UDP media probe: once a
+  channel is flowing, stamped datagrams travel endpoint-to-endpoint on
+  the negotiated addresses.
+* :mod:`repro.livenet.gateway` — a minimal HTTP/WebSocket front door
+  (``python -m repro serve`` / ``repro call``) with token-bucket rate
+  limiting and strict path/address hygiene.
+"""
+
+from __future__ import annotations
+
+from .journal import SignalJournal, host_for
+from .seam import HalfChannel, RemoteRelay, Wire
+from .wire import (FrameAssembler, WIRE_VERSION, WireError,
+                   decode_envelope, encode_envelope)
+
+__all__ = [
+    "FrameAssembler", "HalfChannel", "RemoteRelay", "SignalJournal",
+    "WIRE_VERSION", "Wire", "WireError", "decode_envelope",
+    "encode_envelope", "host_for",
+]

@@ -1,0 +1,667 @@
+"""The wire codec: deterministic, versioned, bounded.
+
+Everything that crosses a process boundary is encoded here, by hand,
+with explicit field order — no pickling, no reflection.  The format is
+deterministic (one value, one byte sequence) so signal journals can be
+fingerprinted, and *strictly* decoded: wire input is adversarial, so
+every length is bounded, every tag checked, and every frame must be
+consumed exactly.  Violations raise :class:`WireError`, never a bare
+``struct.error`` or ``IndexError``.
+
+Layout
+------
+A *frame* on a stream transport is ``u32 big-endian length`` + payload;
+the payload is ``u8 wire-version`` + ``u8 frame-type`` + body.  Frame
+types carry channel control (``HELLO``/``BYE``), signal envelopes
+(``SIG``), and keepalives (``PING``/``PONG``).
+
+Primitive encodings: unsigned LEB128 varints for lengths and counts,
+zigzag varints for signed ints, ``>d`` for floats, varint-length-prefixed
+UTF-8 for strings.  Composites (codec, address, descriptor, selector,
+signal, envelope) are concatenations of primitives behind a one-byte
+tag, in the field order of their dataclass definitions.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..network.address import Address, AddressError
+from ..protocol.codecs import Codec, registry
+from ..protocol.descriptor import Descriptor, DescriptorId, Selector
+from ..protocol.errors import MediaControlError, ProtocolError
+from ..protocol.signals import (AppMeta, Available, Busy, ChannelUp, Close,
+                                CloseAck, Describe, MetaMessage, MetaSignal,
+                                Oack, Open, Select, TearDown, TunnelMessage,
+                                TunnelSignal, Unavailable)
+
+__all__ = [
+    "WIRE_VERSION", "MAX_FRAME", "WireError",
+    "encode_envelope", "decode_envelope",
+    "encode_signal", "decode_signal",
+    "frame", "FrameAssembler",
+    "HelloFrame", "SigFrame", "ByeFrame", "PingFrame", "PongFrame",
+    "ProbeFrame", "encode_frame", "decode_frame", "encode_sig_frame",
+]
+
+#: Bump on any change to field order or tags.  A peer speaking another
+#: version is refused at decode time, not guessed at.
+WIRE_VERSION = 1
+
+#: Hard cap on one frame's payload.  Signaling frames are tiny (a
+#: descriptor-bearing open is ~100 bytes); anything near the cap is an
+#: attack or a desynchronized stream.
+MAX_FRAME = 1 << 20
+
+_MAX_STR = 4096
+_MAX_CODECS = 64
+_MAX_TUNNELS = 64
+_MAX_PAYLOAD = 1 << 16
+
+_F64 = struct.Struct(">d")
+_U32 = struct.Struct(">I")
+
+
+class WireError(MediaControlError):
+    """Malformed, truncated, oversized, or wrong-version wire data.
+
+    ``reason`` is a stable slug (``"truncated"``, ``"bad-tag"``,
+    ``"version-mismatch"``, ``"oversized"``, ``"trailing-bytes"``, ...)
+    so transports can count rejection causes without string matching.
+    """
+
+    def __init__(self, reason: str, detail: str = ""):
+        self.reason = reason
+        self.detail = detail
+        super().__init__("wire error: %s%s"
+                         % (reason, " (%s)" % detail if detail else ""))
+
+
+# ----------------------------------------------------------------------
+# primitive writer / reader
+# ----------------------------------------------------------------------
+class Writer:
+    """Append-only encoder over a bytearray."""
+
+    __slots__ = ("buf",)
+
+    def __init__(self) -> None:
+        self.buf = bytearray()
+
+    def u8(self, value: int) -> None:
+        self.buf.append(value)
+
+    def uvarint(self, value: int) -> None:
+        if value < 0:
+            raise WireError("negative-varint", str(value))
+        buf = self.buf
+        while value > 0x7F:
+            buf.append((value & 0x7F) | 0x80)
+            value >>= 7
+        buf.append(value)
+
+    def svarint(self, value: int) -> None:
+        # Zigzag: 0,-1,1,-2,... -> 0,1,2,3,...  (Python's arbitrary-
+        # precision ints make the sign branch explicit and exact.)
+        self.uvarint((value << 1) if value >= 0 else (-value << 1) - 1)
+
+    def f64(self, value: float) -> None:
+        self.buf += _F64.pack(value)
+
+    def string(self, value: str) -> None:
+        raw = value.encode("utf-8")
+        if len(raw) > _MAX_STR:
+            raise WireError("oversized", "string of %d bytes" % len(raw))
+        self.uvarint(len(raw))
+        self.buf += raw
+
+    def boolean(self, value: bool) -> None:
+        self.buf.append(1 if value else 0)
+
+    def raw(self, data: bytes) -> None:
+        self.uvarint(len(data))
+        self.buf += data
+
+    def getvalue(self) -> bytes:
+        return bytes(self.buf)
+
+
+class Reader:
+    """Strict, bounds-checked decoder.  Every read raises
+    :class:`WireError` on truncation; :meth:`done` rejects trailing
+    bytes so a frame is consumed exactly."""
+
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.pos = 0
+
+    def _need(self, n: int) -> int:
+        pos = self.pos
+        if pos + n > len(self.data):
+            raise WireError("truncated",
+                            "need %d bytes at offset %d of %d"
+                            % (n, pos, len(self.data)))
+        self.pos = pos + n
+        return pos
+
+    def u8(self) -> int:
+        return self.data[self._need(1)]
+
+    def uvarint(self) -> int:
+        shift = 0
+        value = 0
+        while True:
+            byte = self.u8()
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return value
+            shift += 7
+            if shift > 63:
+                raise WireError("bad-varint", "more than 9 continuation "
+                                "bytes")
+
+    def svarint(self) -> int:
+        raw = self.uvarint()
+        return (raw >> 1) ^ -(raw & 1)
+
+    def f64(self) -> float:
+        return _F64.unpack_from(self.data, self._need(8))[0]
+
+    def string(self, limit: int = _MAX_STR) -> str:
+        length = self.uvarint()
+        if length > limit:
+            raise WireError("oversized", "string of %d bytes" % length)
+        raw = self.data[self._need(length):self.pos]
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise WireError("bad-utf8", str(exc))
+
+    def boolean(self) -> bool:
+        byte = self.u8()
+        if byte > 1:
+            raise WireError("bad-bool", str(byte))
+        return bool(byte)
+
+    def raw(self, limit: int = _MAX_PAYLOAD) -> bytes:
+        length = self.uvarint()
+        if length > limit:
+            raise WireError("oversized", "blob of %d bytes" % length)
+        return self.data[self._need(length):self.pos]
+
+    def done(self) -> None:
+        if self.pos != len(self.data):
+            raise WireError("trailing-bytes",
+                            "%d unconsumed" % (len(self.data) - self.pos))
+
+
+# ----------------------------------------------------------------------
+# protocol composites
+# ----------------------------------------------------------------------
+#: Built-in codecs are sent by name only (tag 0); unknown codecs travel
+#: with their full definition (tag 1) so private codec tables still
+#: round-trip.
+_REGISTRY = registry()
+
+
+def _put_codec(w: Writer, codec: Codec) -> None:
+    known = _REGISTRY.get(codec.name)
+    if known is not None and known == codec:
+        w.u8(0)
+        w.string(codec.name)
+    else:
+        w.u8(1)
+        w.string(codec.name)
+        w.string(codec.medium)
+        w.svarint(codec.fidelity)
+        w.f64(codec.bandwidth)
+
+
+def _get_codec(r: Reader) -> Codec:
+    tag = r.u8()
+    if tag == 0:
+        name = r.string()
+        codec = _REGISTRY.get(name)
+        if codec is None:
+            raise WireError("unknown-codec", name)
+        return codec
+    if tag == 1:
+        return Codec(r.string(), r.string(), r.svarint(), r.f64())
+    raise WireError("bad-tag", "codec tag %d" % tag)
+
+
+def _put_address(w: Writer, address: Optional[Address]) -> None:
+    if address is None:
+        w.boolean(False)
+    else:
+        w.boolean(True)
+        w.string(address.host)
+        w.uvarint(address.port)
+
+
+def _get_address(r: Reader) -> Optional[Address]:
+    if not r.boolean():
+        return None
+    host = r.string()
+    port = r.uvarint()
+    try:
+        return Address(host, port).validate()
+    except AddressError as exc:
+        raise WireError("bad-address", str(exc))
+
+
+def _put_descriptor(w: Writer, descriptor: Descriptor) -> None:
+    w.string(descriptor.id.origin)
+    w.uvarint(descriptor.id.version)
+    _put_address(w, descriptor.address)
+    codecs = descriptor.codecs
+    if len(codecs) > _MAX_CODECS:
+        raise WireError("oversized", "%d codecs" % len(codecs))
+    w.uvarint(len(codecs))
+    for codec in codecs:
+        _put_codec(w, codec)
+
+
+def _get_descriptor(r: Reader) -> Descriptor:
+    origin = r.string()
+    version = r.uvarint()
+    address = _get_address(r)
+    count = r.uvarint()
+    if count > _MAX_CODECS:
+        raise WireError("oversized", "%d codecs" % count)
+    codecs = tuple(_get_codec(r) for _ in range(count))
+    try:
+        # Descriptor.__post_init__ re-validates structure (at least one
+        # codec, noMedia purity, address present iff real) — the same
+        # hygiene the sim enforces, now applied to wire input.
+        return Descriptor(DescriptorId(origin, version), address, codecs)
+    except ProtocolError as exc:
+        raise WireError("bad-descriptor", str(exc))
+
+
+def _put_selector(w: Writer, selector: Selector) -> None:
+    w.string(selector.answers.origin)
+    w.uvarint(selector.answers.version)
+    _put_address(w, selector.address)
+    _put_codec(w, selector.codec)
+
+
+def _get_selector(r: Reader) -> Selector:
+    origin = r.string()
+    version = r.uvarint()
+    address = _get_address(r)
+    codec = _get_codec(r)
+    return Selector(DescriptorId(origin, version), address, codec)
+
+
+# ----------------------------------------------------------------------
+# signals
+# ----------------------------------------------------------------------
+_OPEN, _OACK, _CLOSE, _CLOSEACK = 0x10, 0x11, 0x12, 0x13
+_DESCRIBE, _SELECT, _BUSY = 0x14, 0x15, 0x16
+_CHANNEL_UP, _TEARDOWN, _AVAILABLE = 0x20, 0x21, 0x22
+_UNAVAILABLE, _APPMETA = 0x23, 0x24
+
+Signal = Union[TunnelSignal, MetaSignal]
+
+
+def _put_signal(w: Writer, signal: Signal) -> None:
+    cls = type(signal)
+    if cls is Open:
+        w.u8(_OPEN)
+        w.string(signal.medium)
+        _put_descriptor(w, signal.descriptor)
+    elif cls is Oack:
+        w.u8(_OACK)
+        _put_descriptor(w, signal.descriptor)
+    elif cls is Close:
+        w.u8(_CLOSE)
+    elif cls is CloseAck:
+        w.u8(_CLOSEACK)
+    elif cls is Describe:
+        w.u8(_DESCRIBE)
+        _put_descriptor(w, signal.descriptor)
+    elif cls is Select:
+        w.u8(_SELECT)
+        _put_selector(w, signal.selector)
+    elif cls is Busy:
+        w.u8(_BUSY)
+        w.string(signal.reason)
+        w.f64(signal.retry_after)
+    elif cls is ChannelUp:
+        w.u8(_CHANNEL_UP)
+        w.string(signal.target)
+    elif cls is TearDown:
+        w.u8(_TEARDOWN)
+    elif cls is Available:
+        w.u8(_AVAILABLE)
+    elif cls is Unavailable:
+        w.u8(_UNAVAILABLE)
+        w.string(signal.reason)
+    elif cls is AppMeta:
+        w.u8(_APPMETA)
+        w.string(signal.name)
+        # Canonical JSON (sorted keys, no whitespace) keeps the
+        # encoding deterministic for any dict insertion order.
+        try:
+            raw = json.dumps(signal.payload, sort_keys=True,
+                             separators=(",", ":")).encode("utf-8")
+        except (TypeError, ValueError) as exc:
+            raise WireError("bad-payload", str(exc))
+        if len(raw) > _MAX_PAYLOAD:
+            raise WireError("oversized", "payload of %d bytes" % len(raw))
+        w.raw(raw)
+    else:
+        raise WireError("unknown-signal", cls.__name__)
+
+
+def _get_signal(r: Reader) -> Signal:
+    tag = r.u8()
+    if tag == _OPEN:
+        return Open(r.string(), _get_descriptor(r))
+    if tag == _OACK:
+        return Oack(_get_descriptor(r))
+    if tag == _CLOSE:
+        return Close()
+    if tag == _CLOSEACK:
+        return CloseAck()
+    if tag == _DESCRIBE:
+        return Describe(_get_descriptor(r))
+    if tag == _SELECT:
+        return Select(_get_selector(r))
+    if tag == _BUSY:
+        return Busy(r.string(), r.f64())
+    if tag == _CHANNEL_UP:
+        return ChannelUp(r.string())
+    if tag == _TEARDOWN:
+        return TearDown()
+    if tag == _AVAILABLE:
+        return Available()
+    if tag == _UNAVAILABLE:
+        return Unavailable(r.string())
+    if tag == _APPMETA:
+        name = r.string()
+        raw = r.raw()
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise WireError("bad-payload", str(exc))
+        if not isinstance(payload, dict):
+            raise WireError("bad-payload", "not an object")
+        return AppMeta(name, payload)
+    raise WireError("bad-tag", "signal tag %d" % tag)
+
+
+def encode_signal(signal: Signal) -> bytes:
+    w = Writer()
+    _put_signal(w, signal)
+    return w.getvalue()
+
+
+def decode_signal(data: bytes) -> Signal:
+    r = Reader(data)
+    signal = _get_signal(r)
+    r.done()
+    return signal
+
+
+# ----------------------------------------------------------------------
+# envelopes
+# ----------------------------------------------------------------------
+_ENV_TUNNEL, _ENV_META = 0x01, 0x02
+
+Envelope = Union[TunnelMessage, MetaMessage]
+
+
+def _put_envelope(w: Writer, message: Envelope) -> None:
+    if type(message) is TunnelMessage:
+        w.u8(_ENV_TUNNEL)
+        w.string(message.tunnel_id)
+        _put_signal(w, message.signal)
+    elif type(message) is MetaMessage:
+        w.u8(_ENV_META)
+        _put_signal(w, message.signal)
+    else:
+        raise WireError("unknown-envelope", type(message).__name__)
+
+
+def _get_envelope(r: Reader) -> Envelope:
+    tag = r.u8()
+    if tag == _ENV_TUNNEL:
+        tunnel_id = r.string()
+        signal = _get_signal(r)
+        if not isinstance(signal, TunnelSignal):
+            raise WireError("bad-tag", "meta signal in tunnel envelope")
+        return TunnelMessage(tunnel_id, signal)
+    if tag == _ENV_META:
+        signal = _get_signal(r)
+        if not isinstance(signal, MetaSignal):
+            raise WireError("bad-tag", "tunnel signal in meta envelope")
+        return MetaMessage(signal)
+    raise WireError("bad-tag", "envelope tag %d" % tag)
+
+
+def encode_envelope(message: Envelope) -> bytes:
+    """Canonical byte encoding of one wire envelope (also the unit the
+    journal fingerprint hashes)."""
+    w = Writer()
+    _put_envelope(w, message)
+    return w.getvalue()
+
+
+def decode_envelope(data: bytes) -> Envelope:
+    r = Reader(data)
+    message = _get_envelope(r)
+    r.done()
+    return message
+
+
+# ----------------------------------------------------------------------
+# transport frames
+# ----------------------------------------------------------------------
+_FR_HELLO, _FR_SIG, _FR_BYE, _FR_PING, _FR_PONG, _FR_PROBE = \
+    1, 2, 3, 4, 5, 6
+
+
+@dataclass(frozen=True)
+class HelloFrame:
+    """Opens one signaling channel across a connection.  ``channel_id``
+    scopes every later frame; ``initiator`` is the caller-side agent
+    name (the admission tenant at the responder); ``target`` is the
+    dialed address the responder demultiplexes on."""
+
+    channel_id: str
+    initiator: str
+    target: str
+    tunnel_ids: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class SigFrame:
+    """One envelope on one channel."""
+
+    channel_id: str
+    envelope: Envelope
+
+
+@dataclass(frozen=True)
+class ByeFrame:
+    """The sender's half of ``channel_id`` is gone (reason is
+    observability only; the authoritative teardown is the ``TearDown``
+    meta-signal that normally precedes this)."""
+
+    channel_id: str
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class PingFrame:
+    nonce: int = 0
+
+
+@dataclass(frozen=True)
+class PongFrame:
+    nonce: int = 0
+
+
+@dataclass(frozen=True)
+class ProbeFrame:
+    """Announces the sender's real (bound) UDP media-probe address for
+    ``channel_id``, so both processes can exchange actual datagrams once
+    the channel's media is flowing.  Purely additive: the negotiated
+    in-protocol descriptors still carry the simulated plane's
+    deterministic addresses (which the parity fingerprint pins)."""
+
+    channel_id: str
+    host: str
+    port: int
+
+
+Frame = Union[HelloFrame, SigFrame, ByeFrame, PingFrame, PongFrame,
+              ProbeFrame]
+
+
+def encode_frame(fr: Frame) -> bytes:
+    """Encode one frame payload (version + type + body, unframed)."""
+    w = Writer()
+    w.u8(WIRE_VERSION)
+    cls = type(fr)
+    if cls is HelloFrame:
+        if len(fr.tunnel_ids) > _MAX_TUNNELS:
+            raise WireError("oversized", "%d tunnels" % len(fr.tunnel_ids))
+        w.u8(_FR_HELLO)
+        w.string(fr.channel_id)
+        w.string(fr.initiator)
+        w.string(fr.target)
+        w.uvarint(len(fr.tunnel_ids))
+        for tid in fr.tunnel_ids:
+            w.string(tid)
+    elif cls is SigFrame:
+        w.u8(_FR_SIG)
+        w.string(fr.channel_id)
+        _put_envelope(w, fr.envelope)
+    elif cls is ByeFrame:
+        w.u8(_FR_BYE)
+        w.string(fr.channel_id)
+        w.string(fr.reason)
+    elif cls is PingFrame:
+        w.u8(_FR_PING)
+        w.uvarint(fr.nonce)
+    elif cls is PongFrame:
+        w.u8(_FR_PONG)
+        w.uvarint(fr.nonce)
+    elif cls is ProbeFrame:
+        w.u8(_FR_PROBE)
+        w.string(fr.channel_id)
+        w.string(fr.host)
+        w.uvarint(fr.port)
+    else:
+        raise WireError("unknown-frame", cls.__name__)
+    return w.getvalue()
+
+
+def encode_sig_frame(channel_id: str, envelope_bytes: bytes) -> bytes:
+    """Splice an already-canonical envelope encoding into a SIG frame
+    payload.  The half-channel sink hands the transport exactly the
+    bytes :func:`encode_envelope` produced (and the journal recorded);
+    re-parsing them only to re-emit identical bytes would be waste."""
+    w = Writer()
+    w.u8(WIRE_VERSION)
+    w.u8(_FR_SIG)
+    w.string(channel_id)
+    w.buf += envelope_bytes
+    return w.getvalue()
+
+
+def decode_frame(payload: bytes) -> Frame:
+    r = Reader(payload)
+    version = r.u8()
+    if version != WIRE_VERSION:
+        raise WireError("version-mismatch",
+                        "got %d, speak %d" % (version, WIRE_VERSION))
+    kind = r.u8()
+    fr: Frame
+    if kind == _FR_HELLO:
+        channel_id = r.string()
+        initiator = r.string()
+        target = r.string()
+        count = r.uvarint()
+        if count > _MAX_TUNNELS:
+            raise WireError("oversized", "%d tunnels" % count)
+        fr = HelloFrame(channel_id, initiator, target,
+                        tuple(r.string() for _ in range(count)))
+    elif kind == _FR_SIG:
+        fr = SigFrame(r.string(), _get_envelope(r))
+    elif kind == _FR_BYE:
+        fr = ByeFrame(r.string(), r.string())
+    elif kind == _FR_PING:
+        fr = PingFrame(r.uvarint())
+    elif kind == _FR_PONG:
+        fr = PongFrame(r.uvarint())
+    elif kind == _FR_PROBE:
+        channel_id = r.string()
+        host = r.string()
+        port = r.uvarint()
+        try:
+            Address(host, port).validate()
+        except AddressError as exc:
+            raise WireError("bad-address", exc.reason)
+        fr = ProbeFrame(channel_id, host, port)
+    else:
+        raise WireError("bad-tag", "frame type %d" % kind)
+    r.done()
+    return fr
+
+
+# ----------------------------------------------------------------------
+# stream framing
+# ----------------------------------------------------------------------
+def frame(payload: bytes) -> bytes:
+    """Length-prefix one payload for a stream transport."""
+    if len(payload) > MAX_FRAME:
+        raise WireError("oversized", "frame of %d bytes" % len(payload))
+    return _U32.pack(len(payload)) + payload
+
+
+class FrameAssembler:
+    """Reassembles length-prefixed frames from a byte stream.
+
+    Feed arbitrary chunks; complete payloads come back in order.  A
+    length prefix beyond :data:`MAX_FRAME` poisons the assembler (the
+    stream is desynchronized or hostile; the connection must be
+    dropped) — every later feed raises too.
+    """
+
+    __slots__ = ("_buf", "_poisoned")
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        self._poisoned = False
+
+    def feed(self, data: bytes) -> List[bytes]:
+        if self._poisoned:
+            raise WireError("poisoned", "assembler already failed")
+        buf = self._buf
+        buf += data
+        frames: List[bytes] = []
+        while len(buf) >= 4:
+            length = _U32.unpack_from(buf)[0]
+            if length > MAX_FRAME:
+                self._poisoned = True
+                raise WireError("oversized",
+                                "frame prefix of %d bytes" % length)
+            if len(buf) < 4 + length:
+                break
+            frames.append(bytes(buf[4:4 + length]))
+            del buf[:4 + length]
+        return frames
+
+    @property
+    def buffered(self) -> int:
+        """Bytes awaiting a complete frame (observability)."""
+        return len(self._buf)

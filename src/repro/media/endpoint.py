@@ -362,10 +362,23 @@ class MediaEndpoint(SignalingAgent):
         if self.on_port_closed is not None:
             self.on_port_closed(port)
 
+    def release_end(self, end: ChannelEnd) -> None:
+        """Forget the ports riding ``end``'s slots and free their plane
+        addresses, without firing hooks.  The peer-teardown path does
+        this automatically (:meth:`on_channel_gone`); an endpoint owner
+        that tears its *own* end down must call this, or every hangup
+        strands one closed :class:`Port` in the endpoint forever."""
+        for slot in end.slots.values():
+            self._release_slot(slot)
+
+    def _release_slot(self, slot: Slot) -> Optional[Port]:
+        port = self._ports.pop(slot, None)
+        if port is not None:
+            self.plane.unregister_port(port)
+        return port
+
     def on_channel_gone(self, end: ChannelEnd) -> None:
         for slot in end.slots.values():
-            port = self._ports.pop(slot, None)
-            if port is not None:
-                self.plane.unregister_port(port)
-                if self.on_port_closed is not None:
-                    self.on_port_closed(port)
+            port = self._release_slot(slot)
+            if port is not None and self.on_port_closed is not None:
+                self.on_port_closed(port)

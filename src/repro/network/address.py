@@ -5,14 +5,91 @@ A media endpoint is identified to its peers by an :class:`Address`
 paper: "A descriptor contains an IP address, port number, and
 priority-ordered list of codecs").  The :class:`AddressAllocator` hands
 out unique addresses the way a host's socket layer would hand out ports.
+
+With the live transport (:mod:`repro.livenet`) addresses also arrive
+from outside the process — gateway requests, peer flags, decoded wire
+descriptors — so parsing is strict: :func:`parse_hostport` and
+:meth:`Address.parse` reject malformed input with a structured
+:class:`AddressError` naming the offending text and the reason, instead
+of propagating a bare ``ValueError`` from ``int()``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator
+from typing import Dict, Iterator, Tuple
 
-__all__ = ["Address", "AddressAllocator"]
+__all__ = ["Address", "AddressError", "AddressAllocator", "parse_hostport"]
+
+#: Characters allowed in a host name or literal: letters, digits, dots,
+#: dashes, and underscores.  (IPv6 bracket literals are deliberately out
+#: of scope for the simulated planes; the live transport binds v4.)
+_HOST_OK = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789.-_")
+
+_MAX_HOST_LEN = 253  # RFC 1035 limit; also bounds wire-decoded hosts
+
+
+class AddressError(ValueError):
+    """A host:port string (or component) failed validation.
+
+    Subclasses ``ValueError`` so legacy ``except ValueError`` sites keep
+    working, but carries the offending ``text`` and a stable ``reason``
+    slug so wire- and gateway-facing code can answer with a structured
+    error instead of a stack trace.
+    """
+
+    def __init__(self, text: object, reason: str, detail: str = ""):
+        self.text = text
+        self.reason = reason
+        self.detail = detail
+        super().__init__("bad address %r: %s%s"
+                         % (text, reason, " (%s)" % detail if detail else ""))
+
+
+def _check_host(host: str, text: object) -> str:
+    if not host:
+        raise AddressError(text, "empty-host")
+    if len(host) > _MAX_HOST_LEN:
+        raise AddressError(text, "host-too-long",
+                           "%d > %d chars" % (len(host), _MAX_HOST_LEN))
+    bad = set(host) - _HOST_OK
+    if bad:
+        raise AddressError(text, "bad-host-char",
+                           "".join(sorted(bad)))
+    if host.startswith("-") or host.startswith("."):
+        raise AddressError(text, "bad-host-start", host[0])
+    return host
+
+
+def _check_port(port: int, text: object) -> int:
+    if not (0 < port < 65536):
+        raise AddressError(text, "port-out-of-range", str(port))
+    return port
+
+
+def parse_hostport(text: str) -> Tuple[str, int]:
+    """Parse ``"host:port"`` strictly into a validated ``(host, port)``.
+
+    Raises :class:`AddressError` (never a bare ``ValueError``) on: a
+    non-string, a missing or extra colon, an empty or over-long host,
+    characters outside ``[A-Za-z0-9.-_]``, a non-numeric port, or a port
+    outside 1..65535.
+    """
+    if not isinstance(text, str):
+        raise AddressError(text, "not-a-string", type(text).__name__)
+    if len(text) > _MAX_HOST_LEN + 6:
+        raise AddressError(text[:64] + "...", "too-long",
+                           "%d chars" % len(text))
+    host, sep, port_text = text.rpartition(":")
+    if not sep:
+        raise AddressError(text, "missing-port")
+    if ":" in host:
+        raise AddressError(text, "extra-colon")
+    _check_host(host, text)
+    if not port_text.isdigit():
+        raise AddressError(text, "bad-port", port_text or "<empty>")
+    return host, _check_port(int(port_text), text)
 
 
 @dataclass(frozen=True, order=True)
@@ -21,6 +98,22 @@ class Address:
 
     host: str
     port: int
+
+    @classmethod
+    def parse(cls, text: str) -> "Address":
+        """Strictly parse ``"host:port"``; raises :class:`AddressError`
+        on anything malformed (see :func:`parse_hostport`)."""
+        host, port = parse_hostport(text)
+        return cls(host, port)
+
+    def validate(self) -> "Address":
+        """Re-check an address built from decoded wire fields; returns
+        ``self`` or raises :class:`AddressError`."""
+        _check_host(self.host, self)
+        if not isinstance(self.port, int) or isinstance(self.port, bool):
+            raise AddressError(self, "bad-port", repr(self.port))
+        _check_port(self.port, self)
+        return self
 
     def __str__(self) -> str:
         return "%s:%d" % (self.host, self.port)

@@ -21,7 +21,7 @@ __all__ = [
     "TraceEvent", "SignalSent", "SignalReceived", "SlotTransition",
     "SlotDrop", "Retransmit", "SlotFailed", "SlotFailureRecord",
     "GoalEvent", "ProgramStep", "FaultInjected", "ChannelEvent",
-    "signal_label",
+    "LiveWireEvent", "signal_label",
 ]
 
 _SIGNAL_TYPES: Optional[Tuple[type, type]] = None
@@ -317,9 +317,34 @@ class ChannelEvent(TraceEvent):
         return "channel.%s %s%s" % (self.action, self.channel, extra)
 
 
+@dataclass(frozen=True)
+class LiveWireEvent(TraceEvent):
+    """Live-transport lifecycle (:mod:`repro.livenet`): connections
+    dialed/accepted/lost/reconnected, frames shipped/received, live
+    channels opened/closed.  ``ts`` is the node's *simulated* clock (the
+    wall-anchored pump clock), like every other event; ``peer`` is the
+    remote node or connection label and ``detail`` a short free-form
+    qualifier (reason slug, frame kind, channel id)."""
+
+    action: str
+    peer: str = ""
+    detail: str = ""
+
+    category = "live"
+
+    def event_name(self) -> str:
+        return self.action
+
+    def describe(self) -> str:
+        return "live.%s %s%s" % (
+            self.action, self.peer,
+            " %s" % self.detail if self.detail else "")
+
+
 #: All exported event classes, for subscribers that dispatch by type.
 EVENT_TYPES: List[type] = [
     SignalSent, SignalReceived, SlotTransition, SlotDrop, Retransmit,
     SlotFailed, GoalEvent, ProgramStep, FaultInjected, ChannelEvent,
+    LiveWireEvent,
 ]
 __all__.append("EVENT_TYPES")

@@ -1,0 +1,155 @@
+"""The transport seam, bridged in-process.
+
+Two independent simulated networks (as two OS processes would have),
+joined by a pair of :class:`HalfChannel` objects whose sinks feed each
+other's ``inject`` through in-memory queues.  This pins the seam's
+contract without sockets: the unchanged protocol stack negotiates media
+across the boundary, the direction-wise journal fingerprint matches the
+single-process sim reference byte-for-byte, and teardown maps onto the
+ordinary ``on_channel_gone``/noMedia degradation in both directions.
+"""
+
+import pytest
+
+from repro.livenet.journal import (SignalJournal, host_for,
+                                   reference_fingerprint)
+from repro.livenet.seam import HalfChannel
+from repro.livenet.wire import decode_envelope
+from repro.network.network import Network
+
+
+class _Bridge:
+    """Two half-channels joined by in-memory frame queues."""
+
+    def __init__(self, target="bob", caller_auto=False):
+        self.net_a = Network(seed=0)
+        self.net_b = Network(seed=0)
+        self.caller = self.net_a.device("caller", auto_accept=caller_auto,
+                                        host=host_for("caller"))
+        self.box = self.net_a.box("gw")
+        self.callee = self.net_b.device(target, auto_accept=True,
+                                        host=host_for(target))
+        self.a_to_b = []
+        self.b_to_a = []
+        self.half_a = HalfChannel(
+            self.net_a.loop, self.box, self.a_to_b.append, "c1",
+            remote_name=target, outbound=True, target=target)
+        self.half_b = HalfChannel(
+            self.net_b.loop, self.callee, self.b_to_a.append, "c1",
+            remote_name="gw", outbound=False, target=target)
+
+    def pump(self):
+        """Ferry frames both ways until the worlds go quiet."""
+        for _ in range(100):
+            self.net_a.loop.run_until_quiescent()
+            self.net_b.loop.run_until_quiescent()
+            if not self.a_to_b and not self.b_to_a:
+                return
+            while self.a_to_b:
+                self.half_b.inject(decode_envelope(self.a_to_b.pop(0)))
+            while self.b_to_a:
+                self.half_a.inject(decode_envelope(self.b_to_a.pop(0)))
+        raise AssertionError("bridge did not settle")
+
+    def place_call(self, medium="audio"):
+        ch1 = self.net_a.channel(self.caller, self.box)
+        self.box.flow_link(ch1.responder_end.slot(), self.half_a.slot())
+        port = self.caller.open(ch1.initiator_end.slot(), medium)
+        self.pump()
+        return ch1, port
+
+
+def test_media_flows_across_the_seam():
+    bridge = _Bridge()
+    _, port = bridge.place_call()
+    assert port.slot.state == "flowing"
+    callee_port = bridge.callee.ports()[0]
+    assert callee_port.slot.state == "flowing"
+    # Each side negotiated against the *other process's* descriptor.
+    assert port.slot.selector_received is not None
+    assert callee_port.slot.remote_descriptor is not None
+
+
+def test_journal_parity_with_single_process_reference():
+    bridge = _Bridge()
+    journal = SignalJournal()
+    journal.attach(bridge.half_a.channel, bridge.half_a._local_side)
+    bridge.place_call()
+    reference = reference_fingerprint("caller", "gw", "bob")
+    assert journal.fingerprint() == reference
+    assert journal.sent and journal.received
+
+
+def test_local_teardown_crosses_the_wire():
+    bridge = _Bridge()
+    bridge.place_call()
+    callee_port = bridge.callee.ports()[0]
+    closed = []
+    bridge.callee.on_port_closed = closed.append
+    bridge.half_a.end.tear_down()
+    bridge.pump()
+    assert not bridge.half_a.alive and not bridge.half_b.alive
+    assert closed == [callee_port]
+    assert not bridge.callee.ports()
+    # Both halves' links are fully retired: no end left alive.
+    assert all(not end.alive for end in bridge.half_a.channel.ends)
+    assert all(not end.alive for end in bridge.half_b.channel.ends)
+
+
+def test_abandon_degrades_through_no_media_path():
+    bridge = _Bridge()
+    bridge.place_call()
+    callee_port = bridge.callee.ports()[0]
+    closed = []
+    bridge.callee.on_port_closed = closed.append
+    # The transport under half_b dies; nothing else crosses the wire.
+    bridge.half_b.abandon("reconnect-exhausted")
+    bridge.net_b.loop.run_until_quiescent()
+    assert not bridge.half_b.alive
+    assert closed == [callee_port]
+    assert not bridge.callee.ports()
+    # The far side is unaffected until told (or abandoned) itself.
+    assert bridge.half_a.alive
+
+
+def test_on_closed_fires_exactly_once():
+    bridge = _Bridge()
+    bridge.place_call()
+    fired = []
+    bridge.half_b.on_closed = fired.append
+    bridge.half_b.abandon()
+    bridge.half_b.abandon()  # idempotent
+    bridge.net_b.loop.run_until_quiescent()
+    assert fired == [bridge.half_b]
+
+
+def test_dead_half_drops_traffic_silently():
+    bridge = _Bridge()
+    bridge.place_call()
+    bridge.half_b.abandon()
+    bridge.net_b.loop.run_until_quiescent()
+    before = len(bridge.b_to_a)
+    from repro.protocol.signals import MetaMessage, TearDown
+    bridge.half_b.inject(MetaMessage(TearDown()))   # no-op
+    bridge.net_b.loop.run_until_quiescent()
+    assert len(bridge.b_to_a) == before
+
+
+def test_channel_up_announcement_originates_from_initiator_only():
+    bridge = _Bridge()
+    # Before any media action the outbound half has already emitted
+    # ChannelUp toward the responder; the responder half emitted nothing.
+    bridge.net_a.loop.run_until_quiescent()
+    assert len(bridge.a_to_b) == 1
+    assert not bridge.b_to_a
+    from repro.protocol.signals import ChannelUp, MetaMessage
+    message = decode_envelope(bridge.a_to_b[0])
+    assert type(message) is MetaMessage
+    assert isinstance(message.signal, ChannelUp)
+    assert message.signal.target == "bob"
+
+
+def test_relay_never_processes_signals():
+    bridge = _Bridge()
+    with pytest.raises(AssertionError):
+        bridge.half_a.relay.on_meta(None, None)

@@ -1,0 +1,200 @@
+"""LiveNode pairs over real localhost sockets.
+
+Each test runs two nodes in one asyncio loop (two would-be processes),
+negotiates channels over actual TCP, and pins connection-level behavior:
+flowing media, teardown propagation, routing refusals, reconnect
+exhaustion mapping onto noMedia abandonment, keepalives, and hostile
+byte streams.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.livenet.journal import host_for, reference_fingerprint
+from repro.livenet.tcp import LiveNode, ReconnectPolicy
+from repro.livenet.wire import (FrameAssembler, PingFrame, PongFrame,
+                                decode_frame, encode_frame, frame)
+from repro.protocol.errors import ConfigurationError
+
+_FAST_RETRY = ReconnectPolicy(initial=0.005, factor=1.0, cap=0.01,
+                              max_attempts=3)
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, 30))
+
+
+async def _pair():
+    a, b = LiveNode("a"), LiveNode("b")
+    await a.start()
+    await b.start()
+    b.net.device("bob", auto_accept=True, host=host_for("bob"))
+    a.add_peer("b", *b.listen_address)
+    return a, b
+
+
+async def _stop(*nodes):
+    for node in nodes:
+        await node.stop()
+
+
+def test_call_flows_over_real_sockets():
+    async def scenario():
+        a, b = await _pair()
+        try:
+            alice = a.net.device("alice", host=host_for("alice"))
+            record = a.open_live(alice, "b", "bob")
+            port = alice.open(record.half.slot(), "audio")
+            assert await a.wait_for(
+                lambda: port.slot.state == "flowing")
+            assert await b.wait_for(
+                lambda: bool(b.channels)
+                and next(iter(b.channels.values()))
+                .half.slot().is_live)
+            # The direction-wise journal matches a device--device sim
+            # reference of the same scenario (first call, fresh nodes).
+            summary = record.journal.summary()
+            assert summary["sent"] >= 2 and summary["received"] >= 2
+        finally:
+            await _stop(a, b)
+    run(scenario())
+
+
+def test_teardown_propagates_and_unmaps_both_sides():
+    async def scenario():
+        a, b = await _pair()
+        try:
+            alice = a.net.device("alice", host=host_for("alice"))
+            record = a.open_live(alice, "b", "bob")
+            port = alice.open(record.half.slot(), "audio")
+            assert await a.wait_for(
+                lambda: port.slot.state == "flowing")
+            record.half.end.tear_down()
+            assert await a.wait_for(lambda: not a.channels)
+            assert await b.wait_for(lambda: not b.channels)
+            assert not record.half.alive
+        finally:
+            await _stop(a, b)
+    run(scenario())
+
+
+def test_unroutable_target_answers_bye_and_abandons():
+    async def scenario():
+        a, b = await _pair()
+        try:
+            alice = a.net.device("alice", host=host_for("alice"))
+            record = a.open_live(alice, "b", "nobody-home")
+            assert await a.wait_for(lambda: not record.half.alive)
+            assert not a.channels and not b.channels
+            assert any(e["action"] == "no-route" for e in b.events)
+            assert any(e["action"] == "channel-bye" for e in a.events)
+        finally:
+            await _stop(a, b)
+    run(scenario())
+
+
+def test_unknown_peer_is_a_configuration_error():
+    async def scenario():
+        a = LiveNode("a")
+        await a.start()
+        try:
+            alice = a.net.device("alice", host=host_for("alice"))
+            with pytest.raises(ConfigurationError):
+                a.open_live(alice, "nowhere", "bob")
+        finally:
+            await a.stop()
+    run(scenario())
+
+
+def test_reconnect_exhaustion_degrades_to_no_media():
+    async def scenario():
+        a = LiveNode("a", reconnect=_FAST_RETRY)
+        await a.start()
+        try:
+            # A peer that will never answer: a port we know is closed.
+            probe = await asyncio.start_server(
+                lambda r, w: None, "127.0.0.1", 0)
+            dead_port = probe.sockets[0].getsockname()[1]
+            probe.close()
+            await probe.wait_closed()
+            a.add_peer("ghost", "127.0.0.1", dead_port)
+            alice = a.net.device("alice", host=host_for("alice"))
+            record = a.open_live(alice, "ghost", "bob")
+            port = alice.open(record.half.slot(), "audio")
+            assert await a.wait_for(lambda: not record.half.alive)
+            assert "ghost" not in a.peers
+            assert not a.channels
+            # The owner saw the ordinary degradation, not an exception.
+            assert port.slot.state != "flowing"
+            assert any(e["action"] == "peer-dead" for e in a.events)
+        finally:
+            await a.stop()
+    run(scenario())
+
+
+def test_ping_is_answered_with_pong():
+    async def scenario():
+        a = LiveNode("a")
+        await a.start()
+        try:
+            reader, writer = await asyncio.open_connection(
+                *a.listen_address)
+            writer.write(frame(encode_frame(PingFrame(77))))
+            await writer.drain()
+            assembler = FrameAssembler()
+            payloads = []
+            while not payloads:
+                payloads = assembler.feed(await reader.read(4096))
+            assert decode_frame(payloads[0]) == PongFrame(77)
+            writer.close()
+        finally:
+            await a.stop()
+    run(scenario())
+
+
+def test_hostile_stream_drops_the_connection_only():
+    async def scenario():
+        a = LiveNode("a")
+        await a.start()
+        try:
+            reader, writer = await asyncio.open_connection(
+                *a.listen_address)
+            writer.write(b"\xff" * 64)  # oversized length prefix
+            await writer.drain()
+            assert await a.wait_for(
+                lambda: any(e["action"] == "bad-stream"
+                            for e in a.events))
+            assert await a.wait_for(lambda: not a.accepted)
+            assert (await reader.read()) == b""  # server closed it
+            writer.close()
+            # The node is still serving afterwards.
+            r2, w2 = await asyncio.open_connection(*a.listen_address)
+            w2.write(frame(encode_frame(PingFrame(1))))
+            await w2.drain()
+            assert await r2.read(4) != b""
+            w2.close()
+        finally:
+            await a.stop()
+    run(scenario())
+
+
+def test_first_live_call_matches_sim_reference_fingerprint():
+    async def scenario():
+        a, b = await _pair()
+        try:
+            # The canonical gateway chain, hand-built: caller--box on
+            # node a, live leg box->bob on node b.
+            caller = a.net.device("caller", host=host_for("caller"))
+            box = a.net.box("gw")
+            ch1 = a.net.channel(caller, box)
+            record = a.open_live(box, "b", "bob")
+            box.flow_link(ch1.responder_end.slot(), record.half.slot())
+            port = caller.open(ch1.initiator_end.slot(), "audio")
+            assert await a.wait_for(
+                lambda: port.slot.state == "flowing")
+            live = record.journal.fingerprint()
+            assert live == reference_fingerprint("caller", "gw", "bob")
+        finally:
+            await _stop(a, b)
+    run(scenario())

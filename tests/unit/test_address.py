@@ -1,0 +1,109 @@
+"""Unit tests for strict address parsing and the structured
+:class:`AddressError` the live transport depends on."""
+
+import pytest
+
+from repro.network.address import (Address, AddressAllocator, AddressError,
+                                   parse_hostport)
+
+
+# ----------------------------------------------------------------------
+# parse_hostport: the happy path
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("text,expected", [
+    ("127.0.0.1:8080", ("127.0.0.1", 8080)),
+    ("localhost:1", ("localhost", 1)),
+    ("some-box_3.example:65535", ("some-box_3.example", 65535)),
+])
+def test_parse_valid(text, expected):
+    assert parse_hostport(text) == expected
+
+
+def test_address_parse_and_str_roundtrip():
+    address = Address.parse("10.0.0.7:10002")
+    assert address == Address("10.0.0.7", 10002)
+    assert Address.parse(str(address)) == address
+
+
+# ----------------------------------------------------------------------
+# parse_hostport: every rejection carries a stable reason slug
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("text,reason", [
+    (12345, "not-a-string"),
+    (None, "not-a-string"),
+    ("nohost", "missing-port"),
+    ("a:b:80", "extra-colon"),
+    (":80", "empty-host"),
+    ("host:", "bad-port"),
+    ("host:eighty", "bad-port"),
+    ("host:-1", "bad-port"),
+    ("host:0", "port-out-of-range"),
+    ("host:65536", "port-out-of-range"),
+    ("bad host:80", "bad-host-char"),
+    ("host%00:80", "bad-host-char"),
+    ("-host:80", "bad-host-start"),
+    (".host:80", "bad-host-start"),
+    ("h" * 300 + ":80", "too-long"),
+])
+def test_parse_rejects_with_reason(text, reason):
+    with pytest.raises(AddressError) as err:
+        parse_hostport(text)
+    assert err.value.reason == reason
+
+
+def test_address_error_is_a_value_error():
+    # Legacy ``except ValueError`` call sites must keep working.
+    with pytest.raises(ValueError):
+        parse_hostport("nope")
+
+
+def test_error_message_names_text_and_reason():
+    with pytest.raises(AddressError) as err:
+        parse_hostport("x y:80")
+    assert "x y:80" in str(err.value)
+    assert "bad-host-char" in str(err.value)
+
+
+# ----------------------------------------------------------------------
+# Address.validate: re-checking wire-decoded fields
+# ----------------------------------------------------------------------
+def test_validate_accepts_good_address():
+    address = Address("10.1.2.3", 10000)
+    assert address.validate() is address
+
+
+@pytest.mark.parametrize("host,port,reason", [
+    ("", 80, "empty-host"),
+    ("bad host", 80, "bad-host-char"),
+    ("h" * 300, 80, "host-too-long"),
+    ("ok", 0, "port-out-of-range"),
+    ("ok", 70000, "port-out-of-range"),
+    ("ok", True, "bad-port"),   # bool sneaking through an int field
+    ("ok", "80", "bad-port"),
+])
+def test_validate_rejects_bad_fields(host, port, reason):
+    with pytest.raises(AddressError) as err:
+        Address(host, port).validate()
+    assert err.value.reason == reason
+
+
+# ----------------------------------------------------------------------
+# the allocator (unchanged semantics the tests pin)
+# ----------------------------------------------------------------------
+def test_allocator_hands_out_unique_even_ports_per_host():
+    allocator = AddressAllocator()
+    addresses = list(allocator.allocate_many("10.0.0.1", 5))
+    assert [a.port for a in addresses] == [10000, 10002, 10004,
+                                           10006, 10008]
+    assert allocator.allocate("10.0.0.2").port == 10000
+    assert all(a.validate() for a in addresses)
+
+
+def test_allocator_hosts_stay_below_live_half_space():
+    from repro.livenet.journal import host_for
+    allocator = AddressAllocator()
+    hosts = {allocator.host() for _ in range(300)}
+    # Sequential hosts live in 10.0/9; name-derived live hosts in
+    # 10.128/9 — the two can never collide.
+    assert all(int(h.split(".")[1]) < 128 for h in hosts)
+    assert int(host_for("anyone").split(".")[1]) >= 128

@@ -26,13 +26,34 @@ def test_help_lists_every_subcommand(capsys):
     assert exc.value.code == 0
     out = capsys.readouterr().out
     for name in ("latency", "verify", "scenario", "lint", "audit",
-                 "chaos", "sweep", "trace", "all"):
+                 "chaos", "sweep", "trace", "serve", "call",
+                 "live-demo", "all"):
         assert name in out
 
 
 def test_unknown_command_exits_two(capsys):
     with pytest.raises(SystemExit) as exc:
         repro_main(["frobnicate"])
+    assert exc.value.code == 2
+
+
+def test_every_registry_target_resolves_to_a_callable():
+    # The registry is the single source of dispatch: every entry's
+    # ``module[:function]`` target must import and resolve.
+    import importlib
+    from repro.__main__ import _DELEGATED
+    for name, (target, _desc) in _DELEGATED.items():
+        module_path, _, function = target.partition(":")
+        module = importlib.import_module(module_path)
+        assert callable(getattr(module, function or "main")), name
+
+
+def test_serve_and_call_usage_errors_exit_two():
+    with pytest.raises(SystemExit) as exc:
+        repro_main(["call"])  # --gateway/--to are required
+    assert exc.value.code == 2
+    with pytest.raises(SystemExit) as exc:
+        repro_main(["serve", "--peer", "not-a-hostport"])
     assert exc.value.code == 2
 
 
