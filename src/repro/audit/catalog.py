@@ -32,6 +32,10 @@ DETERMINISM_WAIVERS: Dict[str, Tuple[Suppression, ...]] = {
         Suppression("RC810", "the load harness exists to measure "
                     "wall-clock throughput; elapsed time is reported, "
                     "never fed back into simulation state"),
+        Suppression("RC813", "the host-calibration probe forwards the "
+                    "parent environment (pinning REPRO_BACKEND=python) "
+                    "when spawning its child-interpreter reference "
+                    "run; no simulation input is read from it"),
     ),
     "chaos": (
         Suppression("RC810", "chaos reports record wall-clock elapsed "

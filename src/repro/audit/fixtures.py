@@ -94,6 +94,47 @@ def _rc805() -> Fixture:
         state="_stim_evt")
 
 
+# -- third-perf-wave surfaces (slot FSM, goal dispatch, batching) ------
+
+def _rc803_batch() -> Fixture:
+    # The C delivery batch cap bumped without eventloop.py following:
+    # coalescing width would change under exactly one backend.
+    return Fixture(
+        name="audit-RC803-batch", code="RC803",
+        run=_doctored_c("#define DELIVER_BATCH_MAX 16",
+                        "#define DELIVER_BATCH_MAX 24"),
+        state="DELIVER_BATCH_MAX")
+
+
+def _rc804_poison() -> Fixture:
+    # The FSM fast-path gate resolving a flag backend.py renamed.
+    return Fixture(
+        name="audit-RC804-poison", code="RC804",
+        run=_doctored_c('PyObject_GetAttrString(mod, "ARENA_POISON")',
+                        'PyObject_GetAttrString(mod, "ARENA_POISONX")'),
+        state="repro.network.backend.ARENA_POISONX")
+
+
+def _rc804_state() -> Fixture:
+    # A slot-state constant consumed by the C FSM kernels that the
+    # Python protocol module no longer exports.
+    return Fixture(
+        name="audit-RC804-state", code="RC804",
+        run=_doctored_c('PyObject_GetAttrString(mod, "FLOWING")',
+                        'PyObject_GetAttrString(mod, "FLOWINGX")'),
+        state="repro.protocol.slot.FLOWINGX")
+
+
+def _rc805_gen() -> Fixture:
+    # The generation counter the C FSM bumps, renamed on the C side
+    # only: the goal-poll memo would never invalidate from C.
+    return Fixture(
+        name="audit-RC805-gen", code="RC805",
+        run=_doctored_c('INTERN(goal_gen, "goal_gen");',
+                        'INTERN(goal_gen, "goal_generation");'),
+        state="goal_generation")
+
+
 def _det_fixture(name: str, code: str, source: str,
                  state: str) -> Fixture:
     def run() -> List[Diagnostic]:
@@ -218,5 +259,6 @@ def all_audit_fixtures() -> List[Fixture]:
     """Every negative control, in code order."""
     return [fn() for fn in (
         _rc801, _rc802, _rc803, _rc804, _rc805,
+        _rc803_batch, _rc804_poison, _rc804_state, _rc805_gen,
         _rc810, _rc811, _rc812, _rc813, _rc814,
         _rc820, _rc821, _rc822, _rc823)]

@@ -45,12 +45,13 @@
 #include <Python.h>
 #include <structmember.h>
 
-#define CCORE_ABI_VERSION 1
+#define CCORE_ABI_VERSION 2
 
-/* Caps mirrored from the Python side (transport._FREELIST_MAX and
- * channel._ENV_POOL_MAX). */
+/* Caps mirrored from the Python side (transport._FREELIST_MAX,
+ * channel._ENV_POOL_MAX, and eventloop._DELIVER_BATCH_MAX). */
 #define FREELIST_MAX 32
 #define ENV_POOL_MAX 64
+#define DELIVER_BATCH_MAX 16
 
 /* ------------------------------------------------------------------ */
 /* interned attribute names                                            */
@@ -68,6 +69,14 @@ static struct {
     PyObject *state, *_retx_kind, *signals_received, *signals_sent;
     PyObject *_cancel_retx, *_wire, *_chain, *_end, *_transmit, *_hooks;
     PyObject *qualname;
+    /* slot FSM fast path (third perf wave) */
+    PyObject *retransmit, *strict, *failed, *medium, *remote_descriptor;
+    PyObject *local_descriptor, *selector_received, *selector_sent;
+    PyObject *descriptor, *selector, *race_drops, *stale_drops, *side;
+    PyObject *_tx, *_retx_timer, *_stale_timer, *_busy_timer;
+    /* goal dispatch + memoized poll */
+    PyObject *maps, *_by_slot, *goal_receive, *after_stimulus, *admission;
+    PyObject *goal_gen, *_poll_gen;
 } S;
 
 static PyObject *g_empty_tuple;
@@ -80,19 +89,51 @@ static PyObject *g_state_opening;    /* slot.OPENING */
 static PyObject *g_state_closed;     /* slot.CLOSED */
 static PyObject *g_kind_open;        /* "open" */
 static PyObject *g_kind_close;       /* "close" */
+/* slot FSM fast path: the remaining state strings, the six final signal
+ * classes, and the shared closeack singleton */
+static PyObject *g_state_opened;     /* slot.OPENED */
+static PyObject *g_state_flowing;    /* slot.FLOWING */
+static PyObject *g_state_closing;    /* slot.CLOSING */
+static PyObject *g_sig_open;         /* signals.Open */
+static PyObject *g_sig_oack;         /* signals.Oack */
+static PyObject *g_sig_close;        /* signals.Close */
+static PyObject *g_sig_closeack;     /* signals.CloseAck */
+static PyObject *g_sig_describe;     /* signals.Describe */
+static PyObject *g_sig_select;       /* signals.Select */
+static PyObject *g_sig_busy;         /* signals.Busy */
+static PyObject *g_closeack;         /* slot._CLOSEACK singleton */
+/* goal dispatch: the reference Box.on_tunnel_signal function (methods
+ * bound to it with no admission control are inlined in C) */
+static PyObject *g_box_ots;
+/* backend.ARENA_POISON: poisoned-release debugging disables every slot
+ * fast path so the reference receive sees the poisoned signals */
+static int g_arena_poison;
 
 static int
 ensure_protocol(void)
 {
-    PyObject *mod;
+    PyObject *mod, *box_cls, *poison;
     if (g_tunnelmsg_type != NULL)
         return 0;
     mod = PyImport_ImportModule("repro.protocol.signals");
     if (mod == NULL)
         return -1;
     g_tunnelmsg_type = PyObject_GetAttrString(mod, "TunnelMessage");
+    if (g_tunnelmsg_type == NULL) {
+        Py_DECREF(mod);
+        return -1;
+    }
+    g_sig_open = PyObject_GetAttrString(mod, "Open");
+    g_sig_oack = PyObject_GetAttrString(mod, "Oack");
+    g_sig_close = PyObject_GetAttrString(mod, "Close");
+    g_sig_closeack = PyObject_GetAttrString(mod, "CloseAck");
+    g_sig_describe = PyObject_GetAttrString(mod, "Describe");
+    g_sig_select = PyObject_GetAttrString(mod, "Select");
+    g_sig_busy = PyObject_GetAttrString(mod, "Busy");
     Py_DECREF(mod);
-    if (g_tunnelmsg_type == NULL)
+    if (g_sig_open == NULL || g_sig_oack == NULL || g_sig_close == NULL
+        || g_sig_closeack == NULL || g_sig_describe == NULL
+        || g_sig_select == NULL || g_sig_busy == NULL)
         return -1;
     mod = PyImport_ImportModule("repro.protocol.slot");
     if (mod == NULL)
@@ -116,8 +157,36 @@ ensure_protocol(void)
     }
     g_state_opening = PyObject_GetAttrString(mod, "OPENING");
     g_state_closed = PyObject_GetAttrString(mod, "CLOSED");
+    g_state_opened = PyObject_GetAttrString(mod, "OPENED");
+    g_state_flowing = PyObject_GetAttrString(mod, "FLOWING");
+    g_state_closing = PyObject_GetAttrString(mod, "CLOSING");
+    g_closeack = PyObject_GetAttrString(mod, "_CLOSEACK");
     Py_DECREF(mod);
-    if (g_state_opening == NULL || g_state_closed == NULL)
+    if (g_state_opening == NULL || g_state_closed == NULL
+        || g_state_opened == NULL || g_state_flowing == NULL
+        || g_state_closing == NULL || g_closeack == NULL)
+        return -1;
+    mod = PyImport_ImportModule("repro.network.backend");
+    if (mod == NULL)
+        return -1;
+    poison = PyObject_GetAttrString(mod, "ARENA_POISON");
+    Py_DECREF(mod);
+    if (poison == NULL)
+        return -1;
+    g_arena_poison = PyObject_IsTrue(poison);
+    Py_DECREF(poison);
+    if (g_arena_poison < 0)
+        return -1;
+    mod = PyImport_ImportModule("repro.core.box");
+    if (mod == NULL)
+        return -1;
+    box_cls = PyObject_GetAttrString(mod, "Box");
+    Py_DECREF(mod);
+    if (box_cls == NULL)
+        return -1;
+    g_box_ots = PyObject_GetAttr(box_cls, S.on_tunnel_signal);
+    Py_DECREF(box_cls);
+    if (g_box_ots == NULL)
         return -1;
     g_kind_open = PyUnicode_InternFromString("open");
     g_kind_close = PyUnicode_InternFromString("close");
@@ -625,6 +694,11 @@ typedef struct {
     PyObject *seq_iter;          /* loop._seq */
     PyObject *process_fn;        /* chend._process_fn */
     PyObject *finish_cb;         /* node._finish_cb */
+    /* bound deque methods, cached alongside the deques they belong to
+     * (the kernels already pin the deque objects at init; caching the
+     * bound method removes a type lookup per signal) */
+    PyObject *inbox_append;      /* inbox.append */
+    PyObject *ready_append;      /* ready.append */
 } ReceiveObj;
 
 typedef struct {
@@ -635,6 +709,8 @@ typedef struct {
     PyObject *ready;
     PyObject *inbox;
     PyObject *seq_iter;
+    PyObject *inbox_popleft;     /* inbox.popleft, cached */
+    PyObject *ready_append;      /* ready.append, cached */
 } FinishObj;
 
 typedef struct {
@@ -645,6 +721,9 @@ typedef struct {
     PyObject *slots;             /* chend.slots (dict) */
     PyObject *py_process;        /* bound ChannelEnd._process */
     PyObject *env_pool;          /* loop._env_pool (list) */
+    PyObject *by_slot;           /* owner.maps._by_slot (dict, mutated in
+                                  * place, never rebound) or NULL for
+                                  * owners without goal maps (devices) */
 } ProcessObj;
 
 typedef struct {
@@ -659,6 +738,7 @@ typedef struct {
     PyObject *deliver0, *deliver1;  /* the ends' Deliver callables */
     PyObject *pending;           /* link._pending (list, mutated in place) */
     PyObject *freelist;          /* link._free (list) */
+    PyObject *ready_append;      /* ready.append, cached */
 } TransmitObj;
 
 static int deliver_impl(DeliverObj *d, PyObject *msg);
@@ -666,6 +746,8 @@ static int receive_impl(ReceiveObj *rc, PyObject *msg);
 static int finish_impl(FinishObj *f);
 static int process_impl(ProcessObj *p, PyObject *msg);
 static int transmit_impl(TransmitObj *t, PyObject *origin, PyObject *msg);
+/* defined after the SlotTransmit kernel (it fuses into it) */
+static int fsm_tx(PyObject *slot, PyObject *sig);
 
 /* ------------------------------------------------------------------ */
 /* node arming (shared by Receive and Finish)                          */
@@ -676,7 +758,7 @@ static int transmit_impl(TransmitObj *t, PyObject *origin, PyObject *msg);
  * flag guarantees at most one is in flight).  Mirrors Node._arm. */
 static int
 arm_node(PyObject *node, PyObject *loop, PyObject *heap, PyObject *ready,
-         PyObject *seq_iter, PyObject *finish_cb)
+         PyObject *ready_append, PyObject *seq_iter, PyObject *finish_cb)
 {
     double now, when, cost;
     long long seq;
@@ -720,8 +802,9 @@ arm_node(PyObject *node, PyObject *loop, PyObject *heap, PyObject *ready,
         }
     }
     if (when == now) {
-        PyObject *res = PyObject_CallMethodObjArgs(ready, S.append,
-                                                   ev_obj, NULL);
+        PyObject *res = ready_append != NULL
+            ? PyObject_CallOneArg(ready_append, ev_obj)
+            : PyObject_CallMethodObjArgs(ready, S.append, ev_obj, NULL);
         st = (res == NULL) ? -1 : 0;
         Py_XDECREF(res);
     }
@@ -853,7 +936,7 @@ receive_impl(ReceiveObj *rc, PyObject *msg)
     Py_DECREF(margs);
     if (thunk == NULL)
         return -1;
-    res = PyObject_CallMethodObjArgs(rc->inbox, S.append, thunk, NULL);
+    res = PyObject_CallOneArg(rc->inbox_append, thunk);
     Py_DECREF(thunk);
     if (res == NULL)
         return -1;
@@ -865,7 +948,51 @@ receive_impl(ReceiveObj *rc, PyObject *msg)
         if (PyObject_SetAttr(rc->node, S._busy, Py_True) < 0)
             return -1;
         return arm_node(rc->node, rc->loop, rc->heap, rc->ready,
-                        rc->seq_iter, rc->finish_cb);
+                        rc->ready_append, rc->seq_iter, rc->finish_cb);
+    }
+    return 0;
+}
+
+/* N receive_impl calls coalesced (batched cross-link delivery).  The
+ * offline and busy flags cannot change between same-instant C
+ * deliveries (no user code runs), so they are checked once.  Inbox
+ * append order is delivery order, and arming after the appends draws
+ * the same event seq as the reference's arm-after-first-append --
+ * deliveries themselves never draw seqs. */
+static int
+receive_batch(ReceiveObj *rc, PyObject **msgs, Py_ssize_t n)
+{
+    PyObject *margs, *thunk, *res;
+    Py_ssize_t i;
+    int flag;
+
+    flag = get_attr_bool(rc->node, S.offline);
+    if (flag < 0)
+        return -1;
+    if (flag)
+        return attr_add_ll(rc->node, S.dropped_while_offline, n, NULL);
+    for (i = 0; i < n; i++) {
+        margs = PyTuple_Pack(1, msgs[i]);
+        if (margs == NULL)
+            return -1;
+        thunk = PyTuple_Pack(2, rc->process_fn, margs);
+        Py_DECREF(margs);
+        if (thunk == NULL)
+            return -1;
+        res = PyObject_CallOneArg(rc->inbox_append, thunk);
+        Py_DECREF(thunk);
+        if (res == NULL)
+            return -1;
+        Py_DECREF(res);
+    }
+    flag = get_attr_bool(rc->node, S._busy);
+    if (flag < 0)
+        return -1;
+    if (!flag) {
+        if (PyObject_SetAttr(rc->node, S._busy, Py_True) < 0)
+            return -1;
+        return arm_node(rc->node, rc->loop, rc->heap, rc->ready,
+                        rc->ready_append, rc->seq_iter, rc->finish_cb);
     }
     return 0;
 }
@@ -902,6 +1029,12 @@ receive_init(ReceiveObj *self, PyObject *args, PyObject *kwds)
     Py_XSETREF(self->finish_cb, PyObject_GetAttr(self->node, S._finish_cb));
     if (self->finish_cb == NULL)
         return -1;
+    Py_XSETREF(self->inbox_append, PyObject_GetAttr(self->inbox, S.append));
+    if (self->inbox_append == NULL)
+        return -1;
+    Py_XSETREF(self->ready_append, PyObject_GetAttr(self->ready, S.append));
+    if (self->ready_append == NULL)
+        return -1;
     return 0;
 }
 
@@ -928,6 +1061,8 @@ receive_traverse(ReceiveObj *self, visitproc visit, void *arg)
     Py_VISIT(self->seq_iter);
     Py_VISIT(self->process_fn);
     Py_VISIT(self->finish_cb);
+    Py_VISIT(self->inbox_append);
+    Py_VISIT(self->ready_append);
     return 0;
 }
 
@@ -943,6 +1078,8 @@ receive_clear(ReceiveObj *self)
     Py_CLEAR(self->seq_iter);
     Py_CLEAR(self->process_fn);
     Py_CLEAR(self->finish_cb);
+    Py_CLEAR(self->inbox_append);
+    Py_CLEAR(self->ready_append);
     return 0;
 }
 
@@ -978,7 +1115,7 @@ finish_impl(FinishObj *f)
     Py_ssize_t remaining;
     int st = 0;
 
-    thunk = PyObject_CallMethodNoArgs(f->inbox, S.popleft);
+    thunk = PyObject_CallNoArgs(f->inbox_popleft);
     if (thunk == NULL)
         return -1;
     if (!PyTuple_Check(thunk) || PyTuple_GET_SIZE(thunk) != 2) {
@@ -1014,7 +1151,8 @@ finish_impl(FinishObj *f)
             remaining = 0;
         }
         if (remaining > 0) {
-            if (arm_node(f->node, f->loop, f->heap, f->ready, f->seq_iter,
+            if (arm_node(f->node, f->loop, f->heap, f->ready,
+                         f->ready_append, f->seq_iter,
                          (PyObject *)f) < 0) {
                 if (st < 0) {
                     /* keep the original exception */
@@ -1066,6 +1204,13 @@ finish_init(FinishObj *self, PyObject *args, PyObject *kwds)
     Py_XSETREF(self->seq_iter, PyObject_GetAttr(self->loop, S._seq));
     if (self->seq_iter == NULL)
         return -1;
+    Py_XSETREF(self->inbox_popleft,
+               PyObject_GetAttr(self->inbox, S.popleft));
+    if (self->inbox_popleft == NULL)
+        return -1;
+    Py_XSETREF(self->ready_append, PyObject_GetAttr(self->ready, S.append));
+    if (self->ready_append == NULL)
+        return -1;
     return 0;
 }
 
@@ -1090,6 +1235,8 @@ finish_traverse(FinishObj *self, visitproc visit, void *arg)
     Py_VISIT(self->ready);
     Py_VISIT(self->inbox);
     Py_VISIT(self->seq_iter);
+    Py_VISIT(self->inbox_popleft);
+    Py_VISIT(self->ready_append);
     return 0;
 }
 
@@ -1102,6 +1249,8 @@ finish_clear(FinishObj *self)
     Py_CLEAR(self->ready);
     Py_CLEAR(self->inbox);
     Py_CLEAR(self->seq_iter);
+    Py_CLEAR(self->inbox_popleft);
+    Py_CLEAR(self->ready_append);
     return 0;
 }
 
@@ -1128,15 +1277,296 @@ static PyTypeObject FinishType = {
 };
 
 /* ------------------------------------------------------------------ */
+/* slot FSM fast path (third perf wave)                                */
+/* ------------------------------------------------------------------ */
+/* The legal receive transitions of a reliable strict slot are executed
+ * here without entering a Python frame.  Anything outside that
+ * configuration -- robust mode, lenient slots, armed timers, busy
+ * refusals, illegal receives, traced loops, arena poisoning -- falls
+ * back to the reference handlers in protocol/slot.py, which stay the
+ * specification. */
+
+/* owner.goal_gen += 1: the C twin of the bump in Slot._set_state. */
+static int
+fsm_bump_gen(PyObject *owner)
+{
+    return attr_add_ll(owner, S.goal_gen, 1, NULL);
+}
+
+/* slot.state = new_state plus the generation bump _set_state performs.
+ * Only reached untraced, so no SlotTransition record is due. */
+static int
+fsm_set_state(PyObject *slot, PyObject *owner, PyObject *new_state)
+{
+    if (PyObject_SetAttr(slot, S.state, new_state) < 0)
+        return -1;
+    return fsm_bump_gen(owner);
+}
+
+/* slot.<dst> = sig.<src> */
+static int
+fsm_copy_attr(PyObject *slot, PyObject *dst, PyObject *sig, PyObject *src)
+{
+    PyObject *v = PyObject_GetAttr(sig, src);
+    int st;
+    if (v == NULL)
+        return -1;
+    st = PyObject_SetAttr(slot, dst, v);
+    Py_DECREF(v);
+    return st;
+}
+
+static int
+fsm_attr_is_none(PyObject *obj, PyObject *name, int *is_none)
+{
+    PyObject *v = PyObject_GetAttr(obj, name);
+    if (v == NULL)
+        return -1;
+    *is_none = (v == Py_None);
+    Py_DECREF(v);
+    return 0;
+}
+
+/* All retransmission/staleness/busy timers unarmed?  The reference
+ * close path cancels them; the C reset only clears descriptor state,
+ * so an armed timer routes the signal back to the Python handler. */
+static int
+fsm_timers_clear(PyObject *slot, int *clear)
+{
+    int none;
+    *clear = 0;
+    if (fsm_attr_is_none(slot, S._retx_timer, &none) < 0)
+        return -1;
+    if (!none)
+        return 0;
+    if (fsm_attr_is_none(slot, S._stale_timer, &none) < 0)
+        return -1;
+    if (!none)
+        return 0;
+    if (fsm_attr_is_none(slot, S._busy_timer, &none) < 0)
+        return -1;
+    if (!none)
+        return 0;
+    *clear = 1;
+    return 0;
+}
+
+/* The C twin of Slot._reset_to_closed for a reliable strict slot whose
+ * timers are verified unarmed: state to closed (with the generation
+ * bump) and the descriptor/selector fields to None.  The _cancel_*
+ * calls in the reference are no-ops in that configuration beyond
+ * re-Noneing fields that are already None. */
+static int
+fsm_reset_to_closed(PyObject *slot, PyObject *owner)
+{
+    if (fsm_set_state(slot, owner, g_state_closed) < 0)
+        return -1;
+    if (PyObject_SetAttr(slot, S.medium, Py_None) < 0 ||
+        PyObject_SetAttr(slot, S.remote_descriptor, Py_None) < 0 ||
+        PyObject_SetAttr(slot, S.local_descriptor, Py_None) < 0 ||
+        PyObject_SetAttr(slot, S.selector_received, Py_None) < 0 ||
+        PyObject_SetAttr(slot, S.selector_sent, Py_None) < 0)
+        return -1;
+    return 0;
+}
+
+/* Try to run one receive entirely in C.  Caller guarantees the loop is
+ * untraced and arena poisoning is off.  *handled is set when the
+ * (state, signal, mode) combination was executed here; every other
+ * combination leaves *handled == 0 and falls through to the reference
+ * handlers.  Returns the accepted verdict (0/1) or -1 + PyErr. */
+static int
+slot_fsm_fast(PyObject *slot, PyObject *sig, PyObject *state,
+              PyObject *owner, int *handled)
+{
+    PyObject *tp = (PyObject *)Py_TYPE(sig);
+    int st_id, flag, none;
+
+    *handled = 0;
+    if (state == g_state_closed)
+        st_id = 0;
+    else if (state == g_state_opening)
+        st_id = 1;
+    else if (state == g_state_opened)
+        st_id = 2;
+    else if (state == g_state_flowing)
+        st_id = 3;
+    else if (state == g_state_closing)
+        st_id = 4;
+    else
+        return 0;
+
+    /* Gate: reliable (no retransmission policy, no pending ack),
+     * strict, not failed -- the provably timer-free configuration. */
+    if (fsm_attr_is_none(slot, S.retransmit, &none) < 0)
+        return -1;
+    if (!none)
+        return 0;
+    if (fsm_attr_is_none(slot, S._retx_kind, &none) < 0)
+        return -1;
+    if (!none)
+        return 0;
+    flag = get_attr_bool(slot, S.strict);
+    if (flag < 0)
+        return -1;
+    if (!flag)
+        return 0;
+    flag = get_attr_bool(slot, S.failed);
+    if (flag < 0)
+        return -1;
+    if (flag)
+        return 0;
+
+    switch (st_id) {
+    case 0:  /* closed */
+        if (tp == g_sig_open) {
+            *handled = 1;
+            if (attr_add_ll(slot, S.signals_received, 1, NULL) < 0)
+                return -1;
+            if (fsm_copy_attr(slot, S.medium, sig, S.medium) < 0)
+                return -1;
+            if (fsm_copy_attr(slot, S.remote_descriptor, sig,
+                              S.descriptor) < 0)
+                return -1;
+            if (fsm_set_state(slot, owner, g_state_opened) < 0)
+                return -1;
+            return 1;
+        }
+        return 0;
+    case 1:  /* opening */
+        if (tp == g_sig_open) {
+            /* open/open race (Sec. VI-B): the initiator wins */
+            PyObject *end = PyObject_GetAttr(slot, S._end);
+            long long side;
+            if (end == NULL)
+                return -1;
+            if (get_attr_ll(end, S.side, &side) < 0) {
+                Py_DECREF(end);
+                return -1;
+            }
+            Py_DECREF(end);
+            *handled = 1;
+            if (attr_add_ll(slot, S.signals_received, 1, NULL) < 0)
+                return -1;
+            if (side == 0)
+                return attr_add_ll(slot, S.race_drops, 1, NULL) < 0
+                    ? -1 : 0;
+            if (fsm_copy_attr(slot, S.medium, sig, S.medium) < 0)
+                return -1;
+            if (fsm_copy_attr(slot, S.remote_descriptor, sig,
+                              S.descriptor) < 0)
+                return -1;
+            if (fsm_set_state(slot, owner, g_state_opened) < 0)
+                return -1;
+            return 1;
+        }
+        if (tp == g_sig_oack) {
+            *handled = 1;
+            if (attr_add_ll(slot, S.signals_received, 1, NULL) < 0)
+                return -1;
+            if (fsm_copy_attr(slot, S.remote_descriptor, sig,
+                              S.descriptor) < 0)
+                return -1;
+            if (fsm_set_state(slot, owner, g_state_flowing) < 0)
+                return -1;
+            return 1;
+        }
+        if (tp == g_sig_close)
+            goto ack_close;
+        return 0;  /* Busy (refusal machinery) and illegal: reference */
+    case 2:  /* opened */
+        if (tp == g_sig_close)
+            goto ack_close;
+        return 0;
+    case 3:  /* flowing */
+        if (tp == g_sig_describe) {
+            *handled = 1;
+            if (attr_add_ll(slot, S.signals_received, 1, NULL) < 0)
+                return -1;
+            if (fsm_copy_attr(slot, S.remote_descriptor, sig,
+                              S.descriptor) < 0)
+                return -1;
+            return 1;
+        }
+        if (tp == g_sig_select) {
+            /* with no staleness recovery armed the reference handler
+             * only records the selector */
+            if (fsm_attr_is_none(slot, S._stale_timer, &none) < 0)
+                return -1;
+            if (!none)
+                return 0;
+            *handled = 1;
+            if (attr_add_ll(slot, S.signals_received, 1, NULL) < 0)
+                return -1;
+            if (fsm_copy_attr(slot, S.selector_received, sig,
+                              S.selector) < 0)
+                return -1;
+            return 1;
+        }
+        if (tp == g_sig_close)
+            goto ack_close;
+        return 0;
+    case 4:  /* closing */
+        if (tp == g_sig_close) {
+            /* crossing closes: acknowledge theirs, keep waiting */
+            *handled = 1;
+            if (attr_add_ll(slot, S.signals_received, 1, NULL) < 0)
+                return -1;
+            if (fsm_tx(slot, g_closeack) < 0)
+                return -1;
+            return 1;
+        }
+        if (tp == g_sig_closeack) {
+            if (fsm_timers_clear(slot, &flag) < 0)
+                return -1;
+            if (!flag)
+                return 0;
+            *handled = 1;
+            if (attr_add_ll(slot, S.signals_received, 1, NULL) < 0)
+                return -1;
+            if (fsm_reset_to_closed(slot, owner) < 0)
+                return -1;
+            return 1;
+        }
+        if (tp == g_sig_open || tp == g_sig_oack || tp == g_sig_describe
+            || tp == g_sig_select || tp == g_sig_busy) {
+            /* sent before the peer saw our close; drain */
+            *handled = 1;
+            if (attr_add_ll(slot, S.signals_received, 1, NULL) < 0)
+                return -1;
+            return attr_add_ll(slot, S.stale_drops, 1, NULL) < 0 ? -1 : 0;
+        }
+        return 0;
+    }
+    return 0;
+
+ack_close:
+    /* _acknowledge_close: answer with a closeack, reset to closed */
+    if (fsm_timers_clear(slot, &flag) < 0)
+        return -1;
+    if (!flag)
+        return 0;
+    *handled = 1;
+    if (attr_add_ll(slot, S.signals_received, 1, NULL) < 0)
+        return -1;
+    if (fsm_tx(slot, g_closeack) < 0)
+        return -1;
+    if (fsm_reset_to_closed(slot, owner) < 0)
+        return -1;
+    return 1;
+}
+
+/* ------------------------------------------------------------------ */
 /* Process                                                             */
 /* ------------------------------------------------------------------ */
 /* Inline of Slot.receive's dispatch shell: counter bump, per-state
  * handler dispatch, and the robust-mode retransmission-acknowledged
- * check.  Returns 0/1 (the handler's accepted verdict) or -1 + PyErr.
- * Unknown states fall back to the Python method, which owns the
- * descriptive failure. */
+ * check.  Legal fast-path signals are executed by slot_fsm_fast above
+ * without a Python frame.  Returns 0/1 (the handler's accepted
+ * verdict) or -1 + PyErr.  Unknown states fall back to the Python
+ * method, which owns the descriptive failure. */
 static int
-slot_receive_inline(PyObject *slot, PyObject *sig)
+slot_receive_inline(PyObject *slot, PyObject *sig, PyObject *owner)
 {
     PyObject *state, *handler, *res, *retx;
     int accepted, eq;
@@ -1144,6 +1574,14 @@ slot_receive_inline(PyObject *slot, PyObject *sig)
     state = PyObject_GetAttr(slot, S.state);
     if (state == NULL)
         return -1;
+    if (!g_arena_poison) {
+        int fsm_handled = 0;
+        accepted = slot_fsm_fast(slot, sig, state, owner, &fsm_handled);
+        if (fsm_handled || accepted < 0) {
+            Py_DECREF(state);
+            return accepted;
+        }
+    }
     handler = PyDict_GetItemWithError(g_dispatch, state);  /* borrowed */
     Py_DECREF(state);
     if (handler == NULL) {
@@ -1225,6 +1663,89 @@ call_py_process(ProcessObj *p, PyObject *msg)
     return 0;
 }
 
+/* The accepted-signal upcall.  When the owner's handler is the
+ * reference Box.on_tunnel_signal, admission control is off, and a goal
+ * controls the slot, the dispatch runs here: goal.goal_receive plus
+ * the generation-gated program poll (Box._poll).  Every other
+ * combination -- overridden handlers, admission control installed,
+ * unmanaged slots -- calls the bound handler, which owns the
+ * bookkeeping. */
+static int
+upcall_accepted(ProcessObj *p, PyObject *slot, PyObject *sig)
+{
+    PyObject *handler, *res;
+    int done = 0;
+
+    handler = PyObject_GetAttr(p->owner, S.on_tunnel_signal);
+    if (handler == NULL)
+        return -1;
+    if (p->by_slot != NULL && PyMethod_Check(handler)
+        && PyMethod_GET_FUNCTION(handler) == g_box_ots) {
+        PyObject *adm = PyObject_GetAttr(p->owner, S.admission);
+        if (adm == NULL)
+            goto fail;
+        if (adm != Py_None)
+            Py_DECREF(adm);
+        else {
+            PyObject *goal;
+            Py_DECREF(adm);
+            goal = PyDict_GetItemWithError(p->by_slot, slot); /* borrowed */
+            if (goal == NULL) {
+                if (PyErr_Occurred())
+                    goto fail;
+                /* unmanaged slot: the reference method records it */
+            }
+            else {
+                PyObject *gr, *cb;
+                Py_INCREF(goal);
+                gr = PyObject_GetAttr(goal, S.goal_receive);
+                Py_DECREF(goal);
+                if (gr == NULL)
+                    goto fail;
+                res = PyObject_CallFunctionObjArgs(gr, slot, sig, NULL);
+                Py_DECREF(gr);
+                if (res == NULL)
+                    goto fail;
+                Py_DECREF(res);
+                /* Box._poll: re-evaluate program guards only when a
+                 * guard input moved since the last full pass */
+                cb = PyObject_GetAttr(p->owner, S.after_stimulus);
+                if (cb == NULL)
+                    goto fail;
+                if (cb != Py_None) {
+                    long long gg, pg;
+                    if (get_attr_ll(p->owner, S.goal_gen, &gg) < 0 ||
+                        get_attr_ll(p->owner, S._poll_gen, &pg) < 0) {
+                        Py_DECREF(cb);
+                        goto fail;
+                    }
+                    if (gg != pg) {
+                        res = PyObject_CallNoArgs(cb);
+                        if (res == NULL) {
+                            Py_DECREF(cb);
+                            goto fail;
+                        }
+                        Py_DECREF(res);
+                    }
+                }
+                Py_DECREF(cb);
+                done = 1;
+            }
+        }
+    }
+    if (!done) {
+        res = PyObject_CallFunctionObjArgs(handler, slot, sig, NULL);
+        if (res == NULL)
+            goto fail;
+        Py_DECREF(res);
+    }
+    Py_DECREF(handler);
+    return 0;
+fail:
+    Py_DECREF(handler);
+    return -1;
+}
+
 static int
 process_impl(ProcessObj *p, PyObject *msg)
 {
@@ -1269,28 +1790,18 @@ process_impl(ProcessObj *p, PyObject *msg)
         Py_DECREF(slot);
         return -1;
     }
-    accepted = slot_receive_inline(slot, sig);
+    accepted = slot_receive_inline(slot, sig, p->owner);
     if (accepted < 0) {
         Py_DECREF(sig);
         Py_DECREF(slot);
         return -1;
     }
     if (accepted) {
-        PyObject *handler = PyObject_GetAttr(p->owner, S.on_tunnel_signal);
-        PyObject *res;
-        if (handler == NULL) {
+        if (upcall_accepted(p, slot, sig) < 0) {
             Py_DECREF(sig);
             Py_DECREF(slot);
             return -1;
         }
-        res = PyObject_CallFunctionObjArgs(handler, slot, sig, NULL);
-        Py_DECREF(handler);
-        if (res == NULL) {
-            Py_DECREF(sig);
-            Py_DECREF(slot);
-            return -1;
-        }
-        Py_DECREF(res);
     }
     Py_DECREF(sig);
     Py_DECREF(slot);
@@ -1337,6 +1848,32 @@ process_init(ProcessObj *self, PyObject *args, PyObject *kwds)
     Py_XSETREF(self->env_pool, PyObject_GetAttr(self->loop, S._env_pool));
     if (self->env_pool == NULL)
         return -1;
+    /* owner.maps._by_slot, cached for C-side goal dispatch.  Sound
+     * because both attributes are assigned once at construction and
+     * the dict is only ever mutated in place.  Owners without goal
+     * maps (devices, gateways) leave it NULL and take the
+     * bound-method path. */
+    {
+        PyObject *maps = PyObject_GetAttr(self->owner, S.maps);
+        if (maps == NULL) {
+            if (!PyErr_ExceptionMatches(PyExc_AttributeError))
+                return -1;
+            PyErr_Clear();
+        }
+        else {
+            PyObject *by_slot = PyObject_GetAttr(maps, S._by_slot);
+            Py_DECREF(maps);
+            if (by_slot == NULL) {
+                if (!PyErr_ExceptionMatches(PyExc_AttributeError))
+                    return -1;
+                PyErr_Clear();
+            }
+            else if (PyDict_CheckExact(by_slot))
+                Py_XSETREF(self->by_slot, by_slot);
+            else
+                Py_DECREF(by_slot);
+        }
+    }
     return 0;
 }
 
@@ -1360,6 +1897,7 @@ process_traverse(ProcessObj *self, visitproc visit, void *arg)
     Py_VISIT(self->slots);
     Py_VISIT(self->py_process);
     Py_VISIT(self->env_pool);
+    Py_VISIT(self->by_slot);
     return 0;
 }
 
@@ -1372,6 +1910,7 @@ process_clear(ProcessObj *self)
     Py_CLEAR(self->slots);
     Py_CLEAR(self->py_process);
     Py_CLEAR(self->env_pool);
+    Py_CLEAR(self->by_slot);
     return 0;
 }
 
@@ -1560,8 +2099,8 @@ transmit_impl(TransmitObj *t, PyObject *origin, PyObject *msg)
             return -1;
     }
     if (deliver_at == now) {
-        PyObject *res = PyObject_CallMethodObjArgs(t->ready, S.append,
-                                                   (PyObject *)ev, NULL);
+        PyObject *res = PyObject_CallOneArg(t->ready_append,
+                                            (PyObject *)ev);
         if (res == NULL) {
             Py_DECREF(ev);
             return -1;
@@ -1643,6 +2182,9 @@ transmit_init(TransmitObj *self, PyObject *args, PyObject *kwds)
             PyErr_SetString(PyExc_TypeError, "link._free must be a list");
         return -1;
     }
+    Py_XSETREF(self->ready_append, PyObject_GetAttr(self->ready, S.append));
+    if (self->ready_append == NULL)
+        return -1;
     return 0;
 }
 
@@ -1672,6 +2214,7 @@ transmit_traverse(TransmitObj *self, visitproc visit, void *arg)
     Py_VISIT(self->deliver1);
     Py_VISIT(self->pending);
     Py_VISIT(self->freelist);
+    Py_VISIT(self->ready_append);
     return 0;
 }
 
@@ -1690,6 +2233,7 @@ transmit_clear(TransmitObj *self)
     Py_CLEAR(self->deliver1);
     Py_CLEAR(self->pending);
     Py_CLEAR(self->freelist);
+    Py_CLEAR(self->ready_append);
     return 0;
 }
 
@@ -1800,6 +2344,27 @@ slot_transmit_impl(SlotTransmitObj *st, PyObject *sig)
     return 0;
 }
 
+/* slot._tx(sig) for the FSM fast path: fuse into the SlotTransmit
+ * kernel when the slot carries one (the compiled-backend default),
+ * fall back to the generic callable otherwise. */
+static int
+fsm_tx(PyObject *slot, PyObject *sig)
+{
+    PyObject *tx = PyObject_GetAttr(slot, S._tx);
+    int st;
+    if (tx == NULL)
+        return -1;
+    if (Py_TYPE(tx) == &SlotTransmitType)
+        st = slot_transmit_impl((SlotTransmitObj *)tx, sig);
+    else {
+        PyObject *res = PyObject_CallOneArg(tx, sig);
+        st = (res == NULL) ? -1 : 0;
+        Py_XDECREF(res);
+    }
+    Py_DECREF(tx);
+    return st;
+}
+
 static int
 slot_transmit_init(SlotTransmitObj *self, PyObject *args, PyObject *kwds)
 {
@@ -1902,12 +2467,76 @@ static PyTypeObject SlotTransmitType = {
 /* ------------------------------------------------------------------ */
 /* drain(loop, limit)                                                  */
 /* ------------------------------------------------------------------ */
+
+/* Peek the merged-order front of the two lanes; when it is an
+ * uncancelled CEvent carrying the same Deliver callback at the same
+ * instant, pop it (returns 1, event in *out).  Returns 0 when the
+ * front does not extend the batch, -1 on error.  Pops draw no seqs and
+ * run no user code, so batch membership cannot change while
+ * collecting. */
+static int
+pop_matching_deliver(PyObject *heap, PyObject *ready,
+                     PyObject *ready_popleft, PyObject *cb,
+                     double t, PyObject **out)
+{
+    Py_ssize_t hs = PyList_GET_SIZE(heap);
+    Py_ssize_t rs = PyObject_Length(ready);
+    PyObject *front;
+    CEvent *c;
+    int from_ready;
+
+    *out = NULL;
+    if (rs < 0)
+        return -1;
+    if (rs > 0) {
+        PyObject *r0 = PySequence_GetItem(ready, 0);
+        if (r0 == NULL)
+            return -1;
+        /* the deque's own reference keeps r0 alive after this DECREF */
+        Py_DECREF(r0);
+        if (hs > 0) {
+            int lt = ev_lt(PyList_GET_ITEM(heap, 0), r0);
+            if (lt < 0)
+                return -1;
+            if (lt) {
+                front = PyList_GET_ITEM(heap, 0);
+                from_ready = 0;
+            }
+            else {
+                front = r0;
+                from_ready = 1;
+            }
+        }
+        else {
+            front = r0;
+            from_ready = 1;
+        }
+    }
+    else if (hs > 0) {
+        front = PyList_GET_ITEM(heap, 0);
+        from_ready = 0;
+    }
+    else
+        return 0;
+    if (!CEvent_CheckExact(front))
+        return 0;
+    c = (CEvent *)front;
+    if (c->cancelled || c->callback != cb || c->time != t
+        || !PyTuple_Check(c->args) || PyTuple_GET_SIZE(c->args) != 1)
+        return 0;
+    if (from_ready)
+        *out = PyObject_CallNoArgs(ready_popleft);
+    else
+        *out = heap_pop(heap);
+    return (*out == NULL) ? -1 : 1;
+}
+
 static PyObject *
 mod_drain(PyObject *mod, PyObject *args)
 {
     PyObject *loop;
     long long limit, executed = 0;
-    PyObject *heap, *ready;
+    PyObject *heap, *ready, *ready_popleft;
     int failed = 0;
 
     if (!PyArg_ParseTuple(args, "OL", &loop, &limit))
@@ -1923,6 +2552,12 @@ mod_drain(PyObject *mod, PyObject *args)
     ready = PyObject_GetAttr(loop, S._ready);
     if (ready == NULL) {
         Py_DECREF(heap);
+        return NULL;
+    }
+    ready_popleft = PyObject_GetAttr(ready, S.popleft);
+    if (ready_popleft == NULL) {
+        Py_DECREF(heap);
+        Py_DECREF(ready);
         return NULL;
     }
 
@@ -1960,12 +2595,12 @@ mod_drain(PyObject *mod, PyObject *args)
                     ev_obj = heap_pop(heap);
                 }
                 else {
-                    ev_obj = PyObject_CallMethodNoArgs(ready, S.popleft);
+                    ev_obj = PyObject_CallNoArgs(ready_popleft);
                 }
             }
             else {
                 Py_DECREF(r0);
-                ev_obj = PyObject_CallMethodNoArgs(ready, S.popleft);
+                ev_obj = PyObject_CallNoArgs(ready_popleft);
             }
         }
         else if (hs > 0) {
@@ -2056,8 +2691,58 @@ mod_drain(PyObject *mod, PyObject *args)
         }
         cb = ev->callback;
         if (Py_TYPE(cb) == &DeliverType && PyTuple_GET_SIZE(ev->args) == 1) {
-            st = deliver_impl((DeliverObj *)cb,
-                              PyTuple_GET_ITEM(ev->args, 0));
+            /* Batched cross-link delivery: same-instant deliveries to
+             * the same link end collapse into one C walk when the
+             * delivery runs no user code (a down link drops; a Receive
+             * kernel only appends thunks), so nothing a batched event
+             * does can cancel or reorder the events collected behind
+             * it. */
+            DeliverObj *d = (DeliverObj *)cb;
+            PyObject *recv = NULL;
+            int down = get_attr_bool(d->link, S.down);
+            int batch_ok = down;
+            st = 0;
+            if (down < 0)
+                st = -1;
+            else if (!down) {
+                recv = PyObject_GetAttr(d->end, S._receiver);
+                if (recv == NULL)
+                    st = -1;
+                else
+                    batch_ok = (Py_TYPE(recv) == &ReceiveType);
+            }
+            if (st == 0 && batch_ok) {
+                PyObject *extra[DELIVER_BATCH_MAX];
+                PyObject *msgs[DELIVER_BATCH_MAX];
+                Py_ssize_t nx = 0, i;
+                msgs[0] = PyTuple_GET_ITEM(ev->args, 0);
+                while (nx + 1 < DELIVER_BATCH_MAX && executed != limit) {
+                    PyObject *nxt = NULL;
+                    int got = pop_matching_deliver(heap, ready,
+                                                   ready_popleft, cb,
+                                                   ev->time, &nxt);
+                    if (got < 0) {
+                        st = -1;
+                        break;
+                    }
+                    if (!got)
+                        break;
+                    executed++;
+                    Py_CLEAR(((CEvent *)nxt)->loop);
+                    extra[nx] = nxt;
+                    msgs[nx + 1] =
+                        PyTuple_GET_ITEM(((CEvent *)nxt)->args, 0);
+                    nx++;
+                }
+                if (st == 0 && !down)
+                    st = receive_batch((ReceiveObj *)recv, msgs, nx + 1);
+                for (i = 0; i < nx; i++)
+                    Py_DECREF(extra[i]);
+            }
+            else if (st == 0) {
+                st = deliver_impl(d, PyTuple_GET_ITEM(ev->args, 0));
+            }
+            Py_XDECREF(recv);
         }
         else if (Py_TYPE(cb) == &FinishType &&
                  PyTuple_GET_SIZE(ev->args) == 0) {
@@ -2093,6 +2778,7 @@ mod_drain(PyObject *mod, PyObject *args)
     }
     Py_DECREF(heap);
     Py_DECREF(ready);
+    Py_DECREF(ready_popleft);
     if (failed)
         return NULL;
     return PyLong_FromLongLong(executed);
@@ -2186,6 +2872,30 @@ intern_all(void)
     INTERN(_transmit, "_transmit");
     INTERN(_hooks, "_hooks");
     INTERN(qualname, "__qualname__");
+    INTERN(retransmit, "retransmit");
+    INTERN(strict, "strict");
+    INTERN(failed, "failed");
+    INTERN(medium, "medium");
+    INTERN(remote_descriptor, "remote_descriptor");
+    INTERN(local_descriptor, "local_descriptor");
+    INTERN(selector_received, "selector_received");
+    INTERN(selector_sent, "selector_sent");
+    INTERN(descriptor, "descriptor");
+    INTERN(selector, "selector");
+    INTERN(race_drops, "race_drops");
+    INTERN(stale_drops, "stale_drops");
+    INTERN(side, "side");
+    INTERN(_tx, "_tx");
+    INTERN(_retx_timer, "_retx_timer");
+    INTERN(_stale_timer, "_stale_timer");
+    INTERN(_busy_timer, "_busy_timer");
+    INTERN(maps, "maps");
+    INTERN(_by_slot, "_by_slot");
+    INTERN(goal_receive, "goal_receive");
+    INTERN(after_stimulus, "after_stimulus");
+    INTERN(admission, "admission");
+    INTERN(goal_gen, "goal_gen");
+    INTERN(_poll_gen, "_poll_gen");
 #undef INTERN
     return 0;
 }

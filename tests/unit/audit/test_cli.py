@@ -68,7 +68,11 @@ def test_determinism_waivers_carry_reasons():
                       stream=out) == 0
     (target,) = json.loads(out.getvalue())["targets"]
     assert target["suppressed"], "expected waived RC810 wall-clock reads"
-    assert all(s["code"] == "RC810" for s in target["suppressed"])
+    # The load waivers cover wall-clock reads (the harness measures
+    # throughput) and the calibration probe's child-process environ
+    # forwarding; anything else must surface as a real finding.
+    assert {s["code"] for s in target["suppressed"]} <= {"RC810", "RC813"}
+    assert "RC810" in {s["code"] for s in target["suppressed"]}
     assert all(s["reason"] for s in target["suppressions"])
 
 

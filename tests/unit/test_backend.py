@@ -240,3 +240,138 @@ def test_fingerprints_identical_across_backends():
         assert py[key] == cc[key], (
             "backend divergence on %s:\npython:   %r\ncompiled: %r"
             % (key, py[key], cc[key]))
+
+
+# ---------------------------------------------------------------------------
+# slot FSM fast path: engagement on the clean configuration, fallback
+# (with byte-identical observables) on everything outside it
+# ---------------------------------------------------------------------------
+
+#: Relay scenario with counting wrappers over the reference dispatch
+#: table.  The compiled FSM kernels never consult ``_DISPATCH`` — they
+#: are a C switch — so the counter reads exactly the receives that took
+#: the Python path.
+_FALLBACK_CODE = """
+import hashlib, json
+import repro.protocol.slot as slotmod
+
+hits = {"dispatched": 0}
+for _state, _fn in list(slotmod._DISPATCH.items()):
+    def _wrap(fn):
+        def counting(self, sig):
+            hits["dispatched"] += 1
+            return fn(self, sig)
+        return counting
+    slotmod._DISPATCH[_state] = _wrap(_fn)
+
+from repro.core.admission import AdmissionPolicy
+from repro.network.faults import plan_by_name
+from repro.network.network import Network
+from repro.obs.export import dumps_chrome
+from repro.obs.tracer import Tracer
+from repro.protocol.codecs import AUDIO
+from repro.protocol.slot import RetransmitPolicy
+
+scenario = %r
+tracer = None
+kwargs = dict(seed=3)
+if scenario == "traced":
+    tracer = Tracer()
+    kwargs["trace"] = tracer
+elif scenario == "faulted":
+    kwargs.update(retransmit=RetransmitPolicy(),
+                  faults=plan_by_name("drop10+dup10"))
+elif scenario == "busy-refused":
+    kwargs.update(retransmit=RetransmitPolicy(
+        initial=0.25, backoff=2.0, max_retries=3, stale_after=0.5))
+
+net = Network(**kwargs)
+core = net.box("core")
+if scenario == "busy-refused":
+    core.set_admission(AdmissionPolicy(max_concurrent=1))
+sides = []
+for i in range(2):
+    caller = net.device("a%%d" %% i)
+    callee = net.device("b%%d" %% i, auto_accept=True)
+    ch_in = net.channel(caller, core)
+    ch_out = net.channel(core, callee)
+    core.flow_link(ch_in.end_for(core).slot(),
+                   ch_out.end_for(core).slot())
+    sides.append((caller, ch_in.end_for(caller).slot()))
+
+(a0, s0), (a1, s1) = sides
+for _ in range(3):
+    a0.open(s0, AUDIO)
+    net.settle()
+    a1.open(s1, AUDIO)     # busy-refused while s0 holds the one seat
+    net.run(0.1)
+    a0.close(s0)
+    net.run(10.0)          # the backoff retry wins the freed seat
+    a1.close(s1)
+    net.settle()
+
+out = {
+    "dispatched": hits["dispatched"],
+    "executed": net.loop.executed,
+    "now": net.loop.now,
+    "received": s0.signals_received + s1.signals_received,
+    "busy_refusals": s1.busy_refusals,
+}
+if tracer is not None:
+    out["trace_sha"] = hashlib.sha256(
+        dumps_chrome(tracer, meta={}).encode()).hexdigest()
+print(json.dumps(out, sort_keys=True))
+"""
+
+
+def _fallback_run(scenario: str, backend: str, extra_env=None) -> dict:
+    env = {k: v for k, v in os.environ.items()
+           if k not in ("REPRO_BACKEND", "REPRO_ARENA_POISON")}
+    env["REPRO_BACKEND"] = backend
+    env["PYTHONPATH"] = _SRC
+    if extra_env:
+        env.update(extra_env)
+    proc = subprocess.run(
+        [sys.executable, "-c",
+         textwrap.dedent(_FALLBACK_CODE % scenario)],
+        env=env, capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout)
+
+
+@pytest.mark.skipif(not compiled_available(),
+                    reason="compiled backend not built "
+                           "(python tools/build_backend.py)")
+def test_clean_configuration_never_enters_python_dispatch():
+    """The control: untraced, reliable, strict, unpoisoned — the C FSM
+    must execute *every* receive, or the fast path quietly rotted."""
+    cc = _fallback_run("clean", "compiled")
+    py = _fallback_run("clean", "python")
+    assert cc["dispatched"] == 0, cc
+    assert py["dispatched"] > 0
+    for key in ("executed", "now", "received", "busy_refusals"):
+        assert cc[key] == py[key], key
+
+
+@pytest.mark.skipif(not compiled_available(),
+                    reason="compiled backend not built "
+                           "(python tools/build_backend.py)")
+@pytest.mark.parametrize("scenario,extra_env", [
+    ("traced", None),
+    ("faulted", None),
+    ("busy-refused", None),
+    ("poisoned", {"REPRO_ARENA_POISON": "1"}),
+])
+def test_fallback_configurations_take_the_python_path(scenario, extra_env):
+    """Traced loops, robust (faulted / busy-retry) slots, and
+    arena-poisoned runs must route every receive through the reference
+    handlers — and produce byte-identical observables to the pure
+    Python backend doing the same."""
+    cc = _fallback_run(scenario, "compiled", extra_env)
+    py = _fallback_run(scenario, "python", extra_env)
+    # Every receive outside the clean configuration falls back, so the
+    # Python dispatch table sees the same traffic under both backends.
+    assert cc.pop("dispatched") == py.pop("dispatched") > 0
+    assert cc == py, (
+        "fallback divergence on %s:\npython:   %r\ncompiled: %r"
+        % (scenario, py, cc))

@@ -1,0 +1,200 @@
+"""Goal-poll memoization (third perf wave).
+
+Every stimulus a box receives ends in ``Box._poll``, and before this
+wave every poll re-evaluated the current state's transition guards even
+when nothing a guard can read had changed.  Now ``SignalingAgent``
+carries a ``goal_gen`` generation counter — bumped by every
+``Slot._set_state`` (and its compiled FSM twin), every slot-name
+binding change, and every channel teardown — and a program whose guards
+are all pure functions of slot state records the generation at the end
+of a full no-progress pass, letting ``Box._poll`` skip re-evaluation
+until the counter moves.
+
+These tests pin the three contracts: the :func:`memo_safe_guard`
+classification, the skip itself (a meta signal no guard reads must not
+re-run a memo-safe program's poll), and every invalidation edge
+(state change, foreign-slot binding, program stop).
+"""
+
+import pytest
+
+from repro import AUDIO, Network
+from repro.core.predicates import (all_of, always, any_of, is_closed,
+                                   is_flowing, memo_safe_guard, negate,
+                                   slot_failed)
+from repro.core.program import (Program, State, Timeout, Transition,
+                                hold_slot, on_meta, open_slot)
+from repro.protocol.signals import AppMeta
+
+
+# ----------------------------------------------------------------------
+# memo_safe_guard classification
+# ----------------------------------------------------------------------
+def test_slot_state_guards_are_memo_safe():
+    for guard in (is_closed("s"), is_flowing("s"), slot_failed("s"),
+                  always):
+        assert memo_safe_guard(guard), guard
+
+
+def test_combinators_recurse():
+    assert memo_safe_guard(all_of(is_flowing("a"), is_closed("b")))
+    assert memo_safe_guard(any_of(is_flowing("a"), negate(is_closed("b"))))
+    # One event-consuming operand poisons the whole combinator.
+    assert not memo_safe_guard(all_of(is_flowing("a"), on_meta("app")))
+
+
+def test_event_consuming_and_opaque_guards_are_unsafe():
+    # ``on_meta`` consumes its matching pending event when the chosen
+    # transition fires; skipping its evaluation would leak the event.
+    assert not memo_safe_guard(on_meta("app", "go"))
+    # A hand-written callable can read anything (box attributes, the
+    # clock); the classifier must refuse what it cannot see into.
+    assert not memo_safe_guard(lambda program: True)
+
+
+# ----------------------------------------------------------------------
+# the skip, and every invalidation edge
+# ----------------------------------------------------------------------
+@pytest.fixture
+def rig():
+    net = Network(seed=41)
+    box = net.box("srv")
+    dev = net.device("dev", auto_accept=True)
+    ch = net.channel(box, dev)
+    box.name_slot("s", ch.end_for(box).slot())
+    return net, box, dev, ch
+
+
+def _count_polls(box, program):
+    """Re-arm ``after_stimulus`` with a counting wrapper; ``Box._poll``
+    still applies the generation gate before invoking it."""
+    polls = []
+
+    def counting():
+        polls.append(box.goal_gen)
+        program.poll()
+
+    box.after_stimulus = counting
+    return polls
+
+
+def _flowing_program(box):
+    """Open the named slot, then hold it; the ``hold`` state's guard
+    (``is_closed``) stays false while the call is up, so every settle
+    ends on a full no-progress pass — the memo-arming case."""
+    return Program(box, {
+        "up": State(goals=(open_slot("s", AUDIO),),
+                    transitions=(Transition(is_flowing("s"), "hold"),)),
+        "hold": State(goals=(hold_slot("s"),),
+                      transitions=(Transition(is_closed("s"), "up"),)),
+    }, initial="up")
+
+
+def test_memo_safe_program_skips_redundant_polls(rig):
+    net, box, dev, ch = rig
+    program = _flowing_program(box)
+    assert program._memo_safe
+    program.start()
+    net.settle()
+    assert box.slot("s").is_flowing
+    # The settle ended on a full all-false guard pass, so the memo is
+    # armed: the recorded generation matches the live counter.
+    assert box._poll_gen == box.goal_gen
+
+    polls = _count_polls(box, program)
+    # A meta signal changes no slot state; no memo-safe guard can see
+    # it, so the poll must be skipped outright.
+    ch.end_for(dev).send_meta(AppMeta("noise"))
+    net.settle()
+    assert polls == []
+
+
+def test_state_change_invalidates_the_memo(rig):
+    net, box, dev, ch = rig
+    fired = []
+    program = Program(box, {
+        "up": State(goals=(open_slot("s", AUDIO),),
+                    transitions=(Transition(is_flowing("s"), "hold"),)),
+        "hold": State(goals=(hold_slot("s"),),
+                      transitions=(Transition(
+                          is_closed("s"), "up",
+                          action=lambda p: fired.append(p.state_name)),)),
+    }, initial="up")
+    program.start()
+    net.settle()
+    assert program.state_name == "hold"
+    polls = _count_polls(box, program)
+    # The far side tears the tunnel down: Slot._set_state bumps the
+    # generation, the memo misses, and the guard pass runs again.
+    dev.close(ch.end_for(dev).slot())
+    net.settle()
+    assert polls  # re-evaluated
+    assert fired  # ...and the now-true is_closed transition fired
+
+
+def test_non_memo_safe_program_never_skips(rig):
+    net, box, dev, ch = rig
+    program = Program(box, {
+        "up": State(goals=(open_slot("s", AUDIO),),
+                    transitions=(Transition(on_meta("app", "go"),
+                                            "done"),)),
+        "done": State(goals=(hold_slot("s"),)),
+    }, initial="up")
+    assert not program._memo_safe
+    program.start()
+    net.settle()
+    # An event-consuming guard disables the memo entirely: the recorded
+    # generation stays disarmed and every stimulus polls.
+    assert box._poll_gen == -1
+    polls = _count_polls(box, program)
+    ch.end_for(dev).send_meta(AppMeta("other"))
+    net.settle()
+    assert polls
+
+
+def test_foreign_slot_binding_disables_the_memo(rig):
+    net, box, dev, ch = rig
+    # Binding a slot owned by *another* agent under a program-local
+    # name: that slot's transitions bump the device's counter, not the
+    # box's, so the memo must stand down for good.
+    box.name_slot("theirs", ch.end_for(dev).slot())
+    assert not box._goal_memo_ok
+    program = Program(box, {
+        "up": State(goals=(open_slot("s", AUDIO),),
+                    transitions=(Transition(slot_failed("theirs"),
+                                            "done"),)),
+        "done": State(),
+    }, initial="up")
+    assert program._memo_safe  # the guards are safe; the binding is not
+    program.start()
+    net.settle()
+    assert box._poll_gen == -1  # never armed
+    polls = _count_polls(box, program)
+    ch.end_for(dev).send_meta(AppMeta("noise"))
+    net.settle()
+    assert polls
+
+
+def test_stop_disarms_the_memo(rig):
+    net, box, dev, ch = rig
+    program = _flowing_program(box)
+    program.start()
+    net.settle()
+    assert box._poll_gen == box.goal_gen
+    program.stop()
+    # Whatever polls next (a successor program, a bare observer hook)
+    # has never evaluated its guards; the recorded pass must not carry
+    # over.
+    assert box._poll_gen == -1
+
+
+def test_binding_changes_bump_the_generation(rig):
+    net, box, dev, ch = rig
+    before = box.goal_gen
+    box.declare_slot("later")
+    ch2 = net.channel(box, net.device("dev2", auto_accept=True))
+    box.name_slot("later", ch2.end_for(box).slot())
+    assert box.goal_gen > before
+    before = box.goal_gen
+    box.forget_slot("later")
+    assert box.goal_gen > before
